@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Baseline systems the PSgL paper compares against — each implemented from
+//! scratch so every figure/table of the evaluation can be regenerated:
+//!
+//! - [`centralized`] — a sequential backtracking enumerator plus a
+//!   Chiba–Nishizeki-style triangle lister; doubles as the correctness
+//!   oracle for every other system in the workspace (its counting logic —
+//!   embeddings divided by the automorphism-group order — is deliberately
+//!   independent of PSgL's partial-order machinery),
+//! - [`afrati`] — Afrati, Fotakis & Ullman's single-map-reduce-round
+//!   multiway join (ICDE 2013) on the mini MapReduce engine,
+//! - [`sgia`] — Plantenga's SGIA-MR iterative edge join (JPDC 2013),
+//! - [`onehop`] — a PowerGraph-style engine with a fixed manual traversal
+//!   order and one-hop neighborhood index only (Section 7.6 / Table 4),
+//!   including the memory blow-up that OOMs on complex patterns.
+
+pub mod afrati;
+pub mod centralized;
+pub mod onehop;
+pub mod sgia;
+
+/// Maximum pattern size supported by the tuple-based baselines (SGIA-MR
+/// partials and one-hop embeddings use fixed-size arrays to stay
+/// allocation-free).
+pub const MAX_SGIA_VERTICES: usize = 8;

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the PSgL building blocks.
+//!
+//! These complement the experiment binaries (which regenerate the paper's
+//! tables/figures) by tracking the hot primitives: bloom-index probes,
+//! distribution-strategy decisions, graph ordering, and end-to-end triangle
+//! listing at a small fixed size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use psgl_core::{list_subgraphs, EdgeIndex, PsglConfig, Strategy};
+use psgl_core::distribute::{Distributor, GrayCandidate};
+use psgl_graph::partition::HashPartitioner;
+use psgl_graph::{generators, OrderedGraph};
+use psgl_pattern::{break_automorphisms, catalog};
+use std::hint::black_box;
+
+fn bench_edge_index(c: &mut Criterion) {
+    let g = generators::chung_lu(20_000, 8.0, 2.0, 1).unwrap();
+    let index = EdgeIndex::build(&g, 10);
+    c.bench_function("edge_index/probe", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            let u = i % 20_000;
+            let v = (i / 3) % 20_000;
+            black_box(index.may_contain(u, v))
+        })
+    });
+    c.bench_function("edge_index/build_20k_vertices", |b| {
+        b.iter(|| black_box(EdgeIndex::build(&g, 10)))
+    });
+}
+
+fn bench_distributor(c: &mut Criterion) {
+    let partitioner = HashPartitioner::new(16);
+    let candidates = [
+        GrayCandidate { vp: 0, vd: 11, degree: 120, white_neighbors: 2 },
+        GrayCandidate { vp: 1, vd: 222, degree: 9, white_neighbors: 1 },
+        GrayCandidate { vp: 2, vd: 3333, degree: 45, white_neighbors: 0 },
+    ];
+    for (name, strategy) in [
+        ("random", Strategy::Random),
+        ("roulette", Strategy::RouletteWheel),
+        ("wa_0.5", Strategy::WorkloadAware { alpha: 0.5 }),
+    ] {
+        c.bench_function(&format!("distributor/{name}"), |b| {
+            b.iter_batched_ref(
+                || Distributor::new(strategy, 16, 7),
+                |d| black_box(d.choose(&candidates, &partitioner)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let g = generators::chung_lu(50_000, 8.0, 2.0, 2).unwrap();
+    c.bench_function("ordered_graph/build_50k", |b| b.iter(|| black_box(OrderedGraph::new(&g))));
+}
+
+fn bench_automorphism_breaking(c: &mut Criterion) {
+    c.bench_function("break_automorphisms/4_clique", |b| {
+        let p = catalog::four_clique();
+        b.iter(|| black_box(break_automorphisms(&p)))
+    });
+    c.bench_function("break_automorphisms/6_clique", |b| {
+        let p = catalog::clique(6);
+        b.iter(|| black_box(break_automorphisms(&p)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let g = generators::chung_lu(4_000, 6.0, 2.2, 3).unwrap();
+    let mut group = c.benchmark_group("listing_4k_graph");
+    group.sample_size(10);
+    group.bench_function("triangle", |b| {
+        let config = PsglConfig::with_workers(4);
+        b.iter(|| black_box(list_subgraphs(&g, &catalog::triangle(), &config).unwrap()))
+    });
+    group.bench_function("square", |b| {
+        let config = PsglConfig::with_workers(4);
+        b.iter(|| black_box(list_subgraphs(&g, &catalog::square(), &config).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_edge_index,
+    bench_distributor,
+    bench_ordering,
+    bench_automorphism_breaking,
+    bench_end_to_end
+);
+criterion_main!(benches);

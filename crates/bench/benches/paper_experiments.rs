@@ -1,0 +1,133 @@
+//! Criterion counterparts of the paper's tables and figures, at smoke
+//! scale — one benchmark group per artifact so `cargo bench` tracks every
+//! comparison over time (the `exp_*` binaries print the full-size tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psgl_baselines::{afrati, centralized, onehop, sgia};
+use psgl_bench::datasets;
+use psgl_core::{list_subgraphs_prepared, PsglConfig, PsglShared, Strategy};
+use psgl_pattern::catalog;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.05;
+
+/// Figure 3: one benchmark per distribution strategy (PG2 on WikiTalk~).
+fn fig3_strategies(c: &mut Criterion) {
+    let ds = datasets::wikitalk(SCALE);
+    let pattern = catalog::square();
+    let base = PsglConfig::with_workers(8);
+    let shared = PsglShared::prepare(&ds.graph, &pattern, &base).unwrap();
+    let mut group = c.benchmark_group("fig3_strategies_pg2_wikitalk");
+    group.sample_size(10);
+    for (name, strategy) in Strategy::paper_variants() {
+        let config = base.clone().strategy(strategy);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(list_subgraphs_prepared(&shared, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6: best vs worst initial pattern vertex (PG2 on WebGoogle~).
+fn fig6_init_vertex(c: &mut Criterion) {
+    let ds = datasets::webgoogle(SCALE);
+    let pattern = catalog::square();
+    let mut group = c.benchmark_group("fig6_init_vertex_pg2_webgoogle");
+    group.sample_size(10);
+    for v in [0u8, 2] {
+        let config = PsglConfig::with_workers(8).init_vertex(v);
+        let shared = PsglShared::prepare(&ds.graph, &pattern, &config).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("v{}", v + 1)), |b| {
+            b.iter(|| black_box(list_subgraphs_prepared(&shared, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Table 2: edge index on vs off (PG5 on UsPatent~).
+fn table2_edge_index(c: &mut Criterion) {
+    let ds = datasets::uspatent(SCALE);
+    let pattern = catalog::house();
+    let mut group = c.benchmark_group("table2_edge_index_pg5_uspatent");
+    group.sample_size(10);
+    for (name, enabled) in [("with_index", true), ("without_index", false)] {
+        let config = PsglConfig::with_workers(8).edge_index(enabled);
+        let shared = PsglShared::prepare(&ds.graph, &pattern, &config).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(list_subgraphs_prepared(&shared, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7 / Table 3: the three systems on the same triangle workload.
+fn fig7_systems(c: &mut Criterion) {
+    let ds = datasets::webgoogle(SCALE);
+    let pattern = catalog::triangle();
+    let mut group = c.benchmark_group("fig7_systems_pg1_webgoogle");
+    group.sample_size(10);
+    let config = PsglConfig::with_workers(8);
+    let shared = PsglShared::prepare(&ds.graph, &pattern, &config).unwrap();
+    group.bench_function("psgl", |b| {
+        b.iter(|| black_box(list_subgraphs_prepared(&shared, &config).unwrap()))
+    });
+    group.bench_function("afrati", |b| {
+        b.iter(|| black_box(afrati::run(&ds.graph, &pattern, 8, None).unwrap()))
+    });
+    group.bench_function("sgia_mr", |b| {
+        b.iter(|| black_box(sgia::run(&ds.graph, &pattern, 8, None).unwrap()))
+    });
+    group.bench_function("onehop", |b| {
+        let oh = onehop::OneHopConfig {
+            order: onehop::natural_order(&pattern),
+            intermediate_budget: None,
+        };
+        b.iter(|| black_box(onehop::run(&ds.graph, &pattern, &oh).unwrap()))
+    });
+    group.bench_function("centralized", |b| {
+        b.iter(|| black_box(centralized::count_triangles(&ds.graph)))
+    });
+    group.finish();
+}
+
+/// Figure 8: worker scaling (PG2 on WikiTalk~).
+fn fig8_scaling(c: &mut Criterion) {
+    let ds = datasets::wikitalk(SCALE);
+    let pattern = catalog::square();
+    let mut group = c.benchmark_group("fig8_worker_scaling_pg2_wikitalk");
+    group.sample_size(10);
+    for workers in [1usize, 4, 16] {
+        let config = PsglConfig::with_workers(workers);
+        let shared = PsglShared::prepare(&ds.graph, &pattern, &config).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            b.iter(|| black_box(list_subgraphs_prepared(&shared, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Table 4 flavor: good vs bad fixed traversal order on the one-hop engine.
+fn table4_orders(c: &mut Criterion) {
+    let ds = datasets::wikitalk(SCALE);
+    let pattern = catalog::tailed_triangle();
+    let mut group = c.benchmark_group("table4_traversal_orders_pg3_wikitalk");
+    group.sample_size(10);
+    for (name, order) in [("good", vec![1u8, 2, 0, 3]), ("bad", vec![3u8, 1, 0, 2])] {
+        let config = onehop::OneHopConfig { order, intermediate_budget: None };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(onehop::run(&ds.graph, &pattern, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    fig3_strategies,
+    fig6_init_vertex,
+    table2_edge_index,
+    fig7_systems,
+    fig8_scaling,
+    table4_orders
+);
+criterion_main!(paper);

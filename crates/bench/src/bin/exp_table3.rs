@@ -1,0 +1,65 @@
+//! Table 3 — triangle listing on the large graphs.
+//!
+//! Paper: PG1 on Twitter and Wikipedia across Afrati, PowerGraph (one-hop
+//! index), GraphChi (centralized, single node) and PSgL:
+//!
+//! | graph | Afrati | PowerGraph | GraphChi | PSgL |
+//! |---|---|---|---|---|
+//! | Twitter | 4325 min | 2 min | 54 min | 12.5 min |
+//! | Wikipedia | 871 s | 36 s | 861 s | 125 s |
+//!
+//! Expected shape: PSgL beats the MapReduce join (≥ 85% gain) and the
+//! centralized system, while the heavily optimized one-hop engine wins the
+//! *triangle* special case by a small factor (its one-hop index is exactly
+//! a triangle oracle; the paper reports 4-6x).
+
+use psgl_baselines::{afrati, centralized, onehop};
+use psgl_bench::datasets::{self, Dataset};
+use psgl_bench::report::{banner, timed, Table};
+use psgl_core::{list_subgraphs, PsglConfig};
+use psgl_pattern::catalog;
+
+fn run_case(ds: &Dataset, workers: usize, table: &Table) {
+    let pattern = catalog::triangle();
+    let config = PsglConfig::with_workers(workers);
+    let (psgl, psgl_ms) = timed(|| list_subgraphs(&ds.graph, &pattern, &config).expect("psgl"));
+    let (af, af_ms) = timed(|| afrati::run(&ds.graph, &pattern, workers, None).expect("afrati"));
+    let oh_config = onehop::OneHopConfig {
+        order: onehop::natural_order(&pattern),
+        intermediate_budget: None,
+    };
+    let (oh, oh_ms) = timed(|| onehop::run(&ds.graph, &pattern, &oh_config).expect("onehop"));
+    let (cn, cn_ms) = timed(|| centralized::count_triangles(&ds.graph));
+    assert_eq!(psgl.instance_count, af.instance_count);
+    assert_eq!(psgl.instance_count, oh.instance_count);
+    assert_eq!(psgl.instance_count, cn);
+    table.row(&[
+        ds.name.to_string(),
+        psgl.instance_count.to_string(),
+        format!("{af_ms:.0}"),
+        format!("{oh_ms:.0}"),
+        format!("{cn_ms:.0}"),
+        format!("{psgl_ms:.0}"),
+    ]);
+}
+
+fn main() {
+    let scale = datasets::scale_from_env();
+    banner("Table 3", "triangle listing on the large graphs (Twitter~, Wikipedia~)", scale);
+    let workers = 8;
+    let table = Table::new(&[
+        ("graph", 12),
+        ("triangles", 11),
+        ("Afrati ms", 10),
+        ("OneHop ms", 10),
+        ("Centrl ms", 10),
+        ("PSgL ms", 9),
+    ]);
+    for ds in [datasets::twitter(scale), datasets::wikipedia(scale)] {
+        run_case(&ds, workers, &table);
+    }
+    println!(
+        "\ncolumn mapping: OneHop ~ PowerGraph, Centrl ~ GraphChi. shape: PSgL well ahead of \
+         Afrati; the specialized one-hop triangle path may win its special case (paper: 4-6x)."
+    );
+}

@@ -1,0 +1,160 @@
+//! Synthetic stand-ins for the paper's datasets (Table 1).
+//!
+//! | Paper graph | |V| / |E| (paper) | degree skew | stand-in |
+//! |---|---|---|---|
+//! | WebGoogle | 0.9M / 8.6M | γ = 1.66 | Chung–Lu, γ 1.66 |
+//! | WikiTalk | 2.4M / 9.3M | γ = 1.09 (extreme) | Chung–Lu γ 1.5 + mega-hubs |
+//! | UsPatent | 3.8M / 33M | γ = 3.13 (mild) | Chung–Lu, γ 3.13 |
+//! | LiveJournal | 4.8M / 85M | social, moderate | Chung–Lu, γ 2.4 |
+//! | Wikipedia | 26M / 543M | — | Chung–Lu, γ 2.2 (large) |
+//! | Twitter | 42M / 1.2B | celebrity hubs | Chung–Lu, γ 1.8 (largest) |
+//! | RandGraph | 4M / 80M | Poisson | Erdős–Rényi G(n, m) |
+//!
+//! Sizes are scaled to a single machine (`PSGL_SCALE` multiplies them); the
+//! skew regime — which drives every conclusion in Sections 5.1, 5.2.2, 7.2
+//! and 7.3 — is preserved. Average degrees are kept lower than the
+//! originals because listing cost grows super-linearly in density; the
+//! relative density ordering between datasets is preserved.
+
+use psgl_graph::{generators, DataGraph};
+
+/// A named benchmark dataset.
+pub struct Dataset {
+    /// Display name (the paper graph it stands in for).
+    pub name: &'static str,
+    /// The generated graph.
+    pub graph: DataGraph,
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(1_000)
+}
+
+/// Reads the `PSGL_SCALE` environment knob (default 1.0).
+pub fn scale_from_env() -> f64 {
+    std::env::var("PSGL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// WebGoogle-like: strongly skewed web graph (γ ≈ 1.66).
+pub fn webgoogle(scale: f64) -> Dataset {
+    Dataset {
+        name: "WebGoogle~",
+        graph: generators::chung_lu(scaled(16_000, scale), 6.0, 1.66, 0xF00D_0001).unwrap(),
+    }
+}
+
+/// WikiTalk-like: extremely skewed communication graph (paper γ = 1.09).
+///
+/// A pure Chung–Lu draw at γ ≈ 1.1 collapses under mean-normalization at
+/// laptop scale (the tail mass dominates the mean, flattening every hub),
+/// so this stand-in reproduces WikiTalk's actual structure directly: a
+/// skewed γ = 1.5 background plus a handful of mega-hubs at ~1–5% of `n` —
+/// the administrator/bot accounts whose talk pages touch a large fraction
+/// of all users. The realized max-degree/mean ratio (≈250) matches the
+/// original's regime and drives the same extreme-imbalance phenomena
+/// (Figures 3, 5, 6).
+pub fn wikitalk(scale: f64) -> Dataset {
+    let n = scaled(16_000, scale);
+    let mut weights =
+        generators::power_law_degrees(n, 1.5, 1, (n - 1) as u32, 0xF00D_0002).unwrap();
+    let mean: f64 = weights.iter().sum::<f64>() / n as f64;
+    let target_background = 2.5;
+    for w in &mut weights {
+        *w *= target_background / mean;
+    }
+    // Mega-hubs: 8 accounts between 5% and 0.7% of the vertex count.
+    for (i, w) in weights.iter_mut().take(8).enumerate() {
+        *w = n as f64 * 0.05 / (i + 1) as f64;
+    }
+    Dataset {
+        name: "WikiTalk~",
+        graph: generators::chung_lu_from_weights(&weights, 0xF00D_0102).unwrap(),
+    }
+}
+
+/// UsPatent-like: mildly skewed citation graph (γ ≈ 3.13).
+pub fn uspatent(scale: f64) -> Dataset {
+    Dataset {
+        name: "UsPatent~",
+        graph: generators::chung_lu(scaled(24_000, scale), 8.0, 3.13, 0xF00D_0003).unwrap(),
+    }
+}
+
+/// LiveJournal-like: moderately skewed social graph, denser than the rest.
+pub fn livejournal(scale: f64) -> Dataset {
+    Dataset {
+        name: "LiveJournal~",
+        graph: generators::chung_lu(scaled(20_000, scale), 10.0, 2.4, 0xF00D_0004).unwrap(),
+    }
+}
+
+/// Wikipedia-like: the smaller of the two "large graphs" of Table 3.
+pub fn wikipedia(scale: f64) -> Dataset {
+    Dataset {
+        name: "Wikipedia~",
+        graph: generators::chung_lu(scaled(60_000, scale), 8.0, 2.2, 0xF00D_0005).unwrap(),
+    }
+}
+
+/// Twitter-like: the largest graph (Table 3), celebrity-hub skew.
+pub fn twitter(scale: f64) -> Dataset {
+    Dataset {
+        name: "Twitter~",
+        graph: generators::chung_lu(scaled(100_000, scale), 10.0, 1.8, 0xF00D_0006).unwrap(),
+    }
+}
+
+/// RandGraph: the Erdős–Rényi control (Figure 6(d)).
+pub fn randgraph(scale: f64) -> Dataset {
+    let n = scaled(24_000, scale);
+    Dataset {
+        name: "RandGraph",
+        graph: generators::erdos_renyi_gnm(n, n as u64 * 4, 0xF00D_0007).unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psgl_graph::DegreeStats;
+
+    #[test]
+    fn datasets_land_in_their_skew_regimes() {
+        // The MLE exponent is noisy at smoke scale; hub size relative to
+        // the mean is the robust skew signal.
+        let scale = 0.25;
+        let wiki = wikitalk(scale).graph;
+        let pat = uspatent(scale).graph;
+        let wiki_stats = DegreeStats::of_graph(&wiki);
+        let pat_stats = DegreeStats::of_graph(&pat);
+        let wiki_hub = f64::from(wiki_stats.max) / wiki_stats.mean;
+        let pat_hub = f64::from(pat_stats.max) / pat_stats.mean;
+        assert!(
+            wiki_hub > 2.0 * pat_hub,
+            "WikiTalk~ hub/mean {wiki_hub:.1} must dwarf UsPatent~ {pat_hub:.1}"
+        );
+        // And the skewed graph carries more tail mass 10x above the mean.
+        let wiki_tail = wiki_stats.tail_fraction((wiki_stats.mean * 10.0) as u32);
+        let pat_tail = pat_stats.tail_fraction((pat_stats.mean * 10.0) as u32);
+        assert!(
+            wiki_tail > pat_tail,
+            "tail mass: WikiTalk~ {wiki_tail:.4} vs UsPatent~ {pat_tail:.4}"
+        );
+    }
+
+    #[test]
+    fn scale_knob_changes_size() {
+        let small = webgoogle(0.25).graph;
+        let large = webgoogle(1.0).graph;
+        assert!(large.num_vertices() > 3 * small.num_vertices());
+    }
+
+    #[test]
+    fn randgraph_is_poissonian() {
+        let g = randgraph(0.25).graph;
+        let stats = DegreeStats::of_graph(&g);
+        // An ER graph has no heavy tail: the max degree stays within a few
+        // multiples of the mean.
+        assert!(f64::from(stats.max) < stats.mean * 6.0);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the PSgL paper's evaluation (Section 7).
+//!
+//! One binary per table/figure (`src/bin/exp_*.rs`); this library holds the
+//! shared pieces:
+//!
+//! - [`datasets`] — synthetic stand-ins for the paper's graphs, with the
+//!   degree-skew exponents matched to Table 1 / Section 7.2 (the real SNAP
+//!   downloads are not redistributable; see `DESIGN.md` §3). Every dataset
+//!   accepts a scale factor so the harness runs on a laptop;
+//! - [`report`] — uniform table rendering and environment knobs.
+//!
+//! Run everything with:
+//!
+//! ```bash
+//! for exp in fig3 fig5 fig6 table2 fig7 table3 table4 fig8; do
+//!     cargo run --release -p psgl-bench --bin exp_$exp
+//! done
+//! ```
+//!
+//! `PSGL_SCALE` (default `1.0`) multiplies dataset sizes; `0.25` gives a
+//! quick smoke run, `4.0` stresses a bigger machine.
+
+pub mod datasets;
+pub mod report;

@@ -1,0 +1,90 @@
+//! Uniform table rendering for the experiment binaries.
+//!
+//! Every experiment prints (a) a header identifying the paper artifact it
+//! regenerates, (b) a fixed-width table whose rows mirror the paper's, and
+//! (c) a `shape:` line summarizing what to compare against the paper
+//! (`EXPERIMENTS.md` records both sides).
+
+use std::time::Instant;
+
+/// Prints the standard experiment banner.
+pub fn banner(artifact: &str, description: &str, scale: f64) {
+    println!("================================================================");
+    println!("{artifact}: {description}");
+    println!("(synthetic stand-in datasets, PSGL_SCALE={scale}; see DESIGN.md §3)");
+    println!("================================================================");
+}
+
+/// A fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Creates a table and prints its header row.
+    pub fn new(columns: &[(&str, usize)]) -> Table {
+        let widths: Vec<usize> = columns.iter().map(|&(_, w)| w).collect();
+        let mut header = String::new();
+        for (i, &(name, w)) in columns.iter().enumerate() {
+            if i == 0 {
+                header.push_str(&format!("{name:<w$}"));
+            } else {
+                header.push_str(&format!(" {name:>w$}"));
+            }
+        }
+        println!("{header}");
+        println!("{}", "-".repeat(header.len()));
+        Table { widths }
+    }
+
+    /// Prints one row; cells beyond the declared column count are ignored.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(self.widths.len()) {
+            let w = self.widths[i];
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!(" {cell:>w$}"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Runs `f` and returns `(result, milliseconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Human formatting for large counts (`1234567 -> "1.23e6"` style keeps
+/// table columns narrow, mirroring the paper's scientific notation in
+/// Table 2).
+pub fn sci(x: u64) -> String {
+    if x < 100_000 {
+        x.to_string()
+    } else {
+        format!("{:.2e}", x as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats() {
+        assert_eq!(sci(999), "999");
+        assert_eq!(sci(99_999), "99999");
+        assert_eq!(sci(2_860_000), "2.86e6");
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, ms) = timed(|| 7);
+        assert_eq!(v, 7);
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,605 @@
+//! The BSP engine: supersteps, workers, message exchange.
+
+use crate::metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
+use psgl_graph::partition::HashPartitioner;
+use psgl_graph::VertexId;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct BspConfig {
+    /// Safety limit on supersteps; exceeding it is an error (a PSgL run on
+    /// a pattern with `|Vp|` vertices needs at most `|Vp|` supersteps).
+    pub max_supersteps: u32,
+    /// Abort when more than this many messages are in flight after a
+    /// superstep — deterministic stand-in for the cluster's OutOfMemory
+    /// failures in Tables 2 and 4. `None` = unlimited.
+    pub message_budget: Option<u64>,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig { max_supersteps: 64, message_budget: None }
+    }
+}
+
+/// Errors terminating a BSP run.
+#[derive(Debug)]
+pub enum BspError {
+    /// A worker's `compute` panicked; the run is aborted.
+    WorkerPanicked {
+        /// Worker that panicked.
+        worker: usize,
+        /// Superstep during which the panic happened.
+        superstep: u32,
+    },
+    /// The in-flight message volume exceeded [`BspConfig::message_budget`].
+    /// The paper reports these as OOM failures.
+    MessageBudgetExceeded {
+        /// Superstep after which the budget check failed.
+        superstep: u32,
+        /// Messages in flight at that point.
+        in_flight: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// [`BspConfig::max_supersteps`] was reached with messages still
+    /// in flight.
+    SuperstepLimitExceeded(u32),
+}
+
+impl std::fmt::Display for BspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BspError::WorkerPanicked { worker, superstep } => {
+                write!(f, "worker {worker} panicked in superstep {superstep}")
+            }
+            BspError::MessageBudgetExceeded { superstep, in_flight, budget } => write!(
+                f,
+                "out of memory (simulated): {in_flight} messages in flight after superstep \
+                 {superstep} exceeds budget {budget}"
+            ),
+            BspError::SuperstepLimitExceeded(s) => {
+                write!(f, "superstep limit {s} reached with messages still in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BspError {}
+
+/// Per-worker, per-superstep execution context handed to
+/// [`VertexProgram::compute`].
+pub struct Context<'a, M, A = ()> {
+    superstep: u32,
+    worker: usize,
+    partitioner: &'a HashPartitioner,
+    outboxes: &'a mut [Vec<(VertexId, M)>],
+    cost: u64,
+    messages_out: u64,
+    /// The merged aggregate of the *previous* superstep (Pregel semantics).
+    prev_aggregate: &'a A,
+    /// This worker's aggregate contribution for the current superstep.
+    local_aggregate: &'a mut A,
+}
+
+impl<'a, M, A> Context<'a, M, A> {
+    /// The global aggregate merged at the end of the previous superstep
+    /// (the `A::default()` value during superstep 0).
+    #[inline]
+    pub fn prev_aggregate(&self) -> &A {
+        self.prev_aggregate
+    }
+
+    /// Mutable access to this worker's aggregate contribution; the engine
+    /// merges all contributions at the superstep barrier with
+    /// [`VertexProgram::merge_aggregates`].
+    #[inline]
+    pub fn aggregate_mut(&mut self) -> &mut A {
+        self.local_aggregate
+    }
+    /// Current superstep (0 = initialization).
+    #[inline]
+    pub fn superstep(&self) -> u32 {
+        self.superstep
+    }
+
+    /// Id of the executing worker.
+    #[inline]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Total number of workers.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.partitioner.workers()
+    }
+
+    /// The vertex partitioner (vertex → owning worker).
+    #[inline]
+    pub fn partitioner(&self) -> &HashPartitioner {
+        self.partitioner
+    }
+
+    /// Sends `msg` to vertex `to`; it is delivered at the next superstep on
+    /// the worker owning `to`.
+    #[inline]
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.messages_out += 1;
+        self.outboxes[self.partitioner.owner(to)].push((to, msg));
+    }
+
+    /// Adds `units` to this worker's cost for the current superstep
+    /// (PSgL: the `load(Gpsi)` terms of Equation 2).
+    #[inline]
+    pub fn add_cost(&mut self, units: u64) {
+        self.cost += units;
+    }
+}
+
+/// A vertex-centric program in the Pregel style.
+///
+/// The engine calls [`VertexProgram::compute`] on every vertex in
+/// superstep 0 with no messages (PSgL's initialization phase) and on every
+/// vertex with pending messages in later supersteps. The run halts when no
+/// messages are in flight.
+pub trait VertexProgram: Sync {
+    /// Message type exchanged between vertices.
+    type Message: Send;
+    /// Mutable per-worker state (e.g. local result buffers, the
+    /// distribution strategy's local workload view).
+    type WorkerState: Send;
+    /// Global aggregate merged at each superstep barrier (Pregel
+    /// aggregators); use `()` when not needed.
+    type Aggregate: Send + Sync + Default;
+
+    /// Creates worker-local state before superstep 0.
+    fn create_worker_state(&self, worker: usize) -> Self::WorkerState;
+
+    /// Merges one worker's aggregate contribution into the accumulator.
+    /// The default implementation discards contributions (fits the `()`
+    /// aggregate).
+    fn merge_aggregates(&self, _into: &mut Self::Aggregate, _from: Self::Aggregate) {}
+
+    /// Processes `vertex` with its incoming `messages`.
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, Self::Message, Self::Aggregate>,
+        state: &mut Self::WorkerState,
+        vertex: VertexId,
+        messages: Vec<Self::Message>,
+    );
+}
+
+/// Result of a successful BSP run.
+#[derive(Debug)]
+pub struct BspResult<S, A = ()> {
+    /// Final worker states, indexed by worker id.
+    pub worker_states: Vec<S>,
+    /// The merged aggregate of the final superstep.
+    pub final_aggregate: A,
+    /// Execution metrics.
+    pub metrics: EngineMetrics,
+}
+
+/// Runs `program` over vertices `0..num_vertices` partitioned by
+/// `partitioner`, until no messages remain in flight.
+///
+/// Workers run as scoped OS threads; the message exchange between
+/// supersteps is the synchronous barrier. Deterministic for deterministic
+/// programs: inboxes are assembled in source-worker order and grouped with
+/// a stable sort.
+pub fn run<P: VertexProgram>(
+    num_vertices: usize,
+    partitioner: &HashPartitioner,
+    program: &P,
+    config: &BspConfig,
+) -> Result<BspResult<P::WorkerState, P::Aggregate>, BspError> {
+    let k = partitioner.workers();
+    let start = Instant::now();
+    let mut states: Vec<P::WorkerState> = (0..k).map(|w| program.create_worker_state(w)).collect();
+    // Owned vertex lists for superstep 0.
+    let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for v in 0..num_vertices as VertexId {
+        owned[partitioner.owner(v)].push(v);
+    }
+    let mut inboxes: Vec<Vec<(VertexId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+    let mut metrics = EngineMetrics::default();
+    let mut superstep: u32 = 0;
+    let mut merged_aggregate = P::Aggregate::default();
+    loop {
+        if superstep >= config.max_supersteps {
+            return Err(BspError::SuperstepLimitExceeded(superstep));
+        }
+        // outboxes[w][dest] filled by worker w.
+        let mut worker_results: Vec<Option<WorkerOutput<P>>> = (0..k).map(|_| None).collect();
+        let prev_aggregate = &merged_aggregate;
+        let panicked = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(k);
+            for (((worker, state), inbox), slot) in states
+                .iter_mut()
+                .enumerate()
+                .zip(inboxes.iter_mut())
+                .zip(worker_results.iter_mut())
+            {
+                let owned = &owned[worker];
+                let handle = scope.spawn(move |_| {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        run_worker::<P>(
+                            program,
+                            state,
+                            worker,
+                            superstep,
+                            partitioner,
+                            k,
+                            owned,
+                            std::mem::take(inbox),
+                            prev_aggregate,
+                        )
+                    }));
+                    match result {
+                        Ok(out) => {
+                            *slot = Some(out);
+                            None
+                        }
+                        Err(_) => Some(worker),
+                    }
+                });
+                handles.push(handle);
+            }
+            let mut panicked = None;
+            for h in handles {
+                if let Some(w) = h.join().expect("scoped worker join") {
+                    panicked.get_or_insert(w);
+                }
+            }
+            panicked
+        })
+        .expect("crossbeam scope");
+        if let Some(worker) = panicked {
+            return Err(BspError::WorkerPanicked { worker, superstep });
+        }
+        // Collect metrics, merge aggregates, and rebuild inboxes in
+        // source-worker order.
+        let mut step = SuperstepMetrics { workers: Vec::with_capacity(k) };
+        let mut new_inboxes: Vec<Vec<(VertexId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+        let mut next_aggregate = P::Aggregate::default();
+        for result in worker_results {
+            let (outboxes, wm, agg) = result.expect("worker result present when no panic");
+            step.workers.push(wm);
+            program.merge_aggregates(&mut next_aggregate, agg);
+            for (dest, mut msgs) in outboxes.into_iter().enumerate() {
+                new_inboxes[dest].append(&mut msgs);
+            }
+        }
+        merged_aggregate = next_aggregate;
+        let in_flight: u64 = new_inboxes.iter().map(|b| b.len() as u64).sum();
+        metrics.supersteps.push(step);
+        if let Some(budget) = config.message_budget {
+            if in_flight > budget {
+                return Err(BspError::MessageBudgetExceeded { superstep, in_flight, budget });
+            }
+        }
+        if in_flight == 0 {
+            break;
+        }
+        inboxes = new_inboxes;
+        superstep += 1;
+    }
+    metrics.wall_time = start.elapsed();
+    Ok(BspResult { worker_states: states, final_aggregate: merged_aggregate, metrics })
+}
+
+/// Per-worker superstep output: outboxes (one per destination worker),
+/// metrics, and the worker's aggregate contribution.
+type WorkerOutput<P> = (
+    Vec<Vec<(VertexId, <P as VertexProgram>::Message)>>,
+    WorkerSuperstepMetrics,
+    <P as VertexProgram>::Aggregate,
+);
+
+/// Executes one worker for one superstep; returns its outboxes and metrics.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<P: VertexProgram>(
+    program: &P,
+    state: &mut P::WorkerState,
+    worker: usize,
+    superstep: u32,
+    partitioner: &HashPartitioner,
+    k: usize,
+    owned: &[VertexId],
+    mut inbox: Vec<(VertexId, P::Message)>,
+    prev_aggregate: &P::Aggregate,
+) -> WorkerOutput<P> {
+    let started = Instant::now();
+    let mut outboxes: Vec<Vec<(VertexId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+    let mut local_aggregate = P::Aggregate::default();
+    let mut ctx = Context {
+        superstep,
+        worker,
+        partitioner,
+        outboxes: &mut outboxes,
+        cost: 0,
+        messages_out: 0,
+        prev_aggregate,
+        local_aggregate: &mut local_aggregate,
+    };
+    let messages_in = inbox.len() as u64;
+    let mut active_vertices = 0u64;
+    if superstep == 0 {
+        for &v in owned {
+            active_vertices += 1;
+            program.compute(&mut ctx, state, v, Vec::new());
+        }
+    } else {
+        // Group messages by destination vertex; stable sort keeps
+        // source-worker order within a vertex for determinism.
+        inbox.sort_by_key(|(v, _)| *v);
+        let mut it = inbox.into_iter().peekable();
+        while let Some((v, first)) = it.next() {
+            let mut batch = vec![first];
+            while it.peek().is_some_and(|(u, _)| *u == v) {
+                batch.push(it.next().unwrap().1);
+            }
+            active_vertices += 1;
+            program.compute(&mut ctx, state, v, batch);
+        }
+    }
+    let wm = WorkerSuperstepMetrics {
+        active_vertices,
+        messages_in,
+        messages_out: ctx.messages_out,
+        cost: ctx.cost,
+        elapsed: started.elapsed(),
+    };
+    (outboxes, wm, local_aggregate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use psgl_graph::generators::erdos_renyi_gnm;
+    use psgl_graph::DataGraph;
+
+    /// Min-label propagation: every vertex learns the smallest vertex id in
+    /// its connected component. Exercises multi-superstep messaging.
+    struct MinLabel<'g> {
+        graph: &'g DataGraph,
+        labels: Mutex<Vec<VertexId>>,
+    }
+
+    impl VertexProgram for MinLabel<'_> {
+        type Message = VertexId;
+        type WorkerState = ();
+        type Aggregate = ();
+
+        fn create_worker_state(&self, _worker: usize) {}
+
+        fn compute(
+            &self,
+            ctx: &mut Context<'_, VertexId>,
+            _state: &mut (),
+            vertex: VertexId,
+            messages: Vec<VertexId>,
+        ) {
+            ctx.add_cost(1 + messages.len() as u64);
+            let current = self.labels.lock()[vertex as usize];
+            let best = messages.into_iter().min().map_or(current, |m| m.min(current));
+            let improved = best < current || ctx.superstep() == 0;
+            if best < current {
+                self.labels.lock()[vertex as usize] = best;
+            }
+            if improved {
+                for &n in self.graph.neighbors(vertex) {
+                    ctx.send(n, best);
+                }
+            }
+        }
+    }
+
+    fn run_min_label(g: &DataGraph, workers: usize) -> Vec<VertexId> {
+        let prog = MinLabel { graph: g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(workers);
+        let res = run(g.num_vertices(), &p, &prog, &BspConfig::default()).unwrap();
+        assert_eq!(res.worker_states.len(), workers);
+        prog.labels.into_inner()
+    }
+
+    #[test]
+    fn min_label_converges_on_two_components() {
+        // Two triangles: {0,1,2} and {3,4,5}.
+        let g = DataGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
+        let labels = run_min_label(&g, 3);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn min_label_matches_across_worker_counts() {
+        let g = erdos_renyi_gnm(200, 300, 9).unwrap();
+        let base = run_min_label(&g, 1);
+        for k in [2, 4, 7] {
+            assert_eq!(run_min_label(&g, k), base, "worker count {k}");
+        }
+    }
+
+    #[test]
+    fn metrics_account_every_message() {
+        let g = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(2);
+        let res = run(g.num_vertices(), &p, &prog, &BspConfig::default()).unwrap();
+        let m = &res.metrics;
+        assert!(m.superstep_count() >= 2);
+        // Messages consumed in superstep s+1 == messages produced in s.
+        for s in 0..m.superstep_count() - 1 {
+            let out: u64 = m.supersteps[s].workers.iter().map(|w| w.messages_out).sum();
+            let consumed: u64 = m.supersteps[s + 1].workers.iter().map(|w| w.messages_in).sum();
+            assert_eq!(out, consumed, "superstep {s}");
+        }
+        // Final superstep emits nothing.
+        assert_eq!(m.supersteps.last().unwrap().messages_out(), 0);
+        assert!(m.simulated_makespan() > 0);
+        assert!(m.total_cost() >= m.simulated_makespan());
+    }
+
+    /// A program that floods `fanout` messages from every vertex once.
+    struct Flood {
+        fanout: usize,
+        n: usize,
+    }
+
+    impl VertexProgram for Flood {
+        type Message = u8;
+        type WorkerState = u64;
+        type Aggregate = ();
+
+        fn create_worker_state(&self, _worker: usize) -> u64 {
+            0
+        }
+
+        fn compute(&self, ctx: &mut Context<'_, u8>, state: &mut u64, v: VertexId, msgs: Vec<u8>) {
+            *state += msgs.len() as u64;
+            if ctx.superstep() == 0 {
+                for i in 0..self.fanout {
+                    ctx.send(((v as usize + i + 1) % self.n) as VertexId, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_budget_triggers_simulated_oom() {
+        let prog = Flood { fanout: 10, n: 100 };
+        let p = HashPartitioner::new(4);
+        let config = BspConfig { message_budget: Some(500), ..Default::default() };
+        match run(100, &p, &prog, &config) {
+            Err(BspError::MessageBudgetExceeded { superstep: 0, in_flight: 1000, budget: 500 }) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+        // A budget that fits succeeds and delivers all messages.
+        let config = BspConfig { message_budget: Some(1000), ..Default::default() };
+        let res = run(100, &p, &prog, &config).unwrap();
+        assert_eq!(res.worker_states.iter().sum::<u64>(), 1000);
+    }
+
+    struct Panicker;
+
+    impl VertexProgram for Panicker {
+        type Message = ();
+        type WorkerState = ();
+        type Aggregate = ();
+
+        fn create_worker_state(&self, _w: usize) {}
+
+        fn compute(&self, _ctx: &mut Context<'_, ()>, _s: &mut (), v: VertexId, _m: Vec<()>) {
+            if v == 13 {
+                panic!("boom");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained() {
+        let p = HashPartitioner::new(3);
+        match run(20, &p, &Panicker, &BspConfig::default()) {
+            Err(BspError::WorkerPanicked { superstep: 0, worker }) => {
+                assert_eq!(worker, p.owner(13));
+            }
+            other => panic!("expected panic containment, got {other:?}"),
+        }
+    }
+
+    /// Endless ping-pong between vertices 0 and 1.
+    struct PingPong;
+
+    impl VertexProgram for PingPong {
+        type Message = ();
+        type WorkerState = ();
+        type Aggregate = ();
+
+        fn create_worker_state(&self, _w: usize) {}
+
+        fn compute(&self, ctx: &mut Context<'_, ()>, _s: &mut (), v: VertexId, _m: Vec<()>) {
+            if v < 2 {
+                ctx.send(1 - v, ());
+            }
+        }
+    }
+
+    #[test]
+    fn superstep_limit_stops_runaway_programs() {
+        let p = HashPartitioner::new(2);
+        let config = BspConfig { max_supersteps: 5, ..Default::default() };
+        assert!(matches!(
+            run(2, &p, &PingPong, &config),
+            Err(BspError::SuperstepLimitExceeded(5))
+        ));
+    }
+
+    #[test]
+    fn empty_vertex_set_halts_immediately() {
+        let p = HashPartitioner::new(2);
+        let res = run(0, &p, &Panicker, &BspConfig::default()).unwrap();
+        assert_eq!(res.metrics.superstep_count(), 1);
+        assert_eq!(res.metrics.total_messages(), 0);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = BspError::MessageBudgetExceeded { superstep: 2, in_flight: 10, budget: 5 };
+        assert!(e.to_string().contains("out of memory"));
+        let e = BspError::WorkerPanicked { worker: 3, superstep: 1 };
+        assert!(e.to_string().contains("worker 3"));
+    }
+}
+
+#[cfg(test)]
+mod aggregator_tests {
+    use super::*;
+
+    /// Sums active-vertex counts globally; vertices read the previous
+    /// superstep's total.
+    struct CountActive {
+        observed: parking_lot::Mutex<Vec<u64>>,
+    }
+
+    impl VertexProgram for CountActive {
+        type Message = ();
+        type WorkerState = ();
+        type Aggregate = u64;
+
+        fn create_worker_state(&self, _w: usize) {}
+
+        fn merge_aggregates(&self, into: &mut u64, from: u64) {
+            *into += from;
+        }
+
+        fn compute(&self, ctx: &mut Context<'_, (), u64>, _s: &mut (), v: VertexId, _m: Vec<()>) {
+            if v == 0 {
+                self.observed.lock().push(*ctx.prev_aggregate());
+            }
+            *ctx.aggregate_mut() += 1;
+            // Two message-driven rounds: all vertices ping vertex 0 once.
+            if ctx.superstep() == 0 {
+                ctx.send(0, ());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_merge_across_workers_with_pregel_semantics() {
+        let n = 20;
+        let prog = CountActive { observed: parking_lot::Mutex::new(Vec::new()) };
+        let p = psgl_graph::partition::HashPartitioner::new(4);
+        let result = run(n, &p, &prog, &BspConfig::default()).unwrap();
+        // Superstep 0: all 20 vertices active; superstep 1: only vertex 0.
+        assert_eq!(result.final_aggregate, 1);
+        // Vertex 0 saw the default (0) in superstep 0 and the merged 20 in
+        // superstep 1.
+        assert_eq!(*prog.observed.lock(), vec![0, 20]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-worker, per-superstep execution metrics.
+//!
+//! These numbers are the raw material for the paper's evaluation: Figure 5
+//! plots per-worker runtime, Figure 8 plots makespan against worker count,
+//! and Section 4.4's Equation 3 defines the total cost
+//! `T = Σ_s max_k L_{ks}` that the engine reports as
+//! [`EngineMetrics::simulated_makespan`].
+
+use std::time::Duration;
+
+/// Metrics for one worker within one superstep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSuperstepMetrics {
+    /// Vertices the program ran on.
+    pub active_vertices: u64,
+    /// Messages consumed this superstep.
+    pub messages_in: u64,
+    /// Messages produced this superstep.
+    pub messages_out: u64,
+    /// User-reported cost units (PSgL: Equation 2's `load(Gpsi)` sums).
+    pub cost: u64,
+    /// Wall-clock time the worker spent computing.
+    pub elapsed: Duration,
+}
+
+/// Metrics for one superstep across all workers.
+#[derive(Clone, Debug, Default)]
+pub struct SuperstepMetrics {
+    /// Indexed by worker id.
+    pub workers: Vec<WorkerSuperstepMetrics>,
+}
+
+impl SuperstepMetrics {
+    /// Total messages produced in this superstep.
+    pub fn messages_out(&self) -> u64 {
+        self.workers.iter().map(|w| w.messages_out).sum()
+    }
+
+    /// Maximum per-worker cost (the superstep's contribution to Equation
+    /// 3's makespan).
+    pub fn max_cost(&self) -> u64 {
+        self.workers.iter().map(|w| w.cost).max().unwrap_or(0)
+    }
+
+    /// Total cost over all workers.
+    pub fn total_cost(&self) -> u64 {
+        self.workers.iter().map(|w| w.cost).sum()
+    }
+}
+
+/// Metrics for a whole BSP run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    /// One entry per executed superstep.
+    pub supersteps: Vec<SuperstepMetrics>,
+    /// Total wall-clock time of the run (including barriers).
+    pub wall_time: Duration,
+}
+
+impl EngineMetrics {
+    /// Number of supersteps executed.
+    pub fn superstep_count(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Equation 3: `T = Σ_s max_k L_{ks}` — the simulated makespan in cost
+    /// units, hardware-independent.
+    pub fn simulated_makespan(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.max_cost()).sum()
+    }
+
+    /// Total cost across all workers and supersteps (the "work").
+    pub fn total_cost(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.total_cost()).sum()
+    }
+
+    /// Per-worker cost summed over supersteps — Figure 5's x-axis data.
+    pub fn per_worker_cost(&self) -> Vec<u64> {
+        let workers = self.supersteps.first().map_or(0, |s| s.workers.len());
+        let mut totals = vec![0u64; workers];
+        for s in &self.supersteps {
+            for (k, w) in s.workers.iter().enumerate() {
+                totals[k] += w.cost;
+            }
+        }
+        totals
+    }
+
+    /// Total messages exchanged over the run.
+    pub fn total_messages(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.messages_out()).sum()
+    }
+
+    /// Max/mean imbalance of total per-worker cost (1.0 = perfect balance).
+    pub fn cost_imbalance(&self) -> f64 {
+        let per_worker = self.per_worker_cost();
+        let total: u64 = per_worker.iter().sum();
+        if total == 0 || per_worker.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / per_worker.len() as f64;
+        *per_worker.iter().max().unwrap() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wm(cost: u64, mi: u64, mo: u64) -> WorkerSuperstepMetrics {
+        WorkerSuperstepMetrics { cost, messages_in: mi, messages_out: mo, ..Default::default() }
+    }
+
+    #[test]
+    fn makespan_is_sum_of_maxima() {
+        let m = EngineMetrics {
+            supersteps: vec![
+                SuperstepMetrics { workers: vec![wm(10, 0, 5), wm(4, 0, 3)] },
+                SuperstepMetrics { workers: vec![wm(1, 5, 0), wm(7, 3, 0)] },
+            ],
+            wall_time: Duration::ZERO,
+        };
+        assert_eq!(m.simulated_makespan(), 10 + 7);
+        assert_eq!(m.total_cost(), 22);
+        assert_eq!(m.per_worker_cost(), vec![11, 11]);
+        assert_eq!(m.total_messages(), 8);
+        assert_eq!(m.cost_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let m = EngineMetrics {
+            supersteps: vec![SuperstepMetrics { workers: vec![wm(30, 0, 0), wm(10, 0, 0)] }],
+            wall_time: Duration::ZERO,
+        };
+        assert_eq!(m.cost_imbalance(), 1.5);
+    }
+
+    #[test]
+    fn empty_run_is_degenerate_but_safe() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.simulated_makespan(), 0);
+        assert_eq!(m.cost_imbalance(), 1.0);
+        assert!(m.per_worker_cost().is_empty());
+    }
+}

@@ -1,0 +1,505 @@
+//! Partial subgraph instance expansion (Algorithms 1, 2 and 5).
+//!
+//! Expanding a Gpsi at its designated GRAY vertex `v_p` (mapped to data
+//! vertex `v_d`, owned by the executing worker):
+//!
+//! 1. `v_p` turns BLACK; every pattern edge incident to `v_p` is now
+//!    verified *exactly* against `N(v_d)` — GRAY neighbors by membership
+//!    test (Algorithm 2), WHITE neighbors by drawing their candidates from
+//!    `N(v_d)` (Algorithm 5).
+//! 2. Candidates for each WHITE neighbor are pruned by degree, by the
+//!    partial order from automorphism breaking, by injectivity, and — via
+//!    the light-weight edge index — by connectivity to the other GRAY
+//!    neighbors (pruning rules of Section 5.2.3).
+//! 3. New Gpsis are the valid combinations of candidates. Edges checked
+//!    only through the (inexact) index stay *unverified*; a later
+//!    verification-only expansion of an endpoint re-checks them exactly, so
+//!    bloom false positives can never produce a wrong result.
+//! 4. Complete Gpsis (all vertices mapped, all edges verified) are emitted;
+//!    the rest are handed to the distribution strategy, which picks the
+//!    next expanding vertex and thereby the destination worker.
+
+use crate::distribute::{Distributor, GrayCandidate};
+use crate::gpsi::Gpsi;
+use crate::shared::PsglShared;
+use crate::stats::ExpandStats;
+use psgl_graph::partition::HashPartitioner;
+use psgl_graph::VertexId;
+use psgl_pattern::PatternVertex;
+
+/// Hard cap on the candidate-combination fan-out of a single expansion;
+/// used together with the engine-level message budget to fail fast instead
+/// of exhausting memory (the paper's OOM rows).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpandLimits {
+    /// Maximum Gpsis a single expansion may emit (`None` = unbounded).
+    pub max_fanout: Option<u64>,
+}
+
+/// Outcome of expanding one Gpsi.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ExpandOutcome {
+    /// Expansion finished (possibly emitting results / new Gpsis).
+    Done,
+    /// The per-expansion fan-out limit tripped (simulated OOM).
+    FanoutExceeded,
+}
+
+/// Expands `gpsi` on the worker owning `map(gpsi.expanding())`.
+///
+/// New incomplete Gpsis are pushed to `out` (with their next expanding
+/// vertex already chosen by `distributor`); complete instances are passed
+/// to `emit`. Returns the outcome and adds the expansion's cost in
+/// Equation 2 units to `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn expand_gpsi(
+    shared: &PsglShared<'_>,
+    mut gpsi: Gpsi,
+    distributor: &mut Distributor,
+    partitioner: &HashPartitioner,
+    limits: &ExpandLimits,
+    out: &mut Vec<Gpsi>,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> ExpandOutcome {
+    let p = &shared.pattern;
+    let np = p.num_vertices();
+    let vp = gpsi.expanding();
+    let vd = gpsi.map(vp).expect("expanding vertex must be mapped");
+    gpsi.set_black(vp);
+    stats.expanded += 1;
+    let mut cost: u64 = 1; // cost_g: the constant GRAY-verification term
+
+    // --- Algorithm 2: process v_p's pattern neighbors -------------------
+    let mut white: Vec<PatternVertex> = Vec::new();
+    for v2 in p.neighbors(vp) {
+        if gpsi.is_black(v2) {
+            // Edge verified when v2 was expanded (BLACK invariant).
+            debug_assert!(gpsi.is_verified(shared.edge_ids.get(vp, v2).unwrap()));
+        } else if gpsi.is_mapped(v2) {
+            // GRAY: exact membership test in the local adjacency of v_d.
+            let vd2 = gpsi.map(v2).unwrap();
+            if shared.graph.neighbors(vd).binary_search(&vd2).is_err() {
+                stats.died_gray_check += 1;
+                stats.cost += cost;
+                return ExpandOutcome::Done;
+            }
+            gpsi.set_verified(shared.edge_ids.get(vp, v2).unwrap());
+        } else {
+            white.push(v2);
+        }
+    }
+
+    // --- Algorithm 5: candidate sets for WHITE neighbors ----------------
+    // candidates[i] holds the valid data vertices for white[i].
+    let mut candidates: Vec<Vec<VertexId>> = Vec::with_capacity(white.len());
+    for &wv in &white {
+        cost += u64::from(shared.graph.degree(vd)); // neighborhood scan
+        let mut cands: Vec<VertexId> = Vec::new();
+        'cand: for &cd in shared.graph.neighbors(vd) {
+            // Injectivity against already-mapped data vertices.
+            if gpsi.uses_data_vertex(cd, np) {
+                stats.pruned_injectivity += 1;
+                continue;
+            }
+            // Pruning rule 1a: degree.
+            if shared.graph.degree(cd) < p.degree(wv) {
+                stats.pruned_degree += 1;
+                continue;
+            }
+            // Labeled matching: candidate must carry the pattern label.
+            if !shared.label_ok(wv, cd) {
+                stats.pruned_label += 1;
+                continue;
+            }
+            // Pruning rule 1b: partial order vs every mapped vertex.
+            for up in p_mapped_vertices(&gpsi, np) {
+                let ud = gpsi.map(up).unwrap();
+                if shared.order.requires_less(wv, up) && !shared.ordered.less(cd, ud) {
+                    stats.pruned_order += 1;
+                    continue 'cand;
+                }
+                if shared.order.requires_less(up, wv) && !shared.ordered.less(ud, cd) {
+                    stats.pruned_order += 1;
+                    continue 'cand;
+                }
+            }
+            // Pruning rule 2: connectivity to GRAY pattern neighbors of wv
+            // through the light-weight index (skip entirely when the index
+            // is disabled — the exact check is remote and therefore the
+            // very thing the index exists to avoid).
+            for v3 in p.neighbors(wv) {
+                if v3 != vp && gpsi.is_mapped(v3) {
+                    let vd3 = gpsi.map(v3).unwrap();
+                    stats.index_probes += 1;
+                    if let Some(false) = shared.index_check(cd, vd3) {
+                        stats.pruned_connectivity += 1;
+                        continue 'cand;
+                    }
+                }
+            }
+            cands.push(cd);
+        }
+        if cands.is_empty() {
+            stats.died_no_candidates += 1;
+            stats.cost += cost;
+            return ExpandOutcome::Done;
+        }
+        candidates.push(cands);
+    }
+
+    // --- combine candidates into new Gpsis -------------------------------
+    let examined_before = stats.combinations_examined;
+    let mut chosen: Vec<VertexId> = vec![0; white.len()];
+    let generated = combine(
+        shared,
+        &gpsi,
+        &white,
+        &candidates,
+        0,
+        &mut chosen,
+        distributor,
+        partitioner,
+        limits,
+        out,
+        emit,
+        stats,
+    );
+    match generated {
+        Ok(count) => {
+            cost += count; // c_e per generated Gpsi
+            cost += stats.combinations_examined - examined_before; // enumeration work
+            stats.cost += cost;
+            ExpandOutcome::Done
+        }
+        Err(()) => {
+            cost += stats.combinations_examined - examined_before;
+            stats.cost += cost;
+            ExpandOutcome::FanoutExceeded
+        }
+    }
+}
+
+/// Vertices currently mapped in `gpsi`.
+fn p_mapped_vertices(gpsi: &Gpsi, np: usize) -> impl Iterator<Item = PatternVertex> + '_ {
+    (0..np as PatternVertex).filter(move |&v| gpsi.is_mapped(v))
+}
+
+/// Depth-first cartesian product over candidate lists with the new-vs-new
+/// checks (injectivity, partial order, pattern edges via the index).
+/// Returns the number of Gpsis generated, or `Err(())` when the fan-out
+/// limit trips.
+#[allow(clippy::too_many_arguments)]
+fn combine(
+    shared: &PsglShared<'_>,
+    base: &Gpsi,
+    white: &[PatternVertex],
+    candidates: &[Vec<VertexId>],
+    depth: usize,
+    chosen: &mut Vec<VertexId>,
+    distributor: &mut Distributor,
+    partitioner: &HashPartitioner,
+    limits: &ExpandLimits,
+    out: &mut Vec<Gpsi>,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> Result<u64, ()> {
+    if depth == white.len() {
+        finalize_combination(shared, base, white, chosen, distributor, partitioner, out, emit, stats);
+        return Ok(1);
+    }
+    let mut generated = 0u64;
+    'cand: for &cd in &candidates[depth] {
+        // Each examined combination-prefix is real enumeration work, even
+        // when a pruning rule rejects it — charging it is what makes the
+        // cost metric track the paper's f(v_p) ≈ C(deg(v_d), w_vp) bound
+        // (and the initial-vertex gaps of Figure 6 measurable).
+        stats.combinations_examined += 1;
+        // New-vs-new injectivity.
+        if chosen[..depth].contains(&cd) {
+            stats.pruned_injectivity += 1;
+            continue;
+        }
+        let wv = white[depth];
+        for (i, &prev) in chosen[..depth].iter().enumerate() {
+            let pv = white[i];
+            // New-vs-new partial order.
+            if shared.order.requires_less(wv, pv) && !shared.ordered.less(cd, prev) {
+                stats.pruned_order += 1;
+                continue 'cand;
+            }
+            if shared.order.requires_less(pv, wv) && !shared.ordered.less(prev, cd) {
+                stats.pruned_order += 1;
+                continue 'cand;
+            }
+            // New-vs-new pattern edge through the index.
+            if shared.pattern.has_edge(wv, pv) {
+                stats.index_probes += 1;
+                if let Some(false) = shared.index_check(cd, prev) {
+                    stats.pruned_connectivity += 1;
+                    continue 'cand;
+                }
+            }
+        }
+        chosen[depth] = cd;
+        generated += combine(
+            shared,
+            base,
+            white,
+            candidates,
+            depth + 1,
+            chosen,
+            distributor,
+            partitioner,
+            limits,
+            out,
+            emit,
+            stats,
+        )?;
+        if let Some(max) = limits.max_fanout {
+            if generated > max {
+                return Err(());
+            }
+        }
+    }
+    Ok(generated)
+}
+
+/// Builds one new Gpsi from a full candidate combination, emits it if
+/// complete, otherwise routes it through the distribution strategy.
+#[allow(clippy::too_many_arguments)]
+fn finalize_combination(
+    shared: &PsglShared<'_>,
+    base: &Gpsi,
+    white: &[PatternVertex],
+    chosen: &[VertexId],
+    distributor: &mut Distributor,
+    partitioner: &HashPartitioner,
+    out: &mut Vec<Gpsi>,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) {
+    let p = &shared.pattern;
+    let np = p.num_vertices();
+    let mut g = *base;
+    let vp = base.expanding();
+    for (i, &wv) in white.iter().enumerate() {
+        g.assign(wv, chosen[i]);
+        // The edge (v_p, wv) is exact: the candidate came from N(v_d).
+        g.set_verified(shared.edge_ids.get(vp, wv).unwrap());
+    }
+    stats.generated += 1;
+    if g.is_complete(p, shared.edge_ids.all_mask()) {
+        stats.results += 1;
+        emit(&g);
+        return;
+    }
+    // Useful GRAYs: those with WHITE neighbors or unverified incident edges.
+    let mut grays: Vec<GrayCandidate> = Vec::new();
+    for gv in 0..np as PatternVertex {
+        if !g.is_gray(gv) {
+            continue;
+        }
+        let mut useful = false;
+        let mut white_neighbors = 0u32;
+        for nv in p.neighbors(gv) {
+            if !g.is_mapped(nv) {
+                white_neighbors += 1;
+                useful = true;
+            } else if !g.is_verified(shared.edge_ids.get(gv, nv).unwrap()) {
+                useful = true;
+            }
+        }
+        if useful {
+            let vd = g.map(gv).unwrap();
+            grays.push(GrayCandidate {
+                vp: gv,
+                vd,
+                degree: shared.graph.degree(vd),
+                white_neighbors,
+            });
+        }
+    }
+    debug_assert!(
+        !grays.is_empty(),
+        "incomplete Gpsi must have a useful GRAY vertex: {g:?}"
+    );
+    let pick = distributor.choose(&grays, partitioner);
+    g.set_expanding(grays[pick].vp);
+    out.push(g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::Strategy;
+    use crate::PsglConfig;
+    use psgl_graph::DataGraph;
+    use psgl_pattern::catalog;
+
+    /// Fully expands all Gpsis breadth-first on a single logical worker and
+    /// returns the listed instances (driver used by unit tests only; the
+    /// real driver is the BSP runner).
+    fn list_all(g: &DataGraph, pattern: &psgl_pattern::Pattern) -> Vec<Vec<VertexId>> {
+        let config = PsglConfig::default();
+        let shared = PsglShared::prepare(g, pattern, &config).unwrap();
+        let partitioner = HashPartitioner::new(1);
+        let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut stats = ExpandStats::default();
+        let mut results = Vec::new();
+        let mut queue: Vec<Gpsi> = g
+            .vertices()
+            .filter(|&v| g.degree(v) >= pattern.degree(shared.init_vertex))
+            .map(|v| Gpsi::initial(shared.init_vertex, v))
+            .collect();
+        while let Some(gpsi) = queue.pop() {
+            let mut out = Vec::new();
+            let outcome = expand_gpsi(
+                &shared,
+                gpsi,
+                &mut distributor,
+                &partitioner,
+                &ExpandLimits::default(),
+                &mut out,
+                &mut |done| results.push(done.instance(pattern.num_vertices())),
+                &mut stats,
+            );
+            assert_eq!(outcome, ExpandOutcome::Done);
+            queue.extend(out);
+        }
+        results
+    }
+
+    /// K4 data graph: every 3-subset is a triangle (4 triangles), one
+    /// 4-clique, three squares.
+    fn k4() -> DataGraph {
+        DataGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn triangles_in_k4() {
+        let res = list_all(&k4(), &catalog::triangle());
+        assert_eq!(res.len(), 4);
+        // Every instance must be a real triangle with distinct vertices.
+        for inst in &res {
+            let g = k4();
+            assert!(g.has_edge(inst[0], inst[1]));
+            assert!(g.has_edge(inst[1], inst[2]));
+            assert!(g.has_edge(inst[0], inst[2]));
+            let mut s = inst.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 3);
+        }
+        // No duplicates across automorphic variants.
+        let mut keys: Vec<Vec<VertexId>> = res
+            .iter()
+            .map(|i| {
+                let mut k = i.clone();
+                k.sort_unstable();
+                k
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn squares_and_cliques_in_k4() {
+        assert_eq!(list_all(&k4(), &catalog::square()).len(), 3);
+        assert_eq!(list_all(&k4(), &catalog::four_clique()).len(), 1);
+    }
+
+    #[test]
+    fn single_edge_pattern_lists_each_edge_once() {
+        let g = DataGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let res = list_all(&g, &catalog::path(2));
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn paths_in_triangle() {
+        // Path of 3 vertices in a triangle: 3 (one per middle vertex).
+        let g = DataGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(list_all(&g, &catalog::path(3)).len(), 3);
+    }
+
+    #[test]
+    fn no_results_on_sparse_graph() {
+        let g = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(list_all(&g, &catalog::triangle()).is_empty());
+        assert!(list_all(&g, &catalog::square()).is_empty());
+    }
+
+    #[test]
+    fn house_count_on_crafted_graph() {
+        // Build a graph that contains exactly one house: square 0-1-2-3
+        // plus apex 4 on edge 1-2 ... vertices {0,1,2,3,4}, edges of the
+        // square (0,1),(1,2),(2,3),(3,0), apex (4,1),(4,2).
+        let g = DataGraph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 1), (4, 2)],
+        )
+        .unwrap();
+        let res = list_all(&g, &catalog::house());
+        assert_eq!(res.len(), 1, "exactly one house: {res:?}");
+    }
+
+    #[test]
+    fn fanout_limit_trips() {
+        // A star with 30 leaves: expanding a 2-white-neighbor pattern at
+        // the hub generates C(30,2)-ish combinations.
+        let edges: Vec<(u32, u32)> = (1..=30).map(|i| (0, i)).collect();
+        let g = DataGraph::from_edges(31, &edges).unwrap();
+        let pattern = catalog::path(3); // middle vertex has two WHITE slots
+        let config = PsglConfig::default();
+        let shared = PsglShared::prepare(&g, &pattern, &config).unwrap();
+        let partitioner = HashPartitioner::new(1);
+        let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut stats = ExpandStats::default();
+        // Start at the path's middle vertex mapped to the hub.
+        let middle = pattern
+            .vertices()
+            .find(|&v| pattern.degree(v) == 2)
+            .unwrap();
+        let gpsi = Gpsi::initial(middle, 0);
+        let mut out = Vec::new();
+        let outcome = expand_gpsi(
+            &shared,
+            gpsi,
+            &mut distributor,
+            &partitioner,
+            &ExpandLimits { max_fanout: Some(10) },
+            &mut out,
+            &mut |_| {},
+            &mut stats,
+        );
+        assert_eq!(outcome, ExpandOutcome::FanoutExceeded);
+    }
+
+    #[test]
+    fn stats_track_pruning() {
+        let g = k4();
+        let pattern = catalog::triangle();
+        let config = PsglConfig::default();
+        let shared = PsglShared::prepare(&g, &pattern, &config).unwrap();
+        let partitioner = HashPartitioner::new(1);
+        let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut stats = ExpandStats::default();
+        let mut out = Vec::new();
+        expand_gpsi(
+            &shared,
+            Gpsi::initial(0, 0),
+            &mut distributor,
+            &partitioner,
+            &ExpandLimits::default(),
+            &mut out,
+            &mut |_| {},
+            &mut stats,
+        );
+        assert_eq!(stats.expanded, 1);
+        assert!(stats.generated > 0);
+        assert!(stats.cost > 0);
+    }
+}

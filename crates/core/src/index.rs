@@ -1,0 +1,168 @@
+//! The light-weight edge index (Section 5.2.3).
+//!
+//! Checking whether an edge exists between two *remote* data vertices is
+//! expensive in a distributed setting, so PSgL builds an inexact,
+//! bloom-filter-based index over the edge set: `O(m)` build time, small
+//! memory footprint, adjustable precision, **no false negatives**. The
+//! index answers "might `{u, v}` be an edge?" during candidate generation
+//! (pruning rule 2 of Algorithm 5); surviving false positives are caught by
+//! the exact neighborhood check when an endpoint is later expanded.
+
+use psgl_graph::hash::hash_u64;
+use psgl_graph::{DataGraph, VertexId};
+
+/// Bloom filter over the undirected edge set of a data graph.
+#[derive(Clone, Debug)]
+pub struct EdgeIndex {
+    bits: Vec<u64>,
+    /// Bit-array length (power of two).
+    mask: u64,
+    /// Number of hash probes per key.
+    hashes: u32,
+    /// Number of edges indexed (for stats).
+    edges: u64,
+}
+
+impl EdgeIndex {
+    /// Builds the index with roughly `bits_per_edge` filter bits per edge
+    /// (the paper's "adjustable precision" knob; 8 bits/edge ≈ 2% false
+    /// positives with 4 hashes, 12 ≈ 0.5%).
+    pub fn build(g: &DataGraph, bits_per_edge: usize) -> EdgeIndex {
+        let m = g.num_edges().max(1);
+        let requested = m as u128 * bits_per_edge.max(1) as u128;
+        let len_bits = requested.next_power_of_two().max(64) as u64;
+        // Optimal probe count k = ln 2 · bits/edge, clamped to [1, 8].
+        let hashes = ((bits_per_edge as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 8);
+        let mut index = EdgeIndex {
+            bits: vec![0u64; (len_bits / 64) as usize],
+            mask: len_bits - 1,
+            hashes,
+            edges: g.num_edges(),
+        };
+        for (u, v) in g.edges() {
+            index.insert(u, v);
+        }
+        index
+    }
+
+    fn key(u: VertexId, v: VertexId) -> u64 {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        (u64::from(a) << 32) | u64::from(b)
+    }
+
+    fn insert(&mut self, u: VertexId, v: VertexId) {
+        let key = Self::key(u, v);
+        let h1 = hash_u64(key);
+        let h2 = hash_u64(key ^ 0xdead_beef_cafe_f00d) | 1; // odd => full cycle
+        for i in 0..self.hashes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.mask;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Whether `{u, v}` *might* be an edge. `false` is definitive
+    /// (no false negatives); `true` may be a false positive.
+    #[inline]
+    pub fn may_contain(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = Self::key(u, v);
+        let h1 = hash_u64(key);
+        let h2 = hash_u64(key ^ 0xdead_beef_cafe_f00d) | 1;
+        for i in 0..self.hashes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & self.mask;
+            if self.bits[(bit / 64) as usize] >> (bit % 64) & 1 == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Memory footprint of the filter in bytes (the paper quotes 2 GB for
+    /// Twitter's 1.2B edges; at 12 bits/edge ours would be 1.8 GB — same
+    /// ballpark).
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Number of edges indexed.
+    pub fn num_edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Measures the false-positive rate empirically by probing `samples`
+    /// uniformly random non-edges.
+    pub fn measured_fpr(&self, g: &DataGraph, samples: usize, seed: u64) -> f64 {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = g.num_vertices() as VertexId;
+        if n < 2 {
+            return 0.0;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fp = 0usize;
+        let mut tested = 0usize;
+        while tested < samples {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v || g.has_edge(u, v) {
+                continue;
+            }
+            tested += 1;
+            if self.may_contain(u, v) {
+                fp += 1;
+            }
+        }
+        fp as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psgl_graph::generators::erdos_renyi_gnm;
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let g = erdos_renyi_gnm(300, 1_000, 3).unwrap();
+        let idx = EdgeIndex::build(&g, 8);
+        for (u, v) in g.edges() {
+            assert!(idx.may_contain(u, v), "missing edge {u}-{v}");
+            assert!(idx.may_contain(v, u), "asymmetric lookup {v}-{u}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_tracks_bits_per_edge() {
+        let g = erdos_renyi_gnm(2_000, 20_000, 5).unwrap();
+        let coarse = EdgeIndex::build(&g, 4).measured_fpr(&g, 20_000, 1);
+        let fine = EdgeIndex::build(&g, 16).measured_fpr(&g, 20_000, 1);
+        assert!(coarse < 0.35, "4 bits/edge fpr {coarse}");
+        assert!(fine < 0.01, "16 bits/edge fpr {fine}");
+        assert!(fine < coarse);
+    }
+
+    #[test]
+    fn self_loops_are_never_contained() {
+        let g = erdos_renyi_gnm(50, 100, 7).unwrap();
+        let idx = EdgeIndex::build(&g, 8);
+        assert!(!idx.may_contain(3, 3));
+    }
+
+    #[test]
+    fn memory_scales_with_edges() {
+        let small = EdgeIndex::build(&erdos_renyi_gnm(100, 200, 1).unwrap(), 8);
+        let large = EdgeIndex::build(&erdos_renyi_gnm(1_000, 20_000, 1).unwrap(), 8);
+        assert!(large.memory_bytes() > small.memory_bytes());
+        assert_eq!(small.num_edges(), 200);
+    }
+
+    #[test]
+    fn empty_graph_index_is_valid() {
+        let g = psgl_graph::DataGraph::from_edges(3, &[]).unwrap();
+        let idx = EdgeIndex::build(&g, 8);
+        assert!(!idx.may_contain(0, 1));
+        assert_eq!(idx.num_edges(), 0);
+    }
+}

@@ -1,0 +1,630 @@
+//! The BSP vertex program driving a PSgL run (Section 6).
+//!
+//! Both phases of the framework live in a single vertex program, exactly as
+//! in the paper's Giraph implementation: superstep 0 executes the
+//! *initialization phase* (each data vertex creates the initial Gpsi
+//! mapping the selected initial pattern vertex to itself), and every later
+//! superstep executes the *expansion phase* (Algorithm 1) on the Gpsis that
+//! arrived as messages.
+
+use crate::config::PsglConfig;
+use crate::distribute::Distributor;
+use crate::expand::{expand_gpsi, ExpandLimits, ExpandOutcome};
+use crate::gpsi::Gpsi;
+use crate::init_vertex::SelectionRule;
+use crate::shared::{PsglError, PsglShared};
+use crate::stats::{ExpandStats, RunStats};
+use psgl_bsp::{BspConfig, Context, VertexProgram};
+use psgl_graph::hash::hash_u64;
+use psgl_graph::partition::HashPartitioner;
+use psgl_graph::VertexId;
+use psgl_pattern::Pattern;
+
+/// Result of a listing run.
+#[derive(Clone, Debug)]
+pub struct ListingResult {
+    /// Number of subgraph instances found.
+    pub instance_count: u64,
+    /// The instances themselves (pattern-vertex order), present iff
+    /// [`PsglConfig::collect_instances`]; sorted for deterministic
+    /// comparison.
+    pub instances: Option<Vec<Vec<VertexId>>>,
+    /// Run statistics (Gpsi counts, pruning breakdown, per-worker loads).
+    pub stats: RunStats,
+    /// The initial pattern vertex that was used.
+    pub init_vertex: psgl_pattern::PatternVertex,
+    /// How it was selected.
+    pub selection_rule: SelectionRule,
+}
+
+/// What each worker keeps of the instances it finds.
+enum Harvest {
+    /// Count only (the paper's default output: occurrence numbers).
+    CountOnly,
+    /// Collect the vertex tuples ([`PsglConfig::collect_instances`]).
+    Instances(Vec<Vec<VertexId>>),
+    /// Per-data-vertex participation counts (local motif counts).
+    PerVertex(Vec<u64>),
+}
+
+/// Per-worker mutable state.
+pub struct WorkerState {
+    distributor: Distributor,
+    stats: ExpandStats,
+    harvest: Harvest,
+    /// Messages this worker has emitted in the current superstep; compared
+    /// against the Gpsi budget *during* the superstep so a simulated OOM
+    /// aborts before the outboxes exhaust real memory.
+    emitted_this_superstep: u64,
+    /// Superstep `emitted_this_superstep` refers to.
+    emitted_superstep: u32,
+    /// Set when a fan-out limit trips; the worker drains remaining
+    /// messages without expanding (simulated OOM abort).
+    failed: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum HarvestMode {
+    CountOnly,
+    Instances,
+    PerVertex,
+}
+
+struct PsglProgram<'a> {
+    shared: &'a PsglShared<'a>,
+    config: &'a PsglConfig,
+    limits: ExpandLimits,
+    harvest_mode: HarvestMode,
+}
+
+impl VertexProgram for PsglProgram<'_> {
+    type Message = Gpsi;
+    type WorkerState = WorkerState;
+    type Aggregate = ();
+
+    fn create_worker_state(&self, worker: usize) -> WorkerState {
+        WorkerState {
+            distributor: Distributor::new(
+                self.config.strategy,
+                self.config.workers,
+                hash_u64(self.config.seed ^ (worker as u64).wrapping_mul(0x9e37)),
+            ),
+            stats: ExpandStats::default(),
+            harvest: match self.harvest_mode {
+                HarvestMode::CountOnly => Harvest::CountOnly,
+                HarvestMode::Instances => Harvest::Instances(Vec::new()),
+                HarvestMode::PerVertex => {
+                    Harvest::PerVertex(vec![0; self.shared.graph.num_vertices()])
+                }
+            },
+            emitted_this_superstep: 0,
+            emitted_superstep: 0,
+            failed: false,
+        }
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, Gpsi>,
+        state: &mut WorkerState,
+        vertex: VertexId,
+        messages: Vec<Gpsi>,
+    ) {
+        if state.failed {
+            return; // drain mode after a simulated OOM
+        }
+        if ctx.superstep() == 0 {
+            // Initialization phase: one Gpsi per data vertex that passes
+            // the degree prune for the initial pattern vertex.
+            let init = self.shared.init_vertex;
+            if self.shared.graph.degree(vertex) >= self.shared.pattern.degree(init)
+                && self.shared.label_ok(init, vertex)
+            {
+                ctx.add_cost(1);
+                ctx.send(vertex, Gpsi::initial(init, vertex));
+            }
+            return;
+        }
+        if state.emitted_superstep != ctx.superstep() {
+            state.emitted_superstep = ctx.superstep();
+            state.emitted_this_superstep = 0;
+        }
+        let WorkerState { distributor, stats, harvest, emitted_this_superstep, failed, .. } =
+            state;
+        let np = self.shared.pattern.num_vertices();
+        let mut out: Vec<Gpsi> = Vec::new();
+        for gpsi in messages {
+            let before = stats.cost;
+            let outcome = expand_gpsi(
+                self.shared,
+                gpsi,
+                distributor,
+                ctx.partitioner(),
+                &self.limits,
+                &mut out,
+                &mut |done| match harvest {
+                    Harvest::CountOnly => {}
+                    Harvest::Instances(buf) => buf.push(done.instance(np)),
+                    Harvest::PerVertex(counts) => {
+                        for &vd in done.mapping(np) {
+                            counts[vd as usize] += 1;
+                        }
+                    }
+                },
+                stats,
+            );
+            ctx.add_cost(stats.cost - before);
+            if outcome == ExpandOutcome::FanoutExceeded {
+                *failed = true;
+                return;
+            }
+            *emitted_this_superstep += out.len() as u64;
+            if let Some(budget) = self.config.gpsi_budget {
+                // One worker's single-superstep output alone exceeding the
+                // global budget guarantees the barrier check would fail;
+                // abort now instead of materializing the rest.
+                if *emitted_this_superstep > budget {
+                    *failed = true;
+                    return;
+                }
+            }
+            for g in out.drain(..) {
+                let dest = g.map(g.expanding()).expect("expanding vertex is mapped");
+                ctx.send(dest, g);
+            }
+        }
+    }
+}
+
+/// Runs a full PSgL listing of `pattern` in `graph`.
+///
+/// Performs the offline preparation (ordering, automorphism breaking, edge
+/// index, initial-vertex selection) and then the BSP run. Use
+/// [`list_subgraphs_prepared`] to amortize preparation across several runs.
+pub fn list_subgraphs(
+    graph: &psgl_graph::DataGraph,
+    pattern: &Pattern,
+    config: &PsglConfig,
+) -> Result<ListingResult, PsglError> {
+    let shared = PsglShared::prepare(graph, pattern, config)?;
+    list_subgraphs_prepared(&shared, config)
+}
+
+/// Runs the BSP phase against an already-prepared shared context.
+pub fn list_subgraphs_prepared(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+) -> Result<ListingResult, PsglError> {
+    let mode =
+        if config.collect_instances { HarvestMode::Instances } else { HarvestMode::CountOnly };
+    let (mut result, worker_states) = run_engine(shared, config, mode)?;
+    if config.collect_instances {
+        let mut buf = Vec::new();
+        for ws in worker_states {
+            if let Harvest::Instances(mut found) = ws.harvest {
+                buf.append(&mut found);
+            }
+        }
+        buf.sort_unstable();
+        result.instances = Some(buf);
+    }
+    Ok(result)
+}
+
+/// Lists all *label-consistent* instances of `pattern` in `graph`
+/// (Section 2's subgraph-matching generalization: each pattern vertex may
+/// only map to data vertices carrying the same label). With uniform labels
+/// this equals [`list_subgraphs`].
+pub fn list_subgraphs_labeled(
+    graph: &psgl_graph::DataGraph,
+    pattern: &Pattern,
+    data_labels: Vec<psgl_pattern::labeled::Label>,
+    pattern_labels: Vec<psgl_pattern::labeled::Label>,
+    config: &PsglConfig,
+) -> Result<ListingResult, PsglError> {
+    let shared =
+        PsglShared::prepare_labeled(graph, pattern, config, data_labels, pattern_labels)?;
+    list_subgraphs_prepared(&shared, config)
+}
+
+/// Counts, for every data vertex, the number of subgraph instances it
+/// participates in — e.g. with the triangle pattern this yields local
+/// triangle counts, the ingredient of per-vertex clustering coefficients
+/// (Section 1's motivating application).
+///
+/// An instance containing vertex `v` in `k` positions contributes `k`
+/// (positions are distinct, so `k` is 0 or 1); the counts therefore sum to
+/// `instance_count * |Vp|`.
+pub fn count_per_vertex(
+    graph: &psgl_graph::DataGraph,
+    pattern: &Pattern,
+    config: &PsglConfig,
+) -> Result<(Vec<u64>, ListingResult), PsglError> {
+    let shared = PsglShared::prepare(graph, pattern, config)?;
+    let (result, worker_states) = run_engine(&shared, config, HarvestMode::PerVertex)?;
+    let mut totals = vec![0u64; graph.num_vertices()];
+    for ws in worker_states {
+        if let Harvest::PerVertex(counts) = ws.harvest {
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+    }
+    Ok((totals, result))
+}
+
+/// Shared engine driver: runs the BSP phase and assembles the result
+/// skeleton; harvest-specific data is extracted by the callers from the
+/// returned worker states.
+fn run_engine(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+    harvest_mode: HarvestMode,
+) -> Result<(ListingResult, Vec<WorkerState>), PsglError> {
+    let partitioner = HashPartitioner::with_salt(config.workers, hash_u64(config.seed));
+    let program = PsglProgram {
+        shared,
+        config,
+        limits: ExpandLimits { max_fanout: config.max_fanout },
+        harvest_mode,
+    };
+    let bsp_config = BspConfig {
+        max_supersteps: config.max_supersteps,
+        // The per-worker budget also bounds the global in-flight volume.
+        message_budget: config.gpsi_budget.map(|b| b.saturating_mul(config.workers as u64)),
+    };
+    let result = psgl_bsp::run(shared.graph.num_vertices(), &partitioner, &program, &bsp_config)
+        .map_err(|e| match e {
+            // Report the configured per-worker budget, not the engine's
+            // global derived one.
+            psgl_bsp::BspError::MessageBudgetExceeded { in_flight, .. } => {
+                PsglError::OutOfMemory { in_flight, budget: config.gpsi_budget.unwrap_or(0) }
+            }
+            other => PsglError::Engine(other),
+        })?;
+    let mut expand = ExpandStats::default();
+    for ws in &result.worker_states {
+        expand.merge(&ws.stats);
+        if ws.failed {
+            return Err(PsglError::OutOfMemory {
+                in_flight: expand.generated,
+                budget: config.max_fanout.unwrap_or(0),
+            });
+        }
+    }
+    let metrics = &result.metrics;
+    let listing = ListingResult {
+        instance_count: expand.results,
+        instances: None,
+        stats: RunStats {
+            expand,
+            per_worker_cost: metrics.per_worker_cost(),
+            simulated_makespan: metrics.simulated_makespan(),
+            supersteps: metrics.superstep_count(),
+            messages: metrics.total_messages(),
+            wall_time: metrics.wall_time,
+            cost_imbalance: metrics.cost_imbalance(),
+        },
+        init_vertex: shared.init_vertex,
+        selection_rule: shared.selection_rule,
+    };
+    Ok((listing, result.worker_states))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::Strategy;
+    use psgl_graph::generators::{chung_lu, erdos_renyi_gnm};
+    use psgl_graph::DataGraph;
+    use psgl_pattern::catalog;
+
+    fn k4() -> DataGraph {
+        DataGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn counts_on_k4_match_hand_counts() {
+        let g = k4();
+        let c = PsglConfig::with_workers(2);
+        assert_eq!(list_subgraphs(&g, &catalog::triangle(), &c).unwrap().instance_count, 4);
+        assert_eq!(list_subgraphs(&g, &catalog::square(), &c).unwrap().instance_count, 3);
+        assert_eq!(list_subgraphs(&g, &catalog::four_clique(), &c).unwrap().instance_count, 1);
+        assert_eq!(list_subgraphs(&g, &catalog::tailed_triangle(), &c).unwrap().instance_count, 12);
+    }
+
+    #[test]
+    fn counts_invariant_across_strategies_and_workers() {
+        let g = erdos_renyi_gnm(150, 900, 11).unwrap();
+        let reference = list_subgraphs(&g, &catalog::triangle(), &PsglConfig::with_workers(1))
+            .unwrap()
+            .instance_count;
+        assert!(reference > 0, "dense-ish ER graph should contain triangles");
+        for (_, strategy) in Strategy::paper_variants() {
+            for workers in [2, 5] {
+                let c = PsglConfig::with_workers(workers).strategy(strategy);
+                let got = list_subgraphs(&g, &catalog::triangle(), &c).unwrap().instance_count;
+                assert_eq!(got, reference, "{strategy:?} x {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn collected_instances_are_valid_and_distinct() {
+        let g = erdos_renyi_gnm(80, 400, 3).unwrap();
+        let c = PsglConfig::with_workers(3).collect(true);
+        let res = list_subgraphs(&g, &catalog::triangle(), &c).unwrap();
+        let instances = res.instances.unwrap();
+        assert_eq!(instances.len() as u64, res.instance_count);
+        let mut keys: Vec<Vec<u32>> = instances
+            .iter()
+            .map(|i| {
+                let mut k = i.clone();
+                k.sort_unstable();
+                k
+            })
+            .collect();
+        for (inst, key) in instances.iter().zip(&keys) {
+            assert!(g.has_edge(inst[0], inst[1]));
+            assert!(g.has_edge(inst[1], inst[2]));
+            assert!(g.has_edge(inst[0], inst[2]));
+            assert_eq!(key.windows(2).filter(|w| w[0] == w[1]).count(), 0);
+        }
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), instances.len(), "duplicate instances listed");
+    }
+
+    #[test]
+    fn index_off_still_correct_but_generates_more_gpsis() {
+        let g = chung_lu(400, 8.0, 2.2, 5).unwrap();
+        let with = list_subgraphs(&g, &catalog::square(), &PsglConfig::with_workers(2)).unwrap();
+        let without = list_subgraphs(
+            &g,
+            &catalog::square(),
+            &PsglConfig::with_workers(2).edge_index(false),
+        )
+        .unwrap();
+        assert_eq!(with.instance_count, without.instance_count);
+        assert!(
+            without.stats.expand.generated >= with.stats.expand.generated,
+            "index must not increase Gpsi volume ({} vs {})",
+            without.stats.expand.generated,
+            with.stats.expand.generated
+        );
+    }
+
+    #[test]
+    fn gpsi_budget_reports_simulated_oom() {
+        let g = chung_lu(500, 10.0, 1.8, 6).unwrap();
+        let c = PsglConfig { gpsi_budget: Some(10), ..PsglConfig::with_workers(2) };
+        match list_subgraphs(&g, &catalog::square(), &c) {
+            Err(PsglError::OutOfMemory { in_flight, budget: 10 }) => assert!(in_flight > 10),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fanout_limit_reports_simulated_oom() {
+        let edges: Vec<(u32, u32)> = (1..=40).map(|i| (0, i)).collect();
+        let g = DataGraph::from_edges(41, &edges).unwrap();
+        let c = PsglConfig { max_fanout: Some(5), ..PsglConfig::with_workers(2) };
+        assert!(matches!(
+            list_subgraphs(&g, &catalog::star(2), &c),
+            Err(PsglError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn superstep_count_obeys_theorem_1_upper_bound() {
+        // S ≤ |Vp| - 1 expansion supersteps; plus the initialization
+        // superstep and the final empty superstep in our engine accounting.
+        let g = erdos_renyi_gnm(100, 500, 8).unwrap();
+        for p in catalog::paper_patterns() {
+            let res = list_subgraphs(&g, &p, &PsglConfig::with_workers(2)).unwrap();
+            let expansion_steps = res.stats.supersteps.saturating_sub(2);
+            assert!(
+                expansion_steps <= p.num_vertices(),
+                "{p:?}: {expansion_steps} expansion supersteps"
+            );
+        }
+    }
+
+    #[test]
+    fn single_vertex_pattern_counts_vertices() {
+        let g = erdos_renyi_gnm(50, 100, 4).unwrap();
+        let res = list_subgraphs(&g, &catalog::path(1), &PsglConfig::with_workers(2)).unwrap();
+        assert_eq!(res.instance_count, 50);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = chung_lu(300, 6.0, 2.0, 9).unwrap();
+        let c = PsglConfig::with_workers(3).strategy(Strategy::Random).seed(5);
+        let a = list_subgraphs(&g, &catalog::square(), &c).unwrap();
+        let b = list_subgraphs(&g, &catalog::square(), &c).unwrap();
+        assert_eq!(a.instance_count, b.instance_count);
+        assert_eq!(a.stats.per_worker_cost, b.stats.per_worker_cost);
+        assert_eq!(a.stats.messages, b.stats.messages);
+    }
+
+    #[test]
+    fn clique_listing_uses_verification_supersteps() {
+        // Section 7.2: "For the clique pattern graph, it only generates
+        // the partial subgraph instances in the first iteration and the
+        // following iterations are for the verification." After the first
+        // expansion every vertex is mapped, so later supersteps only
+        // verify.
+        let g = erdos_renyi_gnm(120, 900, 14).unwrap();
+        let res =
+            list_subgraphs(&g, &catalog::four_clique(), &PsglConfig::with_workers(2)).unwrap();
+        assert!(res.instance_count > 0, "dense ER graph should contain 4-cliques");
+        // Supersteps: init + first expansion + 2 verification rounds
+        // (Theorem 1: |MVC| = 3 expansion steps for K4) + final empty.
+        assert!(res.stats.supersteps <= 5, "got {}", res.stats.supersteps);
+        // Every instance goes through the two verification expansions.
+        assert!(res.stats.expand.expanded >= res.instance_count * 2);
+    }
+
+    #[test]
+    fn larger_cycles_and_cliques_work_at_engine_limit() {
+        let g = erdos_renyi_gnm(60, 400, 25).unwrap();
+        for p in [catalog::cycle(7), catalog::clique(5), catalog::cycle(8)] {
+            let res = list_subgraphs(&g, &p, &PsglConfig::with_workers(2)).unwrap();
+            // Cross-checked against the oracle in the integration tests;
+            // here we assert the run completes within Theorem 1's bound.
+            assert!(res.stats.supersteps <= p.num_vertices() + 2, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn labeled_matching_on_k4() {
+        let g = k4();
+        // Labels: vertices 0,1 are "A"(=1), vertices 2,3 are "B"(=2).
+        let data_labels = vec![1, 1, 2, 2];
+        // Triangle with pattern labels A, A, B: both A's and one of two
+        // B's: 2 instances (012, 013).
+        let res = list_subgraphs_labeled(
+            &g,
+            &catalog::triangle(),
+            data_labels.clone(),
+            vec![1, 1, 2],
+            &PsglConfig::with_workers(2),
+        )
+        .unwrap();
+        assert_eq!(res.instance_count, 2);
+        // All-A triangle: needs 3 A-vertices, only 2 exist.
+        let res = list_subgraphs_labeled(
+            &g,
+            &catalog::triangle(),
+            data_labels.clone(),
+            vec![1, 1, 1],
+            &PsglConfig::with_workers(2),
+        )
+        .unwrap();
+        assert_eq!(res.instance_count, 0);
+        // Path A-B-B has only the identity label-preserving automorphism,
+        // so count = embeddings: a ∈ {0,1} × (b,c) ordered from {2,3}: 4.
+        let res = list_subgraphs_labeled(
+            &g,
+            &catalog::path(3),
+            data_labels,
+            vec![1, 2, 2],
+            &PsglConfig::with_workers(2),
+        )
+        .unwrap();
+        assert_eq!(res.instance_count, 4);
+    }
+
+    #[test]
+    fn labeled_with_uniform_labels_equals_unlabeled() {
+        let g = erdos_renyi_gnm(80, 400, 6).unwrap();
+        for p in [catalog::triangle(), catalog::square()] {
+            let plain =
+                list_subgraphs(&g, &p, &PsglConfig::with_workers(2)).unwrap().instance_count;
+            let labeled = list_subgraphs_labeled(
+                &g,
+                &p,
+                vec![0; g.num_vertices()],
+                vec![0; p.num_vertices()],
+                &PsglConfig::with_workers(2),
+            )
+            .unwrap()
+            .instance_count;
+            assert_eq!(plain, labeled, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn labeled_rejects_bad_label_lengths() {
+        let g = k4();
+        assert!(matches!(
+            list_subgraphs_labeled(
+                &g,
+                &catalog::triangle(),
+                vec![1, 1],
+                vec![1, 1, 1],
+                &PsglConfig::default()
+            ),
+            Err(PsglError::LabelLengthMismatch { expected: 4, got: 2 })
+        ));
+        assert!(matches!(
+            list_subgraphs_labeled(
+                &g,
+                &catalog::triangle(),
+                vec![1; 4],
+                vec![1; 2],
+                &PsglConfig::default()
+            ),
+            Err(PsglError::LabelLengthMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn per_vertex_counts_sum_and_localize() {
+        let g = k4();
+        let (counts, result) =
+            count_per_vertex(&g, &catalog::triangle(), &PsglConfig::with_workers(2)).unwrap();
+        // K4: each vertex lies in C(3,2) = 3 triangles.
+        assert_eq!(counts, vec![3, 3, 3, 3]);
+        assert_eq!(result.instance_count, 4);
+        assert_eq!(counts.iter().sum::<u64>(), result.instance_count * 3);
+        // A path graph has no triangles anywhere.
+        let p = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let (counts, _) =
+            count_per_vertex(&p, &catalog::triangle(), &PsglConfig::with_workers(2)).unwrap();
+        assert_eq!(counts, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn per_vertex_counts_match_collected_instances() {
+        let g = erdos_renyi_gnm(70, 350, 19).unwrap();
+        let (counts, _) =
+            count_per_vertex(&g, &catalog::square(), &PsglConfig::with_workers(3)).unwrap();
+        let collected = list_subgraphs(
+            &g,
+            &catalog::square(),
+            &PsglConfig::with_workers(3).collect(true),
+        )
+        .unwrap()
+        .instances
+        .unwrap();
+        let mut expected = vec![0u64; g.num_vertices()];
+        for inst in collected {
+            for v in inst {
+                expected[v as usize] += 1;
+            }
+        }
+        assert_eq!(counts, expected);
+    }
+
+    #[test]
+    fn without_automorphism_breaking_counts_multiply_by_aut() {
+        let g = erdos_renyi_gnm(60, 300, 15).unwrap();
+        for (p, aut) in [
+            (catalog::triangle(), 6),
+            (catalog::square(), 8),
+            (catalog::tailed_triangle(), 2),
+        ] {
+            let broken = list_subgraphs(&g, &p, &PsglConfig::with_workers(2)).unwrap();
+            let unbroken = list_subgraphs(
+                &g,
+                &p,
+                &PsglConfig { break_automorphisms: false, ..PsglConfig::with_workers(2) },
+            )
+            .unwrap();
+            assert_eq!(
+                unbroken.instance_count,
+                broken.instance_count * aut,
+                "{p:?}: every instance should appear |Aut| times without breaking"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_lists_nothing() {
+        let g = DataGraph::from_edges(0, &[]).unwrap();
+        let res = list_subgraphs(&g, &catalog::triangle(), &PsglConfig::with_workers(2)).unwrap();
+        assert_eq!(res.instance_count, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Graph construction with the paper's preprocessing.
+//!
+//! Section 7.1: *"All the real-world graphs are undirected ones created from
+//! the original release by adding reciprocal edge and eliminating loops and
+//! isolated nodes."* [`GraphBuilder`] implements exactly that pipeline:
+//! edges are collected in arbitrary order (possibly directed, with
+//! duplicates and self-loops), then symmetrized, deduplicated, stripped of
+//! loops, and — when [`GraphBuilder::build`] is used — compacted so that
+//! isolated vertices disappear and ids are dense.
+
+use crate::csr::{DataGraph, VertexId};
+use crate::error::GraphError;
+
+/// Accumulates raw (possibly directed / duplicated) edges and produces a
+/// clean [`DataGraph`].
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    /// Raw directed half-edges as given; symmetrization happens at build.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `edges` raw edges.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder { edges: Vec::with_capacity(edges) }
+    }
+
+    /// Adds one raw edge. Self-loops and duplicates are accepted here and
+    /// removed at build time.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.push((u, v));
+    }
+
+    /// Number of raw edges added so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Read-only view of the accumulated raw edges (pre-symmetrization).
+    pub fn raw_edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Builds the graph keeping the original id space `0..n` (isolated
+    /// vertices are retained). Fails if any endpoint is `>= n`.
+    pub fn build_with_num_vertices(self, n: usize) -> Result<DataGraph, GraphError> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::InvalidParameter(format!(
+                "vertex count {n} exceeds u32 range"
+            )));
+        }
+        for &(u, v) in &self.edges {
+            let bad = if u as usize >= n { Some(u) } else if v as usize >= n { Some(v) } else { None };
+            if let Some(x) = bad {
+                return Err(GraphError::VertexOutOfRange { vertex: u64::from(x), bound: n as u64 });
+            }
+        }
+        Ok(build_csr(n, self.edges))
+    }
+
+    /// Builds the graph with the full preprocessing of the paper: loops and
+    /// duplicates removed, edges symmetrized, and isolated vertices
+    /// eliminated by remapping the touched vertices onto a dense `0..n'`
+    /// id space (ids keep their relative order).
+    pub fn build(self) -> Result<DataGraph, GraphError> {
+        let mut touched: Vec<VertexId> = self
+            .edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let n = touched.len();
+        // Dense remap: old id -> new id via binary search over `touched`
+        // (memory-lean versus a full lookup table when ids are sparse).
+        let remap = |x: VertexId| touched.binary_search(&x).unwrap() as VertexId;
+        let edges: Vec<(VertexId, VertexId)> = self
+            .edges
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| (remap(u), remap(v)))
+            .collect();
+        Ok(build_csr(n, edges))
+    }
+}
+
+/// Symmetrizes, sorts, dedups and packs `edges` into CSR. Self-loops must
+/// already be acceptable to drop; endpoints must be `< n`.
+fn build_csr(n: usize, edges: Vec<(VertexId, VertexId)>) -> DataGraph {
+    // Count both directions, dropping loops.
+    let mut degree = vec![0u64; n + 1];
+    for &(u, v) in &edges {
+        if u != v {
+            degree[u as usize + 1] += 1;
+            degree[v as usize + 1] += 1;
+        }
+    }
+    // Prefix sums (provisional offsets, before dedup).
+    let mut offsets = degree;
+    for i in 1..=n {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut adjacency = vec![0 as VertexId; offsets[n] as usize];
+    let mut cursor = offsets.clone();
+    for &(u, v) in &edges {
+        if u != v {
+            adjacency[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+    }
+    // Sort each run and dedup in place, compacting as we go.
+    let mut write = 0usize;
+    let mut final_offsets = vec![0u64; n + 1];
+    let mut read_start = 0usize;
+    for v in 0..n {
+        let read_end = offsets[v + 1] as usize;
+        let run = &mut adjacency[read_start..read_end];
+        run.sort_unstable();
+        let mut prev: Option<VertexId> = None;
+        let mut local_write = write;
+        for i in read_start..read_end {
+            let x = adjacency[i];
+            if prev != Some(x) {
+                adjacency[local_write] = x;
+                local_write += 1;
+                prev = Some(x);
+            }
+        }
+        write = local_write;
+        final_offsets[v + 1] = write as u64;
+        read_start = read_end;
+    }
+    adjacency.truncate(write);
+    adjacency.shrink_to_fit();
+    DataGraph::from_csr(final_offsets, adjacency).expect("builder produced invalid CSR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_removes_loops_duplicates_and_isolated() {
+        let mut b = GraphBuilder::new();
+        // Vertices 10, 20, 30 touched; 20-20 loop ignored; (10,20) repeated
+        // in both directions.
+        b.add_edge(10, 20);
+        b.add_edge(20, 10);
+        b.add_edge(20, 20);
+        b.add_edge(20, 30);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 3); // dense remap 10->0, 20->1, 30->2
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn build_of_only_loops_gives_empty_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(5, 5);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn build_with_num_vertices_keeps_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 2);
+        let g = b.build_with_num_vertices(5).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn build_with_num_vertices_rejects_out_of_range() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 7);
+        assert!(matches!(
+            b.build_with_num_vertices(5),
+            Err(GraphError::VertexOutOfRange { vertex: 7, bound: 5 })
+        ));
+    }
+
+    #[test]
+    fn heavy_duplication_is_fully_deduped() {
+        let mut b = GraphBuilder::with_capacity(300);
+        for _ in 0..100 {
+            b.add_edge(0, 1);
+            b.add_edge(1, 2);
+            b.add_edge(2, 0);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn raw_edge_count_reflects_adds() {
+        let mut b = GraphBuilder::new();
+        assert_eq!(b.raw_edge_count(), 0);
+        b.add_edge(1, 2);
+        b.add_edge(2, 2);
+        assert_eq!(b.raw_edge_count(), 2);
+    }
+}

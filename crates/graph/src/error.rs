@@ -1,0 +1,81 @@
+//! Error type for graph construction, generation and I/O.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id exceeded `u32` range or the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The exclusive upper bound that was violated.
+        bound: u64,
+    },
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more edges than a simple graph can hold).
+    InvalidParameter(String),
+    /// An edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, bound } => {
+                write!(f, "vertex id {vertex} out of range (bound {bound})")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, bound: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        let e = GraphError::InvalidParameter("p must be in [0,1]".into());
+        assert!(e.to_string().contains("p must be in [0,1]"));
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,157 @@
+//! A fast, non-cryptographic hasher for integer-keyed collections.
+//!
+//! PSgL's hot paths hash `u32` vertex ids and `u64` edge keys billions of
+//! times (candidate pruning, one-hop indexes, shuffle partitioning). The
+//! standard library's SipHash is safe against HashDoS but several times
+//! slower for short integer keys. This module implements the FxHash
+//! algorithm (the multiply-and-rotate hash used by rustc); the `rustc-hash`
+//! crate is not in the approved dependency set, and the algorithm is small
+//! enough to own.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash state.
+///
+/// Hashes input by consuming machine words and mixing each with
+/// `rotate_left(5) ^ word` followed by a multiplication with a large odd
+/// constant (the golden-ratio multiplier).
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// Golden-ratio derived odd multiplier (same constant rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.add_to_hash(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+            self.add_to_hash(u64::from(word));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a single `u64` with the splitmix64 finalizer.
+///
+/// Used for partitioning decisions where the *low bits* of the result are
+/// taken modulo a small worker count — FxHash's single multiply leaves the
+/// low bits too structured for that, so this uses a full avalanche mixer.
+#[inline]
+pub fn hash_u64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_per_value() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&(1u32, 2u32)), hash_of(&(1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // FxHash is weak, but consecutive u32 keys must not collide.
+        let hashes: FxHashSet<u64> = (0u32..10_000).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_mixed_lengths() {
+        // write() must consume every byte (8-, 4-, and 1-byte tails).
+        for len in 0..20usize {
+            // Start at 1: a trailing 0x00 byte legitimately hashes to the
+            // same state in FxHash (0 xor/mul from a 0 state is 0).
+            let bytes: Vec<u8> = (1..=len as u8).collect();
+            let mut a = FxHasher::default();
+            a.write(&bytes);
+            let mut b = FxHasher::default();
+            b.write(&bytes);
+            assert_eq!(a.finish(), b.finish());
+            if len > 0 {
+                let mut c = FxHasher::default();
+                let mut shorter = bytes.clone();
+                shorter.pop();
+                c.write(&shorter);
+                assert_ne!(a.finish(), c.finish(), "len {len} collided with len-1");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_u64_spreads_small_ints() {
+        let buckets = 8u64;
+        let mut counts = [0u32; 8];
+        for i in 0..8_000u64 {
+            counts[(hash_u64(i) % buckets) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The *ordered graph* of Section 3.
+//!
+//! PSgL assigns the data graph a total order: `u < v` iff
+//! `(deg(u), id(u)) < (deg(v), id(v))` lexicographically. For each vertex,
+//! `nb` counts neighbors of smaller rank and `ns` neighbors of larger rank.
+//! Property 1: the `nb` distribution is more skewed than the original degree
+//! distribution while `ns` is more balanced — the fact Theorem 5's
+//! initial-vertex rule exploits.
+
+use crate::csr::{DataGraph, VertexId};
+
+/// Total vertex order derived from `(degree, id)`, with per-vertex `nb`/`ns`
+/// counts precomputed.
+#[derive(Clone, Debug)]
+pub struct OrderedGraph {
+    /// `rank[v]` = position of `v` in ascending `(degree, id)` order;
+    /// ranks are a permutation of `0..n`.
+    rank: Vec<u32>,
+    /// Number of neighbors with smaller rank ("neighbors before").
+    nb: Vec<u32>,
+    /// Number of neighbors with larger rank ("neighbors after").
+    ns: Vec<u32>,
+}
+
+impl OrderedGraph {
+    /// Computes ranks and the `nb`/`ns` split for `g` in `O(n log n + m)`.
+    pub fn new(g: &DataGraph) -> Self {
+        let n = g.num_vertices();
+        let mut by_rank: Vec<VertexId> = (0..n as VertexId).collect();
+        by_rank.sort_unstable_by_key(|&v| (g.degree(v), v));
+        let mut rank = vec![0u32; n];
+        for (r, &v) in by_rank.iter().enumerate() {
+            rank[v as usize] = r as u32;
+        }
+        let mut nb = vec![0u32; n];
+        let mut ns = vec![0u32; n];
+        for v in g.vertices() {
+            let rv = rank[v as usize];
+            for &u in g.neighbors(v) {
+                if rank[u as usize] < rv {
+                    nb[v as usize] += 1;
+                } else {
+                    ns[v as usize] += 1;
+                }
+            }
+        }
+        OrderedGraph { rank, nb, ns }
+    }
+
+    /// Rank of `v` (0 = smallest degree).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Whether `u < v` in the total order.
+    #[inline]
+    pub fn less(&self, u: VertexId, v: VertexId) -> bool {
+        self.rank[u as usize] < self.rank[v as usize]
+    }
+
+    /// Number of neighbors of `v` with smaller rank.
+    #[inline]
+    pub fn nb(&self, v: VertexId) -> u32 {
+        self.nb[v as usize]
+    }
+
+    /// Number of neighbors of `v` with larger rank.
+    #[inline]
+    pub fn ns(&self, v: VertexId) -> u32 {
+        self.ns[v as usize]
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// Vertices in ascending rank order.
+    pub fn vertices_by_rank(&self) -> Vec<VertexId> {
+        let mut by_rank = vec![0 as VertexId; self.rank.len()];
+        for (v, &r) in self.rank.iter().enumerate() {
+            by_rank[r as usize] = v as VertexId;
+        }
+        by_rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Star: center 0 with leaves 1..=4.
+    fn star() -> DataGraph {
+        DataGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap()
+    }
+
+    #[test]
+    fn rank_orders_by_degree_then_id() {
+        let g = star();
+        let o = OrderedGraph::new(&g);
+        // Leaves (deg 1) rank below the center (deg 4); ties break by id.
+        assert_eq!(o.rank(1), 0);
+        assert_eq!(o.rank(2), 1);
+        assert_eq!(o.rank(3), 2);
+        assert_eq!(o.rank(4), 3);
+        assert_eq!(o.rank(0), 4);
+        assert!(o.less(1, 0));
+        assert!(!o.less(0, 1));
+    }
+
+    #[test]
+    fn nb_ns_split_sums_to_degree() {
+        let g = star();
+        let o = OrderedGraph::new(&g);
+        for v in g.vertices() {
+            assert_eq!(o.nb(v) + o.ns(v), g.degree(v));
+        }
+        // The center sees all leaves below it; leaves see the center above.
+        assert_eq!(o.nb(0), 4);
+        assert_eq!(o.ns(0), 0);
+        assert_eq!(o.nb(1), 0);
+        assert_eq!(o.ns(1), 1);
+    }
+
+    #[test]
+    fn sum_nb_equals_sum_ns_equals_edge_count() {
+        // Each edge contributes exactly one `nb` (at its larger end) and one
+        // `ns` (at its smaller end): Σnb = Σns = |E|, used in Theorem 5.
+        let g = DataGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2)])
+            .unwrap();
+        let o = OrderedGraph::new(&g);
+        let sum_nb: u64 = g.vertices().map(|v| u64::from(o.nb(v))).sum();
+        let sum_ns: u64 = g.vertices().map(|v| u64::from(o.ns(v))).sum();
+        assert_eq!(sum_nb, g.num_edges());
+        assert_eq!(sum_ns, g.num_edges());
+    }
+
+    #[test]
+    fn vertices_by_rank_is_inverse_permutation() {
+        let g = star();
+        let o = OrderedGraph::new(&g);
+        let by_rank = o.vertices_by_rank();
+        assert_eq!(by_rank, vec![1, 2, 3, 4, 0]);
+        for (r, &v) in by_rank.iter().enumerate() {
+            assert_eq!(o.rank(v) as usize, r);
+        }
+    }
+
+    #[test]
+    fn empty_graph_ordering() {
+        let g = DataGraph::from_edges(0, &[]).unwrap();
+        let o = OrderedGraph::new(&g);
+        assert!(o.is_empty());
+        assert_eq!(o.len(), 0);
+        assert!(o.vertices_by_rank().is_empty());
+    }
+}

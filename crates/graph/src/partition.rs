@@ -1,0 +1,138 @@
+//! Vertex partitioning across workers.
+//!
+//! Section 5.1: *"In PSgL, the data graph is simply random partitioned"* —
+//! a hash of the vertex id picks the owning worker. The partitioner is the
+//! single source of truth for vertex placement used by the BSP engine, the
+//! distribution strategies (which need `map(vp) belongs to worker i`,
+//! Equation 4) and the MapReduce shuffle.
+
+use crate::csr::{DataGraph, VertexId};
+use crate::hash::hash_u64;
+
+/// Random (hash) partitioner over `k` workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashPartitioner {
+    workers: u32,
+    /// Salt so different runs/engines can decorrelate placements.
+    salt: u64,
+}
+
+impl HashPartitioner {
+    /// Creates a partitioner over `workers` workers (must be >= 1).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        HashPartitioner { workers: workers as u32, salt: 0 }
+    }
+
+    /// Creates a salted partitioner; different salts give independent
+    /// placements for the same worker count.
+    pub fn with_salt(workers: usize, salt: u64) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        HashPartitioner { workers: workers as u32, salt }
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers as usize
+    }
+
+    /// Worker owning vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        (hash_u64(u64::from(v) ^ self.salt) % u64::from(self.workers)) as usize
+    }
+
+    /// Per-worker vertex counts for `g` — used to report partition balance.
+    pub fn vertex_counts(&self, g: &DataGraph) -> Vec<usize> {
+        let mut counts = vec![0usize; self.workers as usize];
+        for v in g.vertices() {
+            counts[self.owner(v)] += 1;
+        }
+        counts
+    }
+
+    /// Per-worker degree sums (edge workload proxy) for `g`.
+    pub fn degree_sums(&self, g: &DataGraph) -> Vec<u64> {
+        let mut sums = vec![0u64; self.workers as usize];
+        for v in g.vertices() {
+            sums[self.owner(v)] += u64::from(g.degree(v));
+        }
+        sums
+    }
+
+    /// Max/mean imbalance factor of a per-worker load vector
+    /// (1.0 = perfectly balanced; undefined/1.0 for all-zero loads).
+    pub fn imbalance(loads: &[u64]) -> f64 {
+        let total: u64 = loads.iter().sum();
+        if total == 0 || loads.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let max = *loads.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi_gnm;
+
+    #[test]
+    fn owner_is_stable_and_in_range() {
+        let p = HashPartitioner::new(7);
+        for v in 0..1000u32 {
+            let o = p.owner(v);
+            assert!(o < 7);
+            assert_eq!(o, p.owner(v));
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let p = HashPartitioner::new(1);
+        assert!((0..100).all(|v| p.owner(v) == 0));
+    }
+
+    #[test]
+    fn salting_changes_placement() {
+        let a = HashPartitioner::with_salt(8, 1);
+        let b = HashPartitioner::with_salt(8, 2);
+        let diffs = (0..1000u32).filter(|&v| a.owner(v) != b.owner(v)).count();
+        assert!(diffs > 500, "salts should decorrelate placements ({diffs} differ)");
+    }
+
+    #[test]
+    fn vertex_counts_are_roughly_balanced() {
+        let g = erdos_renyi_gnm(10_000, 20_000, 3).unwrap();
+        let p = HashPartitioner::new(10);
+        let counts = p.vertex_counts(&g);
+        assert_eq!(counts.iter().sum::<usize>(), g.num_vertices());
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "unbalanced partition: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn degree_sums_account_every_half_edge() {
+        let g = erdos_renyi_gnm(500, 1_500, 5).unwrap();
+        let p = HashPartitioner::new(4);
+        let sums = p.degree_sums(&g);
+        assert_eq!(sums.iter().sum::<u64>(), g.degree_sum());
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        assert_eq!(HashPartitioner::imbalance(&[5, 5, 5, 5]), 1.0);
+        assert_eq!(HashPartitioner::imbalance(&[10, 0, 0, 10]), 2.0);
+        assert_eq!(HashPartitioner::imbalance(&[0, 0]), 1.0);
+        assert_eq!(HashPartitioner::imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        HashPartitioner::new(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Automorphism-group enumeration for pattern graphs.
+//!
+//! Section 3: an automorphism is a permutation σ of `Vp` such that
+//! `(u, v) ∈ Ep ⇔ (σ(u), σ(v)) ∈ Ep`. Without breaking these symmetries a
+//! square is reported 8 times per instance. Enumeration is a simple
+//! backtracking search with degree pruning — patterns have ≤ 32 vertices,
+//! and the paper itself relies on DFS being fast at this scale.
+
+use crate::graph::{Pattern, PatternVertex};
+
+/// A permutation as a lookup table: `perm[v] = σ(v)`.
+pub type Permutation = Vec<PatternVertex>;
+
+/// Enumerates the full automorphism group of `p` (always contains the
+/// identity). Order within the returned vector is deterministic
+/// (lexicographic by image).
+pub fn automorphisms(p: &Pattern) -> Vec<Permutation> {
+    let n = p.num_vertices();
+    let mut result = Vec::new();
+    let mut image = vec![0 as PatternVertex; n];
+    let mut used: u32 = 0;
+    search(p, 0, &mut image, &mut used, &mut result);
+    result
+}
+
+fn search(
+    p: &Pattern,
+    v: usize,
+    image: &mut [PatternVertex],
+    used: &mut u32,
+    out: &mut Vec<Permutation>,
+) {
+    let n = p.num_vertices();
+    if v == n {
+        out.push(image.to_vec());
+        return;
+    }
+    let vp = v as PatternVertex;
+    for candidate in 0..n as PatternVertex {
+        if (*used >> candidate) & 1 == 1 {
+            continue;
+        }
+        if p.degree(candidate) != p.degree(vp) {
+            continue;
+        }
+        // Edges to already-mapped vertices must be preserved both ways.
+        let ok = (0..v).all(|u| {
+            p.has_edge(vp, u as PatternVertex) == p.has_edge(candidate, image[u])
+        });
+        if !ok {
+            continue;
+        }
+        image[v] = candidate;
+        *used |= 1 << candidate;
+        search(p, v + 1, image, used, out);
+        *used &= !(1 << candidate);
+    }
+}
+
+/// Orbit partition of the vertex set under a set of permutations: vertices
+/// `u, v` share an orbit iff some permutation maps `u` to `v`. Returned as
+/// a sorted list of sorted orbits.
+pub fn orbits(n: usize, perms: &[Permutation]) -> Vec<Vec<PatternVertex>> {
+    // Union-find over at most 32 elements.
+    let mut parent: Vec<u8> = (0..n as u8).collect();
+    fn find(parent: &mut [u8], x: u8) -> u8 {
+        if parent[x as usize] != x {
+            let root = find(parent, parent[x as usize]);
+            parent[x as usize] = root;
+        }
+        parent[x as usize]
+    }
+    for perm in perms {
+        for v in 0..n as u8 {
+            let a = find(&mut parent, v);
+            let b = find(&mut parent, perm[v as usize]);
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    let mut groups: Vec<Vec<PatternVertex>> = vec![Vec::new(); n];
+    for v in 0..n as u8 {
+        let r = find(&mut parent, v);
+        groups[r as usize].push(v);
+    }
+    let mut out: Vec<Vec<PatternVertex>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize, edges: &[(u8, u8)]) -> Pattern {
+        Pattern::new("t", n, edges).unwrap()
+    }
+
+    #[test]
+    fn triangle_has_six_automorphisms() {
+        let p = pattern(3, &[(0, 1), (1, 2), (2, 0)]);
+        let auts = automorphisms(&p);
+        assert_eq!(auts.len(), 6);
+        assert!(auts.contains(&vec![0, 1, 2])); // identity
+    }
+
+    #[test]
+    fn square_has_eight_automorphisms() {
+        // The paper: the square's 8 automorphisms make 2345 found 8 times.
+        let p = pattern(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(automorphisms(&p).len(), 8);
+    }
+
+    #[test]
+    fn four_clique_has_twenty_four() {
+        let p = pattern(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(automorphisms(&p).len(), 24);
+    }
+
+    #[test]
+    fn paw_has_two() {
+        // Triangle 0-1-2 with tail 1-3: only the 0<->2 swap survives.
+        let p = pattern(4, &[(0, 1), (1, 2), (2, 0), (1, 3)]);
+        let auts = automorphisms(&p);
+        assert_eq!(auts.len(), 2);
+        assert!(auts.contains(&vec![2, 1, 0, 3]));
+    }
+
+    #[test]
+    fn path_has_two_star_has_factorial() {
+        let path = pattern(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(automorphisms(&path).len(), 2);
+        let star = pattern(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(automorphisms(&star).len(), 24); // 4! leaf permutations
+    }
+
+    #[test]
+    fn every_automorphism_preserves_all_edges() {
+        let p = pattern(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)]);
+        for perm in automorphisms(&p) {
+            for u in p.vertices() {
+                for v in p.vertices() {
+                    assert_eq!(
+                        p.has_edge(u, v),
+                        p.has_edge(perm[u as usize], perm[v as usize])
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orbit_partition_of_square_is_single_orbit() {
+        let p = pattern(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let auts = automorphisms(&p);
+        assert_eq!(orbits(4, &auts), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn orbit_partition_of_paw() {
+        let p = pattern(4, &[(0, 1), (1, 2), (2, 0), (1, 3)]);
+        let auts = automorphisms(&p);
+        assert_eq!(orbits(4, &auts), vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn orbits_of_identity_only_are_singletons() {
+        let id = vec![vec![0u8, 1, 2]];
+        assert_eq!(orbits(3, &id), vec![vec![0], vec![1], vec![2]]);
+    }
+}

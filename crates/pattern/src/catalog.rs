@@ -1,0 +1,151 @@
+//! The paper's benchmark patterns (Figure 4) and parameterized families.
+//!
+//! Figure 4 defines five patterns, PG1–PG5, with the partial orders
+//! produced by automorphism breaking printed beneath each. The figure in
+//! the available text dump is partially garbled; shapes are reconstructed
+//! from the partial-order captions (see `DESIGN.md` §5):
+//!
+//! - **PG1** — triangle,
+//! - **PG2** — square (4-cycle),
+//! - **PG3** — tailed triangle ("paw"),
+//! - **PG4** — 4-clique,
+//! - **PG5** — house (4-cycle with a triangle on one edge).
+
+use crate::graph::{Pattern, PatternVertex};
+
+/// PG1: the triangle.
+pub fn triangle() -> Pattern {
+    Pattern::new("PG1/triangle", 3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+}
+
+/// PG2: the square (4-cycle `1-2-3-4`).
+pub fn square() -> Pattern {
+    cycle(4)
+}
+
+/// PG3: the tailed triangle ("paw") — triangle `1-2-3` plus tail `2-4`.
+pub fn tailed_triangle() -> Pattern {
+    Pattern::new("PG3/tailed-triangle", 4, &[(0, 1), (1, 2), (2, 0), (1, 3)]).unwrap()
+}
+
+/// PG4: the 4-clique.
+pub fn four_clique() -> Pattern {
+    clique(4)
+}
+
+/// PG5: the house — 4-cycle `1-2-3-4` (0-based) plus apex `0` adjacent to
+/// `2` and `3`, i.e. a triangle sharing the square's `2-3` edge (5 vertices,
+/// 6 edges, automorphism group of size 2).
+pub fn house() -> Pattern {
+    Pattern::new(
+        "PG5/house",
+        5,
+        &[(0, 2), (0, 3), (2, 3), (1, 2), (1, 4), (3, 4)],
+    )
+    .unwrap()
+}
+
+/// The five benchmark patterns in paper order.
+pub fn paper_patterns() -> Vec<Pattern> {
+    vec![triangle(), square(), tailed_triangle(), four_clique(), house()]
+}
+
+/// `k`-cycle (`k >= 3`).
+pub fn cycle(k: usize) -> Pattern {
+    assert!(k >= 3, "cycles need at least 3 vertices");
+    let edges: Vec<(PatternVertex, PatternVertex)> =
+        (0..k).map(|i| (i as PatternVertex, ((i + 1) % k) as PatternVertex)).collect();
+    let name = if k == 4 { "PG2/square".to_string() } else { format!("cycle-{k}") };
+    Pattern::new(name, k, &edges).unwrap()
+}
+
+/// `k`-clique (`k >= 1`).
+pub fn clique(k: usize) -> Pattern {
+    assert!(k >= 1);
+    let mut edges = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            edges.push((i as PatternVertex, j as PatternVertex));
+        }
+    }
+    let name = match k {
+        3 => "PG1/triangle".to_string(),
+        4 => "PG4/4-clique".to_string(),
+        _ => format!("clique-{k}"),
+    };
+    Pattern::new(name, k, &edges).unwrap()
+}
+
+/// Path with `k` vertices (`k - 1` edges).
+pub fn path(k: usize) -> Pattern {
+    assert!(k >= 1);
+    let edges: Vec<(PatternVertex, PatternVertex)> =
+        (0..k.saturating_sub(1)).map(|i| (i as PatternVertex, (i + 1) as PatternVertex)).collect();
+    Pattern::new(format!("path-{k}"), k, &edges).unwrap()
+}
+
+/// Star with `k` leaves (center is vertex 0).
+pub fn star(k: usize) -> Pattern {
+    assert!(k >= 1);
+    let edges: Vec<(PatternVertex, PatternVertex)> =
+        (1..=k).map(|i| (0, i as PatternVertex)).collect();
+    Pattern::new(format!("star-{k}"), k + 1, &edges).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automorphism::automorphisms;
+
+    #[test]
+    fn paper_pattern_shapes() {
+        let pg = paper_patterns();
+        assert_eq!(pg.len(), 5);
+        assert_eq!(pg[0].num_vertices(), 3);
+        assert_eq!(pg[0].num_edges(), 3);
+        assert_eq!(pg[1].num_vertices(), 4);
+        assert_eq!(pg[1].num_edges(), 4);
+        assert_eq!(pg[2].num_vertices(), 4);
+        assert_eq!(pg[2].num_edges(), 4);
+        assert_eq!(pg[3].num_vertices(), 4);
+        assert_eq!(pg[3].num_edges(), 6);
+        assert_eq!(pg[4].num_vertices(), 5);
+        assert_eq!(pg[4].num_edges(), 6);
+    }
+
+    #[test]
+    fn automorphism_group_sizes() {
+        assert_eq!(automorphisms(&triangle()).len(), 6);
+        assert_eq!(automorphisms(&square()).len(), 8);
+        assert_eq!(automorphisms(&tailed_triangle()).len(), 2);
+        assert_eq!(automorphisms(&four_clique()).len(), 24);
+        assert_eq!(automorphisms(&house()).len(), 2);
+    }
+
+    #[test]
+    fn families() {
+        assert!(cycle(5).is_cycle());
+        assert!(clique(5).is_clique());
+        assert_eq!(clique(5).num_edges(), 10);
+        assert_eq!(path(4).num_edges(), 3);
+        assert_eq!(star(4).num_vertices(), 5);
+        assert_eq!(star(4).degree(0), 4);
+        assert_eq!(path(1).num_vertices(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn house_contains_square_and_triangle() {
+        let h = house();
+        // Triangle 0-2-3.
+        assert!(h.has_edge(0, 2) && h.has_edge(2, 3) && h.has_edge(0, 3));
+        // Square 1-2-3-4 ... check the cycle 1-2-0? Verify the 4-cycle
+        // 1-2-3-4 via edges (1,2),(2,3),(3,4),(4,1).
+        assert!(h.has_edge(1, 2) && h.has_edge(2, 3) && h.has_edge(3, 4) && h.has_edge(4, 1));
+    }
+}

@@ -1,0 +1,294 @@
+//! The [`Pattern`] type: a small connected undirected graph.
+
+use std::fmt;
+
+/// Pattern vertex index. Patterns are tiny, so `u8` suffices and keeps
+/// partial subgraph instances compact on the wire.
+pub type PatternVertex = u8;
+
+/// Hard cap on pattern size: adjacency rows are `u32` bitmasks.
+pub const MAX_PATTERN_VERTICES: usize = 32;
+
+/// Errors from pattern construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// More vertices than [`MAX_PATTERN_VERTICES`].
+    TooLarge(usize),
+    /// An edge endpoint `>= n`.
+    VertexOutOfRange(PatternVertex),
+    /// A self-loop was supplied.
+    SelfLoop(PatternVertex),
+    /// PSgL traverses the pattern, so it must be connected (and non-empty).
+    NotConnected,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::TooLarge(n) => {
+                write!(f, "pattern has {n} vertices (max {MAX_PATTERN_VERTICES})")
+            }
+            PatternError::VertexOutOfRange(v) => write!(f, "pattern vertex {v} out of range"),
+            PatternError::SelfLoop(v) => write!(f, "self-loop at pattern vertex {v}"),
+            PatternError::NotConnected => write!(f, "pattern graph must be connected"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A small connected undirected pattern graph with bitmask adjacency.
+///
+/// Vertices are `0..n`. In the paper's figures pattern vertices are
+/// numbered from 1; all rendered output (`Display`, partial orders) uses
+/// the paper's 1-based convention, while the API is 0-based.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    n: u8,
+    /// `adj[v]` has bit `u` set iff `{v, u}` is an edge.
+    adj: Vec<u32>,
+    /// Human-readable name (e.g. "PG2/square"); informational only.
+    name: String,
+}
+
+impl Pattern {
+    /// Builds a pattern from an edge list over vertices `0..n`.
+    /// Duplicates are tolerated; loops and disconnection are rejected.
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        edges: &[(PatternVertex, PatternVertex)],
+    ) -> Result<Self, PatternError> {
+        if n == 0 || n > MAX_PATTERN_VERTICES {
+            return Err(PatternError::TooLarge(n));
+        }
+        let mut adj = vec![0u32; n];
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(PatternError::VertexOutOfRange(u));
+            }
+            if v as usize >= n {
+                return Err(PatternError::VertexOutOfRange(v));
+            }
+            if u == v {
+                return Err(PatternError::SelfLoop(u));
+            }
+            adj[u as usize] |= 1 << v;
+            adj[v as usize] |= 1 << u;
+        }
+        let p = Pattern { n: n as u8, adj, name: name.into() };
+        if !p.is_connected() {
+            return Err(PatternError::NotConnected);
+        }
+        Ok(p)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+    }
+
+    /// Pattern name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: PatternVertex) -> u32 {
+        self.adj[v as usize].count_ones()
+    }
+
+    /// Adjacency bitmask of `v` (bit `u` set iff `{v,u}` is an edge).
+    #[inline]
+    pub fn neighbor_mask(&self, v: PatternVertex) -> u32 {
+        self.adj[v as usize]
+    }
+
+    /// Iterator over the neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: PatternVertex) -> impl Iterator<Item = PatternVertex> + '_ {
+        BitIter(self.adj[v as usize])
+    }
+
+    /// Edge-existence test.
+    #[inline]
+    pub fn has_edge(&self, u: PatternVertex, v: PatternVertex) -> bool {
+        u != v && (self.adj[u as usize] >> v) & 1 == 1
+    }
+
+    /// Iterator over vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = PatternVertex> {
+        0..self.n
+    }
+
+    /// Each edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (PatternVertex, PatternVertex)> + '_ {
+        self.vertices().flat_map(move |u| {
+            BitIter(self.adj[u as usize] & !((1u32 << u) | ((1u32 << u) - 1)))
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Whether the pattern is a simple cycle (every degree = 2, connected).
+    pub fn is_cycle(&self) -> bool {
+        self.n >= 3 && self.vertices().all(|v| self.degree(v) == 2)
+    }
+
+    /// Whether the pattern is a complete graph.
+    pub fn is_clique(&self) -> bool {
+        self.vertices().all(|v| self.degree(v) == u32::from(self.n) - 1)
+    }
+
+    fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let mut seen: u32 = 1;
+        let mut frontier: u32 = 1;
+        while frontier != 0 {
+            let mut next = 0u32;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[v];
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen.count_ones() as u8 == self.n
+    }
+
+    /// Relabels the pattern through permutation `perm` (`perm[old] = new`).
+    /// Used by tests and by traversal-order experiments (Table 4).
+    pub fn relabel(&self, perm: &[PatternVertex]) -> Pattern {
+        assert_eq!(perm.len(), self.num_vertices());
+        let edges: Vec<(PatternVertex, PatternVertex)> = self
+            .edges()
+            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect();
+        Pattern::new(self.name.clone(), self.num_vertices(), &edges)
+            .expect("relabeling a valid pattern stays valid")
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({}, n={}, edges=[", self.name, self.n)?;
+        for (i, (u, v)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            // 1-based like the paper's figures.
+            write!(f, "v{}-v{}", u + 1, v + 1)?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Iterator over set bits of a `u32`, ascending.
+struct BitIter(u32);
+
+impl Iterator for BitIter {
+    type Item = PatternVertex;
+
+    #[inline]
+    fn next(&mut self) -> Option<PatternVertex> {
+        if self.0 == 0 {
+            None
+        } else {
+            let v = self.0.trailing_zeros() as PatternVertex;
+            self.0 &= self.0 - 1;
+            Some(v)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let c = self.0.count_ones() as usize;
+        (c, Some(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_basics() {
+        let p = Pattern::new("tri", 3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edges(), 3);
+        assert!(p.is_cycle());
+        assert!(p.is_clique());
+        assert!(p.has_edge(0, 2));
+        assert!(!p.has_edge(0, 0));
+        assert_eq!(p.neighbors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(p.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn rejects_invalid_patterns() {
+        assert_eq!(Pattern::new("x", 0, &[]).unwrap_err(), PatternError::TooLarge(0));
+        assert_eq!(Pattern::new("x", 40, &[]).unwrap_err(), PatternError::TooLarge(40));
+        assert_eq!(
+            Pattern::new("x", 2, &[(0, 3)]).unwrap_err(),
+            PatternError::VertexOutOfRange(3)
+        );
+        assert_eq!(Pattern::new("x", 2, &[(1, 1)]).unwrap_err(), PatternError::SelfLoop(1));
+        assert_eq!(
+            Pattern::new("x", 4, &[(0, 1), (2, 3)]).unwrap_err(),
+            PatternError::NotConnected
+        );
+        assert_eq!(Pattern::new("x", 2, &[]).unwrap_err(), PatternError::NotConnected);
+    }
+
+    #[test]
+    fn single_vertex_is_connected() {
+        let p = Pattern::new("v", 1, &[]).unwrap();
+        assert_eq!(p.num_vertices(), 1);
+        assert_eq!(p.num_edges(), 0);
+        assert!(p.is_clique());
+        assert!(!p.is_cycle());
+    }
+
+    #[test]
+    fn square_is_cycle_not_clique() {
+        let p = Pattern::new("sq", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(p.is_cycle());
+        assert!(!p.is_clique());
+        assert_eq!(p.degree(0), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let p = Pattern::new("d", 2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(p.num_edges(), 1);
+    }
+
+    #[test]
+    fn relabel_permutes_edges() {
+        let p = Pattern::new("path", 3, &[(0, 1), (1, 2)]).unwrap();
+        let q = p.relabel(&[2, 1, 0]);
+        assert!(q.has_edge(2, 1));
+        assert!(q.has_edge(1, 0));
+        assert!(!q.has_edge(0, 2));
+    }
+
+    #[test]
+    fn debug_renders_one_based() {
+        let p = Pattern::new("e", 2, &[(0, 1)]).unwrap();
+        assert!(format!("{p:?}").contains("v1-v2"));
+    }
+}

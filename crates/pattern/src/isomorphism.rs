@@ -1,0 +1,99 @@
+//! Pattern-to-pattern isomorphism.
+//!
+//! Used to recognize catalog shapes (`lookup`) and by tests to assert that
+//! relabeled patterns stay equivalent. Same backtracking core as the
+//! automorphism search, generalized to two graphs.
+
+use crate::graph::{Pattern, PatternVertex};
+
+/// Whether `a` and `b` are isomorphic (same shape, any labeling).
+pub fn isomorphic(a: &Pattern, b: &Pattern) -> bool {
+    if a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    // Degree multisets must match.
+    let mut da: Vec<u32> = a.vertices().map(|v| a.degree(v)).collect();
+    let mut db: Vec<u32> = b.vertices().map(|v| b.degree(v)).collect();
+    da.sort_unstable();
+    db.sort_unstable();
+    if da != db {
+        return false;
+    }
+    let n = a.num_vertices();
+    let mut image = vec![0 as PatternVertex; n];
+    let mut used: u32 = 0;
+    search(a, b, 0, &mut image, &mut used)
+}
+
+fn search(a: &Pattern, b: &Pattern, v: usize, image: &mut [PatternVertex], used: &mut u32) -> bool {
+    let n = a.num_vertices();
+    if v == n {
+        return true;
+    }
+    let vp = v as PatternVertex;
+    for candidate in 0..n as PatternVertex {
+        if (*used >> candidate) & 1 == 1 || b.degree(candidate) != a.degree(vp) {
+            continue;
+        }
+        let ok = (0..v)
+            .all(|u| a.has_edge(vp, u as PatternVertex) == b.has_edge(candidate, image[u]));
+        if !ok {
+            continue;
+        }
+        image[v] = candidate;
+        *used |= 1 << candidate;
+        if search(a, b, v + 1, image, used) {
+            return true;
+        }
+        *used &= !(1 << candidate);
+    }
+    false
+}
+
+/// Identifies a pattern against the paper catalog, returning its canonical
+/// name (`"PG1/triangle"` … `"PG5/house"`) if it matches one.
+pub fn identify(p: &Pattern) -> Option<&'static str> {
+    const NAMES: [&str; 5] =
+        ["PG1/triangle", "PG2/square", "PG3/tailed-triangle", "PG4/4-clique", "PG5/house"];
+    crate::catalog::paper_patterns()
+        .iter()
+        .position(|q| isomorphic(p, q))
+        .map(|i| NAMES[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn relabelings_are_isomorphic() {
+        let p = catalog::house();
+        let q = p.relabel(&[4, 3, 2, 1, 0]);
+        assert!(isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn different_shapes_are_not() {
+        assert!(!isomorphic(&catalog::square(), &catalog::tailed_triangle()));
+        assert!(!isomorphic(&catalog::triangle(), &catalog::square()));
+        assert!(!isomorphic(&catalog::path(4), &catalog::star(3)));
+        // Same degree sequence, different shape: C6 vs two... both
+        // connected 6-cycles only; use C5+chord vs bull? Simpler known
+        // pair: the 6-cycle vs the prism? prism has degree 3. Use
+        // path(3) vs triangle: different edge counts, caught early.
+        assert!(!isomorphic(&catalog::path(3), &catalog::triangle()));
+    }
+
+    #[test]
+    fn identify_recognizes_catalog_members_in_any_labeling() {
+        for (i, p) in catalog::paper_patterns().into_iter().enumerate() {
+            let n = p.num_vertices();
+            let perm: Vec<u8> = (0..n as u8).rev().collect();
+            let relabeled = p.relabel(&perm);
+            let name = identify(&relabeled).expect("must be recognized");
+            assert!(name.starts_with(&format!("PG{}", i + 1)), "{name}");
+        }
+        assert_eq!(identify(&catalog::cycle(6)), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Label-aware automorphisms and breaking.
+//!
+//! Section 2 frames subgraph *matching* on property graphs as the general
+//! problem, with listing the special case where every vertex carries the
+//! same label. The extension to labeled patterns needs one careful change:
+//! only *label-preserving* automorphisms may be broken — breaking a
+//! permutation that swaps differently-labeled vertices would discard valid
+//! instances (the partial order would constrain across label classes that
+//! are not actually symmetric).
+
+use crate::automorphism::{automorphisms, orbits, Permutation};
+use crate::breaking::PartialOrderSet;
+use crate::graph::{Pattern, PatternVertex};
+
+/// A vertex label. `0` is conventionally "unlabeled".
+pub type Label = u16;
+
+/// Enumerates the automorphisms of `p` that preserve `labels`
+/// (`labels[σ(v)] == labels[v]` for every vertex).
+pub fn automorphisms_labeled(p: &Pattern, labels: &[Label]) -> Vec<Permutation> {
+    assert_eq!(labels.len(), p.num_vertices());
+    automorphisms(p)
+        .into_iter()
+        .filter(|perm| {
+            p.vertices().all(|v| labels[perm[v as usize] as usize] == labels[v as usize])
+        })
+        .collect()
+}
+
+/// Automorphism breaking restricted to label-preserving symmetries: the
+/// same iterative orbit-elimination as the unlabeled case (Section 5.2.1,
+/// Heuristic 2), run over the labeled group.
+pub fn break_automorphisms_labeled(p: &Pattern, labels: &[Label]) -> PartialOrderSet {
+    let n = p.num_vertices();
+    let mut order = PartialOrderSet::new(n);
+    let mut group = automorphisms_labeled(p, labels);
+    while group.len() > 1 {
+        let non_trivial: Vec<Vec<PatternVertex>> =
+            orbits(n, &group).into_iter().filter(|o| o.len() > 1).collect();
+        let orbit = non_trivial
+            .iter()
+            .max_by_key(|o| (p.degree(o[0]), o.len(), std::cmp::Reverse(o[0])))
+            .expect("non-identity group must have a non-trivial orbit")
+            .clone();
+        let eliminated = orbit[0];
+        for &other in &orbit[1..] {
+            let added = order.add(eliminated, other);
+            debug_assert!(added, "breaking constraints can never cycle");
+        }
+        group.retain(|perm| perm[eliminated as usize] == eliminated);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn uniform_labels_reduce_to_unlabeled_case() {
+        for p in catalog::paper_patterns() {
+            let labels = vec![0 as Label; p.num_vertices()];
+            assert_eq!(
+                automorphisms_labeled(&p, &labels).len(),
+                automorphisms(&p).len(),
+                "{p:?}"
+            );
+            assert_eq!(
+                break_automorphisms_labeled(&p, &labels),
+                crate::breaking::break_automorphisms(&p),
+                "{p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_shrink_the_group() {
+        // Triangle with labels A, A, B: only the A-A swap survives.
+        let p = catalog::triangle();
+        let auts = automorphisms_labeled(&p, &[1, 1, 2]);
+        assert_eq!(auts.len(), 2);
+        // Fully distinct labels: identity only, no constraints needed.
+        let auts = automorphisms_labeled(&p, &[1, 2, 3]);
+        assert_eq!(auts.len(), 1);
+        let order = break_automorphisms_labeled(&p, &[1, 2, 3]);
+        assert!(order.constraints().is_empty());
+    }
+
+    #[test]
+    fn breaking_only_constrains_within_label_classes() {
+        // Triangle A, A, B: one constraint between the two A vertices.
+        let p = catalog::triangle();
+        let order = break_automorphisms_labeled(&p, &[1, 1, 2]);
+        assert_eq!(order.constraints(), &[(0, 1)]);
+        // Square with alternating labels A, B, A, B: group = {id, rot²,
+        // and the two diagonal reflections} (the label-preserving half of
+        // D4, size 4).
+        let sq = catalog::square();
+        assert_eq!(automorphisms_labeled(&sq, &[1, 2, 1, 2]).len(), 4);
+        let order = break_automorphisms_labeled(&sq, &[1, 2, 1, 2]);
+        // Exactly one automorphism survives the order.
+        let survivors = automorphisms_labeled(&sq, &[1, 2, 1, 2])
+            .into_iter()
+            .filter(|perm| {
+                let ranks: Vec<u32> = vec![0, 1, 2, 3];
+                let permuted: Vec<u32> =
+                    (0..4).map(|v| ranks[perm[v] as usize]).collect();
+                order.satisfied_by(&permuted)
+            })
+            .count();
+        assert_eq!(survivors, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn label_length_mismatch_panics() {
+        automorphisms_labeled(&catalog::triangle(), &[1, 2]);
+    }
+}

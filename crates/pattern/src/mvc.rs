@@ -1,0 +1,72 @@
+//! Minimum vertex cover of a pattern graph.
+//!
+//! Theorem 1 bounds the superstep count of a level-by-level Gpsi tree:
+//! `|MVC| ≤ S ≤ |Vp| − 1`. Patterns have at most 32 vertices, so an exact
+//! search over subset sizes is instantaneous.
+
+use crate::graph::Pattern;
+
+/// Size of a minimum vertex cover of `p` (exact).
+///
+/// Enumerates subsets in increasing cardinality using Gosper's hack; a set
+/// `S` covers the graph iff every edge has an endpoint in `S`. Patterns are
+/// tiny (`n ≤ 32`, usually ≤ 6), so this is more than fast enough; for
+/// safety the search is capped at `n ≤ 24` (larger patterns would need
+/// branch-and-bound) and panics beyond.
+pub fn min_vertex_cover_size(p: &Pattern) -> u32 {
+    let n = p.num_vertices();
+    assert!(n <= 24, "exact MVC enumeration capped at 24 vertices");
+    if p.num_edges() == 0 {
+        return 0;
+    }
+    let edges: Vec<(u8, u8)> = p.edges().collect();
+    for k in 1..=n as u32 {
+        let mut subset: u64 = (1u64 << k) - 1;
+        let limit: u64 = 1u64 << n;
+        while subset < limit {
+            if edges.iter().all(|&(u, v)| (subset >> u) & 1 == 1 || (subset >> v) & 1 == 1) {
+                return k;
+            }
+            // Gosper's hack: next subset with the same popcount.
+            let c = subset & subset.wrapping_neg();
+            let r = subset + c;
+            subset = (((r ^ subset) >> 2) / c) | r;
+        }
+    }
+    n as u32
+}
+
+/// Theorem 1's superstep bounds for pattern `p` assuming the Gpsi tree
+/// grows level by level: `(|MVC|, |Vp| - 1)`.
+pub fn superstep_bounds(p: &Pattern) -> (u32, u32) {
+    (min_vertex_cover_size(p), p.num_vertices() as u32 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn known_covers() {
+        assert_eq!(min_vertex_cover_size(&catalog::triangle()), 2);
+        assert_eq!(min_vertex_cover_size(&catalog::square()), 2);
+        assert_eq!(min_vertex_cover_size(&catalog::tailed_triangle()), 2);
+        assert_eq!(min_vertex_cover_size(&catalog::four_clique()), 3);
+        assert_eq!(min_vertex_cover_size(&catalog::house()), 3);
+        assert_eq!(min_vertex_cover_size(&catalog::star(5)), 1);
+        assert_eq!(min_vertex_cover_size(&catalog::path(5)), 2);
+        assert_eq!(min_vertex_cover_size(&catalog::clique(5)), 4);
+        assert_eq!(min_vertex_cover_size(&catalog::cycle(5)), 3);
+        assert_eq!(min_vertex_cover_size(&catalog::path(1)), 0);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        for p in catalog::paper_patterns() {
+            let (lo, hi) = superstep_bounds(&p);
+            assert!(lo <= hi, "{p:?}: {lo} > {hi}");
+            assert!(hi == p.num_vertices() as u32 - 1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Textual pattern syntax: `"1-2, 2-3, 3-1"` (1-based, like the paper's
+//! figures).
+//!
+//! Gives tools and tests a compact way to specify patterns; the CLI's
+//! `--pattern` flag accepts either a catalog name or this syntax.
+
+use crate::graph::{Pattern, PatternError, PatternVertex};
+
+/// Errors from pattern parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A token was not of the form `u-v`.
+    BadEdge(String),
+    /// A vertex id did not parse or was 0 (ids are 1-based).
+    BadVertex(String),
+    /// The edges formed an invalid pattern (loop, disconnected, too big).
+    Invalid(PatternError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadEdge(tok) => write!(f, "expected \"u-v\", got {tok:?}"),
+            ParseError::BadVertex(tok) => write!(f, "bad 1-based vertex id {tok:?}"),
+            ParseError::Invalid(e) => write!(f, "invalid pattern: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `"1-2,2-3,3-1"` into a [`Pattern`]. Vertices are 1-based in the
+/// text (to match the paper's figures) and must be contiguous from 1.
+pub fn parse(name: impl Into<String>, text: &str) -> Result<Pattern, ParseError> {
+    let mut edges: Vec<(PatternVertex, PatternVertex)> = Vec::new();
+    let mut max_vertex = 0u8;
+    for token in text.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let (a, b) = token
+            .split_once('-')
+            .ok_or_else(|| ParseError::BadEdge(token.to_string()))?;
+        let u = parse_vertex(a)?;
+        let v = parse_vertex(b)?;
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u - 1, v - 1));
+    }
+    Pattern::new(name, max_vertex as usize, &edges).map_err(ParseError::Invalid)
+}
+
+fn parse_vertex(tok: &str) -> Result<PatternVertex, ParseError> {
+    let v: u8 = tok.trim().parse().map_err(|_| ParseError::BadVertex(tok.to_string()))?;
+    if v == 0 {
+        return Err(ParseError::BadVertex(tok.to_string()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn parses_triangle() {
+        let p = parse("t", "1-2, 2-3, 3-1").unwrap();
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edges(), 3);
+        assert!(p.is_clique());
+    }
+
+    #[test]
+    fn parses_the_paper_square() {
+        let p = parse("sq", "1-2,2-3,3-4,4-1").unwrap();
+        let q = catalog::square();
+        assert_eq!(p.num_edges(), q.num_edges());
+        assert!(p.is_cycle());
+    }
+
+    #[test]
+    fn whitespace_and_trailing_commas_are_tolerated() {
+        let p = parse("x", " 1-2 , 2-3 ,").unwrap();
+        assert_eq!(p.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(matches!(parse("x", "1+2"), Err(ParseError::BadEdge(_))));
+        assert!(matches!(parse("x", "a-2"), Err(ParseError::BadVertex(_))));
+        assert!(matches!(parse("x", "0-2"), Err(ParseError::BadVertex(_))));
+        assert!(matches!(parse("x", "1-1"), Err(ParseError::Invalid(_))));
+        assert!(matches!(parse("x", "1-2,3-4"), Err(ParseError::Invalid(_))));
+        assert!(matches!(parse("x", ""), Err(ParseError::Invalid(_))));
+    }
+
+    #[test]
+    fn error_messages_name_the_token() {
+        assert!(parse("x", "1+2").unwrap_err().to_string().contains("1+2"));
+    }
+}

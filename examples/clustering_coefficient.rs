@@ -1,0 +1,41 @@
+//! Clustering coefficient via parallel triangle listing.
+//!
+//! "Counting triangles helps compute the clustering coefficient of a social
+//! network" (Section 1, citing Suri & Vassilvitskii's "last reducer"
+//! paper). The global clustering coefficient is
+//! `3·triangles / open-wedges`; this example computes it with PSgL (both
+//! counts are subgraph-listing runs: the triangle and the 3-path) and
+//! cross-checks with the centralized Chiba–Nishizeki lister.
+//!
+//! ```bash
+//! cargo run --release --example clustering_coefficient
+//! ```
+
+use psgl::baselines::centralized;
+use psgl::core::{list_subgraphs, PsglConfig};
+use psgl::graph::generators;
+use psgl::pattern::catalog;
+
+fn main() {
+    let config = PsglConfig::with_workers(4);
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "graph", "triangles", "wedges", "clustering", "check"
+    );
+    for (name, gamma) in [("tight community (γ=1.8)", 1.8), ("loose web (γ=2.8)", 2.8)] {
+        let g = generators::chung_lu(4_000, 8.0, gamma, 99).expect("generator");
+        let triangles = list_subgraphs(&g, &catalog::triangle(), &config)
+            .expect("triangle listing")
+            .instance_count;
+        // Wedges = paths of 3 vertices (each triangle contains 3 of them).
+        let wedges = list_subgraphs(&g, &catalog::path(3), &config)
+            .expect("wedge listing")
+            .instance_count;
+        let clustering = if wedges == 0 { 0.0 } else { 3.0 * triangles as f64 / wedges as f64 };
+        let check = centralized::count_triangles(&g);
+        assert_eq!(check, triangles, "PSgL and Chiba–Nishizeki must agree");
+        println!("{name:<28} {triangles:>10} {wedges:>12} {clustering:>12.5} {:>8}", "ok");
+    }
+    println!("\nskewed graphs concentrate wedges on hubs, lowering global clustering;");
+    println!("both counts come from the same PSgL listing machinery.");
+}

@@ -1,0 +1,54 @@
+//! Motif census: count all five paper patterns (PG1–PG5) in one graph.
+//!
+//! Network-motif analysis (Milo et al., Science 2002 — the paper's
+//! motivating application) compares small-subgraph frequencies between a
+//! real network and a degree-matched random one: motifs that are
+//! over-represented reveal structure. This example runs the census on a
+//! "social" power-law graph and an Erdős–Rényi control of the same size.
+//!
+//! ```bash
+//! cargo run --release --example motif_census
+//! ```
+
+use psgl::baselines::centralized;
+use psgl::core::{list_subgraphs, PsglConfig};
+use psgl::graph::{generators, DataGraph};
+use psgl::pattern::catalog;
+
+fn census(name: &str, graph: &DataGraph) {
+    println!("\n=== {name}: {} vertices, {} edges ===", graph.num_vertices(), graph.num_edges());
+    println!("{:<22} {:>12} {:>10} {:>14}", "pattern", "instances", "supersteps", "gpsi generated");
+    let config = PsglConfig::with_workers(4);
+    for pattern in catalog::paper_patterns() {
+        let result = list_subgraphs(graph, &pattern, &config).expect("listing succeeds");
+        // Sanity: the centralized oracle must agree.
+        debug_assert_eq!(result.instance_count, centralized::count(graph, &pattern));
+        println!(
+            "{:<22} {:>12} {:>10} {:>14}",
+            pattern.to_string(),
+            result.instance_count,
+            result.stats.supersteps,
+            result.stats.expand.generated,
+        );
+    }
+}
+
+fn main() {
+    let n = 3_000;
+    let avg_degree = 6.0;
+    // A skewed "social" graph and a degree-matched ER control.
+    let social = generators::chung_lu(n, avg_degree, 2.1, 7).expect("generator");
+    let control = generators::erdos_renyi_gnm(n, social.num_edges(), 7).expect("generator");
+
+    census("social network (power-law, γ≈2.1)", &social);
+    census("random control (Erdős–Rényi)", &control);
+
+    // The motif signature: skewed graphs pack far more triangles and
+    // cliques than their random controls.
+    let tri_social = centralized::count_triangles(&social);
+    let tri_control = centralized::count_triangles(&control);
+    println!(
+        "\ntriangle over-representation: {tri_social} vs {tri_control} (×{:.1})",
+        tri_social as f64 / tri_control.max(1) as f64
+    );
+}

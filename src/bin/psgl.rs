@@ -1,0 +1,281 @@
+//! `psgl` — command-line interface to the subgraph-listing toolkit.
+//!
+//! ```text
+//! psgl count    --graph g.txt --pattern square [--workers 8] [--strategy wa:0.5]
+//!               [--init-vertex 1] [--no-index] [--per-vertex] [--seed 42]
+//! psgl stats    --graph g.txt
+//! psgl generate --out g.txt --model chung-lu --vertices 100000 --avg-degree 8 --gamma 2.1
+//! psgl patterns
+//! ```
+//!
+//! `--graph` reads a SNAP-format edge list; `--pattern` accepts a catalog
+//! name (`triangle`, `square`, `tailed-triangle`, `4-clique`, `house`,
+//! `cycle:K`, `clique:K`, `path:K`, `star:K`) or explicit 1-based edges
+//! (`"1-2,2-3,3-1"`).
+
+use psgl::baselines::centralized;
+use psgl::core::{count_per_vertex, list_subgraphs, PsglConfig, Strategy};
+use psgl::graph::{algo, generators, io, DataGraph, DegreeStats};
+use psgl::pattern::{break_automorphisms, catalog, parse as pattern_parse, Pattern};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "count" => cmd_count(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "patterns" => cmd_patterns(),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+psgl — parallel subgraph listing (PSgL, SIGMOD 2014)
+
+USAGE:
+  psgl count    --graph FILE --pattern P [--workers N] [--strategy S]
+                [--init-vertex V] [--no-index] [--no-break] [--per-vertex]
+                [--seed N] [--verify]
+  psgl stats    --graph FILE
+  psgl generate --out FILE --model MODEL --vertices N
+                [--avg-degree D] [--gamma G] [--edges M] [--seed N]
+  psgl patterns
+
+PATTERNS: triangle | square | tailed-triangle | 4-clique | house
+          | cycle:K | clique:K | path:K | star:K | \"1-2,2-3,3-1\"
+STRATEGY: random | roulette | wa:ALPHA            (default wa:0.5)
+MODEL:    chung-lu | erdos-renyi | barabasi-albert";
+
+/// Parses `--key value` pairs (plus boolean flags) into a map.
+fn parse_flags(args: &[String], booleans: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key:?}"));
+        };
+        if booleans.contains(&name) {
+            map.insert(name.to_string(), "true".to_string());
+        } else {
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+    }
+    Ok(map)
+}
+
+fn required<'m>(flags: &'m HashMap<String, String>, name: &str) -> Result<&'m str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("--{name} is required"))
+}
+
+fn parse_pattern(spec: &str) -> Result<Pattern, String> {
+    if spec.contains('-') && spec.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return pattern_parse::parse(format!("custom({spec})"), spec).map_err(|e| e.to_string());
+    }
+    let (family, k) = match spec.split_once(':') {
+        Some((f, k)) => (f, Some(k.parse::<usize>().map_err(|e| format!("bad K: {e}"))?)),
+        None => (spec, None),
+    };
+    Ok(match (family, k) {
+        ("triangle", None) => catalog::triangle(),
+        ("square", None) => catalog::square(),
+        ("tailed-triangle" | "paw", None) => catalog::tailed_triangle(),
+        ("4-clique", None) => catalog::four_clique(),
+        ("house", None) => catalog::house(),
+        ("cycle", Some(k)) => catalog::cycle(k),
+        ("clique", Some(k)) => catalog::clique(k),
+        ("path", Some(k)) => catalog::path(k),
+        ("star", Some(k)) => catalog::star(k),
+        _ => return Err(format!("unknown pattern {spec:?}")),
+    })
+}
+
+fn parse_strategy(spec: &str) -> Result<Strategy, String> {
+    match spec {
+        "random" => Ok(Strategy::Random),
+        "roulette" => Ok(Strategy::RouletteWheel),
+        _ => {
+            let alpha = spec
+                .strip_prefix("wa:")
+                .ok_or_else(|| format!("unknown strategy {spec:?}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("bad alpha: {e}"))?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err("alpha must be in [0, 1]".into());
+            }
+            Ok(Strategy::WorkloadAware { alpha })
+        }
+    }
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Result<DataGraph, String> {
+    let path = required(flags, "graph")?;
+    io::load_edge_list(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let flags =
+        parse_flags(args, &["no-index", "no-break", "per-vertex", "verify"])?;
+    let graph = load_graph(&flags)?;
+    let pattern = parse_pattern(required(&flags, "pattern")?)?;
+    let mut config = PsglConfig::default();
+    if let Some(w) = flags.get("workers") {
+        config.workers = w.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    }
+    if let Some(s) = flags.get("strategy") {
+        config.strategy = parse_strategy(s)?;
+    }
+    if let Some(v) = flags.get("init-vertex") {
+        let v: u8 = v.parse().map_err(|e| format!("bad --init-vertex: {e}"))?;
+        if v == 0 {
+            return Err("--init-vertex is 1-based".into());
+        }
+        config.init_vertex = Some(v - 1);
+    }
+    if let Some(s) = flags.get("seed") {
+        config.seed = s.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    config.use_edge_index = !flags.contains_key("no-index");
+    config.break_automorphisms = !flags.contains_key("no-break");
+    println!(
+        "graph: {} vertices, {} edges; pattern: {pattern}; {} workers",
+        graph.num_vertices(),
+        graph.num_edges(),
+        config.workers
+    );
+    if flags.contains_key("per-vertex") {
+        let (counts, result) =
+            count_per_vertex(&graph, &pattern, &config).map_err(|e| e.to_string())?;
+        println!("instances: {}", result.instance_count);
+        println!("vertex\tcount");
+        for (v, c) in counts.iter().enumerate().filter(|(_, &c)| c > 0) {
+            println!("{v}\t{c}");
+        }
+        return Ok(());
+    }
+    let result = list_subgraphs(&graph, &pattern, &config).map_err(|e| e.to_string())?;
+    println!("instances          : {}", result.instance_count);
+    println!("supersteps         : {}", result.stats.supersteps);
+    println!("gpsis generated    : {}", result.stats.expand.generated);
+    println!("pruned candidates  : {}", result.stats.expand.total_pruned());
+    println!("simulated makespan : {} cost units", result.stats.simulated_makespan);
+    println!("cost imbalance     : {:.3}", result.stats.cost_imbalance);
+    println!("wall time          : {:.1?}", result.stats.wall_time);
+    println!(
+        "initial vertex     : v{} ({:?})",
+        result.init_vertex + 1,
+        result.selection_rule
+    );
+    if flags.contains_key("verify") {
+        let expected = centralized::count(&graph, &pattern);
+        if expected == result.instance_count {
+            println!("verify             : OK (centralized oracle agrees)");
+        } else {
+            return Err(format!(
+                "verification failed: oracle counts {expected}, PSgL counted {}",
+                result.instance_count
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let graph = load_graph(&flags)?;
+    let stats = DegreeStats::of_graph(&graph);
+    let (_, components) = algo::connected_components(&graph);
+    let (_, degeneracy) = algo::core_decomposition(&graph);
+    let triangles = centralized::count_triangles(&graph);
+    println!("vertices              : {}", graph.num_vertices());
+    println!("edges                 : {}", graph.num_edges());
+    println!("max degree            : {}", stats.max);
+    println!("mean degree           : {:.2}", stats.mean);
+    println!(
+        "power-law exponent γ̂ : {}",
+        stats.gamma.map_or("n/a".into(), |g| format!("{g:.2}"))
+    );
+    println!("connected components  : {components}");
+    println!("degeneracy            : {degeneracy}");
+    println!("triangles             : {triangles}");
+    println!(
+        "global clustering     : {:.5}",
+        algo::global_clustering_coefficient(&graph, triangles)
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let out = required(&flags, "out")?;
+    let model = required(&flags, "model")?;
+    let n: usize =
+        required(&flags, "vertices")?.parse().map_err(|e| format!("bad --vertices: {e}"))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad --seed: {e}"))?;
+    let graph = match model {
+        "chung-lu" => {
+            let avg: f64 = flags.get("avg-degree").map_or(Ok(8.0), |s| s.parse()).map_err(|e| format!("bad --avg-degree: {e}"))?;
+            let gamma: f64 = flags.get("gamma").map_or(Ok(2.2), |s| s.parse()).map_err(|e| format!("bad --gamma: {e}"))?;
+            generators::chung_lu(n, avg, gamma, seed).map_err(|e| e.to_string())?
+        }
+        "erdos-renyi" => {
+            let m: u64 = flags
+                .get("edges")
+                .ok_or("--edges is required for erdos-renyi")?
+                .parse()
+                .map_err(|e| format!("bad --edges: {e}"))?;
+            generators::erdos_renyi_gnm(n, m, seed).map_err(|e| e.to_string())?
+        }
+        "barabasi-albert" => {
+            let m: usize = flags.get("avg-degree").map_or(Ok(4.0), |s| s.parse()).map_err(|e| format!("bad --avg-degree: {e}"))? as usize / 2;
+            generators::barabasi_albert(n, m.max(1), seed).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    io::save_edge_list(&graph, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_patterns() -> Result<(), String> {
+    println!("{:<22} {:>8} {:>6} {:>6}  partial order (automorphism breaking)", "pattern", "vertices", "edges", "|Aut|");
+    for p in catalog::paper_patterns() {
+        let order = break_automorphisms(&p);
+        let constraints: Vec<String> = order
+            .constraints()
+            .iter()
+            .map(|&(a, b)| format!("v{}<v{}", a + 1, b + 1))
+            .collect();
+        let aut = psgl::pattern::automorphism::automorphisms(&p).len();
+        println!(
+            "{:<22} {:>8} {:>6} {:>6}  {}",
+            p.to_string(),
+            p.num_vertices(),
+            p.num_edges(),
+            aut,
+            constraints.join(", ")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # PSgL — Parallel Subgraph Listing
+//!
+//! Facade crate re-exporting the full PSgL toolkit, a from-scratch Rust
+//! reproduction of *"Parallel Subgraph Listing in a Large-Scale Graph"*
+//! (Shao et al., SIGMOD 2014).
+//!
+//! The individual crates:
+//!
+//! - [`graph`] — data-graph substrate (CSR storage, degree ordering,
+//!   generators, loaders, partitioning),
+//! - [`pattern`] — pattern graphs, automorphism breaking, partial orders,
+//! - [`bsp`] — a Bulk Synchronous Parallel vertex-centric engine
+//!   (the Pregel/Giraph substrate PSgL runs on),
+//! - [`core`] — the PSgL framework itself (expansion, distribution
+//!   strategies, initial-vertex selection, bloom edge index),
+//! - [`mapreduce`] — an in-memory MapReduce engine used by the baselines,
+//! - [`baselines`] — the systems the paper compares against (Afrati
+//!   multiway join, SGIA-MR, one-hop index engine, centralized oracle).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use psgl::core::{list_subgraphs, PsglConfig};
+//! use psgl::graph::generators;
+//! use psgl::pattern::catalog;
+//!
+//! // A small power-law data graph and the triangle pattern.
+//! let g = generators::chung_lu(1_000, 4.0, 2.2, 7).unwrap();
+//! let triangle = catalog::triangle();
+//! let result = list_subgraphs(&g, &triangle, &PsglConfig::default()).unwrap();
+//! assert_eq!(result.instance_count, psgl::baselines::centralized::count(&g, &triangle));
+//! ```
+
+pub use psgl_baselines as baselines;
+pub use psgl_bsp as bsp;
+pub use psgl_core as core;
+pub use psgl_graph as graph;
+pub use psgl_mapreduce as mapreduce;
+pub use psgl_pattern as pattern;

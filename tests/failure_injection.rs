@@ -1,0 +1,125 @@
+//! Failure injection: the engines must fail *cleanly* — typed errors, no
+//! panics, no partial results passed off as complete.
+
+use psgl::baselines::{afrati, onehop, sgia};
+use psgl::core::{list_subgraphs, PsglConfig, PsglError};
+use psgl::graph::{generators, io, GraphError};
+use psgl::mapreduce::MrError;
+use psgl::pattern::{catalog, Pattern, PatternError};
+
+#[test]
+fn psgl_reports_oom_not_partial_results() {
+    let g = generators::chung_lu(400, 8.0, 1.8, 1).unwrap();
+    let config = PsglConfig { gpsi_budget: Some(100), ..PsglConfig::with_workers(2) };
+    match list_subgraphs(&g, &catalog::square(), &config) {
+        Err(PsglError::OutOfMemory { in_flight, budget }) => {
+            assert!(in_flight > budget);
+            assert_eq!(budget, 100);
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn psgl_rejects_oversized_patterns_and_bad_init() {
+    let g = generators::erdos_renyi_gnm(30, 60, 1).unwrap();
+    assert!(matches!(
+        list_subgraphs(&g, &catalog::cycle(13), &PsglConfig::default()),
+        Err(PsglError::PatternTooLarge(13))
+    ));
+    let config = PsglConfig::default().init_vertex(7);
+    assert!(matches!(
+        list_subgraphs(&g, &catalog::triangle(), &config),
+        Err(PsglError::BadInitialVertex(7))
+    ));
+}
+
+#[test]
+fn psgl_superstep_limit_is_clean() {
+    let g = generators::erdos_renyi_gnm(50, 200, 2).unwrap();
+    let config = PsglConfig { max_supersteps: 1, ..PsglConfig::with_workers(2) };
+    match list_subgraphs(&g, &catalog::square(), &config) {
+        Err(PsglError::Engine(_)) => {}
+        other => panic!("expected engine error, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_display_chains_are_informative() {
+    let g = generators::chung_lu(400, 8.0, 1.8, 1).unwrap();
+    let config = PsglConfig { gpsi_budget: Some(10), ..PsglConfig::with_workers(2) };
+    let err = list_subgraphs(&g, &catalog::square(), &config).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("out of memory"), "{text}");
+}
+
+#[test]
+fn mapreduce_baselines_report_shuffle_oom() {
+    let g = generators::chung_lu(300, 8.0, 1.8, 2).unwrap();
+    assert!(matches!(
+        sgia::run(&g, &catalog::square(), 4, Some(100)),
+        Err(MrError::ShuffleBudgetExceeded { .. })
+    ));
+    assert!(matches!(
+        afrati::run(&g, &catalog::square(), 81, Some(100)),
+        Err(MrError::ShuffleBudgetExceeded { .. })
+    ));
+}
+
+#[test]
+fn onehop_rejects_invalid_orders_and_reports_oom() {
+    let g = generators::chung_lu(300, 8.0, 1.8, 3).unwrap();
+    let p = catalog::square();
+    assert!(matches!(
+        onehop::run(&g, &p, &onehop::OneHopConfig { order: vec![0, 2, 1, 3], intermediate_budget: None }),
+        Err(onehop::OneHopError::BadTraversalOrder)
+    ));
+    assert!(matches!(
+        onehop::run(
+            &g,
+            &p,
+            &onehop::OneHopConfig {
+                order: onehop::natural_order(&p),
+                intermediate_budget: Some(10)
+            }
+        ),
+        Err(onehop::OneHopError::OutOfMemory { .. })
+    ));
+}
+
+#[test]
+fn malformed_edge_lists_fail_with_line_numbers() {
+    match io::read_edge_list("0 1\n1 2\nnot numbers\n".as_bytes()) {
+        Err(GraphError::Parse { line: 3, .. }) => {}
+        other => panic!("expected parse error at line 3, got {other:?}"),
+    }
+}
+
+#[test]
+fn disconnected_patterns_are_rejected_at_construction() {
+    assert_eq!(
+        Pattern::new("disc", 4, &[(0, 1), (2, 3)]).unwrap_err(),
+        PatternError::NotConnected
+    );
+}
+
+#[test]
+fn generator_parameter_validation() {
+    assert!(generators::erdos_renyi_gnm(10, 1000, 1).is_err());
+    assert!(generators::erdos_renyi_gnp(10, 2.0, 1).is_err());
+    assert!(generators::chung_lu(10, -1.0, 2.0, 1).is_err());
+    assert!(generators::chung_lu(10, 4.0, 0.5, 1).is_err());
+    assert!(generators::barabasi_albert(2, 5, 1).is_err());
+}
+
+#[test]
+fn oom_budget_boundary_exactly_at_limit_succeeds() {
+    // A budget exactly equal to the in-flight volume must NOT trip.
+    let g = generators::erdos_renyi_gnm(40, 100, 5).unwrap();
+    let p = catalog::triangle();
+    // First measure the real peak.
+    let free = list_subgraphs(&g, &p, &PsglConfig::with_workers(2)).unwrap();
+    let peak = free.stats.messages; // upper bound on any superstep's flight
+    let config = PsglConfig { gpsi_budget: Some(peak), ..PsglConfig::with_workers(2) };
+    assert!(list_subgraphs(&g, &p, &config).is_ok());
+}
