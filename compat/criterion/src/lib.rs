@@ -1,0 +1,246 @@
+//! Offline stand-in for the subset of `criterion` that PSgL-rs's benches
+//! use. Runs each benchmark for a fixed number of timed batches and prints
+//! mean wall-clock time per iteration — no statistics, plots, or saved
+//! baselines. See `compat/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint (accepted, ignored — batches are fixed-size here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input of unknown size.
+    PerIteration,
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Identifier from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for &String {
+    fn into_id(self) -> String {
+        self.clone()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, recorded for the report line.
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Times `routine` and records the mean per-iteration cost.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // One warmup iteration, then timed ones.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (by value).
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_secs = total.as_secs_f64() / self.samples as f64;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (by reference).
+    pub fn iter_batched_ref<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> T,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.mean_secs = total.as_secs_f64() / self.samples as f64;
+    }
+}
+
+fn human(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, mean_secs: 0.0 };
+    f(&mut b);
+    println!("bench {id:<48} {:>12}/iter ({samples} samples)", human(b.mean_secs));
+}
+
+/// Top-level benchmark registry (upstream `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a named benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Accepts CLI arguments (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group sharing configuration (upstream `BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), self.sample_size, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/add", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut group = c.benchmark_group("shim_group");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter_batched_ref(|| vec![1u32; 16], |v| v.iter().sum::<u32>(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the subset of `crossbeam` that PSgL-rs uses:
+//! `crossbeam::thread::scope` / `Scope::spawn`, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). See `compat/README.md`.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention
+    //! (spawn closures receive the scope, `scope` returns a `Result`).
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a propagated panic.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; spawn closures receive a reference to it so nested
+    /// spawning works, exactly like `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all spawned threads are joined before this returns.
+    ///
+    /// Mirrors crossbeam: a panic anywhere inside (the closure itself or
+    /// an unjoined child, which `std::thread::scope` re-raises) is caught
+    /// and surfaced as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let r = thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn child_panic_is_err_from_join() {
+        let r = thread::scope(|scope| {
+            let h = scope.spawn(|_| -> u32 { panic!("boom") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(r);
+    }
+}

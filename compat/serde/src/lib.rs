@@ -1,0 +1,6 @@
+//! Offline placeholder for `serde` so the workspace resolves without
+//! network access. No code in the repository currently calls serde APIs —
+//! the wire protocol in `psgl-service` uses its own minimal JSON codec
+//! (`psgl_service::json`), which keeps the service dependency-free. If a
+//! future change needs real serde, vendor it and repoint the workspace
+//! dependency. See `compat/README.md`.
