@@ -104,5 +104,4 @@ mod tests {
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
     }
-
 }

@@ -15,9 +15,9 @@
 use crate::centralized;
 use psgl_graph::hash::hash_u64;
 use psgl_graph::{DataGraph, VertexId};
+use psgl_mapreduce::{run_job, JobMetrics, MapReduceJob, MrConfig, MrError, ReduceCtx};
 use psgl_pattern::automorphism::automorphisms;
 use psgl_pattern::{Pattern, PatternVertex};
-use psgl_mapreduce::{run_job, JobMetrics, MapReduceJob, MrConfig, MrError, ReduceCtx};
 
 /// Result of an Afrati run.
 #[derive(Debug)]
@@ -68,8 +68,7 @@ impl MapReduceJob for AfratiJob<'_> {
             if a == b {
                 continue;
             }
-            let free: Vec<usize> =
-                (0..k).filter(|&i| i != a as usize && i != b as usize).collect();
+            let free: Vec<usize> = (0..k).filter(|&i| i != a as usize && i != b as usize).collect();
             coord.iter_mut().for_each(|c| *c = 0);
             coord[a as usize] = hu;
             coord[b as usize] = hv;

@@ -334,8 +334,8 @@ mod tests {
     #[test]
     fn triangle_free_graph() {
         // A cycle of length 6 has no triangles, no 4-cliques, one 6-cycle.
-        let g = DataGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let g =
+            DataGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         assert_eq!(count_triangles(&g), 0);
         assert_eq!(count(&g, &catalog::triangle()), 0);
         assert_eq!(count(&g, &catalog::cycle(6)), 1);
@@ -354,11 +354,8 @@ mod tests {
 
     #[test]
     fn house_on_crafted_graph() {
-        let g = DataGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 1), (4, 2)],
-        )
-        .unwrap();
+        let g =
+            DataGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 1), (4, 2)]).unwrap();
         assert_eq!(count(&g, &catalog::house()), 1);
     }
 

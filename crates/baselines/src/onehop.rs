@@ -68,7 +68,9 @@ impl std::fmt::Display for OneHopError {
                 f,
                 "out of memory (simulated): {intermediates} intermediates exceed budget {budget}"
             ),
-            OneHopError::BadTraversalOrder => write!(f, "traversal order must be a connected permutation"),
+            OneHopError::BadTraversalOrder => {
+                write!(f, "traversal order must be a connected permutation")
+            }
         }
     }
 }
@@ -189,10 +191,7 @@ pub fn run(g: &DataGraph, p: &Pattern, config: &OneHopConfig) -> Result<OneHopRe
         peak = peak.max(next.len() as u64);
         if let Some(budget) = config.intermediate_budget {
             if next.len() as u64 > budget {
-                return Err(OneHopError::OutOfMemory {
-                    intermediates: next.len() as u64,
-                    budget,
-                });
+                return Err(OneHopError::OutOfMemory { intermediates: next.len() as u64, budget });
             }
         }
         intermediates.push(next.len() as u64);
@@ -281,8 +280,7 @@ mod tests {
     fn oom_on_budget() {
         let g = chung_lu(400, 8.0, 1.9, 11).unwrap();
         let p = catalog::square();
-        let config =
-            OneHopConfig { order: natural_order(&p), intermediate_budget: Some(50) };
+        let config = OneHopConfig { order: natural_order(&p), intermediate_budget: Some(50) };
         assert!(matches!(run(&g, &p, &config), Err(OneHopError::OutOfMemory { .. })));
     }
 
@@ -291,10 +289,10 @@ mod tests {
         let g = erdos_renyi_gnm(20, 40, 1).unwrap();
         let p = catalog::square();
         for order in [
-            vec![0u8, 1, 2],          // wrong length
-            vec![0, 0, 1, 2],         // repeat
-            vec![0, 2, 1, 3],         // 2 not adjacent to 0 in the square
-            vec![0, 1, 2, 9],         // out of range
+            vec![0u8, 1, 2],  // wrong length
+            vec![0, 0, 1, 2], // repeat
+            vec![0, 2, 1, 3], // 2 not adjacent to 0 in the square
+            vec![0, 1, 2, 9], // out of range
         ] {
             let config = OneHopConfig { order, intermediate_budget: None };
             assert!(matches!(run(&g, &p, &config), Err(OneHopError::BadTraversalOrder)));

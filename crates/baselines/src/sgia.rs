@@ -11,9 +11,9 @@
 //! few reducers.
 
 use psgl_graph::{DataGraph, VertexId};
+use psgl_mapreduce::{run_job, JobMetrics, MapReduceJob, MrConfig, MrError, ReduceCtx};
 use psgl_pattern::automorphism::automorphisms;
 use psgl_pattern::{Pattern, PatternVertex};
-use psgl_mapreduce::{run_job, JobMetrics, MapReduceJob, MrConfig, MrError, ReduceCtx};
 
 /// Partial embedding: `slots[vp]` = mapped data vertex or `MAX`.
 type Partial = [VertexId; crate::MAX_SGIA_VERTICES];
@@ -171,9 +171,8 @@ pub fn run_with_budgets(
         let job = JoinRound { join_vp, new_vp };
         // Assemble this round's inputs: partials keyed by the join vertex,
         // data edges keyed by each endpoint.
-        let mut inputs: Vec<(VertexId, Record)> = Vec::with_capacity(
-            partials.len() + 2 * g.num_edges() as usize,
-        );
+        let mut inputs: Vec<(VertexId, Record)> =
+            Vec::with_capacity(partials.len() + 2 * g.num_edges() as usize);
         for s in partials.drain(..) {
             inputs.push((s[join_vp as usize], Record::Partial(s)));
         }
@@ -190,12 +189,7 @@ pub fn run_with_budgets(
     let aut = automorphisms(p).len() as u64;
     debug_assert_eq!(embeddings % aut, 0, "embeddings must split into automorphism classes");
     let peak_intermediate = intermediates.iter().copied().max().unwrap_or(0);
-    Ok(SgiaResult {
-        instance_count: embeddings / aut,
-        rounds,
-        intermediates,
-        peak_intermediate,
-    })
+    Ok(SgiaResult { instance_count: embeddings / aut, rounds, intermediates, peak_intermediate })
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 //! listing at a small fixed size.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use psgl_core::{list_subgraphs, EdgeIndex, PsglConfig, Strategy};
 use psgl_core::distribute::{Distributor, GrayCandidate};
+use psgl_core::{list_subgraphs, EdgeIndex, PsglConfig, Strategy};
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::{generators, OrderedGraph};
 use psgl_pattern::{break_automorphisms, catalog};
@@ -42,7 +42,7 @@ fn bench_distributor(c: &mut Criterion) {
         ("roulette", Strategy::RouletteWheel),
         ("wa_0.5", Strategy::WorkloadAware { alpha: 0.5 }),
     ] {
-        c.bench_function(&format!("distributor/{name}"), |b| {
+        c.bench_function(format!("distributor/{name}"), |b| {
             b.iter_batched_ref(
                 || Distributor::new(strategy, 16, 7),
                 |d| black_box(d.choose(&candidates, &partitioner)),

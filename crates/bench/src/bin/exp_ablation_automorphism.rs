@@ -16,7 +16,12 @@ fn main() {
     let scale = datasets::scale_from_env();
     banner("Ablation", "automorphism breaking on/off", scale);
     let ds = datasets::uspatent(scale);
-    println!("{} ({} vertices, {} edges)\n", ds.name, ds.graph.num_vertices(), ds.graph.num_edges());
+    println!(
+        "{} ({} vertices, {} edges)\n",
+        ds.name,
+        ds.graph.num_vertices(),
+        ds.graph.num_edges()
+    );
     let table = Table::new(&[
         ("pattern", 20),
         ("|Aut|", 6),
@@ -34,7 +39,8 @@ fn main() {
         let (r_on, ms_on) = timed(|| list_subgraphs_prepared(&shared_on, &on).expect("listing"));
         let off = PsglConfig { break_automorphisms: false, ..PsglConfig::with_workers(workers) };
         let shared_off = PsglShared::prepare(&ds.graph, &pattern, &off).expect("prepare");
-        let (r_off, ms_off) = timed(|| list_subgraphs_prepared(&shared_off, &off).expect("listing"));
+        let (r_off, ms_off) =
+            timed(|| list_subgraphs_prepared(&shared_off, &off).expect("listing"));
         assert_eq!(r_off.instance_count, r_on.instance_count * aut);
         table.row(&[
             pattern.to_string(),

@@ -41,10 +41,7 @@ fn main() {
         format!("{ms:.0}"),
     ]);
     for bits in [2usize, 4, 8, 12, 16, 24] {
-        let config = PsglConfig {
-            index_bits_per_edge: bits,
-            ..PsglConfig::with_workers(workers)
-        };
+        let config = PsglConfig { index_bits_per_edge: bits, ..PsglConfig::with_workers(workers) };
         let shared = PsglShared::prepare(&ds.graph, &pattern, &config).expect("prepare");
         let fpr = EdgeIndex::build(&ds.graph, bits).measured_fpr(&ds.graph, 50_000, 1);
         let mem = shared.index.as_ref().unwrap().memory_bytes() / 1024;
@@ -59,5 +56,7 @@ fn main() {
             format!("{ms:.0}"),
         ]);
     }
-    println!("\nshape: Gpsi volume collapses once the index exists; diminishing returns past ~10 bits.");
+    println!(
+        "\nshape: Gpsi volume collapses once the index exists; diminishing returns past ~10 bits."
+    );
 }

@@ -41,10 +41,8 @@ fn main() {
                     Err(e) => panic!("unexpected: {e}"),
                 }
             }
-            let Some((best_v, best_cost)) = measured
-                .iter()
-                .filter_map(|&(v, m)| m.map(|m| (v, m)))
-                .min_by_key(|&(_, m)| m)
+            let Some((best_v, best_cost)) =
+                measured.iter().filter_map(|&(v, m)| m.map(|m| (v, m))).min_by_key(|&(_, m)| m)
             else {
                 table.row(&[
                     format!("{} {}", ds.name, pattern),

@@ -23,8 +23,7 @@ fn run_case(ds: &Dataset, pattern: &Pattern, workers: usize) {
         ds.graph.num_vertices(),
         ds.graph.num_edges()
     );
-    let table =
-        Table::new(&[("init vertex", 12), ("makespan(cost)", 14), ("ratio to best", 14)]);
+    let table = Table::new(&[("init vertex", 12), ("makespan(cost)", 14), ("ratio to best", 14)]);
     let mut rows: Vec<(u8, Option<u64>)> = Vec::new();
     let mut best = u64::MAX;
     // First pass establishes the best; a generous Gpsi budget keeps
@@ -52,7 +51,9 @@ fn run_case(ds: &Dataset, pattern: &Pattern, workers: usize) {
                 m.to_string(),
                 format!("{:.2}", m as f64 / best as f64),
             ]),
-            None => table.row(&["v".to_string() + &(v + 1).to_string(), "OOM".into(), ">100".into()]),
+            None => {
+                table.row(&["v".to_string() + &(v + 1).to_string(), "OOM".into(), ">100".into()])
+            }
         }
     }
 }

@@ -57,7 +57,13 @@ fn run_case(ds: &Dataset, pattern: &Pattern, workers: usize, table: &Table) {
         )
     });
     let (sg, sg_ms) = timed(|| {
-        sgia::run_with_budgets(&ds.graph, pattern, workers, Some(SHUFFLE_BUDGET), Some(SGIA_COST_BUDGET))
+        sgia::run_with_budgets(
+            &ds.graph,
+            pattern,
+            workers,
+            Some(SHUFFLE_BUDGET),
+            Some(SGIA_COST_BUDGET),
+        )
     });
     let (af_ratio, af_shfl) = match af {
         Ok(r) => {

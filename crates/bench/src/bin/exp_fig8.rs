@@ -16,7 +16,12 @@ fn main() {
     banner("Figure 8", "PG2 on WikiTalk, workers 10..80 vs ideal linear scaling", scale);
     let ds = datasets::wikitalk(scale);
     let pattern = catalog::square();
-    println!("{} ({} vertices, {} edges)\n", ds.name, ds.graph.num_vertices(), ds.graph.num_edges());
+    println!(
+        "{} ({} vertices, {} edges)\n",
+        ds.name,
+        ds.graph.num_vertices(),
+        ds.graph.num_edges()
+    );
     let table = Table::new(&[
         ("workers", 8),
         ("makespan(cost)", 14),

@@ -1,0 +1,134 @@
+//! BENCH_service — throughput and latency of `psgl-service` over loopback.
+//!
+//! Not a paper artifact: this measures the service subsystem added on top
+//! of the engine. `N_CLIENTS` concurrent connections each fire a stream of
+//! `count` queries (cycling over a small pattern mix, so the result cache
+//! sees repeats after the first round), and the run reports queries/sec,
+//! p50/p99 latency, and the server-side cache hit rate — written to
+//! `results/BENCH_service.json` via [`psgl_bench::report::write_json_report`].
+//!
+//! `PSGL_SCALE` scales both the data graph and the per-client query count.
+
+use psgl_bench::report;
+use psgl_graph::{generators, io};
+use psgl_service::{serve, Client, Json, QueryDefaults, ServiceConfig};
+use std::time::Instant;
+
+const PATTERNS: [&str; 3] = ["triangle", "tailed-triangle", "square"];
+
+fn main() {
+    let scale: f64 = std::env::var("PSGL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    report::banner(
+        "BENCH_service",
+        "service throughput: concurrent count queries over loopback TCP",
+        scale,
+    );
+
+    let n_clients: usize = 8;
+    let queries_per_client = ((30.0 * scale).round() as usize).max(3);
+    let vertices = ((20_000.0 * scale) as usize).max(500);
+
+    // A power-law stand-in dataset, served from a real file like production.
+    let graph = generators::chung_lu(vertices, 8.0, 2.2, 7).expect("generate graph");
+    let dir = std::env::temp_dir().join("psgl_bench_service");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("chung_lu.txt");
+    io::save_edge_list(&graph, path.to_str().unwrap()).expect("save graph");
+
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        pool: n_clients.min(8),
+        queue_cap: 4 * n_clients,
+        result_cache_cap: 256,
+        plan_cache_cap: 256,
+        defaults: QueryDefaults::default(),
+        list_chunk: 256,
+    };
+    let pool = config.pool;
+    let handle = serve(config).expect("bind loopback");
+    let addr = handle.addr();
+
+    let mut admin = Client::connect(addr).expect("connect");
+    let loaded = admin.load("bench", path.to_str().unwrap(), "edge-list").expect("load");
+    // The served counts, not the generator's: the edge-list round trip
+    // drops isolated vertices.
+    let served_vertices = loaded.get("vertices").and_then(Json::as_u64).unwrap();
+    let served_edges = loaded.get("edges").and_then(Json::as_u64).unwrap();
+    println!(
+        "graph: {served_vertices} vertices, {served_edges} edges (load {:.0} ms); \
+         {n_clients} clients x {queries_per_client} queries, pool {pool}",
+        loaded.get("load_ms").and_then(Json::as_f64).unwrap(),
+    );
+
+    // Fire the query mix from independent threads/connections.
+    let wall = Instant::now();
+    let threads: Vec<_> = (0..n_clients)
+        .map(|c| {
+            std::thread::spawn(move || -> (Vec<f64>, u64, u64) {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut latencies = Vec::with_capacity(queries_per_client);
+                let (mut ok, mut rejected) = (0u64, 0u64);
+                for q in 0..queries_per_client {
+                    let pattern = PATTERNS[(c + q) % PATTERNS.len()];
+                    let start = Instant::now();
+                    match client.count("bench", pattern) {
+                        Ok(_) => ok += 1,
+                        Err(e) if e.code() == Some("overloaded") => rejected += 1,
+                        Err(e) => panic!("query failed: {e}"),
+                    }
+                    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                }
+                (latencies, ok, rejected)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let (mut ok, mut rejected) = (0u64, 0u64);
+    for t in threads {
+        let (lat, o, r) = t.join().expect("client thread");
+        latencies.extend(lat);
+        ok += o;
+        rejected += r;
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let stats = admin.stats().expect("stats");
+    let cache = stats.get("result_cache").unwrap();
+    let hit_rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+    admin.shutdown().expect("shutdown");
+    handle.wait();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let qps = ok as f64 / elapsed;
+    let p50 = report::percentile(&latencies, 0.50);
+    let p99 = report::percentile(&latencies, 0.99);
+
+    let table = report::Table::new(&[("metric", 22), ("value", 14)]);
+    table.row(&["queries ok".into(), ok.to_string()]);
+    table.row(&["rejected (overload)".into(), rejected.to_string()]);
+    table.row(&["wall secs".into(), format!("{elapsed:.2}")]);
+    table.row(&["qps".into(), format!("{qps:.1}")]);
+    table.row(&["p50 ms".into(), format!("{p50:.2}")]);
+    table.row(&["p99 ms".into(), format!("{p99:.2}")]);
+    table.row(&["cache hit rate".into(), format!("{hit_rate:.3}")]);
+    println!("shape: cache hit rate near 1 after the first round per pattern;");
+    println!("       p99 >> p50 only when the pool saturates");
+
+    let body = Json::obj([
+        ("experiment", Json::from("service_throughput")),
+        ("scale", Json::from(scale)),
+        ("vertices", Json::from(served_vertices)),
+        ("edges", Json::from(served_edges)),
+        ("clients", Json::from(n_clients)),
+        ("queries_per_client", Json::from(queries_per_client)),
+        ("pool", Json::from(pool)),
+        ("queries_ok", Json::from(ok)),
+        ("rejected_overloaded", Json::from(rejected)),
+        ("wall_secs", Json::from(elapsed)),
+        ("qps", Json::from(qps)),
+        ("p50_ms", Json::from(p50)),
+        ("p99_ms", Json::from(p99)),
+        ("cache_hit_rate", Json::from(hit_rate)),
+    ]);
+    report::write_json_report("results/BENCH_service.json", &body).expect("write report");
+}

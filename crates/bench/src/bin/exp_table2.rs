@@ -63,10 +63,9 @@ fn main() {
             .expect("indexed run fits in memory");
         let without = gpsi_count(ds, &pattern, init, false, budget, workers);
         let (wo_str, ratio) = match without {
-            Some(wo) => (
-                sci(wo),
-                format!("{:.2}%", 100.0 * (wo.saturating_sub(with)) as f64 / wo as f64),
-            ),
+            Some(wo) => {
+                (sci(wo), format!("{:.2}%", 100.0 * (wo.saturating_sub(with)) as f64 / wo as f64))
+            }
             None => ("OOM".to_string(), "unknown".to_string()),
         };
         table.row(&[

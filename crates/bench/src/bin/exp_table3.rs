@@ -24,10 +24,8 @@ fn run_case(ds: &Dataset, workers: usize, table: &Table) {
     let config = PsglConfig::with_workers(workers);
     let (psgl, psgl_ms) = timed(|| list_subgraphs(&ds.graph, &pattern, &config).expect("psgl"));
     let (af, af_ms) = timed(|| afrati::run(&ds.graph, &pattern, workers, None).expect("afrati"));
-    let oh_config = onehop::OneHopConfig {
-        order: onehop::natural_order(&pattern),
-        intermediate_budget: None,
-    };
+    let oh_config =
+        onehop::OneHopConfig { order: onehop::natural_order(&pattern), intermediate_budget: None };
     let (oh, oh_ms) = timed(|| onehop::run(&ds.graph, &pattern, &oh_config).expect("onehop"));
     let (cn, cn_ms) = timed(|| centralized::count_triangles(&ds.graph));
     assert_eq!(psgl.instance_count, af.instance_count);

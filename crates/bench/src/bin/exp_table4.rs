@@ -18,8 +18,8 @@ use psgl_baselines::{afrati, onehop};
 use psgl_bench::datasets::{self, Dataset};
 use psgl_bench::report::{banner, sci, timed, Table};
 use psgl_core::{list_subgraphs, PsglConfig, PsglError};
-use psgl_pattern::{catalog, Pattern, PatternVertex};
 use psgl_mapreduce::MrError;
+use psgl_pattern::{catalog, Pattern, PatternVertex};
 
 struct Case {
     ds: Dataset,
@@ -107,10 +107,8 @@ fn main() {
             Err(MrError::ShuffleBudgetExceeded { .. }) => "OOM".to_string(),
             Err(MrError::CostBudgetExceeded { .. }) => "DNF".to_string(),
         };
-        let oh_config = onehop::OneHopConfig {
-            order: case.order.clone(),
-            intermediate_budget: Some(budget),
-        };
+        let oh_config =
+            onehop::OneHopConfig { order: case.order.clone(), intermediate_budget: Some(budget) };
         let (oh, oh_ms) = timed(|| onehop::run(g, &case.pattern, &oh_config));
         let (oh_str, peak) = match &oh {
             Ok(r) => {

@@ -59,6 +59,28 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Writes a machine-readable experiment result (one JSON document) to
+/// `path`, creating parent directories as needed. Experiment binaries
+/// use this for `results/BENCH_*.json` files that trend dashboards and
+/// CI can diff without scraping tables.
+pub fn write_json_report(path: &str, body: &psgl_service::Json) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, format!("{body}\n"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// Percentile of a sorted sample (nearest-rank; `q` in [0, 1]).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Human formatting for large counts (`1234567 -> "1.23e6"` style keeps
 /// table columns narrow, mirroring the paper's scientific notation in
 /// Table 2).
@@ -86,5 +108,14 @@ mod tests {
         let (v, ms) = timed(|| 7);
         assert_eq!(v, 7);
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.99), 4.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert!(percentile(&[], 0.5).is_nan());
     }
 }

@@ -218,11 +218,8 @@ pub fn run<P: VertexProgram>(
         let prev_aggregate = &merged_aggregate;
         let panicked = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(k);
-            for (((worker, state), inbox), slot) in states
-                .iter_mut()
-                .enumerate()
-                .zip(inboxes.iter_mut())
-                .zip(worker_results.iter_mut())
+            for (((worker, state), inbox), slot) in
+                states.iter_mut().enumerate().zip(inboxes.iter_mut()).zip(worker_results.iter_mut())
             {
                 let owned = &owned[worker];
                 let handle = scope.spawn(move |_| {
@@ -264,7 +261,8 @@ pub fn run<P: VertexProgram>(
         // Collect metrics, merge aggregates, and rebuild inboxes in
         // source-worker order.
         let mut step = SuperstepMetrics { workers: Vec::with_capacity(k) };
-        let mut new_inboxes: Vec<Vec<(VertexId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+        let mut new_inboxes: Vec<Vec<(VertexId, P::Message)>> =
+            (0..k).map(|_| Vec::new()).collect();
         let mut next_aggregate = P::Aggregate::default();
         for result in worker_results {
             let (outboxes, wm, agg) = result.expect("worker result present when no panic");
@@ -411,8 +409,8 @@ mod tests {
     #[test]
     fn min_label_converges_on_two_components() {
         // Two triangles: {0,1,2} and {3,4,5}.
-        let g = DataGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g =
+            DataGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         let labels = run_min_label(&g, 3);
         assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
     }
@@ -477,7 +475,8 @@ mod tests {
         let p = HashPartitioner::new(4);
         let config = BspConfig { message_budget: Some(500), ..Default::default() };
         match run(100, &p, &prog, &config) {
-            Err(BspError::MessageBudgetExceeded { superstep: 0, in_flight: 1000, budget: 500 }) => {}
+            Err(BspError::MessageBudgetExceeded { superstep: 0, in_flight: 1000, budget: 500 }) => {
+            }
             other => panic!("expected budget error, got {other:?}"),
         }
         // A budget that fits succeeds and delivers all messages.
@@ -534,10 +533,7 @@ mod tests {
     fn superstep_limit_stops_runaway_programs() {
         let p = HashPartitioner::new(2);
         let config = BspConfig { max_supersteps: 5, ..Default::default() };
-        assert!(matches!(
-            run(2, &p, &PingPong, &config),
-            Err(BspError::SuperstepLimitExceeded(5))
-        ));
+        assert!(matches!(run(2, &p, &PingPong, &config), Err(BspError::SuperstepLimitExceeded(5))));
     }
 
     #[test]

@@ -113,11 +113,7 @@ impl Distributor {
 
     /// Chooses the next expanding vertex among `candidates` (must be
     /// non-empty). Returns the index into `candidates`.
-    pub fn choose(
-        &mut self,
-        candidates: &[GrayCandidate],
-        partitioner: &HashPartitioner,
-    ) -> usize {
+    pub fn choose(&mut self, candidates: &[GrayCandidate], partitioner: &HashPartitioner) -> usize {
         debug_assert!(!candidates.is_empty());
         if candidates.len() == 1 {
             if let Strategy::WorkloadAware { .. } = self.strategy {
@@ -130,7 +126,9 @@ impl Distributor {
         match self.strategy {
             Strategy::Random => self.rng.gen_range(0..candidates.len()),
             Strategy::RouletteWheel => self.roulette(candidates),
-            Strategy::WorkloadAware { alpha } => self.workload_aware(candidates, partitioner, alpha),
+            Strategy::WorkloadAware { alpha } => {
+                self.workload_aware(candidates, partitioner, alpha)
+            }
         }
     }
 

@@ -205,7 +205,17 @@ fn combine(
     stats: &mut ExpandStats,
 ) -> Result<u64, ()> {
     if depth == white.len() {
-        finalize_combination(shared, base, white, chosen, distributor, partitioner, out, emit, stats);
+        finalize_combination(
+            shared,
+            base,
+            white,
+            chosen,
+            distributor,
+            partitioner,
+            out,
+            emit,
+            stats,
+        );
         return Ok(1);
     }
     let mut generated = 0u64;
@@ -320,10 +330,7 @@ fn finalize_combination(
             });
         }
     }
-    debug_assert!(
-        !grays.is_empty(),
-        "incomplete Gpsi must have a useful GRAY vertex: {g:?}"
-    );
+    debug_assert!(!grays.is_empty(), "incomplete Gpsi must have a useful GRAY vertex: {g:?}");
     let pick = distributor.choose(&grays, partitioner);
     g.set_expanding(grays[pick].vp);
     out.push(g);
@@ -437,11 +444,8 @@ mod tests {
         // Build a graph that contains exactly one house: square 0-1-2-3
         // plus apex 4 on edge 1-2 ... vertices {0,1,2,3,4}, edges of the
         // square (0,1),(1,2),(2,3),(3,0), apex (4,1),(4,2).
-        let g = DataGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 1), (4, 2)],
-        )
-        .unwrap();
+        let g =
+            DataGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 1), (4, 2)]).unwrap();
         let res = list_all(&g, &catalog::house());
         assert_eq!(res.len(), 1, "exactly one house: {res:?}");
     }
@@ -459,10 +463,7 @@ mod tests {
         let mut distributor = Distributor::new(Strategy::Random, 1, 7);
         let mut stats = ExpandStats::default();
         // Start at the path's middle vertex mapped to the hub.
-        let middle = pattern
-            .vertices()
-            .find(|&v| pattern.degree(v) == 2)
-            .unwrap();
+        let middle = pattern.vertices().find(|&v| pattern.degree(v) == 2).unwrap();
         let gpsi = Gpsi::initial(middle, 0);
         let mut out = Vec::new();
         let outcome = expand_gpsi(

@@ -48,13 +48,7 @@ impl Gpsi {
         debug_assert!((init_vertex as usize) < MAX_GPSI_VERTICES);
         let mut mapping = [UNMAPPED; MAX_GPSI_VERTICES];
         mapping[init_vertex as usize] = vd;
-        Gpsi {
-            mapping,
-            black: 0,
-            mapped: 1 << init_vertex,
-            verified: 0,
-            expanding: init_vertex,
-        }
+        Gpsi { mapping, black: 0, mapped: 1 << init_vertex, verified: 0, expanding: init_vertex }
     }
 
     /// Data vertex mapped to `vp`, or `None` if `vp` is WHITE.

@@ -16,7 +16,7 @@
 
 use crate::distribute;
 use psgl_graph::hash::FxHashMap;
-use psgl_pattern::{Pattern, PartialOrderSet, PatternVertex};
+use psgl_pattern::{PartialOrderSet, Pattern, PatternVertex};
 
 /// How the initial vertex was (or should be) chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,8 +97,7 @@ impl<'p> CostModel<'p> {
                 let mut fanouts = Vec::with_capacity(grays.len());
                 for &vp in &grays {
                     let white_mask = p.neighbor_mask(vp) & !u32::from(mapped);
-                    let f =
-                        self.expected_fanout(p.degree(vp), white_mask.count_ones());
+                    let f = self.expected_fanout(p.degree(vp), white_mask.count_ones());
                     fanouts.push((vp, white_mask, f));
                     fanout_sum += f;
                 }

@@ -42,6 +42,7 @@ pub mod expand;
 pub mod gpsi;
 pub mod index;
 pub mod init_vertex;
+pub mod plan;
 pub mod runner;
 pub mod shared;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use config::PsglConfig;
 pub use distribute::Strategy;
 pub use gpsi::Gpsi;
 pub use index::EdgeIndex;
+pub use plan::QueryPlan;
 pub use runner::{
     count_per_vertex, list_subgraphs, list_subgraphs_labeled, list_subgraphs_prepared,
     ListingResult,

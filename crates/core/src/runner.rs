@@ -129,8 +129,7 @@ impl VertexProgram for PsglProgram<'_> {
             state.emitted_superstep = ctx.superstep();
             state.emitted_this_superstep = 0;
         }
-        let WorkerState { distributor, stats, harvest, emitted_this_superstep, failed, .. } =
-            state;
+        let WorkerState { distributor, stats, harvest, emitted_this_superstep, failed, .. } = state;
         let np = self.shared.pattern.num_vertices();
         let mut out: Vec<Gpsi> = Vec::new();
         for gpsi in messages {
@@ -222,8 +221,7 @@ pub fn list_subgraphs_labeled(
     pattern_labels: Vec<psgl_pattern::labeled::Label>,
     config: &PsglConfig,
 ) -> Result<ListingResult, PsglError> {
-    let shared =
-        PsglShared::prepare_labeled(graph, pattern, config, data_labels, pattern_labels)?;
+    let shared = PsglShared::prepare_labeled(graph, pattern, config, data_labels, pattern_labels)?;
     list_subgraphs_prepared(&shared, config)
 }
 
@@ -379,12 +377,9 @@ mod tests {
     fn index_off_still_correct_but_generates_more_gpsis() {
         let g = chung_lu(400, 8.0, 2.2, 5).unwrap();
         let with = list_subgraphs(&g, &catalog::square(), &PsglConfig::with_workers(2)).unwrap();
-        let without = list_subgraphs(
-            &g,
-            &catalog::square(),
-            &PsglConfig::with_workers(2).edge_index(false),
-        )
-        .unwrap();
+        let without =
+            list_subgraphs(&g, &catalog::square(), &PsglConfig::with_workers(2).edge_index(false))
+                .unwrap();
         assert_eq!(with.instance_count, without.instance_count);
         assert!(
             without.stats.expand.generated >= with.stats.expand.generated,
@@ -581,14 +576,11 @@ mod tests {
         let g = erdos_renyi_gnm(70, 350, 19).unwrap();
         let (counts, _) =
             count_per_vertex(&g, &catalog::square(), &PsglConfig::with_workers(3)).unwrap();
-        let collected = list_subgraphs(
-            &g,
-            &catalog::square(),
-            &PsglConfig::with_workers(3).collect(true),
-        )
-        .unwrap()
-        .instances
-        .unwrap();
+        let collected =
+            list_subgraphs(&g, &catalog::square(), &PsglConfig::with_workers(3).collect(true))
+                .unwrap()
+                .instances
+                .unwrap();
         let mut expected = vec![0u64; g.num_vertices()];
         for inst in collected {
             for v in inst {
@@ -601,11 +593,9 @@ mod tests {
     #[test]
     fn without_automorphism_breaking_counts_multiply_by_aut() {
         let g = erdos_renyi_gnm(60, 300, 15).unwrap();
-        for (p, aut) in [
-            (catalog::triangle(), 6),
-            (catalog::square(), 8),
-            (catalog::tailed_triangle(), 2),
-        ] {
+        for (p, aut) in
+            [(catalog::triangle(), 6), (catalog::square(), 8), (catalog::tailed_triangle(), 2)]
+        {
             let broken = list_subgraphs(&g, &p, &PsglConfig::with_workers(2)).unwrap();
             let unbroken = list_subgraphs(
                 &g,

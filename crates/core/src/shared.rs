@@ -9,11 +9,13 @@
 
 use crate::gpsi::{EdgeIds, MAX_GPSI_VERTICES};
 use crate::index::EdgeIndex;
-use crate::init_vertex::{select_initial_vertex, SelectionRule};
+use crate::init_vertex::SelectionRule;
+use crate::plan::QueryPlan;
 use crate::PsglConfig;
 use psgl_graph::{DataGraph, DegreeStats, OrderedGraph};
 use psgl_pattern::labeled::{break_automorphisms_labeled, Label};
-use psgl_pattern::{break_automorphisms, PartialOrderSet, Pattern, PatternVertex};
+use psgl_pattern::{PartialOrderSet, Pattern, PatternVertex};
+use std::sync::Arc;
 
 /// Errors raised while preparing or running a PSgL listing.
 #[derive(Debug)]
@@ -85,16 +87,18 @@ impl From<psgl_bsp::BspError> for PsglError {
 pub struct PsglShared<'g> {
     /// The data graph (distributed across workers by the partitioner).
     pub graph: &'g DataGraph,
-    /// Degree-based total order with `nb`/`ns` (Section 3).
-    pub ordered: OrderedGraph,
+    /// Degree-based total order with `nb`/`ns` (Section 3). Shared so a
+    /// long-running server can reuse it across queries ([`Self::from_parts`]).
+    pub ordered: Arc<OrderedGraph>,
     /// The pattern being listed.
     pub pattern: Pattern,
     /// Partial order set from automorphism breaking (Section 5.2.1).
     pub order: PartialOrderSet,
     /// Pattern-edge numbering for verified-edge masks.
     pub edge_ids: EdgeIds,
-    /// The light-weight edge index, if enabled (Section 5.2.3).
-    pub index: Option<EdgeIndex>,
+    /// The light-weight edge index, if enabled (Section 5.2.3). Shared
+    /// like [`Self::ordered`].
+    pub index: Option<Arc<EdgeIndex>>,
     /// Selected initial pattern vertex (Section 5.2.2).
     pub init_vertex: PatternVertex,
     /// How the initial vertex was chosen.
@@ -113,42 +117,36 @@ impl<'g> PsglShared<'g> {
         pattern: &Pattern,
         config: &PsglConfig,
     ) -> Result<PsglShared<'g>, PsglError> {
-        if pattern.num_vertices() > MAX_GPSI_VERTICES {
-            return Err(PsglError::PatternTooLarge(pattern.num_vertices()));
-        }
-        let ordered = OrderedGraph::new(graph);
-        let order = if config.break_automorphisms {
-            break_automorphisms(pattern)
-        } else {
-            PartialOrderSet::new(pattern.num_vertices())
-        };
-        let edge_ids = EdgeIds::new(pattern);
-        let index =
-            config.use_edge_index.then(|| EdgeIndex::build(graph, config.index_bits_per_edge));
-        let (init_vertex, selection_rule) = match config.init_vertex {
-            Some(v) => {
-                if v as usize >= pattern.num_vertices() {
-                    return Err(PsglError::BadInitialVertex(v));
-                }
-                (v, SelectionRule::Fixed)
-            }
-            None => {
-                let stats = DegreeStats::of_graph(graph);
-                let (v, rule) = select_initial_vertex(pattern, &order, &stats.histogram);
-                (v, rule)
-            }
-        };
-        Ok(PsglShared {
+        let histogram = DegreeStats::of_graph(graph).histogram;
+        let plan = QueryPlan::prepare(pattern, config, &histogram)?;
+        let ordered = Arc::new(OrderedGraph::new(graph));
+        let index = config
+            .use_edge_index
+            .then(|| Arc::new(EdgeIndex::build(graph, config.index_bits_per_edge)));
+        Ok(PsglShared::from_parts(graph, ordered, index, &plan))
+    }
+
+    /// Assembles a run context from pre-built graph artifacts and a cached
+    /// [`QueryPlan`] — the server path, where the ordered graph / edge
+    /// index live in a catalog and plans in a per-graph plan cache, so
+    /// none of the offline work of [`Self::prepare`] is repeated.
+    pub fn from_parts(
+        graph: &'g DataGraph,
+        ordered: Arc<OrderedGraph>,
+        index: Option<Arc<EdgeIndex>>,
+        plan: &QueryPlan,
+    ) -> PsglShared<'g> {
+        PsglShared {
             graph,
             ordered,
-            pattern: pattern.clone(),
-            order,
-            edge_ids,
+            pattern: plan.pattern.clone(),
+            order: plan.order.clone(),
+            edge_ids: plan.edge_ids.clone(),
             index,
-            init_vertex,
-            selection_rule,
+            init_vertex: plan.init_vertex,
+            selection_rule: plan.selection_rule,
             labels: None,
-        })
+        }
     }
 
     /// Prepares a *labeled* matching context (Section 2's subgraph-matching

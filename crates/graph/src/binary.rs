@@ -25,8 +25,7 @@ const MAGIC: &[u8; 8] = b"PSGLGRF1";
 pub fn to_bytes(g: &DataGraph) -> Bytes {
     let n = g.num_vertices();
     let m2 = g.degree_sum();
-    let mut buf =
-        BytesMut::with_capacity(8 + 16 + (n + 1) * 8 + m2 as usize * 4 + 8);
+    let mut buf = BytesMut::with_capacity(8 + 16 + (n + 1) * 8 + m2 as usize * 4 + 8);
     buf.put_slice(MAGIC);
     buf.put_u64_le(n as u64);
     buf.put_u64_le(m2);
@@ -125,10 +124,7 @@ mod tests {
             let back = from_bytes(&bytes).unwrap();
             assert_eq!(back.num_vertices(), g.num_vertices());
             assert_eq!(back.num_edges(), g.num_edges());
-            assert_eq!(
-                back.edges().collect::<Vec<_>>(),
-                g.edges().collect::<Vec<_>>()
-            );
+            assert_eq!(back.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
         }
     }
 

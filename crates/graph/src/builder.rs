@@ -56,7 +56,13 @@ impl GraphBuilder {
             )));
         }
         for &(u, v) in &self.edges {
-            let bad = if u as usize >= n { Some(u) } else if v as usize >= n { Some(v) } else { None };
+            let bad = if u as usize >= n {
+                Some(u)
+            } else if v as usize >= n {
+                Some(v)
+            } else {
+                None
+            };
             if let Some(x) = bad {
                 return Err(GraphError::VertexOutOfRange { vertex: u64::from(x), bound: n as u64 });
             }
@@ -69,12 +75,8 @@ impl GraphBuilder {
     /// eliminated by remapping the touched vertices onto a dense `0..n'`
     /// id space (ids keep their relative order).
     pub fn build(self) -> Result<DataGraph, GraphError> {
-        let mut touched: Vec<VertexId> = self
-            .edges
-            .iter()
-            .filter(|(u, v)| u != v)
-            .flat_map(|&(u, v)| [u, v])
-            .collect();
+        let mut touched: Vec<VertexId> =
+            self.edges.iter().filter(|(u, v)| u != v).flat_map(|&(u, v)| [u, v]).collect();
         touched.sort_unstable();
         touched.dedup();
         let n = touched.len();

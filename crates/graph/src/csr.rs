@@ -148,17 +148,34 @@ impl DataGraph {
     /// Verifies adjacency symmetry (`O(m log d)`); used by debug assertions
     /// and tests.
     pub fn is_symmetric(&self) -> bool {
-        self.vertices().all(|u| {
-            self.neighbors(u)
-                .iter()
-                .all(|&v| self.neighbors(v).binary_search(&u).is_ok())
-        })
+        self.vertices()
+            .all(|u| self.neighbors(u).iter().all(|&v| self.neighbors(v).binary_search(&u).is_ok()))
     }
 
     /// Approximate heap footprint in bytes (offsets + adjacency).
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u64>()
             + self.adjacency.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// A content fingerprint of the graph structure, stable across loads of
+    /// the same graph (CSR form is canonical: sorted adjacency, exactly one
+    /// offsets layout per edge set). Suitable as a cache key component —
+    /// e.g. keying cached query results to the graph they were computed on
+    /// — not as a cryptographic digest.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::hash::FxHasher::default();
+        h.write_u64(self.offsets.len() as u64);
+        for &o in &self.offsets {
+            h.write_u64(o);
+        }
+        for &v in &self.adjacency {
+            h.write_u32(v);
+        }
+        // FxHash's single multiply leaves low bits structured; finish with a
+        // full avalanche so the fingerprint is usable in truncated form.
+        crate::hash::hash_u64(h.finish())
     }
 }
 
@@ -238,5 +255,16 @@ mod tests {
     fn memory_bytes_tracks_sizes() {
         let g = path3();
         assert_eq!(g.memory_bytes(), 4 * 8 + 4 * 4);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_structure_sensitive() {
+        let a = path3();
+        let b = DataGraph::from_edges(3, &[(1, 2), (0, 1)]).unwrap(); // same graph, reordered input
+        assert_eq!(a.content_hash(), b.content_hash());
+        let c = DataGraph::from_edges(3, &[(0, 1), (0, 2)]).unwrap(); // different edge set
+        assert_ne!(a.content_hash(), c.content_hash());
+        let d = DataGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap(); // extra isolated vertex
+        assert_ne!(a.content_hash(), d.content_hash());
     }
 }

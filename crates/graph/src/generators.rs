@@ -209,9 +209,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<DataGraph, Graph
         return Err(GraphError::InvalidParameter("m must be >= 1".into()));
     }
     if n < m + 1 {
-        return Err(GraphError::InvalidParameter(format!(
-            "n = {n} must exceed m = {m}"
-        )));
+        return Err(GraphError::InvalidParameter(format!("n = {n} must exceed m = {m}")));
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(n * m);

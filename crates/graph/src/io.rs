@@ -40,10 +40,8 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<DataGraph, GraphError> {
 
 fn parse_vertex(tok: Option<&str>, line: usize) -> Result<VertexId, GraphError> {
     let tok = tok.ok_or(GraphError::Parse { line, message: "expected two vertex ids".into() })?;
-    tok.parse::<VertexId>().map_err(|e| GraphError::Parse {
-        line,
-        message: format!("bad vertex id {tok:?}: {e}"),
-    })
+    tok.parse::<VertexId>()
+        .map_err(|e| GraphError::Parse { line, message: format!("bad vertex id {tok:?}: {e}") })
 }
 
 /// Loads an edge-list file (see [`read_edge_list`]).
@@ -116,9 +114,6 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            load_edge_list("/definitely/not/here.txt"),
-            Err(GraphError::Io(_))
-        ));
+        assert!(matches!(load_edge_list("/definitely/not/here.txt"), Err(GraphError::Io(_))));
     }
 }

@@ -203,7 +203,8 @@ pub fn run_job<J: MapReduceJob>(
             .into_iter()
             .map(|split| {
                 scope.spawn(move |_| {
-                    let mut local: Vec<Vec<(J::Key, J::Value)>> = (0..r).map(|_| Vec::new()).collect();
+                    let mut local: Vec<Vec<(J::Key, J::Value)>> =
+                        (0..r).map(|_| Vec::new()).collect();
                     for input in split {
                         job.map(input, &mut |k, v| {
                             let dest = (key_hash(&k) % r as u64) as usize;
@@ -271,12 +272,8 @@ pub fn run_job<J: MapReduceJob>(
         outputs.append(&mut out);
         reducer_cost.push(ctx.cost());
     }
-    let metrics = JobMetrics {
-        shuffle_records,
-        reducer_records,
-        reducer_cost,
-        wall_time: started.elapsed(),
-    };
+    let metrics =
+        JobMetrics { shuffle_records, reducer_records, reducer_cost, wall_time: started.elapsed() };
     Ok((outputs, metrics))
 }
 

@@ -44,9 +44,8 @@ fn search(
             continue;
         }
         // Edges to already-mapped vertices must be preserved both ways.
-        let ok = (0..v).all(|u| {
-            p.has_edge(vp, u as PatternVertex) == p.has_edge(candidate, image[u])
-        });
+        let ok =
+            (0..v).all(|u| p.has_edge(vp, u as PatternVertex) == p.has_edge(candidate, image[u]));
         if !ok {
             continue;
         }
@@ -141,10 +140,7 @@ mod tests {
         for perm in automorphisms(&p) {
             for u in p.vertices() {
                 for v in p.vertices() {
-                    assert_eq!(
-                        p.has_edge(u, v),
-                        p.has_edge(perm[u as usize], perm[v as usize])
-                    );
+                    assert_eq!(p.has_edge(u, v), p.has_edge(perm[u as usize], perm[v as usize]));
                 }
             }
         }

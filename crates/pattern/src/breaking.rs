@@ -234,8 +234,7 @@ mod tests {
                 let satisfying = auts
                     .iter()
                     .filter(|perm| {
-                        let permuted: Vec<u32> =
-                            (0..n).map(|v| ranks[perm[v] as usize]).collect();
+                        let permuted: Vec<u32> = (0..n).map(|v| ranks[perm[v] as usize]).collect();
                         order.satisfied_by(&permuted)
                     })
                     .count();
@@ -294,11 +293,7 @@ mod tests {
         for a in 0..4u8 {
             for b in 0..4u8 {
                 if a != b {
-                    assert_eq!(
-                        o.requires_less(a, b),
-                        (o.below_mask(b) >> a) & 1 == 1,
-                        "{a} < {b}"
-                    );
+                    assert_eq!(o.requires_less(a, b), (o.below_mask(b) >> a) & 1 == 1, "{a} < {b}");
                     assert_eq!((o.above_mask(a) >> b) & 1 == 1, o.requires_less(a, b));
                 }
             }

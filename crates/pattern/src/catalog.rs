@@ -37,12 +37,7 @@ pub fn four_clique() -> Pattern {
 /// `2` and `3`, i.e. a triangle sharing the square's `2-3` edge (5 vertices,
 /// 6 edges, automorphism group of size 2).
 pub fn house() -> Pattern {
-    Pattern::new(
-        "PG5/house",
-        5,
-        &[(0, 2), (0, 3), (2, 3), (1, 2), (1, 4), (3, 4)],
-    )
-    .unwrap()
+    Pattern::new("PG5/house", 5, &[(0, 2), (0, 3), (2, 3), (1, 2), (1, 4), (3, 4)]).unwrap()
 }
 
 /// The five benchmark patterns in paper order.

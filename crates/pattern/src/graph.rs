@@ -130,8 +130,7 @@ impl Pattern {
     /// Each edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (PatternVertex, PatternVertex)> + '_ {
         self.vertices().flat_map(move |u| {
-            BitIter(self.adj[u as usize] & !((1u32 << u) | ((1u32 << u) - 1)))
-                .map(move |v| (u, v))
+            BitIter(self.adj[u as usize] & !((1u32 << u) | ((1u32 << u) - 1))).map(move |v| (u, v))
         })
     }
 
@@ -169,10 +168,8 @@ impl Pattern {
     /// Used by tests and by traversal-order experiments (Table 4).
     pub fn relabel(&self, perm: &[PatternVertex]) -> Pattern {
         assert_eq!(perm.len(), self.num_vertices());
-        let edges: Vec<(PatternVertex, PatternVertex)> = self
-            .edges()
-            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
-            .collect();
+        let edges: Vec<(PatternVertex, PatternVertex)> =
+            self.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])).collect();
         Pattern::new(self.name.clone(), self.num_vertices(), &edges)
             .expect("relabeling a valid pattern stays valid")
     }
@@ -242,10 +239,7 @@ mod tests {
     fn rejects_invalid_patterns() {
         assert_eq!(Pattern::new("x", 0, &[]).unwrap_err(), PatternError::TooLarge(0));
         assert_eq!(Pattern::new("x", 40, &[]).unwrap_err(), PatternError::TooLarge(40));
-        assert_eq!(
-            Pattern::new("x", 2, &[(0, 3)]).unwrap_err(),
-            PatternError::VertexOutOfRange(3)
-        );
+        assert_eq!(Pattern::new("x", 2, &[(0, 3)]).unwrap_err(), PatternError::VertexOutOfRange(3));
         assert_eq!(Pattern::new("x", 2, &[(1, 1)]).unwrap_err(), PatternError::SelfLoop(1));
         assert_eq!(
             Pattern::new("x", 4, &[(0, 1), (2, 3)]).unwrap_err(),

@@ -35,8 +35,8 @@ fn search(a: &Pattern, b: &Pattern, v: usize, image: &mut [PatternVertex], used:
         if (*used >> candidate) & 1 == 1 || b.degree(candidate) != a.degree(vp) {
             continue;
         }
-        let ok = (0..v)
-            .all(|u| a.has_edge(vp, u as PatternVertex) == b.has_edge(candidate, image[u]));
+        let ok =
+            (0..v).all(|u| a.has_edge(vp, u as PatternVertex) == b.has_edge(candidate, image[u]));
         if !ok {
             continue;
         }
@@ -55,10 +55,7 @@ fn search(a: &Pattern, b: &Pattern, v: usize, image: &mut [PatternVertex], used:
 pub fn identify(p: &Pattern) -> Option<&'static str> {
     const NAMES: [&str; 5] =
         ["PG1/triangle", "PG2/square", "PG3/tailed-triangle", "PG4/4-clique", "PG5/house"];
-    crate::catalog::paper_patterns()
-        .iter()
-        .position(|q| isomorphic(p, q))
-        .map(|i| NAMES[i])
+    crate::catalog::paper_patterns().iter().position(|q| isomorphic(p, q)).map(|i| NAMES[i])
 }
 
 #[cfg(test)]

@@ -61,11 +61,7 @@ mod tests {
     fn uniform_labels_reduce_to_unlabeled_case() {
         for p in catalog::paper_patterns() {
             let labels = vec![0 as Label; p.num_vertices()];
-            assert_eq!(
-                automorphisms_labeled(&p, &labels).len(),
-                automorphisms(&p).len(),
-                "{p:?}"
-            );
+            assert_eq!(automorphisms_labeled(&p, &labels).len(), automorphisms(&p).len(), "{p:?}");
             assert_eq!(
                 break_automorphisms_labeled(&p, &labels),
                 crate::breaking::break_automorphisms(&p),
@@ -104,8 +100,7 @@ mod tests {
             .into_iter()
             .filter(|perm| {
                 let ranks: Vec<u32> = vec![0, 1, 2, 3];
-                let permuted: Vec<u32> =
-                    (0..4).map(|v| ranks[perm[v] as usize]).collect();
+                let permuted: Vec<u32> = (0..4).map(|v| ranks[perm[v] as usize]).collect();
                 order.satisfied_by(&permuted)
             })
             .count();

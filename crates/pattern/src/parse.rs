@@ -39,9 +39,7 @@ pub fn parse(name: impl Into<String>, text: &str) -> Result<Pattern, ParseError>
         if token.is_empty() {
             continue;
         }
-        let (a, b) = token
-            .split_once('-')
-            .ok_or_else(|| ParseError::BadEdge(token.to_string()))?;
+        let (a, b) = token.split_once('-').ok_or_else(|| ParseError::BadEdge(token.to_string()))?;
         let u = parse_vertex(a)?;
         let v = parse_vertex(b)?;
         max_vertex = max_vertex.max(u).max(v);

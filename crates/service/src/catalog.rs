@@ -1,0 +1,159 @@
+//! The graph catalog: named graphs loaded once, with their expensive
+//! per-graph artifacts precomputed and shared.
+//!
+//! The paper's offline phase builds a degree-ordered view and the bloom
+//! edge index per data graph; a long-running server must not repeat that
+//! per query. Each [`GraphEntry`] owns the graph plus `Arc`'d artifacts
+//! that [`psgl_core::PsglShared::from_parts`] can borrow per run.
+
+use crate::error::LoadError;
+use crate::loader::{load_graph, GraphFormat};
+use psgl_core::EdgeIndex;
+use psgl_graph::{DataGraph, DegreeStats, OrderedGraph};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Bloom-filter precision used for catalog-built edge indexes (the
+/// default of [`psgl_core::PsglConfig`]).
+const INDEX_BITS_PER_EDGE: usize = 10;
+
+/// A loaded graph with its precomputed run artifacts.
+pub struct GraphEntry {
+    /// Catalog name.
+    pub name: String,
+    /// The data graph itself.
+    pub graph: DataGraph,
+    /// Degree-based total order (Section 3), shared across runs.
+    pub ordered: Arc<OrderedGraph>,
+    /// Bloom edge index (Section 5.2.3), shared across runs.
+    pub index: Arc<EdgeIndex>,
+    /// Degree histogram for initial-vertex selection cost models.
+    pub histogram: Vec<u64>,
+    /// Structural fingerprint ([`DataGraph::content_hash`]) — result-cache
+    /// key component.
+    pub content_hash: u64,
+    /// Bumped each time this name is (re)loaded.
+    pub epoch: u64,
+    /// Wall-clock milliseconds the load + preparation took.
+    pub load_ms: f64,
+    /// Where it was loaded from.
+    pub path: String,
+}
+
+/// Thread-safe name → [`GraphEntry`] map.
+#[derive(Default)]
+pub struct GraphCatalog {
+    inner: RwLock<HashMap<String, Arc<GraphEntry>>>,
+}
+
+/// What [`GraphCatalog::load`] reports back.
+pub struct LoadOutcome {
+    /// The freshly loaded entry.
+    pub entry: Arc<GraphEntry>,
+    /// Content hash of the entry this load replaced, if the name was
+    /// already present — the result cache drops those entries.
+    pub replaced_hash: Option<u64>,
+}
+
+impl GraphCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> GraphCatalog {
+        GraphCatalog::default()
+    }
+
+    /// Loads (or reloads) `path` under `name`, precomputing the ordered
+    /// view, edge index, and degree histogram.
+    pub fn load(
+        &self,
+        name: &str,
+        path: &str,
+        format: GraphFormat,
+    ) -> Result<LoadOutcome, LoadError> {
+        let start = Instant::now();
+        let graph = load_graph(path, format)?;
+        let ordered = Arc::new(OrderedGraph::new(&graph));
+        let index = Arc::new(EdgeIndex::build(&graph, INDEX_BITS_PER_EDGE));
+        let histogram = DegreeStats::of_graph(&graph).histogram;
+        let content_hash = graph.content_hash();
+        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let previous = map.get(name);
+        let epoch = previous.map_or(0, |e| e.epoch + 1);
+        let replaced_hash = previous.map(|e| e.content_hash);
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            graph,
+            ordered,
+            index,
+            histogram,
+            content_hash,
+            epoch,
+            load_ms: start.elapsed().as_secs_f64() * 1e3,
+            path: path.to_string(),
+        });
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(LoadOutcome { entry, replaced_hash })
+    }
+
+    /// Looks up a graph by name.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
+    }
+
+    /// Number of graphs loaded.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all entries, sorted by name (for the stats verb).
+    pub fn entries(&self) -> Vec<Arc<GraphEntry>> {
+        let map = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<_> = map.values().cloned().collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_precomputes_artifacts_and_reload_bumps_epoch() {
+        let catalog = GraphCatalog::new();
+        let out = catalog.load("karate", "karate-club", GraphFormat::Fixture).unwrap();
+        assert_eq!(out.entry.epoch, 0);
+        assert!(out.replaced_hash.is_none());
+        assert_eq!(out.entry.graph.num_vertices(), 34);
+        assert_eq!(out.entry.histogram.iter().sum::<u64>(), 34);
+        assert!(out.entry.index.may_contain(0, 1)); // real edge never false
+        let again = catalog.load("karate", "karate-club", GraphFormat::Fixture).unwrap();
+        assert_eq!(again.entry.epoch, 1);
+        assert_eq!(again.replaced_hash, Some(out.entry.content_hash));
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn lookup_misses_are_none_and_entries_sorted() {
+        let catalog = GraphCatalog::new();
+        assert!(catalog.get("nope").is_none());
+        assert!(catalog.is_empty());
+        catalog.load("b", "karate-club", GraphFormat::Fixture).unwrap();
+        catalog.load("a", "paper-figure1", GraphFormat::Fixture).unwrap();
+        let names: Vec<_> = catalog.entries().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert!(catalog.get("a").is_some());
+    }
+
+    #[test]
+    fn load_failure_leaves_catalog_unchanged() {
+        let catalog = GraphCatalog::new();
+        assert!(catalog.load("g", "/missing/file.txt", GraphFormat::EdgeList).is_err());
+        assert!(catalog.is_empty());
+    }
+}

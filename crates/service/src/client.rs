@@ -1,0 +1,163 @@
+//! A small blocking client for the JSON-lines protocol, used by the
+//! integration tests, the throughput benchmark, and scriptable tooling.
+
+use crate::json::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running `psgl-service`.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A decoded error response (`"ok": false`).
+#[derive(Clone, Debug)]
+pub struct RemoteError {
+    /// Stable error code (`overloaded`, `budget_exceeded`, ...).
+    pub code: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Anything a request can fail with: transport trouble or a server-side
+/// error response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (or the server closed the connection).
+    Io(io::Error),
+    /// The server replied, but with `"ok": false`.
+    Remote(RemoteError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Remote(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, when this is a remote error.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Remote(e) => Some(e.code.as_str()),
+            ClientError::Io(_) => None,
+        }
+    }
+}
+
+fn to_result(response: Json) -> Result<Json, ClientError> {
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(response);
+    }
+    let field = |k: &str| response.get(k).and_then(Json::as_str).unwrap_or("<missing>").to_string();
+    Err(ClientError::Remote(RemoteError { code: field("error"), message: field("message") }))
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request object and returns the decoded response line.
+    /// An `"ok": false` response becomes [`ClientError::Remote`].
+    pub fn request(&mut self, request: &Json) -> Result<Json, ClientError> {
+        self.send(request)?;
+        to_result(self.read_response()?)
+    }
+
+    fn send(&mut self, request: &Json) -> io::Result<()> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()
+    }
+
+    fn read_response(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Json::parse(line.trim()).map_err(|e| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response line: {e}"),
+            ))
+        })
+    }
+
+    /// `load`: registers a graph under `name`. `format` is `"edge-list"`,
+    /// `"binary"`, or `"fixture"`.
+    pub fn load(&mut self, name: &str, path: &str, format: &str) -> Result<Json, ClientError> {
+        self.request(&Json::obj([
+            ("verb", Json::from("load")),
+            ("name", Json::from(name)),
+            ("path", Json::from(path)),
+            ("format", Json::from(format)),
+        ]))
+    }
+
+    /// `count` with no overrides; see [`Self::request`] for full control.
+    pub fn count(&mut self, graph: &str, pattern: &str) -> Result<Json, ClientError> {
+        self.request(&Json::obj([
+            ("verb", Json::from("count")),
+            ("graph", Json::from(graph)),
+            ("pattern", Json::from(pattern)),
+        ]))
+    }
+
+    /// `list`: streams chunk lines into `on_chunk` and returns the final
+    /// `done` line. `on_chunk` receives each `{"chunk":i,"instances":[..]}`.
+    pub fn list(
+        &mut self,
+        request: &Json,
+        mut on_chunk: impl FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        self.send(request)?;
+        loop {
+            let line = to_result(self.read_response()?)?;
+            if line.get("done").and_then(Json::as_bool) == Some(true) {
+                return Ok(line);
+            }
+            on_chunk(&line);
+        }
+    }
+
+    /// `stats`: the server's counters, cache stats, and graph inventory.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj([("verb", Json::from("stats"))]))
+    }
+
+    /// `health`: liveness probe.
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj([("verb", Json::from("health"))]))
+    }
+
+    /// `shutdown`: asks the server to stop.
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.request(&Json::obj([("verb", Json::from("shutdown"))]))
+    }
+}

@@ -1,0 +1,148 @@
+//! Service errors and their wire-protocol error codes.
+//!
+//! [`LoadError`] is deliberately shared with the CLI's `--graph` loading so
+//! `psgl count --graph missing.txt` and the service's `load` verb report
+//! the same failure the same way.
+
+use psgl_core::PsglError;
+use psgl_graph::GraphError;
+use std::fmt;
+
+/// A graph failed to load: the underlying [`GraphError`] plus the path it
+/// happened on (load errors without the offending path are useless once
+/// several graphs are in play).
+#[derive(Debug)]
+pub struct LoadError {
+    /// Path (or fixture name) that failed.
+    pub path: String,
+    /// The underlying failure.
+    pub source: GraphError,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loading {}: {}", self.path, self.source)
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Anything a protocol request can fail with. Each variant maps to a
+/// stable `error` code on the wire (see [`ServiceError::code`]).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The admission queue is full — backpressure, retry later.
+    Overloaded {
+        /// Capacity of the admission queue that was full.
+        queue_cap: usize,
+    },
+    /// The query tripped its Gpsi budget (the paper's simulated OOM);
+    /// the server stays up and keeps serving.
+    BudgetExceeded {
+        /// Gpsis in flight when the budget tripped.
+        in_flight: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// No graph with that name in the catalog.
+    GraphNotFound(String),
+    /// The request was malformed (unknown verb, bad pattern spec, …).
+    BadRequest(String),
+    /// A `load` verb failed.
+    Load(LoadError),
+    /// The engine failed in a way the protocol does not model.
+    Internal(String),
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// Stable machine-readable error code used in responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::BudgetExceeded { .. } => "budget_exceeded",
+            ServiceError::GraphNotFound(_) => "not_found",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::Load(_) => "load_failed",
+            ServiceError::Internal(_) => "internal",
+            ServiceError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_cap } => {
+                write!(f, "admission queue full ({queue_cap} jobs); retry later")
+            }
+            ServiceError::BudgetExceeded { in_flight, budget } => write!(
+                f,
+                "gpsi budget exceeded: {in_flight} partial instances in flight, budget {budget}"
+            ),
+            ServiceError::GraphNotFound(name) => {
+                write!(f, "graph {name:?} is not loaded; use the load verb first")
+            }
+            ServiceError::BadRequest(msg) => write!(f, "{msg}"),
+            ServiceError::Load(e) => write!(f, "{e}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<LoadError> for ServiceError {
+    fn from(e: LoadError) -> Self {
+        ServiceError::Load(e)
+    }
+}
+
+impl From<PsglError> for ServiceError {
+    fn from(e: PsglError) -> Self {
+        match e {
+            PsglError::OutOfMemory { in_flight, budget } => {
+                ServiceError::BudgetExceeded { in_flight, budget }
+            }
+            PsglError::PatternTooLarge(_)
+            | PsglError::BadInitialVertex(_)
+            | PsglError::LabelLengthMismatch { .. } => ServiceError::BadRequest(e.to_string()),
+            PsglError::Engine(_) => ServiceError::Internal(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        let load =
+            LoadError { path: "x.txt".into(), source: GraphError::InvalidParameter("boom".into()) };
+        assert_eq!(ServiceError::Load(load).code(), "load_failed");
+        assert_eq!(ServiceError::Overloaded { queue_cap: 4 }.code(), "overloaded");
+        assert_eq!(
+            ServiceError::from(PsglError::OutOfMemory { in_flight: 9, budget: 5 }).code(),
+            "budget_exceeded"
+        );
+        assert_eq!(ServiceError::from(PsglError::PatternTooLarge(13)).code(), "bad_request");
+    }
+
+    #[test]
+    fn load_error_mentions_path_and_cause() {
+        let e = LoadError {
+            path: "/data/g.txt".into(),
+            source: GraphError::Parse { line: 3, message: "bad vertex id".into() },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/data/g.txt"), "{msg}");
+        assert!(msg.contains("line 3") || msg.contains('3'), "{msg}");
+    }
+}

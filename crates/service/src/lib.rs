@@ -1,0 +1,49 @@
+//! `psgl-service`: a long-running subgraph-query service.
+//!
+//! The library behind `psgl serve`. It wraps the PSgL engine
+//! ([`psgl_core`]) in a threaded TCP server speaking a JSON-lines
+//! protocol, and adds the pieces a resident service needs that a
+//! one-shot CLI does not:
+//!
+//! - a **graph catalog** ([`catalog`]): named data graphs loaded once,
+//!   stored with their precomputed ordered-graph and bloom edge-index
+//!   artifacts so queries share them by `Arc` instead of rebuilding;
+//! - a **plan cache** ([`cache::PlanCache`]): automorphism-broken order
+//!   sets and initial-vertex choices reused across queries on the same
+//!   (pattern, graph);
+//! - a **job scheduler** ([`scheduler`]): a bounded worker pool behind a
+//!   bounded admission queue — a full queue rejects with `overloaded`
+//!   (backpressure) rather than letting latency grow without bound, and
+//!   per-job Gpsi budgets turn the paper's simulated OOM into a graceful
+//!   `budget_exceeded` response;
+//! - a **result cache** ([`cache::ResultCache`]): an LRU keyed by
+//!   (graph content hash, canonical pattern, config fingerprint),
+//!   invalidated when a graph is reloaded;
+//! - a **stats surface** ([`stats`]): queue depth, cache hit rates, and
+//!   the engine's Gpsi/pruning counters aggregated server-wide.
+//!
+//! See the crate README section "Running as a service" for the wire
+//! protocol; [`protocol`] documents it in code.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod error;
+pub mod json;
+pub mod loader;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod state;
+pub mod stats;
+
+pub use client::{Client, ClientError, RemoteError};
+pub use error::{LoadError, ServiceError};
+pub use json::Json;
+pub use loader::{load_graph, GraphFormat};
+pub use protocol::{parse_pattern_spec, parse_strategy_spec, Request};
+pub use scheduler::Scheduler;
+pub use server::{serve, serve_with_state, ServiceConfig, ServiceHandle};
+pub use state::{QueryDefaults, ServiceState};

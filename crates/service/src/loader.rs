@@ -1,0 +1,79 @@
+//! Graph loading shared by the CLI and the service's `load` verb.
+
+use crate::error::LoadError;
+use psgl_graph::{binary, fixtures, io, DataGraph, GraphError};
+
+/// On-disk format of a graph being loaded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// SNAP-style whitespace edge list (`#`/`%` comments allowed).
+    EdgeList,
+    /// The toolkit's binary CSR snapshot (`psgl_graph::binary`).
+    Binary,
+    /// A built-in fixture by name (`karate-club`, `paper-figure1`) —
+    /// handy for tests and smoke checks; the "path" is the fixture name.
+    Fixture,
+}
+
+impl GraphFormat {
+    /// Parses a format name as it appears in requests/flags.
+    pub fn parse(name: &str) -> Result<GraphFormat, String> {
+        match name {
+            "edge-list" | "edgelist" | "txt" => Ok(GraphFormat::EdgeList),
+            "binary" | "bin" => Ok(GraphFormat::Binary),
+            "fixture" => Ok(GraphFormat::Fixture),
+            other => Err(format!(
+                "unknown graph format {other:?} (expected edge-list, binary or fixture)"
+            )),
+        }
+    }
+}
+
+/// Loads a graph, attaching the path to any failure so callers (CLI and
+/// `load` verb alike) report *which* file was bad.
+pub fn load_graph(path: &str, format: GraphFormat) -> Result<DataGraph, LoadError> {
+    let result = match format {
+        GraphFormat::EdgeList => io::load_edge_list(path),
+        GraphFormat::Binary => binary::load_binary(path),
+        GraphFormat::Fixture => match path {
+            "karate-club" | "karate" => Ok(fixtures::karate_club()),
+            "paper-figure1" => Ok(fixtures::paper_figure1()),
+            other => Err(GraphError::InvalidParameter(format!(
+                "unknown fixture {other:?} (expected karate-club or paper-figure1)"
+            ))),
+        },
+    };
+    result.map_err(|source| LoadError { path: path.to_string(), source })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_fixture_and_reports_missing_file() {
+        let g = load_graph("karate-club", GraphFormat::Fixture).unwrap();
+        assert_eq!(g.num_vertices(), 34);
+        let err = load_graph("/nope/missing.txt", GraphFormat::EdgeList).unwrap_err();
+        assert!(err.to_string().contains("/nope/missing.txt"));
+    }
+
+    #[test]
+    fn malformed_edge_list_keeps_line_number() {
+        let dir = std::env::temp_dir().join("psgl_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "1 2\nfoo bar\n").unwrap();
+        let err = load_graph(path.to_str().unwrap(), GraphFormat::EdgeList).unwrap_err();
+        assert!(matches!(err.source, GraphError::Parse { line: 2, .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn format_names_parse() {
+        assert_eq!(GraphFormat::parse("edge-list").unwrap(), GraphFormat::EdgeList);
+        assert_eq!(GraphFormat::parse("bin").unwrap(), GraphFormat::Binary);
+        assert_eq!(GraphFormat::parse("fixture").unwrap(), GraphFormat::Fixture);
+        assert!(GraphFormat::parse("parquet").is_err());
+    }
+}

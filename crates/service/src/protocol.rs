@@ -1,0 +1,340 @@
+//! Wire protocol: JSON-lines requests and responses.
+//!
+//! One JSON object per line in each direction. Every response carries
+//! `"ok"`; failures add a stable `"error"` code plus a human `"message"`:
+//!
+//! ```text
+//! -> {"verb":"load","name":"lj","path":"/data/lj.txt","format":"edge-list"}
+//! <- {"ok":true,"graph":"lj","vertices":4847571,"edges":42851237,...}
+//! -> {"verb":"count","graph":"lj","pattern":"triangle","workers":8}
+//! <- {"ok":true,"count":285730264,"cache_hit":false,...}
+//! -> {"verb":"list","graph":"lj","pattern":"triangle","chunk":500}
+//! <- {"ok":true,"chunk":0,"instances":[[0,1,2],...]}        (repeated)
+//! <- {"ok":true,"done":true,"count":285730264,...}
+//! ```
+//!
+//! The `pattern` and `strategy` specs use the same mini-language as the
+//! CLI (`triangle`, `cycle:K`, `"1-2,2-3,3-1"`; `random`, `wa:0.5`), via
+//! [`parse_pattern_spec`] / [`parse_strategy_spec`] which the CLI shares.
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::loader::GraphFormat;
+use psgl_core::Strategy;
+use psgl_pattern::{catalog, parse as pattern_parse, Pattern, PatternVertex};
+
+/// Parses a pattern spec: a catalog name (`triangle`, `square`,
+/// `tailed-triangle`/`paw`, `4-clique`, `house`), a parameterized family
+/// (`cycle:K`, `clique:K`, `path:K`, `star:K`), or an explicit 1-based
+/// edge list (`"1-2,2-3,3-1"`).
+pub fn parse_pattern_spec(spec: &str) -> Result<Pattern, String> {
+    // Named patterns first: `4-clique` also matches the explicit-edge
+    // shape (digit + dash), so the catalog must win.
+    let (family, k) = match spec.split_once(':') {
+        Some((f, k)) => (f, Some(k.parse::<usize>().map_err(|e| format!("bad K: {e}"))?)),
+        None => (spec, None),
+    };
+    match (family, k) {
+        ("triangle", None) => return Ok(catalog::triangle()),
+        ("square", None) => return Ok(catalog::square()),
+        ("tailed-triangle" | "paw", None) => return Ok(catalog::tailed_triangle()),
+        ("4-clique", None) => return Ok(catalog::four_clique()),
+        ("house", None) => return Ok(catalog::house()),
+        ("cycle", Some(k)) => return Ok(catalog::cycle(k)),
+        ("clique", Some(k)) => return Ok(catalog::clique(k)),
+        ("path", Some(k)) => return Ok(catalog::path(k)),
+        ("star", Some(k)) => return Ok(catalog::star(k)),
+        _ => {}
+    }
+    if spec.contains('-') && spec.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return pattern_parse::parse(format!("custom({spec})"), spec).map_err(|e| e.to_string());
+    }
+    Err(format!("unknown pattern {spec:?}"))
+}
+
+/// Parses a distribution-strategy spec: `random`, `roulette`, or
+/// `wa:ALPHA` with `ALPHA ∈ [0, 1]`.
+pub fn parse_strategy_spec(spec: &str) -> Result<Strategy, String> {
+    match spec {
+        "random" => Ok(Strategy::Random),
+        "roulette" => Ok(Strategy::RouletteWheel),
+        _ => {
+            let alpha = spec
+                .strip_prefix("wa:")
+                .ok_or_else(|| format!("unknown strategy {spec:?}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("bad alpha: {e}"))?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err("alpha must be in [0, 1]".into());
+            }
+            Ok(Strategy::WorkloadAware { alpha })
+        }
+    }
+}
+
+/// A `count`/`list` query as it arrives on the wire (engine knobs are
+/// optional and fall back to server defaults).
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Catalog name of the data graph.
+    pub graph: String,
+    /// Raw pattern spec as sent (kept for error messages).
+    pub pattern_spec: String,
+    /// The parsed pattern.
+    pub pattern: Pattern,
+    /// Worker override.
+    pub workers: Option<usize>,
+    /// Distribution-strategy override.
+    pub strategy: Option<Strategy>,
+    /// 0-based initial-vertex override (wire carries 1-based, CLI-style).
+    pub init_vertex: Option<PatternVertex>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// Per-job Gpsi budget (simulated-OOM admission limit).
+    pub budget: Option<u64>,
+    /// Use the bloom edge index (default true).
+    pub use_index: bool,
+    /// Break pattern automorphisms (default true).
+    pub break_automorphisms: bool,
+    /// Bypass the result cache for this query.
+    pub no_cache: bool,
+}
+
+/// One protocol request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Load (or reload) a named graph into the catalog.
+    Load {
+        /// Catalog name to store it under.
+        name: String,
+        /// Path (or fixture name).
+        path: String,
+        /// On-disk format.
+        format: GraphFormat,
+    },
+    /// Count instances of a pattern.
+    Count(QuerySpec),
+    /// Stream the instances themselves in chunks.
+    List {
+        /// The query.
+        query: QuerySpec,
+        /// Instances per chunk line (server default when absent).
+        chunk: Option<usize>,
+    },
+    /// Server statistics snapshot.
+    Stats,
+    /// Liveness probe.
+    Health,
+    /// Stop the server.
+    Shutdown,
+}
+
+fn bad(msg: impl Into<String>) -> ServiceError {
+    ServiceError::BadRequest(msg.into())
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, ServiceError> {
+    obj.get(key)
+        .ok_or_else(|| bad(format!("missing field {key:?}")))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("field {key:?} must be a string")))
+}
+
+fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn flag(obj: &Json, key: &str) -> Result<bool, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v.as_bool().ok_or_else(|| bad(format!("field {key:?} must be a boolean"))),
+    }
+}
+
+fn parse_query(obj: &Json) -> Result<QuerySpec, ServiceError> {
+    let graph = str_field(obj, "graph")?;
+    let pattern_spec = str_field(obj, "pattern")?;
+    let pattern = parse_pattern_spec(&pattern_spec).map_err(bad)?;
+    let strategy = match obj.get("strategy") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let s = v.as_str().ok_or_else(|| bad("field \"strategy\" must be a string"))?;
+            Some(parse_strategy_spec(s).map_err(bad)?)
+        }
+    };
+    let init_vertex = match opt_u64(obj, "init_vertex")? {
+        None => None,
+        Some(0) => return Err(bad("init_vertex is 1-based")),
+        Some(v) => {
+            if v as usize > pattern.num_vertices() {
+                return Err(bad(format!(
+                    "init_vertex {v} out of range for a {}-vertex pattern",
+                    pattern.num_vertices()
+                )));
+            }
+            Some((v - 1) as PatternVertex)
+        }
+    };
+    Ok(QuerySpec {
+        graph,
+        pattern_spec,
+        pattern,
+        workers: opt_u64(obj, "workers")?.map(|w| w as usize),
+        strategy,
+        init_vertex,
+        seed: opt_u64(obj, "seed")?,
+        budget: opt_u64(obj, "budget")?,
+        use_index: !flag(obj, "no_index")?,
+        break_automorphisms: !flag(obj, "no_break")?,
+        no_cache: flag(obj, "no_cache")?,
+    })
+}
+
+impl Request {
+    /// Parses one request line (already JSON-decoded).
+    pub fn parse(obj: &Json) -> Result<Request, ServiceError> {
+        let verb = str_field(obj, "verb")?;
+        match verb.as_str() {
+            "load" => {
+                let format = match obj.get("format") {
+                    None | Some(Json::Null) => GraphFormat::EdgeList,
+                    Some(v) => {
+                        let s =
+                            v.as_str().ok_or_else(|| bad("field \"format\" must be a string"))?;
+                        GraphFormat::parse(s).map_err(bad)?
+                    }
+                };
+                Ok(Request::Load {
+                    name: str_field(obj, "name")?,
+                    path: str_field(obj, "path")?,
+                    format,
+                })
+            }
+            "count" => Ok(Request::Count(parse_query(obj)?)),
+            "list" => Ok(Request::List {
+                query: parse_query(obj)?,
+                chunk: opt_u64(obj, "chunk")?.map(|c| c as usize),
+            }),
+            "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!(
+                "unknown verb {other:?} (expected load, count, list, stats, health or shutdown)"
+            ))),
+        }
+    }
+
+    /// Parses a raw request line.
+    pub fn parse_line(line: &str) -> Result<Request, ServiceError> {
+        let json = Json::parse(line).map_err(|e| bad(e.to_string()))?;
+        Request::parse(&json)
+    }
+}
+
+/// Builds a success response: `{"ok":true, ...fields}`.
+pub fn ok_response(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(pairs)
+}
+
+/// Builds the error response for a failure:
+/// `{"ok":false,"error":CODE,"message":...}`.
+pub fn error_response(err: &ServiceError) -> Json {
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::from(err.code())),
+        ("message".to_string(), Json::from(err.to_string())),
+    ];
+    if let ServiceError::BudgetExceeded { in_flight, budget } = err {
+        pairs.push(("in_flight".to_string(), Json::from(*in_flight)));
+        pairs.push(("budget".to_string(), Json::from(*budget)));
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_with_overrides() {
+        let req = Request::parse_line(
+            r#"{"verb":"count","graph":"g","pattern":"cycle:5","workers":8,
+               "strategy":"wa:0.3","init_vertex":2,"seed":7,"budget":100,
+               "no_index":true,"no_cache":true}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Count(q) => {
+                assert_eq!(q.graph, "g");
+                assert_eq!(q.pattern.num_vertices(), 5);
+                assert_eq!(q.workers, Some(8));
+                assert_eq!(q.strategy, Some(Strategy::WorkloadAware { alpha: 0.3 }));
+                assert_eq!(q.init_vertex, Some(1)); // wire is 1-based
+                assert_eq!(q.seed, Some(7));
+                assert_eq!(q.budget, Some(100));
+                assert!(!q.use_index);
+                assert!(q.break_automorphisms);
+                assert!(q.no_cache);
+            }
+            other => panic!("expected count, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("{}", "verb"),
+            (r#"{"verb":"frobnicate"}"#, "unknown verb"),
+            (r#"{"verb":"count","graph":"g"}"#, "pattern"),
+            (r#"{"verb":"count","graph":"g","pattern":"dodecahedron"}"#, "unknown pattern"),
+            (r#"{"verb":"count","graph":"g","pattern":"triangle","init_vertex":0}"#, "1-based"),
+            (r#"{"verb":"count","graph":"g","pattern":"triangle","init_vertex":4}"#, "range"),
+            (r#"{"verb":"count","graph":"g","pattern":"triangle","workers":-1}"#, "workers"),
+            (r#"{"verb":"load","name":"g","path":"x","format":"parquet"}"#, "format"),
+            ("not json", "JSON"),
+        ] {
+            let err = Request::parse_line(line).unwrap_err();
+            assert_eq!(err.code(), "bad_request", "{line}");
+            assert!(err.to_string().contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn responses_have_the_documented_shape() {
+        let ok = ok_response([("count", Json::from(45u64))]);
+        assert_eq!(ok.to_string(), r#"{"ok":true,"count":45}"#);
+        let err = error_response(&ServiceError::BudgetExceeded { in_flight: 12, budget: 10 });
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(err.get("error").unwrap().as_str(), Some("budget_exceeded"));
+        assert_eq!(err.get("in_flight").unwrap().as_u64(), Some(12));
+        assert_eq!(err.get("budget").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn custom_edge_list_patterns_parse() {
+        let p = parse_pattern_spec("1-2,2-3,3-1").unwrap();
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edges(), 3);
+        assert!(parse_pattern_spec("1-2,2-").is_err());
+    }
+
+    #[test]
+    fn named_patterns_beat_the_edge_list_heuristic() {
+        // "4-clique" starts with a digit and contains '-': the catalog
+        // name must win over the explicit-edge-list fallback.
+        let p = parse_pattern_spec("4-clique").unwrap();
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.num_edges(), 6);
+        assert!(parse_pattern_spec("dodecahedron").unwrap_err().contains("unknown pattern"));
+        assert!(parse_pattern_spec("cycle:x").unwrap_err().contains("bad K"));
+    }
+}

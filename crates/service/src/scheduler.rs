@@ -1,0 +1,335 @@
+//! Job scheduler: a bounded admission queue in front of a fixed worker
+//! pool.
+//!
+//! Admission control is the service-level analogue of the paper's
+//! simulated memory budget: rather than letting concurrent queries pile
+//! up unboundedly (and letting tail latency grow without bound), the
+//! queue holds at most `queue_cap` jobs and [`Scheduler::submit`] fails
+//! fast with [`ServiceError::Overloaded`] when it is full. Within a job,
+//! the per-query Gpsi budget turns the engine's simulated OOM into a
+//! graceful `budget_exceeded` response instead of a dead server.
+
+use crate::cache::{canonical_pattern, config_fingerprint, CachedQuery, ResultKey};
+use crate::error::ServiceError;
+use crate::protocol::QuerySpec;
+use crate::state::ServiceState;
+use psgl_core::{list_subgraphs_prepared, PsglConfig, PsglShared};
+use psgl_graph::VertexId;
+use psgl_pattern::PatternVertex;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Outcome of a successful query (count or list).
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Instances found.
+    pub count: u64,
+    /// Collected instance tuples (list queries only).
+    pub instances: Option<Arc<Vec<Vec<VertexId>>>>,
+    /// Whether the result came from the result cache.
+    pub cache_hit: bool,
+    /// Whether the plan came from the plan cache.
+    pub plan_cache_hit: bool,
+    /// Gpsis generated (0 on a cache hit — no new engine work ran).
+    pub gpsis_generated: u64,
+    /// Candidates pruned by the run that produced this result.
+    pub pruned: u64,
+    /// Supersteps of the producing run.
+    pub supersteps: usize,
+    /// Initial pattern vertex used (0-based).
+    pub init_vertex: PatternVertex,
+    /// Selection rule, rendered.
+    pub selection_rule: String,
+    /// Wall-clock milliseconds this job took (lookup or run).
+    pub wall_ms: f64,
+}
+
+/// One admitted query job.
+pub struct Job {
+    /// The query to run.
+    pub query: QuerySpec,
+    /// Collect instance tuples (list) instead of counting only.
+    pub collect: bool,
+    /// Where the worker sends the outcome.
+    pub reply: std::sync::mpsc::Sender<Result<QueryOutcome, ServiceError>>,
+}
+
+/// Bounded admission queue + worker pool.
+pub struct Scheduler {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    queue_cap: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    state: Arc<ServiceState>,
+    // Keeps the channel connected even with an empty pool (pool 0 would
+    // otherwise drop the sole receiver and reject everything); shutdown
+    // drains it so stranded jobs still get a reply.
+    rx: Arc<Mutex<Receiver<Job>>>,
+}
+
+impl Scheduler {
+    /// Starts `pool` worker threads behind a queue of `queue_cap` jobs.
+    /// (`pool` 0 is allowed — jobs queue but never execute — and exists
+    /// for deterministic admission tests.)
+    pub fn start(state: Arc<ServiceState>, pool: usize, queue_cap: usize) -> Scheduler {
+        let queue_cap = queue_cap.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..pool)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("psgl-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler { tx: Mutex::new(Some(tx)), queue_cap, workers: Mutex::new(workers), state, rx }
+    }
+
+    /// Admits a job, or rejects immediately when the queue is full
+    /// (backpressure) or the scheduler is shutting down.
+    pub fn submit(&self, job: Job) -> Result<(), ServiceError> {
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(tx) = guard.as_ref() else {
+            return Err(ServiceError::ShuttingDown);
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                Err(ServiceError::Overloaded { queue_cap: self.queue_cap })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Stops admitting, lets the workers drain queued jobs, and joins
+    /// them; anything still queued afterwards (an empty pool) is answered
+    /// with `shutting_down` so no client blocks forever.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
+        let handles: Vec<_> =
+            self.workers.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        while let Ok(job) = self.rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv() {
+            self.state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServiceError::ShuttingDown));
+        }
+    }
+}
+
+fn worker_loop(state: &ServiceState, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only while dequeuing, not while running.
+        let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: shutdown
+        };
+        state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        state.stats.running.fetch_add(1, Ordering::Relaxed);
+        let outcome = execute_query(state, &job.query, job.collect);
+        state.stats.running.fetch_sub(1, Ordering::Relaxed);
+        // The client may have disconnected while waiting; nothing to do.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+/// Resolves a query against the catalog and caches, running the engine
+/// only when the result cache misses.
+pub fn execute_query(
+    state: &ServiceState,
+    query: &QuerySpec,
+    collect: bool,
+) -> Result<QueryOutcome, ServiceError> {
+    let start = Instant::now();
+    let entry = state
+        .catalog
+        .get(&query.graph)
+        .ok_or_else(|| ServiceError::GraphNotFound(query.graph.clone()))?;
+    let config = PsglConfig {
+        workers: query.workers.unwrap_or(state.defaults.workers).max(1),
+        init_vertex: query.init_vertex,
+        break_automorphisms: query.break_automorphisms,
+        use_edge_index: query.use_index,
+        collect_instances: collect,
+        gpsi_budget: query.budget.or(state.defaults.budget),
+        seed: query.seed.unwrap_or(state.defaults.seed),
+        ..PsglConfig::default()
+    };
+    let config = match query.strategy {
+        Some(strategy) => PsglConfig { strategy, ..config },
+        None => config,
+    };
+    let key = ResultKey {
+        graph_hash: entry.content_hash,
+        pattern: canonical_pattern(&query.pattern),
+        config_fp: config_fingerprint(&config),
+    };
+    if !query.no_cache {
+        if let Some(cached) = state.results.get(&key) {
+            return Ok(QueryOutcome {
+                count: cached.count,
+                instances: cached.instances.clone(),
+                cache_hit: true,
+                plan_cache_hit: true,
+                gpsis_generated: cached.gpsis_generated,
+                pruned: cached.pruned,
+                supersteps: cached.supersteps,
+                init_vertex: cached.init_vertex,
+                selection_rule: cached.selection_rule.clone(),
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    let (plan, plan_cache_hit) = state
+        .plans
+        .get_or_prepare(entry.content_hash, &query.pattern, &config, &entry.histogram)
+        .map_err(ServiceError::from)?;
+    let index = config.use_edge_index.then(|| Arc::clone(&entry.index));
+    let shared = PsglShared::from_parts(&entry.graph, Arc::clone(&entry.ordered), index, &plan);
+    let result = list_subgraphs_prepared(&shared, &config).map_err(ServiceError::from)?;
+    state.stats.record_run(&result.stats);
+    let outcome = QueryOutcome {
+        count: result.instance_count,
+        instances: result.instances.map(Arc::new),
+        cache_hit: false,
+        plan_cache_hit,
+        gpsis_generated: result.stats.expand.generated,
+        pruned: result.stats.expand.total_pruned(),
+        supersteps: result.stats.supersteps,
+        init_vertex: result.init_vertex,
+        selection_rule: format!("{:?}", result.selection_rule),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    };
+    if !query.no_cache {
+        state.results.insert(
+            key,
+            CachedQuery {
+                count: outcome.count,
+                instances: outcome.instances.clone(),
+                gpsis_generated: outcome.gpsis_generated,
+                pruned: outcome.pruned,
+                supersteps: outcome.supersteps,
+                init_vertex: outcome.init_vertex,
+                selection_rule: outcome.selection_rule.clone(),
+            },
+        );
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::GraphFormat;
+    use crate::protocol::parse_pattern_spec;
+    use crate::state::QueryDefaults;
+    use std::sync::mpsc::channel;
+
+    fn karate_state() -> Arc<ServiceState> {
+        let state = Arc::new(ServiceState::new(64, 64, QueryDefaults::default()));
+        state.catalog.load("karate", "karate-club", GraphFormat::Fixture).unwrap();
+        state
+    }
+
+    fn triangle_query() -> QuerySpec {
+        QuerySpec {
+            graph: "karate".into(),
+            pattern_spec: "triangle".into(),
+            pattern: parse_pattern_spec("triangle").unwrap(),
+            workers: Some(2),
+            strategy: None,
+            init_vertex: None,
+            seed: None,
+            budget: None,
+            use_index: true,
+            break_automorphisms: true,
+            no_cache: false,
+        }
+    }
+
+    #[test]
+    fn execute_counts_karate_triangles_and_caches() {
+        let state = karate_state();
+        let first = execute_query(&state, &triangle_query(), false).unwrap();
+        assert_eq!(first.count, 45);
+        assert!(!first.cache_hit);
+        assert!(first.gpsis_generated > 0);
+        let second = execute_query(&state, &triangle_query(), false).unwrap();
+        assert_eq!(second.count, 45);
+        assert!(second.cache_hit);
+        let (hits, misses, ..) = state.results.stats();
+        assert_eq!((hits, misses), (1, 1));
+        // Cache hit added no engine work.
+        let snap = state.stats.snapshot();
+        assert_eq!(snap.get("gpsis_generated").unwrap().as_u64().unwrap(), first.gpsis_generated);
+    }
+
+    #[test]
+    fn budget_and_missing_graph_map_to_protocol_errors() {
+        let state = karate_state();
+        let mut q = triangle_query();
+        q.budget = Some(1);
+        match execute_query(&state, &q, false) {
+            Err(ServiceError::BudgetExceeded { budget: 1, .. }) => {}
+            other => panic!("expected budget_exceeded, got {:?}", other.err().map(|e| e.code())),
+        }
+        q.graph = "missing".into();
+        assert_eq!(execute_query(&state, &q, false).unwrap_err().code(), "not_found");
+    }
+
+    #[test]
+    fn list_collects_instances_and_shares_them_via_cache() {
+        let state = karate_state();
+        let out = execute_query(&state, &triangle_query(), true).unwrap();
+        let instances = out.instances.expect("collected");
+        assert_eq!(instances.len(), 45);
+        let again = execute_query(&state, &triangle_query(), true).unwrap();
+        assert!(again.cache_hit);
+        assert!(Arc::ptr_eq(&instances, again.instances.as_ref().unwrap()));
+        // A count query has a different config fingerprint → separate entry.
+        let count = execute_query(&state, &triangle_query(), false).unwrap();
+        assert!(!count.cache_hit);
+    }
+
+    #[test]
+    fn scheduler_runs_jobs_and_rejects_when_full() {
+        let state = karate_state();
+        // Real pool: jobs execute and reply.
+        let scheduler = Scheduler::start(Arc::clone(&state), 2, 4);
+        let (tx, rx) = channel();
+        scheduler.submit(Job { query: triangle_query(), collect: false, reply: tx }).unwrap();
+        let outcome = rx.recv().unwrap().unwrap();
+        assert_eq!(outcome.count, 45);
+        scheduler.shutdown();
+        assert_eq!(
+            scheduler
+                .submit(Job { query: triangle_query(), collect: false, reply: channel().0 })
+                .unwrap_err()
+                .code(),
+            "shutting_down"
+        );
+
+        // Zero workers: the queue fills deterministically, then rejects.
+        let stalled = Scheduler::start(Arc::clone(&state), 0, 2);
+        for _ in 0..2 {
+            stalled
+                .submit(Job { query: triangle_query(), collect: false, reply: channel().0 })
+                .unwrap();
+        }
+        let err = stalled
+            .submit(Job { query: triangle_query(), collect: false, reply: channel().0 })
+            .unwrap_err();
+        assert_eq!(err.code(), "overloaded");
+        assert!(matches!(err, ServiceError::Overloaded { queue_cap: 2 }));
+        stalled.shutdown();
+    }
+}

@@ -1,0 +1,343 @@
+//! The TCP server: JSON-lines over `std::net`, one thread per connection,
+//! queries admitted through the [`Scheduler`].
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::protocol::{error_response, ok_response, Request};
+use crate::scheduler::{Job, QueryOutcome, Scheduler};
+use crate::state::{QueryDefaults, ServiceState};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest accepted request line; a protocol line beyond this is hostile
+/// or broken input, and the connection is dropped after an error reply.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Listen address; port 0 picks a free port (see [`ServiceHandle::addr`]).
+    pub addr: String,
+    /// Worker-pool size (concurrent queries).
+    pub pool: usize,
+    /// Admission-queue capacity; a full queue rejects with `overloaded`.
+    pub queue_cap: usize,
+    /// Result-cache capacity (queries).
+    pub result_cache_cap: usize,
+    /// Plan-cache capacity (plans).
+    pub plan_cache_cap: usize,
+    /// Per-query engine defaults.
+    pub defaults: QueryDefaults,
+    /// Instances per `list` chunk line when the request does not choose.
+    pub list_chunk: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            pool: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+            queue_cap: 16,
+            result_cache_cap: 128,
+            plan_cache_cap: 256,
+            defaults: QueryDefaults::default(),
+            list_chunk: 256,
+        }
+    }
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServiceHandle::shutdown`] or send the `shutdown` verb.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    state: Arc<ServiceState>,
+}
+
+impl ServiceHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for in-process inspection (tests, benchmarks).
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Requests shutdown and waits for the accept loop and workers to
+    /// finish. Idempotent; also triggered by the `shutdown` verb.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        poke(self.addr);
+        self.wait();
+    }
+
+    /// Blocks until the server stops (via `shutdown` verb or
+    /// [`Self::shutdown`]).
+    pub fn wait(&self) {
+        let handle = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Unblocks `TcpListener::accept` after the stop flag is set.
+fn poke(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+/// Binds and starts serving; returns once the listener is accepting.
+pub fn serve(config: ServiceConfig) -> std::io::Result<ServiceHandle> {
+    let state = Arc::new(ServiceState::new(
+        config.result_cache_cap,
+        config.plan_cache_cap,
+        config.defaults.clone(),
+    ));
+    serve_with_state(config, state)
+}
+
+/// [`serve`] against externally built state (lets tests pre-load graphs).
+pub fn serve_with_state(
+    config: ServiceConfig,
+    state: Arc<ServiceState>,
+) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let scheduler = Arc::new(Scheduler::start(Arc::clone(&state), config.pool, config.queue_cap));
+    let accept = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new().name("psgl-accept".to_string()).spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn = Connection {
+                    state: Arc::clone(&state),
+                    scheduler: Arc::clone(&scheduler),
+                    stop: Arc::clone(&stop),
+                    addr,
+                    list_chunk: config.list_chunk,
+                };
+                // Connection threads are detached: they die with their
+                // socket, and the process outlives none of them long.
+                let _ = std::thread::Builder::new()
+                    .name("psgl-conn".to_string())
+                    .spawn(move || conn.run(stream));
+            }
+            scheduler.shutdown();
+        })?
+    };
+    Ok(ServiceHandle { addr, stop, accept: Mutex::new(Some(accept)), state })
+}
+
+struct Connection {
+    state: Arc<ServiceState>,
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    list_chunk: usize,
+}
+
+impl Connection {
+    fn run(&self, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            // Bound the line length so one client cannot balloon memory.
+            match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
+                Ok(0) => return, // client closed
+                Ok(_) if line.len() as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') => {
+                    let err = ServiceError::BadRequest(format!(
+                        "request line exceeds {MAX_LINE_BYTES} bytes"
+                    ));
+                    let _ = write_json(&mut writer, &error_response(&err));
+                    return;
+                }
+                Ok(_) => {}
+                Err(_) => return,
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.state.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let keep_going = self.dispatch(line.trim(), &mut writer);
+            if !keep_going {
+                return;
+            }
+        }
+    }
+
+    /// Handles one request line; returns false when the connection (or the
+    /// whole server) should wind down.
+    fn dispatch(&self, line: &str, writer: &mut TcpStream) -> bool {
+        let request = match Request::parse_line(line) {
+            Ok(request) => request,
+            Err(e) => return write_json(writer, &error_response(&e)),
+        };
+        match request {
+            Request::Health => write_json(
+                writer,
+                &ok_response([
+                    ("status", Json::from("healthy")),
+                    ("graphs", Json::from(self.state.catalog.len())),
+                ]),
+            ),
+            Request::Stats => write_json(writer, &stats_response(&self.state)),
+            Request::Load { name, path, format } => {
+                match self.state.catalog.load(&name, &path, format) {
+                    Ok(outcome) => {
+                        if let Some(old_hash) = outcome.replaced_hash {
+                            self.state.results.invalidate_graph(old_hash);
+                        }
+                        let entry = outcome.entry;
+                        write_json(
+                            writer,
+                            &ok_response([
+                                ("graph", Json::from(entry.name.clone())),
+                                ("vertices", Json::from(entry.graph.num_vertices())),
+                                ("edges", Json::from(entry.graph.num_edges())),
+                                ("epoch", Json::from(entry.epoch)),
+                                (
+                                    "content_hash",
+                                    Json::from(format!("{:016x}", entry.content_hash)),
+                                ),
+                                ("load_ms", Json::from(entry.load_ms)),
+                                ("reloaded", Json::from(entry.epoch > 0)),
+                            ]),
+                        )
+                    }
+                    Err(e) => write_json(writer, &error_response(&ServiceError::from(e))),
+                }
+            }
+            Request::Shutdown => {
+                let _ = write_json(writer, &ok_response([("stopping", Json::from(true))]));
+                self.stop.store(true, Ordering::SeqCst);
+                poke(self.addr);
+                false
+            }
+            Request::Count(query) => match self.run_job(query, false) {
+                Ok(outcome) => {
+                    self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+                    write_json(writer, &count_response(&outcome))
+                }
+                Err(e) => self.write_query_error(writer, &e),
+            },
+            Request::List { query, chunk } => {
+                let chunk = chunk.unwrap_or(self.list_chunk).max(1);
+                match self.run_job(query, true) {
+                    Ok(outcome) => {
+                        self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+                        self.write_list_chunks(writer, &outcome, chunk)
+                    }
+                    Err(e) => self.write_query_error(writer, &e),
+                }
+            }
+        }
+    }
+
+    /// Submits through admission control and waits for the worker.
+    fn run_job(
+        &self,
+        query: crate::protocol::QuerySpec,
+        collect: bool,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let (tx, rx) = channel();
+        self.scheduler.submit(Job { query, collect, reply: tx })?;
+        rx.recv().map_err(|_| ServiceError::ShuttingDown)?
+    }
+
+    fn write_query_error(&self, writer: &mut TcpStream, e: &ServiceError) -> bool {
+        let counter = match e {
+            ServiceError::Overloaded { .. } => &self.state.stats.rejected_overloaded,
+            ServiceError::BudgetExceeded { .. } => &self.state.stats.rejected_budget,
+            _ => &self.state.stats.queries_failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        write_json(writer, &error_response(e))
+    }
+
+    /// Streams a list result: `chunk` lines then a `done` line.
+    fn write_list_chunks(
+        &self,
+        writer: &mut TcpStream,
+        outcome: &QueryOutcome,
+        chunk: usize,
+    ) -> bool {
+        let instances = outcome.instances.as_deref().map_or(&[][..], Vec::as_slice);
+        for (i, block) in instances.chunks(chunk).enumerate() {
+            let rows: Vec<Json> = block.iter().map(|inst| Json::from(inst.clone())).collect();
+            let line = ok_response([("chunk", Json::from(i)), ("instances", Json::Arr(rows))]);
+            if !write_json(writer, &line) {
+                return false;
+            }
+        }
+        let mut fields = query_fields(outcome);
+        fields.insert(0, ("done", Json::from(true)));
+        write_json(writer, &ok_response(fields))
+    }
+}
+
+/// Common response fields of count/list results.
+fn query_fields(outcome: &QueryOutcome) -> Vec<(&'static str, Json)> {
+    vec![
+        ("count", Json::from(outcome.count)),
+        ("cache_hit", Json::from(outcome.cache_hit)),
+        ("plan_cache_hit", Json::from(outcome.plan_cache_hit)),
+        ("gpsis_generated", Json::from(outcome.gpsis_generated)),
+        ("pruned", Json::from(outcome.pruned)),
+        ("supersteps", Json::from(outcome.supersteps)),
+        ("init_vertex", Json::from(u64::from(outcome.init_vertex) + 1)), // 1-based, CLI-style
+        ("selection_rule", Json::from(outcome.selection_rule.clone())),
+        ("wall_ms", Json::from(outcome.wall_ms)),
+    ]
+}
+
+fn count_response(outcome: &QueryOutcome) -> Json {
+    ok_response(query_fields(outcome))
+}
+
+/// The `stats` verb body.
+fn stats_response(state: &ServiceState) -> Json {
+    let graphs: Vec<Json> = state
+        .catalog
+        .entries()
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("name", Json::from(e.name.clone())),
+                ("vertices", Json::from(e.graph.num_vertices())),
+                ("edges", Json::from(e.graph.num_edges())),
+                ("epoch", Json::from(e.epoch)),
+                ("content_hash", Json::from(format!("{:016x}", e.content_hash))),
+                ("load_ms", Json::from(e.load_ms)),
+                ("path", Json::from(e.path.clone())),
+            ])
+        })
+        .collect();
+    ok_response([
+        ("server", state.stats.snapshot()),
+        ("result_cache", state.results.stats_json()),
+        ("plan_cache", state.plans.stats_json()),
+        ("graphs", Json::Arr(graphs)),
+    ])
+}
+
+/// Writes one response line; false when the client is gone.
+fn write_json(writer: &mut TcpStream, value: &Json) -> bool {
+    writeln!(writer, "{value}").and_then(|()| writer.flush()).is_ok()
+}

@@ -1,0 +1,50 @@
+//! Shared state of one running service instance.
+
+use crate::cache::{PlanCache, ResultCache};
+use crate::catalog::GraphCatalog;
+use crate::stats::ServerStats;
+
+/// Engine defaults applied when a query omits a knob.
+#[derive(Clone, Debug)]
+pub struct QueryDefaults {
+    /// Logical workers per query run.
+    pub workers: usize,
+    /// Gpsi budget applied to every job unless the request overrides it
+    /// (`None` = unbounded).
+    pub budget: Option<u64>,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl Default for QueryDefaults {
+    fn default() -> Self {
+        QueryDefaults { workers: 4, budget: None, seed: 42 }
+    }
+}
+
+/// Everything the connection handlers and job workers share.
+pub struct ServiceState {
+    /// Named graphs with precomputed artifacts.
+    pub catalog: GraphCatalog,
+    /// Cached query plans (automorphism breaking + initial vertex).
+    pub plans: PlanCache,
+    /// Cached query results.
+    pub results: ResultCache,
+    /// Server-wide counters.
+    pub stats: ServerStats,
+    /// Per-query defaults.
+    pub defaults: QueryDefaults,
+}
+
+impl ServiceState {
+    /// Creates state with the given cache capacities and defaults.
+    pub fn new(result_cache_cap: usize, plan_cache_cap: usize, defaults: QueryDefaults) -> Self {
+        ServiceState {
+            catalog: GraphCatalog::new(),
+            plans: PlanCache::new(plan_cache_cap),
+            results: ResultCache::new(result_cache_cap),
+            stats: ServerStats::new(),
+            defaults,
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Server-wide counters surfaced by the `stats` verb.
+//!
+//! Naming follows the engine's conventions: Gpsi and pruning counters
+//! aggregate the same [`psgl_core::stats::ExpandStats`] fields the CLI and
+//! benchmarks report, so numbers line up across surfaces.
+
+use crate::json::Json;
+use psgl_core::stats::RunStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic counters plus the queue-depth gauge. All relaxed atomics —
+/// these are statistics, not synchronization.
+pub struct ServerStats {
+    started: Instant,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests parsed (any verb).
+    pub requests: AtomicU64,
+    /// Queries (count/list) answered successfully.
+    pub queries_ok: AtomicU64,
+    /// Queries rejected at admission (`overloaded`).
+    pub rejected_overloaded: AtomicU64,
+    /// Queries aborted by their Gpsi budget (`budget_exceeded`).
+    pub rejected_budget: AtomicU64,
+    /// Queries failed for any other reason.
+    pub queries_failed: AtomicU64,
+    /// Jobs currently waiting in the admission queue (gauge).
+    pub queue_depth: AtomicU64,
+    /// Jobs currently executing on the worker pool (gauge).
+    pub running: AtomicU64,
+    /// Total Gpsis generated across executed queries (cache hits add 0).
+    pub gpsis_generated: AtomicU64,
+    /// Total candidates pruned across executed queries.
+    pub candidates_pruned: AtomicU64,
+    /// Total edge-index probes across executed queries.
+    pub index_probes: AtomicU64,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            queries_ok: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_budget: AtomicU64::new(0),
+            queries_failed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            gpsis_generated: AtomicU64::new(0),
+            candidates_pruned: AtomicU64::new(0),
+            index_probes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Creates zeroed stats with the uptime clock started now.
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    /// Folds one executed run's engine counters in (cache hits skip this —
+    /// that is exactly what makes `gpsis_generated` a "new work" signal).
+    pub fn record_run(&self, stats: &RunStats) {
+        self.gpsis_generated.fetch_add(stats.expand.generated, Ordering::Relaxed);
+        self.candidates_pruned.fetch_add(stats.expand.total_pruned(), Ordering::Relaxed);
+        self.index_probes.fetch_add(stats.expand.index_probes, Ordering::Relaxed);
+    }
+
+    /// Snapshot as the `stats` verb's `server` object.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("uptime_secs", Json::from(self.started.elapsed().as_secs_f64())),
+            ("connections", Json::from(self.connections.load(Ordering::Relaxed))),
+            ("requests", Json::from(self.requests.load(Ordering::Relaxed))),
+            ("queries_ok", Json::from(self.queries_ok.load(Ordering::Relaxed))),
+            ("rejected_overloaded", Json::from(self.rejected_overloaded.load(Ordering::Relaxed))),
+            ("rejected_budget", Json::from(self.rejected_budget.load(Ordering::Relaxed))),
+            ("queries_failed", Json::from(self.queries_failed.load(Ordering::Relaxed))),
+            ("queue_depth", Json::from(self.queue_depth.load(Ordering::Relaxed))),
+            ("running", Json::from(self.running.load(Ordering::Relaxed))),
+            ("gpsis_generated", Json::from(self.gpsis_generated.load(Ordering::Relaxed))),
+            ("candidates_pruned", Json::from(self.candidates_pruned.load(Ordering::Relaxed))),
+            ("index_probes", Json::from(self.index_probes.load(Ordering::Relaxed))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psgl_core::stats::ExpandStats;
+
+    #[test]
+    fn record_run_accumulates_engine_counters() {
+        let stats = ServerStats::new();
+        let run = RunStats {
+            expand: ExpandStats {
+                generated: 100,
+                pruned_degree: 5,
+                pruned_order: 7,
+                index_probes: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        stats.record_run(&run);
+        stats.record_run(&run);
+        let snap = stats.snapshot();
+        assert_eq!(snap.get("gpsis_generated").unwrap().as_u64(), Some(200));
+        assert_eq!(snap.get("candidates_pruned").unwrap().as_u64(), Some(24));
+        assert_eq!(snap.get("index_probes").unwrap().as_u64(), Some(80));
+        assert!(snap.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+    }
+}

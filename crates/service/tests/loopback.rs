@@ -1,0 +1,204 @@
+//! End-to-end protocol tests over a real loopback TCP socket.
+//!
+//! These are the acceptance checks for the service subsystem: the cache
+//! demonstrably short-circuits engine work, a blown Gpsi budget degrades
+//! to an error response while the server keeps serving, and a full
+//! admission queue rejects with `overloaded` instead of blocking.
+
+use psgl_service::json::Json;
+use psgl_service::{serve, Client, ClientError, QueryDefaults, ServiceConfig};
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(), // free port per test
+        pool: 2,
+        queue_cap: 8,
+        result_cache_cap: 32,
+        plan_cache_cap: 32,
+        defaults: QueryDefaults::default(),
+        list_chunk: 16,
+    }
+}
+
+fn count_request(extra: &[(&'static str, Json)]) -> Json {
+    let mut fields = vec![
+        ("verb", Json::from("count")),
+        ("graph", Json::from("karate")),
+        ("pattern", Json::from("triangle")),
+    ];
+    fields.extend(extra.iter().cloned());
+    Json::obj(fields)
+}
+
+fn u64_field(obj: &Json, key: &str) -> u64 {
+    obj.get(key).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing {key}: {obj}"))
+}
+
+#[test]
+fn loopback_count_cache_budget_and_stats() {
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // health before any graph is loaded
+    let health = client.health().unwrap();
+    assert_eq!(u64_field(&health, "graphs"), 0);
+
+    // load the karate-club fixture
+    let loaded = client.load("karate", "karate-club", "fixture").unwrap();
+    assert_eq!(u64_field(&loaded, "vertices"), 34);
+    assert_eq!(u64_field(&loaded, "edges"), 78);
+
+    // first count: a cache miss that runs the engine
+    let first = client.count("karate", "triangle").unwrap();
+    assert_eq!(u64_field(&first, "count"), 45);
+    assert_eq!(first.get("cache_hit").and_then(Json::as_bool), Some(false));
+    let gpsis = u64_field(&first, "gpsis_generated");
+    assert!(gpsis > 0);
+
+    let stats = client.stats().unwrap();
+    let server = stats.get("server").unwrap();
+    let gpsis_after_miss = u64_field(server, "gpsis_generated");
+    assert_eq!(gpsis_after_miss, gpsis);
+
+    // second count: served from the result cache, with NO new Gpsi work
+    let second = client.count("karate", "triangle").unwrap();
+    assert_eq!(u64_field(&second, "count"), 45);
+    assert_eq!(second.get("cache_hit").and_then(Json::as_bool), Some(true));
+    let stats = client.stats().unwrap();
+    assert_eq!(u64_field(stats.get("server").unwrap(), "gpsis_generated"), gpsis_after_miss);
+    let cache = stats.get("result_cache").unwrap();
+    assert_eq!(u64_field(cache, "hits"), 1);
+    assert_eq!(u64_field(cache, "misses"), 1);
+
+    // a tiny Gpsi budget fails gracefully ...
+    let err = client
+        .request(&count_request(&[("budget", Json::from(1u64)), ("no_cache", Json::from(true))]))
+        .unwrap_err();
+    match &err {
+        ClientError::Remote(remote) => assert_eq!(remote.code, "budget_exceeded"),
+        other => panic!("expected remote budget error, got {other:?}"),
+    }
+
+    // ... and the server keeps serving afterwards, on the same connection
+    let after = client.count("karate", "triangle").unwrap();
+    assert_eq!(u64_field(&after, "count"), 45);
+    let stats = client.stats().unwrap();
+    assert_eq!(u64_field(stats.get("server").unwrap(), "rejected_budget"), 1);
+
+    // reloading the graph invalidates its cached results
+    client.load("karate", "karate-club", "fixture").unwrap();
+    let fresh = client.count("karate", "triangle").unwrap();
+    assert_eq!(fresh.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_eq!(u64_field(&fresh, "count"), 45);
+
+    // unknown graph → not_found, still no connection loss
+    let missing = client.count("nope", "triangle").unwrap_err();
+    assert_eq!(missing.code(), Some("not_found"));
+    client.shutdown().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn loopback_list_streams_chunks() {
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.load("karate", "karate-club", "fixture").unwrap();
+
+    let request = Json::obj([
+        ("verb", Json::from("list")),
+        ("graph", Json::from("karate")),
+        ("pattern", Json::from("triangle")),
+        ("chunk", Json::from(10u64)),
+    ]);
+    let mut streamed = 0usize;
+    let mut chunks = 0usize;
+    let done = client
+        .list(&request, |chunk| {
+            let instances = chunk.get("instances").and_then(Json::as_arr).unwrap();
+            assert!(instances.len() <= 10);
+            for inst in instances {
+                assert_eq!(inst.as_arr().unwrap().len(), 3); // triangle tuples
+            }
+            streamed += instances.len();
+            chunks += 1;
+        })
+        .unwrap();
+    assert_eq!(u64_field(&done, "count"), 45);
+    assert_eq!(streamed, 45);
+    assert_eq!(chunks, 5); // ceil(45 / 10)
+    handle.shutdown();
+}
+
+#[test]
+fn loopback_full_queue_rejects_with_overloaded() {
+    // No workers: admitted jobs never finish, so the queue state is
+    // deterministic — one slot, occupied by the first query.
+    let config = ServiceConfig { pool: 0, queue_cap: 1, ..test_config() };
+    let handle = serve(config).expect("bind loopback");
+
+    let mut loader = Client::connect(handle.addr()).unwrap();
+    loader.load("karate", "karate-club", "fixture").unwrap();
+
+    // First query occupies the only queue slot; its connection thread is
+    // now blocked waiting for a worker that does not exist.
+    let addr = handle.addr();
+    let blocked = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        // Errors (shutting_down / EOF at server stop) are expected here.
+        c.count("karate", "triangle")
+    });
+
+    // Give the first request time to be admitted.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let depth = u64_field(loader.stats().unwrap().get("server").unwrap(), "queue_depth");
+        if depth == 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "first query never queued");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Second query: the queue is full → immediate overloaded, not a hang.
+    let err = loader.count("karate", "triangle").unwrap_err();
+    assert_eq!(err.code(), Some("overloaded"), "{err}");
+
+    // The server is still responsive to non-query verbs.
+    let stats = loader.stats().unwrap();
+    assert_eq!(u64_field(stats.get("server").unwrap(), "rejected_overloaded"), 1);
+    assert_eq!(u64_field(stats.get("server").unwrap(), "queue_depth"), 1);
+
+    handle.shutdown();
+    // The stranded query resolves with an error once the scheduler drops.
+    assert!(blocked.join().unwrap().is_err());
+}
+
+#[test]
+fn loopback_bad_requests_get_structured_errors() {
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for (request, code) in [
+        (Json::obj([("verb", Json::from("frobnicate"))]), "bad_request"),
+        (
+            Json::obj([
+                ("verb", Json::from("count")),
+                ("graph", Json::from("g")),
+                ("pattern", Json::from("dodecahedron")),
+            ]),
+            "bad_request",
+        ),
+        (
+            Json::obj([
+                ("verb", Json::from("load")),
+                ("name", Json::from("g")),
+                ("path", Json::from("/nonexistent/graph.txt")),
+            ]),
+            "load_failed",
+        ),
+    ] {
+        let err = client.request(&request).unwrap_err();
+        assert_eq!(err.code(), Some(code), "{request}");
+    }
+    handle.shutdown();
+}

@@ -28,9 +28,8 @@ fn main() {
             .expect("triangle listing")
             .instance_count;
         // Wedges = paths of 3 vertices (each triangle contains 3 of them).
-        let wedges = list_subgraphs(&g, &catalog::path(3), &config)
-            .expect("wedge listing")
-            .instance_count;
+        let wedges =
+            list_subgraphs(&g, &catalog::path(3), &config).expect("wedge listing").instance_count;
         let clustering = if wedges == 0 { 0.0 } else { 3.0 * triangles as f64 / wedges as f64 };
         let check = centralized::count_triangles(&g);
         assert_eq!(check, triangles, "PSgL and Chiba–Nishizeki must agree");

@@ -44,11 +44,7 @@ fn main() {
     );
     println!("{:<44} {:>12} {:>14}", "motif", "matches", "label pruned");
     let motifs: [(&str, psgl::pattern::Pattern, Vec<u16>); 4] = [
-        (
-            "co-authorship triangle (P-P-paper)",
-            catalog::triangle(),
-            vec![PERSON, PERSON, PAPER],
-        ),
+        ("co-authorship triangle (P-P-paper)", catalog::triangle(), vec![PERSON, PERSON, PAPER]),
         (
             "citation square (paper-paper-venue-venue)",
             catalog::square(),
@@ -62,14 +58,8 @@ fn main() {
         ("all-person 4-clique", catalog::four_clique(), vec![PERSON; 4]),
     ];
     for (name, pattern, pattern_labels) in motifs {
-        let result = list_subgraphs_labeled(
-            &g,
-            &pattern,
-            labels.clone(),
-            pattern_labels,
-            &config,
-        )
-        .expect("labeled listing");
+        let result = list_subgraphs_labeled(&g, &pattern, labels.clone(), pattern_labels, &config)
+            .expect("labeled listing");
         println!(
             "{name:<44} {:>12} {:>14}",
             result.instance_count, result.stats.expand.pruned_label

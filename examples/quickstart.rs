@@ -47,9 +47,5 @@ fn main() {
     println!("simulated makespan   : {} cost units", result.stats.simulated_makespan);
     println!("worker cost imbalance: {:.3} (1.0 = perfect)", result.stats.cost_imbalance);
     println!("wall time            : {:.1?}", result.stats.wall_time);
-    println!(
-        "initial vertex       : v{} ({:?})",
-        result.init_vertex + 1,
-        result.selection_rule
-    );
+    println!("initial vertex       : v{} ({:?})", result.init_vertex + 1, result.selection_rule);
 }

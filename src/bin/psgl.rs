@@ -14,11 +14,16 @@
 //! (`"1-2,2-3,3-1"`).
 
 use psgl::baselines::centralized;
-use psgl::core::{count_per_vertex, list_subgraphs, PsglConfig, Strategy};
+use psgl::core::{count_per_vertex, list_subgraphs, PsglConfig};
 use psgl::graph::{algo, generators, io, DataGraph, DegreeStats};
-use psgl::pattern::{break_automorphisms, catalog, parse as pattern_parse, Pattern};
+use psgl::pattern::{break_automorphisms, catalog};
+use psgl::service::{self, GraphFormat, QueryDefaults, ServiceConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+// The pattern/strategy mini-language is owned by the service crate so the
+// CLI and the wire protocol accept exactly the same specs.
+use psgl::service::{parse_pattern_spec as parse_pattern, parse_strategy_spec as parse_strategy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +36,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "patterns" => cmd_patterns(),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -57,11 +63,18 @@ USAGE:
   psgl generate --out FILE --model MODEL --vertices N
                 [--avg-degree D] [--gamma G] [--edges M] [--seed N]
   psgl patterns
+  psgl serve    [--addr HOST:PORT] [--pool N] [--queue-cap N]
+                [--result-cache N] [--plan-cache N] [--workers N]
+                [--budget N] [--chunk N]
 
 PATTERNS: triangle | square | tailed-triangle | 4-clique | house
           | cycle:K | clique:K | path:K | star:K | \"1-2,2-3,3-1\"
 STRATEGY: random | roulette | wa:ALPHA            (default wa:0.5)
-MODEL:    chung-lu | erdos-renyi | barabasi-albert";
+MODEL:    chung-lu | erdos-renyi | barabasi-albert
+FORMAT:   edge-list | binary | fixture             (--format, default edge-list)
+
+serve speaks a JSON-lines protocol over TCP; see README \"Running as a
+service\" (verbs: load, count, list, stats, health, shutdown).";
 
 /// Parses `--key value` pairs (plus boolean flags) into a map.
 fn parse_flags(args: &[String], booleans: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -85,54 +98,20 @@ fn required<'m>(flags: &'m HashMap<String, String>, name: &str) -> Result<&'m st
     flags.get(name).map(String::as_str).ok_or_else(|| format!("--{name} is required"))
 }
 
-fn parse_pattern(spec: &str) -> Result<Pattern, String> {
-    if spec.contains('-') && spec.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        return pattern_parse::parse(format!("custom({spec})"), spec).map_err(|e| e.to_string());
-    }
-    let (family, k) = match spec.split_once(':') {
-        Some((f, k)) => (f, Some(k.parse::<usize>().map_err(|e| format!("bad K: {e}"))?)),
-        None => (spec, None),
-    };
-    Ok(match (family, k) {
-        ("triangle", None) => catalog::triangle(),
-        ("square", None) => catalog::square(),
-        ("tailed-triangle" | "paw", None) => catalog::tailed_triangle(),
-        ("4-clique", None) => catalog::four_clique(),
-        ("house", None) => catalog::house(),
-        ("cycle", Some(k)) => catalog::cycle(k),
-        ("clique", Some(k)) => catalog::clique(k),
-        ("path", Some(k)) => catalog::path(k),
-        ("star", Some(k)) => catalog::star(k),
-        _ => return Err(format!("unknown pattern {spec:?}")),
-    })
-}
-
-fn parse_strategy(spec: &str) -> Result<Strategy, String> {
-    match spec {
-        "random" => Ok(Strategy::Random),
-        "roulette" => Ok(Strategy::RouletteWheel),
-        _ => {
-            let alpha = spec
-                .strip_prefix("wa:")
-                .ok_or_else(|| format!("unknown strategy {spec:?}"))?
-                .parse::<f64>()
-                .map_err(|e| format!("bad alpha: {e}"))?;
-            if !(0.0..=1.0).contains(&alpha) {
-                return Err("alpha must be in [0, 1]".into());
-            }
-            Ok(Strategy::WorkloadAware { alpha })
-        }
-    }
-}
-
+/// Loads `--graph` in `--format` (default edge-list) through the same
+/// loader — and therefore the same error type — as the service's `load`
+/// verb, so a missing or malformed file is a diagnostic, not a panic.
 fn load_graph(flags: &HashMap<String, String>) -> Result<DataGraph, String> {
     let path = required(flags, "graph")?;
-    io::load_edge_list(path).map_err(|e| format!("loading {path}: {e}"))
+    let format = match flags.get("format") {
+        Some(f) => GraphFormat::parse(f)?,
+        None => GraphFormat::EdgeList,
+    };
+    service::load_graph(path, format).map_err(|e| e.to_string())
 }
 
 fn cmd_count(args: &[String]) -> Result<(), String> {
-    let flags =
-        parse_flags(args, &["no-index", "no-break", "per-vertex", "verify"])?;
+    let flags = parse_flags(args, &["no-index", "no-break", "per-vertex", "verify"])?;
     let graph = load_graph(&flags)?;
     let pattern = parse_pattern(required(&flags, "pattern")?)?;
     let mut config = PsglConfig::default();
@@ -178,11 +157,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     println!("simulated makespan : {} cost units", result.stats.simulated_makespan);
     println!("cost imbalance     : {:.3}", result.stats.cost_imbalance);
     println!("wall time          : {:.1?}", result.stats.wall_time);
-    println!(
-        "initial vertex     : v{} ({:?})",
-        result.init_vertex + 1,
-        result.selection_rule
-    );
+    println!("initial vertex     : v{} ({:?})", result.init_vertex + 1, result.selection_rule);
     if flags.contains_key("verify") {
         let expected = centralized::count(&graph, &pattern);
         if expected == result.instance_count {
@@ -208,10 +183,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("edges                 : {}", graph.num_edges());
     println!("max degree            : {}", stats.max);
     println!("mean degree           : {:.2}", stats.mean);
-    println!(
-        "power-law exponent γ̂ : {}",
-        stats.gamma.map_or("n/a".into(), |g| format!("{g:.2}"))
-    );
+    println!("power-law exponent γ̂ : {}", stats.gamma.map_or("n/a".into(), |g| format!("{g:.2}")));
     println!("connected components  : {components}");
     println!("degeneracy            : {degeneracy}");
     println!("triangles             : {triangles}");
@@ -228,11 +200,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let model = required(&flags, "model")?;
     let n: usize =
         required(&flags, "vertices")?.parse().map_err(|e| format!("bad --vertices: {e}"))?;
-    let seed: u64 = flags.get("seed").map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad --seed: {e}"))?;
+    let seed: u64 =
+        flags.get("seed").map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad --seed: {e}"))?;
     let graph = match model {
         "chung-lu" => {
-            let avg: f64 = flags.get("avg-degree").map_or(Ok(8.0), |s| s.parse()).map_err(|e| format!("bad --avg-degree: {e}"))?;
-            let gamma: f64 = flags.get("gamma").map_or(Ok(2.2), |s| s.parse()).map_err(|e| format!("bad --gamma: {e}"))?;
+            let avg: f64 = flags
+                .get("avg-degree")
+                .map_or(Ok(8.0), |s| s.parse())
+                .map_err(|e| format!("bad --avg-degree: {e}"))?;
+            let gamma: f64 = flags
+                .get("gamma")
+                .map_or(Ok(2.2), |s| s.parse())
+                .map_err(|e| format!("bad --gamma: {e}"))?;
             generators::chung_lu(n, avg, gamma, seed).map_err(|e| e.to_string())?
         }
         "erdos-renyi" => {
@@ -244,29 +223,29 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             generators::erdos_renyi_gnm(n, m, seed).map_err(|e| e.to_string())?
         }
         "barabasi-albert" => {
-            let m: usize = flags.get("avg-degree").map_or(Ok(4.0), |s| s.parse()).map_err(|e| format!("bad --avg-degree: {e}"))? as usize / 2;
+            let m: usize = flags
+                .get("avg-degree")
+                .map_or(Ok(4.0), |s| s.parse())
+                .map_err(|e| format!("bad --avg-degree: {e}"))? as usize
+                / 2;
             generators::barabasi_albert(n, m.max(1), seed).map_err(|e| e.to_string())?
         }
         other => return Err(format!("unknown model {other:?}")),
     };
     io::save_edge_list(&graph, out).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {out}: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("wrote {out}: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
     Ok(())
 }
 
 fn cmd_patterns() -> Result<(), String> {
-    println!("{:<22} {:>8} {:>6} {:>6}  partial order (automorphism breaking)", "pattern", "vertices", "edges", "|Aut|");
+    println!(
+        "{:<22} {:>8} {:>6} {:>6}  partial order (automorphism breaking)",
+        "pattern", "vertices", "edges", "|Aut|"
+    );
     for p in catalog::paper_patterns() {
         let order = break_automorphisms(&p);
-        let constraints: Vec<String> = order
-            .constraints()
-            .iter()
-            .map(|&(a, b)| format!("v{}<v{}", a + 1, b + 1))
-            .collect();
+        let constraints: Vec<String> =
+            order.constraints().iter().map(|&(a, b)| format!("v{}<v{}", a + 1, b + 1)).collect();
         let aut = psgl::pattern::automorphism::automorphisms(&p).len();
         println!(
             "{:<22} {:>8} {:>6} {:>6}  {}",
@@ -277,5 +256,51 @@ fn cmd_patterns() -> Result<(), String> {
             constraints.join(", ")
         );
     }
+    Ok(())
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    flags.get(name).map_or(Ok(default), |s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let mut config = ServiceConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    config.pool = opt_parse(&flags, "pool", config.pool)?.max(1);
+    config.queue_cap = opt_parse(&flags, "queue-cap", config.queue_cap)?;
+    config.result_cache_cap = opt_parse(&flags, "result-cache", config.result_cache_cap)?;
+    config.plan_cache_cap = opt_parse(&flags, "plan-cache", config.plan_cache_cap)?;
+    config.list_chunk = opt_parse(&flags, "chunk", config.list_chunk)?.max(1);
+    config.defaults = QueryDefaults {
+        workers: opt_parse(&flags, "workers", QueryDefaults::default().workers)?.max(1),
+        budget: flags
+            .get("budget")
+            .map(|s| s.parse().map_err(|e| format!("bad --budget: {e}")))
+            .transpose()?,
+        seed: opt_parse(&flags, "seed", QueryDefaults::default().seed)?,
+    };
+    let handle =
+        service::serve(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    println!(
+        "psgl-service listening on {} (pool {}, queue {}, result cache {}, plan cache {})",
+        handle.addr(),
+        config.pool,
+        config.queue_cap,
+        config.result_cache_cap,
+        config.plan_cache_cap
+    );
+    println!("protocol: JSON lines; verbs: load, count, list, stats, health, shutdown");
+    handle.wait();
+    println!("psgl-service stopped");
     Ok(())
 }

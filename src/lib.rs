@@ -17,7 +17,10 @@
 //!   strategies, initial-vertex selection, bloom edge index),
 //! - [`mapreduce`] — an in-memory MapReduce engine used by the baselines,
 //! - [`baselines`] — the systems the paper compares against (Afrati
-//!   multiway join, SGIA-MR, one-hop index engine, centralized oracle).
+//!   multiway join, SGIA-MR, one-hop index engine, centralized oracle),
+//! - [`service`] — a long-running query service (`psgl serve`): graph
+//!   catalog, plan/result caches, admission control, JSON-lines TCP
+//!   protocol.
 //!
 //! ## Quickstart
 //!
@@ -39,3 +42,4 @@ pub use psgl_core as core;
 pub use psgl_graph as graph;
 pub use psgl_mapreduce as mapreduce;
 pub use psgl_pattern as pattern;
+pub use psgl_service as service;

@@ -21,9 +21,8 @@ fn all_systems_agree_on_all_paper_patterns() {
     for (gname, g) in graphs() {
         for pattern in catalog::paper_patterns() {
             let expected = centralized::count(&g, &pattern);
-            let psgl = list_subgraphs(&g, &pattern, &PsglConfig::with_workers(3))
-                .unwrap()
-                .instance_count;
+            let psgl =
+                list_subgraphs(&g, &pattern, &PsglConfig::with_workers(3)).unwrap().instance_count;
             assert_eq!(psgl, expected, "PSgL vs oracle: {pattern} on {gname}");
             let af = afrati::run(&g, &pattern, 8, None).unwrap().instance_count;
             assert_eq!(af, expected, "Afrati vs oracle: {pattern} on {gname}");
@@ -94,9 +93,8 @@ fn larger_patterns_cycles_and_cliques() {
         catalog::path(5),
     ] {
         let expected = centralized::count(&g, &pattern);
-        let got = list_subgraphs(&g, &pattern, &PsglConfig::with_workers(3))
-            .unwrap()
-            .instance_count;
+        let got =
+            list_subgraphs(&g, &pattern, &PsglConfig::with_workers(3)).unwrap().instance_count;
         assert_eq!(got, expected, "{pattern}");
     }
 }
@@ -106,8 +104,8 @@ fn paper_figure1_example_reproduces() {
     // Section 1's running example: the square pattern has exactly the
     // instances 1235, 1256, 2345 in the Figure 1(b) data graph.
     let g = psgl::graph::fixtures::paper_figure1();
-    let result = list_subgraphs(&g, &catalog::square(), &PsglConfig::with_workers(2).collect(true))
-        .unwrap();
+    let result =
+        list_subgraphs(&g, &catalog::square(), &PsglConfig::with_workers(2).collect(true)).unwrap();
     assert_eq!(result.instance_count, 3);
     let mut sets: Vec<Vec<u32>> = result
         .instances
@@ -186,8 +184,8 @@ fn labeled_matching_agrees_with_filtered_oracle() {
 fn collected_instances_match_oracle_listing() {
     let g = generators::erdos_renyi_gnm(60, 280, 11).unwrap();
     for pattern in [catalog::triangle(), catalog::square(), catalog::four_clique()] {
-        let result = list_subgraphs(&g, &pattern, &PsglConfig::with_workers(2).collect(true))
-            .unwrap();
+        let result =
+            list_subgraphs(&g, &pattern, &PsglConfig::with_workers(2).collect(true)).unwrap();
         let mine = result.instances.unwrap();
         // Canonicalize both sides by sorted edge lists.
         let canon = |inst: &Vec<u32>| {

@@ -71,7 +71,11 @@ fn onehop_rejects_invalid_orders_and_reports_oom() {
     let g = generators::chung_lu(300, 8.0, 1.8, 3).unwrap();
     let p = catalog::square();
     assert!(matches!(
-        onehop::run(&g, &p, &onehop::OneHopConfig { order: vec![0, 2, 1, 3], intermediate_budget: None }),
+        onehop::run(
+            &g,
+            &p,
+            &onehop::OneHopConfig { order: vec![0, 2, 1, 3], intermediate_budget: None }
+        ),
         Err(onehop::OneHopError::BadTraversalOrder)
     ));
     assert!(matches!(
@@ -97,10 +101,7 @@ fn malformed_edge_lists_fail_with_line_numbers() {
 
 #[test]
 fn disconnected_patterns_are_rejected_at_construction() {
-    assert_eq!(
-        Pattern::new("disc", 4, &[(0, 1), (2, 3)]).unwrap_err(),
-        PatternError::NotConnected
-    );
+    assert_eq!(Pattern::new("disc", 4, &[(0, 1), (2, 3)]).unwrap_err(), PatternError::NotConnected);
 }
 
 #[test]
