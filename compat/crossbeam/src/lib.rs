@@ -63,6 +63,8 @@ mod tests {
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = thread::scope(|scope| {
+            // Collect so every thread spawns before the first join.
+            #[allow(clippy::needless_collect)]
             let handles: Vec<_> = data
                 .chunks(2)
                 .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))

@@ -1,0 +1,500 @@
+//! BENCH_hotpath — wall-clock speedup of the allocation-free expansion
+//! kernel over the original allocating kernel.
+//!
+//! Not a paper artifact: this guards the engineering of the hot path. The
+//! binary embeds a faithful copy of the *seed* kernel (per-expansion `Vec`
+//! allocations, per-candidate binary-search GRAY checks, per-mapped-vertex
+//! order probes, recursive cross-product, and — like the pre-PR runner's
+//! `compute` — a fresh outbox `Vec` per call) and races it against
+//! [`psgl_core::expand::expand_gpsi`] on the same single-threaded driver,
+//! listing triangles and 4-cliques. Counts and every expansion counter
+//! must be identical.
+//!
+//! Workloads: the built-in karate-club fixture (the gate: its speedups
+//! feed `min_speedup`) plus a Chung-Lu power-law graph reported as
+//! supplementary — large generated graphs are enumeration-bound, so the
+//! allocation win there is real but small, and the JSON says so instead
+//! of hiding the row. Results go to `results/BENCH_hotpath.json`.
+//!
+//! `PSGL_SCALE` scales the Chung-Lu graph and the timing repetitions.
+
+use psgl_bench::report;
+use psgl_core::distribute::{Distributor, GrayCandidate, Strategy};
+use psgl_core::expand::{expand_gpsi, ExpandLimits, ExpandOutcome, ExpandScratch};
+use psgl_core::stats::ExpandStats;
+use psgl_core::{Gpsi, PsglConfig, PsglShared};
+use psgl_graph::fixtures::karate_club;
+use psgl_graph::generators::chung_lu;
+use psgl_graph::partition::HashPartitioner;
+use psgl_graph::{DataGraph, VertexId};
+use psgl_pattern::{catalog, Pattern, PatternVertex};
+use psgl_service::Json;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Baseline: the seed expansion kernel, reproduced verbatim. Every expansion
+// allocates its candidate vectors, checks GRAY edges with one binary search
+// each, probes the partial order per mapped vertex, and recurses over the
+// candidate cross-product.
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn expand_gpsi_seed(
+    shared: &PsglShared<'_>,
+    mut gpsi: Gpsi,
+    distributor: &mut Distributor,
+    partitioner: &HashPartitioner,
+    limits: &ExpandLimits,
+    out: &mut Vec<Gpsi>,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> ExpandOutcome {
+    let p = &shared.pattern;
+    let np = p.num_vertices();
+    let vp = gpsi.expanding();
+    let vd = gpsi.map(vp).expect("expanding vertex must be mapped");
+    gpsi.set_black(vp);
+    stats.expanded += 1;
+    let mut cost: u64 = 1;
+
+    let mut white: Vec<PatternVertex> = Vec::new();
+    for v2 in p.neighbors(vp) {
+        if gpsi.is_black(v2) {
+        } else if gpsi.is_mapped(v2) {
+            let vd2 = gpsi.map(v2).unwrap();
+            if shared.graph.neighbors(vd).binary_search(&vd2).is_err() {
+                stats.died_gray_check += 1;
+                stats.cost += cost;
+                return ExpandOutcome::Done;
+            }
+            gpsi.set_verified(shared.edge_ids.get(vp, v2).unwrap());
+        } else {
+            white.push(v2);
+        }
+    }
+
+    let mut candidates: Vec<Vec<VertexId>> = Vec::with_capacity(white.len());
+    for &wv in &white {
+        cost += u64::from(shared.graph.degree(vd));
+        let mut cands: Vec<VertexId> = Vec::new();
+        'cand: for &cd in shared.graph.neighbors(vd) {
+            if gpsi.uses_data_vertex(cd, np) {
+                stats.pruned_injectivity += 1;
+                continue;
+            }
+            if shared.graph.degree(cd) < p.degree(wv) {
+                stats.pruned_degree += 1;
+                continue;
+            }
+            if !shared.label_ok(wv, cd) {
+                stats.pruned_label += 1;
+                continue;
+            }
+            for up in (0..np as PatternVertex).filter(|&v| gpsi.is_mapped(v)) {
+                let ud = gpsi.map(up).unwrap();
+                if shared.order.requires_less(wv, up) && !shared.ordered.less(cd, ud) {
+                    stats.pruned_order += 1;
+                    continue 'cand;
+                }
+                if shared.order.requires_less(up, wv) && !shared.ordered.less(ud, cd) {
+                    stats.pruned_order += 1;
+                    continue 'cand;
+                }
+            }
+            for v3 in p.neighbors(wv) {
+                if v3 != vp && gpsi.is_mapped(v3) {
+                    let vd3 = gpsi.map(v3).unwrap();
+                    stats.index_probes += 1;
+                    if let Some(false) = shared.index_check(cd, vd3) {
+                        stats.pruned_connectivity += 1;
+                        continue 'cand;
+                    }
+                }
+            }
+            cands.push(cd);
+        }
+        if cands.is_empty() {
+            stats.died_no_candidates += 1;
+            stats.cost += cost;
+            return ExpandOutcome::Done;
+        }
+        candidates.push(cands);
+    }
+
+    let examined_before = stats.combinations_examined;
+    let mut chosen: Vec<VertexId> = vec![0; white.len()];
+    let generated = combine_seed(
+        shared,
+        &gpsi,
+        &white,
+        &candidates,
+        0,
+        &mut chosen,
+        distributor,
+        partitioner,
+        limits,
+        out,
+        emit,
+        stats,
+    );
+    match generated {
+        Ok(count) => {
+            cost += count;
+            cost += stats.combinations_examined - examined_before;
+            stats.cost += cost;
+            ExpandOutcome::Done
+        }
+        Err(()) => {
+            cost += stats.combinations_examined - examined_before;
+            stats.cost += cost;
+            ExpandOutcome::FanoutExceeded
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn combine_seed(
+    shared: &PsglShared<'_>,
+    base: &Gpsi,
+    white: &[PatternVertex],
+    candidates: &[Vec<VertexId>],
+    depth: usize,
+    chosen: &mut Vec<VertexId>,
+    distributor: &mut Distributor,
+    partitioner: &HashPartitioner,
+    limits: &ExpandLimits,
+    out: &mut Vec<Gpsi>,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> Result<u64, ()> {
+    if depth == white.len() {
+        finalize_seed(shared, base, white, chosen, distributor, partitioner, out, emit, stats);
+        return Ok(1);
+    }
+    let mut generated = 0u64;
+    'cand: for &cd in &candidates[depth] {
+        stats.combinations_examined += 1;
+        if chosen[..depth].contains(&cd) {
+            stats.pruned_injectivity += 1;
+            continue;
+        }
+        let wv = white[depth];
+        for (i, &prev) in chosen[..depth].iter().enumerate() {
+            let pv = white[i];
+            if shared.order.requires_less(wv, pv) && !shared.ordered.less(cd, prev) {
+                stats.pruned_order += 1;
+                continue 'cand;
+            }
+            if shared.order.requires_less(pv, wv) && !shared.ordered.less(prev, cd) {
+                stats.pruned_order += 1;
+                continue 'cand;
+            }
+            if shared.pattern.has_edge(wv, pv) {
+                stats.index_probes += 1;
+                if let Some(false) = shared.index_check(cd, prev) {
+                    stats.pruned_connectivity += 1;
+                    continue 'cand;
+                }
+            }
+        }
+        chosen[depth] = cd;
+        generated += combine_seed(
+            shared,
+            base,
+            white,
+            candidates,
+            depth + 1,
+            chosen,
+            distributor,
+            partitioner,
+            limits,
+            out,
+            emit,
+            stats,
+        )?;
+        if let Some(max) = limits.max_fanout {
+            if generated > max {
+                return Err(());
+            }
+        }
+    }
+    Ok(generated)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize_seed(
+    shared: &PsglShared<'_>,
+    base: &Gpsi,
+    white: &[PatternVertex],
+    chosen: &[VertexId],
+    distributor: &mut Distributor,
+    partitioner: &HashPartitioner,
+    out: &mut Vec<Gpsi>,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) {
+    let p = &shared.pattern;
+    let np = p.num_vertices();
+    let mut g = *base;
+    let vp = base.expanding();
+    for (i, &wv) in white.iter().enumerate() {
+        g.assign(wv, chosen[i]);
+        g.set_verified(shared.edge_ids.get(vp, wv).unwrap());
+    }
+    stats.generated += 1;
+    if g.is_complete(p, shared.edge_ids.all_mask()) {
+        stats.results += 1;
+        emit(&g);
+        return;
+    }
+    let mut grays: Vec<GrayCandidate> = Vec::new();
+    for gv in 0..np as PatternVertex {
+        if !g.is_gray(gv) {
+            continue;
+        }
+        let mut useful = false;
+        let mut white_neighbors = 0u32;
+        for nv in p.neighbors(gv) {
+            if !g.is_mapped(nv) {
+                white_neighbors += 1;
+                useful = true;
+            } else if !g.is_verified(shared.edge_ids.get(gv, nv).unwrap()) {
+                useful = true;
+            }
+        }
+        if useful {
+            let vd = g.map(gv).unwrap();
+            grays.push(GrayCandidate {
+                vp: gv,
+                vd,
+                degree: shared.graph.degree(vd),
+                white_neighbors,
+            });
+        }
+    }
+    let pick = distributor.choose(&grays, partitioner);
+    g.set_expanding(grays[pick].vp);
+    out.push(g);
+}
+
+// ---------------------------------------------------------------------------
+// Single-threaded stack driver shared by both kernels.
+// ---------------------------------------------------------------------------
+
+enum Kernel {
+    Seed,
+    HotPath,
+}
+
+/// Runs one full listing with the chosen kernel; returns the instance
+/// count. The scratch, queue and outbox persist across calls so repeated
+/// timing runs measure the steady state for both kernels alike.
+#[allow(clippy::too_many_arguments)]
+fn run_listing(
+    kernel: &Kernel,
+    shared: &PsglShared<'_>,
+    partitioner: &HashPartitioner,
+    scratch: &mut ExpandScratch,
+    queue: &mut Vec<Gpsi>,
+    out: &mut Vec<Gpsi>,
+    stats: &mut ExpandStats,
+) -> u64 {
+    let g = shared.graph;
+    let init = shared.init_vertex;
+    let mut distributor = Distributor::new(Strategy::Random, 1, 1234);
+    let mut found = 0u64;
+    queue.clear();
+    for v in g.vertices() {
+        if g.degree(v) >= shared.pattern.degree(init) {
+            queue.push(Gpsi::initial(init, v));
+        }
+    }
+    while let Some(gpsi) = queue.pop() {
+        let outcome = match kernel {
+            Kernel::Seed => {
+                // The pre-PR runner allocated its outbox per `compute`
+                // call (`let mut out: Vec<Gpsi> = Vec::new();`); the
+                // baseline reproduces that allocation behavior.
+                let mut seed_out: Vec<Gpsi> = Vec::new();
+                let outcome = expand_gpsi_seed(
+                    shared,
+                    gpsi,
+                    &mut distributor,
+                    partitioner,
+                    &ExpandLimits::default(),
+                    &mut seed_out,
+                    &mut |_| found += 1,
+                    stats,
+                );
+                queue.append(&mut seed_out);
+                outcome
+            }
+            Kernel::HotPath => {
+                out.clear();
+                let outcome = expand_gpsi(
+                    shared,
+                    gpsi,
+                    scratch,
+                    &mut distributor,
+                    partitioner,
+                    &ExpandLimits::default(),
+                    out,
+                    &mut |_| found += 1,
+                    stats,
+                );
+                queue.append(out);
+                outcome
+            }
+        };
+        assert_eq!(outcome, ExpandOutcome::Done);
+    }
+    found
+}
+
+/// Per-kernel measurement state for [`time_pair`].
+struct Lane {
+    kernel: Kernel,
+    scratch: ExpandScratch,
+    queue: Vec<Gpsi>,
+    out: Vec<Gpsi>,
+    stats: ExpandStats,
+    warm: u64,
+    best_per_rep: f64,
+}
+
+/// Times `reps` listings of each kernel (after one warm-up apiece) in
+/// *interleaved* batches and reports each kernel's *minimum* per-rep time:
+/// interleaving exposes both kernels to the same scheduler/frequency noise
+/// windows, and the min-over-batches estimator discards the disturbed
+/// batches entirely. Returns `(instances, reps * best per-rep ms, merged
+/// stats)` per kernel, seed first.
+#[allow(clippy::type_complexity)]
+fn time_pair(
+    shared: &PsglShared<'_>,
+    reps: usize,
+) -> ((u64, f64, ExpandStats), (u64, f64, ExpandStats)) {
+    const BATCHES: usize = 48;
+    let partitioner = HashPartitioner::new(1);
+    let mut lanes = [Kernel::Seed, Kernel::HotPath].map(|kernel| Lane {
+        kernel,
+        scratch: ExpandScratch::new(),
+        queue: Vec::new(),
+        out: Vec::new(),
+        stats: ExpandStats::default(),
+        warm: 0,
+        best_per_rep: f64::INFINITY,
+    });
+    for lane in &mut lanes {
+        lane.warm = run_listing(
+            &lane.kernel,
+            shared,
+            &partitioner,
+            &mut lane.scratch,
+            &mut lane.queue,
+            &mut lane.out,
+            &mut lane.stats,
+        );
+        lane.stats = ExpandStats::default();
+    }
+    let batch_reps = (reps / BATCHES).max(1);
+    for _ in 0..BATCHES {
+        for lane in &mut lanes {
+            let start = Instant::now();
+            for _ in 0..batch_reps {
+                let again = run_listing(
+                    &lane.kernel,
+                    shared,
+                    &partitioner,
+                    &mut lane.scratch,
+                    &mut lane.queue,
+                    &mut lane.out,
+                    &mut lane.stats,
+                );
+                assert_eq!(again, lane.warm, "instance count must be stable across repetitions");
+            }
+            lane.best_per_rep =
+                lane.best_per_rep.min(start.elapsed().as_secs_f64() / batch_reps as f64);
+        }
+    }
+    let [seed, hot] = lanes;
+    (
+        (seed.warm, seed.best_per_rep * reps as f64 * 1e3, seed.stats),
+        (hot.warm, hot.best_per_rep * reps as f64 * 1e3, hot.stats),
+    )
+}
+
+fn main() {
+    let scale: f64 = std::env::var("PSGL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    report::banner(
+        "BENCH_hotpath",
+        "allocation-free expansion kernel vs the original allocating kernel",
+        scale,
+    );
+
+    let karate = karate_club();
+    let cl_vertices = ((3_000.0 * scale) as usize).max(200);
+    let powerlaw = chung_lu(cl_vertices, 8.0, 2.2, 7).expect("generate chung-lu");
+    // The fixture runs are microseconds each: repeat them enough that the
+    // timed region is tens of milliseconds, far above timer noise.
+    let fixture_reps = ((6_000.0 * scale).round() as usize).max(200);
+    let supp_reps = ((20.0 * scale).round() as usize).max(3);
+
+    // (name, graph, reps, gated): gated workloads are the built-in
+    // fixtures whose speedup feeds `min_speedup`.
+    let fixtures: [(&str, &DataGraph, usize, bool); 2] =
+        [("karate_club", &karate, fixture_reps, true), ("chung_lu", &powerlaw, supp_reps, false)];
+    let patterns: [(&str, Pattern); 2] =
+        [("triangle", catalog::triangle()), ("four_clique", catalog::four_clique())];
+
+    let config = PsglConfig::default();
+    let table = report::Table::new(&[
+        ("workload", 26),
+        ("instances", 10),
+        ("seed ms", 10),
+        ("kernel ms", 10),
+        ("speedup", 8),
+    ]);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    for (gname, graph, reps, gated) in fixtures {
+        for (pname, pattern) in &patterns {
+            let shared = PsglShared::prepare(graph, pattern, &config).expect("prepare");
+            let ((n_seed, ms_seed, st_seed), (n_hot, ms_hot, st_hot)) = time_pair(&shared, reps);
+            assert_eq!(n_seed, n_hot, "{gname}/{pname}: kernels disagree on the count");
+            assert_eq!(st_seed, st_hot, "{gname}/{pname}: kernels disagree on expansion counters");
+            let speedup = ms_seed / ms_hot;
+            if gated {
+                min_speedup = min_speedup.min(speedup);
+            }
+            let workload = format!("{gname}/{pname}");
+            table.row(&[
+                workload.clone(),
+                n_hot.to_string(),
+                format!("{ms_seed:.1}"),
+                format!("{ms_hot:.1}"),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push(Json::obj([
+                ("workload", Json::from(workload)),
+                ("gated", Json::from(gated)),
+                ("instances", Json::from(n_hot)),
+                ("reps", Json::from(reps)),
+                ("seed_ms", Json::from(ms_seed)),
+                ("kernel_ms", Json::from(ms_hot)),
+                ("speedup", Json::from(speedup)),
+            ]));
+        }
+    }
+    println!("shape: speedup >= 1.5x on the gated fixture workloads (counts and");
+    println!("       counters identical); the supplementary power-law rows are");
+    println!("       enumeration-bound, so their allocation win is smaller");
+
+    let body = Json::obj([
+        ("experiment", Json::from("hotpath")),
+        ("scale", Json::from(scale)),
+        ("gate", Json::from("min_speedup is over the built-in fixture workloads (gated: true)")),
+        ("workloads", Json::Arr(rows)),
+        ("min_speedup", Json::from(min_speedup)),
+    ]);
+    report::write_json_report("results/BENCH_hotpath.json", &body).expect("write report");
+}

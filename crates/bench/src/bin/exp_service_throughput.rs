@@ -95,6 +95,10 @@ fn main() {
     let stats = admin.stats().expect("stats");
     let cache = stats.get("result_cache").unwrap();
     let hit_rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+    let server = stats.get("server").unwrap();
+    let messages_total = server.get("messages_total").and_then(Json::as_u64).unwrap_or(0);
+    let local_delivery_ratio =
+        server.get("local_delivery_ratio").and_then(Json::as_f64).unwrap_or(0.0);
     admin.shutdown().expect("shutdown");
     handle.wait();
 
@@ -111,6 +115,8 @@ fn main() {
     table.row(&["p50 ms".into(), format!("{p50:.2}")]);
     table.row(&["p99 ms".into(), format!("{p99:.2}")]);
     table.row(&["cache hit rate".into(), format!("{hit_rate:.3}")]);
+    table.row(&["messages total".into(), messages_total.to_string()]);
+    table.row(&["local delivery".into(), format!("{local_delivery_ratio:.3}")]);
     println!("shape: cache hit rate near 1 after the first round per pattern;");
     println!("       p99 >> p50 only when the pool saturates");
 
@@ -129,6 +135,8 @@ fn main() {
         ("p50_ms", Json::from(p50)),
         ("p99_ms", Json::from(p99)),
         ("cache_hit_rate", Json::from(hit_rate)),
+        ("messages_total", Json::from(messages_total)),
+        ("local_delivery_ratio", Json::from(local_delivery_ratio)),
     ]);
     report::write_json_report("results/BENCH_service.json", &body).expect("write report");
 }

@@ -1,0 +1,192 @@
+//! Pooled message chunks and per-worker steal queues.
+//!
+//! The message plane moves `(VertexId, M)` tuples in fixed-capacity chunks
+//! instead of one unbounded `Vec` per destination worker. Chunks are
+//! recycled through a [`ChunkPool`] across supersteps, so after the first
+//! superstep warms the pool, steady-state message traffic performs no heap
+//! allocation: a sender acquires a recycled chunk, fills it, and the
+//! exchange moves the chunk *by pointer* into the receiver's inbox — the
+//! tuples themselves are written exactly once.
+//!
+//! After the exchange, each worker regroups its inbox into per-vertex
+//! *units* (chunks split only at vertex boundaries) and publishes them to
+//! its [`StealQueue`]. The owner drains its queue front-first; when
+//! stealing is enabled, idle workers claim units from the back of straggler
+//! queues — the intra-worker analogue of the paper's workload-aware
+//! distribution (Section 5.3).
+
+use parking_lot::Mutex;
+use psgl_graph::VertexId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of `(VertexId, M)` tuples per chunk.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 512;
+
+/// A fixed-capacity run of routed messages. Plain `Vec` under the hood;
+/// the pool guarantees the capacity is allocated once and retained.
+pub type Chunk<M> = Vec<(VertexId, M)>;
+
+/// A free-list of recycled message chunks shared by all workers of a run.
+///
+/// `acquire` pops a cleared chunk if one is available and allocates a fresh
+/// one otherwise; `release` returns a chunk to the free list with its
+/// buffer intact. The `fresh`/`reused` counters feed
+/// [`EngineMetrics::allocations_avoided`](crate::EngineMetrics::allocations_avoided).
+pub struct ChunkPool<M> {
+    free: Mutex<Vec<Chunk<M>>>,
+    capacity: usize,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl<M> ChunkPool<M> {
+    /// Creates an empty pool handing out chunks of `capacity` tuples
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ChunkPool {
+            free: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            fresh: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// Tuples per chunk.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hands out an empty chunk, recycling a released one when possible.
+    pub fn acquire(&self) -> Chunk<M> {
+        if let Some(c) = self.free.lock().pop() {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return c;
+        }
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(self.capacity)
+    }
+
+    /// Returns `chunk` to the free list. Oversized chunks (a single vertex
+    /// can exceed the nominal capacity — units never split a vertex) are
+    /// recycled too; their extra capacity is simply kept.
+    pub fn release(&self, mut chunk: Chunk<M>) {
+        chunk.clear();
+        if chunk.capacity() > 0 {
+            self.free.lock().push(chunk);
+        }
+    }
+
+    /// Chunks allocated because the free list was empty.
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Chunks served from the free list — allocations avoided.
+    pub fn reuses(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
+/// Appends `(to, msg)` to the last chunk of `list`, acquiring a new chunk
+/// from `pool` when the current one is full.
+#[inline]
+pub(crate) fn push_chunked<M>(pool: &ChunkPool<M>, list: &mut Vec<Chunk<M>>, to: VertexId, msg: M) {
+    match list.last_mut() {
+        Some(c) if c.len() < pool.capacity() => c.push((to, msg)),
+        _ => {
+            let mut c = pool.acquire();
+            c.push((to, msg));
+            list.push(c);
+        }
+    }
+}
+
+/// One worker's queue of ready-to-process message units for the current
+/// superstep. Units are chunks whose boundaries coincide with vertex
+/// boundaries, so processing a unit calls `compute` on complete vertices
+/// only — stealing can never split a vertex's message batch.
+#[derive(Default)]
+pub struct StealQueue<M> {
+    units: Mutex<VecDeque<Chunk<M>>>,
+}
+
+impl<M> StealQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        StealQueue { units: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Publishes a unit (owner only, before the superstep barrier).
+    pub fn push(&self, unit: Chunk<M>) {
+        self.units.lock().push_back(unit);
+    }
+
+    /// The owner claims the oldest unit (front).
+    pub fn pop_own(&self) -> Option<Chunk<M>> {
+        self.units.lock().pop_front()
+    }
+
+    /// A thief claims the newest unit (back), minimizing contention with
+    /// the owner working from the front.
+    pub fn pop_steal(&self) -> Option<Chunk<M>> {
+        self.units.lock().pop_back()
+    }
+
+    /// Number of queued units.
+    pub fn len(&self) -> usize {
+        self.units.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.units.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let pool: ChunkPool<u32> = ChunkPool::new(8);
+        let mut a = pool.acquire();
+        assert_eq!(pool.fresh_allocations(), 1);
+        a.push((1, 10));
+        pool.release(a);
+        let b = pool.acquire();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 8);
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(pool.fresh_allocations(), 1);
+    }
+
+    #[test]
+    fn push_chunked_rolls_over_at_capacity() {
+        let pool: ChunkPool<u32> = ChunkPool::new(2);
+        let mut list = Vec::new();
+        for i in 0..5 {
+            push_chunked(&pool, &mut list, i, i);
+        }
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[0].len(), 2);
+        assert_eq!(list[2].len(), 1);
+        assert_eq!(pool.fresh_allocations(), 3);
+    }
+
+    #[test]
+    fn steal_queue_owner_front_thief_back() {
+        let q: StealQueue<u32> = StealQueue::new();
+        q.push(vec![(0, 0)]);
+        q.push(vec![(1, 1)]);
+        q.push(vec![(2, 2)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_own().unwrap()[0].0, 0);
+        assert_eq!(q.pop_steal().unwrap()[0].0, 2);
+        assert_eq!(q.pop_own().unwrap()[0].0, 1);
+        assert!(q.is_empty());
+        assert!(q.pop_steal().is_none());
+    }
+}

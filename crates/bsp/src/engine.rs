@@ -1,9 +1,17 @@
 //! The BSP engine: supersteps, workers, message exchange.
+//!
+//! Messages travel in fixed-capacity chunks recycled through a
+//! [`ChunkPool`] (see [`crate::chunk`]): senders fill pooled chunks, the
+//! exchange moves them by pointer, and receivers regroup them into
+//! per-vertex units that idle workers may steal. Steady-state supersteps
+//! therefore allocate nothing on the message path.
 
+use crate::chunk::{push_chunked, Chunk, ChunkPool, StealQueue, DEFAULT_CHUNK_CAPACITY};
 use crate::metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::VertexId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Barrier;
 use std::time::Instant;
 
 /// Engine configuration.
@@ -16,11 +24,25 @@ pub struct BspConfig {
     /// superstep — deterministic stand-in for the cluster's OutOfMemory
     /// failures in Tables 2 and 4. `None` = unlimited.
     pub message_budget: Option<u64>,
+    /// `(VertexId, M)` tuples per message chunk. Larger chunks amortize
+    /// pool traffic; smaller chunks give stealing finer granularity.
+    pub chunk_capacity: usize,
+    /// Let idle workers claim message units from stragglers' inboxes
+    /// within a superstep. Vertex-level results are unaffected (units
+    /// never split a vertex's batch), but *which worker* processed a unit
+    /// — and hence per-worker metrics and any worker-keyed program state —
+    /// becomes scheduling-dependent, so stealing is opt-in.
+    pub steal: bool,
 }
 
 impl Default for BspConfig {
     fn default() -> Self {
-        BspConfig { max_supersteps: 64, message_budget: None }
+        BspConfig {
+            max_supersteps: 64,
+            message_budget: None,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            steal: false,
+        }
     }
 }
 
@@ -75,9 +97,14 @@ pub struct Context<'a, M, A = ()> {
     superstep: u32,
     worker: usize,
     partitioner: &'a HashPartitioner,
-    outboxes: &'a mut [Vec<(VertexId, M)>],
+    pool: &'a ChunkPool<M>,
+    /// Chunked outboxes for remote workers, indexed by destination.
+    remote: &'a mut [Vec<Chunk<M>>],
+    /// Same-worker fast path: chunks that skip the exchange entirely.
+    local: &'a mut Vec<Chunk<M>>,
     cost: u64,
     messages_out: u64,
+    local_delivered: u64,
     /// The merged aggregate of the *previous* superstep (Pregel semantics).
     prev_aggregate: &'a A,
     /// This worker's aggregate contribution for the current superstep.
@@ -124,11 +151,19 @@ impl<'a, M, A> Context<'a, M, A> {
     }
 
     /// Sends `msg` to vertex `to`; it is delivered at the next superstep on
-    /// the worker owning `to`.
+    /// the worker owning `to`. Messages to this worker's own vertices take
+    /// the local fast path: they go straight into the worker's next inbox
+    /// without touching the exchange.
     #[inline]
     pub fn send(&mut self, to: VertexId, msg: M) {
         self.messages_out += 1;
-        self.outboxes[self.partitioner.owner(to)].push((to, msg));
+        let dest = self.partitioner.owner(to);
+        if dest == self.worker {
+            self.local_delivered += 1;
+            push_chunked(self.pool, self.local, to, msg);
+        } else {
+            push_chunked(self.pool, &mut self.remote[dest], to, msg);
+        }
     }
 
     /// Adds `units` to this worker's cost for the current superstep
@@ -164,12 +199,17 @@ pub trait VertexProgram: Sync {
     fn merge_aggregates(&self, _into: &mut Self::Aggregate, _from: Self::Aggregate) {}
 
     /// Processes `vertex` with its incoming `messages`.
+    ///
+    /// `messages` is an engine-owned batch buffer reused across calls: it
+    /// holds every message addressed to `vertex` this superstep, and the
+    /// program may freely `drain` or consume it — the engine clears it
+    /// before the next vertex either way.
     fn compute(
         &self,
         ctx: &mut Context<'_, Self::Message, Self::Aggregate>,
         state: &mut Self::WorkerState,
         vertex: VertexId,
-        messages: Vec<Self::Message>,
+        messages: &mut Vec<Self::Message>,
     );
 }
 
@@ -184,13 +224,34 @@ pub struct BspResult<S, A = ()> {
     pub metrics: EngineMetrics,
 }
 
+/// Per-worker scratch retained across supersteps so the hot loop reuses
+/// buffers instead of reallocating them.
+struct WorkerScratch<M> {
+    /// Gather buffer: inbox chunks are drained here and stably sorted by
+    /// destination vertex before being split into units.
+    sort_buf: Vec<(VertexId, M)>,
+    /// Per-vertex message batch handed to `compute`.
+    batch: Vec<M>,
+}
+
+impl<M> WorkerScratch<M> {
+    fn new() -> Self {
+        WorkerScratch { sort_buf: Vec::new(), batch: Vec::new() }
+    }
+}
+
 /// Runs `program` over vertices `0..num_vertices` partitioned by
 /// `partitioner`, until no messages remain in flight.
 ///
-/// Workers run as scoped OS threads; the message exchange between
-/// supersteps is the synchronous barrier. Deterministic for deterministic
-/// programs: inboxes are assembled in source-worker order and grouped with
-/// a stable sort.
+/// Workers run as scoped OS threads. Each superstep has two phases
+/// separated by a [`Barrier`]: first every worker regroups its inbox
+/// chunks into per-vertex units and publishes them to its steal queue;
+/// then workers drain their own queues front-first and — when
+/// [`BspConfig::steal`] is on — claim units from the back of other
+/// workers' queues. With stealing off the engine is deterministic for
+/// deterministic programs: each inbox is assembled in source-worker order
+/// (the local fast path slotting in at the sender's own position) and
+/// grouped with a stable sort.
 pub fn run<P: VertexProgram>(
     num_vertices: usize,
     partitioner: &HashPartitioner,
@@ -205,7 +266,10 @@ pub fn run<P: VertexProgram>(
     for v in 0..num_vertices as VertexId {
         owned[partitioner.owner(v)].push(v);
     }
-    let mut inboxes: Vec<Vec<(VertexId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+    let pool: ChunkPool<P::Message> = ChunkPool::new(config.chunk_capacity);
+    let mut inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
+    let mut scratches: Vec<WorkerScratch<P::Message>> =
+        (0..k).map(|_| WorkerScratch::new()).collect();
     let mut metrics = EngineMetrics::default();
     let mut superstep: u32 = 0;
     let mut merged_aggregate = P::Aggregate::default();
@@ -213,16 +277,38 @@ pub fn run<P: VertexProgram>(
         if superstep >= config.max_supersteps {
             return Err(BspError::SuperstepLimitExceeded(superstep));
         }
-        // outboxes[w][dest] filled by worker w.
+        let queues: Vec<StealQueue<P::Message>> = (0..k).map(|_| StealQueue::new()).collect();
+        let barrier = Barrier::new(k);
         let mut worker_results: Vec<Option<WorkerOutput<P>>> = (0..k).map(|_| None).collect();
         let prev_aggregate = &merged_aggregate;
         let panicked = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(k);
-            for (((worker, state), inbox), slot) in
-                states.iter_mut().enumerate().zip(inboxes.iter_mut()).zip(worker_results.iter_mut())
+            for ((((worker, state), inbox), scratch), slot) in states
+                .iter_mut()
+                .enumerate()
+                .zip(inboxes.iter_mut())
+                .zip(scratches.iter_mut())
+                .zip(worker_results.iter_mut())
             {
                 let owned = &owned[worker];
+                let (queues, barrier, pool) = (&queues, &barrier, &pool);
                 let handle = scope.spawn(move |_| {
+                    // Phase 1: regroup the inbox into units. Panics are
+                    // caught *before* the barrier so a crashing worker
+                    // cannot strand the others.
+                    let prep = catch_unwind(AssertUnwindSafe(|| {
+                        publish_units(
+                            pool,
+                            &queues[worker],
+                            &mut scratch.sort_buf,
+                            std::mem::take(inbox),
+                        )
+                    }));
+                    barrier.wait();
+                    if prep.is_err() {
+                        return Some(worker);
+                    }
+                    // Phase 2: process own units, then steal stragglers'.
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         run_worker::<P>(
                             program,
@@ -232,7 +318,10 @@ pub fn run<P: VertexProgram>(
                             partitioner,
                             k,
                             owned,
-                            std::mem::take(inbox),
+                            pool,
+                            queues,
+                            config.steal,
+                            &mut scratch.batch,
                             prev_aggregate,
                         )
                     }));
@@ -258,22 +347,27 @@ pub fn run<P: VertexProgram>(
         if let Some(worker) = panicked {
             return Err(BspError::WorkerPanicked { worker, superstep });
         }
-        // Collect metrics, merge aggregates, and rebuild inboxes in
-        // source-worker order.
+        // Collect metrics, merge aggregates, and rebuild inboxes. Chunks
+        // move by pointer; each destination receives sources in worker
+        // order, with a worker's locally-delivered chunks slotting in at
+        // its own source position — the same order a self-send through the
+        // exchange would have produced, keeping runs deterministic.
         let mut step = SuperstepMetrics { workers: Vec::with_capacity(k) };
-        let mut new_inboxes: Vec<Vec<(VertexId, P::Message)>> =
-            (0..k).map(|_| Vec::new()).collect();
+        let mut new_inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
         let mut next_aggregate = P::Aggregate::default();
-        for result in worker_results {
-            let (outboxes, wm, agg) = result.expect("worker result present when no panic");
+        for (src, result) in worker_results.into_iter().enumerate() {
+            let (remote, mut local, wm, agg) = result.expect("worker result present when no panic");
             step.workers.push(wm);
             program.merge_aggregates(&mut next_aggregate, agg);
-            for (dest, mut msgs) in outboxes.into_iter().enumerate() {
-                new_inboxes[dest].append(&mut msgs);
+            for (dest, mut chunks) in remote.into_iter().enumerate() {
+                debug_assert!(dest != src || chunks.is_empty(), "self-sends take the local path");
+                new_inboxes[dest].append(&mut chunks);
             }
+            new_inboxes[src].append(&mut local);
         }
         merged_aggregate = next_aggregate;
-        let in_flight: u64 = new_inboxes.iter().map(|b| b.len() as u64).sum();
+        let in_flight: u64 =
+            new_inboxes.iter().flat_map(|b| b.iter()).map(|c| c.len() as u64).sum();
         metrics.supersteps.push(step);
         if let Some(budget) = config.message_budget {
             if in_flight > budget {
@@ -286,19 +380,54 @@ pub fn run<P: VertexProgram>(
         inboxes = new_inboxes;
         superstep += 1;
     }
+    metrics.chunk_allocations = pool.fresh_allocations();
+    metrics.chunk_reuses = pool.reuses();
     metrics.wall_time = start.elapsed();
     Ok(BspResult { worker_states: states, final_aggregate: merged_aggregate, metrics })
 }
 
-/// Per-worker superstep output: outboxes (one per destination worker),
-/// metrics, and the worker's aggregate contribution.
+/// Per-worker superstep output: remote outbox chunks (indexed by
+/// destination worker), locally-delivered chunks, metrics, and the
+/// worker's aggregate contribution.
 type WorkerOutput<P> = (
-    Vec<Vec<(VertexId, <P as VertexProgram>::Message)>>,
+    Vec<Vec<Chunk<<P as VertexProgram>::Message>>>,
+    Vec<Chunk<<P as VertexProgram>::Message>>,
     WorkerSuperstepMetrics,
     <P as VertexProgram>::Aggregate,
 );
 
-/// Executes one worker for one superstep; returns its outboxes and metrics.
+/// Phase 1 of a superstep: drains `inbox` chunks into `sort_buf`, stably
+/// sorts by destination vertex, splits the run into units at vertex
+/// boundaries (a unit may exceed the nominal chunk capacity rather than
+/// split one vertex's batch), and publishes them to `queue`.
+fn publish_units<M>(
+    pool: &ChunkPool<M>,
+    queue: &StealQueue<M>,
+    sort_buf: &mut Vec<(VertexId, M)>,
+    inbox: Vec<Chunk<M>>,
+) {
+    sort_buf.clear();
+    for mut c in inbox {
+        sort_buf.append(&mut c);
+        pool.release(c);
+    }
+    if sort_buf.is_empty() {
+        return;
+    }
+    sort_buf.sort_by_key(|(v, _)| *v);
+    let cap = pool.capacity();
+    let mut unit = pool.acquire();
+    for (v, m) in sort_buf.drain(..) {
+        if unit.len() >= cap && unit.last().is_some_and(|(u, _)| *u != v) {
+            queue.push(std::mem::replace(&mut unit, pool.acquire()));
+        }
+        unit.push((v, m));
+    }
+    queue.push(unit);
+}
+
+/// Phase 2: executes one worker for one superstep; returns its outboxes
+/// and metrics.
 #[allow(clippy::too_many_arguments)]
 fn run_worker<P: VertexProgram>(
     program: &P,
@@ -308,51 +437,97 @@ fn run_worker<P: VertexProgram>(
     partitioner: &HashPartitioner,
     k: usize,
     owned: &[VertexId],
-    mut inbox: Vec<(VertexId, P::Message)>,
+    pool: &ChunkPool<P::Message>,
+    queues: &[StealQueue<P::Message>],
+    steal: bool,
+    batch: &mut Vec<P::Message>,
     prev_aggregate: &P::Aggregate,
 ) -> WorkerOutput<P> {
     let started = Instant::now();
-    let mut outboxes: Vec<Vec<(VertexId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+    let mut remote: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
+    let mut local: Vec<Chunk<P::Message>> = Vec::new();
     let mut local_aggregate = P::Aggregate::default();
     let mut ctx = Context {
         superstep,
         worker,
         partitioner,
-        outboxes: &mut outboxes,
+        pool,
+        remote: &mut remote,
+        local: &mut local,
         cost: 0,
         messages_out: 0,
+        local_delivered: 0,
         prev_aggregate,
         local_aggregate: &mut local_aggregate,
     };
-    let messages_in = inbox.len() as u64;
     let mut active_vertices = 0u64;
+    let mut messages_in = 0u64;
+    let mut chunks_stolen = 0u64;
     if superstep == 0 {
         for &v in owned {
             active_vertices += 1;
-            program.compute(&mut ctx, state, v, Vec::new());
-        }
-    } else {
-        // Group messages by destination vertex; stable sort keeps
-        // source-worker order within a vertex for determinism.
-        inbox.sort_by_key(|(v, _)| *v);
-        let mut it = inbox.into_iter().peekable();
-        while let Some((v, first)) = it.next() {
-            let mut batch = vec![first];
-            while it.peek().is_some_and(|(u, _)| *u == v) {
-                batch.push(it.next().unwrap().1);
-            }
-            active_vertices += 1;
+            batch.clear();
             program.compute(&mut ctx, state, v, batch);
         }
+    } else {
+        while let Some(mut unit) = queues[worker].pop_own() {
+            let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, &mut unit);
+            active_vertices += a;
+            messages_in += m;
+            pool.release(unit);
+        }
+        if steal {
+            // All units were published before the barrier, so one sweep
+            // over the other queues observes everything still unclaimed.
+            for off in 1..k {
+                let victim = (worker + off) % k;
+                while let Some(mut unit) = queues[victim].pop_steal() {
+                    chunks_stolen += 1;
+                    let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, &mut unit);
+                    active_vertices += a;
+                    messages_in += m;
+                    pool.release(unit);
+                }
+            }
+        }
     }
+    let tuple_bytes = std::mem::size_of::<(VertexId, P::Message)>() as u64;
     let wm = WorkerSuperstepMetrics {
         active_vertices,
         messages_in,
         messages_out: ctx.messages_out,
+        local_delivered: ctx.local_delivered,
+        chunks_stolen,
+        bytes_exchanged: (ctx.messages_out - ctx.local_delivered) * tuple_bytes,
         cost: ctx.cost,
         elapsed: started.elapsed(),
     };
-    (outboxes, wm, local_aggregate)
+    (remote, local, wm, local_aggregate)
+}
+
+/// Runs `compute` on every vertex in `unit`, batching each vertex's
+/// messages into the reused `batch` buffer. Returns `(vertices, messages)`
+/// processed.
+fn process_unit<P: VertexProgram>(
+    program: &P,
+    ctx: &mut Context<'_, P::Message, P::Aggregate>,
+    state: &mut P::WorkerState,
+    batch: &mut Vec<P::Message>,
+    unit: &mut Chunk<P::Message>,
+) -> (u64, u64) {
+    let messages = unit.len() as u64;
+    let mut active = 0u64;
+    let mut it = unit.drain(..).peekable();
+    while let Some((v, first)) = it.next() {
+        batch.clear();
+        batch.push(first);
+        while it.peek().is_some_and(|(u, _)| *u == v) {
+            batch.push(it.next().unwrap().1);
+        }
+        active += 1;
+        program.compute(ctx, state, v, batch);
+    }
+    (active, messages)
 }
 
 #[cfg(test)]
@@ -381,11 +556,11 @@ mod tests {
             ctx: &mut Context<'_, VertexId>,
             _state: &mut (),
             vertex: VertexId,
-            messages: Vec<VertexId>,
+            messages: &mut Vec<VertexId>,
         ) {
             ctx.add_cost(1 + messages.len() as u64);
             let current = self.labels.lock()[vertex as usize];
-            let best = messages.into_iter().min().map_or(current, |m| m.min(current));
+            let best = messages.drain(..).min().map_or(current, |m| m.min(current));
             let improved = best < current || ctx.superstep() == 0;
             if best < current {
                 self.labels.lock()[vertex as usize] = best;
@@ -425,6 +600,17 @@ mod tests {
     }
 
     #[test]
+    fn min_label_unaffected_by_stealing_and_tiny_chunks() {
+        let g = erdos_renyi_gnm(200, 300, 9).unwrap();
+        let base = run_min_label(&g, 1);
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(4);
+        let config = BspConfig { chunk_capacity: 3, steal: true, ..Default::default() };
+        run(g.num_vertices(), &p, &prog, &config).unwrap();
+        assert_eq!(prog.labels.into_inner(), base);
+    }
+
+    #[test]
     fn metrics_account_every_message() {
         let g = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
         let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
@@ -444,6 +630,48 @@ mod tests {
         assert!(m.total_cost() >= m.simulated_makespan());
     }
 
+    #[test]
+    fn local_delivery_ratio_is_one_on_a_single_worker() {
+        let g = erdos_renyi_gnm(100, 200, 11).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(1);
+        let res = run(g.num_vertices(), &p, &prog, &BspConfig::default()).unwrap();
+        let m = &res.metrics;
+        assert!(m.total_messages() > 0);
+        assert_eq!(m.total_local_delivered(), m.total_messages());
+        assert_eq!(m.local_delivery_ratio(), 1.0);
+        assert_eq!(m.total_bytes_exchanged(), 0);
+    }
+
+    #[test]
+    fn local_and_remote_traffic_partition_the_message_count() {
+        let g = erdos_renyi_gnm(200, 400, 7).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let res = run(g.num_vertices(), &p, &prog, &BspConfig::default()).unwrap();
+        let m = &res.metrics;
+        let local = m.total_local_delivered();
+        assert!(local > 0, "a 3-way partition keeps some edges worker-local");
+        assert!(local < m.total_messages(), "and cuts some edges");
+        let tuple = std::mem::size_of::<(VertexId, VertexId)>() as u64;
+        assert_eq!(m.total_bytes_exchanged(), (m.total_messages() - local) * tuple);
+        let ratio = m.local_delivery_ratio();
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn chunk_pool_recycles_across_supersteps() {
+        // A long path needs ~n supersteps, so later supersteps run
+        // entirely on recycled chunks.
+        let edges: Vec<_> = (0..19u32).map(|v| (v, v + 1)).collect();
+        let g = DataGraph::from_edges(20, &edges).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(2);
+        let res = run(g.num_vertices(), &p, &prog, &BspConfig::default()).unwrap();
+        assert!(res.metrics.chunk_allocations > 0);
+        assert!(res.metrics.allocations_avoided() > 0, "supersteps should reuse pooled chunks");
+    }
+
     /// A program that floods `fanout` messages from every vertex once.
     struct Flood {
         fanout: usize,
@@ -459,7 +687,13 @@ mod tests {
             0
         }
 
-        fn compute(&self, ctx: &mut Context<'_, u8>, state: &mut u64, v: VertexId, msgs: Vec<u8>) {
+        fn compute(
+            &self,
+            ctx: &mut Context<'_, u8>,
+            state: &mut u64,
+            v: VertexId,
+            msgs: &mut Vec<u8>,
+        ) {
             *state += msgs.len() as u64;
             if ctx.superstep() == 0 {
                 for i in 0..self.fanout {
@@ -485,6 +719,65 @@ mod tests {
         assert_eq!(res.worker_states.iter().sum::<u64>(), 1000);
     }
 
+    /// Superstep 0 funnels every message at vertices owned by worker 0;
+    /// superstep 1 burns a little time per unit so other workers have a
+    /// window to steal.
+    struct Hotspot {
+        targets: Vec<VertexId>,
+    }
+
+    impl VertexProgram for Hotspot {
+        type Message = u8;
+        type WorkerState = u64;
+        type Aggregate = ();
+
+        fn create_worker_state(&self, _worker: usize) -> u64 {
+            0
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut Context<'_, u8>,
+            state: &mut u64,
+            v: VertexId,
+            msgs: &mut Vec<u8>,
+        ) {
+            *state += msgs.len() as u64;
+            if !msgs.is_empty() {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            if ctx.superstep() == 0 {
+                let t = self.targets[v as usize % self.targets.len()];
+                ctx.send(t, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_claims_straggler_chunks() {
+        let n = 256usize;
+        let p = HashPartitioner::new(4);
+        let targets: Vec<VertexId> = (0..n as VertexId).filter(|&v| p.owner(v) == 0).collect();
+        assert!(targets.len() > 10);
+        // chunk_capacity 1 → one unit per hot vertex → lots to steal.
+        let config = BspConfig { chunk_capacity: 1, steal: true, ..Default::default() };
+        let prog = Hotspot { targets: targets.clone() };
+        let res = run(n, &p, &prog, &config).unwrap();
+        assert_eq!(res.worker_states.iter().sum::<u64>(), n as u64);
+        assert!(
+            res.metrics.total_chunks_stolen() > 0,
+            "idle workers should claim units from the hot worker"
+        );
+        // With stealing off every unit stays with its owner.
+        let config = BspConfig { chunk_capacity: 1, steal: false, ..Default::default() };
+        let prog = Hotspot { targets };
+        let res = run(n, &p, &prog, &config).unwrap();
+        assert_eq!(res.worker_states.iter().sum::<u64>(), n as u64);
+        assert_eq!(res.metrics.total_chunks_stolen(), 0);
+        // All message work landed on worker 0.
+        assert_eq!(res.worker_states[0], n as u64);
+    }
+
     struct Panicker;
 
     impl VertexProgram for Panicker {
@@ -494,7 +787,7 @@ mod tests {
 
         fn create_worker_state(&self, _w: usize) {}
 
-        fn compute(&self, _ctx: &mut Context<'_, ()>, _s: &mut (), v: VertexId, _m: Vec<()>) {
+        fn compute(&self, _ctx: &mut Context<'_, ()>, _s: &mut (), v: VertexId, _m: &mut Vec<()>) {
             if v == 13 {
                 panic!("boom");
             }
@@ -522,7 +815,7 @@ mod tests {
 
         fn create_worker_state(&self, _w: usize) {}
 
-        fn compute(&self, ctx: &mut Context<'_, ()>, _s: &mut (), v: VertexId, _m: Vec<()>) {
+        fn compute(&self, ctx: &mut Context<'_, ()>, _s: &mut (), v: VertexId, _m: &mut Vec<()>) {
             if v < 2 {
                 ctx.send(1 - v, ());
             }
@@ -574,7 +867,13 @@ mod aggregator_tests {
             *into += from;
         }
 
-        fn compute(&self, ctx: &mut Context<'_, (), u64>, _s: &mut (), v: VertexId, _m: Vec<()>) {
+        fn compute(
+            &self,
+            ctx: &mut Context<'_, (), u64>,
+            _s: &mut (),
+            v: VertexId,
+            _m: &mut Vec<()>,
+        ) {
             if v == 0 {
                 self.observed.lock().push(*ctx.prev_aggregate());
             }
@@ -596,6 +895,12 @@ mod aggregator_tests {
         assert_eq!(result.final_aggregate, 1);
         // Vertex 0 saw the default (0) in superstep 0 and the merged 20 in
         // superstep 1.
+        assert_eq!(*prog.observed.lock(), vec![0, 20]);
+        // Stealing preserves the one-compute-call-per-vertex contract.
+        let prog = CountActive { observed: parking_lot::Mutex::new(Vec::new()) };
+        let config = BspConfig { chunk_capacity: 2, steal: true, ..Default::default() };
+        let result = run(n, &p, &prog, &config).unwrap();
+        assert_eq!(result.final_aggregate, 1);
         assert_eq!(*prog.observed.lock(), vec![0, 20]);
     }
 }

@@ -26,8 +26,10 @@
 //! on vertices with pending messages. The run terminates when no messages
 //! are in flight.
 
+pub mod chunk;
 pub mod engine;
 pub mod metrics;
 
+pub use chunk::{Chunk, ChunkPool, StealQueue, DEFAULT_CHUNK_CAPACITY};
 pub use engine::{run, BspConfig, BspError, BspResult, Context, VertexProgram};
 pub use metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};

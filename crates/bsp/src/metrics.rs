@@ -13,10 +13,18 @@ use std::time::Duration;
 pub struct WorkerSuperstepMetrics {
     /// Vertices the program ran on.
     pub active_vertices: u64,
-    /// Messages consumed this superstep.
+    /// Messages consumed this superstep (own units plus stolen ones).
     pub messages_in: u64,
     /// Messages produced this superstep.
     pub messages_out: u64,
+    /// Of `messages_out`, how many were addressed to this worker's own
+    /// vertices and took the local fast path past the exchange.
+    pub local_delivered: u64,
+    /// Message units this worker claimed from *other* workers' queues.
+    pub chunks_stolen: u64,
+    /// Bytes of `(VertexId, M)` tuples this worker handed to the exchange
+    /// (locally-delivered messages excluded).
+    pub bytes_exchanged: u64,
     /// User-reported cost units (PSgL: Equation 2's `load(Gpsi)` sums).
     pub cost: u64,
     /// Wall-clock time the worker spent computing.
@@ -55,6 +63,10 @@ pub struct EngineMetrics {
     pub supersteps: Vec<SuperstepMetrics>,
     /// Total wall-clock time of the run (including barriers).
     pub wall_time: Duration,
+    /// Message chunks the pool had to allocate fresh.
+    pub chunk_allocations: u64,
+    /// Message chunks served from the pool's free list.
+    pub chunk_reuses: u64,
 }
 
 impl EngineMetrics {
@@ -91,6 +103,37 @@ impl EngineMetrics {
         self.supersteps.iter().map(|s| s.messages_out()).sum()
     }
 
+    /// Messages that took the same-worker fast path over the run.
+    pub fn total_local_delivered(&self) -> u64 {
+        self.supersteps.iter().flat_map(|s| &s.workers).map(|w| w.local_delivered).sum()
+    }
+
+    /// Fraction of all messages delivered without crossing the exchange
+    /// (0.0 for a run that sent no messages).
+    pub fn local_delivery_ratio(&self) -> f64 {
+        let total = self.total_messages();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_local_delivered() as f64 / total as f64
+    }
+
+    /// Message units claimed by non-owner workers over the run.
+    pub fn total_chunks_stolen(&self) -> u64 {
+        self.supersteps.iter().flat_map(|s| &s.workers).map(|w| w.chunks_stolen).sum()
+    }
+
+    /// Bytes of message tuples that crossed the exchange over the run.
+    pub fn total_bytes_exchanged(&self) -> u64 {
+        self.supersteps.iter().flat_map(|s| &s.workers).map(|w| w.bytes_exchanged).sum()
+    }
+
+    /// Chunk allocations avoided by pool recycling (= chunks served from
+    /// the free list).
+    pub fn allocations_avoided(&self) -> u64 {
+        self.chunk_reuses
+    }
+
     /// Max/mean imbalance of total per-worker cost (1.0 = perfect balance).
     pub fn cost_imbalance(&self) -> f64 {
         let per_worker = self.per_worker_cost();
@@ -118,7 +161,7 @@ mod tests {
                 SuperstepMetrics { workers: vec![wm(10, 0, 5), wm(4, 0, 3)] },
                 SuperstepMetrics { workers: vec![wm(1, 5, 0), wm(7, 3, 0)] },
             ],
-            wall_time: Duration::ZERO,
+            ..Default::default()
         };
         assert_eq!(m.simulated_makespan(), 10 + 7);
         assert_eq!(m.total_cost(), 22);
@@ -131,9 +174,36 @@ mod tests {
     fn imbalance_detects_skew() {
         let m = EngineMetrics {
             supersteps: vec![SuperstepMetrics { workers: vec![wm(30, 0, 0), wm(10, 0, 0)] }],
-            wall_time: Duration::ZERO,
+            ..Default::default()
         };
         assert_eq!(m.cost_imbalance(), 1.5);
+    }
+
+    #[test]
+    fn message_plane_counters_aggregate() {
+        let w = |out, local, stolen, bytes| WorkerSuperstepMetrics {
+            messages_out: out,
+            local_delivered: local,
+            chunks_stolen: stolen,
+            bytes_exchanged: bytes,
+            ..Default::default()
+        };
+        let m = EngineMetrics {
+            supersteps: vec![
+                SuperstepMetrics { workers: vec![w(10, 4, 0, 48), w(6, 6, 0, 0)] },
+                SuperstepMetrics { workers: vec![w(0, 0, 3, 0), w(4, 2, 0, 16)] },
+            ],
+            chunk_allocations: 5,
+            chunk_reuses: 7,
+            ..Default::default()
+        };
+        assert_eq!(m.total_local_delivered(), 12);
+        assert_eq!(m.local_delivery_ratio(), 12.0 / 20.0);
+        assert_eq!(m.total_chunks_stolen(), 3);
+        assert_eq!(m.total_bytes_exchanged(), 64);
+        assert_eq!(m.allocations_avoided(), 7);
+        // A run with no traffic reports a zero ratio, not NaN.
+        assert_eq!(EngineMetrics::default().local_delivery_ratio(), 0.0);
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct PsglConfig {
     pub max_fanout: Option<u64>,
     /// Superstep safety limit.
     pub max_supersteps: u32,
+    /// Let idle workers steal message units from stragglers within a
+    /// superstep. Counts are unaffected, but per-worker metrics become
+    /// scheduling-dependent, so it defaults to off (determinism).
+    pub steal: bool,
     /// RNG seed (random/roulette strategies, partitioner salt).
     pub seed: u64,
 }
@@ -56,6 +60,7 @@ impl Default for PsglConfig {
             gpsi_budget: None,
             max_fanout: None,
             max_supersteps: 64,
+            steal: false,
             seed: 42,
         }
     }
@@ -94,6 +99,12 @@ impl PsglConfig {
     /// Builder-style seed override.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style work-stealing toggle.
+    pub fn steal(mut self, enabled: bool) -> Self {
+        self.steal = enabled;
         self
     }
 }

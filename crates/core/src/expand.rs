@@ -18,11 +18,24 @@
 //! 4. Complete Gpsis (all vertices mapped, all edges verified) are emitted;
 //!    the rest are handed to the distribution strategy, which picks the
 //!    next expanding vertex and thereby the destination worker.
+//!
+//! ## Hot-path discipline
+//!
+//! The kernel is allocation-free in steady state: every growable buffer it
+//! needs lives in a caller-owned [`ExpandScratch`] whose capacity is
+//! retained across calls. GRAY membership tests run as one galloping
+//! subset check over the sorted adjacency slice
+//! ([`psgl_graph::algo::sorted_contains_all`]) instead of one binary
+//! search per edge, partial-order probes collapse to a precomputed rank
+//! window per WHITE vertex, and candidate combinations are enumerated by
+//! an odometer over the scratch buffers instead of a recursive
+//! cross-product.
 
 use crate::distribute::{Distributor, GrayCandidate};
 use crate::gpsi::Gpsi;
 use crate::shared::PsglShared;
 use crate::stats::ExpandStats;
+use psgl_graph::algo::gallop_lower_bound;
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::VertexId;
 use psgl_pattern::PatternVertex;
@@ -45,16 +58,91 @@ pub enum ExpandOutcome {
     FanoutExceeded,
 }
 
+/// Per-WHITE-vertex facts hoisted out of the `N(v_d)` candidate scan.
+#[derive(Clone, Copy, Default)]
+struct WhiteMeta {
+    /// The WHITE pattern vertex itself.
+    wv: PatternVertex,
+    /// Pattern degree of `wv` (pruning rule 1a threshold).
+    min_degree: u32,
+    /// Candidates must have rank `>= lo_rank` (0 = unbounded): encodes
+    /// `rank(cd) > rank(ud)` for every mapped `ud` ordered before `wv`.
+    lo_rank: u32,
+    /// Candidates must have rank `< hi_rank` (`u32::MAX` = unbounded).
+    hi_rank: u32,
+    /// `conn_data[conn_start..conn_end]`: mapped data vertices `wv` must
+    /// connect to (pruning rule 2 targets), in pattern-neighbor order.
+    conn_start: usize,
+    /// End of the connectivity-target slice.
+    conn_end: usize,
+    /// Pattern edge id of `(v_p, wv)` — exact by construction.
+    edge_vp: u8,
+    /// Bit `i` set iff the partial order requires this slot's candidate to
+    /// rank *below* earlier WHITE slot `i`'s (new-vs-new rule 1b, hoisted
+    /// out of the odometer's inner pair loop).
+    lt_mask: u16,
+    /// Bit `i` set iff the order requires this slot's candidate to rank
+    /// *above* earlier slot `i`'s.
+    gt_mask: u16,
+    /// Bit `i` set iff the pattern has an edge between this slot's WHITE
+    /// vertex and earlier slot `i`'s (new-vs-new index probe).
+    edge_mask: u16,
+}
+
+/// Reusable per-worker buffers for [`expand_gpsi`]. Construct once per
+/// worker and thread through every call; capacities are retained, so
+/// steady-state expansion performs zero heap allocations.
+#[derive(Default)]
+pub struct ExpandScratch {
+    /// `(mapped data vertex, pattern edge id)` pairs awaiting GRAY
+    /// verification, sorted by data vertex for the subset check.
+    gray_edges: Vec<(VertexId, u8)>,
+    /// Per-WHITE-vertex hoisted facts.
+    white_meta: Vec<WhiteMeta>,
+    /// Connectivity-target arena sliced by `WhiteMeta::conn_*`.
+    conn_data: Vec<VertexId>,
+    /// Slot-independent prefilter output: `(candidate, degree, rank)` for
+    /// every neighbor of `v_d` that survives injectivity, so the per-slot
+    /// scans below it are compare-only over scratch-resident data.
+    base_cands: Vec<(VertexId, u32, u32)>,
+    /// Candidate arena: `cand_data[cand_bounds[i]..cand_bounds[i+1]]` holds
+    /// the valid data vertices for WHITE slot `i`.
+    cand_data: Vec<VertexId>,
+    /// Rank of each arena candidate, cached when the scan loads it anyway,
+    /// so the odometer's order checks compare two scratch-resident `u32`s
+    /// instead of re-reading the rank permutation.
+    cand_rank: Vec<u32>,
+    /// Candidate-arena bounds (`white_meta.len() + 1` entries).
+    cand_bounds: Vec<usize>,
+    /// Odometer: currently selected data vertex per WHITE slot.
+    chosen: Vec<VertexId>,
+    /// Odometer: rank of the selected data vertex per WHITE slot.
+    chosen_rank: Vec<u32>,
+    /// Odometer: absolute `cand_data` cursor per WHITE slot.
+    cursors: Vec<usize>,
+    /// GRAY candidates handed to the distribution strategy.
+    grays: Vec<GrayCandidate>,
+}
+
+impl ExpandScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Expands `gpsi` on the worker owning `map(gpsi.expanding())`.
 ///
 /// New incomplete Gpsis are pushed to `out` (with their next expanding
 /// vertex already chosen by `distributor`); complete instances are passed
 /// to `emit`. Returns the outcome and adds the expansion's cost in
-/// Equation 2 units to `stats`.
+/// Equation 2 units to `stats`. `scratch` provides the kernel's working
+/// memory; reuse it across calls to keep the hot path allocation-free.
 #[allow(clippy::too_many_arguments)]
 pub fn expand_gpsi(
     shared: &PsglShared<'_>,
     mut gpsi: Gpsi,
+    scratch: &mut ExpandScratch,
     distributor: &mut Distributor,
     partitioner: &HashPartitioner,
     limits: &ExpandLimits,
@@ -70,112 +158,333 @@ pub fn expand_gpsi(
     stats.expanded += 1;
     let mut cost: u64 = 1; // cost_g: the constant GRAY-verification term
 
+    // Hoisted out of every loop below: the expanding vertex's adjacency
+    // slice and degree are loop-invariant for the whole expansion.
+    let neighbors_vd = shared.graph.neighbors(vd);
+    let deg_vd = u64::from(shared.graph.degree(vd));
+
+    let ExpandScratch {
+        gray_edges,
+        white_meta,
+        conn_data,
+        base_cands,
+        cand_data,
+        cand_rank,
+        cand_bounds,
+        chosen,
+        chosen_rank,
+        cursors,
+        grays,
+    } = scratch;
+    gray_edges.clear();
+    white_meta.clear();
+    conn_data.clear();
+    cand_data.clear();
+    cand_rank.clear();
+    cand_bounds.clear();
+
     // --- Algorithm 2: process v_p's pattern neighbors -------------------
-    let mut white: Vec<PatternVertex> = Vec::new();
     for v2 in p.neighbors(vp) {
         if gpsi.is_black(v2) {
             // Edge verified when v2 was expanded (BLACK invariant).
             debug_assert!(gpsi.is_verified(shared.edge_ids.get(vp, v2).unwrap()));
         } else if gpsi.is_mapped(v2) {
-            // GRAY: exact membership test in the local adjacency of v_d.
-            let vd2 = gpsi.map(v2).unwrap();
-            if shared.graph.neighbors(vd).binary_search(&vd2).is_err() {
-                stats.died_gray_check += 1;
-                stats.cost += cost;
-                return ExpandOutcome::Done;
-            }
-            gpsi.set_verified(shared.edge_ids.get(vp, v2).unwrap());
+            // GRAY: queue for the batched exact membership test; the edge
+            // id is looked up once here and reused on success.
+            gray_edges.push((gpsi.map(v2).unwrap(), shared.edge_ids.get(vp, v2).unwrap()));
         } else {
-            white.push(v2);
+            white_meta.push(WhiteMeta { wv: v2, ..WhiteMeta::default() });
+        }
+    }
+    if !gray_edges.is_empty() {
+        // One galloping subset sweep over the sorted adjacency replaces a
+        // binary search per GRAY edge. Mapped data vertices are distinct
+        // (injectivity), so the sorted targets are duplicate-free as
+        // `sorted_contains_all` requires.
+        if gray_edges.len() > 1 {
+            gray_edges.sort_unstable_by_key(|&(vd2, _)| vd2);
+        }
+        let sorted_ok = sorted_contains_all_keys(neighbors_vd, gray_edges);
+        if !sorted_ok {
+            stats.died_gray_check += 1;
+            stats.cost += cost;
+            return ExpandOutcome::Done;
+        }
+        for &(_, eid) in gray_edges.iter() {
+            gpsi.set_verified(eid);
         }
     }
 
     // --- Algorithm 5: candidate sets for WHITE neighbors ----------------
-    // candidates[i] holds the valid data vertices for white[i].
-    let mut candidates: Vec<Vec<VertexId>> = Vec::with_capacity(white.len());
-    for &wv in &white {
-        cost += u64::from(shared.graph.degree(vd)); // neighborhood scan
-        let mut cands: Vec<VertexId> = Vec::new();
-        'cand: for &cd in shared.graph.neighbors(vd) {
-            // Injectivity against already-mapped data vertices.
+    // Hoist per-WHITE-vertex facts (degree threshold, partial-order rank
+    // window, connectivity targets, edge id) so the inner candidate scan
+    // touches no pattern-side structure.
+    for meta in white_meta.iter_mut() {
+        let wv = meta.wv;
+        meta.min_degree = p.degree(wv);
+        meta.lo_rank = 0;
+        meta.hi_rank = u32::MAX;
+        meta.edge_vp = shared.edge_ids.get(vp, wv).unwrap();
+        // Pruning rule 1b against every mapped vertex collapses to a rank
+        // window: `requires_less(wv, up)` demands rank(cd) < rank(ud) and
+        // `requires_less(up, wv)` demands rank(cd) > rank(ud); ranks are a
+        // permutation, so the strict comparisons translate exactly.
+        for up in p_mapped_vertices(&gpsi, np) {
+            let ud = gpsi.map(up).unwrap();
+            let rank_ud = shared.ordered.rank(ud);
+            if shared.order.requires_less(wv, up) {
+                meta.hi_rank = meta.hi_rank.min(rank_ud);
+            }
+            if shared.order.requires_less(up, wv) {
+                meta.lo_rank = meta.lo_rank.max(rank_ud.saturating_add(1));
+            }
+        }
+        // Pruning rule 2 targets: mapped pattern neighbors of wv other
+        // than v_p, in pattern-neighbor order so index-probe accounting
+        // matches the per-candidate loop this replaces.
+        meta.conn_start = conn_data.len();
+        for v3 in p.neighbors(wv) {
+            if v3 != vp && gpsi.is_mapped(v3) {
+                conn_data.push(gpsi.map(v3).unwrap());
+            }
+        }
+        meta.conn_end = conn_data.len();
+    }
+    // New-vs-new pair relations, hoisted once per expansion: bit `i` of
+    // slot `d`'s masks encodes how `d`'s candidate must relate to earlier
+    // slot `i`'s, so the odometer's inner loop is mask tests plus cached
+    // rank compares.
+    for d in 1..white_meta.len() {
+        let wv_d = white_meta[d].wv;
+        let (mut lt, mut gt, mut em) = (0u16, 0u16, 0u16);
+        for (i, earlier) in white_meta[..d].iter().enumerate() {
+            let wv_i = earlier.wv;
+            if shared.order.requires_less(wv_d, wv_i) {
+                lt |= 1 << i;
+            }
+            if shared.order.requires_less(wv_i, wv_d) {
+                gt |= 1 << i;
+            }
+            if p.has_edge(wv_d, wv_i) {
+                em |= 1 << i;
+            }
+        }
+        white_meta[d].lt_mask = lt;
+        white_meta[d].gt_mask = gt;
+        white_meta[d].edge_mask = em;
+    }
+
+    // Slot-independent prefilter: one pass over `N(v_d)` drops
+    // already-used data vertices (injectivity is the same for every WHITE
+    // slot) and caches each survivor's degree and rank, so the per-slot
+    // scans are compare-only over scratch-resident data. `used` dropped
+    // candidates would have been injectivity-pruned once per slot; the
+    // per-slot loop charges them at scan start to keep the counter
+    // equivalent to a per-slot scan.
+    base_cands.clear();
+    let mut used: u64 = 0;
+    if !white_meta.is_empty() {
+        for &cd in neighbors_vd {
             if gpsi.uses_data_vertex(cd, np) {
-                stats.pruned_injectivity += 1;
+                used += 1;
                 continue;
             }
+            base_cands.push((cd, shared.graph.degree(cd), shared.ordered.rank(cd)));
+        }
+    }
+
+    cand_bounds.push(0);
+    for meta in white_meta.iter() {
+        cost += deg_vd; // neighborhood scan
+        stats.pruned_injectivity += used;
+        let start = cand_data.len();
+        'cand: for &(cd, deg_cd, rank_cd) in base_cands.iter() {
             // Pruning rule 1a: degree.
-            if shared.graph.degree(cd) < p.degree(wv) {
+            if deg_cd < meta.min_degree {
                 stats.pruned_degree += 1;
                 continue;
             }
             // Labeled matching: candidate must carry the pattern label.
-            if !shared.label_ok(wv, cd) {
+            if !shared.label_ok(meta.wv, cd) {
                 stats.pruned_label += 1;
                 continue;
             }
-            // Pruning rule 1b: partial order vs every mapped vertex.
-            for up in p_mapped_vertices(&gpsi, np) {
-                let ud = gpsi.map(up).unwrap();
-                if shared.order.requires_less(wv, up) && !shared.ordered.less(cd, ud) {
-                    stats.pruned_order += 1;
-                    continue 'cand;
-                }
-                if shared.order.requires_less(up, wv) && !shared.ordered.less(ud, cd) {
-                    stats.pruned_order += 1;
-                    continue 'cand;
-                }
+            // Pruning rule 1b: partial order, via the hoisted rank window.
+            if rank_cd < meta.lo_rank || rank_cd >= meta.hi_rank {
+                stats.pruned_order += 1;
+                continue;
             }
             // Pruning rule 2: connectivity to GRAY pattern neighbors of wv
             // through the light-weight index (skip entirely when the index
             // is disabled — the exact check is remote and therefore the
             // very thing the index exists to avoid).
-            for v3 in p.neighbors(wv) {
-                if v3 != vp && gpsi.is_mapped(v3) {
-                    let vd3 = gpsi.map(v3).unwrap();
-                    stats.index_probes += 1;
-                    if let Some(false) = shared.index_check(cd, vd3) {
-                        stats.pruned_connectivity += 1;
-                        continue 'cand;
-                    }
+            for &vd3 in &conn_data[meta.conn_start..meta.conn_end] {
+                stats.index_probes += 1;
+                if let Some(false) = shared.index_check(cd, vd3) {
+                    stats.pruned_connectivity += 1;
+                    continue 'cand;
                 }
             }
-            cands.push(cd);
+            cand_data.push(cd);
+            cand_rank.push(rank_cd);
         }
-        if cands.is_empty() {
+        if cand_data.len() == start {
             stats.died_no_candidates += 1;
             stats.cost += cost;
             return ExpandOutcome::Done;
         }
-        candidates.push(cands);
+        cand_bounds.push(cand_data.len());
     }
 
-    // --- combine candidates into new Gpsis -------------------------------
+    // --- odometer: combine candidates into new Gpsis ---------------------
     let examined_before = stats.combinations_examined;
-    let mut chosen: Vec<VertexId> = vec![0; white.len()];
-    let generated = combine(
-        shared,
-        &gpsi,
-        &white,
-        &candidates,
-        0,
-        &mut chosen,
-        distributor,
-        partitioner,
-        limits,
-        out,
-        emit,
-        stats,
-    );
-    match generated {
-        Ok(count) => {
-            cost += count; // c_e per generated Gpsi
-            cost += stats.combinations_examined - examined_before; // enumeration work
-            stats.cost += cost;
-            ExpandOutcome::Done
+    let nw = white_meta.len();
+    let mut generated: u64 = 0;
+    let mut exceeded = false;
+    if nw == 0 {
+        // Verification-only expansion: the base Gpsi itself is the single
+        // combination.
+        finalize_combination(
+            shared,
+            &gpsi,
+            white_meta,
+            chosen,
+            grays,
+            distributor,
+            partitioner,
+            out,
+            emit,
+            stats,
+        );
+        generated = 1;
+    } else {
+        chosen.clear();
+        chosen.resize(nw, 0);
+        chosen_rank.clear();
+        chosen_rank.resize(nw, 0);
+        cursors.clear();
+        cursors.resize(nw, 0);
+        cursors[0] = cand_bounds[0];
+        let mut depth = 0usize;
+        'odometer: loop {
+            if cursors[depth] == cand_bounds[depth + 1] {
+                // This slot's candidates are exhausted: backtrack.
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                cursors[depth] += 1;
+                continue;
+            }
+            let cd = cand_data[cursors[depth]];
+            let rank_cd = cand_rank[cursors[depth]];
+            // Each examined combination-prefix is real enumeration work,
+            // even when a pruning rule rejects it — charging it is what
+            // makes the cost metric track the paper's
+            // f(v_p) ≈ C(deg(v_d), w_vp) bound (and the initial-vertex
+            // gaps of Figure 6 measurable).
+            stats.combinations_examined += 1;
+            let passes = 'check: {
+                // New-vs-new injectivity.
+                if chosen[..depth].contains(&cd) {
+                    stats.pruned_injectivity += 1;
+                    break 'check false;
+                }
+                let meta = &white_meta[depth];
+                let (lt, gt, em) = (meta.lt_mask, meta.gt_mask, meta.edge_mask);
+                let earlier = chosen[..depth].iter().zip(chosen_rank[..depth].iter());
+                for (i, (&prev, &prev_rank)) in earlier.enumerate() {
+                    // New-vs-new partial order via the hoisted masks and
+                    // cached ranks (ranks are a permutation, so
+                    // `!less(a, b)` ⇔ `rank(a) >= rank(b)` exactly).
+                    if (lt >> i) & 1 == 1 && rank_cd >= prev_rank {
+                        stats.pruned_order += 1;
+                        break 'check false;
+                    }
+                    if (gt >> i) & 1 == 1 && prev_rank >= rank_cd {
+                        stats.pruned_order += 1;
+                        break 'check false;
+                    }
+                    // New-vs-new pattern edge through the index.
+                    if (em >> i) & 1 == 1 {
+                        stats.index_probes += 1;
+                        if let Some(false) = shared.index_check(cd, prev) {
+                            stats.pruned_connectivity += 1;
+                            break 'check false;
+                        }
+                    }
+                }
+                true
+            };
+            if !passes {
+                cursors[depth] += 1;
+                continue;
+            }
+            chosen[depth] = cd;
+            chosen_rank[depth] = rank_cd;
+            if depth + 1 == nw {
+                finalize_combination(
+                    shared,
+                    &gpsi,
+                    white_meta,
+                    chosen,
+                    grays,
+                    distributor,
+                    partitioner,
+                    out,
+                    emit,
+                    stats,
+                );
+                generated += 1;
+                if let Some(max) = limits.max_fanout {
+                    if generated > max {
+                        exceeded = true;
+                        break 'odometer;
+                    }
+                }
+                cursors[depth] += 1;
+            } else {
+                depth += 1;
+                cursors[depth] = cand_bounds[depth];
+            }
         }
-        Err(()) => {
-            cost += stats.combinations_examined - examined_before;
-            stats.cost += cost;
-            ExpandOutcome::FanoutExceeded
+    }
+    cost += stats.combinations_examined - examined_before; // enumeration work
+    if exceeded {
+        stats.cost += cost;
+        ExpandOutcome::FanoutExceeded
+    } else {
+        cost += generated; // c_e per generated Gpsi
+        stats.cost += cost;
+        ExpandOutcome::Done
+    }
+}
+
+/// `sorted_contains_all` over the first tuple element: true iff every
+/// `(key, _)` in `needles` (sorted, duplicate-free) appears in `haystack`.
+fn sorted_contains_all_keys(haystack: &[VertexId], needles: &[(VertexId, u8)]) -> bool {
+    match needles.len() {
+        0 => true,
+        1 => {
+            let i = gallop_lower_bound(haystack, needles[0].0);
+            i < haystack.len() && haystack[i] == needles[0].0
+        }
+        // Short adjacency lists (the common case on small fixtures): a
+        // sequential two-pointer merge beats galloping's setup cost.
+        _ if haystack.len() <= 64 => {
+            let mut rest = haystack.iter();
+            needles.iter().all(|&(key, _)| rest.any(|&h| h == key))
+        }
+        _ => {
+            let mut rest = haystack;
+            needles.iter().all(|&(key, _)| {
+                let i = gallop_lower_bound(rest, key);
+                let hit = i < rest.len() && rest[i] == key;
+                if hit {
+                    rest = &rest[i + 1..];
+                }
+                hit
+            })
         }
     }
 }
@@ -185,104 +494,15 @@ fn p_mapped_vertices(gpsi: &Gpsi, np: usize) -> impl Iterator<Item = PatternVert
     (0..np as PatternVertex).filter(move |&v| gpsi.is_mapped(v))
 }
 
-/// Depth-first cartesian product over candidate lists with the new-vs-new
-/// checks (injectivity, partial order, pattern edges via the index).
-/// Returns the number of Gpsis generated, or `Err(())` when the fan-out
-/// limit trips.
-#[allow(clippy::too_many_arguments)]
-fn combine(
-    shared: &PsglShared<'_>,
-    base: &Gpsi,
-    white: &[PatternVertex],
-    candidates: &[Vec<VertexId>],
-    depth: usize,
-    chosen: &mut Vec<VertexId>,
-    distributor: &mut Distributor,
-    partitioner: &HashPartitioner,
-    limits: &ExpandLimits,
-    out: &mut Vec<Gpsi>,
-    emit: &mut dyn FnMut(&Gpsi),
-    stats: &mut ExpandStats,
-) -> Result<u64, ()> {
-    if depth == white.len() {
-        finalize_combination(
-            shared,
-            base,
-            white,
-            chosen,
-            distributor,
-            partitioner,
-            out,
-            emit,
-            stats,
-        );
-        return Ok(1);
-    }
-    let mut generated = 0u64;
-    'cand: for &cd in &candidates[depth] {
-        // Each examined combination-prefix is real enumeration work, even
-        // when a pruning rule rejects it — charging it is what makes the
-        // cost metric track the paper's f(v_p) ≈ C(deg(v_d), w_vp) bound
-        // (and the initial-vertex gaps of Figure 6 measurable).
-        stats.combinations_examined += 1;
-        // New-vs-new injectivity.
-        if chosen[..depth].contains(&cd) {
-            stats.pruned_injectivity += 1;
-            continue;
-        }
-        let wv = white[depth];
-        for (i, &prev) in chosen[..depth].iter().enumerate() {
-            let pv = white[i];
-            // New-vs-new partial order.
-            if shared.order.requires_less(wv, pv) && !shared.ordered.less(cd, prev) {
-                stats.pruned_order += 1;
-                continue 'cand;
-            }
-            if shared.order.requires_less(pv, wv) && !shared.ordered.less(prev, cd) {
-                stats.pruned_order += 1;
-                continue 'cand;
-            }
-            // New-vs-new pattern edge through the index.
-            if shared.pattern.has_edge(wv, pv) {
-                stats.index_probes += 1;
-                if let Some(false) = shared.index_check(cd, prev) {
-                    stats.pruned_connectivity += 1;
-                    continue 'cand;
-                }
-            }
-        }
-        chosen[depth] = cd;
-        generated += combine(
-            shared,
-            base,
-            white,
-            candidates,
-            depth + 1,
-            chosen,
-            distributor,
-            partitioner,
-            limits,
-            out,
-            emit,
-            stats,
-        )?;
-        if let Some(max) = limits.max_fanout {
-            if generated > max {
-                return Err(());
-            }
-        }
-    }
-    Ok(generated)
-}
-
 /// Builds one new Gpsi from a full candidate combination, emits it if
 /// complete, otherwise routes it through the distribution strategy.
 #[allow(clippy::too_many_arguments)]
 fn finalize_combination(
     shared: &PsglShared<'_>,
     base: &Gpsi,
-    white: &[PatternVertex],
+    white_meta: &[WhiteMeta],
     chosen: &[VertexId],
+    grays: &mut Vec<GrayCandidate>,
     distributor: &mut Distributor,
     partitioner: &HashPartitioner,
     out: &mut Vec<Gpsi>,
@@ -292,11 +512,11 @@ fn finalize_combination(
     let p = &shared.pattern;
     let np = p.num_vertices();
     let mut g = *base;
-    let vp = base.expanding();
-    for (i, &wv) in white.iter().enumerate() {
-        g.assign(wv, chosen[i]);
-        // The edge (v_p, wv) is exact: the candidate came from N(v_d).
-        g.set_verified(shared.edge_ids.get(vp, wv).unwrap());
+    for (meta, &cd) in white_meta.iter().zip(chosen) {
+        g.assign(meta.wv, cd);
+        // The edge (v_p, wv) is exact: the candidate came from N(v_d); its
+        // id was hoisted when the WHITE slot was prepared.
+        g.set_verified(meta.edge_vp);
     }
     stats.generated += 1;
     if g.is_complete(p, shared.edge_ids.all_mask()) {
@@ -305,7 +525,7 @@ fn finalize_combination(
         return;
     }
     // Useful GRAYs: those with WHITE neighbors or unverified incident edges.
-    let mut grays: Vec<GrayCandidate> = Vec::new();
+    grays.clear();
     for gv in 0..np as PatternVertex {
         if !g.is_gray(gv) {
             continue;
@@ -331,7 +551,7 @@ fn finalize_combination(
         }
     }
     debug_assert!(!grays.is_empty(), "incomplete Gpsi must have a useful GRAY vertex: {g:?}");
-    let pick = distributor.choose(&grays, partitioner);
+    let pick = distributor.choose(grays, partitioner);
     g.set_expanding(grays[pick].vp);
     out.push(g);
 }
@@ -352,6 +572,7 @@ mod tests {
         let shared = PsglShared::prepare(g, pattern, &config).unwrap();
         let partitioner = HashPartitioner::new(1);
         let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut scratch = ExpandScratch::new();
         let mut stats = ExpandStats::default();
         let mut results = Vec::new();
         let mut queue: Vec<Gpsi> = g
@@ -364,6 +585,7 @@ mod tests {
             let outcome = expand_gpsi(
                 &shared,
                 gpsi,
+                &mut scratch,
                 &mut distributor,
                 &partitioner,
                 &ExpandLimits::default(),
@@ -461,6 +683,7 @@ mod tests {
         let shared = PsglShared::prepare(&g, &pattern, &config).unwrap();
         let partitioner = HashPartitioner::new(1);
         let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut scratch = ExpandScratch::new();
         let mut stats = ExpandStats::default();
         // Start at the path's middle vertex mapped to the hub.
         let middle = pattern.vertices().find(|&v| pattern.degree(v) == 2).unwrap();
@@ -469,6 +692,7 @@ mod tests {
         let outcome = expand_gpsi(
             &shared,
             gpsi,
+            &mut scratch,
             &mut distributor,
             &partitioner,
             &ExpandLimits { max_fanout: Some(10) },
@@ -487,11 +711,13 @@ mod tests {
         let shared = PsglShared::prepare(&g, &pattern, &config).unwrap();
         let partitioner = HashPartitioner::new(1);
         let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut scratch = ExpandScratch::new();
         let mut stats = ExpandStats::default();
         let mut out = Vec::new();
         expand_gpsi(
             &shared,
             Gpsi::initial(0, 0),
+            &mut scratch,
             &mut distributor,
             &partitioner,
             &ExpandLimits::default(),
@@ -502,5 +728,24 @@ mod tests {
         assert_eq!(stats.expanded, 1);
         assert!(stats.generated > 0);
         assert!(stats.cost > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_heterogeneous_expansions_is_clean() {
+        // Reusing one scratch across different patterns and graphs must
+        // never leak state between calls: counts match fresh-scratch runs.
+        let graphs = [
+            k4(),
+            DataGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 1), (4, 2)]).unwrap(),
+        ];
+        let patterns = [catalog::triangle(), catalog::square(), catalog::house()];
+        for g in &graphs {
+            for pat in &patterns {
+                let fresh = list_all(g, pat).len();
+                // list_all itself reuses its scratch across the whole BFS;
+                // run it twice to cover warm-buffer reuse too.
+                assert_eq!(list_all(g, pat).len(), fresh, "{pat:?}");
+            }
+        }
     }
 }

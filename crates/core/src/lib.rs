@@ -49,6 +49,7 @@ pub mod stats;
 
 pub use config::PsglConfig;
 pub use distribute::Strategy;
+pub use expand::ExpandScratch;
 pub use gpsi::Gpsi;
 pub use index::EdgeIndex;
 pub use plan::QueryPlan;

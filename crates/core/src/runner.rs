@@ -9,7 +9,7 @@
 
 use crate::config::PsglConfig;
 use crate::distribute::Distributor;
-use crate::expand::{expand_gpsi, ExpandLimits, ExpandOutcome};
+use crate::expand::{expand_gpsi, ExpandLimits, ExpandOutcome, ExpandScratch};
 use crate::gpsi::Gpsi;
 use crate::init_vertex::SelectionRule;
 use crate::shared::{PsglError, PsglShared};
@@ -52,6 +52,12 @@ pub struct WorkerState {
     distributor: Distributor,
     stats: ExpandStats,
     harvest: Harvest,
+    /// Reusable expansion-kernel buffers; retained across supersteps so
+    /// steady-state expansion allocates nothing.
+    scratch: ExpandScratch,
+    /// Reusable outbox for freshly generated Gpsis, drained into the
+    /// engine's send path after every expansion.
+    out: Vec<Gpsi>,
     /// Messages this worker has emitted in the current superstep; compared
     /// against the Gpsi budget *during* the superstep so a simulated OOM
     /// aborts before the outboxes exhaust real memory.
@@ -97,6 +103,8 @@ impl VertexProgram for PsglProgram<'_> {
                     Harvest::PerVertex(vec![0; self.shared.graph.num_vertices()])
                 }
             },
+            scratch: ExpandScratch::new(),
+            out: Vec::new(),
             emitted_this_superstep: 0,
             emitted_superstep: 0,
             failed: false,
@@ -108,7 +116,7 @@ impl VertexProgram for PsglProgram<'_> {
         ctx: &mut Context<'_, Gpsi>,
         state: &mut WorkerState,
         vertex: VertexId,
-        messages: Vec<Gpsi>,
+        messages: &mut Vec<Gpsi>,
     ) {
         if state.failed {
             return; // drain mode after a simulated OOM
@@ -129,18 +137,30 @@ impl VertexProgram for PsglProgram<'_> {
             state.emitted_superstep = ctx.superstep();
             state.emitted_this_superstep = 0;
         }
-        let WorkerState { distributor, stats, harvest, emitted_this_superstep, failed, .. } = state;
+        let WorkerState {
+            distributor,
+            stats,
+            harvest,
+            scratch,
+            out,
+            emitted_this_superstep,
+            failed,
+            ..
+        } = state;
         let np = self.shared.pattern.num_vertices();
-        let mut out: Vec<Gpsi> = Vec::new();
-        for gpsi in messages {
+        for gpsi in messages.drain(..) {
+            // A FanoutExceeded early-return below can leave stale Gpsis
+            // behind; clearing here keeps the reused buffer safe.
+            out.clear();
             let before = stats.cost;
             let outcome = expand_gpsi(
                 self.shared,
                 gpsi,
+                scratch,
                 distributor,
                 ctx.partitioner(),
                 &self.limits,
-                &mut out,
+                out,
                 &mut |done| match harvest {
                     Harvest::CountOnly => {}
                     Harvest::Instances(buf) => buf.push(done.instance(np)),
@@ -270,6 +290,8 @@ fn run_engine(
         max_supersteps: config.max_supersteps,
         // The per-worker budget also bounds the global in-flight volume.
         message_budget: config.gpsi_budget.map(|b| b.saturating_mul(config.workers as u64)),
+        steal: config.steal,
+        ..Default::default()
     };
     let result = psgl_bsp::run(shared.graph.num_vertices(), &partitioner, &program, &bsp_config)
         .map_err(|e| match e {
@@ -300,6 +322,9 @@ fn run_engine(
             simulated_makespan: metrics.simulated_makespan(),
             supersteps: metrics.superstep_count(),
             messages: metrics.total_messages(),
+            messages_local: metrics.total_local_delivered(),
+            chunks_stolen: metrics.total_chunks_stolen(),
+            bytes_exchanged: metrics.total_bytes_exchanged(),
             wall_time: metrics.wall_time,
             cost_imbalance: metrics.cost_imbalance(),
         },

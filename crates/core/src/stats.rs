@@ -80,10 +80,28 @@ pub struct RunStats {
     pub supersteps: usize,
     /// Total Gpsi messages exchanged between workers.
     pub messages: u64,
+    /// Of `messages`, how many were delivered on the sending worker's own
+    /// fast path without touching the exchange.
+    pub messages_local: u64,
+    /// Message units claimed by non-owner workers (work stealing).
+    pub chunks_stolen: u64,
+    /// Bytes of message tuples that crossed the inter-worker exchange.
+    pub bytes_exchanged: u64,
     /// Wall-clock duration of the BSP run.
     pub wall_time: std::time::Duration,
     /// Max/mean imbalance of per-worker cost (1.0 = perfect).
     pub cost_imbalance: f64,
+}
+
+impl RunStats {
+    /// Fraction of messages that never crossed the exchange (0.0 for a run
+    /// that sent no messages).
+    pub fn local_delivery_ratio(&self) -> f64 {
+        if self.messages == 0 {
+            return 0.0;
+        }
+        self.messages_local as f64 / self.messages as f64
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,82 @@
 
 use crate::csr::{DataGraph, VertexId};
 
+/// Galloping (exponential) lower bound: the smallest index `i` in the
+/// sorted slice `xs` with `xs[i] >= needle`, or `xs.len()`. Doubling probes
+/// from the front make the cost `O(log i)` — cheap when the answer is near
+/// where a previous probe left off, which is exactly the access pattern of
+/// intersecting a short sorted list against a long CSR neighbor slice.
+#[inline]
+pub fn gallop_lower_bound(xs: &[VertexId], needle: VertexId) -> usize {
+    if xs.is_empty() || xs[0] >= needle {
+        return 0;
+    }
+    let mut hi = 1usize;
+    while hi < xs.len() && xs[hi] < needle {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    lo + xs[lo..xs.len().min(hi + 1)].partition_point(|&x| x < needle)
+}
+
+/// Whether every element of the sorted slice `needles` appears in the
+/// sorted slice `haystack`, in one forward merge pass with galloping skips.
+/// Replaces `needles.len()` independent binary searches over `haystack`
+/// (the per-edge GRAY verification of Algorithm 2) with a single pass that
+/// never re-reads the prefix it already consumed.
+pub fn sorted_contains_all(haystack: &[VertexId], needles: &[VertexId]) -> bool {
+    let mut rest = haystack;
+    for &n in needles {
+        let i = gallop_lower_bound(rest, n);
+        if i == rest.len() || rest[i] != n {
+            return false;
+        }
+        rest = &rest[i + 1..];
+    }
+    true
+}
+
+/// Intersects two sorted slices into `out` (cleared first). Skewed inputs
+/// gallop through the longer side; near-equal sizes fall back to a plain
+/// two-pointer merge. Both paths are allocation-free beyond `out`'s
+/// capacity, so a caller reusing `out` across calls stays off the heap.
+pub fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return;
+    }
+    // Galloping pays once the size ratio covers its log factor.
+    if long.len() / short.len() >= 16 {
+        let mut rest = long;
+        for &x in short {
+            let i = gallop_lower_bound(rest, x);
+            if i == rest.len() {
+                return;
+            }
+            if rest[i] == x {
+                out.push(x);
+                rest = &rest[i + 1..];
+            } else {
+                rest = &rest[i..];
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < short.len() && j < long.len() {
+            match short[i].cmp(&long[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(short[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Connected components by iterative BFS. Returns `(labels, count)` where
 /// `labels[v]` is a component id in `0..count` (numbered by discovery).
 pub fn connected_components(g: &DataGraph) -> (Vec<u32>, usize) {
@@ -140,6 +216,54 @@ pub fn global_clustering_coefficient(g: &DataGraph, triangles: u64) -> f64 {
 mod tests {
     use super::*;
     use crate::generators::erdos_renyi_gnm;
+
+    #[test]
+    fn gallop_lower_bound_matches_partition_point() {
+        let xs: Vec<VertexId> = vec![1, 3, 5, 7, 9, 11, 40, 41, 100];
+        for needle in 0..105 {
+            assert_eq!(
+                gallop_lower_bound(&xs, needle),
+                xs.partition_point(|&x| x < needle),
+                "needle {needle}"
+            );
+        }
+        assert_eq!(gallop_lower_bound(&[], 5), 0);
+    }
+
+    #[test]
+    fn sorted_contains_all_cases() {
+        let hay: Vec<VertexId> = (0..100).map(|i| i * 3).collect();
+        assert!(sorted_contains_all(&hay, &[]));
+        assert!(sorted_contains_all(&hay, &[0, 3, 297]));
+        assert!(sorted_contains_all(&hay, &[99]));
+        assert!(!sorted_contains_all(&hay, &[1]));
+        assert!(!sorted_contains_all(&hay, &[0, 3, 298]));
+        assert!(!sorted_contains_all(&[], &[7]));
+        // Duplicate needles need duplicate haystack entries (CSR slices
+        // are strictly increasing, so callers never hit this; the merge
+        // semantics are still well-defined).
+        assert!(!sorted_contains_all(&hay, &[3, 3]));
+    }
+
+    #[test]
+    fn intersect_sorted_both_paths_agree() {
+        let a: Vec<VertexId> = (0..1000).filter(|x| x % 3 == 0).collect();
+        let b: Vec<VertexId> = (0..1000).filter(|x| x % 5 == 0).collect();
+        let expected: Vec<VertexId> = (0..1000).filter(|x| x % 15 == 0).collect();
+        let mut out = Vec::new();
+        // Merge path (comparable sizes).
+        intersect_sorted_into(&a, &b, &mut out);
+        assert_eq!(out, expected);
+        // Galloping path (skewed sizes), both argument orders.
+        let tiny: Vec<VertexId> = vec![0, 30, 31, 990];
+        intersect_sorted_into(&tiny, &b, &mut out);
+        assert_eq!(out, vec![0, 30, 990]);
+        intersect_sorted_into(&b, &tiny, &mut out);
+        assert_eq!(out, vec![0, 30, 990]);
+        // Empty sides clear the output.
+        intersect_sorted_into(&a, &[], &mut out);
+        assert!(out.is_empty());
+    }
 
     fn two_triangles() -> DataGraph {
         DataGraph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap()

@@ -38,9 +38,15 @@ impl HashPartitioner {
     }
 
     /// Worker owning vertex `v`.
+    ///
+    /// The avalanched hash is reduced to `0..workers` with Lemire's
+    /// multiply-shift (`(h * k) >> 64`) instead of `%`: a multiply and a
+    /// shift replace the division, and the reduction reads the hash's high
+    /// bits, which splitmix64 mixes just as thoroughly as the low ones.
     #[inline]
     pub fn owner(&self, v: VertexId) -> usize {
-        (hash_u64(u64::from(v) ^ self.salt) % u64::from(self.workers)) as usize
+        let h = hash_u64(u64::from(v) ^ self.salt);
+        ((u128::from(h) * u128::from(self.workers)) >> 64) as usize
     }
 
     /// Per-worker vertex counts for `g` — used to report partition balance.
@@ -87,6 +93,13 @@ mod tests {
             assert!(o < 7);
             assert_eq!(o, p.owner(v));
         }
+        // Golden assignments pin the multiply-shift (Lemire) reduction:
+        // `owner = (hash_u64(v) * workers) >> 64`. A change to the hash or
+        // the reduction shows up here before it silently reshuffles every
+        // partition-dependent artifact.
+        assert_eq!((0..8).map(|v| p.owner(v)).collect::<Vec<_>>(), vec![6, 3, 4, 0, 3, 2, 5, 2]);
+        let p2 = HashPartitioner::with_salt(3, 0xfeed);
+        assert_eq!((0..8).map(|v| p2.owner(v)).collect::<Vec<_>>(), vec![0, 1, 1, 0, 2, 0, 0, 1]);
     }
 
     #[test]

@@ -234,6 +234,9 @@ pub fn run_job<J: MapReduceJob>(
     let reducer_records: Vec<u64> = partitions.iter().map(|p| p.len() as u64).collect();
     let cost_budget = config.cost_budget;
     let reduced: Vec<(Vec<J::Output>, ReduceCtx)> = crossbeam::thread::scope(|scope| {
+        // The intermediate collect is what makes the reducers parallel: all
+        // threads must spawn before the first join.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = partitions
             .into_iter()
             .map(|mut part| {

@@ -35,6 +35,11 @@ pub struct ServerStats {
     pub candidates_pruned: AtomicU64,
     /// Total edge-index probes across executed queries.
     pub index_probes: AtomicU64,
+    /// Total Gpsi messages exchanged across executed queries.
+    pub messages_total: AtomicU64,
+    /// Of `messages_total`, messages delivered on the sending worker's
+    /// local fast path (never crossed the engine's exchange).
+    pub messages_local: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -52,6 +57,8 @@ impl Default for ServerStats {
             gpsis_generated: AtomicU64::new(0),
             candidates_pruned: AtomicU64::new(0),
             index_probes: AtomicU64::new(0),
+            messages_total: AtomicU64::new(0),
+            messages_local: AtomicU64::new(0),
         }
     }
 }
@@ -68,6 +75,8 @@ impl ServerStats {
         self.gpsis_generated.fetch_add(stats.expand.generated, Ordering::Relaxed);
         self.candidates_pruned.fetch_add(stats.expand.total_pruned(), Ordering::Relaxed);
         self.index_probes.fetch_add(stats.expand.index_probes, Ordering::Relaxed);
+        self.messages_total.fetch_add(stats.messages, Ordering::Relaxed);
+        self.messages_local.fetch_add(stats.messages_local, Ordering::Relaxed);
     }
 
     /// Snapshot as the `stats` verb's `server` object.
@@ -85,7 +94,19 @@ impl ServerStats {
             ("gpsis_generated", Json::from(self.gpsis_generated.load(Ordering::Relaxed))),
             ("candidates_pruned", Json::from(self.candidates_pruned.load(Ordering::Relaxed))),
             ("index_probes", Json::from(self.index_probes.load(Ordering::Relaxed))),
+            ("messages_total", Json::from(self.messages_total.load(Ordering::Relaxed))),
+            ("local_delivery_ratio", Json::from(self.local_delivery_ratio())),
         ])
+    }
+
+    /// Fraction of exchanged messages that stayed on their sending worker
+    /// (0.0 before any query has executed).
+    pub fn local_delivery_ratio(&self) -> f64 {
+        let total = self.messages_total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        self.messages_local.load(Ordering::Relaxed) as f64 / total as f64
     }
 }
 
@@ -105,6 +126,8 @@ mod tests {
                 index_probes: 40,
                 ..Default::default()
             },
+            messages: 80,
+            messages_local: 60,
             ..Default::default()
         };
         stats.record_run(&run);
@@ -113,6 +136,13 @@ mod tests {
         assert_eq!(snap.get("gpsis_generated").unwrap().as_u64(), Some(200));
         assert_eq!(snap.get("candidates_pruned").unwrap().as_u64(), Some(24));
         assert_eq!(snap.get("index_probes").unwrap().as_u64(), Some(80));
+        assert_eq!(snap.get("messages_total").unwrap().as_u64(), Some(160));
+        assert_eq!(snap.get("local_delivery_ratio").unwrap().as_f64(), Some(0.75));
         assert!(snap.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn local_delivery_ratio_is_zero_before_any_run() {
+        assert_eq!(ServerStats::new().local_delivery_ratio(), 0.0);
     }
 }

@@ -233,3 +233,52 @@ proptest! {
         }
     }
 }
+
+// Differential tests for the allocation-free expansion kernel: listing
+// counts on random G(n,p) graphs must equal the sequential backtracking
+// oracle for each fixture pattern, across worker counts (the hot-path
+// rewrite must never change *what* is counted).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernel_matches_oracle_on_gnp_fixture_patterns(
+        n in 8usize..36,
+        p_millis in 50u32..300,
+        seed in any::<u64>(),
+        workers in 1usize..5,
+    ) {
+        let p = f64::from(p_millis) / 1000.0;
+        let g = psgl::graph::generators::erdos_renyi_gnp(n, p, seed).unwrap();
+        for pattern in [
+            psgl::pattern::catalog::triangle(),
+            psgl::pattern::catalog::four_clique(),
+            psgl::pattern::catalog::square(),
+        ] {
+            let expected = centralized::count(&g, &pattern);
+            let got = list_subgraphs(&g, &pattern, &PsglConfig::with_workers(workers))
+                .unwrap()
+                .instance_count;
+            prop_assert_eq!(got, expected, "{:?}", pattern);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_oracle_on_sparse_gnp_for_max_size_cycle(
+        n in 14usize..26,
+        p_millis in 40u32..120,
+        seed in any::<u64>(),
+    ) {
+        // cycle(12) exercises the engine's MAX_GPSI_VERTICES cap; sparse
+        // G(n,p) keeps the oracle tractable while still finding instances
+        // on a meaningful fraction of cases.
+        let p = f64::from(p_millis) / 1000.0;
+        let g = psgl::graph::generators::erdos_renyi_gnp(n, p, seed).unwrap();
+        let pattern = psgl::pattern::catalog::cycle(12);
+        let expected = centralized::count(&g, &pattern);
+        let got = list_subgraphs(&g, &pattern, &PsglConfig::with_workers(3))
+            .unwrap()
+            .instance_count;
+        prop_assert_eq!(got, expected);
+    }
+}
