@@ -5,13 +5,20 @@
 //! exchange moves them by pointer, and receivers regroup them into
 //! per-vertex units that idle workers may steal. Steady-state supersteps
 //! therefore allocate nothing on the message path.
+//!
+//! Scheduling is pluggable through the [`Executor`] seam (see
+//! [`crate::exec`]): [`run`] uses the production [`ThreadExecutor`] (one
+//! scoped OS thread per worker), while [`run_with_executor`] lets tests
+//! and the simulation harness drive the same per-worker closures under a
+//! deterministic, adversarial schedule.
 
 use crate::chunk::{push_chunked, Chunk, ChunkPool, StealQueue, DEFAULT_CHUNK_CAPACITY};
+use crate::exec::{Executor, ThreadExecutor, WorkerTask};
 use crate::metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::VertexId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Engine configuration.
@@ -33,6 +40,23 @@ pub struct BspConfig {
     /// — and hence per-worker metrics and any worker-keyed program state —
     /// becomes scheduling-dependent, so stealing is opt-in.
     pub steal: bool,
+    /// Cap on live message chunks; past it the pool reports the typed
+    /// [`PoolExhausted`](crate::chunk::PoolExhausted) condition and
+    /// senders degrade by growing their current chunk instead of
+    /// allocating. Exhaustion events surface in
+    /// [`EngineMetrics::pool_exhausted`]. `None` = unbounded (default).
+    pub max_live_chunks: Option<u64>,
+    /// With [`BspConfig::steal`] on, cap the units one worker may steal
+    /// per superstep. Production leaves this `None` (steal until dry); the
+    /// simulation harness uses small budgets to explore partial-steal
+    /// schedules that a free-running sweep never produces.
+    pub steal_budget: Option<u64>,
+    /// Chaos knob: permute, per destination, the source-worker order in
+    /// which the exchange assembles inboxes (seeded, deterministic).
+    /// Exercises the BSP guarantee that results are independent of message
+    /// arrival order at superstep boundaries. `None` (default) keeps the
+    /// canonical source order.
+    pub exchange_shuffle_seed: Option<u64>,
 }
 
 impl Default for BspConfig {
@@ -42,6 +66,9 @@ impl Default for BspConfig {
             message_budget: None,
             chunk_capacity: DEFAULT_CHUNK_CAPACITY,
             steal: false,
+            max_live_chunks: None,
+            steal_budget: None,
+            exchange_shuffle_seed: None,
         }
     }
 }
@@ -243,20 +270,35 @@ impl<M> WorkerScratch<M> {
 /// Runs `program` over vertices `0..num_vertices` partitioned by
 /// `partitioner`, until no messages remain in flight.
 ///
-/// Workers run as scoped OS threads. Each superstep has two phases
-/// separated by a [`Barrier`]: first every worker regroups its inbox
-/// chunks into per-vertex units and publishes them to its steal queue;
-/// then workers drain their own queues front-first and — when
-/// [`BspConfig::steal`] is on — claim units from the back of other
-/// workers' queues. With stealing off the engine is deterministic for
-/// deterministic programs: each inbox is assembled in source-worker order
-/// (the local fast path slotting in at the sender's own position) and
-/// grouped with a stable sort.
+/// Workers run as scoped OS threads (the production [`ThreadExecutor`]).
+/// Each superstep has two phases separated by a barrier: first every
+/// worker regroups its inbox chunks into per-vertex units and publishes
+/// them to its steal queue; then workers drain their own queues
+/// front-first and — when [`BspConfig::steal`] is on — claim units from
+/// the back of other workers' queues. With stealing off the engine is
+/// deterministic for deterministic programs: each inbox is assembled in
+/// source-worker order (the local fast path slotting in at the sender's
+/// own position) and grouped with a stable sort.
 pub fn run<P: VertexProgram>(
     num_vertices: usize,
     partitioner: &HashPartitioner,
     program: &P,
     config: &BspConfig,
+) -> Result<BspResult<P::WorkerState, P::Aggregate>, BspError> {
+    run_with_executor(num_vertices, partitioner, program, config, &ThreadExecutor)
+}
+
+/// [`run`] with an explicit [`Executor`] — the seam the deterministic
+/// simulation harness plugs into. Semantics are identical for every
+/// executor that upholds the contract in [`crate::exec`]; only
+/// schedule-dependent observables (who stole what, per-worker wall time)
+/// may differ.
+pub fn run_with_executor<P: VertexProgram>(
+    num_vertices: usize,
+    partitioner: &HashPartitioner,
+    program: &P,
+    config: &BspConfig,
+    executor: &dyn Executor,
 ) -> Result<BspResult<P::WorkerState, P::Aggregate>, BspError> {
     let k = partitioner.workers();
     let start = Instant::now();
@@ -266,7 +308,8 @@ pub fn run<P: VertexProgram>(
     for v in 0..num_vertices as VertexId {
         owned[partitioner.owner(v)].push(v);
     }
-    let pool: ChunkPool<P::Message> = ChunkPool::new(config.chunk_capacity);
+    let pool: ChunkPool<P::Message> =
+        ChunkPool::with_limit(config.chunk_capacity, config.max_live_chunks);
     let mut inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
     let mut scratches: Vec<WorkerScratch<P::Message>> =
         (0..k).map(|_| WorkerScratch::new()).collect();
@@ -278,92 +321,102 @@ pub fn run<P: VertexProgram>(
             return Err(BspError::SuperstepLimitExceeded(superstep));
         }
         let queues: Vec<StealQueue<P::Message>> = (0..k).map(|_| StealQueue::new()).collect();
-        let barrier = Barrier::new(k);
         let mut worker_results: Vec<Option<WorkerOutput<P>>> = (0..k).map(|_| None).collect();
+        // Panic flags per worker: set inside the task closures (which never
+        // unwind, per the executor contract), scanned in worker order after
+        // the superstep so the first panicking worker is reported.
+        let prep_panics: Vec<AtomicBool> = (0..k).map(|_| AtomicBool::new(false)).collect();
+        let comp_panics: Vec<AtomicBool> = (0..k).map(|_| AtomicBool::new(false)).collect();
         let prev_aggregate = &merged_aggregate;
-        let panicked = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(k);
-            for ((((worker, state), inbox), scratch), slot) in states
-                .iter_mut()
-                .enumerate()
-                .zip(inboxes.iter_mut())
-                .zip(scratches.iter_mut())
-                .zip(worker_results.iter_mut())
-            {
-                let owned = &owned[worker];
-                let (queues, barrier, pool) = (&queues, &barrier, &pool);
-                let handle = scope.spawn(move |_| {
-                    // Phase 1: regroup the inbox into units. Panics are
-                    // caught *before* the barrier so a crashing worker
-                    // cannot strand the others.
-                    let prep = catch_unwind(AssertUnwindSafe(|| {
-                        publish_units(
-                            pool,
-                            &queues[worker],
-                            &mut scratch.sort_buf,
-                            std::mem::take(inbox),
-                        )
-                    }));
-                    barrier.wait();
-                    if prep.is_err() {
-                        return Some(worker);
-                    }
-                    // Phase 2: process own units, then steal stragglers'.
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        run_worker::<P>(
-                            program,
-                            state,
-                            worker,
-                            superstep,
-                            partitioner,
-                            k,
-                            owned,
-                            pool,
-                            queues,
-                            config.steal,
-                            &mut scratch.batch,
-                            prev_aggregate,
-                        )
-                    }));
-                    match result {
-                        Ok(out) => {
-                            *slot = Some(out);
-                            None
-                        }
-                        Err(_) => Some(worker),
-                    }
-                });
-                handles.push(handle);
-            }
-            let mut panicked = None;
-            for h in handles {
-                if let Some(w) = h.join().expect("scoped worker join") {
-                    panicked.get_or_insert(w);
+        let mut tasks: Vec<WorkerTask<'_>> = Vec::with_capacity(k);
+        for ((((worker, state), inbox), scratch), slot) in states
+            .iter_mut()
+            .enumerate()
+            .zip(inboxes.iter_mut())
+            .zip(scratches.iter_mut())
+            .zip(worker_results.iter_mut())
+        {
+            let owned = &owned[worker];
+            let (queues, pool) = (&queues, &pool);
+            let (prep_flag, comp_flag) = (&prep_panics[worker], &comp_panics[worker]);
+            let WorkerScratch { sort_buf, batch } = scratch;
+            let inbox = std::mem::take(inbox);
+            // Phase 1: regroup the inbox into units. Panics are trapped
+            // here (before the executor's barrier) so a crashing worker
+            // cannot strand the others.
+            let prepare = Box::new(move || {
+                let prep = catch_unwind(AssertUnwindSafe(|| {
+                    publish_units(pool, &queues[worker], sort_buf, inbox)
+                }));
+                if prep.is_err() {
+                    prep_flag.store(true, Ordering::SeqCst);
                 }
+            });
+            // Phase 2: process own units, then steal stragglers'. Skipped
+            // when this worker's own prepare panicked (mirrors the
+            // historical early return after the barrier).
+            let compute = Box::new(move || {
+                if prep_flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_worker::<P>(
+                        program,
+                        state,
+                        worker,
+                        superstep,
+                        partitioner,
+                        k,
+                        owned,
+                        pool,
+                        queues,
+                        config.steal,
+                        config.steal_budget,
+                        batch,
+                        prev_aggregate,
+                    )
+                }));
+                match result {
+                    Ok(out) => *slot = Some(out),
+                    Err(_) => comp_flag.store(true, Ordering::SeqCst),
+                }
+            });
+            tasks.push(WorkerTask { worker, prepare, compute });
+        }
+        executor.run_superstep(superstep, tasks);
+        for worker in 0..k {
+            if prep_panics[worker].load(Ordering::SeqCst)
+                || comp_panics[worker].load(Ordering::SeqCst)
+            {
+                return Err(BspError::WorkerPanicked { worker, superstep });
             }
-            panicked
-        })
-        .expect("crossbeam scope");
-        if let Some(worker) = panicked {
-            return Err(BspError::WorkerPanicked { worker, superstep });
         }
         // Collect metrics, merge aggregates, and rebuild inboxes. Chunks
         // move by pointer; each destination receives sources in worker
         // order, with a worker's locally-delivered chunks slotting in at
         // its own source position — the same order a self-send through the
-        // exchange would have produced, keeping runs deterministic.
+        // exchange would have produced, keeping runs deterministic. The
+        // chaos knob `exchange_shuffle_seed` replaces the canonical source
+        // order with a seeded per-destination permutation.
         let mut step = SuperstepMetrics { workers: Vec::with_capacity(k) };
-        let mut new_inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
         let mut next_aggregate = P::Aggregate::default();
+        let mut outs: Vec<WorkerOutbox<P::Message>> = Vec::with_capacity(k);
         for (src, result) in worker_results.into_iter().enumerate() {
-            let (remote, mut local, wm, agg) = result.expect("worker result present when no panic");
+            let (remote, local, wm, agg) = result.expect("worker result present when no panic");
             step.workers.push(wm);
             program.merge_aggregates(&mut next_aggregate, agg);
-            for (dest, mut chunks) in remote.into_iter().enumerate() {
-                debug_assert!(dest != src || chunks.is_empty(), "self-sends take the local path");
-                new_inboxes[dest].append(&mut chunks);
+            debug_assert!(remote[src].is_empty(), "self-sends take the local path");
+            outs.push((remote, local));
+        }
+        let mut new_inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
+        for (dest, new_inbox) in new_inboxes.iter_mut().enumerate() {
+            for src in source_order(k, superstep, dest, config.exchange_shuffle_seed) {
+                if src == dest {
+                    new_inbox.append(&mut outs[src].1);
+                } else {
+                    new_inbox.append(&mut outs[src].0[dest]);
+                }
             }
-            new_inboxes[src].append(&mut local);
         }
         merged_aggregate = next_aggregate;
         let in_flight: u64 =
@@ -382,8 +435,45 @@ pub fn run<P: VertexProgram>(
     }
     metrics.chunk_allocations = pool.fresh_allocations();
     metrics.chunk_reuses = pool.reuses();
+    metrics.pool_exhausted = pool.exhausted_events();
+    metrics.chunks_outstanding = pool.outstanding();
+    // Pool get/put balance: every chunk acquired over the run must have
+    // been released by a clean shutdown (error paths legitimately leave
+    // in-flight chunks behind and are not asserted).
+    debug_assert_eq!(
+        pool.outstanding(),
+        0,
+        "chunk pool get/put imbalance at engine shutdown (leak)"
+    );
     metrics.wall_time = start.elapsed();
     Ok(BspResult { worker_states: states, final_aggregate: merged_aggregate, metrics })
+}
+
+/// The order in which destination `dest` consumes source workers during
+/// the exchange after `superstep`: canonical `0..k`, or — under the
+/// `exchange_shuffle_seed` chaos knob — a seeded Fisher–Yates permutation
+/// that differs per `(superstep, dest)` but is fully reproducible.
+fn source_order(k: usize, superstep: u32, dest: usize, shuffle: Option<u64>) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..k).collect();
+    if let Some(seed) = shuffle {
+        let mut s = seed ^ ((superstep as u64) << 32) ^ (dest as u64).wrapping_mul(0x9E37_79B9);
+        for i in (1..k).rev() {
+            s = splitmix64(s);
+            let j = (s % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+    }
+    order
+}
+
+/// SplitMix64 step — a tiny, dependency-free PRNG for the exchange
+/// shuffle (statistical quality is irrelevant here; reproducibility is
+/// everything).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Per-worker superstep output: remote outbox chunks (indexed by
@@ -395,6 +485,10 @@ type WorkerOutput<P> = (
     WorkerSuperstepMetrics,
     <P as VertexProgram>::Aggregate,
 );
+
+/// A worker's sent messages awaiting exchange: per-destination remote
+/// outboxes plus the locally-delivered fast-path chunks.
+type WorkerOutbox<M> = (Vec<Vec<Chunk<M>>>, Vec<Chunk<M>>);
 
 /// Phase 1 of a superstep: drains `inbox` chunks into `sort_buf`, stably
 /// sorts by destination vertex, splits the run into units at vertex
@@ -440,6 +534,7 @@ fn run_worker<P: VertexProgram>(
     pool: &ChunkPool<P::Message>,
     queues: &[StealQueue<P::Message>],
     steal: bool,
+    steal_budget: Option<u64>,
     batch: &mut Vec<P::Message>,
     prev_aggregate: &P::Aggregate,
 ) -> WorkerOutput<P> {
@@ -478,15 +573,22 @@ fn run_worker<P: VertexProgram>(
         }
         if steal {
             // All units were published before the barrier, so one sweep
-            // over the other queues observes everything still unclaimed.
-            for off in 1..k {
+            // over the other queues observes everything still unclaimed
+            // (up to the optional per-superstep steal budget).
+            let mut budget = steal_budget.unwrap_or(u64::MAX);
+            'sweep: for off in 1..k {
                 let victim = (worker + off) % k;
-                while let Some(mut unit) = queues[victim].pop_steal() {
+                while budget > 0 {
+                    let Some(mut unit) = queues[victim].pop_steal() else { break };
+                    budget -= 1;
                     chunks_stolen += 1;
                     let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, &mut unit);
                     active_vertices += a;
                     messages_in += m;
                     pool.release(unit);
+                }
+                if budget == 0 {
+                    break 'sweep;
                 }
             }
         }
@@ -533,6 +635,7 @@ fn process_unit<P: VertexProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::SerialExecutor;
     use parking_lot::Mutex;
     use psgl_graph::generators::erdos_renyi_gnm;
     use psgl_graph::DataGraph;
@@ -581,6 +684,18 @@ mod tests {
         prog.labels.into_inner()
     }
 
+    fn run_min_label_with(
+        g: &DataGraph,
+        workers: usize,
+        config: &BspConfig,
+        executor: &dyn Executor,
+    ) -> Vec<VertexId> {
+        let prog = MinLabel { graph: g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(workers);
+        run_with_executor(g.num_vertices(), &p, &prog, config, executor).unwrap();
+        prog.labels.into_inner()
+    }
+
     #[test]
     fn min_label_converges_on_two_components() {
         // Two triangles: {0,1,2} and {3,4,5}.
@@ -608,6 +723,52 @@ mod tests {
         let config = BspConfig { chunk_capacity: 3, steal: true, ..Default::default() };
         run(g.num_vertices(), &p, &prog, &config).unwrap();
         assert_eq!(prog.labels.into_inner(), base);
+    }
+
+    #[test]
+    fn serial_executor_matches_threaded_run() {
+        let g = erdos_renyi_gnm(150, 250, 5).unwrap();
+        let base = run_min_label(&g, 3);
+        let serial = run_min_label_with(&g, 3, &BspConfig::default(), &SerialExecutor);
+        assert_eq!(serial, base);
+    }
+
+    #[test]
+    fn exchange_shuffle_preserves_results() {
+        let g = erdos_renyi_gnm(150, 250, 5).unwrap();
+        let base = run_min_label(&g, 4);
+        for seed in [1u64, 7, 42] {
+            let config = BspConfig { exchange_shuffle_seed: Some(seed), ..Default::default() };
+            assert_eq!(
+                run_min_label_with(&g, 4, &config, &ThreadExecutor),
+                base,
+                "shuffle seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn capped_pool_degrades_but_stays_correct() {
+        let g = erdos_renyi_gnm(150, 250, 5).unwrap();
+        let base = run_min_label(&g, 3);
+        let config =
+            BspConfig { chunk_capacity: 4, max_live_chunks: Some(2), ..Default::default() };
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let res = run(g.num_vertices(), &p, &prog, &config).unwrap();
+        assert_eq!(prog.labels.into_inner(), base);
+        assert!(res.metrics.pool_exhausted > 0, "the tiny cap must be hit");
+        assert_eq!(res.metrics.chunks_outstanding, 0, "clean shutdown releases every chunk");
+    }
+
+    #[test]
+    fn uncapped_pool_reports_no_exhaustion() {
+        let g = erdos_renyi_gnm(100, 150, 3).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(2);
+        let res = run(g.num_vertices(), &p, &prog, &BspConfig::default()).unwrap();
+        assert_eq!(res.metrics.pool_exhausted, 0);
+        assert_eq!(res.metrics.chunks_outstanding, 0);
     }
 
     #[test]
@@ -778,6 +939,29 @@ mod tests {
         assert_eq!(res.worker_states[0], n as u64);
     }
 
+    #[test]
+    fn steal_budget_caps_per_worker_thefts() {
+        let n = 256usize;
+        let p = HashPartitioner::new(4);
+        let targets: Vec<VertexId> = (0..n as VertexId).filter(|&v| p.owner(v) == 0).collect();
+        let config = BspConfig {
+            chunk_capacity: 1,
+            steal: true,
+            steal_budget: Some(2),
+            ..Default::default()
+        };
+        let prog = Hotspot { targets };
+        let res = run(n, &p, &prog, &config).unwrap();
+        // No messages lost despite the budget, …
+        assert_eq!(res.worker_states.iter().sum::<u64>(), n as u64);
+        // … and no worker exceeded its per-superstep steal budget.
+        for step in &res.metrics.supersteps {
+            for (w, wm) in step.workers.iter().enumerate() {
+                assert!(wm.chunks_stolen <= 2, "worker {w} stole {}", wm.chunks_stolen);
+            }
+        }
+    }
+
     struct Panicker;
 
     impl VertexProgram for Panicker {
@@ -798,6 +982,17 @@ mod tests {
     fn worker_panic_is_contained() {
         let p = HashPartitioner::new(3);
         match run(20, &p, &Panicker, &BspConfig::default()) {
+            Err(BspError::WorkerPanicked { superstep: 0, worker }) => {
+                assert_eq!(worker, p.owner(13));
+            }
+            other => panic!("expected panic containment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_under_serial_executor() {
+        let p = HashPartitioner::new(3);
+        match run_with_executor(20, &p, &Panicker, &BspConfig::default(), &SerialExecutor) {
             Err(BspError::WorkerPanicked { superstep: 0, worker }) => {
                 assert_eq!(worker, p.owner(13));
             }
@@ -843,6 +1038,19 @@ mod tests {
         assert!(e.to_string().contains("out of memory"));
         let e = BspError::WorkerPanicked { worker: 3, superstep: 1 };
         assert!(e.to_string().contains("worker 3"));
+    }
+
+    #[test]
+    fn source_order_is_identity_without_shuffle_and_a_permutation_with() {
+        assert_eq!(source_order(5, 3, 2, None), vec![0, 1, 2, 3, 4]);
+        for dest in 0..5 {
+            let order = source_order(5, 3, dest, Some(99));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "must be a permutation");
+            // Deterministic per (superstep, dest, seed).
+            assert_eq!(order, source_order(5, 3, dest, Some(99)));
+        }
     }
 }
 

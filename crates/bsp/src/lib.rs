@@ -28,8 +28,10 @@
 
 pub mod chunk;
 pub mod engine;
+pub mod exec;
 pub mod metrics;
 
-pub use chunk::{Chunk, ChunkPool, StealQueue, DEFAULT_CHUNK_CAPACITY};
-pub use engine::{run, BspConfig, BspError, BspResult, Context, VertexProgram};
+pub use chunk::{Chunk, ChunkPool, PoolExhausted, StealQueue, DEFAULT_CHUNK_CAPACITY};
+pub use engine::{run, run_with_executor, BspConfig, BspError, BspResult, Context, VertexProgram};
+pub use exec::{Executor, SerialExecutor, TaskFn, ThreadExecutor, WorkerTask};
 pub use metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};

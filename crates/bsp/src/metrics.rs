@@ -67,6 +67,13 @@ pub struct EngineMetrics {
     pub chunk_allocations: u64,
     /// Message chunks served from the pool's free list.
     pub chunk_reuses: u64,
+    /// Times the pool's live-chunk cap forced a sender onto the degraded
+    /// path (grow-in-place instead of a fresh chunk). Always 0 when
+    /// `max_live_chunks` is unset.
+    pub pool_exhausted: u64,
+    /// Pool get/put imbalance at shutdown (acquires minus releases);
+    /// 0 on a clean run — anything else is a chunk leak or double-free.
+    pub chunks_outstanding: i64,
 }
 
 impl EngineMetrics {

@@ -167,6 +167,56 @@ mod tests {
     }
 
     #[test]
+    fn masks_at_word_boundaries_roundtrip() {
+        // Regression guard for the register-blocked probe: the in-block
+        // mask is built with `1 << (h2 & 63)`. A narrower shift type or an
+        // off-by-one bound (`% 63`, `& 64`) breaks exactly — and only —
+        // when a 6-bit hash slice lands on bit 63 (or never reaches it).
+        // Hunt for keys exercising both extreme bit positions and require
+        // insert/probe parity on each.
+        let g = erdos_renyi_gnm(10, 20, 11).unwrap();
+        let mut idx = EdgeIndex::build(&g, 8);
+        let mut seen_bit0 = false;
+        let mut seen_bit63 = false;
+        'hunt: for u in 0..2_000u32 {
+            for v in (u + 1)..2_000 {
+                let (_, mask) = idx.block_and_mask(EdgeIndex::key(u, v));
+                let hits_edge = mask & 1 != 0 || mask & (1 << 63) != 0;
+                if !hits_edge {
+                    continue;
+                }
+                seen_bit0 |= mask & 1 != 0;
+                seen_bit63 |= mask & (1 << 63) != 0;
+                idx.insert(u, v);
+                assert!(idx.may_contain(u, v), "edge {u}-{v} lost at a word boundary");
+                if seen_bit0 && seen_bit63 {
+                    break 'hunt;
+                }
+            }
+        }
+        assert!(seen_bit0 && seen_bit63, "hunt never reached bits 0 and 63");
+    }
+
+    #[test]
+    fn single_word_filter_keeps_probes_in_bounds() {
+        // The smallest legal filter is one 64-bit word (`word_mask = 0`):
+        // every key maps to block 0. Any block-selection arithmetic that
+        // could yield index 1 (e.g. masking with the word *count* instead
+        // of count-minus-one) panics here with an out-of-bounds access.
+        let g = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let idx = EdgeIndex::build(&g, 2); // 3 edges · 2 bits → one word
+        assert_eq!(idx.memory_bytes(), 8, "expected the minimal one-word filter");
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                let _ = idx.may_contain(u, v); // must not index out of bounds
+            }
+        }
+        for (u, v) in g.edges() {
+            assert!(idx.may_contain(u, v));
+        }
+    }
+
+    #[test]
     fn empty_graph_index_is_valid() {
         let g = psgl_graph::DataGraph::from_edges(3, &[]).unwrap();
         let idx = EdgeIndex::build(&g, 8);

@@ -55,7 +55,7 @@ pub use index::EdgeIndex;
 pub use plan::QueryPlan;
 pub use runner::{
     count_per_vertex, list_subgraphs, list_subgraphs_labeled, list_subgraphs_prepared,
-    ListingResult,
+    list_subgraphs_prepared_with, ListingResult, RunnerHooks,
 };
 pub use shared::{PsglError, PsglShared};
 pub use stats::{ExpandStats, RunStats};

@@ -209,14 +209,45 @@ pub fn list_subgraphs(
     list_subgraphs_prepared(&shared, config)
 }
 
+/// Hooks the deterministic simulation harness (`crates/sim`) uses to drive
+/// a listing run through a custom scheduler, vertex placement, and the
+/// engine's chaos knobs. The default value reproduces the production path
+/// bit-for-bit.
+#[derive(Default)]
+pub struct RunnerHooks<'a> {
+    /// Executor driving the BSP supersteps; `None` uses the production
+    /// [`psgl_bsp::ThreadExecutor`].
+    pub executor: Option<&'a dyn psgl_bsp::Executor>,
+    /// Vertex-placement override (e.g. a skewed partitioner); `None`
+    /// derives the salted hash partitioner from the config seed.
+    pub partitioner: Option<HashPartitioner>,
+    /// Cap on live message chunks ([`BspConfig::max_live_chunks`]).
+    pub max_live_chunks: Option<u64>,
+    /// Per-worker, per-superstep steal cap ([`BspConfig::steal_budget`]).
+    pub steal_budget: Option<u64>,
+    /// Seeded exchange reordering ([`BspConfig::exchange_shuffle_seed`]).
+    pub exchange_shuffle_seed: Option<u64>,
+}
+
 /// Runs the BSP phase against an already-prepared shared context.
 pub fn list_subgraphs_prepared(
     shared: &PsglShared<'_>,
     config: &PsglConfig,
 ) -> Result<ListingResult, PsglError> {
+    list_subgraphs_prepared_with(shared, config, &RunnerHooks::default())
+}
+
+/// [`list_subgraphs_prepared`] with explicit [`RunnerHooks`] — the entry
+/// point the simulation harness uses to run the *real* expansion pipeline
+/// under an adversarial, deterministic schedule.
+pub fn list_subgraphs_prepared_with(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+    hooks: &RunnerHooks<'_>,
+) -> Result<ListingResult, PsglError> {
     let mode =
         if config.collect_instances { HarvestMode::Instances } else { HarvestMode::CountOnly };
-    let (mut result, worker_states) = run_engine(shared, config, mode)?;
+    let (mut result, worker_states) = run_engine(shared, config, mode, hooks)?;
     if config.collect_instances {
         let mut buf = Vec::new();
         for ws in worker_states {
@@ -259,7 +290,8 @@ pub fn count_per_vertex(
     config: &PsglConfig,
 ) -> Result<(Vec<u64>, ListingResult), PsglError> {
     let shared = PsglShared::prepare(graph, pattern, config)?;
-    let (result, worker_states) = run_engine(&shared, config, HarvestMode::PerVertex)?;
+    let (result, worker_states) =
+        run_engine(&shared, config, HarvestMode::PerVertex, &RunnerHooks::default())?;
     let mut totals = vec![0u64; graph.num_vertices()];
     for ws in worker_states {
         if let Harvest::PerVertex(counts) = ws.harvest {
@@ -278,8 +310,11 @@ fn run_engine(
     shared: &PsglShared<'_>,
     config: &PsglConfig,
     harvest_mode: HarvestMode,
+    hooks: &RunnerHooks<'_>,
 ) -> Result<(ListingResult, Vec<WorkerState>), PsglError> {
-    let partitioner = HashPartitioner::with_salt(config.workers, hash_u64(config.seed));
+    let partitioner = hooks
+        .partitioner
+        .unwrap_or_else(|| HashPartitioner::with_salt(config.workers, hash_u64(config.seed)));
     let program = PsglProgram {
         shared,
         config,
@@ -291,17 +326,27 @@ fn run_engine(
         // The per-worker budget also bounds the global in-flight volume.
         message_budget: config.gpsi_budget.map(|b| b.saturating_mul(config.workers as u64)),
         steal: config.steal,
+        max_live_chunks: hooks.max_live_chunks,
+        steal_budget: hooks.steal_budget,
+        exchange_shuffle_seed: hooks.exchange_shuffle_seed,
         ..Default::default()
     };
-    let result = psgl_bsp::run(shared.graph.num_vertices(), &partitioner, &program, &bsp_config)
-        .map_err(|e| match e {
-            // Report the configured per-worker budget, not the engine's
-            // global derived one.
-            psgl_bsp::BspError::MessageBudgetExceeded { in_flight, .. } => {
-                PsglError::OutOfMemory { in_flight, budget: config.gpsi_budget.unwrap_or(0) }
-            }
-            other => PsglError::Engine(other),
-        })?;
+    let executor: &dyn psgl_bsp::Executor = hooks.executor.unwrap_or(&psgl_bsp::ThreadExecutor);
+    let result = psgl_bsp::run_with_executor(
+        shared.graph.num_vertices(),
+        &partitioner,
+        &program,
+        &bsp_config,
+        executor,
+    )
+    .map_err(|e| match e {
+        // Report the configured per-worker budget, not the engine's
+        // global derived one.
+        psgl_bsp::BspError::MessageBudgetExceeded { in_flight, .. } => {
+            PsglError::OutOfMemory { in_flight, budget: config.gpsi_budget.unwrap_or(0) }
+        }
+        other => PsglError::Engine(other),
+    })?;
     let mut expand = ExpandStats::default();
     for ws in &result.worker_states {
         expand.merge(&ws.stats);
@@ -325,6 +370,18 @@ fn run_engine(
             messages_local: metrics.total_local_delivered(),
             chunks_stolen: metrics.total_chunks_stolen(),
             bytes_exchanged: metrics.total_bytes_exchanged(),
+            messages_out_per_superstep: metrics
+                .supersteps
+                .iter()
+                .map(|s| s.messages_out())
+                .collect(),
+            messages_in_per_superstep: metrics
+                .supersteps
+                .iter()
+                .map(|s| s.workers.iter().map(|w| w.messages_in).sum())
+                .collect(),
+            pool_exhausted: metrics.pool_exhausted,
+            chunks_outstanding: metrics.chunks_outstanding,
             wall_time: metrics.wall_time,
             cost_imbalance: metrics.cost_imbalance(),
         },

@@ -87,6 +87,17 @@ pub struct RunStats {
     pub chunks_stolen: u64,
     /// Bytes of message tuples that crossed the inter-worker exchange.
     pub bytes_exchanged: u64,
+    /// Gpsi messages produced per superstep (the paper's per-iteration
+    /// intermediate-result curves; also the sim harness's message-
+    /// conservation invariant: `out[s] == in[s+1]`).
+    pub messages_out_per_superstep: Vec<u64>,
+    /// Gpsi messages consumed per superstep.
+    pub messages_in_per_superstep: Vec<u64>,
+    /// Times the chunk pool's live-chunk cap forced the degraded
+    /// grow-in-place path (0 when the pool is uncapped).
+    pub pool_exhausted: u64,
+    /// Chunk-pool get/put imbalance at engine shutdown (0 on a clean run).
+    pub chunks_outstanding: i64,
     /// Wall-clock duration of the BSP run.
     pub wall_time: std::time::Duration,
     /// Max/mean imbalance of per-worker cost (1.0 = perfect).

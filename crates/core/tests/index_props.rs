@@ -1,0 +1,72 @@
+//! Property tests for the bloom-filter edge index (Section 5.2.3): the
+//! no-false-negatives contract must hold on arbitrary random graphs at any
+//! precision setting, and the measured false-positive rate must stay under
+//! a documented bound derived from the filter's actual geometry.
+
+use proptest::{prop_assert, proptest, ProptestConfig};
+use psgl_core::EdgeIndex;
+use psgl_graph::generators::erdos_renyi_gnm;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The index's one hard guarantee: a `false` answer is definitive.
+    /// Probe every indexed edge (both orientations) on random G(n, m)
+    /// graphs across the whole precision range.
+    #[test]
+    fn zero_false_negatives_on_random_graphs(
+        n in 5u32..400,
+        density in 1u64..6,
+        seed in 0u64..1_000_000,
+        bits_per_edge in 2usize..17,
+    ) {
+        let max_m = u64::from(n) * u64::from(n - 1) / 2;
+        let m = (u64::from(n) * density).min(max_m);
+        let g = erdos_renyi_gnm(n as usize, m, seed).unwrap();
+        let idx = EdgeIndex::build(&g, bits_per_edge);
+        for (u, v) in g.edges() {
+            prop_assert!(idx.may_contain(u, v), "false negative on {u}-{v}");
+            prop_assert!(idx.may_contain(v, u), "asymmetric false negative on {v}-{u}");
+        }
+    }
+
+    /// Documented bound: a register-blocked filter pays at most a small
+    /// constant factor over the classic bloom rate `(1 - e^{-k/b})^k`,
+    /// where `b` is the filter's *actual* bits-per-edge (the bit array is
+    /// rounded up to a power of two, so `b` ≥ the requested precision) and
+    /// `k = clamp(round(b_req · ln 2), 1, 8)` probes. We assert the
+    /// measured rate stays within 4× the classic formula plus sampling
+    /// slack — loose enough to be robust, tight enough to catch a filter
+    /// that degrades to "always true".
+    #[test]
+    fn measured_fpr_stays_under_the_documented_bound(
+        seed in 0u64..100_000,
+        bits_per_edge in 4usize..17,
+    ) {
+        let g = erdos_renyi_gnm(1_500, 15_000, seed).unwrap();
+        let idx = EdgeIndex::build(&g, bits_per_edge);
+        let b_actual = (idx.memory_bytes() * 8) as f64 / idx.num_edges() as f64;
+        let k = ((bits_per_edge as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 8);
+        let classic = (1.0 - (-f64::from(k) / b_actual).exp()).powi(k as i32);
+        let bound = 4.0 * classic + 0.01;
+        let measured = idx.measured_fpr(&g, 20_000, seed ^ 0xF9);
+        prop_assert!(
+            measured <= bound,
+            "fpr {measured:.4} over bound {bound:.4} (classic {classic:.4}, \
+             {b_actual:.1} bits/edge, k = {k})"
+        );
+    }
+
+    /// More bits per edge never makes the measured rate meaningfully
+    /// worse: the precision knob must actually buy precision.
+    #[test]
+    fn precision_knob_is_effective(seed in 0u64..100_000) {
+        let g = erdos_renyi_gnm(1_500, 15_000, seed).unwrap();
+        let coarse = EdgeIndex::build(&g, 4).measured_fpr(&g, 20_000, seed);
+        let fine = EdgeIndex::build(&g, 16).measured_fpr(&g, 20_000, seed);
+        prop_assert!(
+            fine <= coarse + 0.005,
+            "16 bits/edge fpr {fine:.4} worse than 4 bits/edge {coarse:.4}"
+        );
+    }
+}

@@ -15,20 +15,35 @@ pub struct HashPartitioner {
     workers: u32,
     /// Salt so different runs/engines can decorrelate placements.
     salt: u64,
+    /// Chaos knob: per-mille of vertices force-routed to worker 0 on top
+    /// of the hash placement. 0 (the default) is the unskewed production
+    /// path; the simulation harness uses nonzero values to manufacture the
+    /// hot-partition scenarios the paper's workload-aware strategies are
+    /// supposed to absorb (Section 5.3).
+    hot_per_mille: u16,
 }
 
 impl HashPartitioner {
     /// Creates a partitioner over `workers` workers (must be >= 1).
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1, "need at least one worker");
-        HashPartitioner { workers: workers as u32, salt: 0 }
+        HashPartitioner { workers: workers as u32, salt: 0, hot_per_mille: 0 }
     }
 
     /// Creates a salted partitioner; different salts give independent
     /// placements for the same worker count.
     pub fn with_salt(workers: usize, salt: u64) -> Self {
         assert!(workers >= 1, "need at least one worker");
-        HashPartitioner { workers: workers as u32, salt }
+        HashPartitioner { workers: workers as u32, salt, hot_per_mille: 0 }
+    }
+
+    /// Creates a deliberately skewed partitioner: on top of the salted
+    /// hash placement, roughly `hot_per_mille`‰ of vertices (chosen by an
+    /// independent hash, deterministically) are re-routed to worker 0.
+    /// Values ≥ 1000 send *every* vertex to worker 0.
+    pub fn with_skew(workers: usize, salt: u64, hot_per_mille: u16) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        HashPartitioner { workers: workers as u32, salt, hot_per_mille }
     }
 
     /// Number of workers.
@@ -45,6 +60,14 @@ impl HashPartitioner {
     /// bits, which splitmix64 mixes just as thoroughly as the low ones.
     #[inline]
     pub fn owner(&self, v: VertexId) -> usize {
+        if self.hot_per_mille > 0 {
+            // Independent hash stream (distinct constant) so the skew
+            // selection does not correlate with the placement hash.
+            let s = hash_u64(u64::from(v) ^ self.salt ^ 0xC0FF_EE00_D15E_A5E5);
+            if (((u128::from(s) * 1000) >> 64) as u16) < self.hot_per_mille {
+                return 0;
+            }
+        }
         let h = hash_u64(u64::from(v) ^ self.salt);
         ((u128::from(h) * u128::from(self.workers)) >> 64) as usize
     }
@@ -141,6 +164,30 @@ mod tests {
         assert_eq!(HashPartitioner::imbalance(&[10, 0, 0, 10]), 2.0);
         assert_eq!(HashPartitioner::imbalance(&[0, 0]), 1.0);
         assert_eq!(HashPartitioner::imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    fn skew_routes_hot_vertices_to_worker_zero() {
+        // Zero skew is bit-identical to the plain salted partitioner.
+        let plain = HashPartitioner::with_salt(4, 7);
+        let zero = HashPartitioner::with_skew(4, 7, 0);
+        assert!((0..1000u32).all(|v| plain.owner(v) == zero.owner(v)));
+        // 300‰ skew: worker 0 owns its hash share plus ~30% of the rest.
+        let skewed = HashPartitioner::with_skew(4, 7, 300);
+        let n = 10_000u32;
+        let hot = (0..n).filter(|&v| skewed.owner(v) == 0).count();
+        assert!(
+            (4000..5100).contains(&hot),
+            "expected ~25% + 30%·75% ≈ 47.5% on worker 0, got {hot} of {n}"
+        );
+        // Non-hot vertices keep their hash placement.
+        assert!((0..n).all(|v| skewed.owner(v) == 0 || skewed.owner(v) == plain.owner(v)));
+        // Full skew funnels everything.
+        let all = HashPartitioner::with_skew(4, 7, 1000);
+        assert!((0..1000u32).all(|v| all.owner(v) == 0));
+        // Deterministic: same config, same placement.
+        let again = HashPartitioner::with_skew(4, 7, 300);
+        assert!((0..1000u32).all(|v| skewed.owner(v) == again.owner(v)));
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Chaos sweep driver for CI.
+//!
+//! Runs seeded chaos scenarios and exits nonzero if any fails, printing —
+//! and optionally writing to a file — the failing seeds with their
+//! expanded configurations so CI can upload them as an artifact.
+//!
+//! ```text
+//! chaos [--count N] [--start-seed S] [--corpus FILE] [--out FILE]
+//! ```
+//!
+//! `--corpus FILE` reads one seed per line (blank lines and `#` comments
+//! ignored) and runs those *instead of* the `--start-seed..+count` range —
+//! the fast per-PR regression mode over pinned, previously-found seeds.
+//! `--out FILE` writes failing seeds (one per line, with a comment
+//! describing the failure) for artifact upload.
+
+use psgl_sim::Scenario;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<(Vec<u64>, Option<String>), String> {
+    let mut count: u64 = 25;
+    let mut start_seed: u64 = 1;
+    let mut corpus: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--count" => {
+                count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?;
+            }
+            "--start-seed" => {
+                start_seed =
+                    value("--start-seed")?.parse().map_err(|e| format!("--start-seed: {e}"))?;
+            }
+            "--corpus" => corpus = Some(value("--corpus")?),
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: chaos [--count N] [--start-seed S] [--corpus FILE] [--out FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let seeds = match corpus {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading corpus {path}: {e}"))?;
+            let mut seeds = Vec::new();
+            for line in text.lines() {
+                let line = line.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    continue;
+                }
+                seeds.push(line.parse().map_err(|e| format!("corpus seed {line:?}: {e}"))?);
+            }
+            seeds
+        }
+        None => (start_seed..start_seed.saturating_add(count)).collect(),
+    };
+    Ok((seeds, out))
+}
+
+fn main() -> ExitCode {
+    let (seeds, out) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let total = seeds.len();
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for seed in seeds {
+        let scenario = Scenario::from_seed(seed);
+        match scenario.run() {
+            Ok(report) => {
+                println!(
+                    "seed {seed}: ok — {} instances (= oracle), fingerprint {:016x}, \
+                     trace {:016x}",
+                    report.instance_count, report.fingerprint, report.trace_hash
+                );
+            }
+            Err(failure) => {
+                eprintln!("{failure}");
+                failures.push((seed, failure.to_string()));
+            }
+        }
+    }
+    println!("chaos sweep: {}/{} scenarios passed", total - failures.len(), total);
+    if let Some(path) = out {
+        if !failures.is_empty() {
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    for (seed, detail) in &failures {
+                        let commented = detail.replace('\n', "\n# ");
+                        let _ = writeln!(f, "{seed} # {commented}");
+                    }
+                    eprintln!("wrote {} failing seed(s) to {path}", failures.len());
+                }
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,267 @@
+//! Invariant checkers applied after every simulated run.
+//!
+//! These encode the properties the paper's BSP formulation guarantees for
+//! *every* schedule (Section 4): synchronous message delivery at superstep
+//! boundaries, exact instance enumeration regardless of worker
+//! interleaving, and — engine-level — balanced chunk-pool accounting.
+//! A chaos run passes only if the violation list is empty.
+
+use psgl_core::runner::ListingResult;
+use psgl_graph::{DataGraph, VertexId};
+use psgl_pattern::Pattern;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One observed invariant violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// Barrier delivery broken: messages produced in superstep `s` do not
+    /// equal messages consumed in superstep `s + 1`.
+    MessageConservation {
+        /// The producing superstep `s`.
+        superstep: usize,
+        /// Messages produced in `s`.
+        produced: u64,
+        /// Messages consumed in `s + 1`.
+        consumed: u64,
+    },
+    /// The final superstep still produced messages (the run halted early).
+    UndeliveredTail {
+        /// Messages the last superstep emitted.
+        produced: u64,
+    },
+    /// Chunk-pool get/put imbalance at engine shutdown (leak if positive,
+    /// double-free if negative).
+    PoolImbalance {
+        /// Acquires minus releases.
+        outstanding: i64,
+    },
+    /// PSgL's count differs from the centralized oracle.
+    OracleMismatch {
+        /// What PSgL counted.
+        got: u64,
+        /// What the oracle counted.
+        oracle: u64,
+    },
+    /// The collected instance list disagrees with the reported count.
+    CountListMismatch {
+        /// `instance_count` from the run.
+        counted: u64,
+        /// Number of instances actually collected.
+        listed: usize,
+    },
+    /// An emitted instance maps two pattern vertices to one data vertex.
+    NonInjectiveInstance {
+        /// The offending mapping (pattern-vertex order).
+        instance: Vec<VertexId>,
+    },
+    /// An emitted instance is missing a pattern edge in the data graph.
+    InvalidInstance {
+        /// The offending mapping (pattern-vertex order).
+        instance: Vec<VertexId>,
+    },
+    /// The same mapping was emitted more than once.
+    DuplicateInstance {
+        /// The duplicated mapping.
+        instance: Vec<VertexId>,
+    },
+    /// `ExpandStats` counters are internally inconsistent.
+    StatsInconsistent {
+        /// Human-readable description of the broken relation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MessageConservation { superstep, produced, consumed } => write!(
+                f,
+                "message conservation: superstep {superstep} produced {produced} but \
+                 superstep {} consumed {consumed}",
+                superstep + 1
+            ),
+            Violation::UndeliveredTail { produced } => {
+                write!(f, "final superstep produced {produced} undelivered messages")
+            }
+            Violation::PoolImbalance { outstanding } => {
+                write!(f, "chunk pool imbalance at shutdown: {outstanding} outstanding")
+            }
+            Violation::OracleMismatch { got, oracle } => {
+                write!(f, "count mismatch: PSgL found {got}, oracle says {oracle}")
+            }
+            Violation::CountListMismatch { counted, listed } => {
+                write!(f, "instance_count {counted} but {listed} instances collected")
+            }
+            Violation::NonInjectiveInstance { instance } => {
+                write!(f, "non-injective instance {instance:?}")
+            }
+            Violation::InvalidInstance { instance } => {
+                write!(f, "instance {instance:?} is missing a pattern edge in the data graph")
+            }
+            Violation::DuplicateInstance { instance } => {
+                write!(f, "instance {instance:?} emitted more than once")
+            }
+            Violation::StatsInconsistent { detail } => write!(f, "stats inconsistent: {detail}"),
+        }
+    }
+}
+
+/// Runs every checker against a finished listing run; returns all
+/// violations found (empty = the run passes).
+pub fn check(
+    graph: &DataGraph,
+    pattern: &Pattern,
+    result: &ListingResult,
+    oracle_count: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let stats = &result.stats;
+
+    // 1. Barrier delivery: everything produced in superstep s is consumed
+    //    in superstep s+1, and nothing is left in flight at the end.
+    let out = &stats.messages_out_per_superstep;
+    let inn = &stats.messages_in_per_superstep;
+    for s in 0..out.len().saturating_sub(1) {
+        if out[s] != inn[s + 1] {
+            violations.push(Violation::MessageConservation {
+                superstep: s,
+                produced: out[s],
+                consumed: inn[s + 1],
+            });
+        }
+    }
+    if let Some(&tail) = out.last() {
+        if tail != 0 {
+            violations.push(Violation::UndeliveredTail { produced: tail });
+        }
+    }
+
+    // 2. Chunk-pool leak / double-free accounting.
+    if stats.chunks_outstanding != 0 {
+        violations.push(Violation::PoolImbalance { outstanding: stats.chunks_outstanding });
+    }
+
+    // 3. Oracle conformance: exact instance-count parity.
+    if result.instance_count != oracle_count {
+        violations
+            .push(Violation::OracleMismatch { got: result.instance_count, oracle: oracle_count });
+    }
+
+    // 4. Emitted instances: count parity, injectivity, edge validity,
+    //    no double emission.
+    if let Some(instances) = &result.instances {
+        if instances.len() as u64 != result.instance_count {
+            violations.push(Violation::CountListMismatch {
+                counted: result.instance_count,
+                listed: instances.len(),
+            });
+        }
+        let mut seen: HashSet<&[VertexId]> = HashSet::with_capacity(instances.len());
+        for inst in instances {
+            let distinct: HashSet<VertexId> = inst.iter().copied().collect();
+            if distinct.len() != inst.len() {
+                violations.push(Violation::NonInjectiveInstance { instance: inst.clone() });
+            }
+            if pattern.edges().any(|(a, b)| !graph.has_edge(inst[a as usize], inst[b as usize])) {
+                violations.push(Violation::InvalidInstance { instance: inst.clone() });
+            }
+            if !seen.insert(inst.as_slice()) {
+                violations.push(Violation::DuplicateInstance { instance: inst.clone() });
+            }
+        }
+    }
+
+    // 5. ExpandStats counter parity with the run-level outputs.
+    let e = &stats.expand;
+    if e.results != result.instance_count {
+        violations.push(Violation::StatsInconsistent {
+            detail: format!(
+                "expand.results = {} but instance_count = {}",
+                e.results, result.instance_count
+            ),
+        });
+    }
+    if e.generated < e.results {
+        violations.push(Violation::StatsInconsistent {
+            detail: format!("generated {} < results {}", e.generated, e.results),
+        });
+    }
+    let msg_sum: u64 = out.iter().sum();
+    if msg_sum != stats.messages {
+        violations.push(Violation::StatsInconsistent {
+            detail: format!(
+                "per-superstep message curve sums to {msg_sum} but messages = {}",
+                stats.messages
+            ),
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psgl_core::{list_subgraphs, PsglConfig};
+    use psgl_graph::generators::erdos_renyi_gnm;
+    use psgl_pattern::catalog;
+
+    #[test]
+    fn clean_run_produces_no_violations() {
+        let g = erdos_renyi_gnm(60, 200, 3).unwrap();
+        let p = catalog::triangle();
+        let result = list_subgraphs(&g, &p, &PsglConfig::with_workers(3).collect(true)).unwrap();
+        let oracle = psgl_baselines::centralized::count(&g, &p);
+        assert_eq!(check(&g, &p, &result, oracle), vec![]);
+    }
+
+    #[test]
+    fn each_checker_fires_on_a_corrupted_run() {
+        let g = erdos_renyi_gnm(60, 200, 3).unwrap();
+        let p = catalog::triangle();
+        let clean = list_subgraphs(&g, &p, &PsglConfig::with_workers(2).collect(true)).unwrap();
+        let oracle = psgl_baselines::centralized::count(&g, &p);
+
+        // Wrong oracle count.
+        let vs = check(&g, &p, &clean, oracle + 1);
+        assert!(vs.iter().any(|v| matches!(v, Violation::OracleMismatch { .. })));
+
+        // Broken message conservation + undelivered tail.
+        let mut broken = clean.clone();
+        broken.stats.messages_out_per_superstep = vec![5, 7];
+        broken.stats.messages_in_per_superstep = vec![0, 4];
+        broken.stats.messages = 12;
+        let vs = check(&g, &p, &broken, oracle);
+        assert!(vs.iter().any(|v| matches!(v, Violation::MessageConservation { .. })));
+        assert!(vs.iter().any(|v| matches!(v, Violation::UndeliveredTail { .. })));
+
+        // Pool imbalance.
+        let mut broken = clean.clone();
+        broken.stats.chunks_outstanding = 2;
+        let vs = check(&g, &p, &broken, oracle);
+        assert!(vs.iter().any(|v| matches!(v, Violation::PoolImbalance { outstanding: 2 })));
+
+        // Duplicate + non-injective + invalid instances.
+        let mut broken = clean.clone();
+        let instances = broken.instances.as_mut().unwrap();
+        let first = instances[0].clone();
+        instances.push(first);
+        instances.push(vec![0, 0, 0]);
+        broken.instance_count = instances.len() as u64 - 1; // also list mismatch
+        let vs = check(&g, &p, &broken, oracle);
+        assert!(vs.iter().any(|v| matches!(v, Violation::DuplicateInstance { .. })));
+        assert!(vs.iter().any(|v| matches!(v, Violation::NonInjectiveInstance { .. })));
+        assert!(vs.iter().any(|v| matches!(v, Violation::CountListMismatch { .. })));
+
+        // Counter inconsistency.
+        let mut broken = clean.clone();
+        broken.stats.expand.results += 1;
+        let vs = check(&g, &p, &broken, oracle);
+        assert!(vs.iter().any(|v| matches!(v, Violation::StatsInconsistent { .. })));
+
+        // Violations render with enough context to act on.
+        for v in &vs {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Cached access to the centralized oracle enumerator.
+//!
+//! Chaos suites run hundreds of scenarios over a small set of distinct
+//! `(graph, pattern)` pairs; the oracle count for each pair is computed
+//! once (by `psgl_baselines::centralized`, which is deliberately
+//! independent of PSgL's expansion and automorphism-breaking machinery)
+//! and memoized process-wide.
+
+use parking_lot::Mutex;
+use psgl_graph::DataGraph;
+use psgl_pattern::Pattern;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Cache key: the generator parameters that uniquely identify a scenario
+/// graph, plus the pattern name.
+type Key = (usize, usize, u64, String);
+
+fn cache() -> &'static Mutex<HashMap<Key, u64>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, u64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The oracle instance count for `pattern` in `graph`, where the graph is
+/// identified by its generator parameters `(vertices, edges, graph_seed)`.
+/// The first call per key runs the centralized enumerator; later calls hit
+/// the cache.
+pub fn count_cached(
+    graph: &DataGraph,
+    vertices: usize,
+    edges: usize,
+    graph_seed: u64,
+    pattern: &Pattern,
+) -> u64 {
+    let key: Key = (vertices, edges, graph_seed, pattern.name().to_string());
+    if let Some(&count) = cache().lock().get(&key) {
+        return count;
+    }
+    let count = psgl_baselines::centralized::count(graph, pattern);
+    cache().lock().insert(key, count);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psgl_graph::generators::erdos_renyi_gnm;
+    use psgl_pattern::catalog;
+
+    #[test]
+    fn cache_returns_the_oracle_count() {
+        let g = erdos_renyi_gnm(40, 120, 1).unwrap();
+        let p = catalog::triangle();
+        let direct = psgl_baselines::centralized::count(&g, &p);
+        assert_eq!(count_cached(&g, 40, 120, 1, &p), direct);
+        assert_eq!(count_cached(&g, 40, 120, 1, &p), direct, "second call hits the cache");
+    }
+}

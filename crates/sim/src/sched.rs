@@ -1,0 +1,204 @@
+//! The seeded, virtual-time chaos scheduler.
+//!
+//! [`SimExecutor`] implements the engine's
+//! [`Executor`](psgl_bsp::Executor) seam with a single-threaded scheduler
+//! driven by one splitmix64 stream: each superstep it draws a fresh
+//! permutation for the prepare phase and another for the compute phase,
+//! optionally *stalls* a seeded subset of workers (their compute closures
+//! run after everyone else's — the sequential analogue of a straggler,
+//! which hands their steal queues to earlier workers when stealing is on),
+//! and advances a virtual clock one tick per closure. The executor
+//! contract (all prepares before any compute, each closure exactly once)
+//! is upheld for every seed, so the engine's results must be correct under
+//! *any* drawn schedule.
+//!
+//! Every scheduling decision is folded into a running trace hash, so two
+//! runs from the same seed can be checked for schedule identity — the
+//! replay test's strongest signal besides the stats fingerprint.
+
+use parking_lot::Mutex;
+use psgl_bsp::{Executor, WorkerTask};
+
+/// One splitmix64 step — the crate's only randomness source.
+pub(crate) fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic RNG over a splitmix64 stream.
+pub(crate) struct SimRng(pub u64);
+
+impl SimRng {
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// Uniform draw in `0..bound` (bound ≥ 1).
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Fisher–Yates permutation of `0..k`.
+    pub(crate) fn permutation(&mut self, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+}
+
+struct SimState {
+    rng: SimRng,
+    trace_hash: u64,
+    virtual_time: u64,
+}
+
+/// The deterministic chaos scheduler (see the module docs).
+pub struct SimExecutor {
+    stall_per_mille: u16,
+    state: Mutex<SimState>,
+}
+
+impl SimExecutor {
+    /// Creates a scheduler seeded with `seed`; `stall_per_mille`‰ of
+    /// workers per superstep have their compute deferred to the back of
+    /// the phase (0 = no stalls, order chaos only).
+    pub fn new(seed: u64, stall_per_mille: u16) -> Self {
+        SimExecutor {
+            stall_per_mille,
+            state: Mutex::new(SimState {
+                rng: SimRng(splitmix64(seed ^ 0x5EED_5EED_5EED_5EED)),
+                trace_hash: 0x6A09_E667_F3BC_C908,
+                virtual_time: 0,
+            }),
+        }
+    }
+
+    /// Hash of every scheduling decision taken so far; two runs with the
+    /// same seed and workload must agree exactly.
+    pub fn trace_hash(&self) -> u64 {
+        self.state.lock().trace_hash
+    }
+
+    /// Virtual clock: one tick per executed phase closure.
+    pub fn virtual_time(&self) -> u64 {
+        self.state.lock().virtual_time
+    }
+
+    fn record(&self, superstep: u32, phase: u8, worker: usize) {
+        let mut st = self.state.lock();
+        let event =
+            (u64::from(superstep) << 32) | (u64::from(phase) << 24) | (worker as u64 & 0xFF_FFFF);
+        st.trace_hash = splitmix64(st.trace_hash ^ event);
+        st.virtual_time += 1;
+    }
+}
+
+impl Executor for SimExecutor {
+    fn run_superstep(&self, superstep: u32, tasks: Vec<WorkerTask<'_>>) {
+        let k = tasks.len();
+        // Draw both phase schedules up front so the RNG stream depends
+        // only on (seed, superstep sequence, k) — not on what the closures
+        // do.
+        let (prep_order, comp_order) = {
+            let mut st = self.state.lock();
+            let prep = st.rng.permutation(k);
+            let mut comp = st.rng.permutation(k);
+            if self.stall_per_mille > 0 {
+                let stalled: Vec<bool> =
+                    (0..k).map(|_| st.rng.below(1000) < u64::from(self.stall_per_mille)).collect();
+                // Stable: stalled workers keep their relative order but run
+                // after every non-stalled worker.
+                comp.sort_by_key(|&slot| stalled[slot]);
+            }
+            (prep, comp)
+        };
+        let mut workers = Vec::with_capacity(k);
+        let mut prepares = Vec::with_capacity(k);
+        let mut computes = Vec::with_capacity(k);
+        for t in tasks {
+            workers.push(t.worker);
+            prepares.push(Some(t.prepare));
+            computes.push(Some(t.compute));
+        }
+        for &slot in &prep_order {
+            (prepares[slot].take().expect("each prepare runs once"))();
+            self.record(superstep, 0, workers[slot]);
+        }
+        for &slot in &comp_order {
+            (computes[slot].take().expect("each compute runs once"))();
+            self.record(superstep, 1, workers[slot]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn barrier_tasks<'a>(
+        k: usize,
+        prepared: &'a AtomicUsize,
+        violations: &'a AtomicUsize,
+    ) -> Vec<WorkerTask<'a>> {
+        (0..k)
+            .map(|worker| WorkerTask {
+                worker,
+                prepare: Box::new(move || {
+                    prepared.fetch_add(1, Ordering::SeqCst);
+                }),
+                compute: Box::new(move || {
+                    if prepared.load(Ordering::SeqCst) != k {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                }),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn upholds_phase_barrier_for_many_seeds() {
+        for seed in 0..50 {
+            for stall in [0, 500, 1000] {
+                let exec = SimExecutor::new(seed, stall);
+                let prepared = AtomicUsize::new(0);
+                let violations = AtomicUsize::new(0);
+                exec.run_superstep(0, barrier_tasks(6, &prepared, &violations));
+                assert_eq!(prepared.load(Ordering::SeqCst), 6);
+                assert_eq!(violations.load(Ordering::SeqCst), 0, "seed {seed} stall {stall}");
+                assert_eq!(exec.virtual_time(), 12);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_hash_is_reproducible_and_seed_sensitive() {
+        let run = |seed| {
+            let exec = SimExecutor::new(seed, 300);
+            for superstep in 0..4 {
+                let prepared = AtomicUsize::new(0);
+                let violations = AtomicUsize::new(0);
+                exec.run_superstep(superstep, barrier_tasks(5, &prepared, &violations));
+            }
+            exec.trace_hash()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = SimRng(1);
+        for k in [1usize, 2, 7, 16] {
+            let mut p = rng.permutation(k);
+            p.sort_unstable();
+            assert_eq!(p, (0..k).collect::<Vec<_>>());
+        }
+    }
+}

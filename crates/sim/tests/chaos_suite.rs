@@ -1,0 +1,50 @@
+//! The oracle conformance suite: ≥200 seeded chaos scenarios swept over
+//! the full pattern × strategy grid (3 patterns × all 5 `paper_variants`
+//! strategies × 14 seeds = 210 scenarios). Each scenario draws its own
+//! fault cocktail — scheduler reorderings, stalls, steal storms with and
+//! without budgets, chunk-pool exhaustion, partition skew, exchange
+//! shuffles — and must match the centralized oracle's instance count
+//! exactly with zero invariant violations.
+
+use psgl_core::Strategy;
+use psgl_sim::chaos::chaos_patterns;
+use psgl_sim::Scenario;
+
+const SEEDS_PER_CELL: u64 = 14;
+
+#[test]
+fn two_hundred_plus_scenarios_keep_oracle_parity_under_chaos() {
+    let patterns = chaos_patterns();
+    let mut scenarios_run = 0u64;
+    let mut failures = Vec::new();
+    let mut fault_coverage = (0u64, 0u64, 0u64, 0u64, 0u64); // steal, pool cap, skew, stall, shuffle
+    for (pi, pattern) in patterns.iter().enumerate() {
+        for (si, (name, strategy)) in Strategy::paper_variants().into_iter().enumerate() {
+            for i in 0..SEEDS_PER_CELL {
+                // Distinct seed per grid cell and iteration.
+                let seed = 1 + i + SEEDS_PER_CELL * (si as u64 + 8 * pi as u64);
+                let scenario = Scenario::from_seed_with(seed, pattern.clone(), name, strategy);
+                fault_coverage.0 += u64::from(scenario.steal);
+                fault_coverage.1 += u64::from(scenario.max_live_chunks.is_some());
+                fault_coverage.2 += u64::from(scenario.skew_per_mille > 0);
+                fault_coverage.3 += u64::from(scenario.stall_per_mille > 0);
+                fault_coverage.4 += u64::from(scenario.exchange_shuffle_seed.is_some());
+                scenarios_run += 1;
+                if let Err(failure) = scenario.run() {
+                    failures.push(failure.to_string());
+                }
+            }
+        }
+    }
+    assert!(scenarios_run >= 200, "suite must cover >= 200 scenarios, ran {scenarios_run}");
+    // Every fault class must actually have been exercised by the sweep.
+    let (steal, pool, skew, stall, shuffle) = fault_coverage;
+    assert!(steal > 0 && pool > 0 && skew > 0 && stall > 0 && shuffle > 0,
+        "fault menu under-covered: steal {steal}, pool {pool}, skew {skew}, stall {stall}, shuffle {shuffle}");
+    assert!(
+        failures.is_empty(),
+        "{} of {scenarios_run} chaos scenarios failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -20,7 +20,10 @@
 //!   multiway join, SGIA-MR, one-hop index engine, centralized oracle),
 //! - [`service`] — a long-running query service (`psgl serve`): graph
 //!   catalog, plan/result caches, admission control, JSON-lines TCP
-//!   protocol.
+//!   protocol,
+//! - [`sim`] — deterministic simulation & chaos harness: seeded
+//!   virtual-time scheduler for the BSP engine, fault injection, invariant
+//!   checkers, and oracle conformance sweeps.
 //!
 //! ## Quickstart
 //!
@@ -43,3 +46,4 @@ pub use psgl_graph as graph;
 pub use psgl_mapreduce as mapreduce;
 pub use psgl_pattern as pattern;
 pub use psgl_service as service;
+pub use psgl_sim as sim;
