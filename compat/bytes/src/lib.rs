@@ -40,6 +40,11 @@ impl From<Vec<u8>> for Bytes {
 pub struct BytesMut(Vec<u8>);
 
 impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
     /// Creates an empty buffer with `cap` reserved bytes.
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut(Vec::with_capacity(cap))
@@ -87,6 +92,21 @@ pub trait BufMut {
     /// Appends a single byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u128`.
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian IEEE-754 `f64` (bit pattern).
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
     }
 }
 

@@ -12,6 +12,7 @@
 //! and the simulation harness drive the same per-worker closures under a
 //! deterministic, adversarial schedule.
 
+use crate::cancel::{CancelReason, CancelToken};
 use crate::chunk::{push_chunked, Chunk, ChunkPool, StealQueue, DEFAULT_CHUNK_CAPACITY};
 use crate::exec::{Executor, ThreadExecutor, WorkerTask};
 use crate::metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
@@ -251,6 +252,103 @@ pub struct BspResult<S, A = ()> {
     pub metrics: EngineMetrics,
 }
 
+/// A captured frontier plus everything needed to restart a run at a
+/// superstep boundary with bit-identical results: the undelivered
+/// messages (per destination worker, in exchange order), the worker
+/// states, the merged aggregate, and the metrics accumulated so far.
+///
+/// A `ResumePoint` is produced by [`CancelledRun::into_resume_point`]
+/// after a soft cancel and consumed by [`run_controlled`] via
+/// [`RunControl::resume`]. Serialization (for resume tokens that outlive
+/// the process) lives one layer up, where the message type is concrete.
+pub struct ResumePoint<M, S, A> {
+    /// Superstep at which the resumed run starts (the one that never ran).
+    pub superstep: u32,
+    /// Undelivered messages for each destination worker, in the exact
+    /// order the exchange delivered them.
+    pub frontier: Vec<Vec<(VertexId, M)>>,
+    /// Worker states as of the capture barrier, indexed by worker id.
+    pub worker_states: Vec<S>,
+    /// The merged aggregate of the last completed superstep.
+    pub aggregate: A,
+    /// Per-superstep metrics of the completed prefix; the resumed run
+    /// appends to these so the final curves cover the whole run.
+    pub prior_supersteps: Vec<SuperstepMetrics>,
+    /// Pool-exhaustion events of the prefix, carried into the resumed
+    /// run's [`EngineMetrics::pool_exhausted`].
+    pub prior_pool_exhausted: u64,
+}
+
+/// A run ended early by its [`CancelToken`] (or by the message budget with
+/// checkpointing enabled).
+pub struct CancelledRun<M, S, A> {
+    /// Why the run stopped.
+    pub reason: CancelReason,
+    /// For a soft cancel: the superstep the run would resume at. For a
+    /// hard cancel: the superstep that was aborted mid-flight.
+    pub superstep: u32,
+    /// The undelivered frontier, present only for soft cancels with
+    /// [`RunControl::checkpoint`] enabled (hard cancels abort workers
+    /// mid-superstep, so no consistent frontier exists).
+    pub frontier: Option<Vec<Vec<(VertexId, M)>>>,
+    /// Worker states at cancellation — partial results (already-found
+    /// instances, counters) remain readable even without a checkpoint.
+    pub worker_states: Vec<S>,
+    /// The merged aggregate of the last completed superstep.
+    pub aggregate: A,
+    /// Metrics for the completed prefix; `chunks_outstanding` is zero —
+    /// the cancelled path returns every pooled chunk.
+    pub metrics: EngineMetrics,
+}
+
+impl<M, S, A> CancelledRun<M, S, A> {
+    /// Converts a checkpointed cancel into the [`ResumePoint`] that
+    /// restarts it; `None` when no frontier was captured (hard cancel).
+    pub fn into_resume_point(self) -> Option<ResumePoint<M, S, A>> {
+        let frontier = self.frontier?;
+        Some(ResumePoint {
+            superstep: self.superstep,
+            frontier,
+            worker_states: self.worker_states,
+            aggregate: self.aggregate,
+            prior_supersteps: self.metrics.supersteps,
+            prior_pool_exhausted: self.metrics.pool_exhausted,
+        })
+    }
+}
+
+/// Outcome of a controlled run: completion, or a (possibly resumable)
+/// cancellation. Engine errors (panic, budget without checkpoint,
+/// superstep limit) still surface as [`BspError`].
+pub enum RunOutcome<M, S, A> {
+    /// The run delivered every message and halted normally.
+    Complete(BspResult<S, A>),
+    /// The run was cancelled; see [`CancelledRun`].
+    Cancelled(CancelledRun<M, S, A>),
+}
+
+/// Control inputs for [`run_controlled`]: cancellation, checkpoint
+/// capture, and resume. [`RunControl::default`] reproduces the plain
+/// [`run_with_executor`] behavior exactly.
+pub struct RunControl<'c, M, S, A> {
+    /// Token polled at every superstep barrier and every few message
+    /// batches inside `compute`.
+    pub cancel: Option<&'c CancelToken>,
+    /// Capture the live frontier when a soft cancel fires at a barrier
+    /// (wall-clock deadline, superstep deadline, or message budget),
+    /// enabling exact resume. With this set, a wall-clock deadline lets
+    /// the in-flight superstep finish instead of aborting it.
+    pub checkpoint: bool,
+    /// Restart from a captured frontier instead of superstep 0.
+    pub resume: Option<ResumePoint<M, S, A>>,
+}
+
+impl<M, S, A> Default for RunControl<'_, M, S, A> {
+    fn default() -> Self {
+        RunControl { cancel: None, checkpoint: false, resume: None }
+    }
+}
+
 /// Per-worker scratch retained across supersteps so the hot loop reuses
 /// buffers instead of reallocating them.
 struct WorkerScratch<M> {
@@ -300,53 +398,132 @@ pub fn run_with_executor<P: VertexProgram>(
     config: &BspConfig,
     executor: &dyn Executor,
 ) -> Result<BspResult<P::WorkerState, P::Aggregate>, BspError> {
+    let control = RunControl::default();
+    match run_controlled(num_vertices, partitioner, program, config, executor, control)? {
+        RunOutcome::Complete(res) => Ok(res),
+        // Without a token or checkpointing, no cancellation trigger exists.
+        RunOutcome::Cancelled(_) => unreachable!("no cancel token was supplied"),
+    }
+}
+
+/// What [`run_controlled`] yields: a typed outcome (complete or
+/// cancelled) over the program's associated types, or an engine error.
+pub type ControlledResult<P> = Result<
+    RunOutcome<
+        <P as VertexProgram>::Message,
+        <P as VertexProgram>::WorkerState,
+        <P as VertexProgram>::Aggregate,
+    >,
+    BspError,
+>;
+
+/// [`run_with_executor`] plus [`RunControl`]: cooperative cancellation,
+/// superstep-boundary checkpoint capture, and resume.
+///
+/// The token is polled at every superstep barrier and every few message
+/// batches inside `compute`. A *hard* cancel (explicit request,
+/// disconnect, or a wall-clock deadline without checkpointing) aborts
+/// workers mid-superstep and reports [`CancelledRun`] with no frontier; a
+/// *soft* cancel (deadline with checkpointing, superstep deadline, or
+/// message budget with checkpointing) acts only at a barrier, where the
+/// complete undelivered frontier is captured for exact resume. Every
+/// terminal path — completion, cancellation, or error — returns all
+/// pooled chunks first; the get/put balance assert covers them all.
+pub fn run_controlled<P: VertexProgram>(
+    num_vertices: usize,
+    partitioner: &HashPartitioner,
+    program: &P,
+    config: &BspConfig,
+    executor: &dyn Executor,
+    control: RunControl<'_, P::Message, P::WorkerState, P::Aggregate>,
+) -> ControlledResult<P> {
     let k = partitioner.workers();
     let start = Instant::now();
-    let mut states: Vec<P::WorkerState> = (0..k).map(|w| program.create_worker_state(w)).collect();
+    let pool: ChunkPool<P::Message> =
+        ChunkPool::with_limit(config.chunk_capacity, config.max_live_chunks);
+    let mut metrics = EngineMetrics::default();
+    let RunControl { cancel, checkpoint, resume } = control;
+    let prior_pool_exhausted: u64;
+    let (mut states, mut inboxes, mut superstep, mut merged_aggregate) = match resume {
+        Some(rp) => {
+            assert_eq!(
+                rp.worker_states.len(),
+                k,
+                "resume point was captured with {} workers",
+                rp.worker_states.len()
+            );
+            assert_eq!(rp.frontier.len(), k, "resume frontier must cover every worker");
+            metrics.supersteps = rp.prior_supersteps;
+            prior_pool_exhausted = rp.prior_pool_exhausted;
+            // Re-chunk the flattened frontier in delivery order; unit
+            // regrouping flattens and stably re-sorts anyway, so chunk
+            // boundaries need not match the original run's.
+            let inboxes: Vec<Vec<Chunk<P::Message>>> =
+                rp.frontier.into_iter().map(|tuples| chunk_tuples(&pool, tuples)).collect();
+            (rp.worker_states, inboxes, rp.superstep, rp.aggregate)
+        }
+        None => {
+            prior_pool_exhausted = 0;
+            let states: Vec<P::WorkerState> =
+                (0..k).map(|w| program.create_worker_state(w)).collect();
+            (states, (0..k).map(|_| Vec::new()).collect(), 0, P::Aggregate::default())
+        }
+    };
     // Owned vertex lists for superstep 0.
     let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); k];
     for v in 0..num_vertices as VertexId {
         owned[partitioner.owner(v)].push(v);
     }
-    let pool: ChunkPool<P::Message> =
-        ChunkPool::with_limit(config.chunk_capacity, config.max_live_chunks);
-    let mut inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
     let mut scratches: Vec<WorkerScratch<P::Message>> =
         (0..k).map(|_| WorkerScratch::new()).collect();
-    let mut metrics = EngineMetrics::default();
-    let mut superstep: u32 = 0;
-    let mut merged_aggregate = P::Aggregate::default();
     loop {
         if superstep >= config.max_supersteps {
+            release_all(&pool, inboxes);
+            debug_assert_balanced(&pool);
             return Err(BspError::SuperstepLimitExceeded(superstep));
         }
         let queues: Vec<StealQueue<P::Message>> = (0..k).map(|_| StealQueue::new()).collect();
-        let mut worker_results: Vec<Option<WorkerOutput<P>>> = (0..k).map(|_| None).collect();
+        let mut worker_results: Vec<Option<(WorkerSuperstepMetrics, P::Aggregate)>> =
+            (0..k).map(|_| None).collect();
+        // Every chunk-holding buffer a worker touches lives in an
+        // engine-owned slot rather than a closure local: the per-worker
+        // outboxes, the unit being assembled during prepare, and the unit
+        // being processed during compute. An unwinding worker therefore
+        // cannot strand acquired chunks — whatever it held stays reachable
+        // and `abort_cleanup` returns it to the pool.
+        let mut outboxes: Vec<WorkerOutbox<P::Message>> =
+            (0..k).map(|_| ((0..k).map(|_| Vec::new()).collect(), Vec::new())).collect();
+        let mut prep_units: Vec<Option<Chunk<P::Message>>> = (0..k).map(|_| None).collect();
+        let mut comp_units: Vec<Option<Chunk<P::Message>>> = (0..k).map(|_| None).collect();
         // Panic flags per worker: set inside the task closures (which never
         // unwind, per the executor contract), scanned in worker order after
         // the superstep so the first panicking worker is reported.
         let prep_panics: Vec<AtomicBool> = (0..k).map(|_| AtomicBool::new(false)).collect();
         let comp_panics: Vec<AtomicBool> = (0..k).map(|_| AtomicBool::new(false)).collect();
         let prev_aggregate = &merged_aggregate;
+        let poll = CancelPoll { token: cancel, hard_deadline: !checkpoint };
         let mut tasks: Vec<WorkerTask<'_>> = Vec::with_capacity(k);
-        for ((((worker, state), inbox), scratch), slot) in states
-            .iter_mut()
-            .enumerate()
-            .zip(inboxes.iter_mut())
-            .zip(scratches.iter_mut())
-            .zip(worker_results.iter_mut())
+        for (((((((worker, state), inbox), scratch), slot), outbox), prep_unit), comp_unit) in
+            states
+                .iter_mut()
+                .enumerate()
+                .zip(inboxes.iter_mut())
+                .zip(scratches.iter_mut())
+                .zip(worker_results.iter_mut())
+                .zip(outboxes.iter_mut())
+                .zip(prep_units.iter_mut())
+                .zip(comp_units.iter_mut())
         {
             let owned = &owned[worker];
             let (queues, pool) = (&queues, &pool);
             let (prep_flag, comp_flag) = (&prep_panics[worker], &comp_panics[worker]);
             let WorkerScratch { sort_buf, batch } = scratch;
-            let inbox = std::mem::take(inbox);
             // Phase 1: regroup the inbox into units. Panics are trapped
             // here (before the executor's barrier) so a crashing worker
             // cannot strand the others.
             let prepare = Box::new(move || {
                 let prep = catch_unwind(AssertUnwindSafe(|| {
-                    publish_units(pool, &queues[worker], sort_buf, inbox)
+                    publish_units(pool, &queues[worker], sort_buf, inbox, prep_unit)
                 }));
                 if prep.is_err() {
                     prep_flag.store(true, Ordering::SeqCst);
@@ -374,6 +551,9 @@ pub fn run_with_executor<P: VertexProgram>(
                         config.steal_budget,
                         batch,
                         prev_aggregate,
+                        outbox,
+                        comp_unit,
+                        poll,
                     )
                 }));
                 match result {
@@ -388,8 +568,40 @@ pub fn run_with_executor<P: VertexProgram>(
             if prep_panics[worker].load(Ordering::SeqCst)
                 || comp_panics[worker].load(Ordering::SeqCst)
             {
+                abort_cleanup(
+                    &pool,
+                    &queues,
+                    &mut prep_units,
+                    &mut comp_units,
+                    &mut outboxes,
+                    &mut inboxes,
+                );
+                debug_assert_balanced(&pool);
                 return Err(BspError::WorkerPanicked { worker, superstep });
             }
+        }
+        // A hard cancel may have aborted workers mid-superstep: the
+        // superstep's partial output is discarded and every chunk —
+        // queued units, in-flight units, outboxes — goes back to the pool
+        // before the outcome is reported.
+        if let Some(reason) = hard_cancel_reason(cancel, checkpoint) {
+            abort_cleanup(
+                &pool,
+                &queues,
+                &mut prep_units,
+                &mut comp_units,
+                &mut outboxes,
+                &mut inboxes,
+            );
+            finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+            return Ok(RunOutcome::Cancelled(CancelledRun {
+                reason,
+                superstep,
+                frontier: None,
+                worker_states: states,
+                aggregate: merged_aggregate,
+                metrics,
+            }));
         }
         // Collect metrics, merge aggregates, and rebuild inboxes. Chunks
         // move by pointer; each destination receives sources in worker
@@ -400,13 +612,14 @@ pub fn run_with_executor<P: VertexProgram>(
         // order with a seeded per-destination permutation.
         let mut step = SuperstepMetrics { workers: Vec::with_capacity(k) };
         let mut next_aggregate = P::Aggregate::default();
-        let mut outs: Vec<WorkerOutbox<P::Message>> = Vec::with_capacity(k);
-        for (src, result) in worker_results.into_iter().enumerate() {
-            let (remote, local, wm, agg) = result.expect("worker result present when no panic");
+        for result in worker_results {
+            let (wm, agg) = result.expect("worker result present when no panic");
             step.workers.push(wm);
             program.merge_aggregates(&mut next_aggregate, agg);
+        }
+        let mut outs = outboxes;
+        for (src, (remote, _)) in outs.iter().enumerate() {
             debug_assert!(remote[src].is_empty(), "self-sends take the local path");
-            outs.push((remote, local));
         }
         let mut new_inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
         for (dest, new_inbox) in new_inboxes.iter_mut().enumerate() {
@@ -424,7 +637,51 @@ pub fn run_with_executor<P: VertexProgram>(
         metrics.supersteps.push(step);
         if let Some(budget) = config.message_budget {
             if in_flight > budget {
+                if checkpoint {
+                    // Budget expiry with checkpointing: the frontier that
+                    // broke the budget is exactly what a resumed run (with
+                    // a higher budget) needs delivered.
+                    let frontier = flatten_frontier(&pool, new_inboxes);
+                    finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+                    return Ok(RunOutcome::Cancelled(CancelledRun {
+                        reason: CancelReason::Budget,
+                        superstep: superstep + 1,
+                        frontier: Some(frontier),
+                        worker_states: states,
+                        aggregate: merged_aggregate,
+                        metrics,
+                    }));
+                }
+                release_all(&pool, new_inboxes);
+                debug_assert_balanced(&pool);
                 return Err(BspError::MessageBudgetExceeded { superstep, in_flight, budget });
+            }
+        }
+        // Soft cancel: the deterministic superstep deadline, or a
+        // wall-clock deadline with checkpointing. Acts only between
+        // supersteps, on a complete frontier; a run that just went idle
+        // completes normally instead.
+        if in_flight > 0 {
+            if let Some(token) = cancel {
+                let due = token.superstep_deadline().is_some_and(|sd| superstep + 1 >= sd)
+                    || (checkpoint && token.deadline_passed());
+                if due {
+                    let frontier = if checkpoint {
+                        Some(flatten_frontier(&pool, new_inboxes))
+                    } else {
+                        release_all(&pool, new_inboxes);
+                        None
+                    };
+                    finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+                    return Ok(RunOutcome::Cancelled(CancelledRun {
+                        reason: CancelReason::Deadline,
+                        superstep: superstep + 1,
+                        frontier,
+                        worker_states: states,
+                        aggregate: merged_aggregate,
+                        metrics,
+                    }));
+                }
             }
         }
         if in_flight == 0 {
@@ -433,20 +690,150 @@ pub fn run_with_executor<P: VertexProgram>(
         inboxes = new_inboxes;
         superstep += 1;
     }
+    finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+    Ok(RunOutcome::Complete(BspResult {
+        worker_states: states,
+        final_aggregate: merged_aggregate,
+        metrics,
+    }))
+}
+
+/// Worker-side cancellation poll: cheap enough to run every unit and
+/// every few message batches. Hard triggers only — soft cancels act at
+/// the barrier where a consistent frontier exists.
+#[derive(Clone, Copy)]
+struct CancelPoll<'a> {
+    token: Option<&'a CancelToken>,
+    /// Whether a passed wall-clock deadline aborts mid-superstep (no
+    /// checkpointing) or waits for the barrier (checkpointing).
+    hard_deadline: bool,
+}
+
+impl CancelPoll<'_> {
+    #[inline]
+    fn should_abort(&self) -> bool {
+        match self.token {
+            None => false,
+            Some(t) => t.is_cancelled() || (self.hard_deadline && t.deadline_passed()),
+        }
+    }
+}
+
+/// The hard-cancel triggers checked at the barrier: an explicit cancel
+/// (any reason), or a passed wall-clock deadline without checkpointing.
+fn hard_cancel_reason(cancel: Option<&CancelToken>, checkpoint: bool) -> Option<CancelReason> {
+    let token = cancel?;
+    if token.is_cancelled() {
+        return Some(token.reason().unwrap_or(CancelReason::Explicit));
+    }
+    if !checkpoint && token.deadline_passed() {
+        return Some(CancelReason::Deadline);
+    }
+    None
+}
+
+/// Drains every chunk still held anywhere in the superstep's machinery
+/// back to the pool: steal queues, in-flight unit slots, outboxes, and
+/// any inbox chunks a panicking prepare never consumed.
+fn abort_cleanup<M>(
+    pool: &ChunkPool<M>,
+    queues: &[StealQueue<M>],
+    prep_units: &mut [Option<Chunk<M>>],
+    comp_units: &mut [Option<Chunk<M>>],
+    outboxes: &mut [WorkerOutbox<M>],
+    inboxes: &mut [Vec<Chunk<M>>],
+) {
+    for q in queues {
+        while let Some(unit) = q.pop_own() {
+            pool.release(unit);
+        }
+    }
+    for slot in prep_units.iter_mut().chain(comp_units.iter_mut()) {
+        if let Some(unit) = slot.take() {
+            pool.release(unit);
+        }
+    }
+    for (remote, local) in outboxes.iter_mut() {
+        for dest in remote.iter_mut() {
+            for c in dest.drain(..) {
+                pool.release(c);
+            }
+        }
+        for c in local.drain(..) {
+            pool.release(c);
+        }
+    }
+    for inbox in inboxes.iter_mut() {
+        // Consumed entries are zero-capacity placeholders; `release`
+        // ignores those.
+        for c in inbox.drain(..) {
+            pool.release(c);
+        }
+    }
+}
+
+/// Releases every chunk of a set of inboxes (abort paths).
+fn release_all<M>(pool: &ChunkPool<M>, boxes: Vec<Vec<Chunk<M>>>) {
+    for inbox in boxes {
+        for c in inbox {
+            pool.release(c);
+        }
+    }
+}
+
+/// Flattens freshly-exchanged inboxes into per-destination tuple runs
+/// (delivery order preserved), releasing the chunks — the checkpointable
+/// frontier.
+fn flatten_frontier<M>(pool: &ChunkPool<M>, boxes: Vec<Vec<Chunk<M>>>) -> Vec<Vec<(VertexId, M)>> {
+    boxes
+        .into_iter()
+        .map(|chunks| {
+            let mut tuples = Vec::new();
+            for mut c in chunks {
+                tuples.append(&mut c);
+                pool.release(c);
+            }
+            tuples
+        })
+        .collect()
+}
+
+/// Rebuilds inbox chunks from a flattened frontier on resume.
+fn chunk_tuples<M>(pool: &ChunkPool<M>, tuples: Vec<(VertexId, M)>) -> Vec<Chunk<M>> {
+    let mut chunks = Vec::new();
+    for (v, m) in tuples {
+        push_chunked(pool, &mut chunks, v, m);
+    }
+    chunks
+}
+
+/// Finalizes run-level metrics and asserts the pool's get/put balance —
+/// called on *every* outcome that reports metrics (complete or
+/// cancelled).
+fn finalize_metrics<M>(
+    metrics: &mut EngineMetrics,
+    pool: &ChunkPool<M>,
+    prior_pool_exhausted: u64,
+    start: Instant,
+) {
     metrics.chunk_allocations = pool.fresh_allocations();
     metrics.chunk_reuses = pool.reuses();
-    metrics.pool_exhausted = pool.exhausted_events();
+    metrics.pool_exhausted = prior_pool_exhausted + pool.exhausted_events();
     metrics.chunks_outstanding = pool.outstanding();
-    // Pool get/put balance: every chunk acquired over the run must have
-    // been released by a clean shutdown (error paths legitimately leave
-    // in-flight chunks behind and are not asserted).
+    debug_assert_balanced(pool);
+    metrics.wall_time = start.elapsed();
+}
+
+/// Pool get/put balance: every chunk acquired over the run must have been
+/// released by the time the engine reports *any* terminal outcome —
+/// completion, cancellation, worker panic, budget abort, or the superstep
+/// limit.
+fn debug_assert_balanced<M>(pool: &ChunkPool<M>) {
     debug_assert_eq!(
         pool.outstanding(),
         0,
         "chunk pool get/put imbalance at engine shutdown (leak)"
     );
-    metrics.wall_time = start.elapsed();
-    Ok(BspResult { worker_states: states, final_aggregate: merged_aggregate, metrics })
 }
 
 /// The order in which destination `dest` consumes source workers during
@@ -476,16 +863,6 @@ fn splitmix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Per-worker superstep output: remote outbox chunks (indexed by
-/// destination worker), locally-delivered chunks, metrics, and the
-/// worker's aggregate contribution.
-type WorkerOutput<P> = (
-    Vec<Vec<Chunk<<P as VertexProgram>::Message>>>,
-    Vec<Chunk<<P as VertexProgram>::Message>>,
-    WorkerSuperstepMetrics,
-    <P as VertexProgram>::Aggregate,
-);
-
 /// A worker's sent messages awaiting exchange: per-destination remote
 /// outboxes plus the locally-delivered fast-path chunks.
 type WorkerOutbox<M> = (Vec<Vec<Chunk<M>>>, Vec<Chunk<M>>);
@@ -494,34 +871,46 @@ type WorkerOutbox<M> = (Vec<Vec<Chunk<M>>>, Vec<Chunk<M>>);
 /// sorts by destination vertex, splits the run into units at vertex
 /// boundaries (a unit may exceed the nominal chunk capacity rather than
 /// split one vertex's batch), and publishes them to `queue`.
+///
+/// The inbox is consumed in place (entries become zero-capacity
+/// placeholders) and the unit under assembly lives in the engine-owned
+/// `unit_slot`, so a panic anywhere in here leaves every still-acquired
+/// chunk reachable for [`abort_cleanup`].
 fn publish_units<M>(
     pool: &ChunkPool<M>,
     queue: &StealQueue<M>,
     sort_buf: &mut Vec<(VertexId, M)>,
-    inbox: Vec<Chunk<M>>,
+    inbox: &mut Vec<Chunk<M>>,
+    unit_slot: &mut Option<Chunk<M>>,
 ) {
     sort_buf.clear();
-    for mut c in inbox {
+    for slot in inbox.iter_mut() {
+        let mut c = std::mem::take(slot);
         sort_buf.append(&mut c);
         pool.release(c);
     }
+    inbox.clear();
     if sort_buf.is_empty() {
         return;
     }
     sort_buf.sort_by_key(|(v, _)| *v);
     let cap = pool.capacity();
-    let mut unit = pool.acquire();
+    *unit_slot = Some(pool.acquire());
     for (v, m) in sort_buf.drain(..) {
+        let unit = unit_slot.as_mut().expect("unit slot filled above");
         if unit.len() >= cap && unit.last().is_some_and(|(u, _)| *u != v) {
-            queue.push(std::mem::replace(&mut unit, pool.acquire()));
+            let full = std::mem::replace(unit, pool.acquire());
+            queue.push(full);
         }
         unit.push((v, m));
     }
-    queue.push(unit);
+    queue.push(unit_slot.take().expect("unit slot filled above"));
 }
 
-/// Phase 2: executes one worker for one superstep; returns its outboxes
-/// and metrics.
+/// Phase 2: executes one worker for one superstep, filling the
+/// engine-owned `outbox` in place; returns its metrics and aggregate
+/// contribution. The unit currently being processed sits in the
+/// engine-owned `cur` slot so a panicking `compute` cannot strand it.
 #[allow(clippy::too_many_arguments)]
 fn run_worker<P: VertexProgram>(
     program: &P,
@@ -537,18 +926,20 @@ fn run_worker<P: VertexProgram>(
     steal_budget: Option<u64>,
     batch: &mut Vec<P::Message>,
     prev_aggregate: &P::Aggregate,
-) -> WorkerOutput<P> {
+    outbox: &mut WorkerOutbox<P::Message>,
+    cur: &mut Option<Chunk<P::Message>>,
+    poll: CancelPoll<'_>,
+) -> (WorkerSuperstepMetrics, P::Aggregate) {
     let started = Instant::now();
-    let mut remote: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
-    let mut local: Vec<Chunk<P::Message>> = Vec::new();
+    let (remote, local) = outbox;
     let mut local_aggregate = P::Aggregate::default();
     let mut ctx = Context {
         superstep,
         worker,
         partitioner,
         pool,
-        remote: &mut remote,
-        local: &mut local,
+        remote: &mut remote[..],
+        local,
         cost: 0,
         messages_out: 0,
         local_delivered: 0,
@@ -559,17 +950,25 @@ fn run_worker<P: VertexProgram>(
     let mut messages_in = 0u64;
     let mut chunks_stolen = 0u64;
     if superstep == 0 {
-        for &v in owned {
+        for (i, &v) in owned.iter().enumerate() {
+            if i & 31 == 0 && poll.should_abort() {
+                break;
+            }
             active_vertices += 1;
             batch.clear();
             program.compute(&mut ctx, state, v, batch);
         }
     } else {
-        while let Some(mut unit) = queues[worker].pop_own() {
-            let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, &mut unit);
+        loop {
+            if poll.should_abort() {
+                break;
+            }
+            let Some(unit) = queues[worker].pop_own() else { break };
+            let slot = cur.insert(unit);
+            let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, slot, poll);
             active_vertices += a;
             messages_in += m;
-            pool.release(unit);
+            pool.release(cur.take().expect("current unit slot"));
         }
         if steal {
             // All units were published before the barrier, so one sweep
@@ -579,13 +978,17 @@ fn run_worker<P: VertexProgram>(
             'sweep: for off in 1..k {
                 let victim = (worker + off) % k;
                 while budget > 0 {
-                    let Some(mut unit) = queues[victim].pop_steal() else { break };
+                    if poll.should_abort() {
+                        break 'sweep;
+                    }
+                    let Some(unit) = queues[victim].pop_steal() else { break };
                     budget -= 1;
                     chunks_stolen += 1;
-                    let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, &mut unit);
+                    let slot = cur.insert(unit);
+                    let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, slot, poll);
                     active_vertices += a;
                     messages_in += m;
-                    pool.release(unit);
+                    pool.release(cur.take().expect("current unit slot"));
                 }
                 if budget == 0 {
                     break 'sweep;
@@ -604,23 +1007,27 @@ fn run_worker<P: VertexProgram>(
         cost: ctx.cost,
         elapsed: started.elapsed(),
     };
-    (remote, local, wm, local_aggregate)
+    (wm, local_aggregate)
 }
 
 /// Runs `compute` on every vertex in `unit`, batching each vertex's
 /// messages into the reused `batch` buffer. Returns `(vertices, messages)`
-/// processed.
+/// processed. Polls for a hard cancel every 32 vertex batches.
 fn process_unit<P: VertexProgram>(
     program: &P,
     ctx: &mut Context<'_, P::Message, P::Aggregate>,
     state: &mut P::WorkerState,
     batch: &mut Vec<P::Message>,
     unit: &mut Chunk<P::Message>,
+    poll: CancelPoll<'_>,
 ) -> (u64, u64) {
     let messages = unit.len() as u64;
     let mut active = 0u64;
     let mut it = unit.drain(..).peekable();
     while let Some((v, first)) = it.next() {
+        if active & 31 == 31 && poll.should_abort() {
+            break;
+        }
         batch.clear();
         batch.push(first);
         while it.peek().is_some_and(|(u, _)| *u == v) {
@@ -1038,6 +1445,200 @@ mod tests {
         assert!(e.to_string().contains("out of memory"));
         let e = BspError::WorkerPanicked { worker: 3, superstep: 1 };
         assert!(e.to_string().contains("worker 3"));
+    }
+
+    fn controlled<'c, P: VertexProgram>(
+        n: usize,
+        p: &HashPartitioner,
+        prog: &P,
+        config: &BspConfig,
+        control: RunControl<'c, P::Message, P::WorkerState, P::Aggregate>,
+    ) -> RunOutcome<P::Message, P::WorkerState, P::Aggregate> {
+        run_controlled(n, p, prog, config, &ThreadExecutor, control).unwrap()
+    }
+
+    #[test]
+    fn explicit_cancel_aborts_with_a_balanced_pool() {
+        let g = erdos_renyi_gnm(150, 250, 5).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Explicit);
+        let control = RunControl { cancel: Some(&token), checkpoint: false, resume: None };
+        match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
+            RunOutcome::Cancelled(c) => {
+                assert_eq!(c.reason, CancelReason::Explicit);
+                assert_eq!(c.superstep, 0);
+                assert!(c.frontier.is_none(), "hard cancels capture no frontier");
+                assert_eq!(c.metrics.chunks_outstanding, 0);
+                assert_eq!(c.worker_states.len(), 3);
+            }
+            RunOutcome::Complete(_) => panic!("expected cancellation"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_without_checkpoint_cancels_hard() {
+        let edges: Vec<_> = (0..39u32).map(|v| (v, v + 1)).collect();
+        let g = DataGraph::from_edges(40, &edges).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let token = CancelToken::with_timeout(std::time::Duration::from_secs(0));
+        let control = RunControl { cancel: Some(&token), checkpoint: false, resume: None };
+        match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
+            RunOutcome::Cancelled(c) => {
+                assert_eq!(c.reason, CancelReason::Deadline);
+                assert!(c.frontier.is_none());
+                assert_eq!(c.metrics.chunks_outstanding, 0);
+            }
+            RunOutcome::Complete(_) => panic!("expected deadline cancellation"),
+        }
+    }
+
+    #[test]
+    fn superstep_deadline_checkpoint_and_resume_match_uninterrupted() {
+        // A long path needs ~n supersteps, so superstep 3 cuts mid-run.
+        let edges: Vec<_> = (0..39u32).map(|v| (v, v + 1)).collect();
+        let g = DataGraph::from_edges(40, &edges).unwrap();
+        let base = run_min_label(&g, 3);
+        let full = {
+            let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+            let p = HashPartitioner::new(3);
+            run(g.num_vertices(), &p, &prog, &BspConfig::default()).unwrap().metrics
+        };
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let token = CancelToken::with_superstep_deadline(3);
+        let control = RunControl { cancel: Some(&token), checkpoint: true, resume: None };
+        let cancelled =
+            match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
+                RunOutcome::Cancelled(c) => c,
+                RunOutcome::Complete(_) => panic!("run should hit the superstep deadline"),
+            };
+        assert_eq!(cancelled.reason, CancelReason::Deadline);
+        assert_eq!(cancelled.superstep, 3, "resume superstep equals the deadline");
+        assert_eq!(cancelled.metrics.superstep_count(), 3);
+        assert_eq!(cancelled.metrics.chunks_outstanding, 0);
+        let frontier_msgs: u64 =
+            cancelled.frontier.as_ref().unwrap().iter().map(|t| t.len() as u64).sum();
+        assert!(frontier_msgs > 0, "mid-run frontier must be non-empty");
+        let resume = cancelled.into_resume_point().expect("checkpointed cancel resumes");
+        let control = RunControl { cancel: None, checkpoint: false, resume: Some(resume) };
+        let res = match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
+            RunOutcome::Complete(r) => r,
+            RunOutcome::Cancelled(_) => panic!("resumed run should complete"),
+        };
+        // Bit-identical final labels, and metrics curves that stitch across
+        // the seam exactly as the uninterrupted run's.
+        assert_eq!(prog.labels.into_inner(), base);
+        assert_eq!(res.metrics.superstep_count(), full.superstep_count());
+        for s in 0..full.superstep_count() {
+            assert_eq!(
+                res.metrics.supersteps[s].messages_out(),
+                full.supersteps[s].messages_out(),
+                "superstep {s} message curve"
+            );
+        }
+        assert_eq!(res.metrics.total_messages(), full.total_messages());
+        assert_eq!(res.metrics.total_cost(), full.total_cost());
+        assert_eq!(res.metrics.chunks_outstanding, 0);
+    }
+
+    #[test]
+    fn budget_with_checkpoint_returns_a_resumable_cancel() {
+        let prog = Flood { fanout: 10, n: 100 };
+        let p = HashPartitioner::new(4);
+        let config = BspConfig { message_budget: Some(500), ..Default::default() };
+        let control = RunControl { cancel: None, checkpoint: true, resume: None };
+        let cancelled = match controlled(100, &p, &prog, &config, control) {
+            RunOutcome::Cancelled(c) => c,
+            RunOutcome::Complete(_) => panic!("budget must fire"),
+        };
+        assert_eq!(cancelled.reason, CancelReason::Budget);
+        assert_eq!(cancelled.superstep, 1);
+        let frontier_msgs: u64 =
+            cancelled.frontier.as_ref().unwrap().iter().map(|t| t.len() as u64).sum();
+        assert_eq!(frontier_msgs, 1000, "the whole over-budget frontier is captured");
+        // Resume under a budget that fits: every message delivered once.
+        let resume = cancelled.into_resume_point().unwrap();
+        let config = BspConfig { message_budget: Some(2000), ..Default::default() };
+        let control = RunControl { cancel: None, checkpoint: false, resume: Some(resume) };
+        match controlled(100, &p, &prog, &config, control) {
+            RunOutcome::Complete(r) => {
+                assert_eq!(r.worker_states.iter().sum::<u64>(), 1000);
+                assert_eq!(r.metrics.chunks_outstanding, 0);
+            }
+            RunOutcome::Cancelled(_) => panic!("resumed run should complete"),
+        }
+    }
+
+    /// Floods at superstep 0, then panics while processing messages in
+    /// superstep 1 — inboxes, outboxes, and steal queues are all hot when
+    /// the worker unwinds.
+    struct LatePanicker {
+        n: usize,
+    }
+
+    impl VertexProgram for LatePanicker {
+        type Message = u8;
+        type WorkerState = ();
+        type Aggregate = ();
+
+        fn create_worker_state(&self, _w: usize) {}
+
+        fn compute(&self, ctx: &mut Context<'_, u8>, _s: &mut (), v: VertexId, _m: &mut Vec<u8>) {
+            if ctx.superstep() == 0 {
+                for i in 1..=3usize {
+                    ctx.send(((v as usize + i) % self.n) as VertexId, 0);
+                }
+            } else if v == 7 {
+                panic!("boom mid-superstep");
+            } else {
+                // Keep outboxes non-empty at the moment of the panic.
+                ctx.send(((v as usize + 1) % self.n) as VertexId, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_mid_superstep_keeps_pool_balanced() {
+        // In debug builds (the test profile) the engine asserts get/put
+        // balance on the abort path, so reaching the Err at all proves no
+        // chunk was stranded by the unwinding worker.
+        let p = HashPartitioner::new(4);
+        let prog = LatePanicker { n: 64 };
+        match run(64, &p, &prog, &BspConfig::default()) {
+            Err(BspError::WorkerPanicked { superstep: 1, worker }) => {
+                assert_eq!(worker, p.owner(7));
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        // Same containment with tiny chunks + stealing (hot steal queues)
+        // and under the serial executor.
+        let config = BspConfig { chunk_capacity: 2, steal: true, ..Default::default() };
+        match run(64, &p, &prog, &config) {
+            Err(BspError::WorkerPanicked { superstep: 1, .. }) => {}
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        match run_with_executor(64, &p, &prog, &BspConfig::default(), &SerialExecutor) {
+            Err(BspError::WorkerPanicked { superstep: 1, .. }) => {}
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controlled_run_without_triggers_is_bit_identical() {
+        let g = erdos_renyi_gnm(150, 250, 5).unwrap();
+        let base = run_min_label(&g, 4);
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(4);
+        let token = CancelToken::new();
+        let control = RunControl { cancel: Some(&token), checkpoint: true, resume: None };
+        match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
+            RunOutcome::Complete(_) => {}
+            RunOutcome::Cancelled(_) => panic!("nothing should cancel this run"),
+        }
+        assert_eq!(prog.labels.into_inner(), base);
     }
 
     #[test]

@@ -26,12 +26,17 @@
 //! on vertices with pending messages. The run terminates when no messages
 //! are in flight.
 
+pub mod cancel;
 pub mod chunk;
 pub mod engine;
 pub mod exec;
 pub mod metrics;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use chunk::{Chunk, ChunkPool, PoolExhausted, StealQueue, DEFAULT_CHUNK_CAPACITY};
-pub use engine::{run, run_with_executor, BspConfig, BspError, BspResult, Context, VertexProgram};
+pub use engine::{
+    run, run_controlled, run_with_executor, BspConfig, BspError, BspResult, CancelledRun, Context,
+    ResumePoint, RunControl, RunOutcome, VertexProgram,
+};
 pub use exec::{Executor, SerialExecutor, TaskFn, ThreadExecutor, WorkerTask};
 pub use metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};

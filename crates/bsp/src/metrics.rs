@@ -32,7 +32,7 @@ pub struct WorkerSuperstepMetrics {
 }
 
 /// Metrics for one superstep across all workers.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SuperstepMetrics {
     /// Indexed by worker id.
     pub workers: Vec<WorkerSuperstepMetrics>,

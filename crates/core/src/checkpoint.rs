@@ -1,0 +1,604 @@
+//! Superstep-boundary checkpoints: serialize a cancelled run's live
+//! frontier and worker state for exact resume.
+//!
+//! A checkpoint captures everything the engine's
+//! [`ResumePoint`](psgl_bsp::ResumePoint) needs that is not re-derivable
+//! from the run inputs: the undelivered Gpsi frontier (per destination
+//! worker, in delivery order), each worker's distributor state (strategy
+//! RNG stream position + workload view), expansion counters, harvested
+//! instances, and the per-superstep metrics of the completed prefix. A
+//! *guard* header pins the run inputs (graph content hash, worker count,
+//! seed, strategy, pattern, initial vertex, harvest mode) so a checkpoint
+//! can only be resumed against the exact run it was captured from —
+//! resuming against anything else would silently produce wrong counts.
+//!
+//! The binary format follows `crates/graph/src/binary.rs`: magic, u32/u64
+//! little-endian fields, and a trailing FxHash checksum over the payload
+//! so corruption fails loudly, never silently.
+//!
+//! ```text
+//! magic "PSGLCKP1" | payload | checksum: u64 (FxHash of the payload)
+//! ```
+
+use crate::distribute::{DistributorSnapshot, Strategy};
+use crate::gpsi::{Gpsi, MAX_GPSI_VERTICES};
+use crate::stats::ExpandStats;
+use bytes::{BufMut, BytesMut};
+use psgl_bsp::{SuperstepMetrics, WorkerSuperstepMetrics};
+use psgl_graph::hash::FxHasher;
+use psgl_graph::VertexId;
+use std::hash::Hasher;
+use std::time::Duration;
+
+const MAGIC: &[u8; 8] = b"PSGLCKP1";
+
+/// A checkpoint failed to decode or does not match the run it is being
+/// resumed against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// What went wrong (decode failure or guard-field mismatch).
+    pub message: String,
+}
+
+impl CheckpointError {
+    fn new(message: impl Into<String>) -> Self {
+        CheckpointError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad checkpoint: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// What each worker's harvest held at the capture barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HarvestCheckpoint {
+    /// Counting only; the count lives in [`ExpandStats::results`].
+    CountOnly,
+    /// Collected instance tuples found so far.
+    Instances(Vec<Vec<VertexId>>),
+    /// Per-data-vertex participation counts so far.
+    PerVertex(Vec<u64>),
+}
+
+/// One worker's mutable state at the capture barrier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerCheckpoint {
+    /// Distribution-strategy state (RNG stream position, workload view).
+    pub distributor: DistributorSnapshot,
+    /// Expansion counters accumulated so far.
+    pub stats: ExpandStats,
+    /// Messages emitted in the superstep `emitted_superstep`.
+    pub emitted_this_superstep: u64,
+    /// Superstep `emitted_this_superstep` refers to.
+    pub emitted_superstep: u32,
+    /// Whether a fan-out limit had tripped (drain mode).
+    pub failed: bool,
+    /// Instances/counts harvested so far.
+    pub harvest: HarvestCheckpoint,
+}
+
+/// Pins the run inputs a checkpoint was captured from. All fields must
+/// match exactly at resume time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointGuard {
+    /// [`DataGraph::content_hash`](psgl_graph::DataGraph::content_hash)
+    /// of the data graph.
+    pub graph_hash: u64,
+    /// Worker count of the run.
+    pub workers: u32,
+    /// Run seed (drives the partitioner salt and distributor seeds).
+    pub seed: u64,
+    /// Distribution strategy.
+    pub strategy: Strategy,
+    /// FxHash over the pattern's vertex count and edge list.
+    pub pattern_hash: u64,
+    /// The selected initial pattern vertex.
+    pub init_vertex: u8,
+    /// Harvest mode: 0 = count only, 1 = instances, 2 = per-vertex.
+    pub harvest_mode: u8,
+}
+
+/// Hash of a pattern's structure, for the checkpoint guard.
+pub fn pattern_hash(pattern: &psgl_pattern::Pattern) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(pattern.num_vertices() as u64);
+    for (u, v) in pattern.edges() {
+        h.write_u8(u);
+        h.write_u8(v);
+    }
+    h.finish()
+}
+
+/// A complete superstep-boundary checkpoint of a cancelled run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Run-input guard; checked by [`Checkpoint::validate`].
+    pub guard: CheckpointGuard,
+    /// The superstep the resumed run starts at.
+    pub superstep: u32,
+    /// Pool-exhaustion events of the completed prefix.
+    pub prior_pool_exhausted: u64,
+    /// Per-superstep metrics of the completed prefix.
+    pub prior_supersteps: Vec<SuperstepMetrics>,
+    /// Per-worker state, indexed by worker id.
+    pub workers: Vec<WorkerCheckpoint>,
+    /// Undelivered messages per destination worker, in delivery order.
+    pub frontier: Vec<Vec<(VertexId, Gpsi)>>,
+}
+
+impl Checkpoint {
+    /// Total undelivered messages across all workers.
+    pub fn frontier_len(&self) -> u64 {
+        self.frontier.iter().map(|f| f.len() as u64).sum()
+    }
+
+    /// Checks the guard against the inputs of the run about to resume.
+    pub fn validate(&self, expected: &CheckpointGuard) -> Result<(), CheckpointError> {
+        let g = &self.guard;
+        if g.graph_hash != expected.graph_hash {
+            return Err(CheckpointError::new("checkpoint was captured on a different graph"));
+        }
+        if g.workers != expected.workers {
+            return Err(CheckpointError::new(format!(
+                "checkpoint has {} workers, run has {}",
+                g.workers, expected.workers
+            )));
+        }
+        if g.seed != expected.seed {
+            return Err(CheckpointError::new("seed mismatch"));
+        }
+        if g.strategy != expected.strategy {
+            return Err(CheckpointError::new("distribution strategy mismatch"));
+        }
+        if g.pattern_hash != expected.pattern_hash {
+            return Err(CheckpointError::new("checkpoint was captured for a different pattern"));
+        }
+        if g.init_vertex != expected.init_vertex {
+            return Err(CheckpointError::new("initial pattern vertex mismatch"));
+        }
+        if g.harvest_mode != expected.harvest_mode {
+            return Err(CheckpointError::new("harvest mode mismatch"));
+        }
+        if self.workers.len() != g.workers as usize || self.frontier.len() != g.workers as usize {
+            return Err(CheckpointError::new("worker-state / frontier arity mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the checkpoint into the binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = BytesMut::new();
+        let g = &self.guard;
+        p.put_u64_le(g.graph_hash);
+        p.put_u32_le(g.workers);
+        p.put_u64_le(g.seed);
+        let (tag, alpha) = encode_strategy(g.strategy);
+        p.put_u8(tag);
+        p.put_f64_le(alpha);
+        p.put_u64_le(g.pattern_hash);
+        p.put_u8(g.init_vertex);
+        p.put_u8(g.harvest_mode);
+        p.put_u32_le(self.superstep);
+        p.put_u64_le(self.prior_pool_exhausted);
+        p.put_u32_le(self.prior_supersteps.len() as u32);
+        for s in &self.prior_supersteps {
+            p.put_u32_le(s.workers.len() as u32);
+            for w in &s.workers {
+                p.put_u64_le(w.active_vertices);
+                p.put_u64_le(w.messages_in);
+                p.put_u64_le(w.messages_out);
+                p.put_u64_le(w.local_delivered);
+                p.put_u64_le(w.chunks_stolen);
+                p.put_u64_le(w.bytes_exchanged);
+                p.put_u64_le(w.cost);
+                p.put_u64_le(w.elapsed.as_nanos() as u64);
+            }
+        }
+        for w in &self.workers {
+            for s in w.distributor.rng_state {
+                p.put_u64_le(s);
+            }
+            p.put_u32_le(w.distributor.workload.len() as u32);
+            for &load in &w.distributor.workload {
+                p.put_f64_le(load);
+            }
+            put_stats(&mut p, &w.stats);
+            p.put_u64_le(w.emitted_this_superstep);
+            p.put_u32_le(w.emitted_superstep);
+            p.put_u8(u8::from(w.failed));
+            match &w.harvest {
+                HarvestCheckpoint::CountOnly => {}
+                HarvestCheckpoint::Instances(buf) => {
+                    p.put_u64_le(buf.len() as u64);
+                    for inst in buf {
+                        p.put_u8(inst.len() as u8);
+                        for &v in inst {
+                            p.put_u32_le(v);
+                        }
+                    }
+                }
+                HarvestCheckpoint::PerVertex(counts) => {
+                    p.put_u64_le(counts.len() as u64);
+                    for &c in counts {
+                        p.put_u64_le(c);
+                    }
+                }
+            }
+        }
+        for dest in &self.frontier {
+            p.put_u64_le(dest.len() as u64);
+            for (v, gpsi) in dest {
+                p.put_u32_le(*v);
+                let (mapping, black, mapped, verified, expanding) = gpsi.to_raw_parts();
+                for m in mapping {
+                    p.put_u32_le(m);
+                }
+                p.put_u16_le(black);
+                p.put_u16_le(mapped);
+                p.put_u128_le(verified);
+                p.put_u8(expanding);
+            }
+        }
+        let mut hasher = FxHasher::default();
+        hasher.write(&p);
+        let mut out = Vec::with_capacity(8 + p.len() + 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&p);
+        out.extend_from_slice(&hasher.finish().to_le_bytes());
+        out
+    }
+
+    /// Deserializes the binary format; rejects corruption (checksum),
+    /// truncation, and structurally invalid payloads.
+    pub fn from_bytes(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        if data.len() < 8 + 8 || &data[..8] != MAGIC {
+            return Err(CheckpointError::new("not a PSGLCKP1 checkpoint"));
+        }
+        let payload = &data[8..data.len() - 8];
+        let mut expect = [0u8; 8];
+        expect.copy_from_slice(&data[data.len() - 8..]);
+        let mut hasher = FxHasher::default();
+        hasher.write(payload);
+        if hasher.finish() != u64::from_le_bytes(expect) {
+            return Err(CheckpointError::new("checksum mismatch"));
+        }
+        let mut r = Reader { data: payload };
+        let graph_hash = r.u64()?;
+        let workers = r.u32()?;
+        if workers == 0 || workers > 1 << 20 {
+            return Err(CheckpointError::new("implausible worker count"));
+        }
+        let seed = r.u64()?;
+        let strategy = decode_strategy(r.u8()?, r.f64()?)?;
+        let pattern_hash_v = r.u64()?;
+        let init_vertex = r.u8()?;
+        let harvest_mode = r.u8()?;
+        if harvest_mode > 2 {
+            return Err(CheckpointError::new("unknown harvest mode"));
+        }
+        let guard = CheckpointGuard {
+            graph_hash,
+            workers,
+            seed,
+            strategy,
+            pattern_hash: pattern_hash_v,
+            init_vertex,
+            harvest_mode,
+        };
+        let superstep = r.u32()?;
+        let prior_pool_exhausted = r.u64()?;
+        let n_supersteps = r.u32()? as usize;
+        let mut prior_supersteps = Vec::new();
+        for _ in 0..n_supersteps {
+            let n_workers = r.u32()? as usize;
+            let mut ws = Vec::new();
+            for _ in 0..n_workers {
+                ws.push(WorkerSuperstepMetrics {
+                    active_vertices: r.u64()?,
+                    messages_in: r.u64()?,
+                    messages_out: r.u64()?,
+                    local_delivered: r.u64()?,
+                    chunks_stolen: r.u64()?,
+                    bytes_exchanged: r.u64()?,
+                    cost: r.u64()?,
+                    elapsed: Duration::from_nanos(r.u64()?),
+                });
+            }
+            prior_supersteps.push(SuperstepMetrics { workers: ws });
+        }
+        let mut worker_states = Vec::new();
+        for _ in 0..workers {
+            let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+            let n_load = r.u32()? as usize;
+            let mut workload = Vec::new();
+            for _ in 0..n_load {
+                workload.push(r.f64()?);
+            }
+            let stats = read_stats(&mut r)?;
+            let emitted_this_superstep = r.u64()?;
+            let emitted_superstep = r.u32()?;
+            let failed = r.u8()? != 0;
+            let harvest = match harvest_mode {
+                0 => HarvestCheckpoint::CountOnly,
+                1 => {
+                    let n = r.u64()? as usize;
+                    let mut buf = Vec::new();
+                    for _ in 0..n {
+                        let len = r.u8()? as usize;
+                        if len > MAX_GPSI_VERTICES {
+                            return Err(CheckpointError::new("oversized instance tuple"));
+                        }
+                        let mut inst = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            inst.push(r.u32()?);
+                        }
+                        buf.push(inst);
+                    }
+                    HarvestCheckpoint::Instances(buf)
+                }
+                _ => {
+                    let n = r.u64()? as usize;
+                    let mut counts = Vec::new();
+                    for _ in 0..n {
+                        counts.push(r.u64()?);
+                    }
+                    HarvestCheckpoint::PerVertex(counts)
+                }
+            };
+            worker_states.push(WorkerCheckpoint {
+                distributor: DistributorSnapshot { rng_state, workload },
+                stats,
+                emitted_this_superstep,
+                emitted_superstep,
+                failed,
+                harvest,
+            });
+        }
+        let mut frontier = Vec::new();
+        for _ in 0..workers {
+            let n = r.u64()? as usize;
+            let mut dest = Vec::new();
+            for _ in 0..n {
+                let v = r.u32()?;
+                let mut mapping = [0u32; MAX_GPSI_VERTICES];
+                for m in &mut mapping {
+                    *m = r.u32()?;
+                }
+                let black = r.u16()?;
+                let mapped = r.u16()?;
+                let verified = r.u128()?;
+                let expanding = r.u8()?;
+                if expanding as usize >= MAX_GPSI_VERTICES {
+                    return Err(CheckpointError::new("invalid expanding vertex in frontier"));
+                }
+                dest.push((v, Gpsi::from_raw_parts(mapping, black, mapped, verified, expanding)));
+            }
+            frontier.push(dest);
+        }
+        if !r.data.is_empty() {
+            return Err(CheckpointError::new("trailing bytes after frontier"));
+        }
+        Ok(Checkpoint {
+            guard,
+            superstep,
+            prior_pool_exhausted,
+            prior_supersteps,
+            workers: worker_states,
+            frontier,
+        })
+    }
+}
+
+fn encode_strategy(s: Strategy) -> (u8, f64) {
+    match s {
+        Strategy::Random => (0, 0.0),
+        Strategy::RouletteWheel => (1, 0.0),
+        Strategy::WorkloadAware { alpha } => (2, alpha),
+    }
+}
+
+fn decode_strategy(tag: u8, alpha: f64) -> Result<Strategy, CheckpointError> {
+    match tag {
+        0 => Ok(Strategy::Random),
+        1 => Ok(Strategy::RouletteWheel),
+        2 => Ok(Strategy::WorkloadAware { alpha }),
+        _ => Err(CheckpointError::new("unknown strategy tag")),
+    }
+}
+
+fn put_stats(p: &mut BytesMut, s: &ExpandStats) {
+    for v in [
+        s.expanded,
+        s.generated,
+        s.results,
+        s.pruned_injectivity,
+        s.pruned_degree,
+        s.pruned_order,
+        s.pruned_connectivity,
+        s.pruned_label,
+        s.died_gray_check,
+        s.died_no_candidates,
+        s.combinations_examined,
+        s.index_probes,
+        s.cost,
+    ] {
+        p.put_u64_le(v);
+    }
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<ExpandStats, CheckpointError> {
+    Ok(ExpandStats {
+        expanded: r.u64()?,
+        generated: r.u64()?,
+        results: r.u64()?,
+        pruned_injectivity: r.u64()?,
+        pruned_degree: r.u64()?,
+        pruned_order: r.u64()?,
+        pruned_connectivity: r.u64()?,
+        pruned_label: r.u64()?,
+        died_gray_check: r.u64()?,
+        died_no_candidates: r.u64()?,
+        combinations_examined: r.u64()?,
+        index_probes: r.u64()?,
+        cost: r.u64()?,
+    })
+}
+
+/// Bounds-checked little-endian cursor; every read can fail instead of
+/// panicking on truncated input.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        if self.data.len() < n {
+            return Err(CheckpointError::new("truncated checkpoint"));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn u128(&mut self) -> Result<u128, CheckpointError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut g = Gpsi::initial(0, 7);
+        g.set_black(0);
+        g.assign(1, 3);
+        Checkpoint {
+            guard: CheckpointGuard {
+                graph_hash: 0xDEAD_BEEF,
+                workers: 2,
+                seed: 42,
+                strategy: Strategy::WorkloadAware { alpha: 0.5 },
+                pattern_hash: 99,
+                init_vertex: 0,
+                harvest_mode: 1,
+            },
+            superstep: 3,
+            prior_pool_exhausted: 1,
+            prior_supersteps: vec![SuperstepMetrics {
+                workers: vec![
+                    WorkerSuperstepMetrics {
+                        active_vertices: 5,
+                        messages_in: 2,
+                        messages_out: 9,
+                        cost: 11,
+                        elapsed: Duration::from_nanos(1234),
+                        ..Default::default()
+                    },
+                    WorkerSuperstepMetrics::default(),
+                ],
+            }],
+            workers: vec![
+                WorkerCheckpoint {
+                    distributor: DistributorSnapshot {
+                        rng_state: [1, 2, 3, 4],
+                        workload: vec![0.5, 1.25],
+                    },
+                    stats: ExpandStats { expanded: 7, results: 2, cost: 31, ..Default::default() },
+                    emitted_this_superstep: 4,
+                    emitted_superstep: 2,
+                    failed: false,
+                    harvest: HarvestCheckpoint::Instances(vec![vec![0, 1, 2], vec![4, 5, 6]]),
+                },
+                WorkerCheckpoint {
+                    distributor: DistributorSnapshot { rng_state: [5, 6, 7, 8], workload: vec![] },
+                    stats: ExpandStats::default(),
+                    emitted_this_superstep: 0,
+                    emitted_superstep: 0,
+                    failed: true,
+                    harvest: HarvestCheckpoint::Instances(vec![]),
+                },
+            ],
+            frontier: vec![vec![(7, g), (3, Gpsi::initial(1, 3))], vec![]],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let cp = sample();
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_detected() {
+        let bytes = sample().to_bytes();
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0xFF;
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        assert!(Checkpoint::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn guard_mismatches_are_rejected() {
+        let cp = sample();
+        let good = cp.guard;
+        assert!(cp.validate(&good).is_ok());
+        for (field, mutate) in [
+            (
+                "graph",
+                Box::new(|g: &mut CheckpointGuard| g.graph_hash ^= 1)
+                    as Box<dyn Fn(&mut CheckpointGuard)>,
+            ),
+            ("workers", Box::new(|g: &mut CheckpointGuard| g.workers += 1)),
+            ("seed", Box::new(|g: &mut CheckpointGuard| g.seed ^= 1)),
+            ("strategy", Box::new(|g: &mut CheckpointGuard| g.strategy = Strategy::Random)),
+            ("pattern", Box::new(|g: &mut CheckpointGuard| g.pattern_hash ^= 1)),
+            ("init", Box::new(|g: &mut CheckpointGuard| g.init_vertex += 1)),
+            ("harvest", Box::new(|g: &mut CheckpointGuard| g.harvest_mode = 0)),
+        ] {
+            let mut other = good;
+            mutate(&mut other);
+            assert!(cp.validate(&other).is_err(), "{field} mismatch must be rejected");
+        }
+    }
+
+    #[test]
+    fn pattern_hash_distinguishes_patterns() {
+        use psgl_pattern::catalog;
+        let t = pattern_hash(&catalog::triangle());
+        assert_eq!(t, pattern_hash(&catalog::triangle()));
+        assert_ne!(t, pattern_hash(&catalog::square()));
+        assert_ne!(pattern_hash(&catalog::path(3)), pattern_hash(&catalog::triangle()));
+    }
+}

@@ -192,6 +192,33 @@ impl Distributor {
     pub fn workload_view(&self) -> &[f64] {
         &self.workload
     }
+
+    /// Captures the distributor's mutable state — the RNG stream position
+    /// and the worker-local workload view — for a superstep-boundary
+    /// checkpoint. [`Distributor::from_snapshot`] continues choices
+    /// exactly where the capture left off.
+    pub fn snapshot(&self) -> DistributorSnapshot {
+        DistributorSnapshot { rng_state: self.rng.state(), workload: self.workload.clone() }
+    }
+
+    /// Rebuilds a distributor from a [`Distributor::snapshot`]; `strategy`
+    /// is carried by the run configuration, not the snapshot.
+    pub fn from_snapshot(strategy: Strategy, snapshot: DistributorSnapshot) -> Distributor {
+        Distributor {
+            strategy,
+            workload: snapshot.workload,
+            rng: SmallRng::from_state(snapshot.rng_state),
+        }
+    }
+}
+
+/// Serializable mutable state of one [`Distributor`] (checkpoint payload).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistributorSnapshot {
+    /// Raw xoshiro256++ state of the strategy RNG.
+    pub rng_state: [u64; 4],
+    /// Worker-local accumulated workload view `W_j`.
+    pub workload: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -303,6 +330,26 @@ mod tests {
         let mut d = Distributor::new(Strategy::WorkloadAware { alpha: 0.5 }, 2, 7);
         assert_eq!(d.choose(&[cand(0, 1, 10, 2)], &p), 0);
         assert_eq!(d.workload_view()[p.owner(1)], 45.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_choices_exactly() {
+        let p = HashPartitioner::new(4);
+        for strategy in
+            [Strategy::Random, Strategy::RouletteWheel, Strategy::WorkloadAware { alpha: 0.5 }]
+        {
+            let cands = [cand(0, 1, 9, 1), cand(1, 2, 4, 2), cand(2, 3, 7, 1)];
+            let mut base = Distributor::new(strategy, 4, 99);
+            for _ in 0..25 {
+                base.choose(&cands, &p);
+            }
+            let mut resumed = Distributor::from_snapshot(strategy, base.snapshot());
+            let mut uninterrupted = base.clone();
+            for _ in 0..50 {
+                assert_eq!(uninterrupted.choose(&cands, &p), resumed.choose(&cands, &p));
+            }
+            assert_eq!(uninterrupted.workload_view(), resumed.workload_view());
+        }
     }
 
     #[test]

@@ -161,6 +161,26 @@ impl Gpsi {
     pub fn instance(&self, n: usize) -> Vec<VertexId> {
         self.mapping[..n].to_vec()
     }
+
+    /// Decomposes the Gpsi into its raw fields
+    /// `(mapping, black, mapped, verified, expanding)` for checkpoint
+    /// serialization. [`Gpsi::from_raw_parts`] is the exact inverse.
+    pub fn to_raw_parts(&self) -> ([VertexId; MAX_GPSI_VERTICES], u16, u16, u128, PatternVertex) {
+        (self.mapping, self.black, self.mapped, self.verified, self.expanding)
+    }
+
+    /// Rebuilds a Gpsi from [`Gpsi::to_raw_parts`] output. The fields are
+    /// taken as-is; checkpoint loading validates them against the pattern
+    /// before the Gpsi re-enters the engine.
+    pub fn from_raw_parts(
+        mapping: [VertexId; MAX_GPSI_VERTICES],
+        black: u16,
+        mapped: u16,
+        verified: u128,
+        expanding: PatternVertex,
+    ) -> Gpsi {
+        Gpsi { mapping, black, mapped, verified, expanding }
+    }
 }
 
 /// Precomputed pattern-edge numbering: `edge_id(u, v)` for constant-time

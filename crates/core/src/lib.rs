@@ -36,6 +36,7 @@
 //! println!("{} triangles", result.instance_count);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod distribute;
 pub mod expand;
@@ -47,15 +48,18 @@ pub mod runner;
 pub mod shared;
 pub mod stats;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointGuard};
 pub use config::PsglConfig;
 pub use distribute::Strategy;
 pub use expand::ExpandScratch;
 pub use gpsi::Gpsi;
 pub use index::EdgeIndex;
 pub use plan::QueryPlan;
+pub use psgl_bsp::{CancelReason, CancelToken};
 pub use runner::{
     count_per_vertex, list_subgraphs, list_subgraphs_labeled, list_subgraphs_prepared,
-    list_subgraphs_prepared_with, ListingResult, RunnerHooks,
+    list_subgraphs_prepared_with, list_subgraphs_resumable, CancelledListing, ListingEnd,
+    ListingResult, RunControls, RunnerHooks,
 };
 pub use shared::{PsglError, PsglShared};
 pub use stats::{ExpandStats, RunStats};

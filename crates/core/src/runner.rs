@@ -7,6 +7,9 @@
 //! superstep executes the *expansion phase* (Algorithm 1) on the Gpsis that
 //! arrived as messages.
 
+use crate::checkpoint::{
+    pattern_hash, Checkpoint, CheckpointGuard, HarvestCheckpoint, WorkerCheckpoint,
+};
 use crate::config::PsglConfig;
 use crate::distribute::Distributor;
 use crate::expand::{expand_gpsi, ExpandLimits, ExpandOutcome, ExpandScratch};
@@ -14,7 +17,10 @@ use crate::gpsi::Gpsi;
 use crate::init_vertex::SelectionRule;
 use crate::shared::{PsglError, PsglShared};
 use crate::stats::{ExpandStats, RunStats};
-use psgl_bsp::{BspConfig, Context, VertexProgram};
+use psgl_bsp::{
+    BspConfig, CancelReason, CancelToken, Context, EngineMetrics, ResumePoint, RunControl,
+    RunOutcome, VertexProgram,
+};
 use psgl_graph::hash::hash_u64;
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::VertexId;
@@ -81,6 +87,11 @@ struct PsglProgram<'a> {
     config: &'a PsglConfig,
     limits: ExpandLimits,
     harvest_mode: HarvestMode,
+    /// With checkpointing enabled the per-worker early budget abort is
+    /// deferred to the engine's barrier check, which captures the whole
+    /// over-budget frontier as a resumable [`Checkpoint`] instead of
+    /// discarding the run.
+    defer_budget: bool,
 }
 
 impl VertexProgram for PsglProgram<'_> {
@@ -181,8 +192,10 @@ impl VertexProgram for PsglProgram<'_> {
             if let Some(budget) = self.config.gpsi_budget {
                 // One worker's single-superstep output alone exceeding the
                 // global budget guarantees the barrier check would fail;
-                // abort now instead of materializing the rest.
-                if *emitted_this_superstep > budget {
+                // abort now instead of materializing the rest — unless the
+                // run checkpoints, where the barrier check must see the
+                // complete frontier to capture it.
+                if !self.defer_budget && *emitted_this_superstep > budget {
                     *failed = true;
                     return;
                 }
@@ -247,7 +260,91 @@ pub fn list_subgraphs_prepared_with(
 ) -> Result<ListingResult, PsglError> {
     let mode =
         if config.collect_instances { HarvestMode::Instances } else { HarvestMode::CountOnly };
-    let (mut result, worker_states) = run_engine(shared, config, mode, hooks)?;
+    match run_engine(shared, config, mode, hooks, RunControls::default())? {
+        EngineEnd::Complete(result, worker_states) => {
+            Ok(attach_instances(result, worker_states, config))
+        }
+        // No cancel token, no checkpointing: nothing can cancel the run.
+        EngineEnd::Cancelled(_) => unreachable!("run without controls cannot be cancelled"),
+    }
+}
+
+/// Cancellation / checkpoint / resume inputs for
+/// [`list_subgraphs_resumable`]. The default reproduces
+/// [`list_subgraphs_prepared_with`] exactly.
+#[derive(Default)]
+pub struct RunControls<'a> {
+    /// Cancellation token polled at every superstep barrier and every few
+    /// message batches inside expansion.
+    pub cancel: Option<&'a CancelToken>,
+    /// Capture a [`Checkpoint`] when a soft cancel (deadline, superstep
+    /// deadline, or Gpsi budget) fires at a barrier.
+    pub checkpoint: bool,
+    /// Restart from a previously captured checkpoint instead of
+    /// superstep 0. The checkpoint's guard must match this run's graph,
+    /// pattern, and configuration exactly.
+    pub resume: Option<Checkpoint>,
+}
+
+/// A run ended early by its cancel token (or budget, with checkpointing).
+pub struct CancelledListing {
+    /// Why the run stopped.
+    pub reason: CancelReason,
+    /// The superstep the run stopped at (= the resume superstep when a
+    /// checkpoint was captured).
+    pub superstep: u32,
+    /// Partial results: instances found and statistics accumulated before
+    /// cancellation. On a hard cancel the aborted superstep's counters
+    /// are partially included; on a checkpointed cancel they are exact.
+    pub partial: ListingResult,
+    /// The resume checkpoint — present only for soft cancels with
+    /// [`RunControls::checkpoint`] set.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Outcome of a resumable listing run.
+//
+// The variants are deliberately asymmetric in size: this is a transient
+// return value consumed immediately by a match, never stored, and boxing
+// the common Complete arm would tax every uncancelled run.
+#[allow(clippy::large_enum_variant)]
+pub enum ListingEnd {
+    /// The run finished; results are exact.
+    Complete(ListingResult),
+    /// The run was cancelled; see [`CancelledListing`].
+    Cancelled(Box<CancelledListing>),
+}
+
+/// [`list_subgraphs_prepared_with`] plus cooperative cancellation,
+/// superstep-boundary checkpointing, and exact resume.
+///
+/// Resuming from a checkpoint continues the run *bit-identically*: the
+/// distributor RNG streams, workload views, expansion counters, and the
+/// undelivered frontier are all restored, so the final counts, instances,
+/// and deterministic metrics equal an uninterrupted run's.
+pub fn list_subgraphs_resumable(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+    hooks: &RunnerHooks<'_>,
+    controls: RunControls<'_>,
+) -> Result<ListingEnd, PsglError> {
+    let mode =
+        if config.collect_instances { HarvestMode::Instances } else { HarvestMode::CountOnly };
+    match run_engine(shared, config, mode, hooks, controls)? {
+        EngineEnd::Complete(result, worker_states) => {
+            Ok(ListingEnd::Complete(attach_instances(result, worker_states, config)))
+        }
+        EngineEnd::Cancelled(c) => Ok(ListingEnd::Cancelled(c)),
+    }
+}
+
+/// Moves collected instances out of the worker harvests into the result
+/// (sorted for deterministic comparison).
+fn attach_instances(
+    mut result: ListingResult,
+    worker_states: Vec<WorkerState>,
+    config: &PsglConfig,
+) -> ListingResult {
     if config.collect_instances {
         let mut buf = Vec::new();
         for ws in worker_states {
@@ -258,7 +355,7 @@ pub fn list_subgraphs_prepared_with(
         buf.sort_unstable();
         result.instances = Some(buf);
     }
-    Ok(result)
+    result
 }
 
 /// Lists all *label-consistent* instances of `pattern` in `graph`
@@ -290,8 +387,16 @@ pub fn count_per_vertex(
     config: &PsglConfig,
 ) -> Result<(Vec<u64>, ListingResult), PsglError> {
     let shared = PsglShared::prepare(graph, pattern, config)?;
-    let (result, worker_states) =
-        run_engine(&shared, config, HarvestMode::PerVertex, &RunnerHooks::default())?;
+    let end = run_engine(
+        &shared,
+        config,
+        HarvestMode::PerVertex,
+        &RunnerHooks::default(),
+        RunControls::default(),
+    )?;
+    let EngineEnd::Complete(result, worker_states) = end else {
+        unreachable!("run without controls cannot be cancelled")
+    };
     let mut totals = vec![0u64; graph.num_vertices()];
     for ws in worker_states {
         if let Harvest::PerVertex(counts) = ws.harvest {
@@ -303,62 +408,83 @@ pub fn count_per_vertex(
     Ok((totals, result))
 }
 
-/// Shared engine driver: runs the BSP phase and assembles the result
-/// skeleton; harvest-specific data is extracted by the callers from the
-/// returned worker states.
-fn run_engine(
-    shared: &PsglShared<'_>,
-    config: &PsglConfig,
-    harvest_mode: HarvestMode,
-    hooks: &RunnerHooks<'_>,
-) -> Result<(ListingResult, Vec<WorkerState>), PsglError> {
-    let partitioner = hooks
-        .partitioner
-        .unwrap_or_else(|| HashPartitioner::with_salt(config.workers, hash_u64(config.seed)));
-    let program = PsglProgram {
-        shared,
-        config,
-        limits: ExpandLimits { max_fanout: config.max_fanout },
-        harvest_mode,
-    };
-    let bsp_config = BspConfig {
-        max_supersteps: config.max_supersteps,
-        // The per-worker budget also bounds the global in-flight volume.
-        message_budget: config.gpsi_budget.map(|b| b.saturating_mul(config.workers as u64)),
-        steal: config.steal,
-        max_live_chunks: hooks.max_live_chunks,
-        steal_budget: hooks.steal_budget,
-        exchange_shuffle_seed: hooks.exchange_shuffle_seed,
-        ..Default::default()
-    };
-    let executor: &dyn psgl_bsp::Executor = hooks.executor.unwrap_or(&psgl_bsp::ThreadExecutor);
-    let result = psgl_bsp::run_with_executor(
-        shared.graph.num_vertices(),
-        &partitioner,
-        &program,
-        &bsp_config,
-        executor,
-    )
-    .map_err(|e| match e {
-        // Report the configured per-worker budget, not the engine's
-        // global derived one.
-        psgl_bsp::BspError::MessageBudgetExceeded { in_flight, .. } => {
-            PsglError::OutOfMemory { in_flight, budget: config.gpsi_budget.unwrap_or(0) }
-        }
-        other => PsglError::Engine(other),
-    })?;
-    let mut expand = ExpandStats::default();
-    for ws in &result.worker_states {
-        expand.merge(&ws.stats);
-        if ws.failed {
-            return Err(PsglError::OutOfMemory {
-                in_flight: expand.generated,
-                budget: config.max_fanout.unwrap_or(0),
-            });
-        }
+/// Internal outcome of the engine driver.
+#[allow(clippy::large_enum_variant)] // transient return value, see ListingEnd
+enum EngineEnd {
+    Complete(ListingResult, Vec<WorkerState>),
+    Cancelled(Box<CancelledListing>),
+}
+
+/// The checkpoint guard pinning this run's inputs.
+fn guard_of(shared: &PsglShared<'_>, config: &PsglConfig, mode: HarvestMode) -> CheckpointGuard {
+    CheckpointGuard {
+        graph_hash: shared.graph.content_hash(),
+        workers: config.workers as u32,
+        seed: config.seed,
+        strategy: config.strategy,
+        pattern_hash: pattern_hash(&shared.pattern),
+        init_vertex: shared.init_vertex,
+        harvest_mode: match mode {
+            HarvestMode::CountOnly => 0,
+            HarvestMode::Instances => 1,
+            HarvestMode::PerVertex => 2,
+        },
     }
-    let metrics = &result.metrics;
-    let listing = ListingResult {
+}
+
+/// Captures one worker's mutable state for a checkpoint.
+fn snapshot_worker(ws: &WorkerState) -> WorkerCheckpoint {
+    WorkerCheckpoint {
+        distributor: ws.distributor.snapshot(),
+        stats: ws.stats,
+        emitted_this_superstep: ws.emitted_this_superstep,
+        emitted_superstep: ws.emitted_superstep,
+        failed: ws.failed,
+        harvest: match &ws.harvest {
+            Harvest::CountOnly => HarvestCheckpoint::CountOnly,
+            Harvest::Instances(buf) => HarvestCheckpoint::Instances(buf.clone()),
+            Harvest::PerVertex(counts) => HarvestCheckpoint::PerVertex(counts.clone()),
+        },
+    }
+}
+
+/// Rebuilds the engine's resume point from a validated checkpoint.
+fn restore_resume_point(config: &PsglConfig, cp: Checkpoint) -> ResumePoint<Gpsi, WorkerState, ()> {
+    let worker_states = cp
+        .workers
+        .into_iter()
+        .map(|wc| WorkerState {
+            distributor: Distributor::from_snapshot(config.strategy, wc.distributor),
+            stats: wc.stats,
+            harvest: match wc.harvest {
+                HarvestCheckpoint::CountOnly => Harvest::CountOnly,
+                HarvestCheckpoint::Instances(buf) => Harvest::Instances(buf),
+                HarvestCheckpoint::PerVertex(counts) => Harvest::PerVertex(counts),
+            },
+            scratch: ExpandScratch::new(),
+            out: Vec::new(),
+            emitted_this_superstep: wc.emitted_this_superstep,
+            emitted_superstep: wc.emitted_superstep,
+            failed: wc.failed,
+        })
+        .collect();
+    ResumePoint {
+        superstep: cp.superstep,
+        frontier: cp.frontier,
+        worker_states,
+        aggregate: (),
+        prior_supersteps: cp.prior_supersteps,
+        prior_pool_exhausted: cp.prior_pool_exhausted,
+    }
+}
+
+/// Assembles the result skeleton from merged counters and engine metrics.
+fn assemble_listing(
+    shared: &PsglShared<'_>,
+    expand: ExpandStats,
+    metrics: &EngineMetrics,
+) -> ListingResult {
+    ListingResult {
         instance_count: expand.results,
         instances: None,
         stats: RunStats {
@@ -387,8 +513,112 @@ fn run_engine(
         },
         init_vertex: shared.init_vertex,
         selection_rule: shared.selection_rule,
+    }
+}
+
+/// Shared engine driver: runs the BSP phase and assembles the result
+/// skeleton; harvest-specific data is extracted by the callers from the
+/// returned worker states.
+fn run_engine(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+    harvest_mode: HarvestMode,
+    hooks: &RunnerHooks<'_>,
+    controls: RunControls<'_>,
+) -> Result<EngineEnd, PsglError> {
+    let partitioner = hooks
+        .partitioner
+        .unwrap_or_else(|| HashPartitioner::with_salt(config.workers, hash_u64(config.seed)));
+    let program = PsglProgram {
+        shared,
+        config,
+        limits: ExpandLimits { max_fanout: config.max_fanout },
+        harvest_mode,
+        defer_budget: controls.checkpoint && config.gpsi_budget.is_some(),
     };
-    Ok((listing, result.worker_states))
+    let bsp_config = BspConfig {
+        max_supersteps: config.max_supersteps,
+        // The per-worker budget also bounds the global in-flight volume.
+        message_budget: config.gpsi_budget.map(|b| b.saturating_mul(config.workers as u64)),
+        steal: config.steal,
+        max_live_chunks: hooks.max_live_chunks,
+        steal_budget: hooks.steal_budget,
+        exchange_shuffle_seed: hooks.exchange_shuffle_seed,
+        ..Default::default()
+    };
+    let executor: &dyn psgl_bsp::Executor = hooks.executor.unwrap_or(&psgl_bsp::ThreadExecutor);
+    let guard = guard_of(shared, config, harvest_mode);
+    let resume = match controls.resume {
+        Some(cp) => {
+            cp.validate(&guard)?;
+            Some(restore_resume_point(config, cp))
+        }
+        None => None,
+    };
+    let control = RunControl { cancel: controls.cancel, checkpoint: controls.checkpoint, resume };
+    let outcome = psgl_bsp::run_controlled(
+        shared.graph.num_vertices(),
+        &partitioner,
+        &program,
+        &bsp_config,
+        executor,
+        control,
+    )
+    .map_err(|e| match e {
+        // Report the configured per-worker budget, not the engine's
+        // global derived one.
+        psgl_bsp::BspError::MessageBudgetExceeded { in_flight, .. } => {
+            PsglError::OutOfMemory { in_flight, budget: config.gpsi_budget.unwrap_or(0) }
+        }
+        other => PsglError::Engine(other),
+    })?;
+    match outcome {
+        RunOutcome::Complete(result) => {
+            let mut expand = ExpandStats::default();
+            for ws in &result.worker_states {
+                expand.merge(&ws.stats);
+                if ws.failed {
+                    return Err(PsglError::OutOfMemory {
+                        in_flight: expand.generated,
+                        budget: config.max_fanout.unwrap_or(0),
+                    });
+                }
+            }
+            let listing = assemble_listing(shared, expand, &result.metrics);
+            Ok(EngineEnd::Complete(listing, result.worker_states))
+        }
+        RunOutcome::Cancelled(c) => {
+            let mut expand = ExpandStats::default();
+            for ws in &c.worker_states {
+                expand.merge(&ws.stats);
+            }
+            let mut partial = assemble_listing(shared, expand, &c.metrics);
+            if config.collect_instances {
+                let mut buf = Vec::new();
+                for ws in &c.worker_states {
+                    if let Harvest::Instances(found) = &ws.harvest {
+                        buf.extend(found.iter().cloned());
+                    }
+                }
+                buf.sort_unstable();
+                partial.instances = Some(buf);
+            }
+            let checkpoint = c.frontier.map(|frontier| Checkpoint {
+                guard,
+                superstep: c.superstep,
+                prior_pool_exhausted: c.metrics.pool_exhausted,
+                prior_supersteps: c.metrics.supersteps,
+                workers: c.worker_states.iter().map(snapshot_worker).collect(),
+                frontier,
+            });
+            Ok(EngineEnd::Cancelled(Box::new(CancelledListing {
+                reason: c.reason,
+                superstep: c.superstep,
+                partial,
+                checkpoint,
+            })))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -698,5 +928,127 @@ mod tests {
         let g = DataGraph::from_edges(0, &[]).unwrap();
         let res = list_subgraphs(&g, &catalog::triangle(), &PsglConfig::with_workers(2)).unwrap();
         assert_eq!(res.instance_count, 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run() {
+        let g = erdos_renyi_gnm(120, 700, 21).unwrap();
+        let config = PsglConfig::with_workers(3).collect(true);
+        let shared = PsglShared::prepare(&g, &catalog::square(), &config).unwrap();
+        let full = list_subgraphs_prepared(&shared, &config).unwrap();
+        assert!(full.instance_count > 0, "reference run should find squares");
+
+        let token = CancelToken::with_superstep_deadline(2);
+        let end = list_subgraphs_resumable(
+            &shared,
+            &config,
+            &RunnerHooks::default(),
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None },
+        )
+        .unwrap();
+        let ListingEnd::Cancelled(cancelled) = end else { panic!("run should hit the deadline") };
+        assert_eq!(cancelled.reason, CancelReason::Deadline);
+        assert_eq!(cancelled.superstep, 2);
+        assert!(cancelled.partial.instance_count <= full.instance_count);
+        let cp = cancelled.checkpoint.expect("soft cancel captures a checkpoint");
+
+        // Through the wire format and back — the service's resume-token path.
+        let cp = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+        let end = list_subgraphs_resumable(
+            &shared,
+            &config,
+            &RunnerHooks::default(),
+            RunControls { resume: Some(cp), ..RunControls::default() },
+        )
+        .unwrap();
+        let ListingEnd::Complete(resumed) = end else { panic!("resumed run should complete") };
+        assert_eq!(resumed.instance_count, full.instance_count);
+        assert_eq!(resumed.instances, full.instances);
+        assert_eq!(resumed.stats.messages, full.stats.messages);
+        assert_eq!(resumed.stats.per_worker_cost, full.stats.per_worker_cost);
+        assert_eq!(resumed.stats.supersteps, full.stats.supersteps);
+        assert_eq!(resumed.stats.chunks_outstanding, 0);
+    }
+
+    #[test]
+    fn explicit_cancel_returns_partial_without_checkpoint() {
+        let g = erdos_renyi_gnm(100, 500, 8).unwrap();
+        let config = PsglConfig::with_workers(2);
+        let shared = PsglShared::prepare(&g, &catalog::triangle(), &config).unwrap();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Explicit);
+        let end = list_subgraphs_resumable(
+            &shared,
+            &config,
+            &RunnerHooks::default(),
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None },
+        )
+        .unwrap();
+        let ListingEnd::Cancelled(c) = end else { panic!("pre-cancelled run cannot complete") };
+        assert_eq!(c.reason, CancelReason::Explicit);
+        assert!(c.checkpoint.is_none(), "hard cancels capture no checkpoint");
+        assert_eq!(c.partial.stats.chunks_outstanding, 0);
+    }
+
+    #[test]
+    fn budget_cancel_with_checkpoint_resumes_under_higher_budget() {
+        let g = chung_lu(500, 10.0, 1.8, 6).unwrap();
+        let config = PsglConfig::with_workers(2);
+        let shared = PsglShared::prepare(&g, &catalog::square(), &config).unwrap();
+        let full = list_subgraphs_prepared(&shared, &config).unwrap();
+
+        let tight = PsglConfig { gpsi_budget: Some(10), ..PsglConfig::with_workers(2) };
+        let end = list_subgraphs_resumable(
+            &shared,
+            &tight,
+            &RunnerHooks::default(),
+            RunControls { checkpoint: true, ..RunControls::default() },
+        )
+        .unwrap();
+        let ListingEnd::Cancelled(c) = end else { panic!("tight budget must fire") };
+        assert_eq!(c.reason, CancelReason::Budget);
+        let cp = c.checkpoint.expect("budget cancel with checkpointing is resumable");
+
+        // The guard does not pin the budget: the same run resumes without
+        // one and completes exactly.
+        let end = list_subgraphs_resumable(
+            &shared,
+            &config,
+            &RunnerHooks::default(),
+            RunControls { resume: Some(cp), ..RunControls::default() },
+        )
+        .unwrap();
+        let ListingEnd::Complete(resumed) = end else { panic!("resumed run should complete") };
+        assert_eq!(resumed.instance_count, full.instance_count);
+    }
+
+    #[test]
+    fn checkpoint_guard_rejects_a_different_run() {
+        let g = erdos_renyi_gnm(90, 450, 13).unwrap();
+        let config = PsglConfig::with_workers(2).seed(1);
+        let shared = PsglShared::prepare(&g, &catalog::square(), &config).unwrap();
+        let token = CancelToken::with_superstep_deadline(2);
+        let end = list_subgraphs_resumable(
+            &shared,
+            &config,
+            &RunnerHooks::default(),
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None },
+        )
+        .unwrap();
+        let ListingEnd::Cancelled(c) = end else { panic!("run should hit the deadline") };
+        let cp = c.checkpoint.unwrap();
+
+        let other = PsglConfig::with_workers(2).seed(2);
+        let other_shared = PsglShared::prepare(&g, &catalog::square(), &other).unwrap();
+        let err = match list_subgraphs_resumable(
+            &other_shared,
+            &other,
+            &RunnerHooks::default(),
+            RunControls { resume: Some(cp), ..RunControls::default() },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("guard mismatch must be rejected"),
+        };
+        assert!(matches!(err, PsglError::Checkpoint(_)), "got {err:?}");
     }
 }

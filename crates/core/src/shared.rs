@@ -41,6 +41,9 @@ pub enum PsglError {
     },
     /// The underlying BSP engine failed (worker panic, superstep limit).
     Engine(psgl_bsp::BspError),
+    /// A resume checkpoint failed to decode or did not match the run it
+    /// was submitted against.
+    Checkpoint(crate::checkpoint::CheckpointError),
 }
 
 impl std::fmt::Display for PsglError {
@@ -59,6 +62,7 @@ impl std::fmt::Display for PsglError {
                  budget {budget}"
             ),
             PsglError::Engine(e) => write!(f, "BSP engine error: {e}"),
+            PsglError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -67,8 +71,15 @@ impl std::error::Error for PsglError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PsglError::Engine(e) => Some(e),
+            PsglError::Checkpoint(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for PsglError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        PsglError::Checkpoint(e)
     }
 }
 

@@ -14,10 +14,14 @@ pub struct Client {
 /// A decoded error response (`"ok": false`).
 #[derive(Clone, Debug)]
 pub struct RemoteError {
-    /// Stable error code (`overloaded`, `budget_exceeded`, ...).
+    /// Stable error code (`overloaded`, `budget_exceeded`, `cancelled`, ...).
     pub code: String,
     /// Human-readable message.
     pub message: String,
+    /// The full response object — carries code-specific fields such as a
+    /// `cancelled` response's `resume_token`, `reason`, and
+    /// `partial_count`.
+    pub details: Json,
 }
 
 impl std::fmt::Display for RemoteError {
@@ -63,6 +67,16 @@ impl ClientError {
             ClientError::Io(_) => None,
         }
     }
+
+    /// The resume token of a `cancelled` response, when the suspended run
+    /// checkpointed. Feed it back as the `"resume"` field of the next
+    /// query to continue the run.
+    pub fn resume_token(&self) -> Option<&str> {
+        match self {
+            ClientError::Remote(e) => e.details.get("resume_token").and_then(Json::as_str),
+            ClientError::Io(_) => None,
+        }
+    }
 }
 
 fn to_result(response: Json) -> Result<Json, ClientError> {
@@ -70,7 +84,11 @@ fn to_result(response: Json) -> Result<Json, ClientError> {
         return Ok(response);
     }
     let field = |k: &str| response.get(k).and_then(Json::as_str).unwrap_or("<missing>").to_string();
-    Err(ClientError::Remote(RemoteError { code: field("error"), message: field("message") }))
+    Err(ClientError::Remote(RemoteError {
+        code: field("error"),
+        message: field("message"),
+        details: response,
+    }))
 }
 
 impl Client {
@@ -144,6 +162,16 @@ impl Client {
             }
             on_chunk(&line);
         }
+    }
+
+    /// `cancel`: fires the cancel token of the in-flight query submitted
+    /// with this `query_id`. The response's `"found"` says whether such a
+    /// query was live.
+    pub fn cancel(&mut self, query_id: &str) -> Result<Json, ClientError> {
+        self.request(&Json::obj([
+            ("verb", Json::from("cancel")),
+            ("query_id", Json::from(query_id)),
+        ]))
     }
 
     /// `stats`: the server's counters, cache stats, and graph inventory.

@@ -4,7 +4,7 @@
 //! `psgl count --graph missing.txt` and the service's `load` verb report
 //! the same failure the same way.
 
-use psgl_core::PsglError;
+use psgl_core::{CancelReason, PsglError};
 use psgl_graph::GraphError;
 use std::fmt;
 
@@ -58,6 +58,23 @@ pub enum ServiceError {
     Internal(String),
     /// The server is shutting down.
     ShuttingDown,
+    /// The query was cancelled — by an explicit `cancel` request, a client
+    /// disconnect, its `timeout_ms` deadline, or its budget with
+    /// checkpointing on. Carries the partial progress and, when the run
+    /// checkpointed, the token that resumes it.
+    Cancelled {
+        /// Why the run stopped (stable wire name via
+        /// [`CancelReason::as_str`]).
+        reason: CancelReason,
+        /// Superstep the run stopped at (= resume superstep when a
+        /// checkpoint was captured).
+        superstep: u32,
+        /// Instances already found when the run stopped.
+        partial_count: u64,
+        /// Pass back as `"resume"` on the next query to continue the run
+        /// exactly where it stopped. Absent on hard cancels.
+        resume_token: Option<String>,
+    },
 }
 
 impl ServiceError {
@@ -71,6 +88,7 @@ impl ServiceError {
             ServiceError::Load(_) => "load_failed",
             ServiceError::Internal(_) => "internal",
             ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::Cancelled { .. } => "cancelled",
         }
     }
 }
@@ -92,6 +110,14 @@ impl fmt::Display for ServiceError {
             ServiceError::Load(e) => write!(f, "{e}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServiceError::ShuttingDown => write!(f, "server is shutting down"),
+            ServiceError::Cancelled { reason, superstep, partial_count, resume_token } => {
+                write!(
+                    f,
+                    "query cancelled ({reason}) at superstep {superstep}; \
+                     {partial_count} partial instances{}",
+                    if resume_token.is_some() { ", resumable" } else { "" }
+                )
+            }
         }
     }
 }
@@ -112,7 +138,10 @@ impl From<PsglError> for ServiceError {
             }
             PsglError::PatternTooLarge(_)
             | PsglError::BadInitialVertex(_)
-            | PsglError::LabelLengthMismatch { .. } => ServiceError::BadRequest(e.to_string()),
+            | PsglError::LabelLengthMismatch { .. }
+            // A checkpoint that fails to decode or guard-validate came from
+            // the client's resume token: their request is at fault.
+            | PsglError::Checkpoint(_) => ServiceError::BadRequest(e.to_string()),
             PsglError::Engine(_) => ServiceError::Internal(e.to_string()),
         }
     }
@@ -133,6 +162,15 @@ mod tests {
             "budget_exceeded"
         );
         assert_eq!(ServiceError::from(PsglError::PatternTooLarge(13)).code(), "bad_request");
+        let cancelled = ServiceError::Cancelled {
+            reason: CancelReason::Deadline,
+            superstep: 3,
+            partial_count: 7,
+            resume_token: Some("ckpt-1".into()),
+        };
+        assert_eq!(cancelled.code(), "cancelled");
+        let msg = cancelled.to_string();
+        assert!(msg.contains("deadline") && msg.contains("resumable"), "{msg}");
     }
 
     #[test]

@@ -98,6 +98,18 @@ pub struct QuerySpec {
     pub break_automorphisms: bool,
     /// Bypass the result cache for this query.
     pub no_cache: bool,
+    /// Wall-clock deadline in milliseconds (queue time included); an
+    /// expired deadline cancels the run.
+    pub timeout_ms: Option<u64>,
+    /// Capture a resumable checkpoint when the deadline or budget fires,
+    /// and answer with partial results plus a resume token.
+    pub checkpoint: bool,
+    /// Client-chosen identifier for this query, targetable by the
+    /// `cancel` verb while the query is queued or running.
+    pub query_id: Option<String>,
+    /// Resume token from a previous `cancelled` response; the query
+    /// continues the checkpointed run instead of starting over.
+    pub resume: Option<String>,
 }
 
 /// One protocol request.
@@ -120,6 +132,11 @@ pub enum Request {
         query: QuerySpec,
         /// Instances per chunk line (server default when absent).
         chunk: Option<usize>,
+    },
+    /// Cancel an in-flight query by its client-chosen `query_id`.
+    Cancel {
+        /// The `query_id` the query was submitted with.
+        query_id: String,
     },
     /// Server statistics snapshot.
     Stats,
@@ -148,6 +165,16 @@ fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| bad(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn opt_str(obj: &Json, key: &str) -> Result<Option<String>, ServiceError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| bad(format!("field {key:?} must be a string"))),
     }
 }
 
@@ -194,6 +221,10 @@ fn parse_query(obj: &Json) -> Result<QuerySpec, ServiceError> {
         use_index: !flag(obj, "no_index")?,
         break_automorphisms: !flag(obj, "no_break")?,
         no_cache: flag(obj, "no_cache")?,
+        timeout_ms: opt_u64(obj, "timeout_ms")?,
+        checkpoint: flag(obj, "checkpoint")?,
+        query_id: opt_str(obj, "query_id")?,
+        resume: opt_str(obj, "resume")?,
     })
 }
 
@@ -222,11 +253,13 @@ impl Request {
                 query: parse_query(obj)?,
                 chunk: opt_u64(obj, "chunk")?.map(|c| c as usize),
             }),
+            "cancel" => Ok(Request::Cancel { query_id: str_field(obj, "query_id")? }),
             "stats" => Ok(Request::Stats),
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!(
-                "unknown verb {other:?} (expected load, count, list, stats, health or shutdown)"
+                "unknown verb {other:?} (expected load, count, list, cancel, stats, health or \
+                 shutdown)"
             ))),
         }
     }
@@ -257,6 +290,14 @@ pub fn error_response(err: &ServiceError) -> Json {
         pairs.push(("in_flight".to_string(), Json::from(*in_flight)));
         pairs.push(("budget".to_string(), Json::from(*budget)));
     }
+    if let ServiceError::Cancelled { reason, superstep, partial_count, resume_token } = err {
+        pairs.push(("reason".to_string(), Json::from(reason.as_str())));
+        pairs.push(("superstep".to_string(), Json::from(u64::from(*superstep))));
+        pairs.push(("partial_count".to_string(), Json::from(*partial_count)));
+        if let Some(token) = resume_token {
+            pairs.push(("resume_token".to_string(), Json::from(token.clone())));
+        }
+    }
     Json::Obj(pairs)
 }
 
@@ -269,7 +310,8 @@ mod tests {
         let req = Request::parse_line(
             r#"{"verb":"count","graph":"g","pattern":"cycle:5","workers":8,
                "strategy":"wa:0.3","init_vertex":2,"seed":7,"budget":100,
-               "no_index":true,"no_cache":true}"#,
+               "no_index":true,"no_cache":true,"timeout_ms":250,
+               "checkpoint":true,"query_id":"job-1","resume":"ckpt-0"}"#,
         )
         .unwrap();
         match req {
@@ -284,9 +326,49 @@ mod tests {
                 assert!(!q.use_index);
                 assert!(q.break_automorphisms);
                 assert!(q.no_cache);
+                assert_eq!(q.timeout_ms, Some(250));
+                assert!(q.checkpoint);
+                assert_eq!(q.query_id.as_deref(), Some("job-1"));
+                assert_eq!(q.resume.as_deref(), Some("ckpt-0"));
             }
             other => panic!("expected count, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_cancel_and_rejects_it_without_an_id() {
+        match Request::parse_line(r#"{"verb":"cancel","query_id":"job-1"}"#).unwrap() {
+            Request::Cancel { query_id } => assert_eq!(query_id, "job-1"),
+            other => panic!("expected cancel, got {other:?}"),
+        }
+        let err = Request::parse_line(r#"{"verb":"cancel"}"#).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        assert!(err.to_string().contains("query_id"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_responses_carry_partial_progress_and_resume_token() {
+        use psgl_core::CancelReason;
+        let err = error_response(&ServiceError::Cancelled {
+            reason: CancelReason::Deadline,
+            superstep: 2,
+            partial_count: 17,
+            resume_token: Some("ckpt-3".into()),
+        });
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(err.get("error").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(err.get("reason").unwrap().as_str(), Some("deadline"));
+        assert_eq!(err.get("superstep").unwrap().as_u64(), Some(2));
+        assert_eq!(err.get("partial_count").unwrap().as_u64(), Some(17));
+        assert_eq!(err.get("resume_token").unwrap().as_str(), Some("ckpt-3"));
+        // Hard cancels omit the token entirely instead of sending null.
+        let hard = error_response(&ServiceError::Cancelled {
+            reason: CancelReason::Disconnected,
+            superstep: 1,
+            partial_count: 0,
+            resume_token: None,
+        });
+        assert!(hard.get("resume_token").is_none());
     }
 
     #[test]

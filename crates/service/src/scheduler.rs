@@ -13,7 +13,10 @@ use crate::cache::{canonical_pattern, config_fingerprint, CachedQuery, ResultKey
 use crate::error::ServiceError;
 use crate::protocol::QuerySpec;
 use crate::state::ServiceState;
-use psgl_core::{list_subgraphs_prepared, PsglConfig, PsglShared};
+use psgl_core::{
+    list_subgraphs_resumable, CancelToken, Checkpoint, ListingEnd, PsglConfig, PsglError,
+    PsglShared, RunControls, RunnerHooks,
+};
 use psgl_graph::VertexId;
 use psgl_pattern::PatternVertex;
 use std::sync::atomic::Ordering;
@@ -45,6 +48,8 @@ pub struct QueryOutcome {
     pub selection_rule: String,
     /// Wall-clock milliseconds this job took (lookup or run).
     pub wall_ms: f64,
+    /// Whether this outcome completed a resumed (checkpointed) run.
+    pub resumed: bool,
 }
 
 /// One admitted query job.
@@ -53,6 +58,9 @@ pub struct Job {
     pub query: QuerySpec,
     /// Collect instance tuples (list) instead of counting only.
     pub collect: bool,
+    /// The run's cancel token: carries the query's deadline and is fired
+    /// by the `cancel` verb or a client disconnect.
+    pub token: CancelToken,
     /// Where the worker sends the outcome.
     pub reply: std::sync::mpsc::Sender<Result<QueryOutcome, ServiceError>>,
 }
@@ -134,8 +142,19 @@ fn worker_loop(state: &ServiceState, rx: &Mutex<Receiver<Job>>) {
             Err(_) => return, // all senders dropped: shutdown
         };
         state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // A job cancelled while still queued (disconnect, cancel verb)
+        // frees its worker immediately instead of running the engine.
+        if let Some(reason) = job.token.reason() {
+            let _ = job.reply.send(Err(ServiceError::Cancelled {
+                reason,
+                superstep: 0,
+                partial_count: 0,
+                resume_token: None,
+            }));
+            continue;
+        }
         state.stats.running.fetch_add(1, Ordering::Relaxed);
-        let outcome = execute_query(state, &job.query, job.collect);
+        let outcome = execute_query(state, &job.query, job.collect, &job.token);
         state.stats.running.fetch_sub(1, Ordering::Relaxed);
         // The client may have disconnected while waiting; nothing to do.
         let _ = job.reply.send(outcome);
@@ -148,12 +167,27 @@ pub fn execute_query(
     state: &ServiceState,
     query: &QuerySpec,
     collect: bool,
+    token: &CancelToken,
 ) -> Result<QueryOutcome, ServiceError> {
     let start = Instant::now();
     let entry = state
         .catalog
         .get(&query.graph)
         .ok_or_else(|| ServiceError::GraphNotFound(query.graph.clone()))?;
+    // A resume token buys back the suspended run's checkpoint. Tokens are
+    // single-use: the bytes leave the store here, and a failed decode or
+    // guard mismatch is the client's error.
+    let resume_checkpoint = match &query.resume {
+        Some(tok) => {
+            let bytes = state.checkpoints.take(tok).ok_or_else(|| {
+                ServiceError::BadRequest(format!("unknown or expired resume token {tok:?}"))
+            })?;
+            let cp = Checkpoint::from_bytes(&bytes)
+                .map_err(|e| ServiceError::from(PsglError::from(e)))?;
+            Some(cp)
+        }
+        None => None,
+    };
     let config = PsglConfig {
         workers: query.workers.unwrap_or(state.defaults.workers).max(1),
         init_vertex: query.init_vertex,
@@ -173,7 +207,9 @@ pub fn execute_query(
         pattern: canonical_pattern(&query.pattern),
         config_fp: config_fingerprint(&config),
     };
-    if !query.no_cache {
+    // A resumed run continues mid-flight state; the cache only answers
+    // whole queries, so resumes bypass it in both directions.
+    if !query.no_cache && resume_checkpoint.is_none() {
         if let Some(cached) = state.results.get(&key) {
             return Ok(QueryOutcome {
                 count: cached.count,
@@ -186,6 +222,7 @@ pub fn execute_query(
                 init_vertex: cached.init_vertex,
                 selection_rule: cached.selection_rule.clone(),
                 wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                resumed: false,
             });
         }
     }
@@ -195,7 +232,29 @@ pub fn execute_query(
         .map_err(ServiceError::from)?;
     let index = config.use_edge_index.then(|| Arc::clone(&entry.index));
     let shared = PsglShared::from_parts(&entry.graph, Arc::clone(&entry.ordered), index, &plan);
-    let result = list_subgraphs_prepared(&shared, &config).map_err(ServiceError::from)?;
+    let resumed = resume_checkpoint.is_some();
+    let controls = RunControls {
+        cancel: Some(token),
+        checkpoint: query.checkpoint,
+        resume: resume_checkpoint,
+    };
+    let end = list_subgraphs_resumable(&shared, &config, &RunnerHooks::default(), controls)
+        .map_err(ServiceError::from)?;
+    let result = match end {
+        ListingEnd::Complete(result) => result,
+        ListingEnd::Cancelled(c) => {
+            // Partial engine work still happened; keep the server-wide
+            // counters honest before reporting the cancellation.
+            state.stats.record_run(&c.partial.stats);
+            let resume_token = c.checkpoint.as_ref().map(|cp| state.checkpoints.put(cp.to_bytes()));
+            return Err(ServiceError::Cancelled {
+                reason: c.reason,
+                superstep: c.superstep,
+                partial_count: c.partial.instance_count,
+                resume_token,
+            });
+        }
+    };
     state.stats.record_run(&result.stats);
     let outcome = QueryOutcome {
         count: result.instance_count,
@@ -208,8 +267,9 @@ pub fn execute_query(
         init_vertex: result.init_vertex,
         selection_rule: format!("{:?}", result.selection_rule),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        resumed,
     };
-    if !query.no_cache {
+    if !query.no_cache && !resumed {
         state.results.insert(
             key,
             CachedQuery {
@@ -232,6 +292,7 @@ mod tests {
     use crate::loader::GraphFormat;
     use crate::protocol::parse_pattern_spec;
     use crate::state::QueryDefaults;
+    use psgl_core::CancelReason;
     use std::sync::mpsc::channel;
 
     fn karate_state() -> Arc<ServiceState> {
@@ -253,17 +314,21 @@ mod tests {
             use_index: true,
             break_automorphisms: true,
             no_cache: false,
+            timeout_ms: None,
+            checkpoint: false,
+            query_id: None,
+            resume: None,
         }
     }
 
     #[test]
     fn execute_counts_karate_triangles_and_caches() {
         let state = karate_state();
-        let first = execute_query(&state, &triangle_query(), false).unwrap();
+        let first = execute_query(&state, &triangle_query(), false, &CancelToken::new()).unwrap();
         assert_eq!(first.count, 45);
         assert!(!first.cache_hit);
         assert!(first.gpsis_generated > 0);
-        let second = execute_query(&state, &triangle_query(), false).unwrap();
+        let second = execute_query(&state, &triangle_query(), false, &CancelToken::new()).unwrap();
         assert_eq!(second.count, 45);
         assert!(second.cache_hit);
         let (hits, misses, ..) = state.results.stats();
@@ -278,25 +343,28 @@ mod tests {
         let state = karate_state();
         let mut q = triangle_query();
         q.budget = Some(1);
-        match execute_query(&state, &q, false) {
+        match execute_query(&state, &q, false, &CancelToken::new()) {
             Err(ServiceError::BudgetExceeded { budget: 1, .. }) => {}
             other => panic!("expected budget_exceeded, got {:?}", other.err().map(|e| e.code())),
         }
         q.graph = "missing".into();
-        assert_eq!(execute_query(&state, &q, false).unwrap_err().code(), "not_found");
+        assert_eq!(
+            execute_query(&state, &q, false, &CancelToken::new()).unwrap_err().code(),
+            "not_found"
+        );
     }
 
     #[test]
     fn list_collects_instances_and_shares_them_via_cache() {
         let state = karate_state();
-        let out = execute_query(&state, &triangle_query(), true).unwrap();
+        let out = execute_query(&state, &triangle_query(), true, &CancelToken::new()).unwrap();
         let instances = out.instances.expect("collected");
         assert_eq!(instances.len(), 45);
-        let again = execute_query(&state, &triangle_query(), true).unwrap();
+        let again = execute_query(&state, &triangle_query(), true, &CancelToken::new()).unwrap();
         assert!(again.cache_hit);
         assert!(Arc::ptr_eq(&instances, again.instances.as_ref().unwrap()));
         // A count query has a different config fingerprint → separate entry.
-        let count = execute_query(&state, &triangle_query(), false).unwrap();
+        let count = execute_query(&state, &triangle_query(), false, &CancelToken::new()).unwrap();
         assert!(!count.cache_hit);
     }
 
@@ -306,13 +374,25 @@ mod tests {
         // Real pool: jobs execute and reply.
         let scheduler = Scheduler::start(Arc::clone(&state), 2, 4);
         let (tx, rx) = channel();
-        scheduler.submit(Job { query: triangle_query(), collect: false, reply: tx }).unwrap();
+        scheduler
+            .submit(Job {
+                query: triangle_query(),
+                collect: false,
+                token: CancelToken::new(),
+                reply: tx,
+            })
+            .unwrap();
         let outcome = rx.recv().unwrap().unwrap();
         assert_eq!(outcome.count, 45);
         scheduler.shutdown();
         assert_eq!(
             scheduler
-                .submit(Job { query: triangle_query(), collect: false, reply: channel().0 })
+                .submit(Job {
+                    query: triangle_query(),
+                    collect: false,
+                    token: CancelToken::new(),
+                    reply: channel().0
+                })
                 .unwrap_err()
                 .code(),
             "shutting_down"
@@ -322,14 +402,85 @@ mod tests {
         let stalled = Scheduler::start(Arc::clone(&state), 0, 2);
         for _ in 0..2 {
             stalled
-                .submit(Job { query: triangle_query(), collect: false, reply: channel().0 })
+                .submit(Job {
+                    query: triangle_query(),
+                    collect: false,
+                    token: CancelToken::new(),
+                    reply: channel().0,
+                })
                 .unwrap();
         }
         let err = stalled
-            .submit(Job { query: triangle_query(), collect: false, reply: channel().0 })
+            .submit(Job {
+                query: triangle_query(),
+                collect: false,
+                token: CancelToken::new(),
+                reply: channel().0,
+            })
             .unwrap_err();
         assert_eq!(err.code(), "overloaded");
         assert!(matches!(err, ServiceError::Overloaded { queue_cap: 2 }));
         stalled.shutdown();
+    }
+
+    #[test]
+    fn pre_cancelled_jobs_are_skipped_without_engine_work() {
+        let state = karate_state();
+        let scheduler = Scheduler::start(Arc::clone(&state), 1, 4);
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Disconnected);
+        let (tx, rx) = channel();
+        scheduler
+            .submit(Job { query: triangle_query(), collect: false, token, reply: tx })
+            .unwrap();
+        match rx.recv().unwrap() {
+            Err(ServiceError::Cancelled { reason, partial_count: 0, .. }) => {
+                assert_eq!(reason, CancelReason::Disconnected);
+            }
+            other => panic!("expected cancelled, got {:?}", other.map(|o| o.count)),
+        }
+        // No engine work ran for the skipped job.
+        assert_eq!(state.stats.gpsis_generated.load(Ordering::Relaxed), 0);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn deadline_with_checkpoint_suspends_and_resumes_through_the_store() {
+        let state = karate_state();
+        // An already-expired deadline plus checkpointing: the run stops at
+        // the first barrier with in-flight work and leaves a resume token.
+        let expired = CancelToken::with_timeout(std::time::Duration::from_millis(0));
+        let mut q = triangle_query();
+        q.checkpoint = true;
+        q.no_cache = true;
+        let err = execute_query(&state, &q, false, &expired).unwrap_err();
+        let (superstep, token) = match err {
+            ServiceError::Cancelled {
+                reason: CancelReason::Deadline,
+                superstep,
+                resume_token: Some(t),
+                ..
+            } => (superstep, t),
+            other => panic!("expected resumable deadline cancel, got {:?}", other.code()),
+        };
+        assert_eq!(state.checkpoints.len(), 1);
+
+        // Resuming completes the query with the uninterrupted answer.
+        let mut resume = triangle_query();
+        resume.no_cache = true;
+        resume.resume = Some(token.clone());
+        let out = execute_query(&state, &resume, false, &CancelToken::new()).unwrap();
+        assert_eq!(out.count, 45);
+        assert!(out.resumed);
+        assert!(out.supersteps as u64 >= u64::from(superstep));
+        assert!(state.checkpoints.is_empty(), "resume tokens are single-use");
+
+        // Replaying the token fails cleanly.
+        let mut replay = triangle_query();
+        replay.resume = Some(token);
+        assert_eq!(
+            execute_query(&state, &replay, false, &CancelToken::new()).unwrap_err().code(),
+            "bad_request"
+        );
     }
 }

@@ -6,10 +6,11 @@ use crate::json::Json;
 use crate::protocol::{error_response, ok_response, Request};
 use crate::scheduler::{Job, QueryOutcome, Scheduler};
 use crate::state::{QueryDefaults, ServiceState};
+use psgl_core::{CancelReason, CancelToken};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -17,6 +18,14 @@ use std::time::Duration;
 /// Longest accepted request line; a protocol line beyond this is hostile
 /// or broken input, and the connection is dropped after an error reply.
 const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// How often the accept loop re-checks the stop flag between
+/// `WouldBlock` polls of the non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How often a connection waiting on a worker reply checks whether its
+/// client hung up (and should therefore cancel the in-flight job).
+const REPLY_POLL: Duration = Duration::from_millis(25);
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -72,10 +81,12 @@ impl ServiceHandle {
     }
 
     /// Requests shutdown and waits for the accept loop and workers to
-    /// finish. Idempotent; also triggered by the `shutdown` verb.
+    /// finish. Idempotent; also triggered by the `shutdown` verb. The
+    /// accept loop polls a non-blocking listener, so the flag alone stops
+    /// it — no connect-to-self nudge, which would hang on an unroutable
+    /// listen address.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        poke(self.addr);
         self.wait();
     }
 
@@ -87,11 +98,6 @@ impl ServiceHandle {
             let _ = handle.join();
         }
     }
-}
-
-/// Unblocks `TcpListener::accept` after the stop flag is set.
-fn poke(addr: SocketAddr) {
-    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
 }
 
 /// Binds and starts serving; returns once the listener is accepting.
@@ -111,23 +117,35 @@ pub fn serve_with_state(
 ) -> std::io::Result<ServiceHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // Non-blocking accept + stop-flag polling: shutdown needs no traffic
+    // to take effect, so it works even when the listen address is not
+    // routable from this host (the old connect-to-self nudge was not).
+    listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
     let scheduler = Arc::new(Scheduler::start(Arc::clone(&state), config.pool, config.queue_cap));
     let accept = {
         let state = Arc::clone(&state);
         let stop = Arc::clone(&stop);
         std::thread::Builder::new().name("psgl-accept".to_string()).spawn(move || {
-            for stream in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
+            while !stop.load(Ordering::SeqCst) {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                        continue;
+                    }
+                    Err(_) => continue,
+                };
+                // Connections use ordinary blocking reads; only the
+                // listener itself polls.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
                 }
-                let Ok(stream) = stream else { continue };
                 state.stats.connections.fetch_add(1, Ordering::Relaxed);
                 let conn = Connection {
                     state: Arc::clone(&state),
                     scheduler: Arc::clone(&scheduler),
                     stop: Arc::clone(&stop),
-                    addr,
                     list_chunk: config.list_chunk,
                 };
                 // Connection threads are detached: they die with their
@@ -146,7 +164,6 @@ struct Connection {
     state: Arc<ServiceState>,
     scheduler: Arc<Scheduler>,
     stop: Arc<AtomicBool>,
-    addr: SocketAddr,
     list_chunk: usize,
 }
 
@@ -227,10 +244,19 @@ impl Connection {
             Request::Shutdown => {
                 let _ = write_json(writer, &ok_response([("stopping", Json::from(true))]));
                 self.stop.store(true, Ordering::SeqCst);
-                poke(self.addr);
                 false
             }
-            Request::Count(query) => match self.run_job(query, false) {
+            Request::Cancel { query_id } => {
+                let found = self.state.jobs.cancel(&query_id);
+                write_json(
+                    writer,
+                    &ok_response([
+                        ("query_id", Json::from(query_id)),
+                        ("found", Json::from(found)),
+                    ]),
+                )
+            }
+            Request::Count(query) => match self.run_job(query, false, writer) {
                 Ok(outcome) => {
                     self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
                     write_json(writer, &count_response(&outcome))
@@ -239,7 +265,7 @@ impl Connection {
             },
             Request::List { query, chunk } => {
                 let chunk = chunk.unwrap_or(self.list_chunk).max(1);
-                match self.run_job(query, true) {
+                match self.run_job(query, true, writer) {
                     Ok(outcome) => {
                         self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
                         self.write_list_chunks(writer, &outcome, chunk)
@@ -250,21 +276,52 @@ impl Connection {
         }
     }
 
-    /// Submits through admission control and waits for the worker.
+    /// Submits through admission control and waits for the worker,
+    /// watching the client socket the whole time: a client that hangs up
+    /// mid-query cancels its job, so the worker slot frees up instead of
+    /// finishing work nobody will read.
     fn run_job(
         &self,
         query: crate::protocol::QuerySpec,
         collect: bool,
+        conn: &TcpStream,
     ) -> Result<QueryOutcome, ServiceError> {
+        let token = match query.timeout_ms {
+            Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let query_id = query.query_id.clone();
+        if let Some(id) = &query_id {
+            self.state.jobs.register(id.clone(), token.clone());
+        }
         let (tx, rx) = channel();
-        self.scheduler.submit(Job { query, collect, reply: tx })?;
-        rx.recv().map_err(|_| ServiceError::ShuttingDown)?
+        let submitted =
+            self.scheduler.submit(Job { query, collect, token: token.clone(), reply: tx });
+        let result = match submitted {
+            Ok(()) => loop {
+                match rx.recv_timeout(REPLY_POLL) {
+                    Ok(reply) => break reply,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if !token.is_cancelled() && client_gone(conn) {
+                            token.cancel(CancelReason::Disconnected);
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break Err(ServiceError::ShuttingDown),
+                }
+            },
+            Err(e) => Err(e),
+        };
+        if let Some(id) = &query_id {
+            self.state.jobs.unregister(id);
+        }
+        result
     }
 
     fn write_query_error(&self, writer: &mut TcpStream, e: &ServiceError) -> bool {
         let counter = match e {
             ServiceError::Overloaded { .. } => &self.state.stats.rejected_overloaded,
             ServiceError::BudgetExceeded { .. } => &self.state.stats.rejected_budget,
+            ServiceError::Cancelled { .. } => &self.state.stats.cancelled,
             _ => &self.state.stats.queries_failed,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -304,7 +361,27 @@ fn query_fields(outcome: &QueryOutcome) -> Vec<(&'static str, Json)> {
         ("init_vertex", Json::from(u64::from(outcome.init_vertex) + 1)), // 1-based, CLI-style
         ("selection_rule", Json::from(outcome.selection_rule.clone())),
         ("wall_ms", Json::from(outcome.wall_ms)),
+        ("resumed", Json::from(outcome.resumed)),
     ]
+}
+
+/// Whether the client side of `conn` has hung up: a zero-byte `peek`
+/// (EOF) or a hard socket error. Pending pipelined bytes and `WouldBlock`
+/// both mean the peer is still there. The socket is flipped to
+/// non-blocking only for the probe.
+fn client_gone(conn: &TcpStream) -> bool {
+    if conn.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match conn.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = conn.set_nonblocking(false);
+    gone
 }
 
 fn count_response(outcome: &QueryOutcome) -> Json {

@@ -3,6 +3,14 @@
 use crate::cache::{PlanCache, ResultCache};
 use crate::catalog::GraphCatalog;
 use crate::stats::ServerStats;
+use psgl_core::CancelToken;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Checkpoints the store keeps before evicting the oldest; each is one
+/// suspended query's frontier, so a small bound suffices.
+const CHECKPOINT_CAP: usize = 64;
 
 /// Engine defaults applied when a query omits a knob.
 #[derive(Clone, Debug)]
@@ -34,6 +42,10 @@ pub struct ServiceState {
     pub stats: ServerStats,
     /// Per-query defaults.
     pub defaults: QueryDefaults,
+    /// Suspended-run checkpoints, addressed by resume token.
+    pub checkpoints: CheckpointStore,
+    /// Cancel tokens of queued and running queries, by `query_id`.
+    pub jobs: JobRegistry,
 }
 
 impl ServiceState {
@@ -45,6 +57,123 @@ impl ServiceState {
             results: ResultCache::new(result_cache_cap),
             stats: ServerStats::new(),
             defaults,
+            checkpoints: CheckpointStore::new(CHECKPOINT_CAP),
+            jobs: JobRegistry::default(),
         }
+    }
+}
+
+/// Bounded FIFO store of serialized [`psgl_core::Checkpoint`]s from
+/// deadline- or budget-suspended queries. Tokens are single-use: `take`
+/// removes the entry, so a resume token cannot be replayed.
+pub struct CheckpointStore {
+    cap: usize,
+    inner: Mutex<CheckpointStoreInner>,
+}
+
+#[derive(Default)]
+struct CheckpointStoreInner {
+    next_token: u64,
+    entries: VecDeque<(String, Vec<u8>)>,
+}
+
+impl CheckpointStore {
+    /// An empty store evicting FIFO beyond `cap` checkpoints.
+    pub fn new(cap: usize) -> CheckpointStore {
+        CheckpointStore { cap: cap.max(1), inner: Mutex::new(CheckpointStoreInner::default()) }
+    }
+
+    /// Stores one serialized checkpoint and returns its resume token.
+    pub fn put(&self, bytes: Vec<u8>) -> String {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let token = format!("ckpt-{}", inner.next_token);
+        inner.next_token += 1;
+        inner.entries.push_back((token.clone(), bytes));
+        while inner.entries.len() > self.cap {
+            inner.entries.pop_front();
+        }
+        token
+    }
+
+    /// Removes and returns the checkpoint for `token` (single use).
+    pub fn take(&self, token: &str) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let pos = inner.entries.iter().position(|(t, _)| t == token)?;
+        inner.entries.remove(pos).map(|(_, bytes)| bytes)
+    }
+
+    /// Checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Live queries addressable by the `cancel` verb: `query_id` → the run's
+/// [`CancelToken`]. Entries cover a job's whole lifetime — queue wait
+/// included — so a cancel lands whether the query is waiting or running.
+#[derive(Default)]
+pub struct JobRegistry {
+    inner: Mutex<HashMap<String, CancelToken>>,
+}
+
+impl JobRegistry {
+    /// Registers a query's token; a later registration under the same id
+    /// replaces the earlier one (latest submission wins).
+    pub fn register(&self, query_id: String, token: CancelToken) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).insert(query_id, token);
+    }
+
+    /// Drops a finished query's entry.
+    pub fn unregister(&self, query_id: &str) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).remove(query_id);
+    }
+
+    /// Cancels the query registered under `query_id`; false when no such
+    /// query is in flight.
+    pub fn cancel(&self, query_id: &str) -> bool {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.get(query_id) {
+            Some(token) => {
+                token.cancel(psgl_core::CancelReason::Explicit);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_tokens_are_single_use_and_fifo_bounded() {
+        let store = CheckpointStore::new(2);
+        let a = store.put(vec![1]);
+        let b = store.put(vec![2]);
+        let c = store.put(vec![3]); // evicts a
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.take(&a), None, "evicted token is gone");
+        assert_eq!(store.take(&b), Some(vec![2]));
+        assert_eq!(store.take(&b), None, "tokens are single-use");
+        assert_eq!(store.take(&c), Some(vec![3]));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn job_registry_cancels_only_live_entries() {
+        let jobs = JobRegistry::default();
+        let token = CancelToken::new();
+        jobs.register("q1".into(), token.clone());
+        assert!(!jobs.cancel("q2"));
+        assert!(jobs.cancel("q1"));
+        assert!(token.is_cancelled());
+        jobs.unregister("q1");
+        assert!(!jobs.cancel("q1"), "unregistered id no longer cancellable");
     }
 }

@@ -25,6 +25,9 @@ pub struct ServerStats {
     pub rejected_budget: AtomicU64,
     /// Queries failed for any other reason.
     pub queries_failed: AtomicU64,
+    /// Queries cancelled (explicit cancel, client disconnect, deadline,
+    /// or budget-with-checkpoint), resumable or not.
+    pub cancelled: AtomicU64,
     /// Jobs currently waiting in the admission queue (gauge).
     pub queue_depth: AtomicU64,
     /// Jobs currently executing on the worker pool (gauge).
@@ -52,6 +55,7 @@ impl Default for ServerStats {
             rejected_overloaded: AtomicU64::new(0),
             rejected_budget: AtomicU64::new(0),
             queries_failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             running: AtomicU64::new(0),
             gpsis_generated: AtomicU64::new(0),
@@ -89,6 +93,7 @@ impl ServerStats {
             ("rejected_overloaded", Json::from(self.rejected_overloaded.load(Ordering::Relaxed))),
             ("rejected_budget", Json::from(self.rejected_budget.load(Ordering::Relaxed))),
             ("queries_failed", Json::from(self.queries_failed.load(Ordering::Relaxed))),
+            ("cancelled", Json::from(self.cancelled.load(Ordering::Relaxed))),
             ("queue_depth", Json::from(self.queue_depth.load(Ordering::Relaxed))),
             ("running", Json::from(self.running.load(Ordering::Relaxed))),
             ("gpsis_generated", Json::from(self.gpsis_generated.load(Ordering::Relaxed))),

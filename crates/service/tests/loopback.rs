@@ -321,6 +321,224 @@ fn loopback_tight_budget_rejects_each_time_but_never_poisons_the_connection() {
     handle.shutdown();
 }
 
+/// Writes a dense pseudo-random edge list (LCG-generated, deterministic)
+/// to a temp file and loads it as `name`. Counting squares on it occupies
+/// a worker long enough to observe cancellation races deterministically.
+fn load_dense_graph(client: &mut Client, name: &str) -> std::path::PathBuf {
+    use std::io::Write as _;
+    let path = std::env::temp_dir().join(format!("psgl-{name}-{}.txt", std::process::id()));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+    let (n, m) = (1_000u64, 30_000u64);
+    let mut state = 0x5EEDu64;
+    let mut step = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % n
+    };
+    let mut written = 0u64;
+    while written < m {
+        let (u, v) = (step(), step());
+        if u != v {
+            writeln!(f, "{u} {v}").unwrap();
+            written += 1;
+        }
+    }
+    drop(f);
+    client
+        .request(&Json::obj([
+            ("verb", Json::from("load")),
+            ("name", Json::from(name)),
+            ("path", Json::from(path.to_str().unwrap())),
+            ("format", Json::from("edge-list")),
+        ]))
+        .unwrap();
+    path
+}
+
+fn slow_request(graph: &str, extra: &[(&'static str, Json)]) -> Json {
+    let mut fields = vec![
+        ("verb", Json::from("count")),
+        ("graph", Json::from(graph)),
+        ("pattern", Json::from("square")),
+        ("no_cache", Json::from(true)),
+    ];
+    fields.extend(extra.iter().cloned());
+    Json::obj(fields)
+}
+
+fn server_field(client: &mut Client, key: &str) -> u64 {
+    let stats = client.stats().unwrap();
+    u64_field(stats.get("server").unwrap(), key)
+}
+
+#[test]
+fn loopback_timeout_cancels_within_twice_the_deadline() {
+    use std::time::Instant;
+
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let path = load_dense_graph(&mut client, "dense");
+
+    // Baseline: how long the query takes uninterrupted on this machine.
+    let start = Instant::now();
+    let baseline = client.request(&slow_request("dense", &[])).unwrap();
+    let baseline_ms = start.elapsed().as_millis() as u64;
+    assert!(baseline_ms >= 100, "dense square count too fast ({baseline_ms}ms) to time out");
+
+    // A deadline at a quarter of the baseline must cancel, and the
+    // response must land within twice the deadline (hard cancels poll
+    // inside the superstep, so granularity is a message batch, not a
+    // superstep).
+    let timeout_ms = (baseline_ms / 4).max(50);
+    let start = Instant::now();
+    let err = client
+        .request(&slow_request("dense", &[("timeout_ms", Json::from(timeout_ms))]))
+        .unwrap_err();
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    assert_eq!(err.code(), Some("cancelled"), "{err}");
+    match &err {
+        ClientError::Remote(remote) => {
+            assert_eq!(remote.details.get("reason").and_then(Json::as_str), Some("deadline"));
+            assert!(remote.details.get("resume_token").is_none(), "hard cancel has no token");
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    assert!(
+        elapsed_ms <= 2 * timeout_ms,
+        "cancelled response took {elapsed_ms}ms against a {timeout_ms}ms deadline"
+    );
+
+    // The connection and server both keep working afterwards.
+    let after = client.request(&slow_request("dense", &[])).unwrap();
+    assert_eq!(u64_field(&after, "count"), u64_field(&baseline, "count"));
+    assert_eq!(server_field(&mut client, "cancelled"), 1);
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+#[test]
+fn loopback_budget_checkpoint_suspends_and_resume_token_completes() {
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.load("karate", "karate-club", "fixture").unwrap();
+    let reference = client.count("karate", "triangle").unwrap();
+    assert_eq!(u64_field(&reference, "count"), 45);
+
+    // A tiny budget with checkpointing suspends instead of failing.
+    let err = client
+        .request(&count_request(&[
+            ("budget", Json::from(1u64)),
+            ("checkpoint", Json::from(true)),
+            ("no_cache", Json::from(true)),
+        ]))
+        .unwrap_err();
+    assert_eq!(err.code(), Some("cancelled"), "{err}");
+    let token = err.resume_token().expect("budget cancel with checkpoint is resumable").to_string();
+    match &err {
+        ClientError::Remote(remote) => {
+            assert_eq!(remote.details.get("reason").and_then(Json::as_str), Some("budget"));
+            assert!(remote.details.get("partial_count").and_then(Json::as_u64).unwrap() < 45);
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+
+    // Resuming (without the tight budget) finishes with the exact answer.
+    let resumed = client
+        .request(&count_request(&[
+            ("resume", Json::from(token.clone())),
+            ("no_cache", Json::from(true)),
+        ]))
+        .unwrap();
+    assert_eq!(u64_field(&resumed, "count"), 45);
+    assert_eq!(resumed.get("resumed").and_then(Json::as_bool), Some(true));
+
+    // Resume tokens are single-use: replay fails cleanly.
+    let replay = client.request(&count_request(&[("resume", Json::from(token))])).unwrap_err();
+    assert_eq!(replay.code(), Some("bad_request"), "{replay}");
+    assert_eq!(server_field(&mut client, "cancelled"), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn loopback_disconnect_mid_query_cancels_the_job_and_frees_the_slot() {
+    use std::io::Write as _;
+    use std::time::{Duration, Instant};
+
+    // One worker: the abandoned query must release it or nothing else runs.
+    let config = ServiceConfig { pool: 1, queue_cap: 2, ..test_config() };
+    let handle = serve(config).expect("bind loopback");
+    let mut monitor = Client::connect(handle.addr()).expect("connect");
+    let path = load_dense_graph(&mut monitor, "dense");
+    monitor.load("karate", "karate-club", "fixture").unwrap();
+
+    // A raw connection submits the slow query, waits until it occupies the
+    // worker, then vanishes without reading the response.
+    let mut doomed = std::net::TcpStream::connect(handle.addr()).unwrap();
+    writeln!(doomed, "{}", slow_request("dense", &[])).unwrap();
+    doomed.flush().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server_field(&mut monitor, "running") == 0 {
+        assert!(Instant::now() < deadline, "abandoned query never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(doomed);
+
+    // The server notices the dead client, cancels the job, and frees the
+    // worker — long before the query could have finished on its own.
+    while server_field(&mut monitor, "cancelled") == 0 {
+        assert!(Instant::now() < deadline, "disconnect never cancelled the job");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server_field(&mut monitor, "running"), 0);
+
+    // The freed slot serves the next query normally.
+    let next = monitor.count("karate", "triangle").unwrap();
+    assert_eq!(u64_field(&next, "count"), 45);
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+#[test]
+fn loopback_cancel_verb_aborts_a_running_query_by_id() {
+    use std::time::{Duration, Instant};
+
+    let config = ServiceConfig { pool: 1, queue_cap: 2, ..test_config() };
+    let handle = serve(config).expect("bind loopback");
+    let mut monitor = Client::connect(handle.addr()).expect("connect");
+    let path = load_dense_graph(&mut monitor, "dense");
+
+    let addr = handle.addr();
+    let victim = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&slow_request("dense", &[("query_id", Json::from("job-1"))]))
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server_field(&mut monitor, "running") == 0 {
+        assert!(Instant::now() < deadline && !victim.is_finished(), "query never ran");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let ack = monitor.cancel("job-1").unwrap();
+    assert_eq!(ack.get("found").and_then(Json::as_bool), Some(true));
+    let err = victim.join().unwrap().unwrap_err();
+    assert_eq!(err.code(), Some("cancelled"), "{err}");
+    match &err {
+        ClientError::Remote(remote) => {
+            assert_eq!(remote.details.get("reason").and_then(Json::as_str), Some("explicit"));
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+
+    // A finished query_id is no longer cancellable.
+    let gone = monitor.cancel("job-1").unwrap();
+    assert_eq!(gone.get("found").and_then(Json::as_bool), Some(false));
+    assert_eq!(server_field(&mut monitor, "cancelled"), 1);
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
 #[test]
 fn loopback_bad_requests_get_structured_errors() {
     let handle = serve(test_config()).expect("bind loopback");

@@ -78,9 +78,13 @@ fn main() -> ExitCode {
         let scenario = Scenario::from_seed(seed);
         match scenario.run() {
             Ok(report) => {
+                let resumed = match report.resumed_at {
+                    Some(superstep) => format!(", resumed from superstep {superstep}"),
+                    None => String::new(),
+                };
                 println!(
                     "seed {seed}: ok — {} instances (= oracle), fingerprint {:016x}, \
-                     trace {:016x}",
+                     trace {:016x}{resumed}",
                     report.instance_count, report.fingerprint, report.trace_hash
                 );
             }

@@ -15,9 +15,12 @@ use crate::fingerprint::fingerprint_run;
 use crate::invariants::{self, Violation};
 use crate::oracle;
 use crate::sched::{SimExecutor, SimRng};
-use psgl_core::runner::RunnerHooks;
+use psgl_core::runner::{ListingResult, RunnerHooks};
 use psgl_core::stats::RunStats;
-use psgl_core::{list_subgraphs_prepared_with, PsglConfig, PsglShared, Strategy};
+use psgl_core::{
+    list_subgraphs_prepared_with, list_subgraphs_resumable, CancelToken, Checkpoint, ListingEnd,
+    PsglConfig, PsglShared, RunControls, Strategy,
+};
 use psgl_graph::generators::erdos_renyi_gnm;
 use psgl_graph::hash::hash_u64;
 use psgl_graph::partition::HashPartitioner;
@@ -64,6 +67,10 @@ pub struct Scenario {
     pub stall_per_mille: u16,
     /// `PsglConfig::seed` for the run (distributor RNG, partitioner salt).
     pub run_seed: u64,
+    /// Cancellation fault: suspend the run with a checkpoint at this
+    /// superstep, then resume and require exact parity with the
+    /// uninterrupted run (`None` = fault not drawn).
+    pub cancel_at_superstep: Option<u32>,
 }
 
 impl fmt::Debug for Scenario {
@@ -87,6 +94,7 @@ impl fmt::Debug for Scenario {
             .field("skew_per_mille", &self.skew_per_mille)
             .field("stall_per_mille", &self.stall_per_mille)
             .field("run_seed", &self.run_seed)
+            .field("cancel_at_superstep", &self.cancel_at_superstep)
             .finish()
     }
 }
@@ -140,6 +148,12 @@ impl Scenario {
         let skew_per_mille = [0u16, 200, 500, 800][rng.below(4) as usize];
         let stall_per_mille = [0u16, 250, 500][rng.below(3) as usize];
         let run_seed = rng.next_u64();
+        // Drawn last so every earlier field keeps the exact stream it had
+        // before this fault class existed — pinned corpus seeds still
+        // expand to the same configurations, merely gaining (or not) a
+        // suspend/resume on top.
+        let cancel_at_superstep =
+            if rng.below(4) == 0 { Some(1 + rng.below(3) as u32) } else { None };
         Scenario {
             seed,
             pattern,
@@ -156,6 +170,23 @@ impl Scenario {
             skew_per_mille,
             stall_per_mille,
             run_seed,
+            cancel_at_superstep,
+        }
+    }
+
+    /// Runner hooks for one execution under `executor`; each run gets its
+    /// own (identically-seeded) partitioner, so multiple runs of the same
+    /// scenario see the same vertex placement.
+    fn hooks<'a>(&self, executor: &'a SimExecutor) -> RunnerHooks<'a> {
+        let partitioner = (self.skew_per_mille > 0).then(|| {
+            HashPartitioner::with_skew(self.workers, hash_u64(self.run_seed), self.skew_per_mille)
+        });
+        RunnerHooks {
+            executor: Some(executor),
+            partitioner,
+            max_live_chunks: self.max_live_chunks,
+            steal_budget: self.steal_budget,
+            exchange_shuffle_seed: self.exchange_shuffle_seed,
         }
     }
 
@@ -174,16 +205,7 @@ impl Scenario {
         let shared = PsglShared::prepare(&graph, &self.pattern, &config)
             .map_err(|e| self.failure(vec![], Some(e.to_string())))?;
         let executor = SimExecutor::new(self.seed, self.stall_per_mille);
-        let partitioner = (self.skew_per_mille > 0).then(|| {
-            HashPartitioner::with_skew(self.workers, hash_u64(self.run_seed), self.skew_per_mille)
-        });
-        let hooks = RunnerHooks {
-            executor: Some(&executor),
-            partitioner,
-            max_live_chunks: self.max_live_chunks,
-            steal_budget: self.steal_budget,
-            exchange_shuffle_seed: self.exchange_shuffle_seed,
-        };
+        let hooks = self.hooks(&executor);
         let result = list_subgraphs_prepared_with(&shared, &config, &hooks)
             .map_err(|e| self.failure(vec![], Some(e.to_string())))?;
         let oracle_count = oracle::count_cached(
@@ -197,14 +219,96 @@ impl Scenario {
         if !violations.is_empty() {
             return Err(self.failure(violations, None));
         }
+        let mut resumed_at = None;
+        if let Some(deadline) = self.cancel_at_superstep {
+            resumed_at = self.check_suspend_resume(&graph, &shared, &config, &result, deadline)?;
+        }
         Ok(SimReport {
             instance_count: result.instance_count,
             oracle_count,
             fingerprint: fingerprint_run(&result),
             trace_hash: executor.trace_hash(),
             virtual_time: executor.virtual_time(),
+            resumed_at,
             stats: result.stats,
         })
+    }
+
+    /// The cancellation fault: run the same scenario again, suspend it
+    /// with a checkpoint at `deadline` supersteps, push the checkpoint
+    /// through its wire encoding, resume, and require exact parity with
+    /// the uninterrupted `reference` run. The interrupted and resumed
+    /// segments share one [`SimExecutor`], so the spliced schedule draws
+    /// the exact stream the uninterrupted run drew — any divergence in the
+    /// fingerprint or trace is a resume bug, not scheduler noise.
+    fn check_suspend_resume(
+        &self,
+        graph: &psgl_graph::DataGraph,
+        shared: &PsglShared<'_>,
+        config: &PsglConfig,
+        reference: &ListingResult,
+        deadline: u32,
+    ) -> Result<Option<u32>, Box<SimFailure>> {
+        let divergence = |msg: String| self.failure(vec![], Some(format!("suspend/resume: {msg}")));
+        let executor = SimExecutor::new(self.seed, self.stall_per_mille);
+        let hooks = self.hooks(&executor);
+        let token = CancelToken::with_superstep_deadline(deadline);
+        let controls = RunControls { cancel: Some(&token), checkpoint: true, resume: None };
+        let end = list_subgraphs_resumable(shared, config, &hooks, controls)
+            .map_err(|e| divergence(e.to_string()))?;
+        let (final_result, resume_superstep) = match end {
+            // Short runs can finish before the deadline; the fault then
+            // degrades to a plain replay of the reference run.
+            ListingEnd::Complete(r) => (r, None),
+            ListingEnd::Cancelled(c) => {
+                if c.partial.stats.chunks_outstanding != 0 {
+                    return Err(divergence(format!(
+                        "{} pooled chunks leaked across the suspension",
+                        c.partial.stats.chunks_outstanding
+                    )));
+                }
+                let cp = c.checkpoint.ok_or_else(|| {
+                    divergence(format!(
+                        "soft cancel at superstep {} lost its checkpoint",
+                        c.superstep
+                    ))
+                })?;
+                let cp = Checkpoint::from_bytes(&cp.to_bytes())
+                    .map_err(|e| divergence(format!("checkpoint wire round-trip: {e}")))?;
+                let controls = RunControls { cancel: None, checkpoint: false, resume: Some(cp) };
+                match list_subgraphs_resumable(shared, config, &hooks, controls)
+                    .map_err(|e| divergence(e.to_string()))?
+                {
+                    ListingEnd::Complete(r) => (r, Some(c.superstep)),
+                    ListingEnd::Cancelled(_) => {
+                        return Err(divergence("resumed run cancelled itself".to_string()))
+                    }
+                }
+            }
+        };
+        let violations =
+            invariants::check(graph, &self.pattern, &final_result, reference.instance_count);
+        if !violations.is_empty() {
+            return Err(self.failure(violations, Some("after suspend/resume".to_string())));
+        }
+        if final_result.instance_count != reference.instance_count {
+            return Err(divergence(format!(
+                "{} instances after resume vs {} uninterrupted",
+                final_result.instance_count, reference.instance_count
+            )));
+        }
+        // Under a pool cap the degraded allocation path may legally differ
+        // between the spliced and uninterrupted runs, so bit-identity is
+        // only demanded on uncapped scenarios; count parity holds always.
+        if self.max_live_chunks.is_none() {
+            let (want, got) = (fingerprint_run(reference), fingerprint_run(&final_result));
+            if want != got {
+                return Err(divergence(format!(
+                    "fingerprint {got:016x} after resume vs {want:016x} uninterrupted"
+                )));
+            }
+        }
+        Ok(resume_superstep)
     }
 
     fn failure(&self, violations: Vec<Violation>, error: Option<String>) -> Box<SimFailure> {
@@ -225,6 +329,10 @@ pub struct SimReport {
     pub trace_hash: u64,
     /// Virtual-clock ticks the schedule consumed.
     pub virtual_time: u64,
+    /// When the cancellation fault fired: the superstep the run was
+    /// suspended at before resuming to exact parity (`None` when the fault
+    /// was not drawn or the run finished before its deadline).
+    pub resumed_at: Option<u32>,
     /// The run's full statistics.
     pub stats: RunStats,
 }
@@ -278,6 +386,28 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.skew_per_mille > 0));
         assert!(scenarios.iter().any(|s| s.stall_per_mille > 0));
         assert!(scenarios.iter().any(|s| s.exchange_shuffle_seed.is_some()));
+        assert!(scenarios.iter().any(|s| s.cancel_at_superstep.is_some()));
+        assert!(scenarios.iter().any(|s| s.cancel_at_superstep.is_none()));
+    }
+
+    #[test]
+    fn cancel_fault_suspends_and_resumes_to_exact_parity() {
+        // Find a seed whose scenario draws the cancellation fault with a
+        // deadline the run actually reaches, and require run() to pass —
+        // which internally asserts fingerprint-exact resume parity.
+        let mut exercised = 0;
+        for seed in 0..48 {
+            let scenario = Scenario::from_seed(seed);
+            if scenario.cancel_at_superstep.is_none() {
+                continue;
+            }
+            let report = scenario.run().unwrap_or_else(|f| panic!("{f}"));
+            exercised += u64::from(report.resumed_at.is_some());
+            if exercised >= 3 {
+                return;
+            }
+        }
+        panic!("seed range never exercised a suspend/resume (only {exercised})");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! strategies × 14 seeds = 210 scenarios). Each scenario draws its own
 //! fault cocktail — scheduler reorderings, stalls, steal storms with and
 //! without budgets, chunk-pool exhaustion, partition skew, exchange
-//! shuffles — and must match the centralized oracle's instance count
-//! exactly with zero invariant violations.
+//! shuffles, checkpointed suspend/resume — and must match the centralized
+//! oracle's instance count exactly with zero invariant violations.
 
 use psgl_core::Strategy;
 use psgl_sim::chaos::chaos_patterns;
@@ -17,7 +17,9 @@ fn two_hundred_plus_scenarios_keep_oracle_parity_under_chaos() {
     let patterns = chaos_patterns();
     let mut scenarios_run = 0u64;
     let mut failures = Vec::new();
-    let mut fault_coverage = (0u64, 0u64, 0u64, 0u64, 0u64); // steal, pool cap, skew, stall, shuffle
+    // steal, pool cap, skew, stall, shuffle, cancel drawn
+    let mut fault_coverage = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut resumed = 0u64;
     for (pi, pattern) in patterns.iter().enumerate() {
         for (si, (name, strategy)) in Strategy::paper_variants().into_iter().enumerate() {
             for i in 0..SEEDS_PER_CELL {
@@ -29,18 +31,26 @@ fn two_hundred_plus_scenarios_keep_oracle_parity_under_chaos() {
                 fault_coverage.2 += u64::from(scenario.skew_per_mille > 0);
                 fault_coverage.3 += u64::from(scenario.stall_per_mille > 0);
                 fault_coverage.4 += u64::from(scenario.exchange_shuffle_seed.is_some());
+                fault_coverage.5 += u64::from(scenario.cancel_at_superstep.is_some());
                 scenarios_run += 1;
-                if let Err(failure) = scenario.run() {
-                    failures.push(failure.to_string());
+                match scenario.run() {
+                    Ok(report) => resumed += u64::from(report.resumed_at.is_some()),
+                    Err(failure) => failures.push(failure.to_string()),
                 }
             }
         }
     }
     assert!(scenarios_run >= 200, "suite must cover >= 200 scenarios, ran {scenarios_run}");
     // Every fault class must actually have been exercised by the sweep.
-    let (steal, pool, skew, stall, shuffle) = fault_coverage;
-    assert!(steal > 0 && pool > 0 && skew > 0 && stall > 0 && shuffle > 0,
-        "fault menu under-covered: steal {steal}, pool {pool}, skew {skew}, stall {stall}, shuffle {shuffle}");
+    let (steal, pool, skew, stall, shuffle, cancel) = fault_coverage;
+    assert!(steal > 0 && pool > 0 && skew > 0 && stall > 0 && shuffle > 0 && cancel > 0,
+        "fault menu under-covered: steal {steal}, pool {pool}, skew {skew}, stall {stall}, shuffle {shuffle}, cancel {cancel}");
+    // Drawing the fault is not enough: some runs must actually have been
+    // suspended at a checkpoint and resumed to exact parity.
+    assert!(
+        resumed > 0,
+        "no scenario was actually suspended and resumed ({cancel} drew the fault)"
+    );
     assert!(
         failures.is_empty(),
         "{} of {scenarios_run} chaos scenarios failed:\n{}",

@@ -74,7 +74,7 @@ MODEL:    chung-lu | erdos-renyi | barabasi-albert
 FORMAT:   edge-list | binary | fixture             (--format, default edge-list)
 
 serve speaks a JSON-lines protocol over TCP; see README \"Running as a
-service\" (verbs: load, count, list, stats, health, shutdown).";
+service\" (verbs: load, count, list, cancel, stats, health, shutdown).";
 
 /// Parses `--key value` pairs (plus boolean flags) into a map.
 fn parse_flags(args: &[String], booleans: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -299,7 +299,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.result_cache_cap,
         config.plan_cache_cap
     );
-    println!("protocol: JSON lines; verbs: load, count, list, stats, health, shutdown");
+    println!("protocol: JSON lines; verbs: load, count, list, cancel, stats, health, shutdown");
     handle.wait();
     println!("psgl-service stopped");
     Ok(())
