@@ -99,6 +99,12 @@ fn main() {
     let messages_total = server.get("messages_total").and_then(Json::as_u64).unwrap_or(0);
     let local_delivery_ratio =
         server.get("local_delivery_ratio").and_then(Json::as_f64).unwrap_or(0.0);
+    let net = |field: &str| {
+        stats.get("cluster").and_then(|c| c.get(field)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    let frames_sent = net("frames_sent");
+    let wire_bytes_sent = net("wire_bytes_sent");
+    let barrier_wait_nanos = net("barrier_wait_nanos");
     admin.shutdown().expect("shutdown");
     handle.wait();
 
@@ -137,6 +143,12 @@ fn main() {
         ("cache_hit_rate", Json::from(hit_rate)),
         ("messages_total", Json::from(messages_total)),
         ("local_delivery_ratio", Json::from(local_delivery_ratio)),
+        // Wire-plane counters: zero while the service executes queries
+        // in-process, reported so the schema is stable if it ever runs
+        // distributed exchanges.
+        ("frames_sent", Json::from(frames_sent)),
+        ("wire_bytes_sent", Json::from(wire_bytes_sent)),
+        ("barrier_wait_nanos", Json::from(barrier_wait_nanos)),
     ]);
     report::write_json_report("results/BENCH_service.json", &body).expect("write report");
 }

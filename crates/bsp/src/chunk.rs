@@ -174,7 +174,7 @@ impl<M> ChunkPool<M> {
 /// its nominal capacity instead — bounded degradation in place of an
 /// unbounded fresh allocation; the pool counts the event.
 #[inline]
-pub(crate) fn push_chunked<M>(pool: &ChunkPool<M>, list: &mut Vec<Chunk<M>>, to: VertexId, msg: M) {
+pub fn push_chunked<M>(pool: &ChunkPool<M>, list: &mut Vec<Chunk<M>>, to: VertexId, msg: M) {
     match list.last_mut() {
         Some(c) if c.len() < pool.capacity() => c.push((to, msg)),
         Some(c) => match pool.try_acquire() {

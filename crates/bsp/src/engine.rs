@@ -14,8 +14,11 @@
 
 use crate::cancel::{CancelReason, CancelToken};
 use crate::chunk::{push_chunked, Chunk, ChunkPool, StealQueue, DEFAULT_CHUNK_CAPACITY};
+use crate::exchange::{Exchange, ExchangeDirective, FrontierSink, WorkerOutbox};
 use crate::exec::{Executor, ThreadExecutor, WorkerTask};
-use crate::metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
+use crate::metrics::{
+    EngineMetrics, NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics,
+};
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::VertexId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -97,6 +100,15 @@ pub enum BspError {
     /// [`BspConfig::max_supersteps`] was reached with messages still
     /// in flight.
     SuperstepLimitExceeded(u32),
+    /// A remote [`Exchange`] failed — a peer socket died, a frame failed
+    /// to decode, or the coordinator vanished. Every pooled chunk was
+    /// released before this was reported.
+    Exchange {
+        /// Superstep whose exchange failed.
+        superstep: u32,
+        /// Transport-level description of the failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for BspError {
@@ -112,6 +124,9 @@ impl std::fmt::Display for BspError {
             ),
             BspError::SuperstepLimitExceeded(s) => {
                 write!(f, "superstep limit {s} reached with messages still in flight")
+            }
+            BspError::Exchange { superstep, message } => {
+                write!(f, "exchange failed after superstep {superstep}: {message}")
             }
         }
     }
@@ -341,11 +356,22 @@ pub struct RunControl<'c, M, S, A> {
     pub checkpoint: bool,
     /// Restart from a captured frontier instead of superstep 0.
     pub resume: Option<ResumePoint<M, S, A>>,
+    /// Delivery seam override: route the superstep exchange through this
+    /// implementation (e.g. the cluster's TCP data plane plus a
+    /// coordinator-run barrier) instead of the built-in in-process
+    /// pointer move. Enables partial partition ownership — the engine
+    /// then hosts only [`Exchange::local_partitions`]. See
+    /// [`crate::exchange`] for the determinism contract.
+    pub exchange: Option<&'c dyn Exchange<M>>,
+    /// Receives superstep-boundary snapshots whenever the exchange
+    /// directs [`ExchangeDirective::CheckpointAndContinue`]; unused
+    /// without [`RunControl::exchange`].
+    pub sink: Option<&'c dyn FrontierSink<M, S>>,
 }
 
 impl<M, S, A> Default for RunControl<'_, M, S, A> {
     fn default() -> Self {
-        RunControl { cancel: None, checkpoint: false, resume: None }
+        RunControl { cancel: None, checkpoint: false, resume: None, exchange: None, sink: None }
     }
 }
 
@@ -442,17 +468,40 @@ pub fn run_controlled<P: VertexProgram>(
     let pool: ChunkPool<P::Message> =
         ChunkPool::with_limit(config.chunk_capacity, config.max_live_chunks);
     let mut metrics = EngineMetrics::default();
-    let RunControl { cancel, checkpoint, resume } = control;
+    let RunControl { cancel, checkpoint, resume, exchange, sink } = control;
+    // The global partition ids this engine instance hosts. Without a
+    // remote exchange every partition is local and `slot == partition`;
+    // with one, `slot` indexes this process's arrays while partition ids
+    // stay global (the `Context` fast path and remote routing key off the
+    // global id).
+    let locals: Vec<usize> = match exchange {
+        Some(x) => {
+            assert_eq!(
+                x.num_partitions(),
+                k,
+                "exchange partition count must match the partitioner"
+            );
+            let locals = x.local_partitions();
+            assert!(!locals.is_empty(), "exchange must host at least one partition");
+            assert!(
+                locals.windows(2).all(|w| w[0] < w[1]) && locals.iter().all(|&p| p < k),
+                "local partitions must be ascending and in range"
+            );
+            locals
+        }
+        None => (0..k).collect(),
+    };
+    let l = locals.len();
     let prior_pool_exhausted: u64;
     let (mut states, mut inboxes, mut superstep, mut merged_aggregate) = match resume {
         Some(rp) => {
             assert_eq!(
                 rp.worker_states.len(),
-                k,
+                l,
                 "resume point was captured with {} workers",
                 rp.worker_states.len()
             );
-            assert_eq!(rp.frontier.len(), k, "resume frontier must cover every worker");
+            assert_eq!(rp.frontier.len(), l, "resume frontier must cover every local partition");
             metrics.supersteps = rp.prior_supersteps;
             prior_pool_exhausted = rp.prior_pool_exhausted;
             // Re-chunk the flattened frontier in delivery order; unit
@@ -465,45 +514,43 @@ pub fn run_controlled<P: VertexProgram>(
         None => {
             prior_pool_exhausted = 0;
             let states: Vec<P::WorkerState> =
-                (0..k).map(|w| program.create_worker_state(w)).collect();
-            (states, (0..k).map(|_| Vec::new()).collect(), 0, P::Aggregate::default())
+                locals.iter().map(|&w| program.create_worker_state(w)).collect();
+            (states, (0..l).map(|_| Vec::new()).collect(), 0, P::Aggregate::default())
         }
     };
-    // Owned vertex lists for superstep 0.
-    let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-    for v in 0..num_vertices as VertexId {
-        owned[partitioner.owner(v)].push(v);
-    }
+    // Owned vertex lists for superstep 0, one per local partition slot.
+    let owned: Vec<Vec<VertexId>> = partitioner.owned_vertices(num_vertices, &locals);
     let mut scratches: Vec<WorkerScratch<P::Message>> =
-        (0..k).map(|_| WorkerScratch::new()).collect();
+        (0..l).map(|_| WorkerScratch::new()).collect();
     loop {
         if superstep >= config.max_supersteps {
             release_all(&pool, inboxes);
             debug_assert_balanced(&pool);
             return Err(BspError::SuperstepLimitExceeded(superstep));
         }
-        let queues: Vec<StealQueue<P::Message>> = (0..k).map(|_| StealQueue::new()).collect();
+        let queues: Vec<StealQueue<P::Message>> = (0..l).map(|_| StealQueue::new()).collect();
         let mut worker_results: Vec<Option<(WorkerSuperstepMetrics, P::Aggregate)>> =
-            (0..k).map(|_| None).collect();
+            (0..l).map(|_| None).collect();
         // Every chunk-holding buffer a worker touches lives in an
         // engine-owned slot rather than a closure local: the per-worker
         // outboxes, the unit being assembled during prepare, and the unit
         // being processed during compute. An unwinding worker therefore
         // cannot strand acquired chunks — whatever it held stays reachable
-        // and `abort_cleanup` returns it to the pool.
+        // and `abort_cleanup` returns it to the pool. Remote outboxes stay
+        // `k` wide (global destinations) even under partial ownership.
         let mut outboxes: Vec<WorkerOutbox<P::Message>> =
-            (0..k).map(|_| ((0..k).map(|_| Vec::new()).collect(), Vec::new())).collect();
-        let mut prep_units: Vec<Option<Chunk<P::Message>>> = (0..k).map(|_| None).collect();
-        let mut comp_units: Vec<Option<Chunk<P::Message>>> = (0..k).map(|_| None).collect();
+            (0..l).map(|_| ((0..k).map(|_| Vec::new()).collect(), Vec::new())).collect();
+        let mut prep_units: Vec<Option<Chunk<P::Message>>> = (0..l).map(|_| None).collect();
+        let mut comp_units: Vec<Option<Chunk<P::Message>>> = (0..l).map(|_| None).collect();
         // Panic flags per worker: set inside the task closures (which never
         // unwind, per the executor contract), scanned in worker order after
         // the superstep so the first panicking worker is reported.
-        let prep_panics: Vec<AtomicBool> = (0..k).map(|_| AtomicBool::new(false)).collect();
-        let comp_panics: Vec<AtomicBool> = (0..k).map(|_| AtomicBool::new(false)).collect();
+        let prep_panics: Vec<AtomicBool> = (0..l).map(|_| AtomicBool::new(false)).collect();
+        let comp_panics: Vec<AtomicBool> = (0..l).map(|_| AtomicBool::new(false)).collect();
         let prev_aggregate = &merged_aggregate;
         let poll = CancelPoll { token: cancel, hard_deadline: !checkpoint };
-        let mut tasks: Vec<WorkerTask<'_>> = Vec::with_capacity(k);
-        for (((((((worker, state), inbox), scratch), slot), outbox), prep_unit), comp_unit) in
+        let mut tasks: Vec<WorkerTask<'_>> = Vec::with_capacity(l);
+        for (((((((slot, state), inbox), scratch), result_slot), outbox), prep_unit), comp_unit) in
             states
                 .iter_mut()
                 .enumerate()
@@ -514,16 +561,17 @@ pub fn run_controlled<P: VertexProgram>(
                 .zip(prep_units.iter_mut())
                 .zip(comp_units.iter_mut())
         {
-            let owned = &owned[worker];
+            let worker = locals[slot];
+            let owned = &owned[slot];
             let (queues, pool) = (&queues, &pool);
-            let (prep_flag, comp_flag) = (&prep_panics[worker], &comp_panics[worker]);
+            let (prep_flag, comp_flag) = (&prep_panics[slot], &comp_panics[slot]);
             let WorkerScratch { sort_buf, batch } = scratch;
             // Phase 1: regroup the inbox into units. Panics are trapped
             // here (before the executor's barrier) so a crashing worker
             // cannot strand the others.
             let prepare = Box::new(move || {
                 let prep = catch_unwind(AssertUnwindSafe(|| {
-                    publish_units(pool, &queues[worker], sort_buf, inbox, prep_unit)
+                    publish_units(pool, &queues[slot], sort_buf, inbox, prep_unit)
                 }));
                 if prep.is_err() {
                     prep_flag.store(true, Ordering::SeqCst);
@@ -541,9 +589,9 @@ pub fn run_controlled<P: VertexProgram>(
                         program,
                         state,
                         worker,
+                        slot,
                         superstep,
                         partitioner,
-                        k,
                         owned,
                         pool,
                         queues,
@@ -557,16 +605,15 @@ pub fn run_controlled<P: VertexProgram>(
                     )
                 }));
                 match result {
-                    Ok(out) => *slot = Some(out),
+                    Ok(out) => *result_slot = Some(out),
                     Err(_) => comp_flag.store(true, Ordering::SeqCst),
                 }
             });
-            tasks.push(WorkerTask { worker, prepare, compute });
+            tasks.push(WorkerTask { worker: slot, prepare, compute });
         }
         executor.run_superstep(superstep, tasks);
-        for worker in 0..k {
-            if prep_panics[worker].load(Ordering::SeqCst)
-                || comp_panics[worker].load(Ordering::SeqCst)
+        for slot in 0..l {
+            if prep_panics[slot].load(Ordering::SeqCst) || comp_panics[slot].load(Ordering::SeqCst)
             {
                 abort_cleanup(
                     &pool,
@@ -577,7 +624,7 @@ pub fn run_controlled<P: VertexProgram>(
                     &mut inboxes,
                 );
                 debug_assert_balanced(&pool);
-                return Err(BspError::WorkerPanicked { worker, superstep });
+                return Err(BspError::WorkerPanicked { worker: locals[slot], superstep });
             }
         }
         // A hard cancel may have aborted workers mid-superstep: the
@@ -603,37 +650,84 @@ pub fn run_controlled<P: VertexProgram>(
                 metrics,
             }));
         }
-        // Collect metrics, merge aggregates, and rebuild inboxes. Chunks
-        // move by pointer; each destination receives sources in worker
-        // order, with a worker's locally-delivered chunks slotting in at
-        // its own source position — the same order a self-send through the
-        // exchange would have produced, keeping runs deterministic. The
-        // chaos knob `exchange_shuffle_seed` replaces the canonical source
-        // order with a seeded per-destination permutation.
-        let mut step = SuperstepMetrics { workers: Vec::with_capacity(k) };
+        // Collect metrics and merge aggregates at the barrier.
+        let mut step = SuperstepMetrics {
+            workers: Vec::with_capacity(l),
+            net: NetSuperstepMetrics::default(),
+        };
         let mut next_aggregate = P::Aggregate::default();
         for result in worker_results {
             let (wm, agg) = result.expect("worker result present when no panic");
             step.workers.push(wm);
             program.merge_aggregates(&mut next_aggregate, agg);
         }
-        let mut outs = outboxes;
-        for (src, (remote, _)) in outs.iter().enumerate() {
-            debug_assert!(remote[src].is_empty(), "self-sends take the local path");
-        }
-        let mut new_inboxes: Vec<Vec<Chunk<P::Message>>> = (0..k).map(|_| Vec::new()).collect();
-        for (dest, new_inbox) in new_inboxes.iter_mut().enumerate() {
-            for src in source_order(k, superstep, dest, config.exchange_shuffle_seed) {
-                if src == dest {
-                    new_inbox.append(&mut outs[src].1);
-                } else {
-                    new_inbox.append(&mut outs[src].0[dest]);
-                }
-            }
-        }
         merged_aggregate = next_aggregate;
-        let in_flight: u64 =
-            new_inboxes.iter().flat_map(|b| b.iter()).map(|c| c.len() as u64).sum();
+        let mut outs = outboxes;
+        for (slot, (remote, _)) in outs.iter().enumerate() {
+            debug_assert!(remote[locals[slot]].is_empty(), "self-sends take the local path");
+        }
+        // Rebuild inboxes. In-process (no exchange seam): chunks move by
+        // pointer; each destination receives sources in worker order, with
+        // a worker's locally-delivered chunks slotting in at its own
+        // source position — the same order a self-send through the
+        // exchange would have produced, keeping runs deterministic. The
+        // chaos knob `exchange_shuffle_seed` replaces the canonical source
+        // order with a seeded per-destination permutation. A remote
+        // exchange must uphold the same global source order (see
+        // `crate::exchange`) and additionally runs the coordinator
+        // barrier, whose directive can checkpoint or abort the run.
+        let (new_inboxes, in_flight) = match exchange {
+            None => {
+                let mut new_inboxes: Vec<Vec<Chunk<P::Message>>> =
+                    (0..k).map(|_| Vec::new()).collect();
+                for (dest, new_inbox) in new_inboxes.iter_mut().enumerate() {
+                    for src in source_order(k, superstep, dest, config.exchange_shuffle_seed) {
+                        if src == dest {
+                            new_inbox.append(&mut outs[src].1);
+                        } else {
+                            new_inbox.append(&mut outs[src].0[dest]);
+                        }
+                    }
+                }
+                let in_flight: u64 =
+                    new_inboxes.iter().flat_map(|b| b.iter()).map(|c| c.len() as u64).sum();
+                (new_inboxes, in_flight)
+            }
+            Some(x) => {
+                let outcome = match x.exchange(superstep, &pool, outs, &step) {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        // The exchange released everything it was handed;
+                        // nothing else holds chunks at the barrier.
+                        debug_assert_balanced(&pool);
+                        return Err(BspError::Exchange { superstep, message: e.message });
+                    }
+                };
+                step.net = outcome.net;
+                match outcome.directive {
+                    ExchangeDirective::Abort(reason) => {
+                        release_all(&pool, outcome.inboxes);
+                        metrics.supersteps.push(step);
+                        finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+                        return Ok(RunOutcome::Cancelled(CancelledRun {
+                            reason,
+                            superstep: superstep + 1,
+                            frontier: None,
+                            worker_states: states,
+                            aggregate: merged_aggregate,
+                            metrics,
+                        }));
+                    }
+                    ExchangeDirective::CheckpointAndContinue => {
+                        if let Some(sink) = sink {
+                            sink.capture(superstep + 1, &states, &outcome.inboxes);
+                        }
+                    }
+                    ExchangeDirective::Continue => {}
+                }
+                (outcome.inboxes, outcome.in_flight)
+            }
+        };
         metrics.supersteps.push(step);
         if let Some(budget) = config.message_budget {
             if in_flight > budget {
@@ -863,10 +957,6 @@ fn splitmix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A worker's sent messages awaiting exchange: per-destination remote
-/// outboxes plus the locally-delivered fast-path chunks.
-type WorkerOutbox<M> = (Vec<Vec<Chunk<M>>>, Vec<Chunk<M>>);
-
 /// Phase 1 of a superstep: drains `inbox` chunks into `sort_buf`, stably
 /// sorts by destination vertex, splits the run into units at vertex
 /// boundaries (a unit may exceed the nominal chunk capacity rather than
@@ -915,10 +1005,12 @@ fn publish_units<M>(
 fn run_worker<P: VertexProgram>(
     program: &P,
     state: &mut P::WorkerState,
+    // `worker` is the global partition id (routing, `Context::worker`);
+    // `slot` is the local index into `queues` and the other engine arrays.
     worker: usize,
+    slot: usize,
     superstep: u32,
     partitioner: &HashPartitioner,
-    k: usize,
     owned: &[VertexId],
     pool: &ChunkPool<P::Message>,
     queues: &[StealQueue<P::Message>],
@@ -963,7 +1055,7 @@ fn run_worker<P: VertexProgram>(
             if poll.should_abort() {
                 break;
             }
-            let Some(unit) = queues[worker].pop_own() else { break };
+            let Some(unit) = queues[slot].pop_own() else { break };
             let slot = cur.insert(unit);
             let (a, m) = process_unit::<P>(program, &mut ctx, state, batch, slot, poll);
             active_vertices += a;
@@ -975,8 +1067,9 @@ fn run_worker<P: VertexProgram>(
             // over the other queues observes everything still unclaimed
             // (up to the optional per-superstep steal budget).
             let mut budget = steal_budget.unwrap_or(u64::MAX);
-            'sweep: for off in 1..k {
-                let victim = (worker + off) % k;
+            let l = queues.len();
+            'sweep: for off in 1..l {
+                let victim = (slot + off) % l;
                 while budget > 0 {
                     if poll.should_abort() {
                         break 'sweep;
@@ -1464,7 +1557,12 @@ mod tests {
         let p = HashPartitioner::new(3);
         let token = CancelToken::new();
         token.cancel(CancelReason::Explicit);
-        let control = RunControl { cancel: Some(&token), checkpoint: false, resume: None };
+        let control = RunControl {
+            cancel: Some(&token),
+            checkpoint: false,
+            resume: None,
+            ..RunControl::default()
+        };
         match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
             RunOutcome::Cancelled(c) => {
                 assert_eq!(c.reason, CancelReason::Explicit);
@@ -1484,7 +1582,12 @@ mod tests {
         let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
         let p = HashPartitioner::new(3);
         let token = CancelToken::with_timeout(std::time::Duration::from_secs(0));
-        let control = RunControl { cancel: Some(&token), checkpoint: false, resume: None };
+        let control = RunControl {
+            cancel: Some(&token),
+            checkpoint: false,
+            resume: None,
+            ..RunControl::default()
+        };
         match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
             RunOutcome::Cancelled(c) => {
                 assert_eq!(c.reason, CancelReason::Deadline);
@@ -1509,7 +1612,12 @@ mod tests {
         let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
         let p = HashPartitioner::new(3);
         let token = CancelToken::with_superstep_deadline(3);
-        let control = RunControl { cancel: Some(&token), checkpoint: true, resume: None };
+        let control = RunControl {
+            cancel: Some(&token),
+            checkpoint: true,
+            resume: None,
+            ..RunControl::default()
+        };
         let cancelled =
             match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
                 RunOutcome::Cancelled(c) => c,
@@ -1523,7 +1631,12 @@ mod tests {
             cancelled.frontier.as_ref().unwrap().iter().map(|t| t.len() as u64).sum();
         assert!(frontier_msgs > 0, "mid-run frontier must be non-empty");
         let resume = cancelled.into_resume_point().expect("checkpointed cancel resumes");
-        let control = RunControl { cancel: None, checkpoint: false, resume: Some(resume) };
+        let control = RunControl {
+            cancel: None,
+            checkpoint: false,
+            resume: Some(resume),
+            ..RunControl::default()
+        };
         let res = match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
             RunOutcome::Complete(r) => r,
             RunOutcome::Cancelled(_) => panic!("resumed run should complete"),
@@ -1549,7 +1662,8 @@ mod tests {
         let prog = Flood { fanout: 10, n: 100 };
         let p = HashPartitioner::new(4);
         let config = BspConfig { message_budget: Some(500), ..Default::default() };
-        let control = RunControl { cancel: None, checkpoint: true, resume: None };
+        let control =
+            RunControl { cancel: None, checkpoint: true, resume: None, ..RunControl::default() };
         let cancelled = match controlled(100, &p, &prog, &config, control) {
             RunOutcome::Cancelled(c) => c,
             RunOutcome::Complete(_) => panic!("budget must fire"),
@@ -1562,7 +1676,12 @@ mod tests {
         // Resume under a budget that fits: every message delivered once.
         let resume = cancelled.into_resume_point().unwrap();
         let config = BspConfig { message_budget: Some(2000), ..Default::default() };
-        let control = RunControl { cancel: None, checkpoint: false, resume: Some(resume) };
+        let control = RunControl {
+            cancel: None,
+            checkpoint: false,
+            resume: Some(resume),
+            ..RunControl::default()
+        };
         match controlled(100, &p, &prog, &config, control) {
             RunOutcome::Complete(r) => {
                 assert_eq!(r.worker_states.iter().sum::<u64>(), 1000);
@@ -1633,7 +1752,12 @@ mod tests {
         let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
         let p = HashPartitioner::new(4);
         let token = CancelToken::new();
-        let control = RunControl { cancel: Some(&token), checkpoint: true, resume: None };
+        let control = RunControl {
+            cancel: Some(&token),
+            checkpoint: true,
+            resume: None,
+            ..RunControl::default()
+        };
         match controlled(g.num_vertices(), &p, &prog, &BspConfig::default(), control) {
             RunOutcome::Complete(_) => {}
             RunOutcome::Cancelled(_) => panic!("nothing should cancel this run"),

@@ -29,14 +29,20 @@
 pub mod cancel;
 pub mod chunk;
 pub mod engine;
+pub mod exchange;
 pub mod exec;
 pub mod metrics;
 
 pub use cancel::{CancelReason, CancelToken};
-pub use chunk::{Chunk, ChunkPool, PoolExhausted, StealQueue, DEFAULT_CHUNK_CAPACITY};
+pub use chunk::{
+    push_chunked, Chunk, ChunkPool, PoolExhausted, StealQueue, DEFAULT_CHUNK_CAPACITY,
+};
 pub use engine::{
     run, run_controlled, run_with_executor, BspConfig, BspError, BspResult, CancelledRun, Context,
     ResumePoint, RunControl, RunOutcome, VertexProgram,
 };
+pub use exchange::{
+    Exchange, ExchangeDirective, ExchangeError, ExchangeOutcome, FrontierSink, WorkerOutbox,
+};
 pub use exec::{Executor, SerialExecutor, TaskFn, ThreadExecutor, WorkerTask};
-pub use metrics::{EngineMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
+pub use metrics::{EngineMetrics, NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics};

@@ -31,11 +31,45 @@ pub struct WorkerSuperstepMetrics {
     pub elapsed: Duration,
 }
 
+/// Network-plane counters for one superstep's exchange. All zero for the
+/// in-process engine (whose "exchange" is a pointer move); populated by a
+/// remote [`Exchange`](crate::exchange::Exchange) such as the cluster's
+/// TCP data plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSuperstepMetrics {
+    /// Data frames written to peers.
+    pub frames_sent: u64,
+    /// Data frames read from peers.
+    pub frames_received: u64,
+    /// Wire bytes written (frame headers + payloads + checksums).
+    pub wire_bytes_sent: u64,
+    /// Wire bytes read.
+    pub wire_bytes_received: u64,
+    /// Nanoseconds spent blocked at the superstep barrier waiting for the
+    /// coordinator's proceed signal (after local work and sends finished).
+    pub barrier_wait_nanos: u64,
+}
+
+impl NetSuperstepMetrics {
+    /// Accumulates another set of counters into this one (coordinator-side
+    /// aggregation across workers).
+    pub fn merge(&mut self, other: &NetSuperstepMetrics) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_bytes_received += other.wire_bytes_received;
+        self.barrier_wait_nanos += other.barrier_wait_nanos;
+    }
+}
+
 /// Metrics for one superstep across all workers.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SuperstepMetrics {
     /// Indexed by worker id.
     pub workers: Vec<WorkerSuperstepMetrics>,
+    /// Network counters for this superstep's exchange (all zero in
+    /// process-local runs).
+    pub net: NetSuperstepMetrics,
 }
 
 impl SuperstepMetrics {
@@ -141,6 +175,36 @@ impl EngineMetrics {
         self.chunk_reuses
     }
 
+    /// Data frames written to peers over the run (0 in-process).
+    pub fn total_frames_sent(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.net.frames_sent).sum()
+    }
+
+    /// Data frames read from peers over the run (0 in-process).
+    pub fn total_frames_received(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.net.frames_received).sum()
+    }
+
+    /// Wire bytes written over the run (0 in-process).
+    pub fn total_wire_bytes_sent(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.net.wire_bytes_sent).sum()
+    }
+
+    /// Wire bytes read over the run (0 in-process).
+    pub fn total_wire_bytes_received(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.net.wire_bytes_received).sum()
+    }
+
+    /// Nanoseconds spent blocked at superstep barriers over the run.
+    pub fn total_barrier_wait_nanos(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.net.barrier_wait_nanos).sum()
+    }
+
+    /// Per-superstep barrier wait, in nanoseconds.
+    pub fn barrier_wait_per_superstep(&self) -> Vec<u64> {
+        self.supersteps.iter().map(|s| s.net.barrier_wait_nanos).collect()
+    }
+
     /// Max/mean imbalance of total per-worker cost (1.0 = perfect balance).
     pub fn cost_imbalance(&self) -> f64 {
         let per_worker = self.per_worker_cost();
@@ -165,8 +229,8 @@ mod tests {
     fn makespan_is_sum_of_maxima() {
         let m = EngineMetrics {
             supersteps: vec![
-                SuperstepMetrics { workers: vec![wm(10, 0, 5), wm(4, 0, 3)] },
-                SuperstepMetrics { workers: vec![wm(1, 5, 0), wm(7, 3, 0)] },
+                SuperstepMetrics { workers: vec![wm(10, 0, 5), wm(4, 0, 3)], ..Default::default() },
+                SuperstepMetrics { workers: vec![wm(1, 5, 0), wm(7, 3, 0)], ..Default::default() },
             ],
             ..Default::default()
         };
@@ -180,7 +244,10 @@ mod tests {
     #[test]
     fn imbalance_detects_skew() {
         let m = EngineMetrics {
-            supersteps: vec![SuperstepMetrics { workers: vec![wm(30, 0, 0), wm(10, 0, 0)] }],
+            supersteps: vec![SuperstepMetrics {
+                workers: vec![wm(30, 0, 0), wm(10, 0, 0)],
+                ..Default::default()
+            }],
             ..Default::default()
         };
         assert_eq!(m.cost_imbalance(), 1.5);
@@ -197,8 +264,14 @@ mod tests {
         };
         let m = EngineMetrics {
             supersteps: vec![
-                SuperstepMetrics { workers: vec![w(10, 4, 0, 48), w(6, 6, 0, 0)] },
-                SuperstepMetrics { workers: vec![w(0, 0, 3, 0), w(4, 2, 0, 16)] },
+                SuperstepMetrics {
+                    workers: vec![w(10, 4, 0, 48), w(6, 6, 0, 0)],
+                    ..Default::default()
+                },
+                SuperstepMetrics {
+                    workers: vec![w(0, 0, 3, 0), w(4, 2, 0, 16)],
+                    ..Default::default()
+                },
             ],
             chunk_allocations: 5,
             chunk_reuses: 7,

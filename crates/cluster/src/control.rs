@@ -1,0 +1,812 @@
+//! The JSON control plane: worker ⇄ coordinator messages and the job
+//! specification.
+//!
+//! Control traffic rides the same newline-delimited JSON transport as
+//! the query service (`psgl_service::wire`), one message per line,
+//! capped at [`psgl_service::wire::MAX_LINE_BYTES`]. Data tuples never
+//! travel here — they use the binary frames in [`crate::frame`].
+//!
+//! Every run-scoped message carries the `attempt` number; a recovery
+//! bumps it, and both sides drop messages tagged with a stale attempt,
+//! which makes late barriers, shards, and aborts from a superseded
+//! execution harmless.
+
+use psgl_bsp::{NetSuperstepMetrics, WorkerSuperstepMetrics};
+use psgl_core::{ExpandStats, PsglConfig};
+use psgl_graph::{DataGraph, VertexId};
+use psgl_service::{load_graph, GraphFormat, Json};
+use std::time::Duration;
+
+/// How a worker materializes the data graph. Shipping a spec instead of
+/// the graph keeps `start` messages tiny and guarantees every process
+/// (and the test oracle) builds the identical graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// `gnm:N:M:SEED` — Erdős–Rényi G(n, m).
+    Gnm {
+        /// Vertices.
+        n: usize,
+        /// Edges.
+        m: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `chung-lu:N:AVG:GAMMA:SEED` — power-law Chung–Lu.
+    ChungLu {
+        /// Vertices.
+        n: usize,
+        /// Target average degree.
+        avg_degree: f64,
+        /// Power-law exponent.
+        gamma: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `fixture:NAME` — a bundled fixture graph.
+    Fixture(String),
+    /// `file:PATH[:FORMAT]` — a graph file (`edge-list` or `binary`).
+    File {
+        /// Path on the worker's filesystem.
+        path: String,
+        /// On-disk format.
+        format: GraphFormat,
+    },
+}
+
+impl GraphSpec {
+    /// Parses the spec mini-language described on the variants.
+    pub fn parse(spec: &str) -> Result<GraphSpec, String> {
+        let (family, rest) = spec.split_once(':').ok_or_else(|| {
+            format!("bad graph spec {spec:?}: expected gnm:/chung-lu:/fixture:/file:")
+        })?;
+        let num = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>().map_err(|e| format!("bad {what} in graph spec: {e}"))
+        };
+        match family {
+            "gnm" => {
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() != 3 {
+                    return Err("gnm spec wants gnm:N:M:SEED".into());
+                }
+                Ok(GraphSpec::Gnm {
+                    n: num(parts[0], "N")? as usize,
+                    m: num(parts[1], "M")?,
+                    seed: num(parts[2], "SEED")?,
+                })
+            }
+            "chung-lu" => {
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() != 4 {
+                    return Err("chung-lu spec wants chung-lu:N:AVG:GAMMA:SEED".into());
+                }
+                let f = |s: &str, what: &str| -> Result<f64, String> {
+                    s.parse::<f64>().map_err(|e| format!("bad {what} in graph spec: {e}"))
+                };
+                Ok(GraphSpec::ChungLu {
+                    n: num(parts[0], "N")? as usize,
+                    avg_degree: f(parts[1], "AVG")?,
+                    gamma: f(parts[2], "GAMMA")?,
+                    seed: num(parts[3], "SEED")?,
+                })
+            }
+            "fixture" => Ok(GraphSpec::Fixture(rest.to_string())),
+            "file" => match rest.rsplit_once(':') {
+                Some((path, fmt)) if GraphFormat::parse(fmt).is_ok() => Ok(GraphSpec::File {
+                    path: path.to_string(),
+                    format: GraphFormat::parse(fmt).expect("checked"),
+                }),
+                _ => Ok(GraphSpec::File { path: rest.to_string(), format: GraphFormat::EdgeList }),
+            },
+            other => Err(format!("unknown graph spec family {other:?}")),
+        }
+    }
+
+    /// Builds the graph.
+    pub fn load(&self) -> Result<DataGraph, String> {
+        match self {
+            GraphSpec::Gnm { n, m, seed } => {
+                psgl_graph::generators::erdos_renyi_gnm(*n, *m, *seed).map_err(|e| e.to_string())
+            }
+            GraphSpec::ChungLu { n, avg_degree, gamma, seed } => {
+                psgl_graph::generators::chung_lu(*n, *avg_degree, *gamma, *seed)
+                    .map_err(|e| e.to_string())
+            }
+            GraphSpec::Fixture(name) => {
+                load_graph(name, GraphFormat::Fixture).map_err(|e| e.to_string())
+            }
+            GraphSpec::File { path, format } => {
+                load_graph(path, *format).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// Everything a worker needs to execute a run: the graph recipe, the
+/// query, and the engine knobs that must agree at every participant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Graph spec string (see [`GraphSpec::parse`]).
+    pub graph: String,
+    /// Pattern spec (`psgl_service::parse_pattern_spec` grammar).
+    pub pattern: String,
+    /// Distribution-strategy spec (`random`, `roulette`, `wa:ALPHA`).
+    pub strategy: String,
+    /// Number of *logical* partitions `K` — the global
+    /// `PsglConfig::workers`. Must be ≥ the process count so every
+    /// process hosts at least one partition.
+    pub partitions: usize,
+    /// Run seed (partitioner salt and distributor streams).
+    pub seed: u64,
+    /// Collect instance tuples, not just counts.
+    pub collect_instances: bool,
+    /// Checkpoint every this many supersteps (0 = never). Recovery can
+    /// only roll back to a completed checkpoint.
+    pub checkpoint_interval: u32,
+    /// Superstep cap.
+    pub max_supersteps: u32,
+}
+
+impl JobSpec {
+    /// The [`PsglConfig`] every participant (and the centralized oracle)
+    /// derives from this job. Work stealing stays off: in-process
+    /// stealing reorders nothing observable, but the cluster contract is
+    /// simplest to audit without it.
+    pub fn config(&self) -> Result<PsglConfig, String> {
+        let strategy = psgl_service::parse_strategy_spec(&self.strategy)?;
+        let mut config = PsglConfig::with_workers(self.partitions)
+            .strategy(strategy)
+            .seed(self.seed)
+            .collect(self.collect_instances);
+        config.max_supersteps = self.max_supersteps;
+        Ok(config)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("graph", Json::from(self.graph.as_str())),
+            ("pattern", Json::from(self.pattern.as_str())),
+            ("strategy", Json::from(self.strategy.as_str())),
+            ("partitions", Json::from(self.partitions)),
+            ("seed", Json::from(self.seed)),
+            ("collect", Json::from(self.collect_instances)),
+            ("checkpoint_interval", Json::from(self.checkpoint_interval)),
+            ("max_supersteps", Json::from(self.max_supersteps)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<JobSpec, String> {
+        Ok(JobSpec {
+            graph: str_field(v, "graph")?,
+            pattern: str_field(v, "pattern")?,
+            strategy: str_field(v, "strategy")?,
+            partitions: u64_field(v, "partitions")? as usize,
+            seed: u64_field(v, "seed")?,
+            collect_instances: v.get("collect").and_then(Json::as_bool).unwrap_or(false),
+            checkpoint_interval: u64_field(v, "checkpoint_interval")? as u32,
+            max_supersteps: u64_field(v, "max_supersteps")? as u32,
+        })
+    }
+}
+
+/// A `start` order as the worker run loop consumes it (the fields of
+/// [`CoordMsg::Start`], minus the tag).
+#[derive(Clone, Debug)]
+pub struct StartOrder {
+    /// Execution attempt.
+    pub attempt: u32,
+    /// The job.
+    pub job: JobSpec,
+    /// Global partition ids this worker hosts, ascending.
+    pub partitions: Vec<u32>,
+    /// Partition → owning proc.
+    pub owners: Vec<u32>,
+    /// Alive procs and their data addresses.
+    pub peers: Vec<(u32, String)>,
+    /// Resume shard blobs for this worker's partitions.
+    pub resume: Vec<Vec<u8>>,
+}
+
+/// Messages a worker sends to the coordinator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerMsg {
+    /// First message on the control connection.
+    Join {
+        /// Address the worker's data-plane listener is bound to.
+        data_addr: String,
+    },
+    /// Heartbeat; carries no payload.
+    Ping,
+    /// This worker finished computing a superstep and shipped its remote
+    /// outboxes; it now waits for the coordinator's `proceed`.
+    Barrier {
+        /// Execution attempt the barrier belongs to.
+        attempt: u32,
+        /// Superstep just computed.
+        superstep: u32,
+        /// Global partition ids, parallel to `metrics`.
+        partitions: Vec<u32>,
+        /// Per-partition metrics for the superstep.
+        metrics: Vec<WorkerSuperstepMetrics>,
+    },
+    /// One partition's checkpoint shard (streamed to the coordinator).
+    Shard {
+        /// Execution attempt.
+        attempt: u32,
+        /// Superstep the restored run would resume at.
+        superstep: u32,
+        /// Global partition id.
+        partition: u32,
+        /// `CheckpointShard::to_bytes` output.
+        bytes: Vec<u8>,
+    },
+    /// The run completed on this worker.
+    Done {
+        /// Execution attempt.
+        attempt: u32,
+        /// Expansion counters merged over this worker's partitions.
+        expand: ExpandStats,
+        /// Instance tuples (when collecting).
+        instances: Option<Vec<Vec<VertexId>>>,
+        /// Supersteps executed (identical at every worker).
+        supersteps: u32,
+        /// Per-superstep network counters observed by this worker.
+        net: Vec<(u32, NetSuperstepMetrics)>,
+        /// Times the chunk pool's cap forced the degraded path.
+        pool_exhausted: u64,
+        /// Chunk get/put imbalance at shutdown (0 on a clean run).
+        chunks_outstanding: i64,
+    },
+    /// The run failed on this worker (bad job spec, graph load failure).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Messages the coordinator sends to a worker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoordMsg {
+    /// Reply to `join`: the worker's stable proc id.
+    Welcome {
+        /// Proc id (stable across attempts).
+        proc: u32,
+    },
+    /// Begin (or re-begin, after recovery) an execution attempt.
+    Start {
+        /// Execution attempt (0 = first).
+        attempt: u32,
+        /// The job.
+        job: JobSpec,
+        /// Global partition ids this worker hosts, ascending.
+        partitions: Vec<u32>,
+        /// Partition → owning proc, `job.partitions` entries.
+        owners: Vec<u32>,
+        /// Alive procs and their data-plane addresses.
+        peers: Vec<(u32, String)>,
+        /// Resume shards for this worker's partitions (empty on a fresh
+        /// start), one `CheckpointShard::to_bytes` blob per partition.
+        resume: Vec<Vec<u8>>,
+    },
+    /// Barrier release: every worker reported `superstep`.
+    Proceed {
+        /// Execution attempt.
+        attempt: u32,
+        /// Superstep being released.
+        superstep: u32,
+        /// Global in-flight message count — halt/budget decisions key
+        /// off this, so it is identical at every worker.
+        in_flight: u64,
+        /// Capture a checkpoint of the incoming frontier before
+        /// computing the next superstep.
+        checkpoint: bool,
+    },
+    /// Cancel the named attempt (peer failure, deadline, explicit).
+    Abort {
+        /// Attempt being cancelled.
+        attempt: u32,
+        /// `CancelReason::as_str` form.
+        reason: String,
+    },
+    /// Shut down for good.
+    Stop,
+}
+
+impl WorkerMsg {
+    /// Encodes for the wire.
+    pub fn to_json(&self) -> Json {
+        match self {
+            WorkerMsg::Join { data_addr } => Json::obj([
+                ("type", Json::from("join")),
+                ("data_addr", Json::from(data_addr.as_str())),
+            ]),
+            WorkerMsg::Ping => Json::obj([("type", Json::from("ping"))]),
+            WorkerMsg::Barrier { attempt, superstep, partitions, metrics } => Json::obj([
+                ("type", Json::from("barrier")),
+                ("attempt", Json::from(*attempt)),
+                ("superstep", Json::from(*superstep)),
+                ("partitions", Json::from(partitions.clone())),
+                ("metrics", Json::Arr(metrics.iter().map(worker_metrics_to_json).collect())),
+            ]),
+            WorkerMsg::Shard { attempt, superstep, partition, bytes } => Json::obj([
+                ("type", Json::from("shard")),
+                ("attempt", Json::from(*attempt)),
+                ("superstep", Json::from(*superstep)),
+                ("partition", Json::from(*partition)),
+                ("bytes", Json::from(to_hex(bytes))),
+            ]),
+            WorkerMsg::Done {
+                attempt,
+                expand,
+                instances,
+                supersteps,
+                net,
+                pool_exhausted,
+                chunks_outstanding,
+            } => Json::obj([
+                ("type", Json::from("done")),
+                ("attempt", Json::from(*attempt)),
+                ("expand", expand_to_json(expand)),
+                (
+                    "instances",
+                    match instances {
+                        Some(rows) => {
+                            Json::Arr(rows.iter().map(|row| Json::from(row.clone())).collect())
+                        }
+                        None => Json::Null,
+                    },
+                ),
+                ("supersteps", Json::from(*supersteps)),
+                (
+                    "net",
+                    Json::Arr(
+                        net.iter()
+                            .map(|(s, n)| {
+                                Json::Arr(vec![
+                                    Json::from(*s),
+                                    Json::from(n.frames_sent),
+                                    Json::from(n.frames_received),
+                                    Json::from(n.wire_bytes_sent),
+                                    Json::from(n.wire_bytes_received),
+                                    Json::from(n.barrier_wait_nanos),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("pool_exhausted", Json::from(*pool_exhausted)),
+                ("chunks_outstanding", Json::from(*chunks_outstanding)),
+            ]),
+            WorkerMsg::Error { message } => Json::obj([
+                ("type", Json::from("error")),
+                ("message", Json::from(message.as_str())),
+            ]),
+        }
+    }
+
+    /// Decodes from the wire.
+    pub fn from_json(v: &Json) -> Result<WorkerMsg, String> {
+        match str_field(v, "type")?.as_str() {
+            "join" => Ok(WorkerMsg::Join { data_addr: str_field(v, "data_addr")? }),
+            "ping" => Ok(WorkerMsg::Ping),
+            "barrier" => {
+                let partitions = u32_arr_field(v, "partitions")?;
+                let metrics = v
+                    .get("metrics")
+                    .and_then(Json::as_arr)
+                    .ok_or("barrier missing metrics")?
+                    .iter()
+                    .map(worker_metrics_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if partitions.len() != metrics.len() {
+                    return Err("barrier partitions/metrics length mismatch".into());
+                }
+                Ok(WorkerMsg::Barrier {
+                    attempt: u64_field(v, "attempt")? as u32,
+                    superstep: u64_field(v, "superstep")? as u32,
+                    partitions,
+                    metrics,
+                })
+            }
+            "shard" => Ok(WorkerMsg::Shard {
+                attempt: u64_field(v, "attempt")? as u32,
+                superstep: u64_field(v, "superstep")? as u32,
+                partition: u64_field(v, "partition")? as u32,
+                bytes: from_hex(&str_field(v, "bytes")?)?,
+            }),
+            "done" => {
+                let instances = match v.get("instances") {
+                    None | Some(Json::Null) => None,
+                    Some(rows) => Some(
+                        rows.as_arr()
+                            .ok_or("done instances must be an array")?
+                            .iter()
+                            .map(|row| u32_arr(row, "instance"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                };
+                let net = v
+                    .get("net")
+                    .and_then(Json::as_arr)
+                    .ok_or("done missing net")?
+                    .iter()
+                    .map(|entry| {
+                        let ns = u64_arr(entry, "net entry")?;
+                        if ns.len() != 6 {
+                            return Err("net entry wants 6 numbers".to_string());
+                        }
+                        Ok((
+                            ns[0] as u32,
+                            NetSuperstepMetrics {
+                                frames_sent: ns[1],
+                                frames_received: ns[2],
+                                wire_bytes_sent: ns[3],
+                                wire_bytes_received: ns[4],
+                                barrier_wait_nanos: ns[5],
+                            },
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(WorkerMsg::Done {
+                    attempt: u64_field(v, "attempt")? as u32,
+                    expand: expand_from_json(v.get("expand").ok_or("done missing expand")?)?,
+                    instances,
+                    supersteps: u64_field(v, "supersteps")? as u32,
+                    net,
+                    pool_exhausted: u64_field(v, "pool_exhausted")?,
+                    chunks_outstanding: v
+                        .get("chunks_outstanding")
+                        .and_then(Json::as_i64)
+                        .unwrap_or(0),
+                })
+            }
+            "error" => Ok(WorkerMsg::Error { message: str_field(v, "message")? }),
+            other => Err(format!("unknown worker message type {other:?}")),
+        }
+    }
+}
+
+impl CoordMsg {
+    /// Encodes for the wire.
+    pub fn to_json(&self) -> Json {
+        match self {
+            CoordMsg::Welcome { proc } => {
+                Json::obj([("type", Json::from("welcome")), ("proc", Json::from(*proc))])
+            }
+            CoordMsg::Start { attempt, job, partitions, owners, peers, resume } => Json::obj([
+                ("type", Json::from("start")),
+                ("attempt", Json::from(*attempt)),
+                ("job", job.to_json()),
+                ("partitions", Json::from(partitions.clone())),
+                ("owners", Json::from(owners.clone())),
+                (
+                    "peers",
+                    Json::Arr(
+                        peers
+                            .iter()
+                            .map(|(p, addr)| {
+                                Json::Arr(vec![Json::from(*p), Json::from(addr.as_str())])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("resume", Json::Arr(resume.iter().map(|b| Json::from(to_hex(b))).collect())),
+            ]),
+            CoordMsg::Proceed { attempt, superstep, in_flight, checkpoint } => Json::obj([
+                ("type", Json::from("proceed")),
+                ("attempt", Json::from(*attempt)),
+                ("superstep", Json::from(*superstep)),
+                ("in_flight", Json::from(*in_flight)),
+                ("checkpoint", Json::from(*checkpoint)),
+            ]),
+            CoordMsg::Abort { attempt, reason } => Json::obj([
+                ("type", Json::from("abort")),
+                ("attempt", Json::from(*attempt)),
+                ("reason", Json::from(reason.as_str())),
+            ]),
+            CoordMsg::Stop => Json::obj([("type", Json::from("stop"))]),
+        }
+    }
+
+    /// Decodes from the wire.
+    pub fn from_json(v: &Json) -> Result<CoordMsg, String> {
+        match str_field(v, "type")?.as_str() {
+            "welcome" => Ok(CoordMsg::Welcome { proc: u64_field(v, "proc")? as u32 }),
+            "start" => {
+                let peers = v
+                    .get("peers")
+                    .and_then(Json::as_arr)
+                    .ok_or("start missing peers")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr().ok_or("peer must be [proc, addr]")?;
+                        match pair {
+                            [p, addr] => Ok((
+                                p.as_u64().ok_or("bad peer proc")? as u32,
+                                addr.as_str().ok_or("bad peer addr")?.to_string(),
+                            )),
+                            _ => Err("peer must be [proc, addr]".to_string()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let resume = v
+                    .get("resume")
+                    .and_then(Json::as_arr)
+                    .map(|blobs| {
+                        blobs
+                            .iter()
+                            .map(|b| from_hex(b.as_str().ok_or("resume blob must be hex")?))
+                            .collect::<Result<Vec<_>, String>>()
+                    })
+                    .transpose()?
+                    .unwrap_or_default();
+                Ok(CoordMsg::Start {
+                    attempt: u64_field(v, "attempt")? as u32,
+                    job: JobSpec::from_json(v.get("job").ok_or("start missing job")?)?,
+                    partitions: u32_arr_field(v, "partitions")?,
+                    owners: u32_arr_field(v, "owners")?,
+                    peers,
+                    resume,
+                })
+            }
+            "proceed" => Ok(CoordMsg::Proceed {
+                attempt: u64_field(v, "attempt")? as u32,
+                superstep: u64_field(v, "superstep")? as u32,
+                in_flight: u64_field(v, "in_flight")?,
+                checkpoint: v.get("checkpoint").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "abort" => Ok(CoordMsg::Abort {
+                attempt: u64_field(v, "attempt")? as u32,
+                reason: str_field(v, "reason")?,
+            }),
+            "stop" => Ok(CoordMsg::Stop),
+            other => Err(format!("unknown coordinator message type {other:?}")),
+        }
+    }
+}
+
+/// Per-partition superstep metrics as a fixed-order numeric array
+/// (`elapsed` in nanoseconds).
+fn worker_metrics_to_json(m: &WorkerSuperstepMetrics) -> Json {
+    Json::Arr(vec![
+        Json::from(m.active_vertices),
+        Json::from(m.messages_in),
+        Json::from(m.messages_out),
+        Json::from(m.local_delivered),
+        Json::from(m.chunks_stolen),
+        Json::from(m.bytes_exchanged),
+        Json::from(m.cost),
+        Json::from(m.elapsed.as_nanos() as u64),
+    ])
+}
+
+fn worker_metrics_from_json(v: &Json) -> Result<WorkerSuperstepMetrics, String> {
+    let ns = u64_arr(v, "worker metrics")?;
+    if ns.len() != 8 {
+        return Err("worker metrics want 8 numbers".into());
+    }
+    Ok(WorkerSuperstepMetrics {
+        active_vertices: ns[0],
+        messages_in: ns[1],
+        messages_out: ns[2],
+        local_delivered: ns[3],
+        chunks_stolen: ns[4],
+        bytes_exchanged: ns[5],
+        cost: ns[6],
+        elapsed: Duration::from_nanos(ns[7]),
+    })
+}
+
+/// Expansion counters as a fixed-order numeric array (field order of
+/// [`ExpandStats`]).
+fn expand_to_json(e: &ExpandStats) -> Json {
+    Json::Arr(
+        [
+            e.expanded,
+            e.generated,
+            e.results,
+            e.pruned_injectivity,
+            e.pruned_degree,
+            e.pruned_order,
+            e.pruned_connectivity,
+            e.pruned_label,
+            e.died_gray_check,
+            e.died_no_candidates,
+            e.combinations_examined,
+            e.index_probes,
+            e.cost,
+        ]
+        .into_iter()
+        .map(Json::from)
+        .collect(),
+    )
+}
+
+fn expand_from_json(v: &Json) -> Result<ExpandStats, String> {
+    let ns = u64_arr(v, "expand stats")?;
+    if ns.len() != 13 {
+        return Err("expand stats want 13 numbers".into());
+    }
+    Ok(ExpandStats {
+        expanded: ns[0],
+        generated: ns[1],
+        results: ns[2],
+        pruned_injectivity: ns[3],
+        pruned_degree: ns[4],
+        pruned_order: ns[5],
+        pruned_connectivity: ns[6],
+        pruned_label: ns[7],
+        died_gray_check: ns[8],
+        died_no_candidates: ns[9],
+        combinations_examined: ns[10],
+        index_probes: ns[11],
+        cost: ns[12],
+    })
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn u64_arr(v: &Json, what: &str) -> Result<Vec<u64>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| format!("{what} holds a non-number")))
+        .collect()
+}
+
+fn u32_arr(v: &Json, what: &str) -> Result<Vec<u32>, String> {
+    Ok(u64_arr(v, what)?.into_iter().map(|x| x as u32).collect())
+}
+
+fn u32_arr_field(v: &Json, key: &str) -> Result<Vec<u32>, String> {
+    u32_arr(v.get(key).ok_or_else(|| format!("missing field {key:?}"))?, key)
+}
+
+/// Lower-hex encoding for checkpoint-shard blobs on the JSON channel.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+/// Inverse of [`to_hex`].
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("hex string has odd length".into());
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or("bad hex digit")?;
+        let lo = (pair[1] as char).to_digit(16).ok_or("bad hex digit")?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn graph_spec_parses() {
+        assert_eq!(
+            GraphSpec::parse("gnm:100:400:7").unwrap(),
+            GraphSpec::Gnm { n: 100, m: 400, seed: 7 }
+        );
+        assert_eq!(
+            GraphSpec::parse("fixture:karate-club").unwrap(),
+            GraphSpec::Fixture("karate-club".into())
+        );
+        assert!(matches!(
+            GraphSpec::parse("file:/tmp/g.txt:edge-list").unwrap(),
+            GraphSpec::File { .. }
+        ));
+        assert!(GraphSpec::parse("nope").is_err());
+        assert!(GraphSpec::parse("gnm:1:2").is_err());
+    }
+
+    fn sample_job() -> JobSpec {
+        JobSpec {
+            graph: "gnm:60:300:7".into(),
+            pattern: "triangle".into(),
+            strategy: "roulette".into(),
+            partitions: 6,
+            seed: 42,
+            collect_instances: true,
+            checkpoint_interval: 2,
+            max_supersteps: 64,
+        }
+    }
+
+    #[test]
+    fn worker_messages_roundtrip() {
+        let msgs = vec![
+            WorkerMsg::Join { data_addr: "127.0.0.1:4000".into() },
+            WorkerMsg::Ping,
+            WorkerMsg::Barrier {
+                attempt: 1,
+                superstep: 3,
+                partitions: vec![0, 3],
+                metrics: vec![
+                    WorkerSuperstepMetrics {
+                        active_vertices: 4,
+                        messages_in: 10,
+                        messages_out: 20,
+                        local_delivered: 5,
+                        chunks_stolen: 0,
+                        bytes_exchanged: 900,
+                        cost: 77,
+                        elapsed: Duration::from_nanos(1234),
+                    },
+                    WorkerSuperstepMetrics::default(),
+                ],
+            },
+            WorkerMsg::Shard { attempt: 0, superstep: 2, partition: 4, bytes: vec![1, 2, 250] },
+            WorkerMsg::Done {
+                attempt: 2,
+                expand: ExpandStats { expanded: 9, results: 3, cost: 12, ..Default::default() },
+                instances: Some(vec![vec![1, 2, 3], vec![4, 5, 6]]),
+                supersteps: 4,
+                net: vec![(
+                    0,
+                    NetSuperstepMetrics {
+                        frames_sent: 1,
+                        frames_received: 2,
+                        wire_bytes_sent: 3,
+                        wire_bytes_received: 4,
+                        barrier_wait_nanos: 5,
+                    },
+                )],
+                pool_exhausted: 0,
+                chunks_outstanding: 0,
+            },
+            WorkerMsg::Error { message: "boom".into() },
+        ];
+        for msg in msgs {
+            let json = Json::parse(&msg.to_json().to_string()).unwrap();
+            assert_eq!(WorkerMsg::from_json(&json).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn coordinator_messages_roundtrip() {
+        let msgs = vec![
+            CoordMsg::Welcome { proc: 2 },
+            CoordMsg::Start {
+                attempt: 1,
+                job: sample_job(),
+                partitions: vec![1, 4],
+                owners: vec![0, 1, 2, 0, 1, 2],
+                peers: vec![(0, "127.0.0.1:1".into()), (1, "127.0.0.1:2".into())],
+                resume: vec![vec![9, 8, 7]],
+            },
+            CoordMsg::Proceed { attempt: 0, superstep: 5, in_flight: 1234, checkpoint: true },
+            CoordMsg::Abort { attempt: 3, reason: "disconnected".into() },
+            CoordMsg::Stop,
+        ];
+        for msg in msgs {
+            let json = Json::parse(&msg.to_json().to_string()).unwrap();
+            assert_eq!(CoordMsg::from_json(&json).unwrap(), msg);
+        }
+    }
+}

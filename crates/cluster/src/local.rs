@@ -1,0 +1,89 @@
+//! In-process cluster harness: coordinator plus worker threads over
+//! loopback sockets.
+//!
+//! Everything real about the cluster — the TCP data plane, the binary
+//! frame codec, the control protocol, membership, recovery — runs
+//! exactly as it would across processes; only the process boundary is
+//! replaced by threads. Integration tests and the chaos (kill a
+//! worker) scenarios build on this harness.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use crate::control::JobSpec;
+use crate::coordinator::{run_cluster, ClusterConfig, ClusterError, ClusterOutcome};
+use crate::worker::{run_worker, WorkerOptions};
+
+/// Configuration for an in-process cluster run.
+#[derive(Clone, Debug)]
+pub struct LocalClusterConfig {
+    /// Worker threads to spawn.
+    pub workers: usize,
+    /// The job to execute.
+    pub job: JobSpec,
+    /// Chaos hook: `(worker_index, superstep)` — the `worker_index`-th
+    /// spawned worker dies on entering the exchange of `superstep`
+    /// during attempt 0. Note the index is spawn order, not the proc id
+    /// the coordinator assigns (those follow connect order).
+    pub die_at: Option<(usize, u32)>,
+    /// Silence threshold for declaring a worker dead. Keep this well
+    /// above the 100 ms ping interval; lower it (e.g. to ~1 s) in
+    /// recovery tests so death detection does not dominate runtime.
+    pub heartbeat_timeout: Duration,
+    /// Optional wall-clock budget for the whole run.
+    pub deadline: Option<Duration>,
+}
+
+impl LocalClusterConfig {
+    /// A config with the conventional 3 s heartbeat, no chaos, no
+    /// deadline.
+    pub fn new(workers: usize, job: JobSpec) -> LocalClusterConfig {
+        LocalClusterConfig {
+            workers,
+            job,
+            die_at: None,
+            heartbeat_timeout: Duration::from_secs(3),
+            deadline: None,
+        }
+    }
+}
+
+/// Runs a complete cluster — coordinator in this thread, workers on
+/// spawned threads — and returns the coordinator's outcome after every
+/// worker thread has been joined.
+pub fn run_local(cfg: LocalClusterConfig) -> Result<ClusterOutcome, ClusterError> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| ClusterError::Io(e.to_string()))?;
+    let addr = listener.local_addr().map_err(|e| ClusterError::Io(e.to_string()))?.to_string();
+
+    let mut handles = Vec::with_capacity(cfg.workers);
+    for index in 0..cfg.workers {
+        let addr = addr.clone();
+        let opts = WorkerOptions {
+            die_at_superstep: cfg
+                .die_at
+                .and_then(|(w, superstep)| (w == index).then_some(superstep)),
+            ..WorkerOptions::default()
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("psgl-worker-{index}"))
+                .spawn(move || run_worker(&addr, opts))
+                .map_err(|e| ClusterError::Io(e.to_string()))?,
+        );
+    }
+
+    let cluster = ClusterConfig {
+        workers: cfg.workers,
+        job: cfg.job,
+        heartbeat_timeout: cfg.heartbeat_timeout,
+        join_timeout: Duration::from_secs(30),
+        deadline: cfg.deadline,
+    };
+    let result = run_cluster(listener, cluster);
+    // run_cluster severed every control socket on exit, so worker run
+    // loops observe stop/death and return; joins cannot hang.
+    for handle in handles {
+        let _ = handle.join();
+    }
+    result
+}

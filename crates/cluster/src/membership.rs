@@ -1,0 +1,100 @@
+//! Worker liveness tracking.
+//!
+//! Socket-free by design: the coordinator's event loop feeds it
+//! observations (any control message counts as a heartbeat) and asks
+//! which workers have gone silent. Death is also reported eagerly when
+//! a control connection drops; the timeout catches the harder case of a
+//! worker that wedges without closing its socket.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Tracks when each worker was last heard from.
+#[derive(Debug)]
+pub struct Membership {
+    last_seen: BTreeMap<u32, Instant>,
+    timeout: Duration,
+}
+
+impl Membership {
+    /// A tracker that declares a worker dead after `timeout` of silence.
+    pub fn new(timeout: Duration) -> Membership {
+        Membership { last_seen: BTreeMap::new(), timeout }
+    }
+
+    /// Registers a worker (or refreshes its heartbeat).
+    pub fn touch(&mut self, proc: u32, now: Instant) {
+        self.last_seen.insert(proc, now);
+    }
+
+    /// Stops tracking a worker (it died or was stopped).
+    pub fn remove(&mut self, proc: u32) {
+        self.last_seen.remove(&proc);
+    }
+
+    /// Workers silent for longer than the timeout, ascending by id.
+    /// They stay tracked until [`Membership::remove`] — the caller
+    /// decides when a timeout becomes a death.
+    pub fn expired(&self, now: Instant) -> Vec<u32> {
+        self.last_seen
+            .iter()
+            .filter(|(_, &seen)| now.duration_since(seen) > self.timeout)
+            .map(|(&proc, _)| proc)
+            .collect()
+    }
+
+    /// Tracked workers, ascending by id.
+    pub fn procs(&self) -> Vec<u32> {
+        self.last_seen.keys().copied().collect()
+    }
+
+    /// Number of tracked workers.
+    pub fn len(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Whether no workers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.last_seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_past_the_timeout_expires_a_worker() {
+        let t0 = Instant::now();
+        let mut m = Membership::new(Duration::from_millis(100));
+        m.touch(0, t0);
+        m.touch(1, t0);
+        m.touch(2, t0);
+
+        // Worker 1 keeps pinging; the others go quiet.
+        let t1 = t0 + Duration::from_millis(80);
+        m.touch(1, t1);
+        assert!(m.expired(t1).is_empty());
+
+        let t2 = t0 + Duration::from_millis(150);
+        assert_eq!(m.expired(t2), vec![0, 2]);
+
+        // Expiry does not untrack; removal does.
+        assert_eq!(m.len(), 3);
+        m.remove(0);
+        m.remove(2);
+        assert_eq!(m.expired(t2), Vec::<u32>::new());
+        assert_eq!(m.procs(), vec![1]);
+    }
+
+    #[test]
+    fn re_touch_revives_before_removal() {
+        let t0 = Instant::now();
+        let mut m = Membership::new(Duration::from_millis(50));
+        m.touch(7, t0);
+        let late = t0 + Duration::from_millis(100);
+        assert_eq!(m.expired(late), vec![7]);
+        m.touch(7, late);
+        assert!(m.expired(late).is_empty());
+    }
+}

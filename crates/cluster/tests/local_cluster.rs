@@ -1,0 +1,108 @@
+//! End-to-end cluster tests: a 3-worker loopback cluster must produce
+//! results bit-identical to the single-process engine — same instance
+//! multiset, same counts, same expansion counters, same per-superstep
+//! message curves — for every paper distribution strategy, and a run
+//! that loses a worker mid-flight must recover to the same answer.
+
+use std::time::Duration;
+
+use psgl_cluster::control::{GraphSpec, JobSpec};
+use psgl_cluster::local::{run_local, LocalClusterConfig};
+use psgl_cluster::ClusterOutcome;
+use psgl_core::{list_subgraphs, ListingResult};
+use psgl_service::parse_pattern_spec;
+
+const WORKERS: usize = 3;
+const PARTITIONS: usize = 6;
+const GRAPH: &str = "gnm:60:300:7";
+const STRATEGIES: [&str; 5] = ["random", "roulette", "wa:1", "wa:0", "wa:0.5"];
+
+fn job(pattern: &str, strategy: &str) -> JobSpec {
+    JobSpec {
+        graph: GRAPH.into(),
+        pattern: pattern.into(),
+        strategy: strategy.into(),
+        partitions: PARTITIONS,
+        seed: 42,
+        collect_instances: true,
+        checkpoint_interval: 0,
+        max_supersteps: 64,
+    }
+}
+
+/// The centralized single-process run the cluster must reproduce.
+fn oracle(job: &JobSpec) -> ListingResult {
+    let graph = GraphSpec::parse(&job.graph).unwrap().load().unwrap();
+    let pattern = parse_pattern_spec(&job.pattern).unwrap();
+    let config = job.config().unwrap();
+    list_subgraphs(&graph, &pattern, &config).unwrap()
+}
+
+fn assert_matches_oracle(outcome: &ClusterOutcome, oracle: &ListingResult, label: &str) {
+    assert_eq!(outcome.instance_count, oracle.instance_count, "{label}: instance count diverged");
+    assert_eq!(outcome.instances, oracle.instances, "{label}: instance multiset diverged");
+    assert_eq!(outcome.stats.expand, oracle.stats.expand, "{label}: expand counters diverged");
+    assert_eq!(outcome.stats.supersteps, oracle.stats.supersteps, "{label}: superstep count");
+    assert_eq!(
+        outcome.stats.messages_out_per_superstep, oracle.stats.messages_out_per_superstep,
+        "{label}: messages-out curve diverged"
+    );
+    assert_eq!(
+        outcome.stats.messages_in_per_superstep, oracle.stats.messages_in_per_superstep,
+        "{label}: messages-in curve diverged"
+    );
+    assert_eq!(
+        outcome.stats.per_worker_cost, oracle.stats.per_worker_cost,
+        "{label}: per-partition cost diverged"
+    );
+}
+
+#[test]
+fn three_workers_match_oracle_on_triangles_for_every_strategy() {
+    for strategy in STRATEGIES {
+        let job = job("triangle", strategy);
+        let expected = oracle(&job);
+        let outcome = run_local(LocalClusterConfig::new(WORKERS, job)).unwrap();
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.workers_lost, 0);
+        assert_matches_oracle(&outcome, &expected, &format!("triangle/{strategy}"));
+        assert!(expected.instance_count > 0, "vacuous test: no triangles in fixture");
+    }
+}
+
+#[test]
+fn three_workers_match_oracle_on_four_cliques_for_every_strategy() {
+    for strategy in STRATEGIES {
+        let job = job("4-clique", strategy);
+        let expected = oracle(&job);
+        let outcome = run_local(LocalClusterConfig::new(WORKERS, job)).unwrap();
+        assert_matches_oracle(&outcome, &expected, &format!("4-clique/{strategy}"));
+        assert!(expected.instance_count > 0, "vacuous test: no 4-cliques in fixture");
+    }
+}
+
+#[test]
+fn killed_worker_recovers_to_identical_results() {
+    let mut job = job("triangle", "roulette");
+    job.checkpoint_interval = 1;
+    let expected = oracle(&job);
+
+    let mut cfg = LocalClusterConfig::new(WORKERS, job);
+    cfg.die_at = Some((1, 2)); // second spawned worker dies entering superstep 2
+    cfg.heartbeat_timeout = Duration::from_millis(900);
+    let outcome = run_local(cfg).unwrap();
+
+    assert_eq!(outcome.attempts, 2, "death at superstep 2 must trigger exactly one recovery");
+    assert_eq!(outcome.workers_lost, 1);
+    assert_matches_oracle(&outcome, &expected, "triangle/roulette after recovery");
+}
+
+#[test]
+fn checkpointing_run_without_failure_still_matches_oracle() {
+    let mut job = job("triangle", "wa:0.5");
+    job.checkpoint_interval = 1;
+    let expected = oracle(&job);
+    let outcome = run_local(LocalClusterConfig::new(WORKERS, job)).unwrap();
+    assert_eq!(outcome.attempts, 1);
+    assert_matches_oracle(&outcome, &expected, "triangle/wa:0.5 with checkpoints");
+}

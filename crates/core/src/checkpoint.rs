@@ -24,13 +24,14 @@ use crate::distribute::{DistributorSnapshot, Strategy};
 use crate::gpsi::{Gpsi, MAX_GPSI_VERTICES};
 use crate::stats::ExpandStats;
 use bytes::{BufMut, BytesMut};
-use psgl_bsp::{SuperstepMetrics, WorkerSuperstepMetrics};
+use psgl_bsp::{NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
 use psgl_graph::hash::FxHasher;
 use psgl_graph::VertexId;
 use std::hash::Hasher;
 use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"PSGLCKP1";
+const SHARD_MAGIC: &[u8; 8] = b"PSGLSHD1";
 
 /// A checkpoint failed to decode or does not match the run it is being
 /// resumed against.
@@ -173,16 +174,7 @@ impl Checkpoint {
     /// Serializes the checkpoint into the binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut p = BytesMut::new();
-        let g = &self.guard;
-        p.put_u64_le(g.graph_hash);
-        p.put_u32_le(g.workers);
-        p.put_u64_le(g.seed);
-        let (tag, alpha) = encode_strategy(g.strategy);
-        p.put_u8(tag);
-        p.put_f64_le(alpha);
-        p.put_u64_le(g.pattern_hash);
-        p.put_u8(g.init_vertex);
-        p.put_u8(g.harvest_mode);
+        put_guard(&mut p, &self.guard);
         p.put_u32_le(self.superstep);
         p.put_u64_le(self.prior_pool_exhausted);
         p.put_u32_le(self.prior_supersteps.len() as u32);
@@ -198,98 +190,29 @@ impl Checkpoint {
                 p.put_u64_le(w.cost);
                 p.put_u64_le(w.elapsed.as_nanos() as u64);
             }
+            p.put_u64_le(s.net.frames_sent);
+            p.put_u64_le(s.net.frames_received);
+            p.put_u64_le(s.net.wire_bytes_sent);
+            p.put_u64_le(s.net.wire_bytes_received);
+            p.put_u64_le(s.net.barrier_wait_nanos);
         }
         for w in &self.workers {
-            for s in w.distributor.rng_state {
-                p.put_u64_le(s);
-            }
-            p.put_u32_le(w.distributor.workload.len() as u32);
-            for &load in &w.distributor.workload {
-                p.put_f64_le(load);
-            }
-            put_stats(&mut p, &w.stats);
-            p.put_u64_le(w.emitted_this_superstep);
-            p.put_u32_le(w.emitted_superstep);
-            p.put_u8(u8::from(w.failed));
-            match &w.harvest {
-                HarvestCheckpoint::CountOnly => {}
-                HarvestCheckpoint::Instances(buf) => {
-                    p.put_u64_le(buf.len() as u64);
-                    for inst in buf {
-                        p.put_u8(inst.len() as u8);
-                        for &v in inst {
-                            p.put_u32_le(v);
-                        }
-                    }
-                }
-                HarvestCheckpoint::PerVertex(counts) => {
-                    p.put_u64_le(counts.len() as u64);
-                    for &c in counts {
-                        p.put_u64_le(c);
-                    }
-                }
-            }
+            put_worker(&mut p, w);
         }
         for dest in &self.frontier {
-            p.put_u64_le(dest.len() as u64);
-            for (v, gpsi) in dest {
-                p.put_u32_le(*v);
-                let (mapping, black, mapped, verified, expanding) = gpsi.to_raw_parts();
-                for m in mapping {
-                    p.put_u32_le(m);
-                }
-                p.put_u16_le(black);
-                p.put_u16_le(mapped);
-                p.put_u128_le(verified);
-                p.put_u8(expanding);
-            }
+            put_frontier_dest(&mut p, dest);
         }
-        let mut hasher = FxHasher::default();
-        hasher.write(&p);
-        let mut out = Vec::with_capacity(8 + p.len() + 8);
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&p);
-        out.extend_from_slice(&hasher.finish().to_le_bytes());
-        out
+        seal(MAGIC, &p)
     }
 
     /// Deserializes the binary format; rejects corruption (checksum),
     /// truncation, and structurally invalid payloads.
     pub fn from_bytes(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
-        if data.len() < 8 + 8 || &data[..8] != MAGIC {
-            return Err(CheckpointError::new("not a PSGLCKP1 checkpoint"));
-        }
-        let payload = &data[8..data.len() - 8];
-        let mut expect = [0u8; 8];
-        expect.copy_from_slice(&data[data.len() - 8..]);
-        let mut hasher = FxHasher::default();
-        hasher.write(payload);
-        if hasher.finish() != u64::from_le_bytes(expect) {
-            return Err(CheckpointError::new("checksum mismatch"));
-        }
+        let payload = unseal(MAGIC, "PSGLCKP1 checkpoint", data)?;
         let mut r = Reader { data: payload };
-        let graph_hash = r.u64()?;
-        let workers = r.u32()?;
-        if workers == 0 || workers > 1 << 20 {
-            return Err(CheckpointError::new("implausible worker count"));
-        }
-        let seed = r.u64()?;
-        let strategy = decode_strategy(r.u8()?, r.f64()?)?;
-        let pattern_hash_v = r.u64()?;
-        let init_vertex = r.u8()?;
-        let harvest_mode = r.u8()?;
-        if harvest_mode > 2 {
-            return Err(CheckpointError::new("unknown harvest mode"));
-        }
-        let guard = CheckpointGuard {
-            graph_hash,
-            workers,
-            seed,
-            strategy,
-            pattern_hash: pattern_hash_v,
-            init_vertex,
-            harvest_mode,
-        };
+        let guard = read_guard(&mut r)?;
+        let workers = guard.workers;
+        let harvest_mode = guard.harvest_mode;
         let superstep = r.u32()?;
         let prior_pool_exhausted = r.u64()?;
         let n_supersteps = r.u32()? as usize;
@@ -309,76 +232,22 @@ impl Checkpoint {
                     elapsed: Duration::from_nanos(r.u64()?),
                 });
             }
-            prior_supersteps.push(SuperstepMetrics { workers: ws });
+            let net = NetSuperstepMetrics {
+                frames_sent: r.u64()?,
+                frames_received: r.u64()?,
+                wire_bytes_sent: r.u64()?,
+                wire_bytes_received: r.u64()?,
+                barrier_wait_nanos: r.u64()?,
+            };
+            prior_supersteps.push(SuperstepMetrics { workers: ws, net });
         }
         let mut worker_states = Vec::new();
         for _ in 0..workers {
-            let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
-            let n_load = r.u32()? as usize;
-            let mut workload = Vec::new();
-            for _ in 0..n_load {
-                workload.push(r.f64()?);
-            }
-            let stats = read_stats(&mut r)?;
-            let emitted_this_superstep = r.u64()?;
-            let emitted_superstep = r.u32()?;
-            let failed = r.u8()? != 0;
-            let harvest = match harvest_mode {
-                0 => HarvestCheckpoint::CountOnly,
-                1 => {
-                    let n = r.u64()? as usize;
-                    let mut buf = Vec::new();
-                    for _ in 0..n {
-                        let len = r.u8()? as usize;
-                        if len > MAX_GPSI_VERTICES {
-                            return Err(CheckpointError::new("oversized instance tuple"));
-                        }
-                        let mut inst = Vec::with_capacity(len);
-                        for _ in 0..len {
-                            inst.push(r.u32()?);
-                        }
-                        buf.push(inst);
-                    }
-                    HarvestCheckpoint::Instances(buf)
-                }
-                _ => {
-                    let n = r.u64()? as usize;
-                    let mut counts = Vec::new();
-                    for _ in 0..n {
-                        counts.push(r.u64()?);
-                    }
-                    HarvestCheckpoint::PerVertex(counts)
-                }
-            };
-            worker_states.push(WorkerCheckpoint {
-                distributor: DistributorSnapshot { rng_state, workload },
-                stats,
-                emitted_this_superstep,
-                emitted_superstep,
-                failed,
-                harvest,
-            });
+            worker_states.push(read_worker(&mut r, harvest_mode)?);
         }
         let mut frontier = Vec::new();
         for _ in 0..workers {
-            let n = r.u64()? as usize;
-            let mut dest = Vec::new();
-            for _ in 0..n {
-                let v = r.u32()?;
-                let mut mapping = [0u32; MAX_GPSI_VERTICES];
-                for m in &mut mapping {
-                    *m = r.u32()?;
-                }
-                let black = r.u16()?;
-                let mapped = r.u16()?;
-                let verified = r.u128()?;
-                let expanding = r.u8()?;
-                if expanding as usize >= MAX_GPSI_VERTICES {
-                    return Err(CheckpointError::new("invalid expanding vertex in frontier"));
-                }
-                dest.push((v, Gpsi::from_raw_parts(mapping, black, mapped, verified, expanding)));
-            }
-            frontier.push(dest);
+            frontier.push(read_frontier_dest(&mut r)?);
         }
         if !r.data.is_empty() {
             return Err(CheckpointError::new("trailing bytes after frontier"));
@@ -392,6 +261,243 @@ impl Checkpoint {
             frontier,
         })
     }
+}
+
+/// One partition's slice of a superstep-boundary checkpoint, as streamed
+/// from a cluster worker to the coordinator. The coordinator collects one
+/// shard per partition per checkpointed superstep; on a worker failure it
+/// hands the surviving (and reassigned) partitions their shards back and
+/// the run resumes from the last complete shard set.
+///
+/// Same binary discipline as [`Checkpoint`]:
+///
+/// ```text
+/// magic "PSGLSHD1" | payload | checksum: u64 (FxHash of the payload)
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointShard {
+    /// Run-input guard — identical across all shards of one run.
+    pub guard: CheckpointGuard,
+    /// Global partition id this shard belongs to.
+    pub partition: u32,
+    /// The superstep a resume from this shard starts at.
+    pub superstep: u32,
+    /// The partition's worker state at the capture barrier.
+    pub worker: WorkerCheckpoint,
+    /// Undelivered messages bound for this partition, in delivery order.
+    pub frontier: Vec<(VertexId, Gpsi)>,
+}
+
+impl CheckpointShard {
+    /// Serializes the shard into the binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = BytesMut::new();
+        put_guard(&mut p, &self.guard);
+        p.put_u32_le(self.partition);
+        p.put_u32_le(self.superstep);
+        put_worker(&mut p, &self.worker);
+        put_frontier_dest(&mut p, &self.frontier);
+        seal(SHARD_MAGIC, &p)
+    }
+
+    /// Deserializes the binary format; rejects corruption, truncation, and
+    /// structurally invalid payloads.
+    pub fn from_bytes(data: &[u8]) -> Result<CheckpointShard, CheckpointError> {
+        let payload = unseal(SHARD_MAGIC, "PSGLSHD1 checkpoint shard", data)?;
+        let mut r = Reader { data: payload };
+        let guard = read_guard(&mut r)?;
+        let partition = r.u32()?;
+        if partition >= guard.workers {
+            return Err(CheckpointError::new("shard partition out of range"));
+        }
+        let superstep = r.u32()?;
+        let worker = read_worker(&mut r, guard.harvest_mode)?;
+        let frontier = read_frontier_dest(&mut r)?;
+        if !r.data.is_empty() {
+            return Err(CheckpointError::new("trailing bytes after frontier"));
+        }
+        Ok(CheckpointShard { guard, partition, superstep, worker, frontier })
+    }
+}
+
+/// Frames `payload` with a magic and a trailing FxHash checksum.
+fn seal(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut hasher = FxHasher::default();
+    hasher.write(payload);
+    let mut out = Vec::with_capacity(8 + payload.len() + 8);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&hasher.finish().to_le_bytes());
+    out
+}
+
+/// Checks magic + checksum and returns the inner payload.
+fn unseal<'a>(magic: &[u8; 8], what: &str, data: &'a [u8]) -> Result<&'a [u8], CheckpointError> {
+    if data.len() < 8 + 8 || &data[..8] != magic {
+        return Err(CheckpointError::new(format!("not a {what}")));
+    }
+    let payload = &data[8..data.len() - 8];
+    let mut expect = [0u8; 8];
+    expect.copy_from_slice(&data[data.len() - 8..]);
+    let mut hasher = FxHasher::default();
+    hasher.write(payload);
+    if hasher.finish() != u64::from_le_bytes(expect) {
+        return Err(CheckpointError::new("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+fn put_guard(p: &mut BytesMut, g: &CheckpointGuard) {
+    p.put_u64_le(g.graph_hash);
+    p.put_u32_le(g.workers);
+    p.put_u64_le(g.seed);
+    let (tag, alpha) = encode_strategy(g.strategy);
+    p.put_u8(tag);
+    p.put_f64_le(alpha);
+    p.put_u64_le(g.pattern_hash);
+    p.put_u8(g.init_vertex);
+    p.put_u8(g.harvest_mode);
+}
+
+fn read_guard(r: &mut Reader<'_>) -> Result<CheckpointGuard, CheckpointError> {
+    let graph_hash = r.u64()?;
+    let workers = r.u32()?;
+    if workers == 0 || workers > 1 << 20 {
+        return Err(CheckpointError::new("implausible worker count"));
+    }
+    let seed = r.u64()?;
+    let strategy = decode_strategy(r.u8()?, r.f64()?)?;
+    let pattern_hash = r.u64()?;
+    let init_vertex = r.u8()?;
+    let harvest_mode = r.u8()?;
+    if harvest_mode > 2 {
+        return Err(CheckpointError::new("unknown harvest mode"));
+    }
+    Ok(CheckpointGuard {
+        graph_hash,
+        workers,
+        seed,
+        strategy,
+        pattern_hash,
+        init_vertex,
+        harvest_mode,
+    })
+}
+
+fn put_worker(p: &mut BytesMut, w: &WorkerCheckpoint) {
+    for s in w.distributor.rng_state {
+        p.put_u64_le(s);
+    }
+    p.put_u32_le(w.distributor.workload.len() as u32);
+    for &load in &w.distributor.workload {
+        p.put_f64_le(load);
+    }
+    put_stats(p, &w.stats);
+    p.put_u64_le(w.emitted_this_superstep);
+    p.put_u32_le(w.emitted_superstep);
+    p.put_u8(u8::from(w.failed));
+    match &w.harvest {
+        HarvestCheckpoint::CountOnly => {}
+        HarvestCheckpoint::Instances(buf) => {
+            p.put_u64_le(buf.len() as u64);
+            for inst in buf {
+                p.put_u8(inst.len() as u8);
+                for &v in inst {
+                    p.put_u32_le(v);
+                }
+            }
+        }
+        HarvestCheckpoint::PerVertex(counts) => {
+            p.put_u64_le(counts.len() as u64);
+            for &c in counts {
+                p.put_u64_le(c);
+            }
+        }
+    }
+}
+
+fn read_worker(r: &mut Reader<'_>, harvest_mode: u8) -> Result<WorkerCheckpoint, CheckpointError> {
+    let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    let n_load = r.u32()? as usize;
+    let mut workload = Vec::new();
+    for _ in 0..n_load {
+        workload.push(r.f64()?);
+    }
+    let stats = read_stats(r)?;
+    let emitted_this_superstep = r.u64()?;
+    let emitted_superstep = r.u32()?;
+    let failed = r.u8()? != 0;
+    let harvest = match harvest_mode {
+        0 => HarvestCheckpoint::CountOnly,
+        1 => {
+            let n = r.u64()? as usize;
+            let mut buf = Vec::new();
+            for _ in 0..n {
+                let len = r.u8()? as usize;
+                if len > MAX_GPSI_VERTICES {
+                    return Err(CheckpointError::new("oversized instance tuple"));
+                }
+                let mut inst = Vec::with_capacity(len);
+                for _ in 0..len {
+                    inst.push(r.u32()?);
+                }
+                buf.push(inst);
+            }
+            HarvestCheckpoint::Instances(buf)
+        }
+        _ => {
+            let n = r.u64()? as usize;
+            let mut counts = Vec::new();
+            for _ in 0..n {
+                counts.push(r.u64()?);
+            }
+            HarvestCheckpoint::PerVertex(counts)
+        }
+    };
+    Ok(WorkerCheckpoint {
+        distributor: DistributorSnapshot { rng_state, workload },
+        stats,
+        emitted_this_superstep,
+        emitted_superstep,
+        failed,
+        harvest,
+    })
+}
+
+fn put_frontier_dest(p: &mut BytesMut, dest: &[(VertexId, Gpsi)]) {
+    p.put_u64_le(dest.len() as u64);
+    for (v, gpsi) in dest {
+        p.put_u32_le(*v);
+        let (mapping, black, mapped, verified, expanding) = gpsi.to_raw_parts();
+        for m in mapping {
+            p.put_u32_le(m);
+        }
+        p.put_u16_le(black);
+        p.put_u16_le(mapped);
+        p.put_u128_le(verified);
+        p.put_u8(expanding);
+    }
+}
+
+fn read_frontier_dest(r: &mut Reader<'_>) -> Result<Vec<(VertexId, Gpsi)>, CheckpointError> {
+    let n = r.u64()? as usize;
+    let mut dest = Vec::new();
+    for _ in 0..n {
+        let v = r.u32()?;
+        let mut mapping = [0u32; MAX_GPSI_VERTICES];
+        for m in &mut mapping {
+            *m = r.u32()?;
+        }
+        let black = r.u16()?;
+        let mapped = r.u16()?;
+        let verified = r.u128()?;
+        let expanding = r.u8()?;
+        if expanding as usize >= MAX_GPSI_VERTICES {
+            return Err(CheckpointError::new("invalid expanding vertex in frontier"));
+        }
+        dest.push((v, Gpsi::from_raw_parts(mapping, black, mapped, verified, expanding)));
+    }
+    Ok(dest)
 }
 
 fn encode_strategy(s: Strategy) -> (u8, f64) {
@@ -522,6 +628,13 @@ mod tests {
                     },
                     WorkerSuperstepMetrics::default(),
                 ],
+                net: NetSuperstepMetrics {
+                    frames_sent: 6,
+                    frames_received: 5,
+                    wire_bytes_sent: 4096,
+                    wire_bytes_received: 3072,
+                    barrier_wait_nanos: 777,
+                },
             }],
             workers: vec![
                 WorkerCheckpoint {
@@ -554,6 +667,33 @@ mod tests {
         let bytes = cp.to_bytes();
         let back = Checkpoint::from_bytes(&bytes).unwrap();
         assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn shard_roundtrip_and_rejection() {
+        let cp = sample();
+        let shard = CheckpointShard {
+            guard: cp.guard,
+            partition: 1,
+            superstep: cp.superstep,
+            worker: cp.workers[1].clone(),
+            frontier: cp.frontier[0].clone(),
+        };
+        let bytes = shard.to_bytes();
+        assert_eq!(CheckpointShard::from_bytes(&bytes).unwrap(), shard);
+        // Corruption, truncation, and the wrong magic are all rejected.
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0xFF;
+        assert!(CheckpointShard::from_bytes(&bad).is_err());
+        assert!(CheckpointShard::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        assert!(
+            CheckpointShard::from_bytes(&cp.to_bytes()).is_err(),
+            "full checkpoint is not a shard"
+        );
+        // A shard claiming a partition outside the run's worker count is
+        // structurally invalid.
+        let wild = CheckpointShard { partition: 7, ..shard };
+        assert!(CheckpointShard::from_bytes(&wild.to_bytes()).is_err());
     }
 
     #[test]

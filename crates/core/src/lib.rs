@@ -48,7 +48,7 @@ pub mod runner;
 pub mod shared;
 pub mod stats;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointGuard};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard};
 pub use config::PsglConfig;
 pub use distribute::Strategy;
 pub use expand::ExpandScratch;
@@ -57,9 +57,10 @@ pub use index::EdgeIndex;
 pub use plan::QueryPlan;
 pub use psgl_bsp::{CancelReason, CancelToken};
 pub use runner::{
-    count_per_vertex, list_subgraphs, list_subgraphs_labeled, list_subgraphs_prepared,
-    list_subgraphs_prepared_with, list_subgraphs_resumable, CancelledListing, ListingEnd,
-    ListingResult, RunControls, RunnerHooks,
+    assemble_run_stats, count_per_vertex, list_subgraphs, list_subgraphs_labeled,
+    list_subgraphs_prepared, list_subgraphs_prepared_with, list_subgraphs_resumable,
+    CancelledListing, ClusterControls, ListingEnd, ListingResult, RunControls, RunnerHooks,
+    ShardSink,
 };
 pub use shared::{PsglError, PsglShared};
 pub use stats::{ExpandStats, RunStats};

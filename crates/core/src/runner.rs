@@ -8,7 +8,8 @@
 //! arrived as messages.
 
 use crate::checkpoint::{
-    pattern_hash, Checkpoint, CheckpointGuard, HarvestCheckpoint, WorkerCheckpoint,
+    pattern_hash, Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard, HarvestCheckpoint,
+    WorkerCheckpoint,
 };
 use crate::config::PsglConfig;
 use crate::distribute::Distributor;
@@ -18,8 +19,8 @@ use crate::init_vertex::SelectionRule;
 use crate::shared::{PsglError, PsglShared};
 use crate::stats::{ExpandStats, RunStats};
 use psgl_bsp::{
-    BspConfig, CancelReason, CancelToken, Context, EngineMetrics, ResumePoint, RunControl,
-    RunOutcome, VertexProgram,
+    BspConfig, CancelReason, CancelToken, Chunk, Context, EngineMetrics, Exchange, FrontierSink,
+    ResumePoint, RunControl, RunOutcome, VertexProgram,
 };
 use psgl_graph::hash::hash_u64;
 use psgl_graph::partition::HashPartitioner;
@@ -284,6 +285,40 @@ pub struct RunControls<'a> {
     /// superstep 0. The checkpoint's guard must match this run's graph,
     /// pattern, and configuration exactly.
     pub resume: Option<Checkpoint>,
+    /// Distributed-runtime hookup: run this engine instance as one member
+    /// of a cluster, hosting only a subset of the global partitions. See
+    /// [`ClusterControls`].
+    pub cluster: Option<ClusterControls<'a>>,
+}
+
+/// Hooks that turn one engine instance into a cluster member: a remote
+/// [`Exchange`] carries the message plane, an optional [`ShardSink`]
+/// streams superstep-boundary checkpoint shards out (to the coordinator),
+/// and `resume_shards` restarts the member from a previously captured
+/// shard set after a peer failure.
+///
+/// In cluster mode [`RunControls::checkpoint`] is ignored: checkpointing
+/// is coordinator-directed (via
+/// [`ExchangeDirective::CheckpointAndContinue`](psgl_bsp::ExchangeDirective))
+/// and flows through the shard sink, never through an in-engine
+/// [`Checkpoint`] capture, because no single member sees the whole run.
+pub struct ClusterControls<'a> {
+    /// The remote exchange: ships non-local outboxes to peers, runs the
+    /// coordinator barrier, and reports the global in-flight count.
+    pub exchange: &'a dyn Exchange<Gpsi>,
+    /// Receives one [`CheckpointShard`] per local partition whenever the
+    /// coordinator directs a checkpoint.
+    pub shard_sink: Option<&'a dyn ShardSink>,
+    /// Resume this member from a shard set (one shard per local partition,
+    /// any order) instead of superstep 0.
+    pub resume_shards: Option<Vec<CheckpointShard>>,
+}
+
+/// Receives superstep-boundary checkpoint shards from a cluster member —
+/// one per local partition, captured at the same barrier.
+pub trait ShardSink: Sync {
+    /// Consumes one barrier's shard set.
+    fn capture(&self, shards: Vec<CheckpointShard>);
 }
 
 /// A run ended early by its cancel token (or budget, with checkpointing).
@@ -478,6 +513,136 @@ fn restore_resume_point(config: &PsglConfig, cp: Checkpoint) -> ResumePoint<Gpsi
     }
 }
 
+/// Adapts the engine's [`FrontierSink`] callback (local states + inboxes
+/// at a checkpoint barrier) into per-partition [`CheckpointShard`]s for
+/// the cluster's [`ShardSink`].
+struct EngineShardSink<'a> {
+    sink: &'a dyn ShardSink,
+    guard: CheckpointGuard,
+    /// Global partition ids, in local slot order.
+    partitions: Vec<usize>,
+}
+
+impl FrontierSink<Gpsi, WorkerState> for EngineShardSink<'_> {
+    fn capture(&self, superstep: u32, states: &[WorkerState], frontier: &[Vec<Chunk<Gpsi>>]) {
+        let shards = self
+            .partitions
+            .iter()
+            .zip(states.iter().zip(frontier))
+            .map(|(&partition, (ws, inbox))| CheckpointShard {
+                guard: self.guard,
+                partition: partition as u32,
+                superstep,
+                worker: snapshot_worker(ws),
+                frontier: inbox.iter().flat_map(|c| c.iter().copied()).collect(),
+            })
+            .collect();
+        self.sink.capture(shards);
+    }
+}
+
+/// Rebuilds a cluster member's resume point from its shard set: one shard
+/// per hosted partition, all captured at the same superstep barrier and
+/// guarded against this exact run.
+fn restore_from_shards(
+    config: &PsglConfig,
+    guard: &CheckpointGuard,
+    shards: Vec<CheckpointShard>,
+    locals: &[usize],
+) -> Result<ResumePoint<Gpsi, WorkerState, ()>, PsglError> {
+    let bad = |m: String| PsglError::Checkpoint(CheckpointError { message: m });
+    if shards.len() != locals.len() {
+        return Err(bad(format!(
+            "{} resume shards for {} local partitions",
+            shards.len(),
+            locals.len()
+        )));
+    }
+    let mut by_partition: Vec<Option<CheckpointShard>> = Vec::new();
+    by_partition.resize_with(guard.workers as usize, || None);
+    let superstep = shards.first().map_or(0, |s| s.superstep);
+    for shard in shards {
+        if shard.guard != *guard {
+            return Err(bad("resume shard was captured from a different run".into()));
+        }
+        if shard.superstep != superstep {
+            return Err(bad(format!(
+                "resume shards span supersteps {superstep} and {}",
+                shard.superstep
+            )));
+        }
+        let slot = shard.partition as usize;
+        if by_partition[slot].replace(shard).is_some() {
+            return Err(bad(format!("duplicate resume shard for partition {slot}")));
+        }
+    }
+    let mut worker_states = Vec::with_capacity(locals.len());
+    let mut frontier = Vec::with_capacity(locals.len());
+    for &p in locals {
+        let Some(shard) = by_partition[p].take() else {
+            return Err(bad(format!("missing resume shard for partition {p}")));
+        };
+        let wc = shard.worker;
+        worker_states.push(WorkerState {
+            distributor: Distributor::from_snapshot(config.strategy, wc.distributor),
+            stats: wc.stats,
+            harvest: match wc.harvest {
+                HarvestCheckpoint::CountOnly => Harvest::CountOnly,
+                HarvestCheckpoint::Instances(buf) => Harvest::Instances(buf),
+                HarvestCheckpoint::PerVertex(counts) => Harvest::PerVertex(counts),
+            },
+            scratch: ExpandScratch::new(),
+            out: Vec::new(),
+            emitted_this_superstep: wc.emitted_this_superstep,
+            emitted_superstep: wc.emitted_superstep,
+            failed: wc.failed,
+        });
+        frontier.push(shard.frontier);
+    }
+    Ok(ResumePoint {
+        superstep,
+        frontier,
+        worker_states,
+        aggregate: (),
+        // The coordinator owns the global superstep history; a member's
+        // metrics restart at the resume superstep.
+        prior_supersteps: Vec::new(),
+        prior_pool_exhausted: 0,
+    })
+}
+
+/// Assembles [`RunStats`] from merged expansion counters and engine
+/// metrics. Public so the cluster coordinator can aggregate worker
+/// metrics into the same stats shape a single-process run reports.
+pub fn assemble_run_stats(expand: ExpandStats, metrics: &EngineMetrics) -> RunStats {
+    RunStats {
+        expand,
+        per_worker_cost: metrics.per_worker_cost(),
+        simulated_makespan: metrics.simulated_makespan(),
+        supersteps: metrics.superstep_count(),
+        messages: metrics.total_messages(),
+        messages_local: metrics.total_local_delivered(),
+        chunks_stolen: metrics.total_chunks_stolen(),
+        bytes_exchanged: metrics.total_bytes_exchanged(),
+        messages_out_per_superstep: metrics.supersteps.iter().map(|s| s.messages_out()).collect(),
+        messages_in_per_superstep: metrics
+            .supersteps
+            .iter()
+            .map(|s| s.workers.iter().map(|w| w.messages_in).sum())
+            .collect(),
+        pool_exhausted: metrics.pool_exhausted,
+        chunks_outstanding: metrics.chunks_outstanding,
+        wall_time: metrics.wall_time,
+        cost_imbalance: metrics.cost_imbalance(),
+        frames_sent: metrics.total_frames_sent(),
+        frames_received: metrics.total_frames_received(),
+        wire_bytes_sent: metrics.total_wire_bytes_sent(),
+        wire_bytes_received: metrics.total_wire_bytes_received(),
+        barrier_wait_nanos: metrics.total_barrier_wait_nanos(),
+        barrier_wait_per_superstep: metrics.barrier_wait_per_superstep(),
+    }
+}
+
 /// Assembles the result skeleton from merged counters and engine metrics.
 fn assemble_listing(
     shared: &PsglShared<'_>,
@@ -487,30 +652,7 @@ fn assemble_listing(
     ListingResult {
         instance_count: expand.results,
         instances: None,
-        stats: RunStats {
-            expand,
-            per_worker_cost: metrics.per_worker_cost(),
-            simulated_makespan: metrics.simulated_makespan(),
-            supersteps: metrics.superstep_count(),
-            messages: metrics.total_messages(),
-            messages_local: metrics.total_local_delivered(),
-            chunks_stolen: metrics.total_chunks_stolen(),
-            bytes_exchanged: metrics.total_bytes_exchanged(),
-            messages_out_per_superstep: metrics
-                .supersteps
-                .iter()
-                .map(|s| s.messages_out())
-                .collect(),
-            messages_in_per_superstep: metrics
-                .supersteps
-                .iter()
-                .map(|s| s.workers.iter().map(|w| w.messages_in).sum())
-                .collect(),
-            pool_exhausted: metrics.pool_exhausted,
-            chunks_outstanding: metrics.chunks_outstanding,
-            wall_time: metrics.wall_time,
-            cost_imbalance: metrics.cost_imbalance(),
-        },
+        stats: assemble_run_stats(expand, metrics),
         init_vertex: shared.init_vertex,
         selection_rule: shared.selection_rule,
     }
@@ -548,14 +690,39 @@ fn run_engine(
     };
     let executor: &dyn psgl_bsp::Executor = hooks.executor.unwrap_or(&psgl_bsp::ThreadExecutor);
     let guard = guard_of(shared, config, harvest_mode);
-    let resume = match controls.resume {
-        Some(cp) => {
-            cp.validate(&guard)?;
-            Some(restore_resume_point(config, cp))
-        }
-        None => None,
+    let RunControls { cancel, checkpoint, resume, cluster } = controls;
+    let (cluster_exchange, cluster_sink, resume_shards) = match cluster {
+        Some(cl) => (Some(cl.exchange), cl.shard_sink, cl.resume_shards),
+        None => (None, None, None),
     };
-    let control = RunControl { cancel: controls.cancel, checkpoint: controls.checkpoint, resume };
+    let resume = if let Some(shards) = resume_shards {
+        let exchange = cluster_exchange.expect("resume_shards live inside ClusterControls");
+        Some(restore_from_shards(config, &guard, shards, &exchange.local_partitions())?)
+    } else {
+        match resume {
+            Some(cp) => {
+                cp.validate(&guard)?;
+                Some(restore_resume_point(config, cp))
+            }
+            None => None,
+        }
+    };
+    let shard_sink = cluster_exchange.and_then(|exchange| {
+        cluster_sink.map(|sink| EngineShardSink {
+            sink,
+            guard,
+            partitions: exchange.local_partitions(),
+        })
+    });
+    let control = RunControl {
+        cancel,
+        // In-engine whole-run checkpoint capture needs every partition's
+        // state; a cluster member checkpoints through the shard sink.
+        checkpoint: checkpoint && cluster_exchange.is_none(),
+        resume,
+        exchange: cluster_exchange,
+        sink: shard_sink.as_ref().map(|s| s as &dyn FrontierSink<Gpsi, WorkerState>),
+    };
     let outcome = psgl_bsp::run_controlled(
         shared.graph.num_vertices(),
         &partitioner,
@@ -943,7 +1110,7 @@ mod tests {
             &shared,
             &config,
             &RunnerHooks::default(),
-            RunControls { cancel: Some(&token), checkpoint: true, resume: None },
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None, cluster: None },
         )
         .unwrap();
         let ListingEnd::Cancelled(cancelled) = end else { panic!("run should hit the deadline") };
@@ -981,7 +1148,7 @@ mod tests {
             &shared,
             &config,
             &RunnerHooks::default(),
-            RunControls { cancel: Some(&token), checkpoint: true, resume: None },
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None, cluster: None },
         )
         .unwrap();
         let ListingEnd::Cancelled(c) = end else { panic!("pre-cancelled run cannot complete") };
@@ -1032,7 +1199,7 @@ mod tests {
             &shared,
             &config,
             &RunnerHooks::default(),
-            RunControls { cancel: Some(&token), checkpoint: true, resume: None },
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None, cluster: None },
         )
         .unwrap();
         let ListingEnd::Cancelled(c) = end else { panic!("run should hit the deadline") };

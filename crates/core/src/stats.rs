@@ -102,6 +102,18 @@ pub struct RunStats {
     pub wall_time: std::time::Duration,
     /// Max/mean imbalance of per-worker cost (1.0 = perfect).
     pub cost_imbalance: f64,
+    /// Wire frames sent across the cluster data plane (0 in-process).
+    pub frames_sent: u64,
+    /// Wire frames received from the cluster data plane (0 in-process).
+    pub frames_received: u64,
+    /// Bytes sent across the cluster data plane (0 in-process).
+    pub wire_bytes_sent: u64,
+    /// Bytes received from the cluster data plane (0 in-process).
+    pub wire_bytes_received: u64,
+    /// Total nanoseconds spent waiting at superstep barriers (0 in-process).
+    pub barrier_wait_nanos: u64,
+    /// Barrier wait per superstep, in nanoseconds.
+    pub barrier_wait_per_superstep: Vec<u64>,
 }
 
 impl RunStats {

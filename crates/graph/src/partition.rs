@@ -72,6 +72,27 @@ impl HashPartitioner {
         ((u128::from(h) * u128::from(self.workers)) >> 64) as usize
     }
 
+    /// Vertex lists of a *subset* of partitions: one list per entry of
+    /// `parts` (same order), covering vertices `0..num_vertices`. This is
+    /// the partition-subset loading path a distributed worker uses — it
+    /// hosts a few of the global partitions and needs exactly their
+    /// vertices, without materializing the other partitions' lists.
+    pub fn owned_vertices(&self, num_vertices: usize, parts: &[usize]) -> Vec<Vec<VertexId>> {
+        let mut slot_of = vec![usize::MAX; self.workers as usize];
+        for (slot, &p) in parts.iter().enumerate() {
+            assert!(p < self.workers as usize, "partition {p} out of range");
+            slot_of[p] = slot;
+        }
+        let mut owned = vec![Vec::new(); parts.len()];
+        for v in 0..num_vertices as VertexId {
+            let slot = slot_of[self.owner(v)];
+            if slot != usize::MAX {
+                owned[slot].push(v);
+            }
+        }
+        owned
+    }
+
     /// Per-worker vertex counts for `g` — used to report partition balance.
     pub fn vertex_counts(&self, g: &DataGraph) -> Vec<usize> {
         let mut counts = vec![0usize; self.workers as usize];
@@ -156,6 +177,31 @@ mod tests {
         let p = HashPartitioner::new(4);
         let sums = p.degree_sums(&g);
         assert_eq!(sums.iter().sum::<u64>(), g.degree_sum());
+    }
+
+    #[test]
+    fn owned_vertices_selects_partition_subsets() {
+        let p = HashPartitioner::with_salt(5, 99);
+        let n = 1000usize;
+        // The full set, queried per-partition, reproduces owner() exactly.
+        let all = p.owned_vertices(n, &[0, 1, 2, 3, 4]);
+        assert_eq!(all.iter().map(Vec::len).sum::<usize>(), n);
+        for (part, vs) in all.iter().enumerate() {
+            assert!(vs.iter().all(|&v| p.owner(v) == part));
+            assert!(vs.windows(2).all(|w| w[0] < w[1]), "ascending vertex order");
+        }
+        // A subset, in arbitrary order, yields the same per-partition lists.
+        let subset = p.owned_vertices(n, &[3, 1]);
+        assert_eq!(subset[0], all[3]);
+        assert_eq!(subset[1], all[1]);
+        // Empty subset is fine.
+        assert!(p.owned_vertices(n, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owned_vertices_rejects_bad_partition() {
+        HashPartitioner::new(3).owned_vertices(10, &[3]);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! integration tests, the throughput benchmark, and scriptable tooling.
 
 use crate::json::Json;
-use std::io::{self, BufRead, BufReader, Write};
+use crate::wire::{self, MAX_LINE_BYTES};
+use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// One connection to a running `psgl-service`.
@@ -107,24 +108,18 @@ impl Client {
     }
 
     fn send(&mut self, request: &Json) -> io::Result<()> {
-        writeln!(self.writer, "{request}")?;
-        self.writer.flush()
+        wire::write_json(&mut self.writer, request)
     }
 
     fn read_response(&mut self) -> Result<Json, ClientError> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ClientError::Io(io::Error::new(
+        match wire::read_json(&mut self.reader, MAX_LINE_BYTES) {
+            Ok(Some(value)) => Ok(value),
+            Ok(None) => Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            )));
+            ))),
+            Err(e) => Err(ClientError::Io(e.into_io())),
         }
-        Json::parse(line.trim()).map_err(|e| {
-            ClientError::Io(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad response line: {e}"),
-            ))
-        })
     }
 
     /// `load`: registers a graph under `name`. `format` is `"edge-list"`,

@@ -38,6 +38,7 @@ pub mod scheduler;
 pub mod server;
 pub mod state;
 pub mod stats;
+pub mod wire;
 
 pub use client::{Client, ClientError, RemoteError};
 pub use error::{LoadError, ServiceError};
@@ -47,3 +48,4 @@ pub use protocol::{parse_pattern_spec, parse_strategy_spec, Request};
 pub use scheduler::Scheduler;
 pub use server::{serve, serve_with_state, ServiceConfig, ServiceHandle};
 pub use state::{QueryDefaults, ServiceState};
+pub use wire::{WireError, MAX_LINE_BYTES};

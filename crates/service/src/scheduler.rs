@@ -237,6 +237,7 @@ pub fn execute_query(
         cancel: Some(token),
         checkpoint: query.checkpoint,
         resume: resume_checkpoint,
+        cluster: None,
     };
     let end = list_subgraphs_resumable(&shared, &config, &RunnerHooks::default(), controls)
         .map_err(ServiceError::from)?;

@@ -6,18 +6,15 @@ use crate::json::Json;
 use crate::protocol::{error_response, ok_response, Request};
 use crate::scheduler::{Job, QueryOutcome, Scheduler};
 use crate::state::{QueryDefaults, ServiceState};
+use crate::wire::{self, WireError, MAX_LINE_BYTES};
 use psgl_core::{CancelReason, CancelToken};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Longest accepted request line; a protocol line beyond this is hostile
-/// or broken input, and the connection is dropped after an error reply.
-const MAX_LINE_BYTES: u64 = 1 << 20;
 
 /// How often the accept loop re-checks the stop flag between
 /// `WouldBlock` polls of the non-blocking listener.
@@ -174,18 +171,16 @@ impl Connection {
         let mut writer = stream;
         let mut line = String::new();
         loop {
-            line.clear();
             // Bound the line length so one client cannot balloon memory.
-            match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line) {
-                Ok(0) => return, // client closed
-                Ok(_) if line.len() as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') => {
-                    let err = ServiceError::BadRequest(format!(
-                        "request line exceeds {MAX_LINE_BYTES} bytes"
-                    ));
+            match wire::read_line(&mut reader, &mut line, MAX_LINE_BYTES) {
+                Ok(false) => return, // client closed
+                Ok(true) => {}
+                Err(WireError::Oversized { limit }) => {
+                    let err =
+                        ServiceError::BadRequest(format!("request line exceeds {limit} bytes"));
                     let _ = write_json(&mut writer, &error_response(&err));
                     return;
                 }
-                Ok(_) => {}
                 Err(_) => return,
             }
             if line.trim().is_empty() {
@@ -408,6 +403,7 @@ fn stats_response(state: &ServiceState) -> Json {
         .collect();
     ok_response([
         ("server", state.stats.snapshot()),
+        ("cluster", state.stats.cluster_snapshot()),
         ("result_cache", state.results.stats_json()),
         ("plan_cache", state.plans.stats_json()),
         ("graphs", Json::Arr(graphs)),
@@ -416,5 +412,5 @@ fn stats_response(state: &ServiceState) -> Json {
 
 /// Writes one response line; false when the client is gone.
 fn write_json(writer: &mut TcpStream, value: &Json) -> bool {
-    writeln!(writer, "{value}").and_then(|()| writer.flush()).is_ok()
+    wire::write_json(writer, value).is_ok()
 }

@@ -43,6 +43,17 @@ pub struct ServerStats {
     /// Of `messages_total`, messages delivered on the sending worker's
     /// local fast path (never crossed the engine's exchange).
     pub messages_local: AtomicU64,
+    /// Wire frames sent by distributed exchanges (0 for purely
+    /// in-process runs — the shared-memory plane sends no frames).
+    pub frames_sent: AtomicU64,
+    /// Wire frames received by distributed exchanges.
+    pub frames_received: AtomicU64,
+    /// Encoded bytes shipped by distributed exchanges.
+    pub wire_bytes_sent: AtomicU64,
+    /// Encoded bytes received by distributed exchanges.
+    pub wire_bytes_received: AtomicU64,
+    /// Nanoseconds spent blocked on superstep barriers.
+    pub barrier_wait_nanos: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -63,6 +74,11 @@ impl Default for ServerStats {
             index_probes: AtomicU64::new(0),
             messages_total: AtomicU64::new(0),
             messages_local: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            wire_bytes_sent: AtomicU64::new(0),
+            wire_bytes_received: AtomicU64::new(0),
+            barrier_wait_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -81,6 +97,11 @@ impl ServerStats {
         self.index_probes.fetch_add(stats.expand.index_probes, Ordering::Relaxed);
         self.messages_total.fetch_add(stats.messages, Ordering::Relaxed);
         self.messages_local.fetch_add(stats.messages_local, Ordering::Relaxed);
+        self.frames_sent.fetch_add(stats.frames_sent, Ordering::Relaxed);
+        self.frames_received.fetch_add(stats.frames_received, Ordering::Relaxed);
+        self.wire_bytes_sent.fetch_add(stats.wire_bytes_sent, Ordering::Relaxed);
+        self.wire_bytes_received.fetch_add(stats.wire_bytes_received, Ordering::Relaxed);
+        self.barrier_wait_nanos.fetch_add(stats.barrier_wait_nanos, Ordering::Relaxed);
     }
 
     /// Snapshot as the `stats` verb's `server` object.
@@ -101,6 +122,19 @@ impl ServerStats {
             ("index_probes", Json::from(self.index_probes.load(Ordering::Relaxed))),
             ("messages_total", Json::from(self.messages_total.load(Ordering::Relaxed))),
             ("local_delivery_ratio", Json::from(self.local_delivery_ratio())),
+        ])
+    }
+
+    /// Snapshot as the `stats` verb's `cluster` object: the wire-plane
+    /// counters distributed exchanges record into `RunStats`. All zero
+    /// on a service that has only executed in-process queries.
+    pub fn cluster_snapshot(&self) -> Json {
+        Json::obj([
+            ("frames_sent", Json::from(self.frames_sent.load(Ordering::Relaxed))),
+            ("frames_received", Json::from(self.frames_received.load(Ordering::Relaxed))),
+            ("wire_bytes_sent", Json::from(self.wire_bytes_sent.load(Ordering::Relaxed))),
+            ("wire_bytes_received", Json::from(self.wire_bytes_received.load(Ordering::Relaxed))),
+            ("barrier_wait_nanos", Json::from(self.barrier_wait_nanos.load(Ordering::Relaxed))),
         ])
     }
 

@@ -253,7 +253,8 @@ impl Scenario {
         let executor = SimExecutor::new(self.seed, self.stall_per_mille);
         let hooks = self.hooks(&executor);
         let token = CancelToken::with_superstep_deadline(deadline);
-        let controls = RunControls { cancel: Some(&token), checkpoint: true, resume: None };
+        let controls =
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None, cluster: None };
         let end = list_subgraphs_resumable(shared, config, &hooks, controls)
             .map_err(|e| divergence(e.to_string()))?;
         let (final_result, resume_superstep) = match end {
@@ -275,7 +276,12 @@ impl Scenario {
                 })?;
                 let cp = Checkpoint::from_bytes(&cp.to_bytes())
                     .map_err(|e| divergence(format!("checkpoint wire round-trip: {e}")))?;
-                let controls = RunControls { cancel: None, checkpoint: false, resume: Some(cp) };
+                let controls = RunControls {
+                    cancel: None,
+                    checkpoint: false,
+                    resume: Some(cp),
+                    cluster: None,
+                };
                 match list_subgraphs_resumable(shared, config, &hooks, controls)
                     .map_err(|e| divergence(e.to_string()))?
                 {

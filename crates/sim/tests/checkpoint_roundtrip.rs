@@ -60,7 +60,8 @@ fn random_graphs_cancelled_at_random_supersteps_resume_without_dups_or_losses() 
             };
 
         let token = CancelToken::with_superstep_deadline(cancel_at);
-        let controls = RunControls { cancel: Some(&token), checkpoint: true, resume: None };
+        let controls =
+            RunControls { cancel: Some(&token), checkpoint: true, resume: None, cluster: None };
         let resumed = match list_subgraphs_resumable(&shared, &config, &hooks, controls)
             .unwrap_or_else(|e| panic!("{context}: {e}"))
         {
@@ -75,8 +76,12 @@ fn random_graphs_cancelled_at_random_supersteps_resume_without_dups_or_losses() 
                 let bytes = c.checkpoint.expect("soft cancel with checkpoint").to_bytes();
                 let checkpoint =
                     Checkpoint::from_bytes(&bytes).unwrap_or_else(|e| panic!("{context}: {e}"));
-                let controls =
-                    RunControls { cancel: None, checkpoint: false, resume: Some(checkpoint) };
+                let controls = RunControls {
+                    cancel: None,
+                    checkpoint: false,
+                    resume: Some(checkpoint),
+                    cluster: None,
+                };
                 match list_subgraphs_resumable(&shared, &config, &hooks, controls)
                     .unwrap_or_else(|e| panic!("{context}: {e}"))
                 {

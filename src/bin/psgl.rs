@@ -14,10 +14,11 @@
 //! (`"1-2,2-3,3-1"`).
 
 use psgl::baselines::centralized;
+use psgl::cluster::{run_cluster, run_worker, ClusterConfig, GraphSpec, JobSpec, WorkerOptions};
 use psgl::core::{count_per_vertex, list_subgraphs, PsglConfig};
 use psgl::graph::{algo, generators, io, DataGraph, DegreeStats};
 use psgl::pattern::{break_automorphisms, catalog};
-use psgl::service::{self, GraphFormat, QueryDefaults, ServiceConfig};
+use psgl::service::{self, GraphFormat, Json, QueryDefaults, ServiceConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "patterns" => cmd_patterns(),
         "serve" => cmd_serve(&args[1..]),
+        "cluster" => cmd_cluster(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -66,15 +68,25 @@ USAGE:
   psgl serve    [--addr HOST:PORT] [--pool N] [--queue-cap N]
                 [--result-cache N] [--plan-cache N] [--workers N]
                 [--budget N] [--chunk N]
+  psgl cluster coordinator --workers N --graph SPEC --pattern P
+                [--partitions K] [--strategy S] [--seed N] [--collect]
+                [--checkpoint-interval C] [--max-supersteps M]
+                [--listen HOST:PORT] [--heartbeat-ms MS] [--deadline-ms MS]
+  psgl cluster worker --join HOST:PORT
 
 PATTERNS: triangle | square | tailed-triangle | 4-clique | house
           | cycle:K | clique:K | path:K | star:K | \"1-2,2-3,3-1\"
 STRATEGY: random | roulette | wa:ALPHA            (default wa:0.5)
 MODEL:    chung-lu | erdos-renyi | barabasi-albert
 FORMAT:   edge-list | binary | fixture             (--format, default edge-list)
+SPEC:     gnm:N:M:SEED | chung-lu:N:AVG:GAMMA:SEED | fixture:NAME
+          | file:PATH[:FORMAT]                     (cluster graph spec)
 
 serve speaks a JSON-lines protocol over TCP; see README \"Running as a
-service\" (verbs: load, count, list, cancel, stats, health, shutdown).";
+service\" (verbs: load, count, list, cancel, stats, health, shutdown).
+cluster runs one coordinator and N worker processes; the coordinator
+prints a JSON result line when the job completes (README \"Running a
+cluster\").";
 
 /// Parses `--key value` pairs (plus boolean flags) into a map.
 fn parse_flags(args: &[String], booleans: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -268,6 +280,79 @@ where
     T::Err: std::fmt::Display,
 {
     flags.get(name).map_or(Ok(default), |s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("coordinator") => cmd_cluster_coordinator(&args[1..]),
+        Some("worker") => cmd_cluster_worker(&args[1..]),
+        Some(other) => Err(format!("unknown cluster role {other:?} (coordinator | worker)")),
+        None => Err("cluster needs a role: coordinator | worker".into()),
+    }
+}
+
+fn cmd_cluster_coordinator(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["collect"])?;
+    let workers: usize =
+        required(&flags, "workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let job = JobSpec {
+        graph: required(&flags, "graph")?.to_string(),
+        pattern: required(&flags, "pattern")?.to_string(),
+        strategy: flags.get("strategy").cloned().unwrap_or_else(|| "wa:0.5".into()),
+        partitions: opt_parse(&flags, "partitions", workers * 2)?,
+        seed: opt_parse(&flags, "seed", 42)?,
+        collect_instances: flags.contains_key("collect"),
+        checkpoint_interval: opt_parse(&flags, "checkpoint-interval", 0)?,
+        max_supersteps: opt_parse(&flags, "max-supersteps", 64)?,
+    };
+    // Fail on a bad spec here, before any worker joins, rather than
+    // shipping it to every worker and collecting N error reports.
+    GraphSpec::parse(&job.graph)?;
+    parse_pattern(&job.pattern)?;
+    job.config()?;
+    let listen = flags.get("listen").map_or("127.0.0.1:7878", String::as_str);
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let mut config = ClusterConfig::new(workers, job);
+    if let Some(ms) = flags.get("heartbeat-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --heartbeat-ms: {e}"))?;
+        config.heartbeat_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = flags.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    eprintln!(
+        "psgl-cluster coordinator on {addr}: waiting for {workers} workers \
+         (psgl cluster worker --join {addr})"
+    );
+    let outcome = run_cluster(listener, config).map_err(|e| e.to_string())?;
+    let stats = &outcome.stats;
+    println!(
+        "{}",
+        Json::obj([
+            ("instances", Json::from(outcome.instance_count)),
+            ("attempts", Json::from(outcome.attempts)),
+            ("workers_lost", Json::from(outcome.workers_lost)),
+            ("supersteps", Json::from(stats.supersteps)),
+            ("messages", Json::from(stats.messages)),
+            ("frames_sent", Json::from(stats.frames_sent)),
+            ("wire_bytes_sent", Json::from(stats.wire_bytes_sent)),
+            ("barrier_wait_nanos", Json::from(stats.barrier_wait_nanos)),
+            ("wall_ms", Json::from(stats.wall_time.as_millis() as u64)),
+        ])
+    );
+    Ok(())
+}
+
+fn cmd_cluster_worker(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let join = required(&flags, "join")?;
+    run_worker(join, WorkerOptions::default())
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {

@@ -21,6 +21,9 @@
 //! - [`service`] — a long-running query service (`psgl serve`): graph
 //!   catalog, plan/result caches, admission control, JSON-lines TCP
 //!   protocol,
+//! - [`cluster`] — a distributed multi-process BSP runtime (`psgl
+//!   cluster`): binary wire plane over TCP, coordinator-driven
+//!   membership and barriers, checkpoint-based recovery,
 //! - [`sim`] — deterministic simulation & chaos harness: seeded
 //!   virtual-time scheduler for the BSP engine, fault injection, invariant
 //!   checkers, and oracle conformance sweeps.
@@ -41,6 +44,7 @@
 
 pub use psgl_baselines as baselines;
 pub use psgl_bsp as bsp;
+pub use psgl_cluster as cluster;
 pub use psgl_core as core;
 pub use psgl_graph as graph;
 pub use psgl_mapreduce as mapreduce;
