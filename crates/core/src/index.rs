@@ -76,6 +76,20 @@ impl EdgeIndex {
         self.bits[block] |= mask;
     }
 
+    /// Adds one edge to an existing filter — the incremental-maintenance
+    /// path for dynamic graphs. Inserting keeps the no-false-negative
+    /// guarantee for the grown edge set; deleted edges are deliberately
+    /// *left in* (a stale bit can only cause a false positive, which the
+    /// exact neighborhood check catches later), so the filter stays valid
+    /// until a compaction rebuilds it at nominal precision.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v {
+            return;
+        }
+        self.insert(u, v);
+        self.edges += 1;
+    }
+
     /// Whether `{u, v}` *might* be an edge. `false` is definitive
     /// (no false negatives); `true` may be a false positive.
     #[inline]

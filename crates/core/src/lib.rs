@@ -52,6 +52,7 @@ pub use checkpoint::{Checkpoint, CheckpointError, CheckpointGuard, CheckpointSha
 pub use config::PsglConfig;
 pub use distribute::Strategy;
 pub use expand::ExpandScratch;
+pub use gpsi::EdgeIds;
 pub use gpsi::Gpsi;
 pub use index::EdgeIndex;
 pub use plan::QueryPlan;
@@ -59,8 +60,8 @@ pub use psgl_bsp::{CancelReason, CancelToken};
 pub use runner::{
     assemble_run_stats, count_per_vertex, list_subgraphs, list_subgraphs_labeled,
     list_subgraphs_prepared, list_subgraphs_prepared_with, list_subgraphs_resumable,
-    CancelledListing, ClusterControls, ListingEnd, ListingResult, RunControls, RunnerHooks,
-    ShardSink,
+    list_subgraphs_seeded, CancelledListing, ClusterControls, ListingEnd, ListingResult,
+    RunControls, RunnerHooks, ShardSink,
 };
 pub use shared::{PsglError, PsglShared};
 pub use stats::{ExpandStats, RunStats};

@@ -393,6 +393,37 @@ fn attach_instances(
     result
 }
 
+/// Runs the BSP expansion phase over an explicit seed frontier instead of
+/// the initialization superstep — the incremental-listing path of
+/// `psgl-delta`.
+///
+/// Each seed is a partially expanded [`Gpsi`] (typically two mapped
+/// vertices binding one changed data edge, with that pattern edge already
+/// verified); the engine starts directly at superstep 1 with the seeds as
+/// the undelivered frontier, routed to the partition owning each seed's
+/// expanding vertex. Expansion from a seed is exact — identical pruning,
+/// ordering, and verification to a full run — so the instances found are
+/// exactly the completions of the given seeds.
+///
+/// The caller is responsible for seed validity: every already-mapped pair
+/// must satisfy the partial order and the seed's expanding vertex must be
+/// mapped. An empty seed set returns an empty, zero-superstep result.
+pub fn list_subgraphs_seeded(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+    hooks: &RunnerHooks<'_>,
+    seeds: Vec<Gpsi>,
+) -> Result<ListingResult, PsglError> {
+    let mode =
+        if config.collect_instances { HarvestMode::Instances } else { HarvestMode::CountOnly };
+    match run_engine_seeded(shared, config, mode, hooks, RunControls::default(), Some(seeds))? {
+        EngineEnd::Complete(result, worker_states) => {
+            Ok(attach_instances(result, worker_states, config))
+        }
+        EngineEnd::Cancelled(_) => unreachable!("run without controls cannot be cancelled"),
+    }
+}
+
 /// Lists all *label-consistent* instances of `pattern` in `graph`
 /// (Section 2's subgraph-matching generalization: each pattern vertex may
 /// only map to data vertices carrying the same label). With uniform labels
@@ -668,6 +699,22 @@ fn run_engine(
     hooks: &RunnerHooks<'_>,
     controls: RunControls<'_>,
 ) -> Result<EngineEnd, PsglError> {
+    run_engine_seeded(shared, config, harvest_mode, hooks, controls, None)
+}
+
+/// [`run_engine`] with an optional explicit seed frontier: the engine
+/// skips the initialization superstep and starts at superstep 1 with the
+/// seeds as the undelivered frontier (fresh worker states, seeds routed by
+/// the partition of each seed's expanding vertex). Mutually exclusive with
+/// resuming from a checkpoint.
+fn run_engine_seeded(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+    harvest_mode: HarvestMode,
+    hooks: &RunnerHooks<'_>,
+    controls: RunControls<'_>,
+    seeds: Option<Vec<Gpsi>>,
+) -> Result<EngineEnd, PsglError> {
     let partitioner = hooks
         .partitioner
         .unwrap_or_else(|| HashPartitioner::with_salt(config.workers, hash_u64(config.seed)));
@@ -695,7 +742,23 @@ fn run_engine(
         Some(cl) => (Some(cl.exchange), cl.shard_sink, cl.resume_shards),
         None => (None, None, None),
     };
-    let resume = if let Some(shards) = resume_shards {
+    let resume = if let Some(seeds) = seeds {
+        debug_assert!(resume.is_none(), "seed frontier and checkpoint resume are exclusive");
+        let worker_states = (0..config.workers).map(|w| program.create_worker_state(w)).collect();
+        let mut frontier: Vec<Vec<(VertexId, Gpsi)>> = vec![Vec::new(); config.workers];
+        for g in seeds {
+            let dest = g.map(g.expanding()).expect("seed expanding vertex is mapped");
+            frontier[partitioner.owner(dest)].push((dest, g));
+        }
+        Some(ResumePoint {
+            superstep: 1,
+            frontier,
+            worker_states,
+            aggregate: (),
+            prior_supersteps: Vec::new(),
+            prior_pool_exhausted: 0,
+        })
+    } else if let Some(shards) = resume_shards {
         let exchange = cluster_exchange.expect("resume_shards live inside ClusterControls");
         Some(restore_from_shards(config, &guard, shards, &exchange.local_partitions())?)
     } else {

@@ -1,0 +1,85 @@
+//! Property tests for incremental listing: on arbitrary G(n, m) graphs
+//! under arbitrary seeded mutation streams, patching with the signed
+//! instance delta must reproduce a scratch recompute after *every* batch,
+//! and the incrementally-maintained bloom index must never report a false
+//! negative no matter how deletions interleave with insertions.
+
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use psgl_core::PsglConfig;
+use psgl_delta::{DeltaGraph, DeltaQuery};
+use psgl_graph::generators::{dynamic_batches, erdos_renyi_gnm};
+use psgl_pattern::catalog;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The crate's one hard guarantee: `patch(pre) == scratch(post)` as an
+    /// exact multiset of mapping vectors, after every batch of a random
+    /// mutation stream.
+    #[test]
+    fn incremental_matches_scratch_after_every_batch(
+        n in 20usize..80,
+        density in 2u64..5,
+        graph_seed in 0u64..100_000,
+        stream_seed in 0u64..100_000,
+        insert_per_mille in 200u64..800,
+        pattern_idx in 0usize..3,
+    ) {
+        let m = n as u64 * density;
+        let base = erdos_renyi_gnm(n, m, graph_seed).unwrap();
+        let insert_fraction = insert_per_mille as f64 / 1000.0;
+        let batches = dynamic_batches(&base, 4, 6, insert_fraction, stream_seed);
+        let pattern = match pattern_idx {
+            0 => catalog::triangle(),
+            1 => catalog::square(),
+            _ => catalog::tailed_triangle(),
+        };
+        let config = PsglConfig::with_workers(3).collect(true);
+        let query = DeltaQuery::new(&pattern, &config).unwrap();
+        let mut dg = DeltaGraph::new(base, 10, psgl_delta::overlay::DEFAULT_COMPACT_THRESHOLD);
+        let mut view = query.full(dg.artifacts()).unwrap();
+        for (i, batch) in batches.iter().enumerate() {
+            let pre = dg.artifacts().clone();
+            let out = dg.apply(batch).unwrap();
+            let delta = query.delta(&pre, dg.artifacts(), &out.inserted, &out.deleted).unwrap();
+            delta.patch(&mut view);
+            let scratch = query.full(dg.artifacts()).unwrap();
+            prop_assert_eq!(
+                &view, &scratch,
+                "{} parity broke at batch {} (+{} −{})",
+                pattern.name(), i, delta.added.len(), delta.removed.len()
+            );
+        }
+    }
+
+    /// Bloom maintenance under deletions: stale bits may linger (false
+    /// positives), but a live edge must never probe false — at any epoch,
+    /// through any insert/delete interleaving, including after compaction.
+    #[test]
+    fn bloom_zero_false_negatives_under_deletes(
+        n in 10usize..120,
+        density in 1u64..5,
+        graph_seed in 0u64..100_000,
+        stream_seed in 0u64..100_000,
+        insert_per_mille in 0u64..1000,
+        compact_threshold in 4usize..64,
+    ) {
+        let base = erdos_renyi_gnm(n, n as u64 * density, graph_seed).unwrap();
+        let mut dg = DeltaGraph::new(base, 8, compact_threshold);
+        for batch_seed in 0..6u64 {
+            let batches = dynamic_batches(
+                &dg.artifacts().graph, 1, 8,
+                insert_per_mille as f64 / 1000.0, stream_seed ^ batch_seed,
+            );
+            dg.apply(&batches[0]).unwrap();
+            let art = dg.artifacts();
+            for (u, v) in art.graph.edges() {
+                prop_assert!(
+                    art.index.may_contain(u, v),
+                    "false negative on live edge {}-{} at epoch {}", u, v, art.epoch
+                );
+                prop_assert!(art.index.may_contain(v, u), "asymmetric probe {}-{}", v, u);
+            }
+        }
+    }
+}

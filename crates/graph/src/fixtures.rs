@@ -127,6 +127,26 @@ pub fn paper_figure1() -> DataGraph {
     .expect("static fixture is valid")
 }
 
+/// A pinned edge stream over the karate club: the base graph plus three
+/// hand-written mutation batches exercising every delta shape — pure
+/// insert, insert of a previously deleted edge, delete of a previously
+/// inserted edge, and deletes that kill triangles (0-1-2 is a triangle in
+/// the base graph; batch 3 destroys it). Used by delta unit tests that
+/// need stable, human-checkable expectations.
+pub fn karate_stream() -> (DataGraph, Vec<crate::generators::EdgeBatch>) {
+    use crate::generators::EdgeBatch;
+    let base = karate_club();
+    let batches = vec![
+        // New edges 4-5 and 9-13 (absent in base), drop 0-1.
+        EdgeBatch { insert: vec![(4, 5), (9, 13)], delete: vec![(0, 1)] },
+        // Re-insert 0-1, drop the just-added 4-5 and the hub edge 32-33.
+        EdgeBatch { insert: vec![(0, 1)], delete: vec![(4, 5), (32, 33)] },
+        // Kill the 0-1-2 triangle while adding 16-17.
+        EdgeBatch { insert: vec![(16, 17)], delete: vec![(0, 2), (1, 2)] },
+    ];
+    (base, batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +181,26 @@ mod tests {
                 assert!(g.has_edge(u, v), "missing edge {u}-{v} of cycle {cycle:?}");
             }
         }
+    }
+
+    #[test]
+    fn karate_stream_batches_are_valid_against_their_targets() {
+        let (base, batches) = karate_stream();
+        let mut g = base;
+        for (i, batch) in batches.iter().enumerate() {
+            for &(u, v) in &batch.insert {
+                assert!(!g.has_edge(u, v), "batch {i}: insert {u}-{v} already present");
+            }
+            for &(u, v) in &batch.delete {
+                assert!(g.has_edge(u, v), "batch {i}: delete {u}-{v} absent");
+            }
+            g = crate::generators::apply_edge_batch(&g, batch).unwrap();
+        }
+        // Base has triangle 0-1-2; after batch 3 the edges 0-2 and 1-2
+        // are gone, so the triangle must not survive.
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+        assert!(g.has_edge(16, 17));
     }
 }

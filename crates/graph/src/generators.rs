@@ -237,6 +237,131 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<DataGraph, Graph
     builder.build_with_num_vertices(n)
 }
 
+/// One batch of edge mutations against a [`DataGraph`]. Inserts and
+/// deletes are disjoint within a batch (the generators guarantee it;
+/// [`apply_edge_batch`] resolves any overlap insert-wins), each list is
+/// sorted with normalized endpoints (`u < v`), and every insert is absent
+/// from — and every delete present in — the graph the batch targets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeBatch {
+    /// Edges to add; absent from the target graph.
+    pub insert: Vec<(VertexId, VertexId)>,
+    /// Edges to remove; present in the target graph.
+    pub delete: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeBatch {
+    /// Total number of edge mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.insert.len() + self.delete.len()
+    }
+
+    /// Whether the batch mutates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+}
+
+/// Applies a batch to a graph, producing the post-mutation graph from
+/// scratch: final edge set = (current − deletes) ∪ inserts, so an edge
+/// appearing in both lists ends up present (insert wins). The vertex count
+/// is preserved — mutations may not reference vertices outside the graph.
+pub fn apply_edge_batch(g: &DataGraph, batch: &EdgeBatch) -> Result<DataGraph, GraphError> {
+    let mut edges: std::collections::BTreeSet<(VertexId, VertexId)> =
+        g.edges().map(|(u, v)| if u <= v { (u, v) } else { (v, u) }).collect();
+    for &(u, v) in &batch.delete {
+        edges.remove(&if u <= v { (u, v) } else { (v, u) });
+    }
+    for &(u, v) in &batch.insert {
+        edges.insert(if u <= v { (u, v) } else { (v, u) });
+    }
+    let list: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+    DataGraph::from_edges(g.num_vertices(), &list)
+}
+
+/// Generates `num_batches` seeded random mutation batches against `base`,
+/// each drawing ~`batch_edges` mutations split between inserts (sampled
+/// from the current non-edges by rejection) and deletes (sampled uniformly
+/// from the current edges). `insert_fraction` sets the insert/delete mix.
+/// Batches are sequential: batch `i + 1` targets the graph after batch `i`.
+/// Within a batch no edge is touched twice, so inserts and deletes are
+/// disjoint and the signed semantics are unambiguous.
+pub fn dynamic_batches(
+    base: &DataGraph,
+    num_batches: usize,
+    batch_edges: usize,
+    insert_fraction: f64,
+    seed: u64,
+) -> Vec<EdgeBatch> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = base.num_vertices() as VertexId;
+    let mut present: crate::hash::FxHashSet<(VertexId, VertexId)> =
+        base.edges().map(|(u, v)| if u <= v { (u, v) } else { (v, u) }).collect();
+    let mut edge_list: Vec<(VertexId, VertexId)> = present.iter().copied().collect();
+    edge_list.sort_unstable();
+    let mut batches = Vec::with_capacity(num_batches);
+    for _ in 0..num_batches {
+        let mut batch = EdgeBatch::default();
+        let mut touched: crate::hash::FxHashSet<(VertexId, VertexId)> =
+            crate::hash::FxHashSet::default();
+        for _ in 0..batch_edges {
+            if n >= 2 && rng.gen::<f64>() < insert_fraction {
+                // Rejection-sample a fresh non-edge; bail after a bounded
+                // number of tries so dense graphs can't stall the stream.
+                for _ in 0..64 {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    let e = if u <= v { (u, v) } else { (v, u) };
+                    if u == v || present.contains(&e) || touched.contains(&e) {
+                        continue;
+                    }
+                    touched.insert(e);
+                    batch.insert.push(e);
+                    break;
+                }
+            } else if !edge_list.is_empty() {
+                let i = rng.gen_range(0..edge_list.len());
+                let e = edge_list.swap_remove(i);
+                if touched.contains(&e) {
+                    edge_list.push(e);
+                    continue;
+                }
+                touched.insert(e);
+                batch.delete.push(e);
+            }
+        }
+        for &e in &batch.insert {
+            present.insert(e);
+            edge_list.push(e);
+        }
+        for e in &batch.delete {
+            present.remove(e);
+        }
+        edge_list.retain(|e| present.contains(e));
+        batch.insert.sort_unstable();
+        batch.delete.sort_unstable();
+        batches.push(batch);
+    }
+    batches
+}
+
+/// The dynamic-graph fixture used by the delta bench and sim harness: a
+/// Chung-Lu power-law base plus a seeded stream of mutation batches. Batch
+/// sizing is the caller's churn knob — `batch_edges / num_edges` is the
+/// per-batch churn rate.
+pub fn chung_lu_dynamic(
+    n: usize,
+    avg_degree: f64,
+    gamma: f64,
+    seed: u64,
+    num_batches: usize,
+    batch_edges: usize,
+) -> Result<(DataGraph, Vec<EdgeBatch>), GraphError> {
+    let base = chung_lu(n, avg_degree, gamma, seed)?;
+    let batches = dynamic_batches(&base, num_batches, batch_edges, 0.5, seed ^ 0x5eed_cafe);
+    Ok((base, batches))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +472,60 @@ mod tests {
         assert!(g.max_degree() > 30);
         assert!(barabasi_albert(3, 3, 1).is_err());
         assert!(barabasi_albert(10, 0, 1).is_err());
+    }
+
+    #[test]
+    fn dynamic_batches_are_well_formed_and_sequential() {
+        let base = erdos_renyi_gnm(60, 200, 21).unwrap();
+        let batches = dynamic_batches(&base, 8, 12, 0.5, 7);
+        assert_eq!(batches.len(), 8);
+        let mut g = base;
+        for batch in &batches {
+            assert!(!batch.is_empty());
+            let mut touched = crate::hash::FxHashSet::default();
+            for &(u, v) in &batch.insert {
+                assert!(u < v, "insert not normalized: {u}-{v}");
+                assert!(!g.has_edge(u, v), "insert {u}-{v} already present");
+                assert!(touched.insert((u, v)), "edge {u}-{v} touched twice");
+            }
+            for &(u, v) in &batch.delete {
+                assert!(u < v, "delete not normalized: {u}-{v}");
+                assert!(g.has_edge(u, v), "delete {u}-{v} absent");
+                assert!(touched.insert((u, v)), "edge {u}-{v} touched twice");
+            }
+            let next = apply_edge_batch(&g, batch).unwrap();
+            assert_eq!(
+                next.num_edges(),
+                g.num_edges() + batch.insert.len() as u64 - batch.delete.len() as u64
+            );
+            g = next;
+        }
+    }
+
+    #[test]
+    fn dynamic_batches_deterministic_by_seed() {
+        let base = erdos_renyi_gnm(40, 100, 3).unwrap();
+        assert_eq!(dynamic_batches(&base, 4, 6, 0.4, 9), dynamic_batches(&base, 4, 6, 0.4, 9));
+        assert_ne!(dynamic_batches(&base, 4, 6, 0.4, 9), dynamic_batches(&base, 4, 6, 0.4, 10));
+    }
+
+    #[test]
+    fn apply_edge_batch_insert_wins_on_overlap() {
+        let g = crate::csr::DataGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let batch = EdgeBatch { insert: vec![(0, 1), (2, 3)], delete: vec![(0, 1), (1, 2)] };
+        let next = apply_edge_batch(&g, &batch).unwrap();
+        assert!(next.has_edge(0, 1), "insert must win over a same-batch delete");
+        assert!(!next.has_edge(1, 2));
+        assert!(next.has_edge(2, 3));
+        assert_eq!(next.num_vertices(), 4);
+    }
+
+    #[test]
+    fn chung_lu_dynamic_fixture_is_deterministic() {
+        let (a_base, a_batches) = chung_lu_dynamic(500, 6.0, 2.0, 11, 5, 10).unwrap();
+        let (b_base, b_batches) = chung_lu_dynamic(500, 6.0, 2.0, 11, 5, 10).unwrap();
+        assert_eq!(a_base.num_edges(), b_base.num_edges());
+        assert_eq!(a_batches, b_batches);
+        assert_eq!(a_batches.len(), 5);
     }
 }

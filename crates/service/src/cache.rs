@@ -67,6 +67,12 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         self.map.retain(|k, _| keep(k));
     }
 
+    /// Removes and returns every entry whose key satisfies `pred`.
+    pub fn extract(&mut self, mut pred: impl FnMut(&K) -> bool) -> Vec<(K, V)> {
+        let keys: Vec<K> = self.map.keys().filter(|k| pred(k)).cloned().collect();
+        keys.into_iter().filter_map(|k| self.map.remove(&k).map(|(v, _)| (k, v))).collect()
+    }
+
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -133,6 +139,12 @@ pub struct ResultKey {
 }
 
 /// A cached successful query outcome (errors are never cached).
+///
+/// Entries double as **materialized views**: they carry the pattern and
+/// effective config they were computed under, so a graph mutation can
+/// re-run the incremental engine, patch the count (and instance list,
+/// when collected), and re-key the entry under the new content hash
+/// instead of discarding it.
 #[derive(Clone)]
 pub struct CachedQuery {
     /// Instances found.
@@ -150,6 +162,10 @@ pub struct CachedQuery {
     pub init_vertex: PatternVertex,
     /// Selection rule, pre-rendered.
     pub selection_rule: String,
+    /// The query pattern, kept for incremental view maintenance.
+    pub pattern: Pattern,
+    /// The effective engine config the result was computed under.
+    pub config: PsglConfig,
 }
 
 /// Thread-safe LRU of query results with hit/miss counters.
@@ -192,12 +208,30 @@ impl ResultCache {
     }
 
     /// Drops every entry computed against the given graph content — called
-    /// when a catalog name is reloaded, replacing that content.
-    pub fn invalidate_graph(&self, graph_hash: u64) {
+    /// when a catalog name is reloaded with new content, or when a
+    /// mutation compacts its overlay (the rebuilt ordering invalidates
+    /// order-keyed views). Returns how many entries were dropped.
+    pub fn invalidate_graph(&self, graph_hash: u64) -> u64 {
         let mut lru = self.lru.lock().unwrap_or_else(|e| e.into_inner());
         let before = lru.len();
         lru.retain(|k| k.graph_hash != graph_hash);
         let dropped = (before - lru.len()) as u64;
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Removes and returns every entry computed against the given graph
+    /// content, for incremental patching and re-keying after a mutation.
+    /// Entries the caller cannot patch should be reported through
+    /// [`Self::record_invalidations`].
+    pub fn take_graph(&self, graph_hash: u64) -> Vec<(ResultKey, CachedQuery)> {
+        let mut lru = self.lru.lock().unwrap_or_else(|e| e.into_inner());
+        lru.extract(|k| k.graph_hash == graph_hash)
+    }
+
+    /// Counts entries dropped outside [`Self::invalidate_graph`] (e.g.
+    /// taken for patching but not re-inserted).
+    pub fn record_invalidations(&self, dropped: u64) {
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
     }
 
@@ -364,16 +398,53 @@ mod tests {
             supersteps: 4,
             init_vertex: 0,
             selection_rule: "DeterministicLowestRank".into(),
+            pattern: catalog::triangle(),
+            config: PsglConfig::default(),
         };
         assert!(cache.get(&key(1)).is_none());
         cache.insert(key(1), value.clone());
         cache.insert(key(2), value);
         assert_eq!(cache.get(&key(1)).unwrap().count, 45);
-        cache.invalidate_graph(1);
+        assert_eq!(cache.invalidate_graph(1), 1);
         assert!(cache.get(&key(1)).is_none());
         assert!(cache.get(&key(2)).is_some());
         let (hits, misses, size, invalidations) = cache.stats();
         assert_eq!((hits, misses, size, invalidations), (2, 2, 1, 1));
+    }
+
+    #[test]
+    fn take_graph_extracts_entries_for_rekeying() {
+        let cache = ResultCache::new(8);
+        let key =
+            |g: u64, fp: u64| ResultKey { graph_hash: g, pattern: "v2:0-1".into(), config_fp: fp };
+        let value = CachedQuery {
+            count: 10,
+            instances: None,
+            gpsis_generated: 1,
+            pruned: 0,
+            supersteps: 1,
+            init_vertex: 0,
+            selection_rule: "Fixed".into(),
+            pattern: catalog::path(2),
+            config: PsglConfig::default(),
+        };
+        cache.insert(key(1, 7), value.clone());
+        cache.insert(key(1, 8), value.clone());
+        cache.insert(key(2, 7), value);
+        let taken = cache.take_graph(1);
+        assert_eq!(taken.len(), 2);
+        assert!(taken.iter().all(|(k, _)| k.graph_hash == 1));
+        // Taken entries are gone; the other graph's entry survives.
+        assert!(cache.get(&key(1, 7)).is_none());
+        assert!(cache.get(&key(2, 7)).is_some());
+        // Re-keying under a new hash makes them reachable again.
+        for (k, v) in taken {
+            cache.insert(ResultKey { graph_hash: 3, ..k }, v);
+        }
+        assert!(cache.get(&key(3, 7)).is_some());
+        assert!(cache.get(&key(3, 8)).is_some());
+        cache.record_invalidations(2);
+        assert_eq!(cache.stats().3, 2);
     }
 
     #[test]

@@ -159,6 +159,46 @@ impl Client {
         }
     }
 
+    /// `mutate`: applies one edge batch to a loaded graph. Edges are
+    /// `(u, v)` pairs; either list may be empty (not both). The response
+    /// carries the new `epoch`, `content_hash`, and `parent_hash`.
+    pub fn mutate(
+        &mut self,
+        graph: &str,
+        insert: &[(u32, u32)],
+        delete: &[(u32, u32)],
+    ) -> Result<Json, ClientError> {
+        let edges = |list: &[(u32, u32)]| {
+            Json::Arr(
+                list.iter().map(|&(u, v)| Json::Arr(vec![Json::from(u), Json::from(v)])).collect(),
+            )
+        };
+        self.request(&Json::obj([
+            ("verb", Json::from("mutate")),
+            ("graph", Json::from(graph)),
+            ("insert", edges(insert)),
+            ("delete", edges(delete)),
+        ]))
+    }
+
+    /// `subscribe`: registers this connection as an event stream for
+    /// `(graph, pattern)` and returns the ack line. After this, the
+    /// connection speaks only events — drain them with
+    /// [`Self::next_event`] (no further requests on this connection).
+    pub fn subscribe(&mut self, graph: &str, pattern: &str) -> Result<Json, ClientError> {
+        self.request(&Json::obj([
+            ("verb", Json::from("subscribe")),
+            ("graph", Json::from(graph)),
+            ("pattern", Json::from(pattern)),
+        ]))
+    }
+
+    /// Blocks for the next event line of a subscribed connection: a
+    /// `delta` event (signed instance lists) or a `resync` event.
+    pub fn next_event(&mut self) -> Result<Json, ClientError> {
+        to_result(self.read_response()?)
+    }
+
     /// `cancel`: fires the cancel token of the in-flight query submitted
     /// with this `query_id`. The response's `"found"` says whether such a
     /// query was live.

@@ -20,7 +20,11 @@
 //!   (graph content hash, canonical pattern, config fingerprint),
 //!   invalidated when a graph is reloaded;
 //! - a **stats surface** ([`stats`]): queue depth, cache hit rates, and
-//!   the engine's Gpsi/pruning counters aggregated server-wide.
+//!   the engine's Gpsi/pruning counters aggregated server-wide;
+//! - a **mutation plane** ([`views`], `mutate`/`subscribe` verbs): edge
+//!   batches advance a catalog graph one epoch per batch, cached results
+//!   are patched incrementally ([`psgl_delta`]) and re-keyed instead of
+//!   invalidated, and subscribers stream the signed instance deltas.
 //!
 //! See the crate README section "Running as a service" for the wire
 //! protocol; [`protocol`] documents it in code.
@@ -38,6 +42,7 @@ pub mod scheduler;
 pub mod server;
 pub mod state;
 pub mod stats;
+pub mod views;
 pub mod wire;
 
 pub use client::{Client, ClientError, RemoteError};

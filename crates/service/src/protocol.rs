@@ -21,6 +21,7 @@ use crate::error::ServiceError;
 use crate::json::Json;
 use crate::loader::GraphFormat;
 use psgl_core::Strategy;
+use psgl_graph::VertexId;
 use psgl_pattern::{catalog, parse as pattern_parse, Pattern, PatternVertex};
 
 /// Parses a pattern spec: a catalog name (`triangle`, `square`,
@@ -124,6 +125,26 @@ pub enum Request {
         /// On-disk format.
         format: GraphFormat,
     },
+    /// Apply a batch of edge insertions/deletions to a loaded graph,
+    /// advancing it one epoch.
+    Mutate {
+        /// Catalog name of the graph to mutate.
+        graph: String,
+        /// Edges to insert, as `[u, v]` pairs.
+        insert: Vec<(VertexId, VertexId)>,
+        /// Edges to delete, as `[u, v]` pairs.
+        delete: Vec<(VertexId, VertexId)>,
+    },
+    /// Stream signed instance deltas of a pattern on a graph as mutations
+    /// land. The connection becomes a dedicated event stream.
+    Subscribe {
+        /// Catalog name of the graph to watch.
+        graph: String,
+        /// Raw pattern spec as sent.
+        pattern_spec: String,
+        /// The parsed pattern.
+        pattern: Pattern,
+    },
     /// Count instances of a pattern.
     Count(QuerySpec),
     /// Stream the instances themselves in chunks.
@@ -183,6 +204,31 @@ fn flag(obj: &Json, key: &str) -> Result<bool, ServiceError> {
         None | Some(Json::Null) => Ok(false),
         Some(v) => v.as_bool().ok_or_else(|| bad(format!("field {key:?} must be a boolean"))),
     }
+}
+
+/// Parses an optional edge array: `[[u, v], ...]` (absent or `null` means
+/// empty).
+fn edge_list(obj: &Json, key: &str) -> Result<Vec<(VertexId, VertexId)>, ServiceError> {
+    let items = match obj.get(key) {
+        None | Some(Json::Null) => return Ok(Vec::new()),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| bad(format!("field {key:?} must be an array of [u, v] pairs")))?,
+    };
+    let endpoint =
+        |j: &Json| -> Option<VertexId> { j.as_u64().and_then(|x| VertexId::try_from(x).ok()) };
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_arr().filter(|p| p.len() == 2);
+            match pair.and_then(|p| Some((endpoint(&p[0])?, endpoint(&p[1])?))) {
+                Some(edge) => Ok(edge),
+                None => Err(bad(format!(
+                    "field {key:?} entries must be [u, v] pairs of vertex ids, got {item}"
+                ))),
+            }
+        })
+        .collect()
 }
 
 fn parse_query(obj: &Json) -> Result<QuerySpec, ServiceError> {
@@ -248,6 +294,19 @@ impl Request {
                     format,
                 })
             }
+            "mutate" => {
+                let insert = edge_list(obj, "insert")?;
+                let delete = edge_list(obj, "delete")?;
+                if insert.is_empty() && delete.is_empty() {
+                    return Err(bad("mutate needs a non-empty \"insert\" or \"delete\" array"));
+                }
+                Ok(Request::Mutate { graph: str_field(obj, "graph")?, insert, delete })
+            }
+            "subscribe" => {
+                let pattern_spec = str_field(obj, "pattern")?;
+                let pattern = parse_pattern_spec(&pattern_spec).map_err(bad)?;
+                Ok(Request::Subscribe { graph: str_field(obj, "graph")?, pattern_spec, pattern })
+            }
             "count" => Ok(Request::Count(parse_query(obj)?)),
             "list" => Ok(Request::List {
                 query: parse_query(obj)?,
@@ -258,8 +317,8 @@ impl Request {
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!(
-                "unknown verb {other:?} (expected load, count, list, cancel, stats, health or \
-                 shutdown)"
+                "unknown verb {other:?} (expected load, mutate, count, list, subscribe, cancel, \
+                 stats, health or shutdown)"
             ))),
         }
     }
@@ -333,6 +392,47 @@ mod tests {
             }
             other => panic!("expected count, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_mutate_and_subscribe() {
+        let req = Request::parse_line(
+            r#"{"verb":"mutate","graph":"g","insert":[[0,5],[2,7]],"delete":[[1,3]]}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Mutate { graph, insert, delete } => {
+                assert_eq!(graph, "g");
+                assert_eq!(insert, vec![(0, 5), (2, 7)]);
+                assert_eq!(delete, vec![(1, 3)]);
+            }
+            other => panic!("expected mutate, got {other:?}"),
+        }
+        // One-sided batches are fine; a fully empty one is rejected.
+        assert!(Request::parse_line(r#"{"verb":"mutate","graph":"g","insert":[[0,1]]}"#).is_ok());
+        let err = Request::parse_line(r#"{"verb":"mutate","graph":"g"}"#).unwrap_err();
+        assert!(err.to_string().contains("non-empty"), "{err}");
+        for line in [
+            r#"{"verb":"mutate","graph":"g","insert":[[0]]}"#,
+            r#"{"verb":"mutate","graph":"g","insert":[[0,1,2]]}"#,
+            r#"{"verb":"mutate","graph":"g","insert":[["a","b"]]}"#,
+            r#"{"verb":"mutate","graph":"g","insert":[[0,-1]]}"#,
+            r#"{"verb":"mutate","graph":"g","insert":7}"#,
+        ] {
+            assert_eq!(Request::parse_line(line).unwrap_err().code(), "bad_request", "{line}");
+        }
+
+        match Request::parse_line(r#"{"verb":"subscribe","graph":"g","pattern":"triangle"}"#)
+            .unwrap()
+        {
+            Request::Subscribe { graph, pattern_spec, pattern } => {
+                assert_eq!(graph, "g");
+                assert_eq!(pattern_spec, "triangle");
+                assert_eq!(pattern.num_vertices(), 3);
+            }
+            other => panic!("expected subscribe, got {other:?}"),
+        }
+        assert!(Request::parse_line(r#"{"verb":"subscribe","graph":"g"}"#).is_err());
     }
 
     #[test]

@@ -281,6 +281,8 @@ pub fn execute_query(
                 supersteps: outcome.supersteps,
                 init_vertex: outcome.init_vertex,
                 selection_rule: outcome.selection_rule.clone(),
+                pattern: query.pattern.clone(),
+                config: config.clone(),
             },
         );
     }
@@ -337,6 +339,24 @@ mod tests {
         // Cache hit added no engine work.
         let snap = state.stats.snapshot();
         assert_eq!(snap.get("gpsis_generated").unwrap().as_u64().unwrap(), first.gpsis_generated);
+    }
+
+    #[test]
+    fn cache_hit_survives_same_hash_reload() {
+        let state = karate_state();
+        let first = execute_query(&state, &triangle_query(), false, &CancelToken::new()).unwrap();
+        assert!(!first.cache_hit);
+        // Reloading identical content is a catalog no-op: no replaced hash
+        // is reported, so the server-side invalidation (mirrored here)
+        // never fires and the cached result stays warm.
+        let outcome = state.catalog.load("karate", "karate-club", GraphFormat::Fixture).unwrap();
+        assert!(outcome.same_content);
+        if let Some(old_hash) = outcome.replaced_hash {
+            state.results.invalidate_graph(old_hash);
+        }
+        let second = execute_query(&state, &triangle_query(), false, &CancelToken::new()).unwrap();
+        assert!(second.cache_hit, "same-content reload must keep the cache warm");
+        assert_eq!(state.results.stats().3, 0, "no invalidations on a no-op reload");
     }
 
     #[test]

@@ -6,8 +6,12 @@ use crate::json::Json;
 use crate::protocol::{error_response, ok_response, Request};
 use crate::scheduler::{Job, QueryOutcome, Scheduler};
 use crate::state::{QueryDefaults, ServiceState};
+use crate::views;
 use crate::wire::{self, WireError, MAX_LINE_BYTES};
 use psgl_core::{CancelReason, CancelToken};
+use psgl_graph::generators::EdgeBatch;
+use psgl_graph::VertexId;
+use psgl_pattern::Pattern;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -213,8 +217,13 @@ impl Connection {
             Request::Load { name, path, format } => {
                 match self.state.catalog.load(&name, &path, format) {
                     Ok(outcome) => {
+                        // A same-content reload reports no replaced hash:
+                        // cached results stay warm (the no-op contract).
                         if let Some(old_hash) = outcome.replaced_hash {
                             self.state.results.invalidate_graph(old_hash);
+                            // No delta relates the old content to the new;
+                            // subscribers must re-list from scratch.
+                            views::publish_resync(&self.state, &outcome.entry, "reload");
                         }
                         let entry = outcome.entry;
                         write_json(
@@ -230,11 +239,21 @@ impl Connection {
                                 ),
                                 ("load_ms", Json::from(entry.load_ms)),
                                 ("reloaded", Json::from(entry.epoch > 0)),
+                                ("same_content", Json::from(outcome.same_content)),
                             ]),
                         )
                     }
                     Err(e) => write_json(writer, &error_response(&ServiceError::from(e))),
                 }
+            }
+            Request::Mutate { graph, insert, delete } => {
+                match self.handle_mutate(&graph, insert, delete) {
+                    Ok(response) => write_json(writer, &response),
+                    Err(e) => write_json(writer, &error_response(&e)),
+                }
+            }
+            Request::Subscribe { graph, pattern_spec, pattern } => {
+                self.handle_subscribe(graph, &pattern_spec, pattern, writer)
             }
             Request::Shutdown => {
                 let _ = write_json(writer, &ok_response([("stopping", Json::from(true))]));
@@ -269,6 +288,82 @@ impl Connection {
                 }
             }
         }
+    }
+
+    /// Applies one edge batch: advances the catalog entry an epoch,
+    /// patches (or drops, on compaction) the graph's cached views, and
+    /// fans the signed instance delta out to subscribers.
+    fn handle_mutate(
+        &self,
+        graph: &str,
+        insert: Vec<(VertexId, VertexId)>,
+        delete: Vec<(VertexId, VertexId)>,
+    ) -> Result<Json, ServiceError> {
+        let start = std::time::Instant::now();
+        let batch = EdgeBatch { insert, delete };
+        let outcome = self.state.catalog.mutate(graph, &batch)?;
+        self.state.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        let stats = views::patch_cached_views(&self.state, &outcome);
+        let notified = views::notify_subscribers(&self.state, &outcome);
+        let entry = &outcome.entry;
+        Ok(ok_response([
+            ("graph", Json::from(entry.name.clone())),
+            ("epoch", Json::from(entry.epoch)),
+            ("content_hash", Json::from(format!("{:016x}", entry.content_hash))),
+            ("parent_hash", Json::from(format!("{:016x}", outcome.previous.content_hash))),
+            ("vertices", Json::from(entry.graph.num_vertices())),
+            ("edges", Json::from(entry.graph.num_edges())),
+            ("inserted", Json::from(outcome.inserted.len())),
+            ("deleted", Json::from(outcome.deleted.len())),
+            ("compacted", Json::from(outcome.compacted)),
+            ("views_patched", Json::from(stats.patched)),
+            ("views_dropped", Json::from(stats.dropped)),
+            ("subscribers_notified", Json::from(notified)),
+            ("wall_ms", Json::from(start.elapsed().as_secs_f64() * 1e3)),
+        ]))
+    }
+
+    /// Turns the connection into a dedicated event stream: acks the
+    /// subscription, then forwards every delta/resync event for
+    /// `(graph, pattern)` until the client hangs up or the server stops.
+    fn handle_subscribe(
+        &self,
+        graph: String,
+        pattern_spec: &str,
+        pattern: Pattern,
+        writer: &mut TcpStream,
+    ) -> bool {
+        let Some(entry) = self.state.catalog.get(&graph) else {
+            return write_json(writer, &error_response(&ServiceError::GraphNotFound(graph)));
+        };
+        let (id, events) = self.state.subscriptions.subscribe(graph.clone(), pattern);
+        let ack = ok_response([
+            ("subscribed", Json::from(true)),
+            ("subscription_id", Json::from(id)),
+            ("graph", Json::from(graph)),
+            ("pattern", Json::from(pattern_spec)),
+            ("epoch", Json::from(entry.epoch)),
+            ("content_hash", Json::from(format!("{:016x}", entry.content_hash))),
+        ]);
+        if write_json(writer, &ack) {
+            loop {
+                match events.recv_timeout(REPLY_POLL) {
+                    Ok(event) => {
+                        if !write_json(writer, &event) {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.stop.load(Ordering::SeqCst) || client_gone(writer) {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        self.state.subscriptions.unsubscribe(id);
+        false
     }
 
     /// Submits through admission control and waits for the worker,
@@ -396,6 +491,13 @@ fn stats_response(state: &ServiceState) -> Json {
                 ("edges", Json::from(e.graph.num_edges())),
                 ("epoch", Json::from(e.epoch)),
                 ("content_hash", Json::from(format!("{:016x}", e.content_hash))),
+                (
+                    "parent_hash",
+                    match e.parent_hash {
+                        Some(hash) => Json::from(format!("{hash:016x}")),
+                        None => Json::Null,
+                    },
+                ),
                 ("load_ms", Json::from(e.load_ms)),
                 ("path", Json::from(e.path.clone())),
             ])
@@ -406,6 +508,7 @@ fn stats_response(state: &ServiceState) -> Json {
         ("cluster", state.stats.cluster_snapshot()),
         ("result_cache", state.results.stats_json()),
         ("plan_cache", state.plans.stats_json()),
+        ("subscriptions", Json::from(state.subscriptions.len())),
         ("graphs", Json::Arr(graphs)),
     ])
 }

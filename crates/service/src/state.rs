@@ -1,11 +1,15 @@
 //! Shared state of one running service instance.
 
-use crate::cache::{PlanCache, ResultCache};
+use crate::cache::{canonical_pattern, PlanCache, ResultCache};
 use crate::catalog::GraphCatalog;
+use crate::json::Json;
 use crate::stats::ServerStats;
 use psgl_core::CancelToken;
+use psgl_pattern::Pattern;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 
 /// Checkpoints the store keeps before evicting the oldest; each is one
@@ -46,6 +50,8 @@ pub struct ServiceState {
     pub checkpoints: CheckpointStore,
     /// Cancel tokens of queued and running queries, by `query_id`.
     pub jobs: JobRegistry,
+    /// Live `subscribe` streams awaiting signed instance deltas.
+    pub subscriptions: SubscriptionRegistry,
 }
 
 impl ServiceState {
@@ -59,7 +65,76 @@ impl ServiceState {
             defaults,
             checkpoints: CheckpointStore::new(CHECKPOINT_CAP),
             jobs: JobRegistry::default(),
+            subscriptions: SubscriptionRegistry::default(),
         }
+    }
+}
+
+/// One live subscription: a connection waiting for the signed instance
+/// deltas of `(graph, pattern)` as mutations land.
+pub struct Subscription {
+    /// Registry-assigned id (unsubscribe handle).
+    pub id: u64,
+    /// Catalog name the subscription watches.
+    pub graph: String,
+    /// The subscribed pattern.
+    pub pattern: Pattern,
+    /// [`canonical_pattern`] of `pattern` — mutation fan-out computes one
+    /// delta per distinct canonical pattern and reuses it across
+    /// subscribers.
+    pub canonical: String,
+    /// Where delta events are pushed; the subscriber's connection thread
+    /// drains the other end.
+    pub sender: Sender<Json>,
+}
+
+/// Registry of live `subscribe` streams. Mutations look up the
+/// subscriptions of the mutated graph, compute the signed instance delta
+/// per distinct pattern, and push one event per subscriber; a send to a
+/// hung-up subscriber unregisters it.
+#[derive(Default)]
+pub struct SubscriptionRegistry {
+    next_id: AtomicU64,
+    inner: Mutex<Vec<Subscription>>,
+}
+
+impl SubscriptionRegistry {
+    /// Registers a subscription and returns its id plus the event stream
+    /// the connection thread should drain.
+    pub fn subscribe(&self, graph: String, pattern: Pattern) -> (u64, Receiver<Json>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (sender, receiver) = channel();
+        let canonical = canonical_pattern(&pattern);
+        let sub = Subscription { id, graph, pattern, canonical, sender };
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).push(sub);
+        (id, receiver)
+    }
+
+    /// Drops a subscription (its receiver sees the channel close).
+    pub fn unsubscribe(&self, id: u64) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).retain(|s| s.id != id);
+    }
+
+    /// Snapshot of the subscriptions watching `graph`: `(id, pattern,
+    /// canonical pattern, sender)` tuples the mutation path fans out to.
+    pub fn for_graph(&self, graph: &str) -> Vec<(u64, Pattern, String, Sender<Json>)> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|s| s.graph == graph)
+            .map(|s| (s.id, s.pattern.clone(), s.canonical.clone(), s.sender.clone()))
+            .collect()
+    }
+
+    /// Live subscriptions (for the stats verb).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no subscriptions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -163,6 +238,22 @@ mod tests {
         assert_eq!(store.take(&b), None, "tokens are single-use");
         assert_eq!(store.take(&c), Some(vec![3]));
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn subscription_registry_routes_by_graph_and_unsubscribes() {
+        let subs = SubscriptionRegistry::default();
+        let (id_a, rx_a) = subs.subscribe("g".into(), psgl_pattern::catalog::triangle());
+        let (_id_b, _rx_b) = subs.subscribe("h".into(), psgl_pattern::catalog::square());
+        assert_eq!(subs.len(), 2);
+        let targets = subs.for_graph("g");
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].2, "v3:0-1,0-2,1-2");
+        targets[0].3.send(Json::from(1u64)).unwrap();
+        assert_eq!(rx_a.recv().unwrap().as_u64(), Some(1));
+        subs.unsubscribe(id_a);
+        assert!(subs.for_graph("g").is_empty());
+        assert_eq!(subs.len(), 1);
     }
 
     #[test]

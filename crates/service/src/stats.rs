@@ -28,6 +28,8 @@ pub struct ServerStats {
     /// Queries cancelled (explicit cancel, client disconnect, deadline,
     /// or budget-with-checkpoint), resumable or not.
     pub cancelled: AtomicU64,
+    /// Edge batches applied via the `mutate` verb.
+    pub mutations: AtomicU64,
     /// Jobs currently waiting in the admission queue (gauge).
     pub queue_depth: AtomicU64,
     /// Jobs currently executing on the worker pool (gauge).
@@ -67,6 +69,7 @@ impl Default for ServerStats {
             rejected_budget: AtomicU64::new(0),
             queries_failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             running: AtomicU64::new(0),
             gpsis_generated: AtomicU64::new(0),
@@ -115,6 +118,7 @@ impl ServerStats {
             ("rejected_budget", Json::from(self.rejected_budget.load(Ordering::Relaxed))),
             ("queries_failed", Json::from(self.queries_failed.load(Ordering::Relaxed))),
             ("cancelled", Json::from(self.cancelled.load(Ordering::Relaxed))),
+            ("mutations", Json::from(self.mutations.load(Ordering::Relaxed))),
             ("queue_depth", Json::from(self.queue_depth.load(Ordering::Relaxed))),
             ("running", Json::from(self.running.load(Ordering::Relaxed))),
             ("gpsis_generated", Json::from(self.gpsis_generated.load(Ordering::Relaxed))),

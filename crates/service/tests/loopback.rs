@@ -85,10 +85,11 @@ fn loopback_count_cache_budget_and_stats() {
     let stats = client.stats().unwrap();
     assert_eq!(u64_field(stats.get("server").unwrap(), "rejected_budget"), 1);
 
-    // reloading the graph invalidates its cached results
-    client.load("karate", "karate-club", "fixture").unwrap();
+    // reloading identical content is a no-op: cached results survive
+    let reloaded = client.load("karate", "karate-club", "fixture").unwrap();
+    assert_eq!(reloaded.get("same_content").and_then(Json::as_bool), Some(true));
     let fresh = client.count("karate", "triangle").unwrap();
-    assert_eq!(fresh.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_eq!(fresh.get("cache_hit").and_then(Json::as_bool), Some(true));
     assert_eq!(u64_field(&fresh, "count"), 45);
 
     // unknown graph → not_found, still no connection loss
@@ -567,4 +568,63 @@ fn loopback_bad_requests_get_structured_errors() {
         assert_eq!(err.code(), Some(code), "{request}");
     }
     handle.shutdown();
+}
+
+#[test]
+fn loopback_mutate_patches_cache_and_streams_subscriber_deltas() {
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.load("karate", "karate-club", "fixture").unwrap();
+
+    // A second connection becomes a dedicated event stream.
+    let mut watcher = Client::connect(handle.addr()).expect("connect watcher");
+    let ack = watcher.subscribe("karate", "triangle").unwrap();
+    assert_eq!(ack.get("subscribed").and_then(Json::as_bool), Some(true));
+    assert_eq!(u64_field(&ack, "epoch"), 0);
+
+    // Warm the cache, then mutate: the cached count must be patched (a
+    // cache hit on the new epoch), not recomputed or dropped.
+    let before = client.count("karate", "triangle").unwrap();
+    assert_eq!(u64_field(&before, "count"), 45);
+    let mutated = client.mutate("karate", &[], &[(0, 1)]).unwrap();
+    assert_eq!(u64_field(&mutated, "epoch"), 1);
+    assert_eq!(u64_field(&mutated, "deleted"), 1);
+    assert_eq!(u64_field(&mutated, "views_patched"), 1);
+    assert_eq!(u64_field(&mutated, "subscribers_notified"), 1);
+    assert_ne!(
+        mutated.get("content_hash").and_then(Json::as_str),
+        mutated.get("parent_hash").and_then(Json::as_str),
+    );
+
+    let after = client.count("karate", "triangle").unwrap();
+    assert_eq!(after.get("cache_hit").and_then(Json::as_bool), Some(true));
+    let patched = u64_field(&after, "count");
+    // Oracle: a scratch run on the mutated graph must agree.
+    let scratch = client.request(&count_request(&[("no_cache", Json::from(true))])).unwrap();
+    assert_eq!(patched, u64_field(&scratch, "count"));
+    assert!(patched < 45, "deleting (0,1) kills triangles through it");
+
+    // The watcher sees the same mutation as a signed delta event.
+    let event = watcher.next_event().unwrap();
+    assert_eq!(event.get("event").and_then(Json::as_str), Some("delta"));
+    assert_eq!(u64_field(&event, "epoch"), 1);
+    let removed = event.get("removed").and_then(Json::as_arr).unwrap().len() as u64;
+    let added = event.get("added").and_then(Json::as_arr).unwrap().len() as u64;
+    assert_eq!(45 - removed + added, patched);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(u64_field(&stats, "subscriptions"), 1);
+    assert_eq!(u64_field(stats.get("server").unwrap(), "mutations"), 1);
+    let graphs = stats.get("graphs").and_then(Json::as_arr).unwrap();
+    assert!(graphs[0].get("parent_hash").and_then(Json::as_str).is_some());
+
+    // An empty batch is a bad request; an unknown graph is not_found.
+    let err = client
+        .request(&Json::obj([("verb", Json::from("mutate")), ("graph", Json::from("karate"))]));
+    assert_eq!(err.unwrap_err().code(), Some("bad_request"));
+    let err = client.mutate("nope", &[(0, 1)], &[]).unwrap_err();
+    assert_eq!(err.code(), Some("not_found"));
+
+    client.shutdown().unwrap();
+    handle.wait();
 }

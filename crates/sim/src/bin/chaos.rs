@@ -5,7 +5,7 @@
 //! expanded configurations so CI can upload them as an artifact.
 //!
 //! ```text
-//! chaos [--count N] [--start-seed S] [--corpus FILE] [--out FILE]
+//! chaos [--count N] [--start-seed S] [--corpus FILE] [--out FILE] [--delta]
 //! ```
 //!
 //! `--corpus FILE` reads one seed per line (blank lines and `#` comments
@@ -13,16 +13,20 @@
 //! the fast per-PR regression mode over pinned, previously-found seeds.
 //! `--out FILE` writes failing seeds (one per line, with a comment
 //! describing the failure) for artifact upload.
+//! `--delta` sweeps [`DeltaScenario`]s instead — dynamic-graph workloads
+//! checking incremental-vs-scratch multiset parity after every mutation
+//! batch, for all five paper strategies.
 
-use psgl_sim::Scenario;
+use psgl_sim::{DeltaScenario, Scenario};
 use std::io::Write;
 use std::process::ExitCode;
 
-fn parse_args() -> Result<(Vec<u64>, Option<String>), String> {
+fn parse_args() -> Result<(Vec<u64>, Option<String>, bool), String> {
     let mut count: u64 = 25;
     let mut start_seed: u64 = 1;
     let mut corpus: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut delta = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} requires a value"));
@@ -36,11 +40,11 @@ fn parse_args() -> Result<(Vec<u64>, Option<String>), String> {
             }
             "--corpus" => corpus = Some(value("--corpus")?),
             "--out" => out = Some(value("--out")?),
+            "--delta" => delta = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: chaos [--count N] [--start-seed S] [--corpus FILE] [--out FILE]"
-                        .to_string(),
-                )
+                return Err("usage: chaos [--count N] [--start-seed S] [--corpus FILE] \
+                            [--out FILE] [--delta]"
+                    .to_string())
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -61,11 +65,11 @@ fn parse_args() -> Result<(Vec<u64>, Option<String>), String> {
         }
         None => (start_seed..start_seed.saturating_add(count)).collect(),
     };
-    Ok((seeds, out))
+    Ok((seeds, out, delta))
 }
 
 fn main() -> ExitCode {
-    let (seeds, out) = match parse_args() {
+    let (seeds, out, delta) = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
@@ -75,6 +79,20 @@ fn main() -> ExitCode {
     let total = seeds.len();
     let mut failures: Vec<(u64, String)> = Vec::new();
     for seed in seeds {
+        if delta {
+            match DeltaScenario::from_seed(seed).run() {
+                Ok(report) => println!(
+                    "seed {seed}: ok — {} parity checks (5 strategies), {} compactions, \
+                     {} final instances",
+                    report.batches_checked, report.compactions, report.final_instances
+                ),
+                Err(failure) => {
+                    eprintln!("{failure}");
+                    failures.push((seed, failure.to_string()));
+                }
+            }
+            continue;
+        }
         let scenario = Scenario::from_seed(seed);
         match scenario.run() {
             Ok(report) => {

@@ -38,11 +38,13 @@
 //! The `chaos` binary sweeps seed ranges for CI.
 
 pub mod chaos;
+pub mod delta;
 pub mod fingerprint;
 pub mod invariants;
 pub mod oracle;
 pub mod sched;
 
 pub use chaos::{Scenario, SimFailure, SimReport};
+pub use delta::{DeltaScenario, DeltaSimFailure, DeltaSimReport};
 pub use invariants::Violation;
 pub use sched::SimExecutor;

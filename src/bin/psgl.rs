@@ -38,6 +38,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args[1..]),
         "patterns" => cmd_patterns(),
         "serve" => cmd_serve(&args[1..]),
+        "mutate" => cmd_mutate(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
         "cluster" => cmd_cluster(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -68,6 +70,9 @@ USAGE:
   psgl serve    [--addr HOST:PORT] [--pool N] [--queue-cap N]
                 [--result-cache N] [--plan-cache N] [--workers N]
                 [--budget N] [--chunk N]
+  psgl mutate   --addr HOST:PORT --name GRAPH [--insert \"0-1,2-3\"]
+                [--delete \"4-5\"]
+  psgl watch    --addr HOST:PORT --name GRAPH --pattern P [--events N]
   psgl cluster coordinator --workers N --graph SPEC --pattern P
                 [--partitions K] [--strategy S] [--seed N] [--collect]
                 [--checkpoint-interval C] [--max-supersteps M]
@@ -83,7 +88,9 @@ SPEC:     gnm:N:M:SEED | chung-lu:N:AVG:GAMMA:SEED | fixture:NAME
           | file:PATH[:FORMAT]                     (cluster graph spec)
 
 serve speaks a JSON-lines protocol over TCP; see README \"Running as a
-service\" (verbs: load, count, list, cancel, stats, health, shutdown).
+service\" (verbs: load, mutate, count, list, subscribe, cancel, stats,
+health, shutdown). mutate applies an edge batch to a live graph; watch
+subscribes and prints each signed instance delta as it lands.
 cluster runs one coordinator and N worker processes; the coordinator
 prints a JSON result line when the job completes (README \"Running a
 cluster\").";
@@ -384,8 +391,70 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.result_cache_cap,
         config.plan_cache_cap
     );
-    println!("protocol: JSON lines; verbs: load, count, list, cancel, stats, health, shutdown");
+    println!(
+        "protocol: JSON lines; verbs: load, mutate, count, list, subscribe, cancel, stats, \
+         health, shutdown"
+    );
     handle.wait();
     println!("psgl-service stopped");
+    Ok(())
+}
+
+/// Parses `"0-1,2-3"` into `(u, v)` pairs for the mutate verb's edge
+/// lists (0-based vertex ids, unlike the 1-based pattern mini-language).
+fn parse_edge_pairs(spec: &str) -> Result<Vec<(u32, u32)>, String> {
+    if spec.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .map(|edge| {
+            let (u, v) = edge
+                .trim()
+                .split_once('-')
+                .ok_or_else(|| format!("bad edge {edge:?}: expected U-V"))?;
+            let parse =
+                |s: &str| s.trim().parse::<u32>().map_err(|e| format!("bad edge {edge:?}: {e}"));
+            Ok((parse(u)?, parse(v)?))
+        })
+        .collect()
+}
+
+/// `psgl mutate`: applies one edge batch to a graph on a running service
+/// and prints the server's response line (new epoch + version chain).
+fn cmd_mutate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let addr = required(&flags, "addr")?;
+    let name = required(&flags, "name")?;
+    let insert = parse_edge_pairs(flags.get("insert").map_or("", String::as_str))?;
+    let delete = parse_edge_pairs(flags.get("delete").map_or("", String::as_str))?;
+    if insert.is_empty() && delete.is_empty() {
+        return Err("--insert or --delete is required".to_string());
+    }
+    let mut client = service::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = client.mutate(name, &insert, &delete).map_err(|e| e.to_string())?;
+    println!("{response}");
+    Ok(())
+}
+
+/// `psgl watch`: subscribes to `(graph, pattern)` on a running service
+/// and prints each delta/resync event line as mutations land. Stops
+/// after `--events N` lines (default: runs until the server goes away).
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let addr = required(&flags, "addr")?;
+    let name = required(&flags, "name")?;
+    let pattern = required(&flags, "pattern")?;
+    let events = flags
+        .get("events")
+        .map(|s| s.parse::<u64>().map_err(|e| format!("bad --events: {e}")))
+        .transpose()?;
+    let mut client = service::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let ack = client.subscribe(name, pattern).map_err(|e| e.to_string())?;
+    println!("{ack}");
+    let mut seen = 0u64;
+    while events.is_none_or(|n| seen < n) {
+        println!("{}", client.next_event().map_err(|e| e.to_string())?);
+        seen += 1;
+    }
     Ok(())
 }

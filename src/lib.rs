@@ -26,7 +26,10 @@
 //!   membership and barriers, checkpoint-based recovery,
 //! - [`sim`] — deterministic simulation & chaos harness: seeded
 //!   virtual-time scheduler for the BSP engine, fault injection, invariant
-//!   checkers, and oracle conformance sweeps.
+//!   checkers, and oracle conformance sweeps,
+//! - [`delta`] — incremental subgraph listing over dynamic graphs: epoch
+//!   overlays on the CSR base, delta-restricted seeded expansion, signed
+//!   instance deltas.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use psgl_baselines as baselines;
 pub use psgl_bsp as bsp;
 pub use psgl_cluster as cluster;
 pub use psgl_core as core;
+pub use psgl_delta as delta;
 pub use psgl_graph as graph;
 pub use psgl_mapreduce as mapreduce;
 pub use psgl_pattern as pattern;
