@@ -1,22 +1,28 @@
-//! BENCH_hotpath — wall-clock speedup of the allocation-free expansion
-//! kernel over the original allocating kernel.
+//! BENCH_hotpath — wall-clock speedup of the compiled expansion engine
+//! (allocation-free odometer + pattern-compiled kernels) over the original
+//! allocating kernel.
 //!
 //! Not a paper artifact: this guards the engineering of the hot path. The
 //! binary embeds a faithful copy of the *seed* kernel (per-expansion `Vec`
 //! allocations, per-candidate binary-search GRAY checks, per-mapped-vertex
 //! order probes, recursive cross-product, and — like the pre-PR runner's
 //! `compute` — a fresh outbox `Vec` per call) and races it against
-//! [`psgl_core::expand::expand_gpsi`] on the same single-threaded driver,
-//! listing triangles and 4-cliques. Counts and every expansion counter
-//! must be identical.
+//! [`psgl_core::expand::expand_gpsi`] with compiled kernels enabled on the
+//! same single-threaded driver, listing triangles and 4-cliques. Instance
+//! counts and `results` must be identical; the kernel engine may (and
+//! should) expand fewer Gpsis, since closing kernels eliminate
+//! verification expansions entirely.
 //!
-//! Workloads: the built-in karate-club fixture (the gate: its speedups
-//! feed `min_speedup`) plus a Chung-Lu power-law graph reported as
-//! supplementary — large generated graphs are enumeration-bound, so the
-//! allocation win there is real but small, and the JSON says so instead
-//! of hiding the row. Results go to `results/BENCH_hotpath.json`.
+//! Workloads: the built-in karate-club fixture plus Chung-Lu power-law
+//! graphs at two scales. The base Chung-Lu rows are **gated**: their
+//! speedups feed `min_speedup`, which CI compares against
+//! `gate_min_speedup` (2.0x). Karate is an ungated smoke row and the
+//! larger Chung-Lu row is supplementary scaling evidence. Each row also
+//! reports the plan-selected kernel and
+//! the kernel/cmap counter breakdown. Results go to
+//! `results/BENCH_hotpath.json`.
 //!
-//! `PSGL_SCALE` scales the Chung-Lu graph and the timing repetitions.
+//! `PSGL_SCALE` scales the Chung-Lu graphs and the timing repetitions.
 
 use psgl_bench::report;
 use psgl_core::distribute::{Distributor, GrayCandidate, Strategy};
@@ -434,25 +440,42 @@ fn main() {
     let karate = karate_club();
     let cl_vertices = ((3_000.0 * scale) as usize).max(200);
     let powerlaw = chung_lu(cl_vertices, 8.0, 2.2, 7).expect("generate chung-lu");
+    let cl_large_vertices = ((9_000.0 * scale) as usize).max(600);
+    let powerlaw_large = chung_lu(cl_large_vertices, 8.0, 2.2, 11).expect("generate chung-lu");
     // The fixture runs are microseconds each: repeat them enough that the
     // timed region is tens of milliseconds, far above timer noise.
     let fixture_reps = ((6_000.0 * scale).round() as usize).max(200);
-    let supp_reps = ((20.0 * scale).round() as usize).max(3);
+    let cl_reps = ((20.0 * scale).round() as usize).max(3);
+    let cl_large_reps = (cl_reps / 3).max(2);
 
-    // (name, graph, reps, gated): gated workloads are the built-in
-    // fixtures whose speedup feeds `min_speedup`.
-    let fixtures: [(&str, &DataGraph, usize, bool); 2] =
-        [("karate_club", &karate, fixture_reps, true), ("chung_lu", &powerlaw, supp_reps, false)];
+    // (name, graph, reps, gated): gated workloads feed `min_speedup`,
+    // which CI holds against GATE_MIN_SPEEDUP. The gate rides on the
+    // realistic Chung-Lu power-law workloads; karate_club (34 vertices,
+    // microsecond listings dominated by per-expansion setup rather than
+    // candidate work) stays as an ungated smoke row, and the larger
+    // Chung-Lu row is supplementary scaling evidence, kept out of the
+    // gate so its longer, noisier runs cannot flake the regression check.
+    let fixtures: [(&str, &DataGraph, usize, bool); 3] = [
+        ("karate_club", &karate, fixture_reps, false),
+        ("chung_lu", &powerlaw, cl_reps, true),
+        ("chung_lu_large", &powerlaw_large, cl_large_reps, false),
+    ];
     let patterns: [(&str, Pattern); 2] =
         [("triangle", catalog::triangle()), ("four_clique", catalog::four_clique())];
+
+    /// Speedup every gated workload must clear; recorded in the JSON so the
+    /// CI regression step compares against the same number the run used.
+    const GATE_MIN_SPEEDUP: f64 = 2.0;
 
     let config = PsglConfig::default();
     let table = report::Table::new(&[
         ("workload", 26),
+        ("kernel", 8),
         ("instances", 10),
         ("seed ms", 10),
         ("kernel ms", 10),
         ("speedup", 8),
+        ("cmap hit%", 9),
     ]);
     let mut rows: Vec<Json> = Vec::new();
     let mut min_speedup = f64::INFINITY;
@@ -461,38 +484,67 @@ fn main() {
             let shared = PsglShared::prepare(graph, pattern, &config).expect("prepare");
             let ((n_seed, ms_seed, st_seed), (n_hot, ms_hot, st_hot)) = time_pair(&shared, reps);
             assert_eq!(n_seed, n_hot, "{gname}/{pname}: kernels disagree on the count");
-            assert_eq!(st_seed, st_hot, "{gname}/{pname}: kernels disagree on expansion counters");
+            assert_eq!(
+                st_seed.results, st_hot.results,
+                "{gname}/{pname}: kernels disagree on results"
+            );
+            assert!(
+                st_hot.expanded <= st_seed.expanded,
+                "{gname}/{pname}: compiled kernels must not expand more Gpsis"
+            );
             let speedup = ms_seed / ms_hot;
             if gated {
                 min_speedup = min_speedup.min(speedup);
             }
+            let cmap_hit_rate = if st_hot.cmap_probes == 0 {
+                0.0
+            } else {
+                st_hot.cmap_hits as f64 / st_hot.cmap_probes as f64
+            };
+            let kernel = shared.initial_kernel.name();
             let workload = format!("{gname}/{pname}");
             table.row(&[
                 workload.clone(),
+                kernel.to_string(),
                 n_hot.to_string(),
                 format!("{ms_seed:.1}"),
                 format!("{ms_hot:.1}"),
                 format!("{speedup:.2}x"),
+                format!("{:.1}", cmap_hit_rate * 100.0),
             ]);
             rows.push(Json::obj([
                 ("workload", Json::from(workload)),
                 ("gated", Json::from(gated)),
+                ("kernel", Json::from(kernel)),
                 ("instances", Json::from(n_hot)),
                 ("reps", Json::from(reps)),
                 ("seed_ms", Json::from(ms_seed)),
                 ("kernel_ms", Json::from(ms_hot)),
                 ("speedup", Json::from(speedup)),
+                ("expanded_seed", Json::from(st_seed.expanded)),
+                ("expanded_kernel", Json::from(st_hot.expanded)),
+                ("kernel_close", Json::from(st_hot.kernel_close)),
+                ("kernel_twohop", Json::from(st_hot.kernel_twohop)),
+                ("cmap_probes", Json::from(st_hot.cmap_probes)),
+                ("cmap_hits", Json::from(st_hot.cmap_hits)),
+                ("cmap_hit_rate", Json::from(cmap_hit_rate)),
+                ("intersect_gallop", Json::from(st_hot.intersect_gallop)),
+                ("intersect_probe", Json::from(st_hot.intersect_probe)),
             ]));
         }
     }
-    println!("shape: speedup >= 1.5x on the gated fixture workloads (counts and");
-    println!("       counters identical); the supplementary power-law rows are");
-    println!("       enumeration-bound, so their allocation win is smaller");
+    println!("shape: speedup >= {GATE_MIN_SPEEDUP}x on every gated workload (instance counts");
+    println!("       and results identical; compiled kernels expand fewer Gpsis by");
+    println!("       closing instances without verification supersteps)");
 
     let body = Json::obj([
         ("experiment", Json::from("hotpath")),
         ("scale", Json::from(scale)),
-        ("gate", Json::from("min_speedup is over the built-in fixture workloads (gated: true)")),
+        (
+            "gate",
+            Json::from("min_speedup is over the gated workloads and must stay >= gate_min_speedup"),
+        ),
+        ("gate_min_speedup", Json::from(GATE_MIN_SPEEDUP)),
         ("workloads", Json::Arr(rows)),
         ("min_speedup", Json::from(min_speedup)),
     ]);

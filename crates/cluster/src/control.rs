@@ -614,6 +614,12 @@ fn expand_to_json(e: &ExpandStats) -> Json {
             e.combinations_examined,
             e.index_probes,
             e.cost,
+            e.kernel_close,
+            e.kernel_twohop,
+            e.cmap_probes,
+            e.cmap_hits,
+            e.intersect_gallop,
+            e.intersect_probe,
         ]
         .into_iter()
         .map(Json::from)
@@ -623,8 +629,8 @@ fn expand_to_json(e: &ExpandStats) -> Json {
 
 fn expand_from_json(v: &Json) -> Result<ExpandStats, String> {
     let ns = u64_arr(v, "expand stats")?;
-    if ns.len() != 13 {
-        return Err("expand stats want 13 numbers".into());
+    if ns.len() != 19 {
+        return Err("expand stats want 19 numbers".into());
     }
     Ok(ExpandStats {
         expanded: ns[0],
@@ -640,6 +646,12 @@ fn expand_from_json(v: &Json) -> Result<ExpandStats, String> {
         combinations_examined: ns[10],
         index_probes: ns[11],
         cost: ns[12],
+        kernel_close: ns[13],
+        kernel_twohop: ns[14],
+        cmap_probes: ns[15],
+        cmap_hits: ns[16],
+        intersect_gallop: ns[17],
+        intersect_probe: ns[18],
     })
 }
 

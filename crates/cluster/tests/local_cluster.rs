@@ -88,11 +88,13 @@ fn killed_worker_recovers_to_identical_results() {
     let expected = oracle(&job);
 
     let mut cfg = LocalClusterConfig::new(WORKERS, job);
-    cfg.die_at = Some((1, 2)); // second spawned worker dies entering superstep 2
+    // Second spawned worker dies entering superstep 1 — the expansion
+    // superstep in which the compiled close kernel finishes triangles.
+    cfg.die_at = Some((1, 1));
     cfg.heartbeat_timeout = Duration::from_millis(900);
     let outcome = run_local(cfg).unwrap();
 
-    assert_eq!(outcome.attempts, 2, "death at superstep 2 must trigger exactly one recovery");
+    assert_eq!(outcome.attempts, 2, "death at superstep 1 must trigger exactly one recovery");
     assert_eq!(outcome.workers_lost, 1);
     assert_matches_oracle(&outcome, &expected, "triangle/roulette after recovery");
 }

@@ -532,6 +532,12 @@ fn put_stats(p: &mut BytesMut, s: &ExpandStats) {
         s.combinations_examined,
         s.index_probes,
         s.cost,
+        s.kernel_close,
+        s.kernel_twohop,
+        s.cmap_probes,
+        s.cmap_hits,
+        s.intersect_gallop,
+        s.intersect_probe,
     ] {
         p.put_u64_le(v);
     }
@@ -552,6 +558,12 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ExpandStats, CheckpointError> {
         combinations_examined: r.u64()?,
         index_probes: r.u64()?,
         cost: r.u64()?,
+        kernel_close: r.u64()?,
+        kernel_twohop: r.u64()?,
+        cmap_probes: r.u64()?,
+        cmap_hits: r.u64()?,
+        intersect_gallop: r.u64()?,
+        intersect_probe: r.u64()?,
     })
 }
 

@@ -43,6 +43,12 @@ pub struct PsglConfig {
     /// superstep. Counts are unaffected, but per-worker metrics become
     /// scheduling-dependent, so it defaults to off (determinism).
     pub steal: bool,
+    /// Dispatch pattern-specialized expansion kernels (connectivity-map
+    /// closing, two-hop wedge joins) selected at plan time. Disabling
+    /// forces the generic odometer everywhere and reproduces the paper's
+    /// expand-then-verify superstep structure exactly; the listed instance
+    /// multiset is identical either way.
+    pub compiled_kernels: bool,
     /// RNG seed (random/roulette strategies, partitioner salt).
     pub seed: u64,
 }
@@ -61,6 +67,7 @@ impl Default for PsglConfig {
             max_fanout: None,
             max_supersteps: 64,
             steal: false,
+            compiled_kernels: true,
             seed: 42,
         }
     }
@@ -105,6 +112,12 @@ impl PsglConfig {
     /// Builder-style work-stealing toggle.
     pub fn steal(mut self, enabled: bool) -> Self {
         self.steal = enabled;
+        self
+    }
+
+    /// Builder-style compiled-kernel toggle.
+    pub fn kernels(mut self, enabled: bool) -> Self {
+        self.compiled_kernels = enabled;
         self
     }
 }

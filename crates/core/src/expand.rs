@@ -58,35 +58,41 @@ pub enum ExpandOutcome {
     FanoutExceeded,
 }
 
+/// Maximum WHITE slots a compiled kernel can track in the connectivity
+/// map: bits 0–1 of each `cmap` byte hold per-slot scan marks, bits 2–7
+/// hold odometer binding marks for slots 0–5. Expansions with more WHITE
+/// slots fall back to the generic odometer.
+pub const CMAP_MAX_SLOTS: usize = 6;
+
 /// Per-WHITE-vertex facts hoisted out of the `N(v_d)` candidate scan.
 #[derive(Clone, Copy, Default)]
-struct WhiteMeta {
+pub(crate) struct WhiteMeta {
     /// The WHITE pattern vertex itself.
-    wv: PatternVertex,
+    pub(crate) wv: PatternVertex,
     /// Pattern degree of `wv` (pruning rule 1a threshold).
-    min_degree: u32,
+    pub(crate) min_degree: u32,
     /// Candidates must have rank `>= lo_rank` (0 = unbounded): encodes
     /// `rank(cd) > rank(ud)` for every mapped `ud` ordered before `wv`.
-    lo_rank: u32,
+    pub(crate) lo_rank: u32,
     /// Candidates must have rank `< hi_rank` (`u32::MAX` = unbounded).
-    hi_rank: u32,
+    pub(crate) hi_rank: u32,
     /// `conn_data[conn_start..conn_end]`: mapped data vertices `wv` must
     /// connect to (pruning rule 2 targets), in pattern-neighbor order.
-    conn_start: usize,
+    pub(crate) conn_start: usize,
     /// End of the connectivity-target slice.
-    conn_end: usize,
+    pub(crate) conn_end: usize,
     /// Pattern edge id of `(v_p, wv)` — exact by construction.
-    edge_vp: u8,
+    pub(crate) edge_vp: u8,
     /// Bit `i` set iff the partial order requires this slot's candidate to
     /// rank *below* earlier WHITE slot `i`'s (new-vs-new rule 1b, hoisted
     /// out of the odometer's inner pair loop).
-    lt_mask: u16,
+    pub(crate) lt_mask: u16,
     /// Bit `i` set iff the order requires this slot's candidate to rank
     /// *above* earlier slot `i`'s.
-    gt_mask: u16,
+    pub(crate) gt_mask: u16,
     /// Bit `i` set iff the pattern has an edge between this slot's WHITE
     /// vertex and earlier slot `i`'s (new-vs-new index probe).
-    edge_mask: u16,
+    pub(crate) edge_mask: u16,
 }
 
 /// Reusable per-worker buffers for [`expand_gpsi`]. Construct once per
@@ -96,32 +102,53 @@ struct WhiteMeta {
 pub struct ExpandScratch {
     /// `(mapped data vertex, pattern edge id)` pairs awaiting GRAY
     /// verification, sorted by data vertex for the subset check.
-    gray_edges: Vec<(VertexId, u8)>,
+    pub(crate) gray_edges: Vec<(VertexId, u8)>,
     /// Per-WHITE-vertex hoisted facts.
-    white_meta: Vec<WhiteMeta>,
+    pub(crate) white_meta: Vec<WhiteMeta>,
     /// Connectivity-target arena sliced by `WhiteMeta::conn_*`.
-    conn_data: Vec<VertexId>,
+    pub(crate) conn_data: Vec<VertexId>,
     /// Slot-independent prefilter output: `(candidate, degree, rank)` for
     /// every neighbor of `v_d` that survives injectivity, so the per-slot
     /// scans below it are compare-only over scratch-resident data.
-    base_cands: Vec<(VertexId, u32, u32)>,
+    pub(crate) base_cands: Vec<(VertexId, u32, u32)>,
     /// Candidate arena: `cand_data[cand_bounds[i]..cand_bounds[i+1]]` holds
     /// the valid data vertices for WHITE slot `i`.
-    cand_data: Vec<VertexId>,
+    pub(crate) cand_data: Vec<VertexId>,
     /// Rank of each arena candidate, cached when the scan loads it anyway,
     /// so the odometer's order checks compare two scratch-resident `u32`s
     /// instead of re-reading the rank permutation.
-    cand_rank: Vec<u32>,
+    pub(crate) cand_rank: Vec<u32>,
     /// Candidate-arena bounds (`white_meta.len() + 1` entries).
-    cand_bounds: Vec<usize>,
+    pub(crate) cand_bounds: Vec<usize>,
     /// Odometer: currently selected data vertex per WHITE slot.
-    chosen: Vec<VertexId>,
+    pub(crate) chosen: Vec<VertexId>,
     /// Odometer: rank of the selected data vertex per WHITE slot.
-    chosen_rank: Vec<u32>,
+    pub(crate) chosen_rank: Vec<u32>,
     /// Odometer: absolute `cand_data` cursor per WHITE slot.
-    cursors: Vec<usize>,
+    pub(crate) cursors: Vec<usize>,
     /// GRAY candidates handed to the distribution strategy.
-    grays: Vec<GrayCandidate>,
+    pub(crate) grays: Vec<GrayCandidate>,
+    /// Connectivity map: one byte per data vertex, all-zero between
+    /// expansions. Bits 0–1 carry per-slot scan marks (conn-target
+    /// adjacency), bits 2–7 carry odometer binding marks for WHITE slots
+    /// 0–5. Sized to the data graph on the first compiled-kernel dispatch
+    /// (pre-steady-state; retained afterwards).
+    pub(crate) cmap: Vec<u8>,
+    /// Per-slot flag: some deeper slot has a white-white pattern edge to
+    /// this one, so its binding must publish adjacency (mark or gallop).
+    pub(crate) need_mark: Vec<bool>,
+    /// Per-slot flag: the current binding skipped cmap marking (adjacency
+    /// list too long); deeper slots gallop into it instead of probing.
+    pub(crate) slot_gallop: Vec<bool>,
+    /// Per-slot flag: the current binding holds cmap marks to clear.
+    pub(crate) slot_marked: Vec<bool>,
+    /// Wedge targets of the two-hop vertex that were mapped before the
+    /// expansion started (static across the odometer).
+    pub(crate) w_static: Vec<VertexId>,
+    /// Wedge targets of the two-hop vertex for one full combination.
+    pub(crate) w_targets: Vec<VertexId>,
+    /// Per-slot conn targets routed down the gallop path.
+    pub(crate) conn_gallop: Vec<VertexId>,
 }
 
 impl ExpandScratch {
@@ -163,8 +190,63 @@ pub fn expand_gpsi(
     let neighbors_vd = shared.graph.neighbors(vd);
     let deg_vd = u64::from(shared.graph.degree(vd));
 
+    scratch.gray_edges.clear();
+    scratch.white_meta.clear();
+
+    // --- Algorithm 2: process v_p's pattern neighbors -------------------
+    for v2 in p.neighbors(vp) {
+        if gpsi.is_black(v2) {
+            // Edge verified when v2 was expanded (BLACK invariant).
+            debug_assert!(gpsi.is_verified(shared.edge_ids.get(vp, v2).unwrap()));
+        } else if gpsi.is_mapped(v2) {
+            // GRAY: queue for the batched exact membership test; the edge
+            // id is looked up once here and reused on success.
+            scratch.gray_edges.push((gpsi.map(v2).unwrap(), shared.edge_ids.get(vp, v2).unwrap()));
+        } else {
+            scratch.white_meta.push(WhiteMeta { wv: v2, ..WhiteMeta::default() });
+        }
+    }
+    if !scratch.gray_edges.is_empty() {
+        // One galloping subset sweep over the sorted adjacency replaces a
+        // binary search per GRAY edge. Mapped data vertices are distinct
+        // (injectivity), so the sorted targets are duplicate-free as
+        // `sorted_contains_all` requires.
+        if scratch.gray_edges.len() > 1 {
+            scratch.gray_edges.sort_unstable_by_key(|&(vd2, _)| vd2);
+        }
+        let sorted_ok = sorted_contains_all_keys(neighbors_vd, &scratch.gray_edges);
+        if !sorted_ok {
+            stats.died_gray_check += 1;
+            stats.cost += cost;
+            return ExpandOutcome::Done;
+        }
+        for i in 0..scratch.gray_edges.len() {
+            gpsi.set_verified(scratch.gray_edges[i].1);
+        }
+    }
+
+    // --- compiled-kernel dispatch ---------------------------------------
+    // A specialized kernel applies when the expansion can *close* the
+    // instance locally: every unmapped pattern vertex is either a WHITE
+    // neighbor of v_p (candidates come from N(v_d)) or the single two-hop
+    // vertex reachable by a wedge join. The remaining edges are then all
+    // exactly checkable against shared adjacency, so complete instances
+    // are emitted immediately and no verification superstep ever runs.
+    if shared.compiled_kernels {
+        let all = (1u32 << np) - 1;
+        let unmapped = all & !u32::from(gpsi.mapped_mask());
+        let extra_mask = unmapped & !p.neighbor_mask(vp);
+        let nw = scratch.white_meta.len();
+        let extras = extra_mask.count_ones();
+        if nw <= CMAP_MAX_SLOTS && (extras == 1 || (extras == 0 && nw > 0)) {
+            let extra = (extras == 1).then(|| extra_mask.trailing_zeros() as PatternVertex);
+            return crate::kernel::expand_specialized(
+                shared, gpsi, vp, vd, extra, scratch, limits, emit, stats, cost,
+            );
+        }
+    }
+
     let ExpandScratch {
-        gray_edges,
         white_meta,
         conn_data,
         base_cands,
@@ -175,45 +257,12 @@ pub fn expand_gpsi(
         chosen_rank,
         cursors,
         grays,
+        ..
     } = scratch;
-    gray_edges.clear();
-    white_meta.clear();
     conn_data.clear();
     cand_data.clear();
     cand_rank.clear();
     cand_bounds.clear();
-
-    // --- Algorithm 2: process v_p's pattern neighbors -------------------
-    for v2 in p.neighbors(vp) {
-        if gpsi.is_black(v2) {
-            // Edge verified when v2 was expanded (BLACK invariant).
-            debug_assert!(gpsi.is_verified(shared.edge_ids.get(vp, v2).unwrap()));
-        } else if gpsi.is_mapped(v2) {
-            // GRAY: queue for the batched exact membership test; the edge
-            // id is looked up once here and reused on success.
-            gray_edges.push((gpsi.map(v2).unwrap(), shared.edge_ids.get(vp, v2).unwrap()));
-        } else {
-            white_meta.push(WhiteMeta { wv: v2, ..WhiteMeta::default() });
-        }
-    }
-    if !gray_edges.is_empty() {
-        // One galloping subset sweep over the sorted adjacency replaces a
-        // binary search per GRAY edge. Mapped data vertices are distinct
-        // (injectivity), so the sorted targets are duplicate-free as
-        // `sorted_contains_all` requires.
-        if gray_edges.len() > 1 {
-            gray_edges.sort_unstable_by_key(|&(vd2, _)| vd2);
-        }
-        let sorted_ok = sorted_contains_all_keys(neighbors_vd, gray_edges);
-        if !sorted_ok {
-            stats.died_gray_check += 1;
-            stats.cost += cost;
-            return ExpandOutcome::Done;
-        }
-        for &(_, eid) in gray_edges.iter() {
-            gpsi.set_verified(eid);
-        }
-    }
 
     // --- Algorithm 5: candidate sets for WHITE neighbors ----------------
     // Hoist per-WHITE-vertex facts (degree threshold, partial-order rank

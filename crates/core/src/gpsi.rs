@@ -136,6 +136,14 @@ impl Gpsi {
         self.verified |= 1u128 << edge_id;
     }
 
+    /// Marks every pattern edge in `mask` as exactly verified at once —
+    /// compiled kernels verify all remaining edges against real adjacency
+    /// before emitting, so the whole mask flips in one store.
+    #[inline]
+    pub fn set_all_verified(&mut self, mask: u128) {
+        self.verified |= mask;
+    }
+
     /// Whether pattern edge `edge_id` is verified.
     #[inline]
     pub fn is_verified(&self, edge_id: u8) -> bool {

@@ -1,0 +1,1538 @@
+//! Compiled expansion kernels: connectivity-map closing and two-hop wedge
+//! joins.
+//!
+//! The generic odometer ([`crate::expand::expand_gpsi`]) checks every
+//! pattern edge it cannot see locally through the inexact bloom index and
+//! leaves it *unverified*, forcing a later verification-only expansion —
+//! an extra superstep, an extra message, and a second GRAY check per
+//! surviving instance. The kernels here exploit the fact that the data
+//! graph is shared by every in-process (and cluster) worker: when an
+//! expansion can map **all** remaining pattern vertices, every remaining
+//! edge is exactly checkable right here, so the kernel emits finished
+//! instances and sends nothing.
+//!
+//! Two shapes of closing expansion exist (selected per partial instance by
+//! [`crate::plan::KernelId::select`], with the plan's
+//! [`crate::plan::QueryPlan::initial_kernel`] as the plan-time
+//! classification of the first hop):
+//!
+//! - **Close** — every unmapped pattern vertex is a WHITE neighbor of the
+//!   expanding vertex `v_p`. Candidates come from `N(v_d)` as usual;
+//!   white-white pattern edges are checked exactly through the per-worker
+//!   connectivity map (`cmap`, one byte per data vertex) instead of the
+//!   bloom filter. Covers triangles, k-cliques, stars and the star+edge
+//!   hub expansion.
+//! - **TwoHop** — one unmapped vertex `w` is *not* adjacent to `v_p`. For
+//!   each full WHITE combination, `w`'s candidates are the intersection of
+//!   its (now all mapped) pattern neighbors' adjacency lists — a wedge
+//!   join seeded from the lowest-degree endpoint. Covers rectangles and
+//!   the rim expansion of tailed shapes.
+//!
+//! ## The connectivity map
+//!
+//! `cmap` lives in [`ExpandScratch`] (sized once, lazily, to the data
+//! graph — steady state performs zero allocations) and is maintained
+//! incrementally: binding WHITE slot `i` marks bit `2 + i` on the
+//! binding's neighbors, backtracking clears it by walking the same list.
+//! The map is all-zero between expansions by construction. Adjacency
+//! checks are degree-adaptive at every call site: short lists are marked
+//! and probed in O(1) per candidate (`intersect_probe`), long lists are
+//! galloped into per candidate (`intersect_gallop`), the cutoff being a
+//! small multiple of the number of probes the mark would serve.
+//!
+//! The odometer only drives the first `nw - 1` WHITE slots. The *last*
+//! slot is closed by an output-sensitive merge-join: its candidate arena
+//! is intersected with the adjacency list of the lowest-degree bound
+//! WHITE it must connect to, walking the shorter side and galloping the
+//! longer. This replaces the `O(|arena_i| * |arena_j|)` pair scan the
+//! naive odometer would do on its innermost two slots — the difference
+//! between probing every pair and touching only (near-)survivors, which
+//! dominates on skewed degree distributions. A triangle therefore binds
+//! one slot and joins the other, marking nothing into the cmap at all.
+
+use crate::expand::{ExpandLimits, ExpandOutcome, ExpandScratch, WhiteMeta, CMAP_MAX_SLOTS};
+use crate::gpsi::Gpsi;
+use crate::shared::PsglShared;
+use crate::stats::ExpandStats;
+use psgl_graph::algo::gallop_lower_bound;
+use psgl_graph::VertexId;
+use psgl_pattern::PatternVertex;
+
+/// Mark an adjacency list into the cmap when it is at most this many times
+/// longer than the candidate set it will be probed against; beyond that,
+/// galloping per candidate is cheaper than walking the list twice.
+const PROBE_RATIO: usize = 4;
+
+/// Bit of `cmap` carrying WHITE slot `i`'s odometer binding mark.
+#[inline]
+fn slot_bit(i: usize) -> u8 {
+    1u8 << (2 + i)
+}
+
+/// Which half of a binding's adjacency a slot's marks must cover: the
+/// whole list, or just the oriented half when every later probe site is
+/// rank-ordered the same way around the slot.
+#[derive(Clone, Copy, PartialEq)]
+enum MarkSide {
+    Full,
+    Forward,
+    Backward,
+}
+
+/// The adjacency list a slot publishes (and retracts) marks over.
+#[inline]
+fn mark_list<'s>(shared: &'s PsglShared<'_>, side: MarkSide, v: VertexId) -> &'s [VertexId] {
+    match side {
+        MarkSide::Full => shared.graph.neighbors(v),
+        MarkSide::Forward => shared.ordered.forward(v),
+        MarkSide::Backward => shared.ordered.backward(v),
+    }
+}
+
+/// Membership test in a sorted adjacency slice.
+#[inline]
+fn contains(sorted: &[VertexId], x: VertexId) -> bool {
+    let i = gallop_lower_bound(sorted, x);
+    i < sorted.len() && sorted[i] == x
+}
+
+/// Exact edge test, searching the shorter adjacency list.
+#[inline]
+fn adjacent(shared: &PsglShared<'_>, a: VertexId, b: VertexId) -> bool {
+    if shared.graph.degree(a) <= shared.graph.degree(b) {
+        contains(shared.graph.neighbors(a), b)
+    } else {
+        contains(shared.graph.neighbors(b), a)
+    }
+}
+
+/// Hoisted facts about the two-hop vertex `w` (None for a pure Close).
+struct WExtra {
+    /// The two-hop pattern vertex itself.
+    w: PatternVertex,
+    /// Pattern degree of `w` (pruning rule 1a threshold).
+    min_degree: u32,
+    /// Static rank window from vertices mapped before the expansion.
+    lo: u32,
+    /// Upper end of the static rank window.
+    hi: u32,
+    /// Bit `i` set iff the pattern has edge `(w, slot i's WHITE vertex)`.
+    edge_slots: u16,
+    /// Bit `i` set iff the order requires `w`'s candidate below slot `i`'s.
+    lt_slots: u16,
+    /// Bit `i` set iff the order requires `w`'s candidate above slot `i`'s.
+    gt_slots: u16,
+}
+
+/// Expands `gpsi` with a closing kernel. Preconditions (checked by the
+/// dispatcher in `expand_gpsi`): `v_p` is BLACK with its GRAY edges
+/// verified, `scratch.white_meta` holds all unmapped neighbors of `v_p`
+/// (≤ [`crate::expand::CMAP_MAX_SLOTS`]), and `extra` is the single
+/// unmapped non-neighbor if one exists. Emits complete instances only;
+/// never pushes outgoing Gpsis.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_specialized(
+    shared: &PsglShared<'_>,
+    mut gpsi: Gpsi,
+    vp: PatternVertex,
+    vd: VertexId,
+    extra: Option<PatternVertex>,
+    scratch: &mut ExpandScratch,
+    limits: &ExpandLimits,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+    mut cost: u64,
+) -> ExpandOutcome {
+    let p = &shared.pattern;
+    let np = p.num_vertices();
+    match extra {
+        None => stats.kernel_close += 1,
+        Some(_) => stats.kernel_twohop += 1,
+    }
+
+    // Mixed generic → kernel flows can carry unverified mapped-mapped
+    // edges (bloom-checked when their second endpoint bound). The data
+    // graph is shared, so they are exactly checkable here — a false
+    // positive dies now instead of after another superstep.
+    for (a, b) in p.edges() {
+        if !(gpsi.is_mapped(a) && gpsi.is_mapped(b)) {
+            continue;
+        }
+        let eid = shared.edge_ids.get(a, b).unwrap();
+        if gpsi.is_verified(eid) {
+            continue;
+        }
+        stats.intersect_gallop += 1;
+        if !adjacent(shared, gpsi.map(a).unwrap(), gpsi.map(b).unwrap()) {
+            stats.died_gray_check += 1;
+            stats.cost += cost;
+            return ExpandOutcome::Done;
+        }
+        gpsi.set_verified(eid);
+    }
+
+    if scratch.cmap.len() < shared.graph.num_vertices() {
+        scratch.cmap.resize(shared.graph.num_vertices(), 0);
+    }
+
+    let neighbors_vd = shared.graph.neighbors(vd);
+    let deg_vd = u64::from(shared.graph.degree(vd));
+    let ExpandScratch {
+        white_meta,
+        conn_data,
+        base_cands,
+        cand_data,
+        cand_rank,
+        chosen,
+        chosen_rank,
+        cursors,
+        cmap,
+        need_mark,
+        slot_gallop,
+        slot_marked,
+        w_static,
+        w_targets,
+        conn_gallop,
+        ..
+    } = scratch;
+    conn_data.clear();
+    cand_data.clear();
+    cand_rank.clear();
+    let nw = white_meta.len();
+
+    // Hoist per-WHITE-slot facts exactly as the generic kernel does: the
+    // rank windows and masks implement the same pruning rules; only the
+    // connectivity checks switch from bloom probes to exact adjacency.
+    for meta in white_meta.iter_mut() {
+        let wv = meta.wv;
+        meta.min_degree = p.degree(wv);
+        meta.lo_rank = 0;
+        meta.hi_rank = u32::MAX;
+        for up in (0..np as PatternVertex).filter(|&v| gpsi.is_mapped(v)) {
+            let ud = gpsi.map(up).unwrap();
+            let rank_ud = shared.ordered.rank(ud);
+            if shared.order.requires_less(wv, up) {
+                meta.hi_rank = meta.hi_rank.min(rank_ud);
+            }
+            if shared.order.requires_less(up, wv) {
+                meta.lo_rank = meta.lo_rank.max(rank_ud.saturating_add(1));
+            }
+        }
+        meta.conn_start = conn_data.len();
+        for v3 in p.neighbors(wv) {
+            if v3 != vp && gpsi.is_mapped(v3) {
+                conn_data.push(gpsi.map(v3).unwrap());
+            }
+        }
+        meta.conn_end = conn_data.len();
+    }
+    for d in 1..nw {
+        let wv_d = white_meta[d].wv;
+        let (mut lt, mut gt, mut em) = (0u16, 0u16, 0u16);
+        for (i, earlier) in white_meta[..d].iter().enumerate() {
+            let wv_i = earlier.wv;
+            if shared.order.requires_less(wv_d, wv_i) {
+                lt |= 1 << i;
+            }
+            if shared.order.requires_less(wv_i, wv_d) {
+                gt |= 1 << i;
+            }
+            if p.has_edge(wv_d, wv_i) {
+                em |= 1 << i;
+            }
+        }
+        white_meta[d].lt_mask = lt;
+        white_meta[d].gt_mask = gt;
+        white_meta[d].edge_mask = em;
+    }
+
+    // Two-hop vertex facts: static rank window and wedge targets from the
+    // pre-bound mapping, slot masks for the dynamic part.
+    w_static.clear();
+    let w_extra = extra.map(|w| {
+        let (mut lo, mut hi) = (0u32, u32::MAX);
+        for up in (0..np as PatternVertex).filter(|&v| gpsi.is_mapped(v)) {
+            let rank_ud = shared.ordered.rank(gpsi.map(up).unwrap());
+            if shared.order.requires_less(w, up) {
+                hi = hi.min(rank_ud);
+            }
+            if shared.order.requires_less(up, w) {
+                lo = lo.max(rank_ud.saturating_add(1));
+            }
+        }
+        for v3 in p.neighbors(w) {
+            if gpsi.is_mapped(v3) {
+                w_static.push(gpsi.map(v3).unwrap());
+            }
+        }
+        let (mut edge_slots, mut lt_slots, mut gt_slots) = (0u16, 0u16, 0u16);
+        for (i, meta) in white_meta.iter().enumerate() {
+            if p.has_edge(w, meta.wv) {
+                edge_slots |= 1 << i;
+            }
+            if shared.order.requires_less(w, meta.wv) {
+                lt_slots |= 1 << i;
+            }
+            if shared.order.requires_less(meta.wv, w) {
+                gt_slots |= 1 << i;
+            }
+        }
+        WExtra { w, min_degree: p.degree(w), lo, hi, edge_slots, lt_slots, gt_slots }
+    });
+
+    // Per-slot candidate arenas, with two fusions over the generic path:
+    // slots whose pruning facts are identical (same degree bound, rank
+    // window, label class and wedge targets — every WHITE slot of a
+    // clique) *alias* one arena instead of rescanning `N(v_d)`, and the
+    // first distinct slot's scan doubles as the slot-independent
+    // prefilter. A triangle or k-clique expansion therefore builds its
+    // single shared arena in one pass over `N(v_d)`. Connectivity to
+    // mapped wedge targets stays exact: short target adjacencies are
+    // marked into cmap bits 0-1 and probed in O(1); long ones are
+    // galloped into per candidate.
+    let mut ranges = [(0usize, 0usize); CMAP_MAX_SLOTS];
+    let mut alias = [usize::MAX; CMAP_MAX_SLOTS];
+    let mut distinct = 0usize;
+    for si in 0..nw {
+        let meta = &white_meta[si];
+        alias[si] = (0..si)
+            .find(|&j| {
+                alias[j] == usize::MAX && {
+                    let prev = &white_meta[j];
+                    prev.min_degree == meta.min_degree
+                        && prev.lo_rank == meta.lo_rank
+                        && prev.hi_rank == meta.hi_rank
+                        && conn_data[prev.conn_start..prev.conn_end]
+                            == conn_data[meta.conn_start..meta.conn_end]
+                        && match &shared.labels {
+                            None => true,
+                            Some((_, pl)) => pl[prev.wv as usize] == pl[meta.wv as usize],
+                        }
+                }
+            })
+            .unwrap_or(usize::MAX);
+        if alias[si] == usize::MAX {
+            distinct += 1;
+        }
+    }
+    // base_cands only exists to amortize the slot-independent lookups
+    // across *multiple* distinct scans; with one distinct slot (triangles,
+    // k-cliques, stars) it would never be read back.
+    let keep_base = distinct > 1;
+    base_cands.clear();
+    let mut used: u64 = 0;
+    let mut base_built = false;
+    for si in 0..nw {
+        let meta = &white_meta[si];
+        if alias[si] != usize::MAX {
+            ranges[si] = ranges[alias[si]];
+            continue;
+        }
+        cost += deg_vd;
+        let targets = &conn_data[meta.conn_start..meta.conn_end];
+        conn_gallop.clear();
+        let mut probe_targets = [0 as VertexId; 2];
+        let mut probe_cnt = 0usize;
+        let mut probe_mask = 0u8;
+        for &t in targets {
+            let deg_t = shared.graph.degree(t) as usize;
+            if probe_cnt < 2 && deg_t <= PROBE_RATIO * (deg_vd as usize).max(1) {
+                let bit = 1u8 << probe_cnt;
+                for &x in shared.graph.neighbors(t) {
+                    cmap[x as usize] |= bit;
+                }
+                probe_targets[probe_cnt] = t;
+                probe_cnt += 1;
+                probe_mask |= bit;
+                stats.intersect_probe += 1;
+            } else {
+                conn_gallop.push(t);
+            }
+        }
+        let start = cand_data.len();
+        if base_built {
+            stats.pruned_injectivity += used;
+            for &(cd, deg_cd, rank_cd) in base_cands.iter() {
+                arena_filter(
+                    shared,
+                    meta,
+                    cd,
+                    deg_cd,
+                    rank_cd,
+                    probe_mask,
+                    cmap,
+                    conn_gallop,
+                    cand_data,
+                    cand_rank,
+                    stats,
+                );
+            }
+        } else {
+            // With a single distinct slot the scan serves only this window;
+            // a window one-sided against `v_d`'s own rank lives entirely in
+            // the matching oriented half of `N(v_d)` — half the volume of a
+            // skewed adjacency and no wasted filter calls on the far side.
+            // A shared base scan (keep_base) must cover every slot's
+            // window, so it stays on the full list.
+            let rank_vd = shared.ordered.rank(vd);
+            let scan: &[VertexId] = if keep_base {
+                neighbors_vd
+            } else if meta.lo_rank > rank_vd {
+                shared.ordered.forward(vd)
+            } else if meta.hi_rank <= rank_vd {
+                shared.ordered.backward(vd)
+            } else {
+                neighbors_vd
+            };
+            for &cd in scan {
+                if gpsi.uses_data_vertex(cd, np) {
+                    used += 1;
+                    continue;
+                }
+                let deg_cd = shared.graph.degree(cd);
+                let rank_cd = shared.ordered.rank(cd);
+                if keep_base {
+                    base_cands.push((cd, deg_cd, rank_cd));
+                }
+                arena_filter(
+                    shared,
+                    meta,
+                    cd,
+                    deg_cd,
+                    rank_cd,
+                    probe_mask,
+                    cmap,
+                    conn_gallop,
+                    cand_data,
+                    cand_rank,
+                    stats,
+                );
+            }
+            stats.pruned_injectivity += used;
+            base_built = true;
+        }
+        for (j, &t) in probe_targets[..probe_cnt].iter().enumerate() {
+            let bit = 1u8 << j;
+            for &x in shared.graph.neighbors(t) {
+                cmap[x as usize] &= !bit;
+            }
+        }
+        if cand_data.len() == start {
+            stats.died_no_candidates += 1;
+            stats.cost += cost;
+            return ExpandOutcome::Done;
+        }
+        ranges[si] = (start, cand_data.len());
+    }
+
+    // The odometer drives slots 0..od; the last slot (od) is merge-joined
+    // by close_combination. Only *odometer-internal* edges force a slot to
+    // publish marks — the final slot's edge to its join seed is handled by
+    // the intersection, and any further final-slot edges probe marks
+    // opportunistically (falling back to galloping when absent).
+    let od = nw.saturating_sub(1);
+    need_mark.clear();
+    need_mark.resize(nw, false);
+    slot_gallop.clear();
+    slot_gallop.resize(nw, false);
+    slot_marked.clear();
+    slot_marked.resize(nw, false);
+    for d in 1..od {
+        let em = white_meta[d].edge_mask;
+        for (i, flag) in need_mark[..d].iter_mut().enumerate() {
+            if (em >> i) & 1 == 1 {
+                *flag = true;
+            }
+        }
+    }
+    // Oriented marking: every probe of slot i's marks comes from a later
+    // slot's candidate that already passed its rank check against slot i
+    // (the odometer orders lt/gt before em per earlier slot; the final
+    // slot's window is folded before its edges are checked). When all
+    // those later slots are rank-ordered the same way around slot i, only
+    // the matching oriented half of the binding's adjacency can ever be
+    // probed — publish and retract walk that half alone.
+    let mut mark_side = [MarkSide::Full; CMAP_MAX_SLOTS];
+    for i in 0..od {
+        if !need_mark[i] {
+            continue;
+        }
+        let mut all_gt = true;
+        let mut all_lt = true;
+        for meta in &white_meta[i + 1..nw] {
+            if (meta.edge_mask >> i) & 1 == 1 {
+                all_gt &= (meta.gt_mask >> i) & 1 == 1;
+                all_lt &= (meta.lt_mask >> i) & 1 == 1;
+            }
+        }
+        mark_side[i] = if all_gt {
+            MarkSide::Forward
+        } else if all_lt {
+            MarkSide::Backward
+        } else {
+            MarkSide::Full
+        };
+    }
+
+    let all_mask = shared.edge_ids.all_mask();
+    let examined_before = stats.combinations_examined;
+    let mut generated: u64 = 0;
+    let mut exceeded = false;
+
+    chosen.clear();
+    chosen.resize(nw, 0);
+    chosen_rank.clear();
+    chosen_rank.resize(nw, 0);
+    let fin_range = if nw == 0 { (0, 0) } else { ranges[nw - 1] };
+    if od == 0 {
+        // Nothing for the odometer: a lone WHITE slot (joined against the
+        // empty prefix) or a verification-style expansion with only the
+        // two-hop vertex left.
+        exceeded = close_combination(
+            shared,
+            &gpsi,
+            white_meta,
+            cand_data,
+            cand_rank,
+            fin_range,
+            chosen,
+            chosen_rank,
+            slot_marked,
+            cmap,
+            w_extra.as_ref(),
+            w_static,
+            w_targets,
+            all_mask,
+            limits.max_fanout,
+            &mut generated,
+            &mut cost,
+            emit,
+            stats,
+        );
+    } else if od == 1 && w_extra.is_none() {
+        // Pair-close fast path (triangles, paths of length two, any
+        // two-WHITE Close shape): one odometer slot plus the joined final
+        // slot. The general machinery re-derives the rank window, join
+        // seed, and arena slices per prefix through an outlined call;
+        // here every invariant is hoisted out of the prefix loop.
+        exceeded = close_pair(
+            shared,
+            &gpsi,
+            &white_meta[0],
+            &white_meta[1],
+            cand_data,
+            cand_rank,
+            ranges[0],
+            fin_range,
+            cmap,
+            all_mask,
+            limits.max_fanout,
+            &mut generated,
+            &mut cost,
+            emit,
+            stats,
+        );
+    } else {
+        cursors.clear();
+        cursors.resize(od, 0);
+        cursors[0] = ranges[0].0;
+        let mut depth = 0usize;
+        'odometer: loop {
+            if cursors[depth] == ranges[depth].1 {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                // Retract the binding being advanced past: clear its cmap
+                // marks (walking the same adjacency that set them) and its
+                // gallop-mode flag.
+                if slot_marked[depth] {
+                    for &x in mark_list(shared, mark_side[depth], chosen[depth]) {
+                        cmap[x as usize] &= !slot_bit(depth);
+                    }
+                    slot_marked[depth] = false;
+                }
+                slot_gallop[depth] = false;
+                cursors[depth] += 1;
+                continue;
+            }
+            let cd = cand_data[cursors[depth]];
+            let rank_cd = cand_rank[cursors[depth]];
+            stats.combinations_examined += 1;
+            let passes = 'check: {
+                if chosen[..depth].contains(&cd) {
+                    stats.pruned_injectivity += 1;
+                    break 'check false;
+                }
+                let meta = &white_meta[depth];
+                let (lt, gt, em) = (meta.lt_mask, meta.gt_mask, meta.edge_mask);
+                for i in 0..depth {
+                    let prev_rank = chosen_rank[i];
+                    if (lt >> i) & 1 == 1 && rank_cd >= prev_rank {
+                        stats.pruned_order += 1;
+                        break 'check false;
+                    }
+                    if (gt >> i) & 1 == 1 && prev_rank >= rank_cd {
+                        stats.pruned_order += 1;
+                        break 'check false;
+                    }
+                    if (em >> i) & 1 == 1 {
+                        // Exact white-white edge, replacing the generic
+                        // kernel's bloom probe (and the verification
+                        // superstep the bloom answer would require).
+                        if slot_gallop[i] {
+                            stats.intersect_gallop += 1;
+                            if !adjacent(shared, chosen[i], cd) {
+                                stats.pruned_connectivity += 1;
+                                break 'check false;
+                            }
+                        } else {
+                            stats.cmap_probes += 1;
+                            if cmap[cd as usize] & slot_bit(i) == 0 {
+                                stats.pruned_connectivity += 1;
+                                break 'check false;
+                            }
+                            stats.cmap_hits += 1;
+                        }
+                    }
+                }
+                true
+            };
+            if !passes {
+                cursors[depth] += 1;
+                continue;
+            }
+            chosen[depth] = cd;
+            chosen_rank[depth] = rank_cd;
+            if depth + 1 == od {
+                if close_combination(
+                    shared,
+                    &gpsi,
+                    white_meta,
+                    cand_data,
+                    cand_rank,
+                    fin_range,
+                    chosen,
+                    chosen_rank,
+                    slot_marked,
+                    cmap,
+                    w_extra.as_ref(),
+                    w_static,
+                    w_targets,
+                    all_mask,
+                    limits.max_fanout,
+                    &mut generated,
+                    &mut cost,
+                    emit,
+                    stats,
+                ) {
+                    exceeded = true;
+                    break 'odometer;
+                }
+                cursors[depth] += 1;
+            } else {
+                if need_mark[depth] {
+                    let nb = mark_list(shared, mark_side[depth], cd);
+                    // Degree-adaptive publish: marking walks the binding's
+                    // (oriented) adjacency twice (set + clear) but makes
+                    // every deeper check O(1); galloping pays O(log deg)
+                    // per deeper candidate. The deeper odometer arenas
+                    // bound the number of probes the mark can serve.
+                    let deeper: usize = ranges[depth + 1..od].iter().map(|&(lo, hi)| hi - lo).sum();
+                    if nb.len() <= PROBE_RATIO * deeper.max(16) {
+                        for &x in nb {
+                            cmap[x as usize] |= slot_bit(depth);
+                        }
+                        slot_marked[depth] = true;
+                        stats.intersect_probe += 1;
+                    } else {
+                        slot_gallop[depth] = true;
+                    }
+                }
+                depth += 1;
+                cursors[depth] = ranges[depth].0;
+            }
+        }
+        // Normal exits unwind marks via the backtrack path; a fan-out trip
+        // breaks out mid-descent and must clear them here so the cmap is
+        // all-zero for the next expansion.
+        if exceeded {
+            for d in 0..od {
+                if slot_marked[d] {
+                    for &x in mark_list(shared, mark_side[d], chosen[d]) {
+                        cmap[x as usize] &= !slot_bit(d);
+                    }
+                    slot_marked[d] = false;
+                }
+                slot_gallop[d] = false;
+            }
+        }
+    }
+
+    cost += stats.combinations_examined - examined_before;
+    if exceeded {
+        stats.cost += cost;
+        ExpandOutcome::FanoutExceeded
+    } else {
+        cost += generated;
+        stats.cost += cost;
+        ExpandOutcome::Done
+    }
+}
+
+/// One candidate's slot-specific arena checks: degree bound, label class,
+/// static rank window, and exact connectivity to the slot's pre-mapped
+/// wedge targets (mark-probed or galloped). Pushes survivors into the
+/// arena.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn arena_filter(
+    shared: &PsglShared<'_>,
+    meta: &WhiteMeta,
+    cd: VertexId,
+    deg_cd: u32,
+    rank_cd: u32,
+    probe_mask: u8,
+    cmap: &[u8],
+    conn_gallop: &[VertexId],
+    cand_data: &mut Vec<VertexId>,
+    cand_rank: &mut Vec<u32>,
+    stats: &mut ExpandStats,
+) {
+    if deg_cd < meta.min_degree {
+        stats.pruned_degree += 1;
+        return;
+    }
+    if !shared.label_ok(meta.wv, cd) {
+        stats.pruned_label += 1;
+        return;
+    }
+    if rank_cd < meta.lo_rank || rank_cd >= meta.hi_rank {
+        stats.pruned_order += 1;
+        return;
+    }
+    if probe_mask != 0 {
+        stats.cmap_probes += 1;
+        if cmap[cd as usize] & probe_mask != probe_mask {
+            stats.pruned_connectivity += 1;
+            return;
+        }
+        stats.cmap_hits += 1;
+    }
+    for &t in conn_gallop {
+        stats.intersect_gallop += 1;
+        if !contains(shared.graph.neighbors(t), cd) {
+            stats.pruned_connectivity += 1;
+            return;
+        }
+    }
+    cand_data.push(cd);
+    cand_rank.push(rank_cd);
+}
+
+/// Emits one closed instance: binds the final slot, stamps every pattern
+/// edge verified, and reports whether the fan-out limit tripped.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn emit_closed(
+    g: &Gpsi,
+    fin_wv: PatternVertex,
+    x: VertexId,
+    all_mask: u128,
+    max_fanout: Option<u64>,
+    generated: &mut u64,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> bool {
+    let mut gg = *g;
+    gg.assign(fin_wv, x);
+    gg.set_all_verified(all_mask);
+    stats.generated += 1;
+    stats.results += 1;
+    *generated += 1;
+    emit(&gg);
+    matches!(max_fanout, Some(max) if *generated > max)
+}
+
+/// The two-WHITE Close join (`od == 1`, no two-hop vertex): for each
+/// binding of slot 0, merge-join the final slot's arena against it and
+/// emit every closed instance. Triangles spend almost the whole expansion
+/// here, so the join is tuned beyond [`close_combination`]: the arena is
+/// marked into the cmap **once per expansion** (the final slot's bit is
+/// free — it never binds through the odometer), turning the common
+/// low-degree-binding case into a sequential walk of `N(c0)` with one
+/// O(1) map probe per neighbor. High-degree bindings still walk the
+/// arena and gallop, window-and-injectivity first. All rank-window
+/// masks and arena slices are hoisted out of the per-prefix loop.
+/// Returns true when the fan-out limit tripped (cmap marks are cleared
+/// on every exit path).
+#[allow(clippy::too_many_arguments)]
+fn close_pair(
+    shared: &PsglShared<'_>,
+    base: &Gpsi,
+    m0: &WhiteMeta,
+    fin: &WhiteMeta,
+    cand_data: &[VertexId],
+    cand_rank: &[u32],
+    r0: (usize, usize),
+    fin_range: (usize, usize),
+    cmap: &mut [u8],
+    all_mask: u128,
+    max_fanout: Option<u64>,
+    generated: &mut u64,
+    cost: &mut u64,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> bool {
+    let arena = &cand_data[fin_range.0..fin_range.1];
+    let ranks = &cand_rank[fin_range.0..fin_range.1];
+    let window_lt = fin.lt_mask & 1 == 1;
+    let window_gt = fin.gt_mask & 1 == 1;
+    let joined = fin.edge_mask & 1 == 1;
+    let fin_bit = slot_bit(1);
+    if joined {
+        for &x in arena {
+            cmap[x as usize] |= fin_bit;
+        }
+        stats.intersect_probe += 1;
+    }
+    let exceeded = 'run: {
+        for i0 in r0.0..r0.1 {
+            let c0 = cand_data[i0];
+            let rank_c0 = cand_rank[i0];
+            stats.combinations_examined += 1;
+            let mut g = *base;
+            g.assign(m0.wv, c0);
+            let lo = if window_gt { rank_c0.saturating_add(1) } else { 0 };
+            let hi = if window_lt { rank_c0 } else { u32::MAX };
+            if joined {
+                // The dynamic window against `c0` is one-sided, so the
+                // matching oriented half of `N(c0)` already enforces it —
+                // no per-element rank check on the walk below.
+                let tn = if window_gt {
+                    shared.ordered.forward(c0)
+                } else if window_lt {
+                    shared.ordered.backward(c0)
+                } else {
+                    shared.graph.neighbors(c0)
+                };
+                if tn.len() < PROBE_RATIO * arena.len() {
+                    // Walk the binding's oriented adjacency sequentially;
+                    // arena membership is one probe of the per-expansion
+                    // marks, and arena membership plus orientation imply
+                    // the whole window.
+                    *cost += tn.len() as u64;
+                    for &x in tn {
+                        stats.cmap_probes += 1;
+                        if cmap[x as usize] & fin_bit == 0 {
+                            continue;
+                        }
+                        stats.cmap_hits += 1;
+                        stats.combinations_examined += 1;
+                        if x == c0 {
+                            stats.pruned_injectivity += 1;
+                            continue;
+                        }
+                        if emit_closed(&g, fin.wv, x, all_mask, max_fanout, generated, emit, stats)
+                        {
+                            break 'run true;
+                        }
+                    }
+                } else {
+                    // Hub binding: walk the (shorter) arena, pruning on
+                    // the window and injectivity before the gallop into
+                    // `N(c0)`, with the cursor monotone across candidates.
+                    stats.intersect_gallop += 1;
+                    *cost += arena.len() as u64;
+                    let mut from = 0usize;
+                    for (idx, &x) in arena.iter().enumerate() {
+                        stats.combinations_examined += 1;
+                        let rank_x = ranks[idx];
+                        if rank_x < lo || rank_x >= hi {
+                            stats.pruned_order += 1;
+                            continue;
+                        }
+                        if x == c0 {
+                            stats.pruned_injectivity += 1;
+                            continue;
+                        }
+                        let j = from + gallop_lower_bound(&tn[from..], x);
+                        if j >= tn.len() {
+                            break;
+                        }
+                        from = j;
+                        if tn[j] != x {
+                            stats.pruned_connectivity += 1;
+                            continue;
+                        }
+                        from = j + 1;
+                        if emit_closed(&g, fin.wv, x, all_mask, max_fanout, generated, emit, stats)
+                        {
+                            break 'run true;
+                        }
+                    }
+                }
+            } else {
+                // No white-white edge (two-leaf stars): every arena member
+                // in the window closes an instance.
+                *cost += arena.len() as u64;
+                for (idx, &x) in arena.iter().enumerate() {
+                    stats.combinations_examined += 1;
+                    let rank_x = ranks[idx];
+                    if rank_x < lo || rank_x >= hi {
+                        stats.pruned_order += 1;
+                        continue;
+                    }
+                    if x == c0 {
+                        stats.pruned_injectivity += 1;
+                        continue;
+                    }
+                    if emit_closed(&g, fin.wv, x, all_mask, max_fanout, generated, emit, stats) {
+                        break 'run true;
+                    }
+                }
+            }
+        }
+        false
+    };
+    if joined {
+        for &x in arena {
+            cmap[x as usize] &= !fin_bit;
+        }
+    }
+    exceeded
+}
+
+/// Finishes one odometer prefix (slots `0..nw-1`): merge-joins the final
+/// WHITE slot's candidates against its lowest-degree bound neighbor, then
+/// emits the closed instance (Close) or wedge-joins the two-hop vertex
+/// and emits one instance per survivor (TwoHop). Returns true when the
+/// fan-out limit tripped.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn close_combination(
+    shared: &PsglShared<'_>,
+    base: &Gpsi,
+    white_meta: &[WhiteMeta],
+    cand_data: &[VertexId],
+    cand_rank: &[u32],
+    fin_range: (usize, usize),
+    chosen: &mut [VertexId],
+    chosen_rank: &mut [u32],
+    slot_marked: &[bool],
+    cmap: &[u8],
+    w_extra: Option<&WExtra>,
+    w_static: &[VertexId],
+    w_targets: &mut Vec<VertexId>,
+    all_mask: u128,
+    max_fanout: Option<u64>,
+    generated: &mut u64,
+    cost: &mut u64,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> bool {
+    let nw = white_meta.len();
+    let mut g = *base;
+    if nw == 0 {
+        // Verification-style expansion with only the two-hop vertex left.
+        let wx = w_extra.expect("kernel dispatch sends nw == 0 only with a two-hop vertex");
+        return join_two_hop(
+            shared,
+            &g,
+            wx,
+            chosen,
+            chosen_rank,
+            w_static,
+            w_targets,
+            all_mask,
+            max_fanout,
+            generated,
+            cost,
+            emit,
+            stats,
+        );
+    }
+    let od = nw - 1;
+    for (meta, &cd) in white_meta[..od].iter().zip(chosen[..od].iter()) {
+        g.assign(meta.wv, cd);
+    }
+    let fin = &white_meta[od];
+    // Dynamic rank window against the odometer prefix; the static part
+    // (pre-bound mapping) was already applied when the arena was built.
+    let (mut lo, mut hi) = (0u32, u32::MAX);
+    for (i, &cr) in chosen_rank[..od].iter().enumerate() {
+        if (fin.lt_mask >> i) & 1 == 1 {
+            hi = hi.min(cr);
+        }
+        if (fin.gt_mask >> i) & 1 == 1 {
+            lo = lo.max(cr.saturating_add(1));
+        }
+    }
+    let em = fin.edge_mask;
+    let arena = &cand_data[fin_range.0..fin_range.1];
+    let ranks = &cand_rank[fin_range.0..fin_range.1];
+    // Merge-join seed: the bound WHITE with the fewest candidates the
+    // final slot must connect to (the arena already encodes the edge to
+    // v_d and every pre-bound constraint). A one-sided rank constraint
+    // against a bound slot shrinks its effective list to the matching
+    // oriented half, so the seed is chosen by *oriented* length.
+    let mut t_slot = usize::MAX;
+    let mut t_deg = u32::MAX;
+    for (i, &cd) in chosen[..od].iter().enumerate() {
+        if (em >> i) & 1 == 1 {
+            let d = if (fin.gt_mask >> i) & 1 == 1 {
+                shared.ordered.ns(cd)
+            } else if (fin.lt_mask >> i) & 1 == 1 {
+                shared.ordered.nb(cd)
+            } else {
+                shared.graph.degree(cd)
+            };
+            if d < t_deg {
+                t_deg = d;
+                t_slot = i;
+            }
+        }
+    }
+    if t_slot != usize::MAX {
+        // Both sides of the join are sorted, so intersect by walking the
+        // shorter list and galloping a *monotone* cursor through the
+        // longer — output-sensitive (touches only near-members, never
+        // every (prefix, candidate) pair) and forward-only, unlike a
+        // from-scratch adjacency gallop per candidate. The walked/galloped
+        // list is the seed's oriented half whenever the final slot's rank
+        // constraint against the seed is one-sided: membership then
+        // implies that side of the window for free.
+        stats.intersect_gallop += 1;
+        let tc = chosen[t_slot];
+        let tn = if (fin.gt_mask >> t_slot) & 1 == 1 {
+            shared.ordered.forward(tc)
+        } else if (fin.lt_mask >> t_slot) & 1 == 1 {
+            shared.ordered.backward(tc)
+        } else {
+            shared.graph.neighbors(tc)
+        };
+        if (t_deg as usize) < arena.len() {
+            *cost += u64::from(t_deg);
+            let mut from = 0usize;
+            for &x in tn {
+                let idx = from + gallop_lower_bound(&arena[from..], x);
+                if idx >= arena.len() {
+                    break;
+                }
+                from = idx;
+                if arena[idx] != x {
+                    continue;
+                }
+                from = idx + 1;
+                stats.combinations_examined += 1;
+                if !final_slot_ok(
+                    shared,
+                    chosen,
+                    od,
+                    em,
+                    t_slot,
+                    slot_marked,
+                    cmap,
+                    x,
+                    ranks[idx],
+                    lo,
+                    hi,
+                    stats,
+                ) {
+                    continue;
+                }
+                if finish_candidate(
+                    shared,
+                    &g,
+                    fin.wv,
+                    x,
+                    ranks[idx],
+                    chosen,
+                    chosen_rank,
+                    od,
+                    w_extra,
+                    w_static,
+                    w_targets,
+                    all_mask,
+                    max_fanout,
+                    generated,
+                    cost,
+                    emit,
+                    stats,
+                ) {
+                    return true;
+                }
+            }
+        } else {
+            // Arena is the short side: walk it, pruning on the rank window
+            // and injectivity *first* (both read memory already in hand)
+            // so only plausible candidates pay the gallop into `N(t)` —
+            // the window alone kills half the pairs of a symmetric
+            // pattern — with the cursor again monotone across candidates.
+            *cost += arena.len() as u64;
+            let mut from = 0usize;
+            for (idx, &x) in arena.iter().enumerate() {
+                stats.combinations_examined += 1;
+                let rank_x = ranks[idx];
+                if rank_x < lo || rank_x >= hi {
+                    stats.pruned_order += 1;
+                    continue;
+                }
+                if chosen[..od].contains(&x) {
+                    stats.pruned_injectivity += 1;
+                    continue;
+                }
+                let j = from + gallop_lower_bound(&tn[from..], x);
+                if j >= tn.len() {
+                    break;
+                }
+                from = j;
+                if tn[j] != x {
+                    stats.pruned_connectivity += 1;
+                    continue;
+                }
+                from = j + 1;
+                if !final_edges_ok(shared, chosen, od, em, t_slot, slot_marked, cmap, x, stats) {
+                    continue;
+                }
+                if finish_candidate(
+                    shared,
+                    &g,
+                    fin.wv,
+                    x,
+                    rank_x,
+                    chosen,
+                    chosen_rank,
+                    od,
+                    w_extra,
+                    w_static,
+                    w_targets,
+                    all_mask,
+                    max_fanout,
+                    generated,
+                    cost,
+                    emit,
+                    stats,
+                ) {
+                    return true;
+                }
+            }
+        }
+    } else {
+        // The final slot has no bound WHITE neighbor (stars, rectangles):
+        // every arena member is a candidate.
+        for (idx, &x) in arena.iter().enumerate() {
+            stats.combinations_examined += 1;
+            if !final_slot_ok(
+                shared,
+                chosen,
+                od,
+                em,
+                usize::MAX,
+                slot_marked,
+                cmap,
+                x,
+                ranks[idx],
+                lo,
+                hi,
+                stats,
+            ) {
+                continue;
+            }
+            if finish_candidate(
+                shared,
+                &g,
+                fin.wv,
+                x,
+                ranks[idx],
+                chosen,
+                chosen_rank,
+                od,
+                w_extra,
+                w_static,
+                w_targets,
+                all_mask,
+                max_fanout,
+                generated,
+                cost,
+                emit,
+                stats,
+            ) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Final-slot candidate checks beyond arena membership: the dynamic rank
+/// window, injectivity against the odometer prefix, and any white-white
+/// edges other than the join seed (mark-probed when the binding published
+/// marks for the odometer, galloped otherwise).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn final_slot_ok(
+    shared: &PsglShared<'_>,
+    chosen: &[VertexId],
+    od: usize,
+    em: u16,
+    skip: usize,
+    slot_marked: &[bool],
+    cmap: &[u8],
+    x: VertexId,
+    rank_x: u32,
+    lo: u32,
+    hi: u32,
+    stats: &mut ExpandStats,
+) -> bool {
+    if rank_x < lo || rank_x >= hi {
+        stats.pruned_order += 1;
+        return false;
+    }
+    if chosen[..od].contains(&x) {
+        stats.pruned_injectivity += 1;
+        return false;
+    }
+    final_edges_ok(shared, chosen, od, em, skip, slot_marked, cmap, x, stats)
+}
+
+/// The final slot's white-white edges beyond the join seed: mark-probed
+/// when the binding published marks for the odometer, galloped otherwise.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn final_edges_ok(
+    shared: &PsglShared<'_>,
+    chosen: &[VertexId],
+    od: usize,
+    em: u16,
+    skip: usize,
+    slot_marked: &[bool],
+    cmap: &[u8],
+    x: VertexId,
+    stats: &mut ExpandStats,
+) -> bool {
+    for i in 0..od {
+        if (em >> i) & 1 == 1 && i != skip {
+            if slot_marked[i] {
+                stats.cmap_probes += 1;
+                if cmap[x as usize] & slot_bit(i) == 0 {
+                    stats.pruned_connectivity += 1;
+                    return false;
+                }
+                stats.cmap_hits += 1;
+            } else {
+                stats.intersect_gallop += 1;
+                if !adjacent(shared, chosen[i], x) {
+                    stats.pruned_connectivity += 1;
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Binds the final WHITE slot and either emits the closed instance
+/// (Close) or runs the two-hop wedge join (TwoHop). Returns true when the
+/// fan-out limit tripped.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn finish_candidate(
+    shared: &PsglShared<'_>,
+    g: &Gpsi,
+    fin_wv: PatternVertex,
+    x: VertexId,
+    rank_x: u32,
+    chosen: &mut [VertexId],
+    chosen_rank: &mut [u32],
+    od: usize,
+    w_extra: Option<&WExtra>,
+    w_static: &[VertexId],
+    w_targets: &mut Vec<VertexId>,
+    all_mask: u128,
+    max_fanout: Option<u64>,
+    generated: &mut u64,
+    cost: &mut u64,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> bool {
+    let mut gg = *g;
+    gg.assign(fin_wv, x);
+    match w_extra {
+        None => {
+            // Close: every pattern edge has been exactly checked — the
+            // (v_p, white) edges by candidate construction, white-white by
+            // join/mark/gallop, everything else before the odometer
+            // started.
+            gg.set_all_verified(all_mask);
+            stats.generated += 1;
+            stats.results += 1;
+            *generated += 1;
+            emit(&gg);
+            matches!(max_fanout, Some(max) if *generated > max)
+        }
+        Some(wx) => {
+            chosen[od] = x;
+            chosen_rank[od] = rank_x;
+            join_two_hop(
+                shared,
+                &gg,
+                wx,
+                chosen,
+                chosen_rank,
+                w_static,
+                w_targets,
+                all_mask,
+                max_fanout,
+                generated,
+                cost,
+                emit,
+                stats,
+            )
+        }
+    }
+}
+
+/// Wedge-joins the two-hop vertex's candidates over a fully bound WHITE
+/// combination and emits one instance per survivor. Returns true when the
+/// fan-out limit tripped.
+#[allow(clippy::too_many_arguments)]
+fn join_two_hop(
+    shared: &PsglShared<'_>,
+    g: &Gpsi,
+    wx: &WExtra,
+    chosen: &[VertexId],
+    chosen_rank: &[u32],
+    w_static: &[VertexId],
+    w_targets: &mut Vec<VertexId>,
+    all_mask: u128,
+    max_fanout: Option<u64>,
+    generated: &mut u64,
+    cost: &mut u64,
+    emit: &mut dyn FnMut(&Gpsi),
+    stats: &mut ExpandStats,
+) -> bool {
+    let np = shared.pattern.num_vertices();
+    // Fold the chosen WHITE ranks into w's static rank window.
+    let (mut lo, mut hi) = (wx.lo, wx.hi);
+    for (i, &rank) in chosen_rank.iter().enumerate() {
+        if (wx.lt_slots >> i) & 1 == 1 {
+            hi = hi.min(rank);
+        }
+        if (wx.gt_slots >> i) & 1 == 1 {
+            lo = lo.max(rank.saturating_add(1));
+        }
+    }
+    // Wedge targets: every pattern neighbor of w is mapped now.
+    w_targets.clear();
+    w_targets.extend_from_slice(w_static);
+    for (i, &cd) in chosen.iter().enumerate() {
+        if (wx.edge_slots >> i) & 1 == 1 {
+            w_targets.push(cd);
+        }
+    }
+    debug_assert!(!w_targets.is_empty(), "two-hop vertex must have mapped neighbors");
+    // Seed the join from the lowest-degree endpoint (degree-adaptive).
+    let mut base_i = 0usize;
+    let mut base_deg = u32::MAX;
+    for (i, &t) in w_targets.iter().enumerate() {
+        let d = shared.graph.degree(t);
+        if d < base_deg {
+            base_deg = d;
+            base_i = i;
+        }
+    }
+    let bt = w_targets[base_i];
+    *cost += u64::from(base_deg);
+    'wcand: for &x in shared.graph.neighbors(bt) {
+        stats.combinations_examined += 1;
+        if shared.graph.degree(x) < wx.min_degree {
+            stats.pruned_degree += 1;
+            continue;
+        }
+        if !shared.label_ok(wx.w, x) {
+            stats.pruned_label += 1;
+            continue;
+        }
+        let rx = shared.ordered.rank(x);
+        if rx < lo || rx >= hi {
+            stats.pruned_order += 1;
+            continue;
+        }
+        if g.uses_data_vertex(x, np) {
+            stats.pruned_injectivity += 1;
+            continue;
+        }
+        for (i, &t) in w_targets.iter().enumerate() {
+            if i == base_i {
+                continue;
+            }
+            stats.intersect_gallop += 1;
+            if !adjacent(shared, t, x) {
+                stats.pruned_connectivity += 1;
+                continue 'wcand;
+            }
+        }
+        let mut gg = *g;
+        gg.assign(wx.w, x);
+        gg.set_all_verified(all_mask);
+        stats.generated += 1;
+        stats.results += 1;
+        *generated += 1;
+        emit(&gg);
+        if matches!(max_fanout, Some(max) if *generated > max) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribute::{Distributor, Strategy};
+    use crate::expand::expand_gpsi;
+    use crate::{PsglConfig, PsglShared};
+    use psgl_graph::generators::erdos_renyi_gnm;
+    use psgl_graph::partition::HashPartitioner;
+    use psgl_graph::DataGraph;
+    use psgl_pattern::catalog;
+
+    /// Breadth-first single-worker driver (mirrors the one in `expand`).
+    fn list_all(
+        g: &DataGraph,
+        pattern: &psgl_pattern::Pattern,
+        config: &PsglConfig,
+    ) -> (Vec<Vec<VertexId>>, ExpandStats, ExpandScratch) {
+        let shared = PsglShared::prepare(g, pattern, config).unwrap();
+        let partitioner = HashPartitioner::new(1);
+        let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut scratch = ExpandScratch::new();
+        let mut stats = ExpandStats::default();
+        let mut results = Vec::new();
+        let mut queue: Vec<Gpsi> = g
+            .vertices()
+            .filter(|&v| g.degree(v) >= pattern.degree(shared.init_vertex))
+            .map(|v| Gpsi::initial(shared.init_vertex, v))
+            .collect();
+        while let Some(gpsi) = queue.pop() {
+            let mut out = Vec::new();
+            expand_gpsi(
+                &shared,
+                gpsi,
+                &mut scratch,
+                &mut distributor,
+                &partitioner,
+                &ExpandLimits::default(),
+                &mut out,
+                &mut |done| results.push(done.instance(pattern.num_vertices())),
+                &mut stats,
+            );
+            queue.extend(out);
+        }
+        (results, stats, scratch)
+    }
+
+    fn sorted(mut v: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn kernels_match_generic_on_every_paper_pattern() {
+        let g = erdos_renyi_gnm(80, 420, 11).unwrap();
+        for pattern in catalog::paper_patterns() {
+            let (on, stats_on, _) = list_all(&g, &pattern, &PsglConfig::default());
+            let (off, stats_off, _) = list_all(&g, &pattern, &PsglConfig::default().kernels(false));
+            assert_eq!(sorted(on), sorted(off), "{}", pattern.name());
+            assert_eq!(stats_on.results, stats_off.results, "{}", pattern.name());
+            assert!(
+                stats_on.expanded <= stats_off.expanded,
+                "{}: kernels must not expand more",
+                pattern.name()
+            );
+        }
+    }
+
+    #[test]
+    fn close_kernel_fires_for_triangles_and_cliques() {
+        let g = erdos_renyi_gnm(60, 400, 3).unwrap();
+        for pattern in [catalog::triangle(), catalog::four_clique(), catalog::clique(5)] {
+            let (_, stats, _) = list_all(&g, &pattern, &PsglConfig::default());
+            assert!(stats.kernel_close > 0, "{}", pattern.name());
+            assert_eq!(stats.kernel_twohop, 0, "{}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn twohop_kernel_fires_for_rectangles() {
+        let g = erdos_renyi_gnm(60, 300, 5).unwrap();
+        let (_, stats, _) = list_all(&g, &catalog::square(), &PsglConfig::default());
+        assert!(stats.kernel_twohop > 0);
+    }
+
+    #[test]
+    fn cmap_is_all_zero_after_every_run() {
+        let g = erdos_renyi_gnm(70, 420, 9).unwrap();
+        for pattern in catalog::paper_patterns() {
+            let (_, _, scratch) = list_all(&g, &pattern, &PsglConfig::default());
+            assert!(scratch.cmap.iter().all(|&b| b == 0), "{}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn kernels_respect_fanout_limits() {
+        // Star hub with 30 leaves; triangle listing from the hub would
+        // examine many pairs, none close — use a clique so Close fires.
+        let g = erdos_renyi_gnm(40, 380, 2).unwrap();
+        let config = PsglConfig::default();
+        let shared = PsglShared::prepare(&g, &catalog::triangle(), &config).unwrap();
+        let partitioner = HashPartitioner::new(1);
+        let mut distributor = Distributor::new(Strategy::Random, 1, 7);
+        let mut scratch = ExpandScratch::new();
+        let mut stats = ExpandStats::default();
+        let mut tripped = false;
+        for v in g.vertices() {
+            let mut out = Vec::new();
+            let outcome = expand_gpsi(
+                &shared,
+                Gpsi::initial(shared.init_vertex, v),
+                &mut scratch,
+                &mut distributor,
+                &partitioner,
+                &ExpandLimits { max_fanout: Some(1) },
+                &mut out,
+                &mut |_| {},
+                &mut stats,
+            );
+            if outcome == ExpandOutcome::FanoutExceeded {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "dense graph must exceed a fan-out of 1");
+        assert!(scratch.cmap.iter().all(|&b| b == 0), "marks cleared after the trip");
+    }
+
+    #[test]
+    fn labeled_listing_agrees_with_generic_under_kernels() {
+        let g = erdos_renyi_gnm(50, 260, 21).unwrap();
+        let labels: Vec<u16> = g.vertices().map(|v| (v % 2) as u16).collect();
+        for pattern in [catalog::triangle(), catalog::square()] {
+            let plabels = vec![0u16; pattern.num_vertices()];
+            let count = |kernels: bool| {
+                let config = PsglConfig::default().kernels(kernels).collect(true);
+                let res = crate::runner::list_subgraphs_labeled(
+                    &g,
+                    &pattern,
+                    labels.clone(),
+                    plabels.clone(),
+                    &config,
+                )
+                .unwrap();
+                sorted(res.instances.unwrap())
+            };
+            assert_eq!(count(true), count(false), "{}", pattern.name());
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod expand;
 pub mod gpsi;
 pub mod index;
 pub mod init_vertex;
+pub(crate) mod kernel;
 pub mod plan;
 pub mod runner;
 pub mod shared;
@@ -55,7 +56,7 @@ pub use expand::ExpandScratch;
 pub use gpsi::EdgeIds;
 pub use gpsi::Gpsi;
 pub use index::EdgeIndex;
-pub use plan::QueryPlan;
+pub use plan::{KernelId, QueryPlan};
 pub use psgl_bsp::{CancelReason, CancelToken};
 pub use runner::{
     assemble_run_stats, count_per_vertex, list_subgraphs, list_subgraphs_labeled,

@@ -1163,7 +1163,9 @@ mod tests {
     #[test]
     fn checkpoint_resume_reproduces_uninterrupted_run() {
         let g = erdos_renyi_gnm(120, 700, 21).unwrap();
-        let config = PsglConfig::with_workers(3).collect(true);
+        // Generic odometer: the two-hop kernel closes squares in the first
+        // expansion superstep, before the deadline this test relies on.
+        let config = PsglConfig::with_workers(3).collect(true).kernels(false);
         let shared = PsglShared::prepare(&g, &catalog::square(), &config).unwrap();
         let full = list_subgraphs_prepared(&shared, &config).unwrap();
         assert!(full.instance_count > 0, "reference run should find squares");
@@ -1255,7 +1257,8 @@ mod tests {
     #[test]
     fn checkpoint_guard_rejects_a_different_run() {
         let g = erdos_renyi_gnm(90, 450, 13).unwrap();
-        let config = PsglConfig::with_workers(2).seed(1);
+        // Generic odometer so the square run outlives the deadline.
+        let config = PsglConfig::with_workers(2).seed(1).kernels(false);
         let shared = PsglShared::prepare(&g, &catalog::square(), &config).unwrap();
         let token = CancelToken::with_superstep_deadline(2);
         let end = list_subgraphs_resumable(

@@ -37,6 +37,19 @@ pub struct ExpandStats {
     pub index_probes: u64,
     /// Accumulated cost in Equation 2 units.
     pub cost: u64,
+    /// Expansions handled by the connectivity-map closing kernel.
+    pub kernel_close: u64,
+    /// Expansions handled by the two-hop (wedge-join) closing kernel.
+    pub kernel_twohop: u64,
+    /// Connectivity-map lookups performed by compiled kernels.
+    pub cmap_probes: u64,
+    /// Of `cmap_probes`, lookups that found the required connectivity.
+    pub cmap_hits: u64,
+    /// Exact adjacency checks taken down the galloping-merge path.
+    pub intersect_gallop: u64,
+    /// Adjacency intersections taken down the cmap mark-and-probe path
+    /// (one per marked adjacency list).
+    pub intersect_probe: u64,
 }
 
 impl ExpandStats {
@@ -55,6 +68,12 @@ impl ExpandStats {
         self.combinations_examined += other.combinations_examined;
         self.index_probes += other.index_probes;
         self.cost += other.cost;
+        self.kernel_close += other.kernel_close;
+        self.kernel_twohop += other.kernel_twohop;
+        self.cmap_probes += other.cmap_probes;
+        self.cmap_hits += other.cmap_hits;
+        self.intersect_gallop += other.intersect_gallop;
+        self.intersect_probe += other.intersect_probe;
     }
 
     /// Total candidates pruned by any rule.
@@ -148,6 +167,12 @@ mod tests {
             combinations_examined: 11,
             index_probes: 7,
             cost: 8,
+            kernel_close: 12,
+            kernel_twohop: 13,
+            cmap_probes: 14,
+            cmap_hits: 15,
+            intersect_gallop: 16,
+            intersect_probe: 17,
         };
         a.merge(&b);
         assert_eq!(a.expanded, 11);
@@ -159,5 +184,11 @@ mod tests {
         assert_eq!(a.combinations_examined, 11);
         assert_eq!(a.died_gray_check, 5);
         assert_eq!(a.died_no_candidates, 6);
+        assert_eq!(a.kernel_close, 12);
+        assert_eq!(a.kernel_twohop, 13);
+        assert_eq!(a.cmap_probes, 14);
+        assert_eq!(a.cmap_hits, 15);
+        assert_eq!(a.intersect_gallop, 16);
+        assert_eq!(a.intersect_probe, 17);
     }
 }

@@ -11,13 +11,17 @@
 //! Three maintenance rules keep incremental listing exact and cheap:
 //!
 //! 1. **Pinned ordering.** The degree-based total order of Section 3 is
-//!    computed at base (re)construction and *reused verbatim* by every
-//!    epoch until compaction. Automorphism breaking only needs *some* fixed
-//!    total order; re-deriving it from mutated degrees would silently move
-//!    the canonical representative of instances that never touched a
-//!    changed edge, breaking `post = pre − dying + born` as a multiset
-//!    identity. Degree drift costs a little pruning precision, never
-//!    correctness.
+//!    computed at base (re)construction and its *rank permutation* is
+//!    reused verbatim by every epoch until compaction. Automorphism
+//!    breaking only needs *some* fixed total order; re-deriving it from
+//!    mutated degrees would silently move the canonical representative of
+//!    instances that never touched a changed edge, breaking
+//!    `post = pre − dying + born` as a multiset identity. Degree drift
+//!    costs a little pruning precision, never correctness. The ordered
+//!    view's *oriented adjacency halves* are a different story: they are
+//!    adjacency, not order, so each epoch re-derives them against its own
+//!    snapshot under the pinned ranks ([`OrderedGraph::reorient`]) — the
+//!    compiled kernels walk them as real neighbor lists.
 //! 2. **Grow-only bloom.** Inserted edges are added to a clone of the
 //!    previous epoch's [`EdgeIndex`]; deleted edges deliberately stay in
 //!    the filter (a stale bit is a false positive, caught by the exact
@@ -44,8 +48,8 @@ pub struct EpochArtifacts {
     pub epoch: u64,
     /// The materialized CSR snapshot of this epoch.
     pub graph: Arc<DataGraph>,
-    /// The pinned total order (see module docs: shared by every epoch
-    /// between compactions).
+    /// The ordered view: ranks pinned across epochs, oriented adjacency
+    /// halves re-derived per epoch (see module docs).
     pub ordered: Arc<OrderedGraph>,
     /// The bloom edge index, incrementally grown since the last compaction.
     pub index: Arc<EdgeIndex>,
@@ -195,12 +199,11 @@ impl DeltaGraph {
             }
         }
 
-        self.current = EpochArtifacts {
-            epoch: self.current.epoch + 1,
-            graph: next,
-            ordered: Arc::clone(&self.current.ordered),
-            index,
-        };
+        // Ranks stay pinned; the oriented adjacency halves must track the
+        // new snapshot (see module docs).
+        let ordered = Arc::new(self.current.ordered.reorient(&next));
+        self.current =
+            EpochArtifacts { epoch: self.current.epoch + 1, graph: next, ordered, index };
         let compacted = self.overlay_len() > self.compact_threshold;
         if compacted {
             self.compact();
@@ -273,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn ordering_is_pinned_until_compaction() {
+    fn ranks_are_pinned_until_compaction_but_orientation_tracks_the_graph() {
         let g = erdos_renyi_gnm(50, 150, 5).unwrap();
         let mut dg = DeltaGraph::new(g, 8, DEFAULT_COMPACT_THRESHOLD);
         let pinned = Arc::clone(&dg.artifacts().ordered);
@@ -281,13 +284,27 @@ mod tests {
             let batches =
                 psgl_graph::generators::dynamic_batches(&dg.artifacts().graph, 1, 6, 0.5, seed);
             dg.apply(&batches[0]).unwrap();
-            assert!(
-                Arc::ptr_eq(&pinned, &dg.artifacts().ordered),
-                "ordering must be shared, not rebuilt, across epochs"
-            );
+            let art = dg.artifacts();
+            for v in art.graph.vertices() {
+                assert_eq!(
+                    pinned.rank(v),
+                    art.ordered.rank(v),
+                    "rank permutation must stay pinned across epochs"
+                );
+                // The oriented halves are adjacency: they must partition
+                // the *current* neighbor list, not the base epoch's.
+                let mut oriented: Vec<VertexId> =
+                    art.ordered.backward(v).iter().chain(art.ordered.forward(v)).copied().collect();
+                oriented.sort_unstable();
+                assert_eq!(
+                    oriented,
+                    art.graph.neighbors(v).to_vec(),
+                    "oriented halves stale at epoch {} for vertex {v}",
+                    art.epoch
+                );
+            }
         }
         dg.compact();
-        assert!(!Arc::ptr_eq(&pinned, &dg.artifacts().ordered));
         assert_eq!(dg.overlay_len(), 0);
     }
 

@@ -10,7 +10,12 @@
 use crate::csr::{DataGraph, VertexId};
 
 /// Total vertex order derived from `(degree, id)`, with per-vertex `nb`/`ns`
-/// counts precomputed.
+/// counts precomputed and the adjacency split into its *oriented* halves:
+/// `forward(v)` holds the neighbors of larger rank, `backward(v)` those of
+/// smaller rank, both id-sorted. A rank window that is one-sided against a
+/// known endpoint can walk the matching half instead of the full list and
+/// skip the per-element rank comparison — on a skewed graph that is half
+/// the intersection volume of every windowed join.
 #[derive(Clone, Debug)]
 pub struct OrderedGraph {
     /// `rank[v]` = position of `v` in ascending `(degree, id)` order;
@@ -20,10 +25,19 @@ pub struct OrderedGraph {
     nb: Vec<u32>,
     /// Number of neighbors with larger rank ("neighbors after").
     ns: Vec<u32>,
+    /// CSR offsets into `fwd`; `fwd_off[v]..fwd_off[v + 1]` is `forward(v)`.
+    fwd_off: Vec<u64>,
+    /// Higher-rank neighbors, id-sorted per vertex (`ns[v]` entries each).
+    fwd: Vec<VertexId>,
+    /// CSR offsets into `bwd`; `bwd_off[v]..bwd_off[v + 1]` is `backward(v)`.
+    bwd_off: Vec<u64>,
+    /// Smaller-rank neighbors, id-sorted per vertex (`nb[v]` entries each).
+    bwd: Vec<VertexId>,
 }
 
 impl OrderedGraph {
-    /// Computes ranks and the `nb`/`ns` split for `g` in `O(n log n + m)`.
+    /// Computes ranks, the `nb`/`ns` split and the oriented adjacency
+    /// halves for `g` in `O(n log n + m)`.
     pub fn new(g: &DataGraph) -> Self {
         let n = g.num_vertices();
         let mut by_rank: Vec<VertexId> = (0..n as VertexId).collect();
@@ -32,6 +46,31 @@ impl OrderedGraph {
         for (r, &v) in by_rank.iter().enumerate() {
             rank[v as usize] = r as u32;
         }
+        Self::from_rank(rank, g)
+    }
+
+    /// Rebuilds the `nb`/`ns` split and the oriented halves against `g`
+    /// while keeping this graph's rank permutation verbatim.
+    ///
+    /// Dynamic-graph epochs pin the total order at base construction
+    /// (re-deriving it from mutated degrees would move canonical instance
+    /// representatives and break incremental parity), but the oriented
+    /// halves are *adjacency*, not order — they must always reflect the
+    /// graph actually being listed. `g` must have the same vertex count
+    /// the ranks were derived for.
+    pub fn reorient(&self, g: &DataGraph) -> Self {
+        assert_eq!(
+            self.rank.len(),
+            g.num_vertices(),
+            "reorient requires the vertex set the ranks were built for"
+        );
+        Self::from_rank(self.rank.clone(), g)
+    }
+
+    /// Derives `nb`/`ns` and the oriented CSR halves of `g` under a fixed
+    /// rank permutation in `O(n + m)`.
+    fn from_rank(rank: Vec<u32>, g: &DataGraph) -> Self {
+        let n = g.num_vertices();
         let mut nb = vec![0u32; n];
         let mut ns = vec![0u32; n];
         for v in g.vertices() {
@@ -44,7 +83,43 @@ impl OrderedGraph {
                 }
             }
         }
-        OrderedGraph { rank, nb, ns }
+        let mut fwd_off = vec![0u64; n + 1];
+        let mut bwd_off = vec![0u64; n + 1];
+        for v in 0..n {
+            fwd_off[v + 1] = fwd_off[v] + u64::from(ns[v]);
+            bwd_off[v + 1] = bwd_off[v] + u64::from(nb[v]);
+        }
+        let mut fwd = vec![0 as VertexId; fwd_off[n] as usize];
+        let mut bwd = vec![0 as VertexId; bwd_off[n] as usize];
+        let mut fcur = fwd_off.clone();
+        let mut bcur = bwd_off.clone();
+        for v in g.vertices() {
+            let rv = rank[v as usize];
+            // `neighbors(v)` is id-sorted, so each filtered half stays
+            // id-sorted without any extra sort.
+            for &u in g.neighbors(v) {
+                if rank[u as usize] < rv {
+                    bwd[bcur[v as usize] as usize] = u;
+                    bcur[v as usize] += 1;
+                } else {
+                    fwd[fcur[v as usize] as usize] = u;
+                    fcur[v as usize] += 1;
+                }
+            }
+        }
+        OrderedGraph { rank, nb, ns, fwd_off, fwd, bwd_off, bwd }
+    }
+
+    /// Neighbors of `v` with larger rank, id-sorted.
+    #[inline]
+    pub fn forward(&self, v: VertexId) -> &[VertexId] {
+        &self.fwd[self.fwd_off[v as usize] as usize..self.fwd_off[v as usize + 1] as usize]
+    }
+
+    /// Neighbors of `v` with smaller rank, id-sorted.
+    #[inline]
+    pub fn backward(&self, v: VertexId) -> &[VertexId] {
+        &self.bwd[self.bwd_off[v as usize] as usize..self.bwd_off[v as usize + 1] as usize]
     }
 
     /// Rank of `v` (0 = smallest degree).

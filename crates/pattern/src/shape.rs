@@ -1,0 +1,124 @@
+//! Pattern-shape classification for compiled expansion kernels.
+//!
+//! The expansion hot path dispatches to a pattern-specialized kernel
+//! selected once at plan time (see `psgl_core::plan`). The classifier maps
+//! a [`Pattern`] onto the small taxonomy the kernels understand: the shapes
+//! with closed-form single-expansion listings (triangle, k-clique, star,
+//! star+edge) and the shapes whose last vertex is reachable by a two-hop
+//! wedge join (rectangle / tailed triangle). Everything else is `Generic`
+//! and runs the odometer kernel unchanged.
+//!
+//! Classification is *advisory*: the runtime re-checks the (cheap)
+//! applicability condition per partial instance, so a `Generic`
+//! classification is always safe and a specialized one can still fall back
+//! mid-run (e.g. a verification-only expansion of a `KClique` plan).
+
+use crate::graph::Pattern;
+
+/// Coarse shape taxonomy used for kernel selection and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternShape {
+    /// 3-cycle (PG1).
+    Triangle,
+    /// 4-cycle (PG2).
+    Rectangle,
+    /// Complete graph on `k >= 4` vertices (PG4 for k = 4).
+    KClique(usize),
+    /// Star: one center adjacent to every leaf, no leaf-leaf edges.
+    Star(usize),
+    /// Triangle with one pendant edge (PG3, the "paw"); more generally a
+    /// clique plus a single pendant vertex.
+    StarEdge,
+    /// Anything else (PG5/house, long cycles, paths, ...).
+    Generic,
+}
+
+impl PatternShape {
+    /// Classifies `p`. Total — every pattern maps to some shape, with
+    /// [`PatternShape::Generic`] as the catch-all.
+    pub fn classify(p: &Pattern) -> PatternShape {
+        let n = p.num_vertices();
+        let m = p.num_edges();
+        if n == 3 && m == 3 {
+            return PatternShape::Triangle;
+        }
+        if n == 4 && m == 4 && p.is_cycle() {
+            return PatternShape::Rectangle;
+        }
+        if n >= 4 && p.is_clique() {
+            return PatternShape::KClique(n);
+        }
+        if n >= 3 && m == n - 1 {
+            // Trees with n-1 edges: a star has one vertex of degree n-1.
+            if p.vertices().any(|v| p.degree(v) as usize == n - 1) {
+                return PatternShape::Star(n - 1);
+            }
+        }
+        // Clique on n-1 vertices plus one pendant vertex ("star+edge"; the
+        // paw / tailed triangle is the n = 4 case).
+        if n >= 4 {
+            let pendants: Vec<_> = p.vertices().filter(|&v| p.degree(v) == 1).collect();
+            if pendants.len() == 1 {
+                let k = n - 1;
+                let clique_edges = k * (k - 1) / 2;
+                if m == clique_edges + 1 {
+                    let tail = pendants[0];
+                    let core_is_clique =
+                        p.vertices().filter(|&v| v != tail).all(|v| p.degree(v) as usize >= k - 1);
+                    if core_is_clique {
+                        return PatternShape::StarEdge;
+                    }
+                }
+            }
+        }
+        PatternShape::Generic
+    }
+
+    /// Short stable name for benchmarks and the service `stats` verb.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PatternShape::Triangle => "triangle",
+            PatternShape::Rectangle => "rectangle",
+            PatternShape::KClique(_) => "k_clique",
+            PatternShape::Star(_) => "star",
+            PatternShape::StarEdge => "star_edge",
+            PatternShape::Generic => "generic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn paper_patterns_classify_as_documented() {
+        assert_eq!(PatternShape::classify(&catalog::triangle()), PatternShape::Triangle);
+        assert_eq!(PatternShape::classify(&catalog::square()), PatternShape::Rectangle);
+        assert_eq!(PatternShape::classify(&catalog::tailed_triangle()), PatternShape::StarEdge);
+        assert_eq!(PatternShape::classify(&catalog::four_clique()), PatternShape::KClique(4));
+        assert_eq!(PatternShape::classify(&catalog::house()), PatternShape::Generic);
+    }
+
+    #[test]
+    fn families_classify_as_documented() {
+        assert_eq!(PatternShape::classify(&catalog::clique(5)), PatternShape::KClique(5));
+        assert_eq!(PatternShape::classify(&catalog::clique(3)), PatternShape::Triangle);
+        assert_eq!(PatternShape::classify(&catalog::star(4)), PatternShape::Star(4));
+        assert_eq!(PatternShape::classify(&catalog::star(2)), PatternShape::Star(2));
+        assert_eq!(PatternShape::classify(&catalog::cycle(5)), PatternShape::Generic);
+        assert_eq!(PatternShape::classify(&catalog::cycle(6)), PatternShape::Generic);
+        assert_eq!(PatternShape::classify(&catalog::path(4)), PatternShape::Generic);
+        // path(3) is star(2) — a center with two leaves.
+        assert_eq!(PatternShape::classify(&catalog::path(3)), PatternShape::Star(2));
+        assert_eq!(PatternShape::classify(&catalog::path(2)), PatternShape::Generic);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PatternShape::Triangle.name(), "triangle");
+        assert_eq!(PatternShape::KClique(5).name(), "k_clique");
+        assert_eq!(PatternShape::Generic.name(), "generic");
+    }
+}

@@ -183,8 +183,9 @@ impl GraphCatalog {
     }
 
     /// Applies one edge batch to `name`, advancing it one epoch. The new
-    /// entry shares the pinned ordering with its parent (until the overlay
-    /// compacts) and records the parent's content hash, forming the
+    /// entry keeps its parent's pinned rank permutation (until the overlay
+    /// compacts; the ordered view's oriented adjacency tracks each epoch's
+    /// snapshot) and records the parent's content hash, forming the
     /// version chain the server uses to patch caches and notify
     /// subscribers.
     pub fn mutate(&self, name: &str, batch: &EdgeBatch) -> Result<MutateOutcome, ServiceError> {
@@ -320,7 +321,13 @@ mod tests {
         assert!(!out.compacted);
         assert_eq!(out.entry.parent_hash, Some(base.content_hash));
         assert_ne!(out.entry.content_hash, base.content_hash);
-        assert!(Arc::ptr_eq(&out.entry.ordered, &base.ordered), "ordering pinned across epochs");
+        for v in out.entry.graph.vertices() {
+            assert_eq!(
+                out.entry.ordered.rank(v),
+                base.ordered.rank(v),
+                "rank permutation pinned across epochs"
+            );
+        }
         assert!(out.entry.graph.has_edge(4, 5));
         assert!(!out.entry.graph.has_edge(0, 1));
         // The catalog serves the new epoch; a second mutation chains on it.
@@ -363,9 +370,12 @@ mod tests {
         let reloaded = catalog.load("g", "paper-figure1", GraphFormat::Fixture).unwrap();
         assert!(!reloaded.same_content);
         let out = catalog.mutate("g", &EdgeBatch { insert: vec![], delete: vec![(0, 1)] }).unwrap();
-        assert!(
-            Arc::ptr_eq(&out.entry.ordered, &reloaded.entry.ordered),
-            "fresh overlay pins the reloaded entry's ordering"
-        );
+        for v in out.entry.graph.vertices() {
+            assert_eq!(
+                out.entry.ordered.rank(v),
+                reloaded.entry.ordered.rank(v),
+                "fresh overlay pins the reloaded entry's rank order"
+            );
+        }
     }
 }

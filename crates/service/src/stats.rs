@@ -40,6 +40,14 @@ pub struct ServerStats {
     pub candidates_pruned: AtomicU64,
     /// Total edge-index probes across executed queries.
     pub index_probes: AtomicU64,
+    /// Expansions served by the compiled close kernel.
+    pub kernel_close: AtomicU64,
+    /// Expansions served by the compiled two-hop kernel.
+    pub kernel_twohop: AtomicU64,
+    /// Connectivity-map probes across executed queries.
+    pub cmap_probes: AtomicU64,
+    /// Of `cmap_probes`, probes that confirmed adjacency.
+    pub cmap_hits: AtomicU64,
     /// Total Gpsi messages exchanged across executed queries.
     pub messages_total: AtomicU64,
     /// Of `messages_total`, messages delivered on the sending worker's
@@ -75,6 +83,10 @@ impl Default for ServerStats {
             gpsis_generated: AtomicU64::new(0),
             candidates_pruned: AtomicU64::new(0),
             index_probes: AtomicU64::new(0),
+            kernel_close: AtomicU64::new(0),
+            kernel_twohop: AtomicU64::new(0),
+            cmap_probes: AtomicU64::new(0),
+            cmap_hits: AtomicU64::new(0),
             messages_total: AtomicU64::new(0),
             messages_local: AtomicU64::new(0),
             frames_sent: AtomicU64::new(0),
@@ -98,6 +110,10 @@ impl ServerStats {
         self.gpsis_generated.fetch_add(stats.expand.generated, Ordering::Relaxed);
         self.candidates_pruned.fetch_add(stats.expand.total_pruned(), Ordering::Relaxed);
         self.index_probes.fetch_add(stats.expand.index_probes, Ordering::Relaxed);
+        self.kernel_close.fetch_add(stats.expand.kernel_close, Ordering::Relaxed);
+        self.kernel_twohop.fetch_add(stats.expand.kernel_twohop, Ordering::Relaxed);
+        self.cmap_probes.fetch_add(stats.expand.cmap_probes, Ordering::Relaxed);
+        self.cmap_hits.fetch_add(stats.expand.cmap_hits, Ordering::Relaxed);
         self.messages_total.fetch_add(stats.messages, Ordering::Relaxed);
         self.messages_local.fetch_add(stats.messages_local, Ordering::Relaxed);
         self.frames_sent.fetch_add(stats.frames_sent, Ordering::Relaxed);
@@ -124,6 +140,10 @@ impl ServerStats {
             ("gpsis_generated", Json::from(self.gpsis_generated.load(Ordering::Relaxed))),
             ("candidates_pruned", Json::from(self.candidates_pruned.load(Ordering::Relaxed))),
             ("index_probes", Json::from(self.index_probes.load(Ordering::Relaxed))),
+            ("kernel_close", Json::from(self.kernel_close.load(Ordering::Relaxed))),
+            ("kernel_twohop", Json::from(self.kernel_twohop.load(Ordering::Relaxed))),
+            ("cmap_probes", Json::from(self.cmap_probes.load(Ordering::Relaxed))),
+            ("cmap_hits", Json::from(self.cmap_hits.load(Ordering::Relaxed))),
             ("messages_total", Json::from(self.messages_total.load(Ordering::Relaxed))),
             ("local_delivery_ratio", Json::from(self.local_delivery_ratio())),
         ])
@@ -167,6 +187,10 @@ mod tests {
                 pruned_degree: 5,
                 pruned_order: 7,
                 index_probes: 40,
+                kernel_close: 9,
+                kernel_twohop: 4,
+                cmap_probes: 33,
+                cmap_hits: 31,
                 ..Default::default()
             },
             messages: 80,
@@ -179,6 +203,10 @@ mod tests {
         assert_eq!(snap.get("gpsis_generated").unwrap().as_u64(), Some(200));
         assert_eq!(snap.get("candidates_pruned").unwrap().as_u64(), Some(24));
         assert_eq!(snap.get("index_probes").unwrap().as_u64(), Some(80));
+        assert_eq!(snap.get("kernel_close").unwrap().as_u64(), Some(18));
+        assert_eq!(snap.get("kernel_twohop").unwrap().as_u64(), Some(8));
+        assert_eq!(snap.get("cmap_probes").unwrap().as_u64(), Some(66));
+        assert_eq!(snap.get("cmap_hits").unwrap().as_u64(), Some(62));
         assert_eq!(snap.get("messages_total").unwrap().as_u64(), Some(160));
         assert_eq!(snap.get("local_delivery_ratio").unwrap().as_f64(), Some(0.75));
         assert!(snap.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);

@@ -222,7 +222,7 @@ fn loopback_overloaded_connection_recovers_with_a_successful_query() {
     // The query must occupy the worker long enough for the staged
     // saturation below to observe it; optimized builds need a heavier
     // pattern than debug builds to produce a comparable window.
-    let slow_pattern = if cfg!(debug_assertions) { "triangle" } else { "square" };
+    let slow_pattern = if cfg!(debug_assertions) { "square" } else { "house" };
     let slow_request = move || {
         Json::obj([
             ("verb", Json::from("count")),

@@ -52,6 +52,12 @@ pub fn fingerprint_stats(stats: &RunStats) -> u64 {
         e.combinations_examined,
         e.index_probes,
         e.cost,
+        e.kernel_close,
+        e.kernel_twohop,
+        e.cmap_probes,
+        e.cmap_hits,
+        e.intersect_gallop,
+        e.intersect_probe,
     ] {
         m.mix(w);
     }

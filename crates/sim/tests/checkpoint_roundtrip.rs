@@ -43,11 +43,16 @@ fn random_graphs_cancelled_at_random_supersteps_resume_without_dups_or_losses() 
         let pattern = &patterns[(splitmix64(&mut state) % patterns.len() as u64) as usize];
         let workers = 2 + (splitmix64(&mut state) % 4) as usize;
         let cancel_at = 1 + (splitmix64(&mut state) % 3) as u32;
+        // Half the trials run the generic odometer: compiled kernels close
+        // runs in fewer supersteps, so generic trials keep the suspension
+        // rate up while kernel trials cover checkpointing the kernel path.
+        let kernels = splitmix64(&mut state).is_multiple_of(2);
         let config = PsglConfig::with_workers(workers)
             .strategy(Strategy::paper_variants()[(splitmix64(&mut state) % 5) as usize].1)
             .seed(splitmix64(&mut state))
-            .collect(true);
-        let context = format!("trial {trial}: G({n}, {p:.3}) seed {graph_seed}, {} workers {workers}, cancel at {cancel_at}", pattern.name());
+            .collect(true)
+            .kernels(kernels);
+        let context = format!("trial {trial}: G({n}, {p:.3}) seed {graph_seed}, {} workers {workers}, cancel at {cancel_at}, kernels {kernels}", pattern.name());
 
         let shared = PsglShared::prepare(&graph, pattern, &config).expect("prepare");
         let hooks = RunnerHooks::default();
