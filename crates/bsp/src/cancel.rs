@@ -25,7 +25,7 @@
 //! reporting the outcome: the get/put balance assert holds on the
 //! cancelled path exactly as on clean shutdown.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +42,10 @@ pub enum CancelReason {
     /// checkpointing was enabled (instead of the hard
     /// [`BspError::MessageBudgetExceeded`](crate::BspError) abort).
     Budget,
+    /// The scheduler's preemption barrier was reached: the run yielded
+    /// its worker slot at a superstep boundary with a resumable frontier.
+    /// Not an error — the owner resumes the run from the checkpoint.
+    Preempted,
 }
 
 impl CancelReason {
@@ -52,6 +56,7 @@ impl CancelReason {
             CancelReason::Disconnected => "disconnected",
             CancelReason::Deadline => "deadline",
             CancelReason::Budget => "budget",
+            CancelReason::Preempted => "preempted",
         }
     }
 }
@@ -70,6 +75,7 @@ fn reason_to_u8(r: CancelReason) -> u8 {
         CancelReason::Disconnected => 2,
         CancelReason::Deadline => 3,
         CancelReason::Budget => 4,
+        CancelReason::Preempted => 5,
     }
 }
 
@@ -79,9 +85,13 @@ fn reason_from_u8(v: u8) -> Option<CancelReason> {
         2 => Some(CancelReason::Disconnected),
         3 => Some(CancelReason::Deadline),
         4 => Some(CancelReason::Budget),
+        5 => Some(CancelReason::Preempted),
         _ => None,
     }
 }
+
+/// Sentinel for "no preemption barrier armed".
+const PREEMPT_NONE: u32 = u32::MAX;
 
 struct Inner {
     /// `REASON_NONE` until cancelled; then the encoded [`CancelReason`].
@@ -92,6 +102,10 @@ struct Inner {
     deadline: Option<Instant>,
     /// Cancel at the barrier before this superstep runs (deterministic).
     superstep_deadline: Option<u32>,
+    /// Yield at the barrier before this superstep runs, with a frontier
+    /// capture regardless of the run's checkpoint flag. Re-armed between
+    /// slices by the scheduler; `PREEMPT_NONE` means no barrier.
+    preempt_barrier: AtomicU32,
 }
 
 /// Shared cancellation handle for one run. Clone it freely; all clones
@@ -114,6 +128,7 @@ impl CancelToken {
                 reason: AtomicU8::new(REASON_NONE),
                 deadline,
                 superstep_deadline,
+                preempt_barrier: AtomicU32::new(PREEMPT_NONE),
             }),
         }
     }
@@ -169,6 +184,31 @@ impl CancelToken {
     pub fn superstep_deadline(&self) -> Option<u32> {
         self.inner.superstep_deadline
     }
+
+    /// Arms the preemption barrier: the run yields (reason
+    /// [`CancelReason::Preempted`], frontier captured) at the barrier
+    /// before superstep `superstep` runs. Unlike a superstep deadline,
+    /// the barrier is mutable — the scheduler re-arms it every slice —
+    /// and the frontier is captured even when the run did not request
+    /// checkpointing.
+    pub fn set_preempt_barrier(&self, superstep: u32) {
+        self.inner.preempt_barrier.store(superstep.min(PREEMPT_NONE - 1), Ordering::SeqCst);
+    }
+
+    /// Disarms the preemption barrier; the run continues to completion
+    /// (or until another trigger fires).
+    pub fn clear_preempt_barrier(&self) {
+        self.inner.preempt_barrier.store(PREEMPT_NONE, Ordering::SeqCst);
+    }
+
+    /// The currently-armed preemption barrier, if any.
+    #[inline]
+    pub fn preempt_barrier(&self) -> Option<u32> {
+        match self.inner.preempt_barrier.load(Ordering::SeqCst) {
+            PREEMPT_NONE => None,
+            v => Some(v),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,12 +253,30 @@ mod tests {
     }
 
     #[test]
+    fn preempt_barrier_arms_and_clears_across_clones() {
+        let t = CancelToken::new();
+        assert_eq!(t.preempt_barrier(), None);
+        let u = t.clone();
+        u.set_preempt_barrier(4);
+        assert_eq!(t.preempt_barrier(), Some(4));
+        // Re-arming moves the barrier; it is not first-write-wins.
+        t.set_preempt_barrier(9);
+        assert_eq!(u.preempt_barrier(), Some(9));
+        t.clear_preempt_barrier();
+        assert_eq!(u.preempt_barrier(), None);
+        // A preempt barrier is not a cancel and not a deadline.
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_passed());
+    }
+
+    #[test]
     fn reasons_have_stable_wire_names() {
         for (r, s) in [
             (CancelReason::Explicit, "explicit"),
             (CancelReason::Disconnected, "disconnected"),
             (CancelReason::Deadline, "deadline"),
             (CancelReason::Budget, "budget"),
+            (CancelReason::Preempted, "preempted"),
         ] {
             assert_eq!(r.as_str(), s);
             assert_eq!(r.to_string(), s);

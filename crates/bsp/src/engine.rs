@@ -751,16 +751,23 @@ pub fn run_controlled<P: VertexProgram>(
                 return Err(BspError::MessageBudgetExceeded { superstep, in_flight, budget });
             }
         }
-        // Soft cancel: the deterministic superstep deadline, or a
-        // wall-clock deadline with checkpointing. Acts only between
-        // supersteps, on a complete frontier; a run that just went idle
-        // completes normally instead.
+        // Soft cancel: the deterministic superstep deadline, a
+        // wall-clock deadline with checkpointing, or the scheduler's
+        // preemption barrier. Acts only between supersteps, on a
+        // complete frontier; a run that just went idle completes
+        // normally instead. A deadline outranks a preemption landing on
+        // the same barrier — there is no point yielding a slice the
+        // owner would immediately cancel. The preempted frontier is
+        // captured regardless of the `checkpoint` flag: preemption is
+        // only meaningful if the run can resume.
         if in_flight > 0 {
             if let Some(token) = cancel {
-                let due = token.superstep_deadline().is_some_and(|sd| superstep + 1 >= sd)
+                let deadline_due = token.superstep_deadline().is_some_and(|sd| superstep + 1 >= sd)
                     || (checkpoint && token.deadline_passed());
-                if due {
-                    let frontier = if checkpoint {
+                let preempt_due = !deadline_due
+                    && token.preempt_barrier().is_some_and(|sd| superstep + 1 >= sd);
+                if deadline_due || preempt_due {
+                    let frontier = if checkpoint || preempt_due {
                         Some(flatten_frontier(&pool, new_inboxes))
                     } else {
                         release_all(&pool, new_inboxes);
@@ -768,7 +775,11 @@ pub fn run_controlled<P: VertexProgram>(
                     };
                     finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
                     return Ok(RunOutcome::Cancelled(CancelledRun {
-                        reason: CancelReason::Deadline,
+                        reason: if preempt_due {
+                            CancelReason::Preempted
+                        } else {
+                            CancelReason::Deadline
+                        },
                         superstep: superstep + 1,
                         frontier,
                         worker_states: states,

@@ -138,6 +138,23 @@ impl Checkpoint {
         self.frontier.iter().map(|f| f.len() as u64).sum()
     }
 
+    /// Moves every harvested instance out of the worker snapshots,
+    /// sorted — the streaming scheduler's per-slice page. The resumed
+    /// run starts with empty harvests, so draining after each slice
+    /// partitions the full instance multiset across pages; cumulative
+    /// counts are untouched (they live in [`ExpandStats::results`]).
+    /// Returns an empty vec for count-only and per-vertex harvests.
+    pub fn drain_instances(&mut self) -> Vec<Vec<VertexId>> {
+        let mut out = Vec::new();
+        for w in &mut self.workers {
+            if let HarvestCheckpoint::Instances(buf) = &mut w.harvest {
+                out.append(buf);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Checks the guard against the inputs of the run about to resume.
     pub fn validate(&self, expected: &CheckpointGuard) -> Result<(), CheckpointError> {
         let g = &self.guard;
@@ -679,6 +696,26 @@ mod tests {
         let bytes = cp.to_bytes();
         let back = Checkpoint::from_bytes(&bytes).unwrap();
         assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn drain_instances_moves_sorts_and_empties_harvests() {
+        let mut cp = sample();
+        cp.workers[1].harvest = HarvestCheckpoint::Instances(vec![vec![1, 2, 3]]);
+        let drained = cp.drain_instances();
+        assert_eq!(drained, vec![vec![0, 1, 2], vec![1, 2, 3], vec![4, 5, 6]]);
+        for w in &cp.workers {
+            assert_eq!(w.harvest, HarvestCheckpoint::Instances(vec![]));
+        }
+        // Counts live in the stats, untouched by the drain.
+        assert_eq!(cp.workers[0].stats.results, 2);
+        assert!(cp.drain_instances().is_empty(), "second drain finds nothing");
+
+        let mut count_only = sample();
+        count_only.workers[0].harvest = HarvestCheckpoint::CountOnly;
+        count_only.workers[1].harvest = HarvestCheckpoint::PerVertex(vec![3, 1]);
+        assert!(count_only.drain_instances().is_empty());
+        assert_eq!(count_only.workers[1].harvest, HarvestCheckpoint::PerVertex(vec![3, 1]));
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub use psgl_bsp::{CancelReason, CancelToken};
 pub use runner::{
     assemble_run_stats, count_per_vertex, list_subgraphs, list_subgraphs_labeled,
     list_subgraphs_prepared, list_subgraphs_prepared_with, list_subgraphs_resumable,
-    list_subgraphs_seeded, CancelledListing, ClusterControls, ListingEnd, ListingResult,
-    RunControls, RunnerHooks, ShardSink,
+    list_subgraphs_seeded, list_subgraphs_slice, CancelledListing, ClusterControls, ListingEnd,
+    ListingResult, RunControls, RunnerHooks, ShardSink, SliceEnd,
 };
 pub use shared::{PsglError, PsglShared};
 pub use stats::{ExpandStats, RunStats};

@@ -373,6 +373,73 @@ pub fn list_subgraphs_resumable(
     }
 }
 
+/// Outcome of one bounded slice of a resumable run — see
+/// [`list_subgraphs_slice`].
+#[allow(clippy::large_enum_variant)]
+pub enum SliceEnd {
+    /// The run finished inside the slice; results are exact and final.
+    Complete(ListingResult),
+    /// The slice budget expired at a barrier. Resume the next slice by
+    /// passing `checkpoint` back in; counts and instances continue
+    /// bit-identically to an uninterrupted run.
+    Preempted {
+        /// The superstep the next slice resumes at.
+        superstep: u32,
+        /// Cumulative partial results (exact: preemption acts at a
+        /// barrier, never mid-superstep).
+        partial: ListingResult,
+        /// The resume point. Its worker harvests carry every instance
+        /// collected so far; [`Checkpoint::drain_instances`] moves them
+        /// out for streaming without disturbing counts.
+        checkpoint: Box<Checkpoint>,
+    },
+    /// Another trigger (explicit cancel, deadline, budget) beat the slice
+    /// barrier; see [`CancelledListing`].
+    Cancelled(Box<CancelledListing>),
+}
+
+/// Runs at most `slice_supersteps` supersteps of a (possibly resumed)
+/// listing run, yielding at the next barrier with a resume checkpoint —
+/// the preemptive scheduler's unit of work.
+///
+/// Arms `cancel`'s preemption barrier at `resume superstep +
+/// slice_supersteps`, runs [`list_subgraphs_resumable`], and disarms the
+/// barrier before returning. The preempted frontier is captured
+/// regardless of `controls.checkpoint` semantics for deadlines: the
+/// `checkpoint` argument here only controls whether *deadline/budget*
+/// cancels are soft (checkpointed) or hard, exactly as in
+/// [`RunControls`]. Slicing never changes the run's results: resuming
+/// from the returned checkpoint continues bit-identically.
+pub fn list_subgraphs_slice(
+    shared: &PsglShared<'_>,
+    config: &PsglConfig,
+    hooks: &RunnerHooks<'_>,
+    cancel: &CancelToken,
+    checkpoint: bool,
+    resume: Option<Checkpoint>,
+    slice_supersteps: u32,
+) -> Result<SliceEnd, PsglError> {
+    let base = resume.as_ref().map_or(0, |cp| cp.superstep);
+    cancel.set_preempt_barrier(base.saturating_add(slice_supersteps.max(1)));
+    let controls = RunControls { cancel: Some(cancel), checkpoint, resume, cluster: None };
+    let end = list_subgraphs_resumable(shared, config, hooks, controls);
+    cancel.clear_preempt_barrier();
+    match end? {
+        ListingEnd::Complete(result) => Ok(SliceEnd::Complete(result)),
+        ListingEnd::Cancelled(c) if c.reason == CancelReason::Preempted => {
+            let c = *c;
+            let checkpoint =
+                c.checkpoint.expect("a preempted run always captures its frontier");
+            Ok(SliceEnd::Preempted {
+                superstep: c.superstep,
+                partial: c.partial,
+                checkpoint: Box::new(checkpoint),
+            })
+        }
+        ListingEnd::Cancelled(c) => Ok(SliceEnd::Cancelled(c)),
+    }
+}
+
 /// Moves collected instances out of the worker harvests into the result
 /// (sorted for deterministic comparison).
 fn attach_instances(
@@ -1200,6 +1267,94 @@ mod tests {
         assert_eq!(resumed.stats.per_worker_cost, full.stats.per_worker_cost);
         assert_eq!(resumed.stats.supersteps, full.stats.supersteps);
         assert_eq!(resumed.stats.chunks_outstanding, 0);
+    }
+
+    #[test]
+    fn sliced_run_reproduces_uninterrupted_run() {
+        let g = erdos_renyi_gnm(120, 700, 21).unwrap();
+        // Generic odometer keeps the square run alive past several
+        // barriers so slicing actually preempts.
+        let config = PsglConfig::with_workers(3).collect(true).kernels(false);
+        let shared = PsglShared::prepare(&g, &catalog::square(), &config).unwrap();
+        let full = list_subgraphs_prepared(&shared, &config).unwrap();
+        assert!(full.instance_count > 0, "reference run should find squares");
+
+        let token = CancelToken::new();
+        let mut resume = None;
+        let mut preemptions = 0;
+        let finished = loop {
+            let end = list_subgraphs_slice(
+                &shared,
+                &config,
+                &RunnerHooks::default(),
+                &token,
+                false,
+                resume.take(),
+                1,
+            )
+            .unwrap();
+            match end {
+                SliceEnd::Complete(result) => break result,
+                SliceEnd::Preempted { superstep, partial, checkpoint } => {
+                    assert!(partial.instance_count <= full.instance_count);
+                    assert_eq!(checkpoint.superstep, superstep);
+                    preemptions += 1;
+                    // Through the wire format and back, as the service's
+                    // checkpoint store would do.
+                    resume = Some(Checkpoint::from_bytes(&checkpoint.to_bytes()).unwrap());
+                }
+                SliceEnd::Cancelled(c) => panic!("unexpected cancel: {:?}", c.reason),
+            }
+            assert!(preemptions < 64, "sliced run must converge");
+        };
+        assert!(preemptions >= 2, "one-superstep slices must preempt repeatedly");
+        assert_eq!(finished.instance_count, full.instance_count);
+        assert_eq!(finished.instances, full.instances);
+        assert_eq!(finished.stats.messages, full.stats.messages);
+        assert_eq!(finished.stats.supersteps, full.stats.supersteps);
+        assert_eq!(finished.stats.chunks_outstanding, 0);
+    }
+
+    #[test]
+    fn drained_slices_partition_the_instance_multiset() {
+        let g = erdos_renyi_gnm(120, 700, 21).unwrap();
+        let config = PsglConfig::with_workers(3).collect(true).kernels(false);
+        let shared = PsglShared::prepare(&g, &catalog::square(), &config).unwrap();
+        let full = list_subgraphs_prepared(&shared, &config).unwrap();
+
+        let token = CancelToken::new();
+        let mut resume = None;
+        let mut pages: Vec<Vec<psgl_graph::csr::VertexId>> = Vec::new();
+        let finished = loop {
+            let end = list_subgraphs_slice(
+                &shared,
+                &config,
+                &RunnerHooks::default(),
+                &token,
+                false,
+                resume.take(),
+                1,
+            )
+            .unwrap();
+            match end {
+                SliceEnd::Complete(result) => break result,
+                SliceEnd::Preempted { mut checkpoint, .. } => {
+                    pages.extend(checkpoint.drain_instances());
+                    resume = Some(*checkpoint);
+                }
+                SliceEnd::Cancelled(c) => panic!("unexpected cancel: {:?}", c.reason),
+            }
+        };
+        // Draining between slices never disturbs the count; the pages
+        // plus the final tail are exactly the full multiset. (With the
+        // stock expansion every instance completes at the same superstep
+        // — one pattern vertex per superstep — so mid-run drains are
+        // empty and the tail carries everything; the invariant must hold
+        // either way.)
+        assert_eq!(finished.instance_count, full.instance_count);
+        pages.extend(finished.instances.unwrap());
+        pages.sort_unstable();
+        assert_eq!(Some(pages), full.instances);
     }
 
     #[test]

@@ -159,6 +159,26 @@ impl Client {
         }
     }
 
+    /// `list` with `"stream": true`: the server emits bounded `page`
+    /// events *while the query runs* (so a million-instance answer never
+    /// buffers server-side) and finishes with a `done` line carrying the
+    /// count. `on_page` receives each `{"page":i,"instances":[..]}` in
+    /// order.
+    pub fn list_stream(
+        &mut self,
+        request: &Json,
+        mut on_page: impl FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        self.send(request)?;
+        loop {
+            let line = to_result(self.read_response()?)?;
+            if line.get("done").and_then(Json::as_bool) == Some(true) {
+                return Ok(line);
+            }
+            on_page(&line);
+        }
+    }
+
     /// `mutate`: applies one edge batch to a loaded graph. Edges are
     /// `(u, v)` pairs; either list may be empty (not both). The response
     /// carries the new `epoch`, `content_hash`, and `parent_hash`.

@@ -111,6 +111,16 @@ pub struct QuerySpec {
     /// Resume token from a previous `cancelled` response; the query
     /// continues the checkpointed run instead of starting over.
     pub resume: Option<String>,
+    /// Tenant this query bills against for fair scheduling and admission
+    /// accounting (server default tenant when absent).
+    pub tenant: Option<String>,
+    /// Scheduling weight of the tenant for this query, 1–100: a weight-2
+    /// tenant receives twice the superstep slices of a weight-1 tenant
+    /// under saturation.
+    pub weight: Option<u64>,
+    /// Stream list results as bounded `page` events instead of buffering
+    /// the full instance list into `chunk` lines after completion.
+    pub stream: bool,
 }
 
 /// One protocol request.
@@ -271,6 +281,13 @@ fn parse_query(obj: &Json) -> Result<QuerySpec, ServiceError> {
         checkpoint: flag(obj, "checkpoint")?,
         query_id: opt_str(obj, "query_id")?,
         resume: opt_str(obj, "resume")?,
+        tenant: opt_str(obj, "tenant")?,
+        weight: match opt_u64(obj, "weight")? {
+            None => None,
+            Some(w) if (1..=100).contains(&w) => Some(w),
+            Some(w) => return Err(bad(format!("weight {w} out of range (1-100)"))),
+        },
+        stream: flag(obj, "stream")?,
     })
 }
 
@@ -370,7 +387,8 @@ mod tests {
             r#"{"verb":"count","graph":"g","pattern":"cycle:5","workers":8,
                "strategy":"wa:0.3","init_vertex":2,"seed":7,"budget":100,
                "no_index":true,"no_cache":true,"timeout_ms":250,
-               "checkpoint":true,"query_id":"job-1","resume":"ckpt-0"}"#,
+               "checkpoint":true,"query_id":"job-1","resume":"ckpt-0",
+               "tenant":"acme","weight":3}"#,
         )
         .unwrap();
         match req {
@@ -389,8 +407,36 @@ mod tests {
                 assert!(q.checkpoint);
                 assert_eq!(q.query_id.as_deref(), Some("job-1"));
                 assert_eq!(q.resume.as_deref(), Some("ckpt-0"));
+                assert_eq!(q.tenant.as_deref(), Some("acme"));
+                assert_eq!(q.weight, Some(3));
+                assert!(!q.stream);
             }
             other => panic!("expected count, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_streamed_list_and_rejects_bad_weights() {
+        match Request::parse_line(
+            r#"{"verb":"list","graph":"g","pattern":"triangle","stream":true,"chunk":5}"#,
+        )
+        .unwrap()
+        {
+            Request::List { query, chunk } => {
+                assert!(query.stream);
+                assert_eq!(query.tenant, None);
+                assert_eq!(query.weight, None);
+                assert_eq!(chunk, Some(5));
+            }
+            other => panic!("expected list, got {other:?}"),
+        }
+        for line in [
+            r#"{"verb":"count","graph":"g","pattern":"triangle","weight":0}"#,
+            r#"{"verb":"count","graph":"g","pattern":"triangle","weight":101}"#,
+        ] {
+            let err = Request::parse_line(line).unwrap_err();
+            assert_eq!(err.code(), "bad_request", "{line}");
+            assert!(err.to_string().contains("weight"), "{line} -> {err}");
         }
     }
 

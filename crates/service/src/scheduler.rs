@@ -1,36 +1,80 @@
-//! Job scheduler: a bounded admission queue in front of a fixed worker
-//! pool.
+//! Preemptive, deadline-aware weighted-fair scheduler.
 //!
-//! Admission control is the service-level analogue of the paper's
-//! simulated memory budget: rather than letting concurrent queries pile
-//! up unboundedly (and letting tail latency grow without bound), the
-//! queue holds at most `queue_cap` jobs and [`Scheduler::submit`] fails
-//! fast with [`ServiceError::Overloaded`] when it is full. Within a job,
-//! the per-query Gpsi budget turns the engine's simulated OOM into a
-//! graceful `budget_exceeded` response instead of a dead server.
+//! Queries are decomposed into *superstep slices* via the engine's
+//! checkpoint seam ([`list_subgraphs_slice`]): a worker runs at most
+//! `slice_supersteps` supersteps of a query, then the run yields at the
+//! barrier with a resume checkpoint and goes back to the run queue, so
+//! slices of many concurrent queries interleave over the shared pool and
+//! one giant scan can no longer hold a worker end-to-end.
+//!
+//! The run queue orders by `(class, key, seq)`:
+//!
+//! - **class 0** — queries with a wall-clock deadline (`timeout_ms`),
+//!   ordered earliest-deadline-first. A deadline is an urgency statement;
+//!   boosting these is what lets short interactive queries overtake long
+//!   scans, and what turns an already-expired deadline into a prompt
+//!   `cancelled` instead of a 40-second queue wait.
+//! - **class 1** — everything else, ordered by weighted virtual time:
+//!   each slice charges its tenant `supersteps × SCALE / weight`, so a
+//!   weight-2 tenant's virtual clock advances half as fast and it receives
+//!   twice the slices under saturation. A tenant (re)entering the queue
+//!   starts at the global virtual-time floor — idling banks no credit.
+//!
+//! Admission control is unchanged from the FIFO scheduler it replaces:
+//! at most `queue_cap` tasks may *wait* (running tasks are not counted)
+//! and [`Scheduler::submit`] fails fast with [`ServiceError::Overloaded`]
+//! beyond that. Preempted tasks re-enter the queue without re-admission —
+//! they were already admitted, so the queue may transiently exceed
+//! `queue_cap` and new arrivals bounce instead.
+//!
+//! Slicing never changes results: resume is bit-identical, so a query
+//! preempted N times returns exactly the counts, instances, and resume
+//! semantics of an uninterrupted run. Hard triggers (explicit cancel,
+//! disconnect, non-checkpoint deadline) still abort mid-slice through the
+//! shared [`CancelToken`]; budget and checkpointed-deadline suspends
+//! still produce client-facing resume tokens.
 
 use crate::cache::{canonical_pattern, config_fingerprint, CachedQuery, ResultKey};
 use crate::error::ServiceError;
-use crate::protocol::QuerySpec;
+use crate::json::Json;
+use crate::protocol::{ok_response, QuerySpec};
 use crate::state::ServiceState;
 use psgl_core::{
-    list_subgraphs_resumable, CancelToken, Checkpoint, ListingEnd, PsglConfig, PsglError,
-    PsglShared, RunControls, RunnerHooks,
+    list_subgraphs_resumable, list_subgraphs_slice, CancelReason, CancelToken, Checkpoint,
+    ListingEnd, PsglConfig, PsglError, PsglShared, RunControls, RunnerHooks, SliceEnd,
 };
 use psgl_graph::VertexId;
 use psgl_pattern::PatternVertex;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default supersteps per slice. Small enough that a giant scan yields
+/// its worker every few hundred milliseconds on large graphs; large
+/// enough that short queries pay at most one extra engine start.
+pub const DEFAULT_SLICE_SUPERSTEPS: u32 = 2;
+
+/// Tenant billed when a query names none.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Virtual-time resolution: one superstep at weight 1 advances a
+/// tenant's clock by this much.
+const VTIME_SCALE: u64 = 1 << 20;
+
+/// How long a worker naps when a streaming client's page channel is full
+/// before re-checking for cancellation.
+const PAGE_BACKOFF: Duration = Duration::from_millis(1);
 
 /// Outcome of a successful query (count or list).
 #[derive(Clone, Debug)]
 pub struct QueryOutcome {
     /// Instances found.
     pub count: u64,
-    /// Collected instance tuples (list queries only).
+    /// Collected instance tuples (list queries only; `None` after the
+    /// instances were streamed out as pages).
     pub instances: Option<Arc<Vec<Vec<VertexId>>>>,
     /// Whether the result came from the result cache.
     pub cache_hit: bool,
@@ -46,10 +90,29 @@ pub struct QueryOutcome {
     pub init_vertex: PatternVertex,
     /// Selection rule, rendered.
     pub selection_rule: String,
-    /// Wall-clock milliseconds this job took (lookup or run).
+    /// Wall-clock milliseconds from admission to completion (queue wait
+    /// and preempted waits included).
     pub wall_ms: f64,
     /// Whether this outcome completed a resumed (checkpointed) run.
     pub resumed: bool,
+    /// Superstep slices this query ran on the pool (0 on a cache hit).
+    pub slices: u64,
+    /// Of `slices`, how many ended in preemption.
+    pub preemptions: u64,
+    /// Page events streamed for this query (`stream: true` lists only).
+    pub pages: u64,
+}
+
+/// Where a `stream: true` list query's page events go. The worker builds
+/// full `{"ok":true,"page":N,"instances":[...]}` lines and pushes them
+/// through the bounded channel; the connection thread writes them in
+/// order. A full channel is backpressure (the worker naps and re-checks
+/// the cancel token); a closed one means the client is gone.
+pub struct StreamSink {
+    /// Bounded page-event channel.
+    pub tx: SyncSender<Json>,
+    /// Instances per page event.
+    pub chunk: usize,
 }
 
 /// One admitted query job.
@@ -63,106 +126,539 @@ pub struct Job {
     pub token: CancelToken,
     /// Where the worker sends the outcome.
     pub reply: std::sync::mpsc::Sender<Result<QueryOutcome, ServiceError>>,
+    /// Page-event sink for `stream: true` list queries.
+    pub stream: Option<StreamSink>,
 }
 
-/// Bounded admission queue + worker pool.
-pub struct Scheduler {
-    tx: Mutex<Option<SyncSender<Job>>>,
-    queue_cap: usize,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+/// One admitted query's scheduling state, alive across slices.
+struct Task {
+    seq: u64,
+    query: Arc<QuerySpec>,
+    job: Job,
+    tenant: String,
+    weight: u64,
+    /// Absolute deadline in microseconds since the scheduler epoch
+    /// (class-0 EDF key); `None` puts the task in the weighted class.
+    deadline_key: Option<u64>,
+    /// In-memory resume point between slices.
+    resume: Option<Box<Checkpoint>>,
+    /// Whether the query redeemed a client resume token.
+    client_resumed: bool,
+    /// Whether the (single-use) resume token was already taken.
+    resume_redeemed: bool,
+    slices: u64,
+    preemptions: u64,
+    pages: u64,
+    /// Instances already streamed out as pages.
+    streamed: u64,
+    /// Superstep the next slice resumes at (0 before the first).
+    last_superstep: u32,
+    partial_count: u64,
+    admitted_at: Instant,
+}
+
+#[derive(Default)]
+struct RunQueue {
+    /// `(class, key, seq)` — BTreeSet iteration order is the dispatch
+    /// order: expired/near deadlines first, then lowest virtual time.
+    ready: BTreeSet<(u8, u64, u64)>,
+    tasks: HashMap<u64, Task>,
+    /// Per-tenant virtual clocks (authoritative; mirrored into
+    /// [`ServiceState::tenants`] for the stats verb).
+    vtimes: HashMap<String, u64>,
+    /// Largest class-1 key ever dispatched: tenants (re)enter at or
+    /// above this, so idle time banks no credit.
+    vfloor: u64,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct SchedShared {
     state: Arc<ServiceState>,
-    // Keeps the channel connected even with an empty pool (pool 0 would
-    // otherwise drop the sole receiver and reject everything); shutdown
-    // drains it so stranded jobs still get a reply.
-    rx: Arc<Mutex<Receiver<Job>>>,
+    queue_cap: usize,
+    slice_supersteps: u32,
+    epoch: Instant,
+    queue: Mutex<RunQueue>,
+    ready_cond: Condvar,
+}
+
+/// Preemptive weighted-fair run queue + worker pool.
+pub struct Scheduler {
+    shared: Arc<SchedShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Scheduler {
-    /// Starts `pool` worker threads behind a queue of `queue_cap` jobs.
+    /// Starts `pool` worker threads with the default slice length.
     /// (`pool` 0 is allowed — jobs queue but never execute — and exists
     /// for deterministic admission tests.)
     pub fn start(state: Arc<ServiceState>, pool: usize, queue_cap: usize) -> Scheduler {
-        let queue_cap = queue_cap.max(1);
-        let (tx, rx) = sync_channel::<Job>(queue_cap);
-        let rx = Arc::new(Mutex::new(rx));
+        Scheduler::start_with(state, pool, queue_cap, DEFAULT_SLICE_SUPERSTEPS)
+    }
+
+    /// Starts the pool with an explicit slice length (supersteps per
+    /// slice; 1 = finest interleaving).
+    pub fn start_with(
+        state: Arc<ServiceState>,
+        pool: usize,
+        queue_cap: usize,
+        slice_supersteps: u32,
+    ) -> Scheduler {
+        let shared = Arc::new(SchedShared {
+            state,
+            queue_cap: queue_cap.max(1),
+            slice_supersteps: slice_supersteps.max(1),
+            epoch: Instant::now(),
+            queue: Mutex::new(RunQueue::default()),
+            ready_cond: Condvar::new(),
+        });
         let workers = (0..pool)
             .map(|i| {
-                let rx = Arc::clone(&rx);
-                let state = Arc::clone(&state);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("psgl-worker-{i}"))
-                    .spawn(move || worker_loop(&state, &rx))
+                    .spawn(move || worker_loop(&shared))
                     .expect("spawn worker thread")
             })
             .collect();
-        Scheduler { tx: Mutex::new(Some(tx)), queue_cap, workers: Mutex::new(workers), state, rx }
+        Scheduler { shared, workers: Mutex::new(workers) }
     }
 
-    /// Admits a job, or rejects immediately when the queue is full
-    /// (backpressure) or the scheduler is shutting down.
+    /// Admits a job, or rejects immediately when too many tasks are
+    /// already waiting (backpressure) or the scheduler is shutting down.
     pub fn submit(&self, job: Job) -> Result<(), ServiceError> {
-        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
-        let Some(tx) = guard.as_ref() else {
+        let tenant =
+            job.query.tenant.clone().unwrap_or_else(|| DEFAULT_TENANT.to_string());
+        let weight = job.query.weight.unwrap_or(1).max(1);
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.shutdown {
             return Err(ServiceError::ShuttingDown);
-        };
-        match tx.try_send(job) {
-            Ok(()) => {
-                self.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(TrySendError::Full(_)) => {
-                Err(ServiceError::Overloaded { queue_cap: self.queue_cap })
-            }
-            Err(TrySendError::Disconnected(_)) => Err(ServiceError::ShuttingDown),
         }
+        if q.ready.len() >= self.shared.queue_cap {
+            drop(q);
+            self.shared.state.tenants.update(&tenant, |a| a.rejected += 1);
+            return Err(ServiceError::Overloaded { queue_cap: self.shared.queue_cap });
+        }
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        let deadline_key = job.query.timeout_ms.map(|ms| {
+            (self.shared.epoch.elapsed() + Duration::from_millis(ms)).as_micros() as u64
+        });
+        let task = Task {
+            seq,
+            query: Arc::new(job.query.clone()),
+            job,
+            tenant: tenant.clone(),
+            weight,
+            deadline_key,
+            resume: None,
+            client_resumed: false,
+            resume_redeemed: false,
+            slices: 0,
+            preemptions: 0,
+            pages: 0,
+            streamed: 0,
+            last_superstep: 0,
+            partial_count: 0,
+            admitted_at: Instant::now(),
+        };
+        let vtime = enqueue(&mut q, task);
+        drop(q);
+        self.shared.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.shared.state.tenants.update(&tenant, |a| {
+            a.admitted += 1;
+            a.active += 1;
+            a.weight = weight;
+            a.vtime = a.vtime.max(vtime);
+        });
+        self.shared.ready_cond.notify_one();
+        Ok(())
     }
 
-    /// Stops admitting, lets the workers drain queued jobs, and joins
-    /// them; anything still queued afterwards (an empty pool) is answered
-    /// with `shutting_down` so no client blocks forever.
+    /// Stops admitting, lets the workers drain every admitted task to
+    /// completion, and joins them; anything still queued afterwards (an
+    /// empty pool) is answered with `shutting_down` so no client blocks
+    /// forever.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+        }
+        self.shared.ready_cond.notify_all();
         let handles: Vec<_> =
             self.workers.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
-        while let Ok(job) = self.rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv() {
-            self.state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(ServiceError::ShuttingDown));
+        let stranded: Vec<Task> = {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.ready.clear();
+            q.tasks.drain().map(|(_, t)| t).collect()
+        };
+        for task in stranded {
+            self.shared.state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            finish_accounting(&self.shared.state, &task);
+            let _ = task.job.reply.send(Err(ServiceError::ShuttingDown));
         }
     }
 }
 
-fn worker_loop(state: &ServiceState, rx: &Mutex<Receiver<Job>>) {
+/// Inserts a task into the ready set and reserves one slice against its
+/// tenant's virtual clock: the task's fair key is the tenant's virtual
+/// *finish* time `max(vtime, vfloor) + SCALE/weight`, so a tenant's
+/// queued slices stack on its own clock (weight-2 stacks half as fast)
+/// instead of all entering at the floor and bursting through FIFO.
+/// Deadline tasks keep their EDF key but still advance the clock, so a
+/// tenant cannot dodge its share by stamping deadlines on everything.
+/// Caller holds the queue lock and owns the queue-depth increment;
+/// returns the tenant's new virtual time for the stats mirror.
+fn enqueue(q: &mut RunQueue, task: Task) -> u64 {
+    let floor = q.vfloor;
+    let v = q.vtimes.entry(task.tenant.clone()).or_insert(floor);
+    let finish = (*v).max(floor) + VTIME_SCALE / task.weight.max(1);
+    *v = finish;
+    let key = match task.deadline_key {
+        Some(d) => (0u8, d, task.seq),
+        None => (1u8, finish, task.seq),
+    };
+    q.ready.insert(key);
+    q.tasks.insert(task.seq, task);
+    finish
+}
+
+fn finish_accounting(state: &ServiceState, task: &Task) {
+    state.tenants.update(&task.tenant, |a| {
+        a.finished += 1;
+        a.active = a.active.saturating_sub(1);
+    });
+}
+
+fn worker_loop(shared: &SchedShared) {
     loop {
-        // Hold the receiver lock only while dequeuing, not while running.
-        let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
-            Ok(job) => job,
-            Err(_) => return, // all senders dropped: shutdown
+        let mut task = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(&key) = q.ready.iter().next() {
+                    q.ready.remove(&key);
+                    let (class, k, seq) = key;
+                    if class == 1 {
+                        q.vfloor = q.vfloor.max(k);
+                    }
+                    break q.tasks.remove(&seq).expect("ready task is registered");
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready_cond.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
         };
-        state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        // A job cancelled while still queued (disconnect, cancel verb)
-        // frees its worker immediately instead of running the engine.
-        if let Some(reason) = job.token.reason() {
-            let _ = job.reply.send(Err(ServiceError::Cancelled {
+        shared.state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // A task cancelled while waiting (disconnect, cancel verb) frees
+        // its slot without running the engine; partial progress from
+        // earlier slices is reported but not resumable.
+        if let Some(reason) = task.job.token.reason() {
+            finish_accounting(&shared.state, &task);
+            let _ = task.job.reply.send(Err(ServiceError::Cancelled {
                 reason,
-                superstep: 0,
-                partial_count: 0,
+                superstep: task.last_superstep,
+                partial_count: task.partial_count,
                 resume_token: None,
             }));
             continue;
         }
-        state.stats.running.fetch_add(1, Ordering::Relaxed);
-        let outcome = execute_query(state, &job.query, job.collect, &job.token);
-        state.stats.running.fetch_sub(1, Ordering::Relaxed);
-        // The client may have disconnected while waiting; nothing to do.
-        let _ = job.reply.send(outcome);
+        shared.state.stats.running.fetch_add(1, Ordering::Relaxed);
+        let step = run_slice(&shared.state, &mut task, shared.slice_supersteps);
+        shared.state.stats.running.fetch_sub(1, Ordering::Relaxed);
+        match step {
+            SliceStep::Yield => {
+                let tenant = task.tenant.clone();
+                let vtime = {
+                    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    enqueue(&mut q, task)
+                };
+                shared.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                // The mirror write races other slices of the same tenant,
+                // but vtime is monotonic so the snapshot stays sane.
+                shared.state.tenants.update(&tenant, |a| a.vtime = a.vtime.max(vtime));
+                shared.ready_cond.notify_one();
+            }
+            SliceStep::Done(result) => {
+                finish_accounting(&shared.state, &task);
+                let _ = task.job.reply.send(result);
+            }
+        }
+    }
+}
+
+enum SliceStep {
+    /// The slice was preempted; the task goes back to the run queue.
+    Yield,
+    /// The query is finished (success or error) — reply and retire.
+    Done(Result<QueryOutcome, ServiceError>),
+}
+
+fn done(result: Result<QueryOutcome, ServiceError>) -> SliceStep {
+    SliceStep::Done(result)
+}
+
+/// Runs one slice of `task` on the calling worker thread.
+fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> SliceStep {
+    let query = Arc::clone(&task.query);
+    let Some(entry) = state.catalog.get(&query.graph) else {
+        return done(Err(ServiceError::GraphNotFound(query.graph.clone())));
+    };
+    // A resume token buys back the suspended run's checkpoint, once, on
+    // the first slice. Tokens are single-use: the bytes leave the store
+    // here, and a failed decode or guard mismatch is the client's error.
+    if !task.resume_redeemed {
+        task.resume_redeemed = true;
+        if let Some(tok) = &query.resume {
+            let Some(bytes) = state.checkpoints.take(tok) else {
+                return done(Err(ServiceError::BadRequest(format!(
+                    "unknown or expired resume token {tok:?}"
+                ))));
+            };
+            match Checkpoint::from_bytes(&bytes) {
+                Ok(cp) => {
+                    task.last_superstep = cp.superstep;
+                    task.resume = Some(Box::new(cp));
+                    task.client_resumed = true;
+                }
+                Err(e) => return done(Err(ServiceError::from(PsglError::from(e)))),
+            }
+        }
+    }
+    let config = query_config(state, &query, task.job.collect);
+    let key = ResultKey {
+        graph_hash: entry.content_hash,
+        pattern: canonical_pattern(&query.pattern),
+        config_fp: config_fingerprint(&config),
+    };
+    // A resumed run continues mid-flight state; the cache only answers
+    // whole queries, so resumes bypass it in both directions.
+    if task.slices == 0 && !query.no_cache && task.resume.is_none() {
+        if let Some(cached) = state.results.get(&key) {
+            let mut outcome = QueryOutcome {
+                count: cached.count,
+                instances: cached.instances.clone(),
+                cache_hit: true,
+                plan_cache_hit: true,
+                gpsis_generated: cached.gpsis_generated,
+                pruned: cached.pruned,
+                supersteps: cached.supersteps,
+                init_vertex: cached.init_vertex,
+                selection_rule: cached.selection_rule.clone(),
+                wall_ms: task.admitted_at.elapsed().as_secs_f64() * 1e3,
+                resumed: false,
+                slices: 0,
+                preemptions: 0,
+                pages: 0,
+            };
+            if let Err(e) = stream_outcome_pages(state, task, &mut outcome) {
+                return done(Err(e));
+            }
+            return done(Ok(outcome));
+        }
+    }
+    let (plan, plan_cache_hit) =
+        match state.plans.get_or_prepare(entry.content_hash, &query.pattern, &config, &entry.histogram)
+        {
+            Ok(p) => p,
+            Err(e) => return done(Err(ServiceError::from(e))),
+        };
+    let index = config.use_edge_index.then(|| Arc::clone(&entry.index));
+    let shared = PsglShared::from_parts(&entry.graph, Arc::clone(&entry.ordered), index, &plan);
+    let end = list_subgraphs_slice(
+        &shared,
+        &config,
+        &RunnerHooks::default(),
+        &task.job.token,
+        query.checkpoint,
+        task.resume.take().map(|b| *b),
+        slice_supersteps,
+    );
+    task.slices += 1;
+    state.stats.slices.fetch_add(1, Ordering::Relaxed);
+    state.tenants.update(&task.tenant, |a| a.slices += 1);
+    match end {
+        Err(e) => done(Err(ServiceError::from(e))),
+        Ok(SliceEnd::Complete(result)) => {
+            state.stats.record_run(&result.stats);
+            let mut outcome = QueryOutcome {
+                count: result.instance_count,
+                instances: result.instances.map(Arc::new),
+                cache_hit: false,
+                plan_cache_hit,
+                gpsis_generated: result.stats.expand.generated,
+                pruned: result.stats.expand.total_pruned(),
+                supersteps: result.stats.supersteps,
+                init_vertex: result.init_vertex,
+                selection_rule: format!("{:?}", result.selection_rule),
+                wall_ms: task.admitted_at.elapsed().as_secs_f64() * 1e3,
+                resumed: task.client_resumed,
+                slices: task.slices,
+                preemptions: task.preemptions,
+                pages: task.pages,
+            };
+            // Only whole, never-drained runs are cacheable: a streamed
+            // run that shipped pages mid-flight no longer holds the full
+            // instance list, and a client-resumed run is a fragment.
+            if !query.no_cache && !task.client_resumed && task.streamed == 0 {
+                state.results.insert(
+                    key,
+                    CachedQuery {
+                        count: outcome.count,
+                        instances: outcome.instances.clone(),
+                        gpsis_generated: outcome.gpsis_generated,
+                        pruned: outcome.pruned,
+                        supersteps: outcome.supersteps,
+                        init_vertex: outcome.init_vertex,
+                        selection_rule: outcome.selection_rule.clone(),
+                        pattern: query.pattern.clone(),
+                        config: config.clone(),
+                    },
+                );
+            }
+            if let Err(e) = stream_outcome_pages(state, task, &mut outcome) {
+                return done(Err(e));
+            }
+            SliceStep::Done(Ok(outcome))
+        }
+        Ok(SliceEnd::Preempted { superstep, partial, mut checkpoint }) => {
+            task.last_superstep = superstep;
+            task.partial_count = partial.instance_count;
+            task.preemptions += 1;
+            state.stats.preemptions.fetch_add(1, Ordering::Relaxed);
+            state.tenants.update(&task.tenant, |a| a.preemptions += 1);
+            if task.job.stream.is_some() {
+                let drained = checkpoint.drain_instances();
+                if let Err(e) = emit_pages(state, task, &drained) {
+                    return done(Err(e));
+                }
+            }
+            task.resume = Some(checkpoint);
+            SliceStep::Yield
+        }
+        Ok(SliceEnd::Cancelled(c)) => {
+            // Partial engine work still happened; keep the server-wide
+            // counters honest before reporting the cancellation. (The
+            // partial stats are cumulative across this task's slices, so
+            // they are recorded exactly once, here.)
+            state.stats.record_run(&c.partial.stats);
+            let resume_token =
+                c.checkpoint.as_ref().map(|cp| state.checkpoints.put(cp.to_bytes()));
+            done(Err(ServiceError::Cancelled {
+                reason: c.reason,
+                superstep: c.superstep,
+                partial_count: c.partial.instance_count,
+                resume_token,
+            }))
+        }
+    }
+}
+
+/// Streams a finished outcome's instances out as pages (no-op for
+/// non-streamed jobs) and strips them from the reply — the done line
+/// carries only the count.
+fn stream_outcome_pages(
+    state: &ServiceState,
+    task: &mut Task,
+    outcome: &mut QueryOutcome,
+) -> Result<(), ServiceError> {
+    if task.job.stream.is_none() {
+        return Ok(());
+    }
+    if let Some(instances) = outcome.instances.take() {
+        emit_pages(state, task, &instances)?;
+    }
+    outcome.pages = task.pages;
+    Ok(())
+}
+
+/// Pushes `instances` through the task's page sink in bounded chunks.
+/// Blocks with backpressure when the client reads slowly; aborts when
+/// the client disconnects (channel closed or token cancelled).
+fn emit_pages(
+    state: &ServiceState,
+    task: &mut Task,
+    instances: &[Vec<VertexId>],
+) -> Result<(), ServiceError> {
+    let Some(sink) = &task.job.stream else { return Ok(()) };
+    if instances.is_empty() {
+        return Ok(());
+    }
+    let chunk = sink.chunk.max(1);
+    let tx = sink.tx.clone();
+    for block in instances.chunks(chunk) {
+        let mut line = ok_response([
+            ("page", Json::from(task.pages)),
+            (
+                "instances",
+                Json::Arr(
+                    block
+                        .iter()
+                        .map(|inst| {
+                            Json::Arr(inst.iter().map(|&v| Json::from(u64::from(v))).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        loop {
+            match tx.try_send(line) {
+                Ok(()) => break,
+                Err(TrySendError::Full(l)) => {
+                    if task.job.token.is_cancelled() {
+                        return Err(stream_abort(task));
+                    }
+                    line = l;
+                    std::thread::sleep(PAGE_BACKOFF);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    task.job.token.cancel(CancelReason::Disconnected);
+                    return Err(stream_abort(task));
+                }
+            }
+        }
+        task.pages += 1;
+        task.streamed += block.len() as u64;
+        state.stats.pages_streamed.fetch_add(1, Ordering::Relaxed);
+        state.tenants.update(&task.tenant, |a| a.pages += 1);
+    }
+    Ok(())
+}
+
+fn stream_abort(task: &Task) -> ServiceError {
+    ServiceError::Cancelled {
+        reason: task.job.token.reason().unwrap_or(CancelReason::Disconnected),
+        superstep: task.last_superstep,
+        partial_count: task.partial_count,
+        resume_token: None,
+    }
+}
+
+/// Materializes a query's engine configuration against server defaults.
+fn query_config(state: &ServiceState, query: &QuerySpec, collect: bool) -> PsglConfig {
+    let config = PsglConfig {
+        workers: query.workers.unwrap_or(state.defaults.workers).max(1),
+        init_vertex: query.init_vertex,
+        break_automorphisms: query.break_automorphisms,
+        use_edge_index: query.use_index,
+        collect_instances: collect,
+        gpsi_budget: query.budget.or(state.defaults.budget),
+        seed: query.seed.unwrap_or(state.defaults.seed),
+        ..PsglConfig::default()
+    };
+    match query.strategy {
+        Some(strategy) => PsglConfig { strategy, ..config },
+        None => config,
     }
 }
 
 /// Resolves a query against the catalog and caches, running the engine
-/// only when the result cache misses.
+/// in one unsliced shot. This is the non-preemptive path the sliced
+/// scheduler is built from; kept for embedders and tests that want a
+/// query answered on the calling thread.
 pub fn execute_query(
     state: &ServiceState,
     query: &QuerySpec,
@@ -174,9 +670,6 @@ pub fn execute_query(
         .catalog
         .get(&query.graph)
         .ok_or_else(|| ServiceError::GraphNotFound(query.graph.clone()))?;
-    // A resume token buys back the suspended run's checkpoint. Tokens are
-    // single-use: the bytes leave the store here, and a failed decode or
-    // guard mismatch is the client's error.
     let resume_checkpoint = match &query.resume {
         Some(tok) => {
             let bytes = state.checkpoints.take(tok).ok_or_else(|| {
@@ -188,27 +681,12 @@ pub fn execute_query(
         }
         None => None,
     };
-    let config = PsglConfig {
-        workers: query.workers.unwrap_or(state.defaults.workers).max(1),
-        init_vertex: query.init_vertex,
-        break_automorphisms: query.break_automorphisms,
-        use_edge_index: query.use_index,
-        collect_instances: collect,
-        gpsi_budget: query.budget.or(state.defaults.budget),
-        seed: query.seed.unwrap_or(state.defaults.seed),
-        ..PsglConfig::default()
-    };
-    let config = match query.strategy {
-        Some(strategy) => PsglConfig { strategy, ..config },
-        None => config,
-    };
+    let config = query_config(state, query, collect);
     let key = ResultKey {
         graph_hash: entry.content_hash,
         pattern: canonical_pattern(&query.pattern),
         config_fp: config_fingerprint(&config),
     };
-    // A resumed run continues mid-flight state; the cache only answers
-    // whole queries, so resumes bypass it in both directions.
     if !query.no_cache && resume_checkpoint.is_none() {
         if let Some(cached) = state.results.get(&key) {
             return Ok(QueryOutcome {
@@ -223,6 +701,9 @@ pub fn execute_query(
                 selection_rule: cached.selection_rule.clone(),
                 wall_ms: start.elapsed().as_secs_f64() * 1e3,
                 resumed: false,
+                slices: 0,
+                preemptions: 0,
+                pages: 0,
             });
         }
     }
@@ -244,8 +725,6 @@ pub fn execute_query(
     let result = match end {
         ListingEnd::Complete(result) => result,
         ListingEnd::Cancelled(c) => {
-            // Partial engine work still happened; keep the server-wide
-            // counters honest before reporting the cancellation.
             state.stats.record_run(&c.partial.stats);
             let resume_token = c.checkpoint.as_ref().map(|cp| state.checkpoints.put(cp.to_bytes()));
             return Err(ServiceError::Cancelled {
@@ -269,6 +748,9 @@ pub fn execute_query(
         selection_rule: format!("{:?}", result.selection_rule),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         resumed,
+        slices: 1,
+        preemptions: 0,
+        pages: 0,
     };
     if !query.no_cache && !resumed {
         state.results.insert(
@@ -295,7 +777,6 @@ mod tests {
     use crate::loader::GraphFormat;
     use crate::protocol::parse_pattern_spec;
     use crate::state::QueryDefaults;
-    use psgl_core::CancelReason;
     use std::sync::mpsc::channel;
 
     fn karate_state() -> Arc<ServiceState> {
@@ -321,7 +802,14 @@ mod tests {
             checkpoint: false,
             query_id: None,
             resume: None,
+            tenant: None,
+            weight: None,
+            stream: false,
         }
+    }
+
+    fn job(query: QuerySpec, reply: std::sync::mpsc::Sender<Result<QueryOutcome, ServiceError>>) -> Job {
+        Job { query, collect: false, token: CancelToken::new(), reply, stream: None }
     }
 
     #[test]
@@ -376,6 +864,24 @@ mod tests {
     }
 
     #[test]
+    fn sliced_budget_maps_to_the_same_protocol_error() {
+        // The sliced path must report a non-checkpoint budget overrun as
+        // budget_exceeded, exactly like the unsliced path — not as a
+        // preemption artifact.
+        let state = karate_state();
+        let scheduler = Scheduler::start_with(Arc::clone(&state), 1, 4, 1);
+        let mut q = triangle_query();
+        q.budget = Some(1);
+        let (tx, rx) = channel();
+        scheduler.submit(job(q, tx)).unwrap();
+        match rx.recv().unwrap() {
+            Err(ServiceError::BudgetExceeded { budget: 1, .. }) => {}
+            other => panic!("expected budget_exceeded, got {:?}", other.map(|o| o.count)),
+        }
+        scheduler.shutdown();
+    }
+
+    #[test]
     fn list_collects_instances_and_shares_them_via_cache() {
         let state = karate_state();
         let out = execute_query(&state, &triangle_query(), true, &CancelToken::new()).unwrap();
@@ -395,52 +901,28 @@ mod tests {
         // Real pool: jobs execute and reply.
         let scheduler = Scheduler::start(Arc::clone(&state), 2, 4);
         let (tx, rx) = channel();
-        scheduler
-            .submit(Job {
-                query: triangle_query(),
-                collect: false,
-                token: CancelToken::new(),
-                reply: tx,
-            })
-            .unwrap();
+        scheduler.submit(job(triangle_query(), tx)).unwrap();
         let outcome = rx.recv().unwrap().unwrap();
         assert_eq!(outcome.count, 45);
+        assert!(outcome.slices >= 1);
         scheduler.shutdown();
         assert_eq!(
-            scheduler
-                .submit(Job {
-                    query: triangle_query(),
-                    collect: false,
-                    token: CancelToken::new(),
-                    reply: channel().0
-                })
-                .unwrap_err()
-                .code(),
+            scheduler.submit(job(triangle_query(), channel().0)).unwrap_err().code(),
             "shutting_down"
         );
 
         // Zero workers: the queue fills deterministically, then rejects.
         let stalled = Scheduler::start(Arc::clone(&state), 0, 2);
         for _ in 0..2 {
-            stalled
-                .submit(Job {
-                    query: triangle_query(),
-                    collect: false,
-                    token: CancelToken::new(),
-                    reply: channel().0,
-                })
-                .unwrap();
+            stalled.submit(job(triangle_query(), channel().0)).unwrap();
         }
-        let err = stalled
-            .submit(Job {
-                query: triangle_query(),
-                collect: false,
-                token: CancelToken::new(),
-                reply: channel().0,
-            })
-            .unwrap_err();
+        let err = stalled.submit(job(triangle_query(), channel().0)).unwrap_err();
         assert_eq!(err.code(), "overloaded");
         assert!(matches!(err, ServiceError::Overloaded { queue_cap: 2 }));
+        // The default tenant saw two admissions and one rejection.
+        let account = state.tenants.get(DEFAULT_TENANT).unwrap();
+        assert_eq!(account.rejected, 1);
+        assert!(account.admitted >= 2);
         stalled.shutdown();
     }
 
@@ -452,7 +934,13 @@ mod tests {
         token.cancel(CancelReason::Disconnected);
         let (tx, rx) = channel();
         scheduler
-            .submit(Job { query: triangle_query(), collect: false, token, reply: tx })
+            .submit(Job {
+                query: triangle_query(),
+                collect: false,
+                token,
+                reply: tx,
+                stream: None,
+            })
             .unwrap();
         match rx.recv().unwrap() {
             Err(ServiceError::Cancelled { reason, partial_count: 0, .. }) => {
@@ -486,11 +974,15 @@ mod tests {
         };
         assert_eq!(state.checkpoints.len(), 1);
 
-        // Resuming completes the query with the uninterrupted answer.
+        // Resuming completes the query with the uninterrupted answer —
+        // through the sliced scheduler, which is how the server resumes.
+        let scheduler = Scheduler::start_with(Arc::clone(&state), 1, 4, 1);
         let mut resume = triangle_query();
         resume.no_cache = true;
         resume.resume = Some(token.clone());
-        let out = execute_query(&state, &resume, false, &CancelToken::new()).unwrap();
+        let (tx, rx) = channel();
+        scheduler.submit(job(resume, tx)).unwrap();
+        let out = rx.recv().unwrap().unwrap();
         assert_eq!(out.count, 45);
         assert!(out.resumed);
         assert!(out.supersteps as u64 >= u64::from(superstep));
@@ -499,9 +991,35 @@ mod tests {
         // Replaying the token fails cleanly.
         let mut replay = triangle_query();
         replay.resume = Some(token);
+        let (tx, rx) = channel();
+        scheduler.submit(job(replay, tx)).unwrap();
+        assert_eq!(rx.recv().unwrap().unwrap_err().code(), "bad_request");
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn sliced_runs_preempt_and_still_match_the_unsliced_answer() {
+        let state = karate_state();
+        // One-superstep slices force several preemptions per query; the
+        // final count must equal the unsliced run's.
+        let scheduler = Scheduler::start_with(Arc::clone(&state), 1, 8, 1);
+        let mut q = triangle_query();
+        q.no_cache = true;
+        let (tx, rx) = channel();
+        scheduler.submit(job(q, tx)).unwrap();
+        let out = rx.recv().unwrap().unwrap();
+        assert_eq!(out.count, 45);
+        assert!(out.preemptions >= 1, "one-superstep slices must preempt: {out:?}");
+        assert_eq!(out.slices, out.preemptions + 1);
         assert_eq!(
-            execute_query(&state, &replay, false, &CancelToken::new()).unwrap_err().code(),
-            "bad_request"
+            state.stats.preemptions.load(Ordering::Relaxed),
+            out.preemptions,
+            "server-wide preemption counter tracks the run"
         );
+        let account = state.tenants.get(DEFAULT_TENANT).unwrap();
+        assert_eq!(account.slices, out.slices);
+        assert_eq!(account.preemptions, out.preemptions);
+        assert!(account.vtime > 0);
+        scheduler.shutdown();
     }
 }

@@ -4,7 +4,7 @@
 use crate::error::ServiceError;
 use crate::json::Json;
 use crate::protocol::{error_response, ok_response, Request};
-use crate::scheduler::{Job, QueryOutcome, Scheduler};
+use crate::scheduler::{Job, QueryOutcome, Scheduler, StreamSink, DEFAULT_SLICE_SUPERSTEPS};
 use crate::state::{QueryDefaults, ServiceState};
 use crate::views;
 use crate::wire::{self, WireError, MAX_LINE_BYTES};
@@ -15,7 +15,7 @@ use psgl_pattern::Pattern;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -27,6 +27,15 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// How often a connection waiting on a worker reply checks whether its
 /// client hung up (and should therefore cancel the in-flight job).
 const REPLY_POLL: Duration = Duration::from_millis(25);
+
+/// Reply-poll interval while a streamed query is live: pages should
+/// reach the wire promptly, so the forwarding loop spins faster.
+const STREAM_POLL: Duration = Duration::from_millis(2);
+
+/// Page events buffered between a worker and its streaming connection
+/// before the worker blocks (bounded so a slow client cannot make a
+/// million-instance answer buffer server-side).
+const PAGE_CHANNEL_CAP: usize = 16;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -45,6 +54,9 @@ pub struct ServiceConfig {
     pub defaults: QueryDefaults,
     /// Instances per `list` chunk line when the request does not choose.
     pub list_chunk: usize,
+    /// Supersteps a query runs before the scheduler may preempt it
+    /// (1 = finest interleaving).
+    pub slice_supersteps: u32,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +69,7 @@ impl Default for ServiceConfig {
             plan_cache_cap: 256,
             defaults: QueryDefaults::default(),
             list_chunk: 256,
+            slice_supersteps: DEFAULT_SLICE_SUPERSTEPS,
         }
     }
 }
@@ -123,7 +136,12 @@ pub fn serve_with_state(
     // routable from this host (the old connect-to-self nudge was not).
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let scheduler = Arc::new(Scheduler::start(Arc::clone(&state), config.pool, config.queue_cap));
+    let scheduler = Arc::new(Scheduler::start_with(
+        Arc::clone(&state),
+        config.pool,
+        config.queue_cap,
+        config.slice_supersteps,
+    ));
     let accept = {
         let state = Arc::clone(&state);
         let stop = Arc::clone(&stop);
@@ -270,7 +288,7 @@ impl Connection {
                     ]),
                 )
             }
-            Request::Count(query) => match self.run_job(query, false, writer) {
+            Request::Count(query) => match self.run_job(query, false, None, writer) {
                 Ok(outcome) => {
                     self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
                     write_json(writer, &count_response(&outcome))
@@ -279,10 +297,19 @@ impl Connection {
             },
             Request::List { query, chunk } => {
                 let chunk = chunk.unwrap_or(self.list_chunk).max(1);
-                match self.run_job(query, true, writer) {
+                let streamed = query.stream;
+                match self.run_job(query, true, streamed.then_some(chunk), writer) {
                     Ok(outcome) => {
                         self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
-                        self.write_list_chunks(writer, &outcome, chunk)
+                        if streamed {
+                            // Pages already went out in order; finish with
+                            // the done line so the client knows the count.
+                            let mut fields = query_fields(&outcome);
+                            fields.insert(0, ("done", Json::from(true)));
+                            write_json(writer, &ok_response(fields))
+                        } else {
+                            self.write_list_chunks(writer, &outcome, chunk)
+                        }
                     }
                     Err(e) => self.write_query_error(writer, &e),
                 }
@@ -369,12 +396,16 @@ impl Connection {
     /// Submits through admission control and waits for the worker,
     /// watching the client socket the whole time: a client that hangs up
     /// mid-query cancels its job, so the worker slot frees up instead of
-    /// finishing work nobody will read.
+    /// finishing work nobody will read. With `stream_chunk` set, page
+    /// events from the worker are forwarded to the client in order while
+    /// waiting; a failed page write is treated as a disconnect, which
+    /// unregisters the stream and frees the tenant's slot.
     fn run_job(
         &self,
         query: crate::protocol::QuerySpec,
         collect: bool,
-        conn: &TcpStream,
+        stream_chunk: Option<usize>,
+        writer: &mut TcpStream,
     ) -> Result<QueryOutcome, ServiceError> {
         let token = match query.timeout_ms {
             Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
@@ -384,15 +415,26 @@ impl Connection {
         if let Some(id) = &query_id {
             self.state.jobs.register(id.clone(), token.clone());
         }
+        let (stream, pages) = match stream_chunk {
+            Some(chunk) => {
+                let (page_tx, page_rx) = sync_channel(PAGE_CHANNEL_CAP);
+                (Some(StreamSink { tx: page_tx, chunk }), Some(page_rx))
+            }
+            None => (None, None),
+        };
+        let poll = if pages.is_some() { STREAM_POLL } else { REPLY_POLL };
         let (tx, rx) = channel();
         let submitted =
-            self.scheduler.submit(Job { query, collect, token: token.clone(), reply: tx });
+            self.scheduler.submit(Job { query, collect, token: token.clone(), reply: tx, stream });
         let result = match submitted {
             Ok(()) => loop {
-                match rx.recv_timeout(REPLY_POLL) {
+                if let Some(page_rx) = &pages {
+                    forward_pages(page_rx, writer, &token);
+                }
+                match rx.recv_timeout(poll) {
                     Ok(reply) => break reply,
                     Err(RecvTimeoutError::Timeout) => {
-                        if !token.is_cancelled() && client_gone(conn) {
+                        if !token.is_cancelled() && client_gone(writer) {
                             token.cancel(CancelReason::Disconnected);
                         }
                     }
@@ -401,6 +443,11 @@ impl Connection {
             },
             Err(e) => Err(e),
         };
+        // The worker sent every page before it replied, so one final
+        // drain puts the tail on the wire ahead of the done line.
+        if let Some(page_rx) = &pages {
+            forward_pages(page_rx, writer, &token);
+        }
         if let Some(id) = &query_id {
             self.state.jobs.unregister(id);
         }
@@ -439,6 +486,20 @@ impl Connection {
     }
 }
 
+/// Forwards every page event currently buffered, in order. A failed
+/// write means the client hung up mid-stream: cancel the job so the
+/// worker stops producing pages into a dead channel.
+fn forward_pages(pages: &Receiver<Json>, writer: &mut TcpStream, token: &CancelToken) {
+    while let Ok(page) = pages.try_recv() {
+        if !write_json(writer, &page) {
+            if !token.is_cancelled() {
+                token.cancel(CancelReason::Disconnected);
+            }
+            return;
+        }
+    }
+}
+
 /// Common response fields of count/list results.
 fn query_fields(outcome: &QueryOutcome) -> Vec<(&'static str, Json)> {
     vec![
@@ -452,6 +513,9 @@ fn query_fields(outcome: &QueryOutcome) -> Vec<(&'static str, Json)> {
         ("selection_rule", Json::from(outcome.selection_rule.clone())),
         ("wall_ms", Json::from(outcome.wall_ms)),
         ("resumed", Json::from(outcome.resumed)),
+        ("slices", Json::from(outcome.slices)),
+        ("preemptions", Json::from(outcome.preemptions)),
+        ("pages", Json::from(outcome.pages)),
     ]
 }
 
@@ -509,6 +573,7 @@ fn stats_response(state: &ServiceState) -> Json {
         ("result_cache", state.results.stats_json()),
         ("plan_cache", state.plans.stats_json()),
         ("subscriptions", Json::from(state.subscriptions.len())),
+        ("tenants", state.tenants.snapshot()),
         ("graphs", Json::Arr(graphs)),
     ])
 }

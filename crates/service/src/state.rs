@@ -52,6 +52,9 @@ pub struct ServiceState {
     pub jobs: JobRegistry,
     /// Live `subscribe` streams awaiting signed instance deltas.
     pub subscriptions: SubscriptionRegistry,
+    /// Per-tenant admission and slice accounting (the `stats` verb's
+    /// `tenants` object).
+    pub tenants: TenantRegistry,
 }
 
 impl ServiceState {
@@ -66,7 +69,83 @@ impl ServiceState {
             checkpoints: CheckpointStore::new(CHECKPOINT_CAP),
             jobs: JobRegistry::default(),
             subscriptions: SubscriptionRegistry::default(),
+            tenants: TenantRegistry::default(),
         }
+    }
+}
+
+/// One tenant's cumulative scheduling account.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantAccount {
+    /// Queries admitted past the queue-capacity check.
+    pub admitted: u64,
+    /// Queries bounced at admission (`overloaded`).
+    pub rejected: u64,
+    /// Admitted queries that have finished (any outcome).
+    pub finished: u64,
+    /// Admitted queries currently queued or running (gauge).
+    pub active: u64,
+    /// Superstep slices executed on the worker pool.
+    pub slices: u64,
+    /// Slices that ended in preemption (yielded the worker).
+    pub preemptions: u64,
+    /// Pages streamed to `stream: true` list clients.
+    pub pages: u64,
+    /// The tenant's weighted virtual time, in superstep/weight units
+    /// scaled by the scheduler's resolution. Fair scheduling keeps
+    /// active tenants' virtual times close together.
+    pub vtime: u64,
+    /// Weight of the tenant's most recent query.
+    pub weight: u64,
+}
+
+/// Per-tenant admission accounting, shared between the scheduler (which
+/// writes it) and the `stats` verb (which snapshots it).
+#[derive(Default)]
+pub struct TenantRegistry {
+    inner: Mutex<HashMap<String, TenantAccount>>,
+}
+
+impl TenantRegistry {
+    /// Applies `f` to the named tenant's account, creating it on first
+    /// touch.
+    pub fn update(&self, tenant: &str, f: impl FnOnce(&mut TenantAccount)) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(inner.entry(tenant.to_string()).or_default())
+    }
+
+    /// A copy of one tenant's account, if it has ever been admitted.
+    pub fn get(&self, tenant: &str) -> Option<TenantAccount> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).get(tenant).cloned()
+    }
+
+    /// The `stats` verb's `tenants` object: one entry per tenant, keyed
+    /// by name, sorted for stable output.
+    pub fn snapshot(&self) -> Json {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<_> = inner.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(name, a)| {
+                    (
+                        name.clone(),
+                        Json::obj([
+                            ("admitted", Json::from(a.admitted)),
+                            ("rejected", Json::from(a.rejected)),
+                            ("finished", Json::from(a.finished)),
+                            ("active", Json::from(a.active)),
+                            ("slices", Json::from(a.slices)),
+                            ("preemptions", Json::from(a.preemptions)),
+                            ("pages", Json::from(a.pages)),
+                            ("vtime", Json::from(a.vtime)),
+                            ("weight", Json::from(a.weight)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 
@@ -254,6 +333,33 @@ mod tests {
         subs.unsubscribe(id_a);
         assert!(subs.for_graph("g").is_empty());
         assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn tenant_registry_accumulates_and_snapshots_sorted() {
+        let tenants = TenantRegistry::default();
+        tenants.update("beta", |a| {
+            a.admitted += 1;
+            a.active += 1;
+            a.weight = 2;
+        });
+        tenants.update("alpha", |a| a.slices += 3);
+        tenants.update("beta", |a| {
+            a.active -= 1;
+            a.finished += 1;
+        });
+        let beta = tenants.get("beta").unwrap();
+        assert_eq!((beta.admitted, beta.finished, beta.active, beta.weight), (1, 1, 0, 2));
+        assert_eq!(tenants.get("nobody"), None);
+        let snap = tenants.snapshot().to_string();
+        assert!(
+            snap.find("alpha").unwrap() < snap.find("beta").unwrap(),
+            "snapshot keys are sorted: {snap}"
+        );
+        assert_eq!(
+            tenants.snapshot().get("alpha").unwrap().get("slices").unwrap().as_u64(),
+            Some(3)
+        );
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub struct ServerStats {
     pub queue_depth: AtomicU64,
     /// Jobs currently executing on the worker pool (gauge).
     pub running: AtomicU64,
+    /// Superstep slices executed by the preemptive scheduler (a query
+    /// that never yields still counts one).
+    pub slices: AtomicU64,
+    /// Slices that ended in preemption — the run yielded its worker at a
+    /// barrier and went back to the run queue.
+    pub preemptions: AtomicU64,
+    /// Pages streamed to `stream: true` list clients.
+    pub pages_streamed: AtomicU64,
     /// Total Gpsis generated across executed queries (cache hits add 0).
     pub gpsis_generated: AtomicU64,
     /// Total candidates pruned across executed queries.
@@ -80,6 +88,9 @@ impl Default for ServerStats {
             mutations: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             running: AtomicU64::new(0),
+            slices: AtomicU64::new(0),
+            preemptions: AtomicU64::new(0),
+            pages_streamed: AtomicU64::new(0),
             gpsis_generated: AtomicU64::new(0),
             candidates_pruned: AtomicU64::new(0),
             index_probes: AtomicU64::new(0),
@@ -137,6 +148,9 @@ impl ServerStats {
             ("mutations", Json::from(self.mutations.load(Ordering::Relaxed))),
             ("queue_depth", Json::from(self.queue_depth.load(Ordering::Relaxed))),
             ("running", Json::from(self.running.load(Ordering::Relaxed))),
+            ("slices", Json::from(self.slices.load(Ordering::Relaxed))),
+            ("preemptions", Json::from(self.preemptions.load(Ordering::Relaxed))),
+            ("pages_streamed", Json::from(self.pages_streamed.load(Ordering::Relaxed))),
             ("gpsis_generated", Json::from(self.gpsis_generated.load(Ordering::Relaxed))),
             ("candidates_pruned", Json::from(self.candidates_pruned.load(Ordering::Relaxed))),
             ("index_probes", Json::from(self.index_probes.load(Ordering::Relaxed))),

@@ -201,6 +201,9 @@ mod tests {
             checkpoint: false,
             query_id: None,
             resume: None,
+            tenant: None,
+            weight: None,
+            stream: false,
         }
     }
 

@@ -17,6 +17,7 @@ fn test_config() -> ServiceConfig {
         plan_cache_cap: 32,
         defaults: QueryDefaults::default(),
         list_chunk: 16,
+        slice_supersteps: 2,
     }
 }
 
@@ -627,4 +628,190 @@ fn loopback_mutate_patches_cache_and_streams_subscriber_deltas() {
 
     client.shutdown().unwrap();
     handle.wait();
+}
+
+#[test]
+fn loopback_streamed_pages_arrive_in_order_and_concatenate() {
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.load("karate", "karate-club", "fixture").unwrap();
+
+    // Reference: the buffered list path collects everything server-side
+    // and chunks it after the fact.
+    let request = Json::obj([
+        ("verb", Json::from("list")),
+        ("graph", Json::from("karate")),
+        ("pattern", Json::from("triangle")),
+        ("chunk", Json::from(10u64)),
+    ]);
+    let mut expected = Vec::new();
+    client
+        .list(&request, |chunk| {
+            expected.extend(chunk.get("instances").and_then(Json::as_arr).unwrap().iter().cloned());
+        })
+        .unwrap();
+    assert_eq!(expected.len(), 45);
+
+    // Streamed: bounded `page` events, sequentially numbered, whose
+    // concatenation is exactly the buffered answer.
+    let request = Json::obj([
+        ("verb", Json::from("list")),
+        ("graph", Json::from("karate")),
+        ("pattern", Json::from("triangle")),
+        ("chunk", Json::from(10u64)),
+        ("stream", Json::from(true)),
+        ("no_cache", Json::from(true)), // exercise the live engine path
+    ]);
+    let mut streamed = Vec::new();
+    let mut pages = 0u64;
+    let done = client
+        .list_stream(&request, |page| {
+            assert_eq!(page.get("page").and_then(Json::as_u64), Some(pages), "{page}");
+            let instances = page.get("instances").and_then(Json::as_arr).unwrap();
+            assert!(!instances.is_empty() && instances.len() <= 10, "{page}");
+            streamed.extend(instances.iter().cloned());
+            pages += 1;
+        })
+        .unwrap();
+    assert_eq!(done.get("done").and_then(Json::as_bool), Some(true));
+    assert_eq!(u64_field(&done, "count"), 45);
+    assert_eq!(u64_field(&done, "pages"), 5); // ceil(45 / 10)
+    assert_eq!(pages, 5);
+    assert_eq!(streamed, expected, "pages must concatenate to the buffered list");
+    handle.shutdown();
+}
+
+#[test]
+fn loopback_expired_deadline_jumps_the_queue_and_cancels_promptly() {
+    use std::time::{Duration, Instant};
+
+    // One worker, one-superstep slices: the running scan yields at every
+    // superstep boundary, so a deadline query admitted behind a backlog
+    // reaches the worker after at most one superstep of waiting.
+    let config = ServiceConfig { pool: 1, queue_cap: 8, slice_supersteps: 1, ..test_config() };
+    let handle = serve(config).expect("bind loopback");
+    let mut monitor = Client::connect(handle.addr()).expect("connect");
+    let path = load_dense_graph(&mut monitor, "dense");
+    monitor.load("karate", "karate-club", "fixture").unwrap();
+
+    // Baseline: one uninterrupted scan on this machine.
+    let start = Instant::now();
+    monitor.request(&slow_request("dense", &[])).unwrap();
+    let baseline_ms = start.elapsed().as_millis() as u64;
+    assert!(baseline_ms >= 100, "dense square count too fast ({baseline_ms}ms)");
+
+    // A backlog of three scans. Under a FIFO scheduler a later query
+    // would wait for every one of them (~4x baseline) before running.
+    let addr = handle.addr();
+    let giants: Vec<_> = (0..3)
+        .map(|i| {
+            let req = slow_request("dense", &[("query_id", Json::from(format!("giant-{i}")))]);
+            std::thread::spawn(move || Client::connect(addr).unwrap().request(&req))
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server_field(&mut monitor, "running") == 0 {
+        assert!(Instant::now() < deadline, "no scan ever started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // An already-expired deadline enters the EDF class: it overtakes the
+    // queued scans and resolves `cancelled`/`deadline` after at most the
+    // running scan's current slice — never behind the whole backlog.
+    let start = Instant::now();
+    let err = monitor
+        .request(&count_request(&[
+            ("timeout_ms", Json::from(0u64)),
+            ("no_cache", Json::from(true)),
+        ]))
+        .unwrap_err();
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    assert_eq!(err.code(), Some("cancelled"), "{err}");
+    match &err {
+        ClientError::Remote(remote) => {
+            assert_eq!(remote.details.get("reason").and_then(Json::as_str), Some("deadline"));
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    assert!(
+        elapsed_ms < (2 * baseline_ms).max(1_000),
+        "deadline query queued behind the backlog: {elapsed_ms}ms \
+         against a {baseline_ms}ms baseline (FIFO would be ~4x baseline)"
+    );
+
+    // Wind the backlog down instead of waiting it out; finished and
+    // cancelled scans are both acceptable at this point.
+    for i in 0..3 {
+        monitor.cancel(&format!("giant-{i}")).unwrap();
+    }
+    for t in giants {
+        t.join().unwrap().ok();
+    }
+    assert_eq!(u64_field(&monitor.count("karate", "triangle").unwrap(), "count"), 45);
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+#[test]
+fn loopback_mid_stream_disconnect_frees_the_tenant_accounting() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::time::{Duration, Instant};
+
+    let handle = serve(test_config()).expect("bind loopback");
+    let mut monitor = Client::connect(handle.addr()).expect("connect");
+    let path = load_dense_graph(&mut monitor, "dense");
+    monitor.load("karate", "karate-club", "fixture").unwrap();
+
+    // A raw connection asks for every dense triangle as one-instance
+    // pages (tens of thousands — far more than the socket buffers hold),
+    // reads two pages to prove the stream is live, then vanishes.
+    let ghost = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut ghost_writer = ghost.try_clone().unwrap();
+    let mut ghost_reader = BufReader::new(ghost);
+    let request = Json::obj([
+        ("verb", Json::from("list")),
+        ("graph", Json::from("dense")),
+        ("pattern", Json::from("triangle")),
+        ("stream", Json::from(true)),
+        ("chunk", Json::from(1u64)),
+        ("tenant", Json::from("ghost")),
+        ("no_cache", Json::from(true)),
+    ]);
+    writeln!(ghost_writer, "{request}").unwrap();
+    ghost_writer.flush().unwrap();
+    for expect_page in 0..2u64 {
+        let mut line = String::new();
+        ghost_reader.read_line(&mut line).unwrap();
+        let page = Json::parse(&line).unwrap();
+        assert_eq!(page.get("ok").and_then(Json::as_bool), Some(true), "{page}");
+        assert_eq!(page.get("page").and_then(Json::as_u64), Some(expect_page), "{page}");
+    }
+    drop(ghost_reader);
+    drop(ghost_writer);
+
+    // The worker's next page write hits the dead peer, the stream is
+    // unregistered, and the tenant's active slot drains back to zero.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = monitor.stats().unwrap();
+        let tenant = stats
+            .get("tenants")
+            .and_then(|t| t.get("ghost"))
+            .unwrap_or_else(|| panic!("missing ghost tenant in stats: {stats}"));
+        if u64_field(tenant, "active") == 0 {
+            assert_eq!(u64_field(tenant, "finished"), 1);
+            assert!(u64_field(tenant, "pages") >= 2, "{tenant}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "disconnect never freed the tenant: {tenant}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The server is healthy: the freed worker serves the next query.
+    assert_eq!(u64_field(&monitor.count("karate", "triangle").unwrap(), "count"), 45);
+    assert_eq!(server_field(&mut monitor, "running"), 0);
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
 }

@@ -100,9 +100,13 @@ fn main() -> ExitCode {
                     Some(superstep) => format!(", resumed from superstep {superstep}"),
                     None => String::new(),
                 };
+                let preempted = match report.preempted_slices {
+                    Some(n) => format!(", {n} forced preemption(s) absorbed"),
+                    None => String::new(),
+                };
                 println!(
                     "seed {seed}: ok — {} instances (= oracle), fingerprint {:016x}, \
-                     trace {:016x}{resumed}",
+                     trace {:016x}{resumed}{preempted}",
                     report.instance_count, report.fingerprint, report.trace_hash
                 );
             }

@@ -18,8 +18,8 @@ use crate::sched::{SimExecutor, SimRng};
 use psgl_core::runner::{ListingResult, RunnerHooks};
 use psgl_core::stats::RunStats;
 use psgl_core::{
-    list_subgraphs_prepared_with, list_subgraphs_resumable, CancelToken, Checkpoint, ListingEnd,
-    PsglConfig, PsglShared, RunControls, Strategy,
+    list_subgraphs_prepared_with, list_subgraphs_resumable, list_subgraphs_slice, CancelToken,
+    Checkpoint, ListingEnd, PsglConfig, PsglShared, RunControls, SliceEnd, Strategy,
 };
 use psgl_graph::generators::erdos_renyi_gnm;
 use psgl_graph::hash::hash_u64;
@@ -71,6 +71,12 @@ pub struct Scenario {
     /// superstep, then resume and require exact parity with the
     /// uninterrupted run (`None` = fault not drawn).
     pub cancel_at_superstep: Option<u32>,
+    /// Preemption fault: re-run the scenario through the preemptive
+    /// scheduler's slice seam ([`list_subgraphs_slice`]), forcing a
+    /// suspend at every `n`-superstep boundary with a wire round-trip of
+    /// each checkpoint, and require exact parity with the uninterrupted
+    /// run (`None` = fault not drawn).
+    pub preempt_every: Option<u32>,
 }
 
 impl fmt::Debug for Scenario {
@@ -95,6 +101,7 @@ impl fmt::Debug for Scenario {
             .field("stall_per_mille", &self.stall_per_mille)
             .field("run_seed", &self.run_seed)
             .field("cancel_at_superstep", &self.cancel_at_superstep)
+            .field("preempt_every", &self.preempt_every)
             .finish()
     }
 }
@@ -154,6 +161,9 @@ impl Scenario {
         // suspend/resume on top.
         let cancel_at_superstep =
             if rng.below(4) == 0 { Some(1 + rng.below(3) as u32) } else { None };
+        // Newest fault class, so newest draw: anything drawn after this
+        // point would shift the stream for seeds pinned before it existed.
+        let preempt_every = if rng.below(3) == 0 { Some(1 + rng.below(2) as u32) } else { None };
         Scenario {
             seed,
             pattern,
@@ -171,6 +181,7 @@ impl Scenario {
             stall_per_mille,
             run_seed,
             cancel_at_superstep,
+            preempt_every,
         }
     }
 
@@ -223,6 +234,10 @@ impl Scenario {
         if let Some(deadline) = self.cancel_at_superstep {
             resumed_at = self.check_suspend_resume(&graph, &shared, &config, &result, deadline)?;
         }
+        let mut preempted_slices = None;
+        if let Some(every) = self.preempt_every {
+            preempted_slices = self.check_preempt_resume(&graph, &shared, &config, &result, every)?;
+        }
         Ok(SimReport {
             instance_count: result.instance_count,
             oracle_count,
@@ -230,6 +245,7 @@ impl Scenario {
             trace_hash: executor.trace_hash(),
             virtual_time: executor.virtual_time(),
             resumed_at,
+            preempted_slices,
             stats: result.stats,
         })
     }
@@ -317,6 +333,84 @@ impl Scenario {
         Ok(resume_superstep)
     }
 
+    /// The preemption fault: run the same scenario through the preemptive
+    /// scheduler's unit of work — [`list_subgraphs_slice`] with a
+    /// `preempt_every`-superstep budget — pushing every intermediate
+    /// checkpoint through its wire encoding, and require exact parity
+    /// with the uninterrupted `reference` run. As with
+    /// [`Scenario::check_suspend_resume`], all slices share one
+    /// [`SimExecutor`], so the spliced schedule draws the stream the
+    /// uninterrupted run drew; any divergence is a slicing bug.
+    fn check_preempt_resume(
+        &self,
+        graph: &psgl_graph::DataGraph,
+        shared: &PsglShared<'_>,
+        config: &PsglConfig,
+        reference: &ListingResult,
+        every: u32,
+    ) -> Result<Option<u32>, Box<SimFailure>> {
+        let divergence = |msg: String| self.failure(vec![], Some(format!("preempt/resume: {msg}")));
+        let executor = SimExecutor::new(self.seed, self.stall_per_mille);
+        let hooks = self.hooks(&executor);
+        let token = CancelToken::new();
+        let mut resume = None;
+        let mut preemptions = 0u32;
+        let final_result = loop {
+            let end =
+                list_subgraphs_slice(shared, config, &hooks, &token, false, resume.take(), every)
+                    .map_err(|e| divergence(e.to_string()))?;
+            match end {
+                SliceEnd::Complete(result) => break result,
+                SliceEnd::Preempted { superstep, partial, checkpoint } => {
+                    if partial.stats.chunks_outstanding != 0 {
+                        return Err(divergence(format!(
+                            "{} pooled chunks leaked across the preemption at superstep {superstep}",
+                            partial.stats.chunks_outstanding
+                        )));
+                    }
+                    let cp = Checkpoint::from_bytes(&checkpoint.to_bytes())
+                        .map_err(|e| divergence(format!("checkpoint wire round-trip: {e}")))?;
+                    resume = Some(cp);
+                    preemptions += 1;
+                    // Slices always advance by >= 1 superstep, so any real
+                    // run preempts a bounded number of times.
+                    if preemptions > 128 {
+                        return Err(divergence("runaway slicing never completed".to_string()));
+                    }
+                }
+                SliceEnd::Cancelled(c) => {
+                    return Err(divergence(format!(
+                        "sliced run cancelled itself ({}) at superstep {}",
+                        c.reason, c.superstep
+                    )));
+                }
+            }
+        };
+        let violations =
+            invariants::check(graph, &self.pattern, &final_result, reference.instance_count);
+        if !violations.is_empty() {
+            return Err(self.failure(violations, Some("after preempt/resume".to_string())));
+        }
+        if final_result.instance_count != reference.instance_count {
+            return Err(divergence(format!(
+                "{} instances after {preemptions} preemptions vs {} uninterrupted",
+                final_result.instance_count, reference.instance_count
+            )));
+        }
+        // Same carve-out as suspend/resume: a capped chunk pool may
+        // legally allocate differently across the splice.
+        if self.max_live_chunks.is_none() {
+            let (want, got) = (fingerprint_run(reference), fingerprint_run(&final_result));
+            if want != got {
+                return Err(divergence(format!(
+                    "fingerprint {got:016x} after {preemptions} preemptions vs {want:016x} \
+                     uninterrupted"
+                )));
+            }
+        }
+        Ok((preemptions > 0).then_some(preemptions))
+    }
+
     fn failure(&self, violations: Vec<Violation>, error: Option<String>) -> Box<SimFailure> {
         Box::new(SimFailure { scenario: self.clone(), violations, error })
     }
@@ -339,6 +433,10 @@ pub struct SimReport {
     /// suspended at before resuming to exact parity (`None` when the fault
     /// was not drawn or the run finished before its deadline).
     pub resumed_at: Option<u32>,
+    /// When the preemption fault fired: how many forced slice-boundary
+    /// suspends the sliced re-run absorbed on its way to exact parity
+    /// (`None` when the fault was not drawn or the run fit in one slice).
+    pub preempted_slices: Option<u32>,
     /// The run's full statistics.
     pub stats: RunStats,
 }
@@ -394,6 +492,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.exchange_shuffle_seed.is_some()));
         assert!(scenarios.iter().any(|s| s.cancel_at_superstep.is_some()));
         assert!(scenarios.iter().any(|s| s.cancel_at_superstep.is_none()));
+        assert!(scenarios.iter().any(|s| s.preempt_every.is_some()));
+        assert!(scenarios.iter().any(|s| s.preempt_every.is_none()));
     }
 
     #[test]
@@ -414,6 +514,27 @@ mod tests {
             }
         }
         panic!("seed range never exercised a suspend/resume (only {exercised})");
+    }
+
+    #[test]
+    fn preempt_fault_slices_and_resumes_to_exact_parity() {
+        // Find seeds whose scenario draws the preemption fault with runs
+        // long enough to actually hit a slice boundary, and require run()
+        // to pass — which internally asserts fingerprint-exact parity
+        // across every forced suspend.
+        let mut exercised = 0;
+        for seed in 0..64 {
+            let scenario = Scenario::from_seed(seed);
+            if scenario.preempt_every.is_none() {
+                continue;
+            }
+            let report = scenario.run().unwrap_or_else(|f| panic!("{f}"));
+            exercised += u64::from(report.preempted_slices.is_some());
+            if exercised >= 3 {
+                return;
+            }
+        }
+        panic!("seed range never exercised a forced preemption (only {exercised})");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! strategies × 14 seeds = 210 scenarios). Each scenario draws its own
 //! fault cocktail — scheduler reorderings, stalls, steal storms with and
 //! without budgets, chunk-pool exhaustion, partition skew, exchange
-//! shuffles, checkpointed suspend/resume — and must match the centralized
-//! oracle's instance count exactly with zero invariant violations.
+//! shuffles, checkpointed suspend/resume, forced slice-boundary
+//! preemptions — and must match the centralized oracle's instance count
+//! exactly with zero invariant violations.
 
 use psgl_core::Strategy;
 use psgl_sim::chaos::chaos_patterns;
@@ -17,9 +18,10 @@ fn two_hundred_plus_scenarios_keep_oracle_parity_under_chaos() {
     let patterns = chaos_patterns();
     let mut scenarios_run = 0u64;
     let mut failures = Vec::new();
-    // steal, pool cap, skew, stall, shuffle, cancel drawn
-    let mut fault_coverage = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    // steal, pool cap, skew, stall, shuffle, cancel, preempt drawn
+    let mut fault_coverage = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
     let mut resumed = 0u64;
+    let mut preempted = 0u64;
     for (pi, pattern) in patterns.iter().enumerate() {
         for (si, (name, strategy)) in Strategy::paper_variants().into_iter().enumerate() {
             for i in 0..SEEDS_PER_CELL {
@@ -32,9 +34,13 @@ fn two_hundred_plus_scenarios_keep_oracle_parity_under_chaos() {
                 fault_coverage.3 += u64::from(scenario.stall_per_mille > 0);
                 fault_coverage.4 += u64::from(scenario.exchange_shuffle_seed.is_some());
                 fault_coverage.5 += u64::from(scenario.cancel_at_superstep.is_some());
+                fault_coverage.6 += u64::from(scenario.preempt_every.is_some());
                 scenarios_run += 1;
                 match scenario.run() {
-                    Ok(report) => resumed += u64::from(report.resumed_at.is_some()),
+                    Ok(report) => {
+                        resumed += u64::from(report.resumed_at.is_some());
+                        preempted += u64::from(report.preempted_slices.is_some());
+                    }
                     Err(failure) => failures.push(failure.to_string()),
                 }
             }
@@ -42,14 +48,19 @@ fn two_hundred_plus_scenarios_keep_oracle_parity_under_chaos() {
     }
     assert!(scenarios_run >= 200, "suite must cover >= 200 scenarios, ran {scenarios_run}");
     // Every fault class must actually have been exercised by the sweep.
-    let (steal, pool, skew, stall, shuffle, cancel) = fault_coverage;
-    assert!(steal > 0 && pool > 0 && skew > 0 && stall > 0 && shuffle > 0 && cancel > 0,
-        "fault menu under-covered: steal {steal}, pool {pool}, skew {skew}, stall {stall}, shuffle {shuffle}, cancel {cancel}");
+    let (steal, pool, skew, stall, shuffle, cancel, preempt) = fault_coverage;
+    assert!(steal > 0 && pool > 0 && skew > 0 && stall > 0 && shuffle > 0 && cancel > 0 && preempt > 0,
+        "fault menu under-covered: steal {steal}, pool {pool}, skew {skew}, stall {stall}, shuffle {shuffle}, cancel {cancel}, preempt {preempt}");
     // Drawing the fault is not enough: some runs must actually have been
     // suspended at a checkpoint and resumed to exact parity.
     assert!(
         resumed > 0,
         "no scenario was actually suspended and resumed ({cancel} drew the fault)"
+    );
+    // Likewise for forced slice-boundary preemptions.
+    assert!(
+        preempted > 0,
+        "no scenario was actually sliced and preempted ({preempt} drew the fault)"
     );
     assert!(
         failures.is_empty(),

@@ -69,7 +69,7 @@ USAGE:
   psgl patterns
   psgl serve    [--addr HOST:PORT] [--pool N] [--queue-cap N]
                 [--result-cache N] [--plan-cache N] [--workers N]
-                [--budget N] [--chunk N]
+                [--budget N] [--chunk N] [--slice N]
   psgl mutate   --addr HOST:PORT --name GRAPH [--insert \"0-1,2-3\"]
                 [--delete \"4-5\"]
   psgl watch    --addr HOST:PORT --name GRAPH --pattern P [--events N]
@@ -373,6 +373,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.result_cache_cap = opt_parse(&flags, "result-cache", config.result_cache_cap)?;
     config.plan_cache_cap = opt_parse(&flags, "plan-cache", config.plan_cache_cap)?;
     config.list_chunk = opt_parse(&flags, "chunk", config.list_chunk)?.max(1);
+    config.slice_supersteps = opt_parse(&flags, "slice", config.slice_supersteps)?.max(1);
     config.defaults = QueryDefaults {
         workers: opt_parse(&flags, "workers", QueryDefaults::default().workers)?.max(1),
         budget: flags
