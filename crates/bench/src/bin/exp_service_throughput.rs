@@ -171,6 +171,11 @@ fn main() {
     let messages_total = server.get("messages_total").and_then(Json::as_u64).unwrap_or(0);
     let local_delivery_ratio =
         server.get("local_delivery_ratio").and_then(Json::as_f64).unwrap_or(0.0);
+    // Memory-pressure counters: how close the bench run came to the
+    // chunk-pool ceiling (none is configured here, so pool_exhausted
+    // stays 0 and the peak is the natural working set).
+    let pool_exhausted = server.get("pool_exhausted").and_then(Json::as_u64).unwrap_or(0);
+    let chunks_live_peak = server.get("chunks_live_peak").and_then(Json::as_u64).unwrap_or(0);
     let net = |field: &str| {
         stats.get("cluster").and_then(|c| c.get(field)).and_then(Json::as_u64).unwrap_or(0)
     };
@@ -195,6 +200,8 @@ fn main() {
     table.row(&["cache hit rate".into(), format!("{hit_rate:.3}")]);
     table.row(&["messages total".into(), messages_total.to_string()]);
     table.row(&["local delivery".into(), format!("{local_delivery_ratio:.3}")]);
+    table.row(&["chunks live peak".into(), chunks_live_peak.to_string()]);
+    table.row(&["pool exhausted".into(), pool_exhausted.to_string()]);
     println!("shape: cache hit rate near 1 after the first round per pattern;");
     println!("       p99 >> p50 only when the pool saturates");
 
@@ -232,6 +239,8 @@ fn main() {
         ("cache_hit_rate", Json::from(hit_rate)),
         ("messages_total", Json::from(messages_total)),
         ("local_delivery_ratio", Json::from(local_delivery_ratio)),
+        ("pool_exhausted", Json::from(pool_exhausted)),
+        ("chunks_live_peak", Json::from(chunks_live_peak)),
         // Wire-plane counters: zero while the service executes queries
         // in-process, reported so the schema is stable if it ever runs
         // distributed exchanges.

@@ -68,6 +68,8 @@ pub struct ChunkPool<M> {
     reused: AtomicU64,
     /// Acquired-but-not-released chunks; negative would mean double-free.
     outstanding: AtomicI64,
+    /// High-water mark of `outstanding` over the pool's lifetime.
+    peak: AtomicI64,
     exhausted: AtomicU64,
 }
 
@@ -88,8 +90,16 @@ impl<M> ChunkPool<M> {
             fresh: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             outstanding: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
             exhausted: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one acquisition and pushes the high-water mark.
+    #[inline]
+    fn note_acquired(&self) {
+        let now = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
     /// Tuples per chunk.
@@ -103,7 +113,7 @@ impl<M> ChunkPool<M> {
     pub fn try_acquire(&self) -> Result<Chunk<M>, PoolExhausted> {
         if let Some(c) = self.free.lock().pop() {
             self.reused.fetch_add(1, Ordering::Relaxed);
-            self.outstanding.fetch_add(1, Ordering::Relaxed);
+            self.note_acquired();
             return Ok(c);
         }
         if let Some(cap) = self.max_live {
@@ -113,7 +123,7 @@ impl<M> ChunkPool<M> {
             }
         }
         self.fresh.fetch_add(1, Ordering::Relaxed);
-        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.note_acquired();
         Ok(Vec::with_capacity(self.capacity))
     }
 
@@ -128,7 +138,7 @@ impl<M> ChunkPool<M> {
             Err(PoolExhausted) => {
                 // try_acquire already counted the exhaustion event.
                 self.fresh.fetch_add(1, Ordering::Relaxed);
-                self.outstanding.fetch_add(1, Ordering::Relaxed);
+                self.note_acquired();
                 Vec::with_capacity(self.capacity)
             }
         }
@@ -160,6 +170,12 @@ impl<M> ChunkPool<M> {
     /// Acquired-but-unreleased chunks right now (0 at a clean shutdown).
     pub fn outstanding(&self) -> i64 {
         self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously outstanding chunks — the pool's
+    /// true peak memory footprint, surviving after everything is released.
+    pub fn peak_outstanding(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
     }
 
     /// Times the live-chunk cap forced a caller onto a degraded path.
@@ -255,6 +271,23 @@ mod tests {
         assert_eq!(pool.reuses(), 1);
         assert_eq!(pool.fresh_allocations(), 1);
         assert_eq!(pool.outstanding(), 1);
+        assert_eq!(pool.peak_outstanding(), 1, "peak survives release/reacquire");
+    }
+
+    #[test]
+    fn peak_outstanding_is_a_high_water_mark() {
+        let pool: ChunkPool<u32> = ChunkPool::new(4);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        let c = pool.acquire();
+        assert_eq!(pool.peak_outstanding(), 3);
+        pool.release(a);
+        pool.release(b);
+        pool.release(c);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.peak_outstanding(), 3, "peak is never lowered by releases");
+        let _d = pool.acquire();
+        assert_eq!(pool.peak_outstanding(), 3);
     }
 
     #[test]

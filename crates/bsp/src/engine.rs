@@ -13,12 +13,16 @@
 //! deterministic, adversarial schedule.
 
 use crate::cancel::{CancelReason, CancelToken};
-use crate::chunk::{push_chunked, Chunk, ChunkPool, StealQueue, DEFAULT_CHUNK_CAPACITY};
+use crate::chunk::{
+    push_chunked, Chunk, ChunkPool, PoolExhausted, StealQueue, DEFAULT_CHUNK_CAPACITY,
+};
 use crate::exchange::{Exchange, ExchangeDirective, FrontierSink, WorkerOutbox};
 use crate::exec::{Executor, ThreadExecutor, WorkerTask};
 use crate::metrics::{
-    EngineMetrics, NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics,
+    CarriedCounters, EngineMetrics, NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics,
 };
+use crate::spill::{SpillCodec, SpillError, SpillSegment, SpillStore};
+use parking_lot::Mutex;
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::VertexId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -109,6 +113,25 @@ pub enum BspError {
         /// Transport-level description of the failure.
         message: String,
     },
+    /// The spill tier failed on the read side: a spilled frontier segment
+    /// could not be re-admitted (truncated or corrupt blob, I/O error).
+    /// The tuples on disk were the only copy, so the run aborts cleanly
+    /// — every resident chunk was released before this was reported —
+    /// instead of answering from a damaged frontier. Write-side spill
+    /// failures never surface here; they degrade to resident retention.
+    Spill {
+        /// Superstep during which re-admission failed.
+        superstep: u32,
+        /// The typed spill failure.
+        error: SpillError,
+    },
+    /// The pool's get/put balance was non-zero at a *clean* completion — a
+    /// chunk leak (or double-free) that debug builds catch by assertion.
+    /// Checked in release builds too so chaos sweeps in CI fail on leaks.
+    ChunkLeak {
+        /// Acquires minus releases at shutdown.
+        outstanding: i64,
+    },
 }
 
 impl std::fmt::Display for BspError {
@@ -128,11 +151,66 @@ impl std::fmt::Display for BspError {
             BspError::Exchange { superstep, message } => {
                 write!(f, "exchange failed after superstep {superstep}: {message}")
             }
+            BspError::Spill { superstep, error } => {
+                write!(f, "spill re-admission failed in superstep {superstep}: {error}")
+            }
+            BspError::ChunkLeak { outstanding } => write!(
+                f,
+                "chunk pool get/put imbalance at clean engine shutdown: \
+                 {outstanding} chunks unreleased (leak)"
+            ),
         }
     }
 }
 
 impl std::error::Error for BspError {}
+
+/// Spill-tier handles threaded through [`RunControl`]: the per-run
+/// [`SpillStore`] (which owns the temp directory and deletes it on drop)
+/// plus the message byte codec. Copyable so every worker closure can hold
+/// one; `None` anywhere spill appears means the tier is disabled and the
+/// engine degrades exactly as it did before the tier existed
+/// (grow-in-place).
+pub struct SpillControl<'c, M> {
+    /// The per-run spill store.
+    pub store: &'c SpillStore,
+    /// Message byte codec for spill blobs.
+    pub codec: &'c dyn SpillCodec<M>,
+}
+
+impl<M> Clone for SpillControl<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for SpillControl<'_, M> {}
+
+/// One slot of a destination inbox: a resident pool chunk, or a spilled
+/// segment standing in for the chunks it displaced. Parts appear in
+/// delivery order; re-admission decodes a segment exactly where its
+/// chunks would have been drained, so results are bit-identical to a
+/// run that never spilled.
+enum InboxPart<M> {
+    /// A resident pooled chunk (zero-capacity = consumed placeholder).
+    Chunk(Chunk<M>),
+    /// An on-disk segment holding a run of evicted chunks.
+    Spilled(SpillSegment),
+}
+
+impl<M> Default for InboxPart<M> {
+    fn default() -> Self {
+        InboxPart::Chunk(Chunk::default())
+    }
+}
+
+/// Tuples a part will deliver (for in-flight accounting).
+fn part_tuples<M>(part: &InboxPart<M>) -> u64 {
+    match part {
+        InboxPart::Chunk(c) => c.len() as u64,
+        InboxPart::Spilled(s) => s.tuples,
+    }
+}
 
 /// Per-worker, per-superstep execution context handed to
 /// [`VertexProgram::compute`].
@@ -145,6 +223,13 @@ pub struct Context<'a, M, A = ()> {
     remote: &'a mut [Vec<Chunk<M>>],
     /// Same-worker fast path: chunks that skip the exchange entirely.
     local: &'a mut Vec<Chunk<M>>,
+    /// Spill-tier handles (`None` = tier disabled, grow-in-place degradation).
+    spill: Option<SpillControl<'a, M>>,
+    /// Sender-side spill segments per remote destination (parallel to
+    /// `remote`); each segment holds a prefix of that (src → dest) stream.
+    spill_remote: &'a mut [Vec<SpillSegment>],
+    /// Sender-side spill segments for the local fast path.
+    spill_local: &'a mut Vec<SpillSegment>,
     cost: u64,
     messages_out: u64,
     local_delivered: u64,
@@ -203,9 +288,16 @@ impl<'a, M, A> Context<'a, M, A> {
         let dest = self.partitioner.owner(to);
         if dest == self.worker {
             self.local_delivered += 1;
-            push_chunked(self.pool, self.local, to, msg);
+            push_or_spill(self.pool, self.spill, self.local, self.spill_local, to, msg);
         } else {
-            push_chunked(self.pool, &mut self.remote[dest], to, msg);
+            push_or_spill(
+                self.pool,
+                self.spill,
+                &mut self.remote[dest],
+                &mut self.spill_remote[dest],
+                to,
+                msg,
+            );
         }
     }
 
@@ -214,6 +306,62 @@ impl<'a, M, A> Context<'a, M, A> {
     #[inline]
     pub fn add_cost(&mut self, units: u64) {
         self.cost += units;
+    }
+}
+
+/// Sender-side push with spill-tier degradation. Without a spill tier
+/// this is exactly [`push_chunked`]. With one, hitting the live-chunk cap
+/// no longer grows the current chunk: the destination's *entire* resident
+/// chunk list — a prefix of its (src → dest) stream, so delivery order is
+/// untouched — is encoded into one segment, its chunks are released back
+/// to the pool (freeing capacity for the whole run), and the send lands
+/// in a freshly acquired chunk. Write-side spill failures (ENOSPC, byte
+/// budget) fall back to the old grow-in-place path: slower and bigger,
+/// never wrong.
+#[inline]
+fn push_or_spill<M>(
+    pool: &ChunkPool<M>,
+    spill: Option<SpillControl<'_, M>>,
+    list: &mut Vec<Chunk<M>>,
+    segs: &mut Vec<SpillSegment>,
+    to: VertexId,
+    msg: M,
+) {
+    let Some(sp) = spill else {
+        push_chunked(pool, list, to, msg);
+        return;
+    };
+    match list.last_mut() {
+        Some(c) if c.len() < pool.capacity() => c.push((to, msg)),
+        Some(_) => match pool.try_acquire() {
+            Ok(mut next) => {
+                next.push((to, msg));
+                list.push(next);
+            }
+            Err(PoolExhausted) => match sp.store.spill(sp.codec, list) {
+                Ok(seg) => {
+                    segs.push(seg);
+                    for c in list.drain(..) {
+                        pool.release(c);
+                    }
+                    // The releases above refilled the free list, so this
+                    // acquire is served from it, under the cap.
+                    let mut c = pool.acquire();
+                    c.push((to, msg));
+                    list.push(c);
+                }
+                // Degradable write failure: grow the full chunk in place,
+                // exactly the pre-spill behavior.
+                Err(_) => list.last_mut().expect("list checked non-empty").push((to, msg)),
+            },
+        },
+        None => {
+            // A destination's first chunk is structural demand: served
+            // even over the cap (and metered).
+            let mut c = pool.acquire();
+            c.push((to, msg));
+            list.push(c);
+        }
     }
 }
 
@@ -289,9 +437,9 @@ pub struct ResumePoint<M, S, A> {
     /// Per-superstep metrics of the completed prefix; the resumed run
     /// appends to these so the final curves cover the whole run.
     pub prior_supersteps: Vec<SuperstepMetrics>,
-    /// Pool-exhaustion events of the prefix, carried into the resumed
-    /// run's [`EngineMetrics::pool_exhausted`].
-    pub prior_pool_exhausted: u64,
+    /// Run-level counters of the prefix (pool exhaustion, spill traffic,
+    /// live-chunk peak), folded into the resumed run's totals.
+    pub carried: CarriedCounters,
 }
 
 /// A run ended early by its [`CancelToken`] (or by the message budget with
@@ -326,8 +474,8 @@ impl<M, S, A> CancelledRun<M, S, A> {
             frontier,
             worker_states: self.worker_states,
             aggregate: self.aggregate,
+            carried: CarriedCounters::of(&self.metrics),
             prior_supersteps: self.metrics.supersteps,
-            prior_pool_exhausted: self.metrics.pool_exhausted,
         })
     }
 }
@@ -367,11 +515,25 @@ pub struct RunControl<'c, M, S, A> {
     /// directs [`ExchangeDirective::CheckpointAndContinue`]; unused
     /// without [`RunControl::exchange`].
     pub sink: Option<&'c dyn FrontierSink<M, S>>,
+    /// Disk spill tier: with this set and `max_live_chunks` capped, a
+    /// sender hitting the cap evicts its destination's chunk list to a
+    /// per-run temp file instead of growing in place, and over-cap
+    /// frontiers are evicted at superstep boundaries and re-admitted when
+    /// their superstep runs. Ignored (spill disabled) under a remote
+    /// [`RunControl::exchange`], whose frontier already lives off-worker.
+    pub spill: Option<SpillControl<'c, M>>,
 }
 
 impl<M, S, A> Default for RunControl<'_, M, S, A> {
     fn default() -> Self {
-        RunControl { cancel: None, checkpoint: false, resume: None, exchange: None, sink: None }
+        RunControl {
+            cancel: None,
+            checkpoint: false,
+            resume: None,
+            exchange: None,
+            sink: None,
+            spill: None,
+        }
     }
 }
 
@@ -468,7 +630,10 @@ pub fn run_controlled<P: VertexProgram>(
     let pool: ChunkPool<P::Message> =
         ChunkPool::with_limit(config.chunk_capacity, config.max_live_chunks);
     let mut metrics = EngineMetrics::default();
-    let RunControl { cancel, checkpoint, resume, exchange, sink } = control;
+    let RunControl { cancel, checkpoint, resume, exchange, sink, spill } = control;
+    // Under a remote exchange the frontier lives off-worker between
+    // supersteps already; the local spill tier is disabled.
+    let spill = if exchange.is_some() { None } else { spill };
     // The global partition ids this engine instance hosts. Without a
     // remote exchange every partition is local and `slot == partition`;
     // with one, `slot` indexes this process's arrays while partition ids
@@ -492,7 +657,7 @@ pub fn run_controlled<P: VertexProgram>(
         None => (0..k).collect(),
     };
     let l = locals.len();
-    let prior_pool_exhausted: u64;
+    let carried: CarriedCounters;
     let (mut states, mut inboxes, mut superstep, mut merged_aggregate) = match resume {
         Some(rp) => {
             assert_eq!(
@@ -503,16 +668,21 @@ pub fn run_controlled<P: VertexProgram>(
             );
             assert_eq!(rp.frontier.len(), l, "resume frontier must cover every local partition");
             metrics.supersteps = rp.prior_supersteps;
-            prior_pool_exhausted = rp.prior_pool_exhausted;
+            carried = rp.carried;
             // Re-chunk the flattened frontier in delivery order; unit
             // regrouping flattens and stably re-sorts anyway, so chunk
             // boundaries need not match the original run's.
-            let inboxes: Vec<Vec<Chunk<P::Message>>> =
-                rp.frontier.into_iter().map(|tuples| chunk_tuples(&pool, tuples)).collect();
+            let inboxes: Vec<Vec<InboxPart<P::Message>>> = rp
+                .frontier
+                .into_iter()
+                .map(|tuples| {
+                    chunk_tuples(&pool, tuples).into_iter().map(InboxPart::Chunk).collect()
+                })
+                .collect();
             (rp.worker_states, inboxes, rp.superstep, rp.aggregate)
         }
         None => {
-            prior_pool_exhausted = 0;
+            carried = CarriedCounters::default();
             let states: Vec<P::WorkerState> =
                 locals.iter().map(|&w| program.create_worker_state(w)).collect();
             (states, (0..l).map(|_| Vec::new()).collect(), 0, P::Aggregate::default())
@@ -524,7 +694,7 @@ pub fn run_controlled<P: VertexProgram>(
         (0..l).map(|_| WorkerScratch::new()).collect();
     loop {
         if superstep >= config.max_supersteps {
-            release_all(&pool, inboxes);
+            release_all(&pool, inboxes, spill);
             debug_assert_balanced(&pool);
             return Err(BspError::SuperstepLimitExceeded(superstep));
         }
@@ -540,6 +710,11 @@ pub fn run_controlled<P: VertexProgram>(
         // `k` wide (global destinations) even under partial ownership.
         let mut outboxes: Vec<WorkerOutbox<P::Message>> =
             (0..l).map(|_| ((0..k).map(|_| Vec::new()).collect(), Vec::new())).collect();
+        // Sender-side spill segments, parallel to the outboxes: per-slot
+        // (per-remote-destination lists, local fast path list). Engine-
+        // owned for the same unwind-safety reason as the outboxes.
+        let mut spill_outs: Vec<(Vec<Vec<SpillSegment>>, Vec<SpillSegment>)> =
+            (0..l).map(|_| ((0..k).map(|_| Vec::new()).collect(), Vec::new())).collect();
         let mut prep_units: Vec<Option<Chunk<P::Message>>> = (0..l).map(|_| None).collect();
         let mut comp_units: Vec<Option<Chunk<P::Message>>> = (0..l).map(|_| None).collect();
         // Panic flags per worker: set inside the task closures (which never
@@ -547,41 +722,51 @@ pub fn run_controlled<P: VertexProgram>(
         // the superstep so the first panicking worker is reported.
         let prep_panics: Vec<AtomicBool> = (0..l).map(|_| AtomicBool::new(false)).collect();
         let comp_panics: Vec<AtomicBool> = (0..l).map(|_| AtomicBool::new(false)).collect();
+        // Typed re-admission failures from the prepare phase (spill reads).
+        let prep_spill_errors: Vec<Mutex<Option<SpillError>>> =
+            (0..l).map(|_| Mutex::new(None)).collect();
         let prev_aggregate = &merged_aggregate;
         let poll = CancelPoll { token: cancel, hard_deadline: !checkpoint };
         let mut tasks: Vec<WorkerTask<'_>> = Vec::with_capacity(l);
-        for (((((((slot, state), inbox), scratch), result_slot), outbox), prep_unit), comp_unit) in
-            states
-                .iter_mut()
-                .enumerate()
-                .zip(inboxes.iter_mut())
-                .zip(scratches.iter_mut())
-                .zip(worker_results.iter_mut())
-                .zip(outboxes.iter_mut())
-                .zip(prep_units.iter_mut())
-                .zip(comp_units.iter_mut())
+        for (
+            (((((((slot, state), inbox), scratch), result_slot), outbox), prep_unit), comp_unit),
+            spill_out,
+        ) in states
+            .iter_mut()
+            .enumerate()
+            .zip(inboxes.iter_mut())
+            .zip(scratches.iter_mut())
+            .zip(worker_results.iter_mut())
+            .zip(outboxes.iter_mut())
+            .zip(prep_units.iter_mut())
+            .zip(comp_units.iter_mut())
+            .zip(spill_outs.iter_mut())
         {
             let worker = locals[slot];
             let owned = &owned[slot];
             let (queues, pool) = (&queues, &pool);
             let (prep_flag, comp_flag) = (&prep_panics[slot], &comp_panics[slot]);
+            let spill_err_slot = &prep_spill_errors[slot];
             let WorkerScratch { sort_buf, batch } = scratch;
             // Phase 1: regroup the inbox into units. Panics are trapped
             // here (before the executor's barrier) so a crashing worker
             // cannot strand the others.
             let prepare = Box::new(move || {
                 let prep = catch_unwind(AssertUnwindSafe(|| {
-                    publish_units(pool, &queues[slot], sort_buf, inbox, prep_unit)
+                    publish_units(pool, &queues[slot], sort_buf, inbox, prep_unit, spill)
                 }));
-                if prep.is_err() {
-                    prep_flag.store(true, Ordering::SeqCst);
+                match prep {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => *spill_err_slot.lock() = Some(e),
+                    Err(_) => prep_flag.store(true, Ordering::SeqCst),
                 }
             });
             // Phase 2: process own units, then steal stragglers'. Skipped
             // when this worker's own prepare panicked (mirrors the
-            // historical early return after the barrier).
+            // historical early return after the barrier) or failed to
+            // re-admit a spilled segment.
             let compute = Box::new(move || {
-                if prep_flag.load(Ordering::SeqCst) {
+                if prep_flag.load(Ordering::SeqCst) || spill_err_slot.lock().is_some() {
                     return;
                 }
                 let result = catch_unwind(AssertUnwindSafe(|| {
@@ -602,6 +787,8 @@ pub fn run_controlled<P: VertexProgram>(
                         outbox,
                         comp_unit,
                         poll,
+                        spill,
+                        spill_out,
                     )
                 }));
                 match result {
@@ -621,10 +808,30 @@ pub fn run_controlled<P: VertexProgram>(
                     &mut prep_units,
                     &mut comp_units,
                     &mut outboxes,
+                    &mut spill_outs,
                     &mut inboxes,
+                    spill,
                 );
                 debug_assert_balanced(&pool);
                 return Err(BspError::WorkerPanicked { worker: locals[slot], superstep });
+            }
+        }
+        // A spilled segment that failed to re-admit is unrecoverable: the
+        // disk copy was the only copy. Abort cleanly with the typed error.
+        for errs in &prep_spill_errors {
+            if let Some(error) = errs.lock().take() {
+                abort_cleanup(
+                    &pool,
+                    &queues,
+                    &mut prep_units,
+                    &mut comp_units,
+                    &mut outboxes,
+                    &mut spill_outs,
+                    &mut inboxes,
+                    spill,
+                );
+                debug_assert_balanced(&pool);
+                return Err(BspError::Spill { superstep, error });
             }
         }
         // A hard cancel may have aborted workers mid-superstep: the
@@ -638,9 +845,11 @@ pub fn run_controlled<P: VertexProgram>(
                 &mut prep_units,
                 &mut comp_units,
                 &mut outboxes,
+                &mut spill_outs,
                 &mut inboxes,
+                spill,
             );
-            finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+            finalize_metrics(&mut metrics, &pool, &carried, spill, start);
             return Ok(RunOutcome::Cancelled(CancelledRun {
                 reason,
                 superstep,
@@ -676,24 +885,39 @@ pub fn run_controlled<P: VertexProgram>(
         // exchange must uphold the same global source order (see
         // `crate::exchange`) and additionally runs the coordinator
         // barrier, whose directive can checkpoint or abort the run.
-        let (new_inboxes, in_flight) = match exchange {
+        let (mut new_inboxes, in_flight) = match exchange {
             None => {
-                let mut new_inboxes: Vec<Vec<Chunk<P::Message>>> =
+                let mut spill_outs = spill_outs;
+                let mut new_inboxes: Vec<Vec<InboxPart<P::Message>>> =
                     (0..k).map(|_| Vec::new()).collect();
                 for (dest, new_inbox) in new_inboxes.iter_mut().enumerate() {
                     for src in source_order(k, superstep, dest, config.exchange_shuffle_seed) {
-                        if src == dest {
-                            new_inbox.append(&mut outs[src].1);
+                        let (segs, chunks) = if src == dest {
+                            (&mut spill_outs[src].1, &mut outs[src].1)
                         } else {
-                            new_inbox.append(&mut outs[src].0[dest]);
+                            (&mut spill_outs[src].0[dest], &mut outs[src].0[dest])
+                        };
+                        // A sender-side segment always holds a *prefix* of
+                        // its (src → dest) stream: spilling drains the
+                        // whole resident list, so surviving chunks are
+                        // strictly newer than every segment.
+                        for seg in segs.drain(..) {
+                            new_inbox.push(InboxPart::Spilled(seg));
+                        }
+                        for c in chunks.drain(..) {
+                            new_inbox.push(InboxPart::Chunk(c));
                         }
                     }
                 }
                 let in_flight: u64 =
-                    new_inboxes.iter().flat_map(|b| b.iter()).map(|c| c.len() as u64).sum();
+                    new_inboxes.iter().flat_map(|b| b.iter()).map(part_tuples).sum();
                 (new_inboxes, in_flight)
             }
             Some(x) => {
+                debug_assert!(
+                    spill_outs.iter().all(|(r, l)| l.is_empty() && r.iter().all(Vec::is_empty)),
+                    "spill is disabled under a remote exchange"
+                );
                 let outcome = match x.exchange(superstep, &pool, outs, &step) {
                     Ok(outcome) => outcome,
                     Err(e) => {
@@ -706,9 +930,9 @@ pub fn run_controlled<P: VertexProgram>(
                 step.net = outcome.net;
                 match outcome.directive {
                     ExchangeDirective::Abort(reason) => {
-                        release_all(&pool, outcome.inboxes);
+                        release_all(&pool, wrap_resident(outcome.inboxes), spill);
                         metrics.supersteps.push(step);
-                        finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+                        finalize_metrics(&mut metrics, &pool, &carried, spill, start);
                         return Ok(RunOutcome::Cancelled(CancelledRun {
                             reason,
                             superstep: superstep + 1,
@@ -725,7 +949,7 @@ pub fn run_controlled<P: VertexProgram>(
                     }
                     ExchangeDirective::Continue => {}
                 }
-                (outcome.inboxes, outcome.in_flight)
+                (wrap_resident(outcome.inboxes), outcome.in_flight)
             }
         };
         metrics.supersteps.push(step);
@@ -735,8 +959,14 @@ pub fn run_controlled<P: VertexProgram>(
                     // Budget expiry with checkpointing: the frontier that
                     // broke the budget is exactly what a resumed run (with
                     // a higher budget) needs delivered.
-                    let frontier = flatten_frontier(&pool, new_inboxes);
-                    finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+                    let frontier = match flatten_frontier(&pool, new_inboxes, spill) {
+                        Ok(f) => f,
+                        Err(error) => {
+                            debug_assert_balanced(&pool);
+                            return Err(BspError::Spill { superstep, error });
+                        }
+                    };
+                    finalize_metrics(&mut metrics, &pool, &carried, spill, start);
                     return Ok(RunOutcome::Cancelled(CancelledRun {
                         reason: CancelReason::Budget,
                         superstep: superstep + 1,
@@ -746,7 +976,7 @@ pub fn run_controlled<P: VertexProgram>(
                         metrics,
                     }));
                 }
-                release_all(&pool, new_inboxes);
+                release_all(&pool, new_inboxes, spill);
                 debug_assert_balanced(&pool);
                 return Err(BspError::MessageBudgetExceeded { superstep, in_flight, budget });
             }
@@ -768,12 +998,18 @@ pub fn run_controlled<P: VertexProgram>(
                     && token.preempt_barrier().is_some_and(|sd| superstep + 1 >= sd);
                 if deadline_due || preempt_due {
                     let frontier = if checkpoint || preempt_due {
-                        Some(flatten_frontier(&pool, new_inboxes))
+                        match flatten_frontier(&pool, new_inboxes, spill) {
+                            Ok(f) => Some(f),
+                            Err(error) => {
+                                debug_assert_balanced(&pool);
+                                return Err(BspError::Spill { superstep, error });
+                            }
+                        }
                     } else {
-                        release_all(&pool, new_inboxes);
+                        release_all(&pool, new_inboxes, spill);
                         None
                     };
-                    finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+                    finalize_metrics(&mut metrics, &pool, &carried, spill, start);
                     return Ok(RunOutcome::Cancelled(CancelledRun {
                         reason: if preempt_due {
                             CancelReason::Preempted
@@ -792,10 +1028,25 @@ pub fn run_controlled<P: VertexProgram>(
         if in_flight == 0 {
             break;
         }
+        // Barrier eviction: the freshly exchanged frontier is the coldest
+        // data in the engine — nothing touches it until the next
+        // superstep's prepare phase — so while the pool sits over its
+        // live-chunk cap, encode runs of resident frontier chunks to disk
+        // and release them. Re-admission happens in `publish_units`, in
+        // delivery order, with zero pool acquisitions.
+        if let (Some(sp), Some(cap)) = (spill, config.max_live_chunks) {
+            evict_frontier(&pool, sp, &mut new_inboxes, cap as i64);
+        }
         inboxes = new_inboxes;
         superstep += 1;
     }
-    finalize_metrics(&mut metrics, &pool, prior_pool_exhausted, start);
+    finalize_metrics(&mut metrics, &pool, &carried, spill, start);
+    // The debug-build assertion above, promoted: a clean completion with
+    // unreleased chunks is a leak, and chaos sweeps run in release mode.
+    let outstanding = pool.outstanding();
+    if outstanding != 0 {
+        return Err(BspError::ChunkLeak { outstanding });
+    }
     Ok(RunOutcome::Complete(BspResult {
         worker_states: states,
         final_aggregate: merged_aggregate,
@@ -839,14 +1090,20 @@ fn hard_cancel_reason(cancel: Option<&CancelToken>, checkpoint: bool) -> Option<
 
 /// Drains every chunk still held anywhere in the superstep's machinery
 /// back to the pool: steal queues, in-flight unit slots, outboxes, and
-/// any inbox chunks a panicking prepare never consumed.
+/// any inbox chunks a panicking prepare never consumed. Spill segments
+/// (inbox parts and sender-side side tables) are discarded — their blobs
+/// are deleted now when a store is at hand, and the store's directory
+/// guard sweeps anything this misses.
+#[allow(clippy::too_many_arguments)]
 fn abort_cleanup<M>(
     pool: &ChunkPool<M>,
     queues: &[StealQueue<M>],
     prep_units: &mut [Option<Chunk<M>>],
     comp_units: &mut [Option<Chunk<M>>],
     outboxes: &mut [WorkerOutbox<M>],
-    inboxes: &mut [Vec<Chunk<M>>],
+    spill_outs: &mut [(Vec<Vec<SpillSegment>>, Vec<SpillSegment>)],
+    inboxes: &mut [Vec<InboxPart<M>>],
+    spill: Option<SpillControl<'_, M>>,
 ) {
     for q in queues {
         while let Some(unit) = q.pop_own() {
@@ -868,39 +1125,158 @@ fn abort_cleanup<M>(
             pool.release(c);
         }
     }
+    for (remote, local) in spill_outs.iter_mut() {
+        for seg in remote.iter_mut().flat_map(|d| d.drain(..)).chain(local.drain(..)) {
+            discard_segment(seg, spill);
+        }
+    }
     for inbox in inboxes.iter_mut() {
         // Consumed entries are zero-capacity placeholders; `release`
         // ignores those.
-        for c in inbox.drain(..) {
-            pool.release(c);
+        for part in inbox.drain(..) {
+            match part {
+                InboxPart::Chunk(c) => pool.release(c),
+                InboxPart::Spilled(seg) => discard_segment(seg, spill),
+            }
         }
     }
 }
 
-/// Releases every chunk of a set of inboxes (abort paths).
-fn release_all<M>(pool: &ChunkPool<M>, boxes: Vec<Vec<Chunk<M>>>) {
+/// Deletes an unconsumed segment's blob when a store is available;
+/// otherwise the directory guard deletes it with the store.
+fn discard_segment<M>(seg: SpillSegment, spill: Option<SpillControl<'_, M>>) {
+    if let Some(sp) = spill {
+        sp.store.discard(seg);
+    }
+}
+
+/// Releases every chunk and discards every segment of a set of inboxes
+/// (abort paths).
+fn release_all<M>(
+    pool: &ChunkPool<M>,
+    boxes: Vec<Vec<InboxPart<M>>>,
+    spill: Option<SpillControl<'_, M>>,
+) {
     for inbox in boxes {
-        for c in inbox {
-            pool.release(c);
+        for part in inbox {
+            match part {
+                InboxPart::Chunk(c) => pool.release(c),
+                InboxPart::Spilled(seg) => discard_segment(seg, spill),
+            }
         }
     }
+}
+
+/// Wraps exchange-delivered inboxes (always resident) as inbox parts.
+fn wrap_resident<M>(boxes: Vec<Vec<Chunk<M>>>) -> Vec<Vec<InboxPart<M>>> {
+    boxes
+        .into_iter()
+        .map(|chunks| chunks.into_iter().map(InboxPart::Chunk).collect())
+        .collect()
 }
 
 /// Flattens freshly-exchanged inboxes into per-destination tuple runs
-/// (delivery order preserved), releasing the chunks — the checkpointable
-/// frontier.
-fn flatten_frontier<M>(pool: &ChunkPool<M>, boxes: Vec<Vec<Chunk<M>>>) -> Vec<Vec<(VertexId, M)>> {
-    boxes
+/// (delivery order preserved), releasing resident chunks and re-admitting
+/// spilled segments — the checkpointable frontier. On a re-admission
+/// failure every remaining chunk is still released (the pool stays
+/// balanced) and the typed error is reported after the sweep.
+fn flatten_frontier<M>(
+    pool: &ChunkPool<M>,
+    boxes: Vec<Vec<InboxPart<M>>>,
+    spill: Option<SpillControl<'_, M>>,
+) -> Result<Vec<Vec<(VertexId, M)>>, SpillError> {
+    let mut failed: Option<SpillError> = None;
+    let flat = boxes
         .into_iter()
-        .map(|chunks| {
+        .map(|parts| {
             let mut tuples = Vec::new();
-            for mut c in chunks {
-                tuples.append(&mut c);
-                pool.release(c);
+            for part in parts {
+                match part {
+                    InboxPart::Chunk(mut c) => {
+                        tuples.append(&mut c);
+                        pool.release(c);
+                    }
+                    InboxPart::Spilled(seg) => match (failed.is_none(), spill) {
+                        (true, Some(sp)) => {
+                            if let Err(e) = sp.store.readmit(sp.codec, seg, &mut tuples) {
+                                failed = Some(e);
+                            }
+                        }
+                        // Already failing (or no store): just drop the
+                        // segment; the directory guard deletes the blob.
+                        _ => {}
+                    },
+                }
             }
             tuples
         })
-        .collect()
+        .collect();
+    match failed {
+        None => Ok(flat),
+        Some(e) => Err(e),
+    }
+}
+
+/// Superstep-boundary eviction: while the pool is over its live-chunk
+/// cap, encode contiguous runs of resident frontier chunks into spill
+/// segments — replaced in place, so delivery order is untouched — and
+/// release the chunks. Walks destinations and each destination's parts
+/// in delivery order (oldest first): at a barrier the whole frontier is
+/// equally cold, and oldest-first makes eviction deterministic and
+/// sequential on disk. A write failure stops eviction entirely: the
+/// frontier stays resident (degraded, never wrong).
+fn evict_frontier<M>(
+    pool: &ChunkPool<M>,
+    sp: SpillControl<'_, M>,
+    inboxes: &mut [Vec<InboxPart<M>>],
+    cap: i64,
+) {
+    for inbox in inboxes.iter_mut() {
+        let mut i = 0;
+        while i < inbox.len() {
+            if pool.outstanding() <= cap {
+                return;
+            }
+            if !matches!(&inbox[i], InboxPart::Chunk(c) if !c.is_empty()) {
+                i += 1;
+                continue;
+            }
+            // Collect the contiguous run of non-empty resident chunks
+            // starting at `i`; taken slots become zero-capacity
+            // placeholders that drain harmlessly later.
+            let mut run: Vec<Chunk<M>> = Vec::new();
+            let mut j = i;
+            while j < inbox.len() {
+                match &inbox[j] {
+                    InboxPart::Chunk(c) if !c.is_empty() => {
+                        let InboxPart::Chunk(c) = std::mem::take(&mut inbox[j]) else {
+                            unreachable!("matched a resident chunk above")
+                        };
+                        run.push(c);
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            match sp.store.spill(sp.codec, &run) {
+                Ok(seg) => {
+                    for c in run {
+                        pool.release(c);
+                    }
+                    inbox[i] = InboxPart::Spilled(seg);
+                    i = j;
+                }
+                Err(_) => {
+                    // Degradable write failure: restore the run and keep
+                    // the whole frontier resident.
+                    for (off, c) in run.into_iter().enumerate() {
+                        inbox[i + off] = InboxPart::Chunk(c);
+                    }
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Rebuilds inbox chunks from a flattened frontier on resume.
@@ -918,13 +1294,25 @@ fn chunk_tuples<M>(pool: &ChunkPool<M>, tuples: Vec<(VertexId, M)>) -> Vec<Chunk
 fn finalize_metrics<M>(
     metrics: &mut EngineMetrics,
     pool: &ChunkPool<M>,
-    prior_pool_exhausted: u64,
+    carried: &CarriedCounters,
+    spill: Option<SpillControl<'_, M>>,
     start: Instant,
 ) {
     metrics.chunk_allocations = pool.fresh_allocations();
     metrics.chunk_reuses = pool.reuses();
-    metrics.pool_exhausted = prior_pool_exhausted + pool.exhausted_events();
+    metrics.pool_exhausted = carried.pool_exhausted + pool.exhausted_events();
     metrics.chunks_outstanding = pool.outstanding();
+    metrics.chunks_live_peak = carried.chunks_live_peak.max(pool.peak_outstanding());
+    metrics.spill_chunks = carried.spill_chunks;
+    metrics.spill_bytes = carried.spill_bytes;
+    metrics.spill_stall_nanos = carried.spill_stall_nanos;
+    metrics.readmitted_chunks = carried.readmitted_chunks;
+    if let Some(sp) = spill {
+        metrics.spill_chunks += sp.store.spilled_chunks();
+        metrics.spill_bytes += sp.store.spilled_bytes();
+        metrics.spill_stall_nanos += sp.store.stall_nanos();
+        metrics.readmitted_chunks += sp.store.readmitted();
+    }
     debug_assert_balanced(pool);
     metrics.wall_time = start.elapsed();
 }
@@ -981,18 +1369,26 @@ fn publish_units<M>(
     pool: &ChunkPool<M>,
     queue: &StealQueue<M>,
     sort_buf: &mut Vec<(VertexId, M)>,
-    inbox: &mut Vec<Chunk<M>>,
+    inbox: &mut Vec<InboxPart<M>>,
     unit_slot: &mut Option<Chunk<M>>,
-) {
+    spill: Option<SpillControl<'_, M>>,
+) -> Result<(), SpillError> {
     sort_buf.clear();
     for slot in inbox.iter_mut() {
-        let mut c = std::mem::take(slot);
-        sort_buf.append(&mut c);
-        pool.release(c);
+        match std::mem::take(slot) {
+            InboxPart::Chunk(mut c) => {
+                sort_buf.append(&mut c);
+                pool.release(c);
+            }
+            InboxPart::Spilled(seg) => {
+                let sp = spill.expect("spilled inbox part without a spill store");
+                sp.store.readmit(sp.codec, seg, sort_buf)?;
+            }
+        }
     }
     inbox.clear();
     if sort_buf.is_empty() {
-        return;
+        return Ok(());
     }
     sort_buf.sort_by_key(|(v, _)| *v);
     let cap = pool.capacity();
@@ -1006,6 +1402,7 @@ fn publish_units<M>(
         unit.push((v, m));
     }
     queue.push(unit_slot.take().expect("unit slot filled above"));
+    Ok(())
 }
 
 /// Phase 2: executes one worker for one superstep, filling the
@@ -1032,9 +1429,12 @@ fn run_worker<P: VertexProgram>(
     outbox: &mut WorkerOutbox<P::Message>,
     cur: &mut Option<Chunk<P::Message>>,
     poll: CancelPoll<'_>,
+    spill: Option<SpillControl<'_, P::Message>>,
+    spill_out: &mut (Vec<Vec<SpillSegment>>, Vec<SpillSegment>),
 ) -> (WorkerSuperstepMetrics, P::Aggregate) {
     let started = Instant::now();
     let (remote, local) = outbox;
+    let (spill_remote, spill_local) = spill_out;
     let mut local_aggregate = P::Aggregate::default();
     let mut ctx = Context {
         superstep,
@@ -1043,6 +1443,9 @@ fn run_worker<P: VertexProgram>(
         pool,
         remote: &mut remote[..],
         local,
+        spill,
+        spill_remote: &mut spill_remote[..],
+        spill_local,
         cost: 0,
         messages_out: 0,
         local_delivered: 0,
@@ -1787,6 +2190,169 @@ mod tests {
             // Deterministic per (superstep, dest, seed).
             assert_eq!(order, source_order(5, 3, dest, Some(99)));
         }
+    }
+
+    // ── spill tier ──────────────────────────────────────────────────────
+
+    use crate::spill::{SpillConfig, SpillFaults, SpillReader};
+
+    struct VertexIdCodec;
+
+    impl SpillCodec<VertexId> for VertexIdCodec {
+        fn encode(&self, msg: &VertexId, out: &mut Vec<u8>) {
+            out.extend_from_slice(&msg.to_le_bytes());
+        }
+        fn decode(&self, r: &mut SpillReader<'_>) -> Result<VertexId, SpillError> {
+            r.u32("min-label message")
+        }
+    }
+
+    fn run_min_label_spilling(
+        g: &DataGraph,
+        workers: usize,
+        config: &BspConfig,
+        store: &SpillStore,
+    ) -> (Vec<VertexId>, EngineMetrics) {
+        let prog = MinLabel { graph: g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(workers);
+        let control = RunControl {
+            spill: Some(SpillControl { store, codec: &VertexIdCodec }),
+            ..RunControl::default()
+        };
+        let res =
+            match run_controlled(g.num_vertices(), &p, &prog, config, &ThreadExecutor, control)
+                .unwrap()
+            {
+                RunOutcome::Complete(r) => r,
+                RunOutcome::Cancelled(_) => panic!("nothing cancels this run"),
+            };
+        (prog.labels.into_inner(), res.metrics)
+    }
+
+    #[test]
+    fn spilling_capped_run_matches_uncapped_results() {
+        let g = erdos_renyi_gnm(200, 300, 9).unwrap();
+        let base = run_min_label(&g, 3);
+        let config =
+            BspConfig { chunk_capacity: 4, max_live_chunks: Some(8), ..Default::default() };
+        let store = SpillStore::create(&SpillConfig::in_temp()).unwrap();
+        let (labels, m) = run_min_label_spilling(&g, 3, &config, &store);
+        assert_eq!(labels, base, "spilling must not change any label");
+        assert!(m.spill_chunks > 0, "the tiny cap must force eviction");
+        assert_eq!(m.readmitted_chunks, m.spill_chunks, "every segment comes back");
+        assert!(m.spill_bytes > 0);
+        assert!(m.chunks_live_peak > 0);
+        assert_eq!(m.chunks_outstanding, 0, "clean shutdown releases every chunk");
+        assert_eq!(store.live_bytes(), 0, "no blobs outlive the run");
+    }
+
+    #[test]
+    fn spill_read_fault_aborts_with_a_typed_error() {
+        let g = erdos_renyi_gnm(200, 300, 9).unwrap();
+        let config =
+            BspConfig { chunk_capacity: 4, max_live_chunks: Some(8), ..Default::default() };
+        let faults = SpillFaults { corrupt_read: true, ..SpillFaults::default() };
+        let store = SpillStore::create(&SpillConfig { faults, ..SpillConfig::in_temp() }).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let control = RunControl {
+            spill: Some(SpillControl { store: &store, codec: &VertexIdCodec }),
+            ..RunControl::default()
+        };
+        match run_controlled(g.num_vertices(), &p, &prog, &config, &ThreadExecutor, control) {
+            Err(BspError::Spill { error: SpillError::Corrupt { .. }, .. }) => {}
+            Err(e) => panic!("wrong error for a corrupt read: {e}"),
+            Ok(_) => panic!("corrupt spill blobs must abort the run"),
+        }
+        assert_eq!(store.live_bytes(), 0, "the abort path discards every blob");
+    }
+
+    #[test]
+    fn spill_write_failure_degrades_to_resident_execution() {
+        let g = erdos_renyi_gnm(200, 300, 9).unwrap();
+        let base = run_min_label(&g, 3);
+        let config =
+            BspConfig { chunk_capacity: 4, max_live_chunks: Some(8), ..Default::default() };
+        let faults = SpillFaults { fail_write_after_bytes: Some(0), ..SpillFaults::default() };
+        let store = SpillStore::create(&SpillConfig { faults, ..SpillConfig::in_temp() }).unwrap();
+        let (labels, m) = run_min_label_spilling(&g, 3, &config, &store);
+        assert_eq!(labels, base, "a full disk degrades the run, never corrupts it");
+        assert_eq!(m.spill_chunks, 0, "no write ever succeeded");
+        assert!(m.pool_exhausted > 0, "the run still grew past the cap in place");
+    }
+
+    #[test]
+    fn deadline_without_checkpoint_discards_spilled_frontier() {
+        let edges: Vec<_> = (0..39u32).map(|v| (v, v + 1)).collect();
+        let g = DataGraph::from_edges(40, &edges).unwrap();
+        let config =
+            BspConfig { chunk_capacity: 2, max_live_chunks: Some(4), ..Default::default() };
+        let store = SpillStore::create(&SpillConfig::in_temp()).unwrap();
+        let dir = store.dir().to_path_buf();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let token = CancelToken::with_superstep_deadline(3);
+        let control = RunControl {
+            cancel: Some(&token),
+            checkpoint: false,
+            spill: Some(SpillControl { store: &store, codec: &VertexIdCodec }),
+            ..RunControl::default()
+        };
+        match controlled(g.num_vertices(), &p, &prog, &config, control) {
+            RunOutcome::Cancelled(c) => {
+                assert_eq!(c.reason, CancelReason::Deadline);
+                assert!(c.frontier.is_none(), "hard cancels capture no frontier");
+                assert!(c.metrics.spill_chunks > 0, "the frontier was spilling when cut");
+                assert_eq!(c.metrics.chunks_outstanding, 0);
+            }
+            RunOutcome::Complete(_) => panic!("expected deadline cancellation"),
+        }
+        assert_eq!(store.live_bytes(), 0, "discarded segments delete their blobs");
+        drop(store);
+        assert!(!dir.exists(), "the spill directory dies with the store");
+    }
+
+    #[test]
+    fn checkpoint_resume_with_spill_matches_uninterrupted() {
+        let edges: Vec<_> = (0..39u32).map(|v| (v, v + 1)).collect();
+        let g = DataGraph::from_edges(40, &edges).unwrap();
+        let base = run_min_label(&g, 3);
+        let config =
+            BspConfig { chunk_capacity: 2, max_live_chunks: Some(4), ..Default::default() };
+        let store = SpillStore::create(&SpillConfig::in_temp()).unwrap();
+        let prog = MinLabel { graph: &g, labels: Mutex::new(g.vertices().collect()) };
+        let p = HashPartitioner::new(3);
+        let token = CancelToken::with_superstep_deadline(3);
+        let control = RunControl {
+            cancel: Some(&token),
+            checkpoint: true,
+            spill: Some(SpillControl { store: &store, codec: &VertexIdCodec }),
+            ..RunControl::default()
+        };
+        let cancelled = match controlled(g.num_vertices(), &p, &prog, &config, control) {
+            RunOutcome::Cancelled(c) => c,
+            RunOutcome::Complete(_) => panic!("run should hit the superstep deadline"),
+        };
+        let spilled_before_cut = cancelled.metrics.spill_chunks;
+        assert!(spilled_before_cut > 0, "the frontier was spilling when cut");
+        assert_eq!(store.live_bytes(), 0, "checkpoint capture re-admits every segment");
+        let resume = cancelled.into_resume_point().expect("checkpointed cancel resumes");
+        let control = RunControl {
+            resume: Some(resume),
+            spill: Some(SpillControl { store: &store, codec: &VertexIdCodec }),
+            ..RunControl::default()
+        };
+        match controlled(g.num_vertices(), &p, &prog, &config, control) {
+            RunOutcome::Complete(r) => {
+                assert_eq!(r.metrics.chunks_outstanding, 0);
+                assert!(
+                    r.metrics.spill_chunks >= spilled_before_cut,
+                    "carried counters keep the pre-cut spill volume"
+                );
+            }
+            RunOutcome::Cancelled(_) => panic!("resumed run should complete"),
+        }
+        assert_eq!(prog.labels.into_inner(), base);
     }
 }
 

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod exchange;
 pub mod exec;
 pub mod metrics;
+pub mod spill;
 
 pub use cancel::{CancelReason, CancelToken};
 pub use chunk::{
@@ -39,10 +40,16 @@ pub use chunk::{
 };
 pub use engine::{
     run, run_controlled, run_with_executor, BspConfig, BspError, BspResult, CancelledRun, Context,
-    ResumePoint, RunControl, RunOutcome, VertexProgram,
+    ResumePoint, RunControl, RunOutcome, SpillControl, VertexProgram,
 };
 pub use exchange::{
     Exchange, ExchangeDirective, ExchangeError, ExchangeOutcome, FrontierSink, WorkerOutbox,
 };
 pub use exec::{Executor, SerialExecutor, TaskFn, ThreadExecutor, WorkerTask};
-pub use metrics::{EngineMetrics, NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
+pub use metrics::{
+    CarriedCounters, EngineMetrics, NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics,
+};
+pub use spill::{
+    SpillCodec, SpillConfig, SpillError, SpillFaults, SpillReader, SpillSegment, SpillStore,
+    SPILL_MAGIC,
+};

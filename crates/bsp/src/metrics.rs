@@ -90,6 +90,42 @@ impl SuperstepMetrics {
     }
 }
 
+/// Counters carried across a checkpoint/resume (or preemption) seam so
+/// run-level metrics stay cumulative over every slice of a logical run.
+/// Captured from the prefix's [`EngineMetrics`] by
+/// [`CancelledRun::into_resume_point`](crate::CancelledRun::into_resume_point)
+/// and folded back in when the resumed slice finalizes its metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CarriedCounters {
+    /// Pool-exhaustion events of the completed prefix.
+    pub pool_exhausted: u64,
+    /// Chunks the prefix evicted to the disk spill tier.
+    pub spill_chunks: u64,
+    /// Framed spill bytes the prefix wrote.
+    pub spill_bytes: u64,
+    /// Nanoseconds the prefix stalled in spill I/O.
+    pub spill_stall_nanos: u64,
+    /// Chunks' worth of spilled tuples the prefix re-admitted.
+    pub readmitted_chunks: u64,
+    /// High-water mark of live pool chunks over the prefix.
+    pub chunks_live_peak: i64,
+}
+
+impl CarriedCounters {
+    /// Snapshots the carryable run-level counters of finalized metrics —
+    /// what a resumed slice (or a serialized checkpoint) folds back in.
+    pub fn of(m: &EngineMetrics) -> CarriedCounters {
+        CarriedCounters {
+            pool_exhausted: m.pool_exhausted,
+            spill_chunks: m.spill_chunks,
+            spill_bytes: m.spill_bytes,
+            spill_stall_nanos: m.spill_stall_nanos,
+            readmitted_chunks: m.readmitted_chunks,
+            chunks_live_peak: m.chunks_live_peak,
+        }
+    }
+}
+
 /// Metrics for a whole BSP run.
 #[derive(Clone, Debug, Default)]
 pub struct EngineMetrics {
@@ -101,13 +137,26 @@ pub struct EngineMetrics {
     pub chunk_allocations: u64,
     /// Message chunks served from the pool's free list.
     pub chunk_reuses: u64,
-    /// Times the pool's live-chunk cap forced a sender onto the degraded
-    /// path (grow-in-place instead of a fresh chunk). Always 0 when
-    /// `max_live_chunks` is unset.
+    /// Times the pool's live-chunk cap forced a sender onto a degraded
+    /// path (spill to disk, or grow-in-place when no spill tier is
+    /// configured). Always 0 when `max_live_chunks` is unset.
     pub pool_exhausted: u64,
     /// Pool get/put imbalance at shutdown (acquires minus releases);
     /// 0 on a clean run — anything else is a chunk leak or double-free.
     pub chunks_outstanding: i64,
+    /// High-water mark of simultaneously live pool chunks over the run —
+    /// the message plane's true peak memory footprint.
+    pub chunks_live_peak: i64,
+    /// Pool chunks whose contents were evicted to the disk spill tier.
+    pub spill_chunks: u64,
+    /// Framed bytes written to spill blobs.
+    pub spill_bytes: u64,
+    /// Nanoseconds spent blocked inside spill writes and re-admission
+    /// reads.
+    pub spill_stall_nanos: u64,
+    /// Chunks' worth of spilled tuples decoded back in at superstep
+    /// boundaries.
+    pub readmitted_chunks: u64,
 }
 
 impl EngineMetrics {

@@ -24,7 +24,10 @@ use crate::distribute::{DistributorSnapshot, Strategy};
 use crate::gpsi::{Gpsi, MAX_GPSI_VERTICES};
 use crate::stats::ExpandStats;
 use bytes::{BufMut, BytesMut};
-use psgl_bsp::{NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
+use psgl_bsp::{
+    CarriedCounters, NetSuperstepMetrics, SpillCodec, SpillError, SpillReader, SuperstepMetrics,
+    WorkerSuperstepMetrics,
+};
 use psgl_graph::hash::FxHasher;
 use psgl_graph::VertexId;
 use std::hash::Hasher;
@@ -122,8 +125,10 @@ pub struct Checkpoint {
     pub guard: CheckpointGuard,
     /// The superstep the resumed run starts at.
     pub superstep: u32,
-    /// Pool-exhaustion events of the completed prefix.
-    pub prior_pool_exhausted: u64,
+    /// Run-level counters of the completed prefix (pool exhaustion,
+    /// spill traffic, live-chunk peak), folded into the resumed run's
+    /// totals.
+    pub carried: CarriedCounters,
     /// Per-superstep metrics of the completed prefix.
     pub prior_supersteps: Vec<SuperstepMetrics>,
     /// Per-worker state, indexed by worker id.
@@ -193,7 +198,12 @@ impl Checkpoint {
         let mut p = BytesMut::new();
         put_guard(&mut p, &self.guard);
         p.put_u32_le(self.superstep);
-        p.put_u64_le(self.prior_pool_exhausted);
+        p.put_u64_le(self.carried.pool_exhausted);
+        p.put_u64_le(self.carried.spill_chunks);
+        p.put_u64_le(self.carried.spill_bytes);
+        p.put_u64_le(self.carried.spill_stall_nanos);
+        p.put_u64_le(self.carried.readmitted_chunks);
+        p.put_u64_le(self.carried.chunks_live_peak as u64);
         p.put_u32_le(self.prior_supersteps.len() as u32);
         for s in &self.prior_supersteps {
             p.put_u32_le(s.workers.len() as u32);
@@ -231,7 +241,14 @@ impl Checkpoint {
         let workers = guard.workers;
         let harvest_mode = guard.harvest_mode;
         let superstep = r.u32()?;
-        let prior_pool_exhausted = r.u64()?;
+        let carried = CarriedCounters {
+            pool_exhausted: r.u64()?,
+            spill_chunks: r.u64()?,
+            spill_bytes: r.u64()?,
+            spill_stall_nanos: r.u64()?,
+            readmitted_chunks: r.u64()?,
+            chunks_live_peak: r.u64()? as i64,
+        };
         let n_supersteps = r.u32()? as usize;
         let mut prior_supersteps = Vec::new();
         for _ in 0..n_supersteps {
@@ -269,14 +286,7 @@ impl Checkpoint {
         if !r.data.is_empty() {
             return Err(CheckpointError::new("trailing bytes after frontier"));
         }
-        Ok(Checkpoint {
-            guard,
-            superstep,
-            prior_pool_exhausted,
-            prior_supersteps,
-            workers: worker_states,
-            frontier,
-        })
+        Ok(Checkpoint { guard, superstep, carried, prior_supersteps, workers: worker_states, frontier })
     }
 }
 
@@ -517,6 +527,38 @@ fn read_frontier_dest(r: &mut Reader<'_>) -> Result<Vec<(VertexId, Gpsi)>, Check
     Ok(dest)
 }
 
+/// [`SpillCodec`] for [`Gpsi`] messages — the byte layout the engine's
+/// disk spill tier uses to evict frontier chunks. Reuses the checkpoint
+/// frontier tuple layout ([`put_frontier_dest`]) minus the destination
+/// vertex, which the spill blob frames itself; corruption is caught by
+/// the blob's checksum before any of these fields are decoded.
+pub struct GpsiSpillCodec;
+
+impl SpillCodec<Gpsi> for GpsiSpillCodec {
+    fn encode(&self, msg: &Gpsi, out: &mut Vec<u8>) {
+        let (mapping, black, mapped, verified, expanding) = msg.to_raw_parts();
+        for m in mapping {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        out.extend_from_slice(&black.to_le_bytes());
+        out.extend_from_slice(&mapped.to_le_bytes());
+        out.extend_from_slice(&verified.to_le_bytes());
+        out.push(expanding);
+    }
+
+    fn decode(&self, r: &mut SpillReader<'_>) -> Result<Gpsi, SpillError> {
+        let mut mapping = [0u32; MAX_GPSI_VERTICES];
+        for m in &mut mapping {
+            *m = r.u32("gpsi mapping")?;
+        }
+        let black = r.u16("gpsi black set")?;
+        let mapped = r.u16("gpsi mapped set")?;
+        let verified = r.u128("gpsi verified edges")?;
+        let expanding = r.u8("gpsi expanding vertex")?;
+        Ok(Gpsi::from_raw_parts(mapping, black, mapped, verified, expanding))
+    }
+}
+
 fn encode_strategy(s: Strategy) -> (u8, f64) {
     match s {
         Strategy::Random => (0, 0.0),
@@ -644,7 +686,14 @@ mod tests {
                 harvest_mode: 1,
             },
             superstep: 3,
-            prior_pool_exhausted: 1,
+            carried: CarriedCounters {
+                pool_exhausted: 1,
+                spill_chunks: 4,
+                spill_bytes: 8192,
+                spill_stall_nanos: 555,
+                readmitted_chunks: 4,
+                chunks_live_peak: 17,
+            },
             prior_supersteps: vec![SuperstepMetrics {
                 workers: vec![
                     WorkerSuperstepMetrics {

@@ -49,7 +49,7 @@ pub mod runner;
 pub mod shared;
 pub mod stats;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard, GpsiSpillCodec};
 pub use config::PsglConfig;
 pub use distribute::Strategy;
 pub use expand::ExpandScratch;
@@ -57,7 +57,7 @@ pub use gpsi::EdgeIds;
 pub use gpsi::Gpsi;
 pub use index::EdgeIndex;
 pub use plan::{KernelId, QueryPlan};
-pub use psgl_bsp::{CancelReason, CancelToken};
+pub use psgl_bsp::{CancelReason, CancelToken, SpillConfig, SpillError, SpillFaults};
 pub use runner::{
     assemble_run_stats, count_per_vertex, list_subgraphs, list_subgraphs_labeled,
     list_subgraphs_prepared, list_subgraphs_prepared_with, list_subgraphs_resumable,

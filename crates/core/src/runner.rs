@@ -8,8 +8,8 @@
 //! arrived as messages.
 
 use crate::checkpoint::{
-    pattern_hash, Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard, HarvestCheckpoint,
-    WorkerCheckpoint,
+    pattern_hash, Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard, GpsiSpillCodec,
+    HarvestCheckpoint, WorkerCheckpoint,
 };
 use crate::config::PsglConfig;
 use crate::distribute::Distributor;
@@ -19,8 +19,8 @@ use crate::init_vertex::SelectionRule;
 use crate::shared::{PsglError, PsglShared};
 use crate::stats::{ExpandStats, RunStats};
 use psgl_bsp::{
-    BspConfig, CancelReason, CancelToken, Chunk, Context, EngineMetrics, Exchange, FrontierSink,
-    ResumePoint, RunControl, RunOutcome, VertexProgram,
+    BspConfig, CancelReason, CancelToken, CarriedCounters, Chunk, Context, EngineMetrics, Exchange,
+    FrontierSink, ResumePoint, RunControl, RunOutcome, SpillControl, SpillStore, VertexProgram,
 };
 use psgl_graph::hash::hash_u64;
 use psgl_graph::partition::HashPartitioner;
@@ -241,6 +241,14 @@ pub struct RunnerHooks<'a> {
     pub steal_budget: Option<u64>,
     /// Seeded exchange reordering ([`BspConfig::exchange_shuffle_seed`]).
     pub exchange_shuffle_seed: Option<u64>,
+    /// Message-chunk granularity override ([`BspConfig::chunk_capacity`]).
+    /// Smaller chunks give eviction (and stealing) finer granularity;
+    /// memory-bounded runs pair this with [`RunnerHooks::max_live_chunks`].
+    pub chunk_capacity: Option<usize>,
+    /// Disk spill tier override; takes precedence over
+    /// [`PsglConfig::spill`] so the chaos harness can inject disk-pressure
+    /// faults per scenario.
+    pub spill: Option<psgl_bsp::SpillConfig>,
 }
 
 /// Runs the BSP phase against an already-prepared shared context.
@@ -607,7 +615,7 @@ fn restore_resume_point(config: &PsglConfig, cp: Checkpoint) -> ResumePoint<Gpsi
         worker_states,
         aggregate: (),
         prior_supersteps: cp.prior_supersteps,
-        prior_pool_exhausted: cp.prior_pool_exhausted,
+        carried: cp.carried,
     }
 }
 
@@ -705,7 +713,7 @@ fn restore_from_shards(
         // The coordinator owns the global superstep history; a member's
         // metrics restart at the resume superstep.
         prior_supersteps: Vec::new(),
-        prior_pool_exhausted: 0,
+        carried: CarriedCounters::default(),
     })
 }
 
@@ -730,6 +738,11 @@ pub fn assemble_run_stats(expand: ExpandStats, metrics: &EngineMetrics) -> RunSt
             .collect(),
         pool_exhausted: metrics.pool_exhausted,
         chunks_outstanding: metrics.chunks_outstanding,
+        chunks_live_peak: metrics.chunks_live_peak,
+        spill_chunks: metrics.spill_chunks,
+        spill_bytes: metrics.spill_bytes,
+        spill_stall_ms: metrics.spill_stall_nanos / 1_000_000,
+        readmitted_chunks: metrics.readmitted_chunks,
         wall_time: metrics.wall_time,
         cost_imbalance: metrics.cost_imbalance(),
         frames_sent: metrics.total_frames_sent(),
@@ -792,7 +805,7 @@ fn run_engine_seeded(
         harvest_mode,
         defer_budget: controls.checkpoint && config.gpsi_budget.is_some(),
     };
-    let bsp_config = BspConfig {
+    let mut bsp_config = BspConfig {
         max_supersteps: config.max_supersteps,
         // The per-worker budget also bounds the global in-flight volume.
         message_budget: config.gpsi_budget.map(|b| b.saturating_mul(config.workers as u64)),
@@ -802,6 +815,9 @@ fn run_engine_seeded(
         exchange_shuffle_seed: hooks.exchange_shuffle_seed,
         ..Default::default()
     };
+    if let Some(capacity) = hooks.chunk_capacity {
+        bsp_config.chunk_capacity = capacity;
+    }
     let executor: &dyn psgl_bsp::Executor = hooks.executor.unwrap_or(&psgl_bsp::ThreadExecutor);
     let guard = guard_of(shared, config, harvest_mode);
     let RunControls { cancel, checkpoint, resume, cluster } = controls;
@@ -823,7 +839,7 @@ fn run_engine_seeded(
             worker_states,
             aggregate: (),
             prior_supersteps: Vec::new(),
-            prior_pool_exhausted: 0,
+            carried: CarriedCounters::default(),
         })
     } else if let Some(shards) = resume_shards {
         let exchange = cluster_exchange.expect("resume_shards live inside ClusterControls");
@@ -844,6 +860,22 @@ fn run_engine_seeded(
             partitions: exchange.local_partitions(),
         })
     });
+    // The spill tier. Hooks override config so the chaos harness can
+    // inject disk-pressure faults per scenario; disabled under a cluster
+    // exchange, where the message plane owns inter-worker buffering. The
+    // store created here owns the per-run spill directory: dropping this
+    // frame — clean finish, cancel, preempt, `?` error, panic unwind —
+    // deletes every blob.
+    let spill_config = hooks.spill.as_ref().or(config.spill.as_ref());
+    let spill_store = match spill_config {
+        Some(sc) if cluster_exchange.is_none() => {
+            Some(SpillStore::create(sc).map_err(|error| {
+                PsglError::Engine(psgl_bsp::BspError::Spill { superstep: 0, error })
+            })?)
+        }
+        _ => None,
+    };
+    let spill_codec = GpsiSpillCodec;
     let control = RunControl {
         cancel,
         // In-engine whole-run checkpoint capture needs every partition's
@@ -852,6 +884,7 @@ fn run_engine_seeded(
         resume,
         exchange: cluster_exchange,
         sink: shard_sink.as_ref().map(|s| s as &dyn FrontierSink<Gpsi, WorkerState>),
+        spill: spill_store.as_ref().map(|store| SpillControl { store, codec: &spill_codec }),
     };
     let outcome = psgl_bsp::run_controlled(
         shared.graph.num_vertices(),
@@ -903,7 +936,7 @@ fn run_engine_seeded(
             let checkpoint = c.frontier.map(|frontier| Checkpoint {
                 guard,
                 superstep: c.superstep,
-                prior_pool_exhausted: c.metrics.pool_exhausted,
+                carried: CarriedCounters::of(&c.metrics),
                 prior_supersteps: c.metrics.supersteps,
                 workers: c.worker_states.iter().map(snapshot_worker).collect(),
                 frontier,
@@ -953,6 +986,52 @@ mod tests {
                 let got = list_subgraphs(&g, &catalog::triangle(), &c).unwrap().instance_count;
                 assert_eq!(got, reference, "{strategy:?} x {workers}");
             }
+        }
+    }
+
+    #[test]
+    fn capped_spilling_run_matches_uncapped_across_strategies() {
+        // The out-of-core acceptance gate: a run whose live-chunk cap is
+        // clamped to <= 25% of the uncapped run's peak must serve the
+        // bit-identical instance multiset by spilling cold frontier chunks
+        // to disk, across every paper distribution strategy.
+        let g = chung_lu(400, 8.0, 2.2, 5).unwrap();
+        let pattern = catalog::square();
+        for (name, strategy) in Strategy::paper_variants() {
+            let config = PsglConfig::with_workers(3).strategy(strategy).collect(true);
+            let shared = PsglShared::prepare(&g, &pattern, &config).unwrap();
+            // Fine-grained chunks so this graph's frontier spans enough of
+            // them for a 25% cap to be meaningful.
+            let base_hooks = RunnerHooks { chunk_capacity: Some(32), ..Default::default() };
+            let base = list_subgraphs_prepared_with(&shared, &config, &base_hooks).unwrap();
+            let peak = base.stats.chunks_live_peak;
+            assert!(peak > 4, "{name}: uncapped peak {peak} leaves no room to cap");
+            let cap = (peak / 4).max(1) as u64;
+            let hooks = RunnerHooks {
+                chunk_capacity: Some(32),
+                max_live_chunks: Some(cap),
+                spill: Some(psgl_bsp::SpillConfig::in_temp()),
+                ..Default::default()
+            };
+            let capped = list_subgraphs_prepared_with(&shared, &config, &hooks).unwrap();
+            let mut want = base.instances.clone().unwrap();
+            let mut got = capped.instances.clone().unwrap();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "{name}: instance multiset diverged under the cap");
+            let stats = &capped.stats;
+            assert!(stats.spill_chunks > 0, "{name}: capped run never touched the disk");
+            assert!(stats.spill_bytes > 0, "{name}: spilled chunks carried no bytes");
+            assert_eq!(
+                stats.readmitted_chunks, stats.spill_chunks,
+                "{name}: spilled and re-admitted chunk counts diverge on a complete run"
+            );
+            assert_eq!(stats.chunks_outstanding, 0, "{name}: pooled chunks leaked");
+            assert!(
+                stats.chunks_live_peak <= peak,
+                "{name}: capped peak {} above uncapped {peak}",
+                stats.chunks_live_peak
+            );
         }
     }
 

@@ -117,6 +117,17 @@ pub struct RunStats {
     pub pool_exhausted: u64,
     /// Chunk-pool get/put imbalance at engine shutdown (0 on a clean run).
     pub chunks_outstanding: i64,
+    /// High-water mark of simultaneously live pool chunks — the run's
+    /// actual memory footprint in chunk units.
+    pub chunks_live_peak: i64,
+    /// Chunks evicted to the disk spill tier (0 with spill disabled).
+    pub spill_chunks: u64,
+    /// Framed bytes written to spill blobs.
+    pub spill_bytes: u64,
+    /// Milliseconds stalled in spill I/O (write + re-admission).
+    pub spill_stall_ms: u64,
+    /// Chunks' worth of spilled tuples re-admitted from disk.
+    pub readmitted_chunks: u64,
     /// Wall-clock duration of the BSP run.
     pub wall_time: std::time::Duration,
     /// Max/mean imbalance of per-worker cost (1.0 = perfect).

@@ -55,5 +55,6 @@ pub use scheduler::{
     DEFAULT_TENANT,
 };
 pub use server::{serve, serve_with_state, ServiceConfig, ServiceHandle};
+pub use psgl_core::SpillConfig;
 pub use state::{QueryDefaults, ServiceState, TenantAccount};
 pub use wire::{WireError, MAX_LINE_BYTES};

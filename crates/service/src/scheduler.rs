@@ -155,6 +155,11 @@ struct Task {
     last_superstep: u32,
     partial_count: u64,
     admitted_at: Instant,
+    /// Serve this task as a memory-bounded spilling run (tight live-chunk
+    /// cap, Gpsi budget lifted) instead of rejecting it. Set at admission
+    /// when the queue is full, or mid-run when the budget trips, and only
+    /// when the server's defaults configure a spill tier.
+    degraded: bool,
 }
 
 #[derive(Default)]
@@ -234,10 +239,21 @@ impl Scheduler {
         if q.shutdown {
             return Err(ServiceError::ShuttingDown);
         }
+        let mut degraded = false;
         if q.ready.len() >= self.shared.queue_cap {
-            drop(q);
-            self.shared.state.tenants.update(&tenant, |a| a.rejected += 1);
-            return Err(ServiceError::Overloaded { queue_cap: self.shared.queue_cap });
+            // With a spill tier configured the full queue is a served
+            // scenario, not a rejection: over-admit the job as a degraded
+            // memory-bounded run (up to 2x the cap, so backpressure still
+            // exists). Without one, fail fast as before.
+            if self.shared.state.defaults.spill.is_some()
+                && q.ready.len() < self.shared.queue_cap.saturating_mul(2)
+            {
+                degraded = true;
+            } else {
+                drop(q);
+                self.shared.state.tenants.update(&tenant, |a| a.rejected += 1);
+                return Err(ServiceError::Overloaded { queue_cap: self.shared.queue_cap });
+            }
         }
         let seq = q.next_seq;
         q.next_seq += 1;
@@ -261,15 +277,22 @@ impl Scheduler {
             last_superstep: 0,
             partial_count: 0,
             admitted_at: Instant::now(),
+            degraded,
         };
         let vtime = enqueue(&mut q, task);
         drop(q);
         self.shared.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.shared.state.stats.degraded_to_spill.fetch_add(1, Ordering::Relaxed);
+        }
         self.shared.state.tenants.update(&tenant, |a| {
             a.admitted += 1;
             a.active += 1;
             a.weight = weight;
             a.vtime = a.vtime.max(vtime);
+            if degraded {
+                a.degraded_to_spill += 1;
+            }
         });
         self.shared.ready_cond.notify_one();
         Ok(())
@@ -428,7 +451,7 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
             }
         }
     }
-    let config = query_config(state, &query, task.job.collect);
+    let config = query_config(state, &query, task.job.collect, task.degraded);
     let key = ResultKey {
         graph_hash: entry.content_hash,
         pattern: canonical_pattern(&query.pattern),
@@ -471,7 +494,7 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
     let end = list_subgraphs_slice(
         &shared,
         &config,
-        &RunnerHooks::default(),
+        &run_hooks(state, task.degraded),
         &task.job.token,
         query.checkpoint,
         task.resume.take().map(|b| *b),
@@ -481,9 +504,33 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
     state.stats.slices.fetch_add(1, Ordering::Relaxed);
     state.tenants.update(&task.tenant, |a| a.slices += 1);
     match end {
-        Err(e) => done(Err(ServiceError::from(e))),
+        Err(e) => {
+            // A tripped Gpsi budget is the paper's simulated OOM. With a
+            // spill tier configured the server serves it instead of
+            // bouncing it: restart the query from scratch as a degraded
+            // memory-bounded run, budget lifted, frontier on disk.
+            // (A run that already streamed pages cannot restart — the
+            // client would see the early pages twice.)
+            if matches!(e, PsglError::OutOfMemory { .. })
+                && !task.degraded
+                && task.streamed == 0
+                && state.defaults.spill.is_some()
+            {
+                task.degraded = true;
+                task.resume = None;
+                task.last_superstep = 0;
+                task.partial_count = 0;
+                state.stats.degraded_to_spill.fetch_add(1, Ordering::Relaxed);
+                state.tenants.update(&task.tenant, |a| a.degraded_to_spill += 1);
+                return SliceStep::Yield;
+            }
+            done(Err(ServiceError::from(e)))
+        }
         Ok(SliceEnd::Complete(result)) => {
             state.stats.record_run(&result.stats);
+            state
+                .tenants
+                .update(&task.tenant, |a| a.spill_bytes += result.stats.spill_bytes);
             let mut outcome = QueryOutcome {
                 count: result.instance_count,
                 instances: result.instances.map(Arc::new),
@@ -545,6 +592,9 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
             // partial stats are cumulative across this task's slices, so
             // they are recorded exactly once, here.)
             state.stats.record_run(&c.partial.stats);
+            state
+                .tenants
+                .update(&task.tenant, |a| a.spill_bytes += c.partial.stats.spill_bytes);
             let resume_token =
                 c.checkpoint.as_ref().map(|cp| state.checkpoints.put(cp.to_bytes()));
             done(Err(ServiceError::Cancelled {
@@ -637,15 +687,23 @@ fn stream_abort(task: &Task) -> ServiceError {
     }
 }
 
+/// Live-chunk cap for degraded runs when the server's defaults set a
+/// spill tier but no explicit cap: tight enough that a giant frontier
+/// lives mostly on disk instead of in the pool.
+const DEGRADED_MAX_LIVE_CHUNKS: u64 = 8;
+
 /// Materializes a query's engine configuration against server defaults.
-fn query_config(state: &ServiceState, query: &QuerySpec, collect: bool) -> PsglConfig {
+/// A `degraded` run is one the scheduler chose to serve memory-bounded
+/// instead of rejecting: its Gpsi budget (the simulated OOM) is lifted
+/// because the spill tier, not the budget, now bounds memory.
+fn query_config(state: &ServiceState, query: &QuerySpec, collect: bool, degraded: bool) -> PsglConfig {
     let config = PsglConfig {
         workers: query.workers.unwrap_or(state.defaults.workers).max(1),
         init_vertex: query.init_vertex,
         break_automorphisms: query.break_automorphisms,
         use_edge_index: query.use_index,
         collect_instances: collect,
-        gpsi_budget: query.budget.or(state.defaults.budget),
+        gpsi_budget: if degraded { None } else { query.budget.or(state.defaults.budget) },
         seed: query.seed.unwrap_or(state.defaults.seed),
         ..PsglConfig::default()
     };
@@ -653,6 +711,22 @@ fn query_config(state: &ServiceState, query: &QuerySpec, collect: bool) -> PsglC
         Some(strategy) => PsglConfig { strategy, ..config },
         None => config,
     }
+}
+
+/// Runner hooks for a query run: threads the server's spill tier and
+/// live-chunk cap through to the engine. Degraded runs get a tight cap
+/// even when the defaults leave the pool unbounded, so the frontier of
+/// a giant query spills instead of occupying the whole pool.
+fn run_hooks(state: &ServiceState, degraded: bool) -> RunnerHooks<'static> {
+    let mut hooks = RunnerHooks::default();
+    hooks.spill = state.defaults.spill.clone();
+    hooks.max_live_chunks = state.defaults.max_live_chunks;
+    hooks.chunk_capacity = state.defaults.chunk_capacity;
+    if degraded && state.defaults.spill.is_some() {
+        hooks.max_live_chunks =
+            Some(state.defaults.max_live_chunks.unwrap_or(DEGRADED_MAX_LIVE_CHUNKS));
+    }
+    hooks
 }
 
 /// Resolves a query against the catalog and caches, running the engine
@@ -681,7 +755,7 @@ pub fn execute_query(
         }
         None => None,
     };
-    let config = query_config(state, query, collect);
+    let config = query_config(state, query, collect, false);
     let key = ResultKey {
         graph_hash: entry.content_hash,
         pattern: canonical_pattern(&query.pattern),
@@ -720,7 +794,7 @@ pub fn execute_query(
         resume: resume_checkpoint,
         cluster: None,
     };
-    let end = list_subgraphs_resumable(&shared, &config, &RunnerHooks::default(), controls)
+    let end = list_subgraphs_resumable(&shared, &config, &run_hooks(state, false), controls)
         .map_err(ServiceError::from)?;
     let result = match end {
         ListingEnd::Complete(result) => result,

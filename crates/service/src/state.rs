@@ -26,11 +26,30 @@ pub struct QueryDefaults {
     pub budget: Option<u64>,
     /// Engine seed.
     pub seed: u64,
+    /// Live-chunk cap applied to every query run (`None` = unbounded).
+    pub max_live_chunks: Option<u64>,
+    /// Message-chunk granularity override (`None` = the engine default).
+    /// Memory-tight servers shrink this so the live-chunk cap meters
+    /// memory finely enough for the spill tier to engage.
+    pub chunk_capacity: Option<usize>,
+    /// Disk spill tier for query runs. When set, a capped run evicts cold
+    /// frontier chunks to disk instead of growing in place, and the
+    /// scheduler serves would-be `overloaded`/`budget_exceeded` giants as
+    /// degraded memory-bounded runs instead of rejecting them. `None`
+    /// (the default) keeps the seed behavior.
+    pub spill: Option<psgl_core::SpillConfig>,
 }
 
 impl Default for QueryDefaults {
     fn default() -> Self {
-        QueryDefaults { workers: 4, budget: None, seed: 42 }
+        QueryDefaults {
+            workers: 4,
+            budget: None,
+            seed: 42,
+            max_live_chunks: None,
+            chunk_capacity: None,
+            spill: None,
+        }
     }
 }
 
@@ -97,6 +116,11 @@ pub struct TenantAccount {
     pub vtime: u64,
     /// Weight of the tenant's most recent query.
     pub weight: u64,
+    /// Bytes this tenant's queries have written to the disk spill tier.
+    pub spill_bytes: u64,
+    /// Queries served as degraded memory-bounded spilling runs instead of
+    /// being rejected `overloaded`/`budget_exceeded`.
+    pub degraded_to_spill: u64,
 }
 
 /// Per-tenant admission accounting, shared between the scheduler (which
@@ -141,6 +165,8 @@ impl TenantRegistry {
                             ("pages", Json::from(a.pages)),
                             ("vtime", Json::from(a.vtime)),
                             ("weight", Json::from(a.weight)),
+                            ("spill_bytes", Json::from(a.spill_bytes)),
+                            ("degraded_to_spill", Json::from(a.degraded_to_spill)),
                         ]),
                     )
                 })

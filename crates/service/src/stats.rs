@@ -72,6 +72,24 @@ pub struct ServerStats {
     pub wire_bytes_received: AtomicU64,
     /// Nanoseconds spent blocked on superstep barriers.
     pub barrier_wait_nanos: AtomicU64,
+    /// Times an engine chunk pool hit its live-chunk cap across executed
+    /// queries (each is either a disk eviction or a degraded in-place
+    /// grow).
+    pub pool_exhausted: AtomicU64,
+    /// High-water mark of simultaneously live pool chunks over any single
+    /// executed query — the worst per-run memory footprint in chunk units.
+    pub chunks_live_peak: AtomicU64,
+    /// Chunks evicted to the disk spill tier across executed queries.
+    pub spill_chunks: AtomicU64,
+    /// Framed bytes written to spill blobs across executed queries.
+    pub spill_bytes: AtomicU64,
+    /// Milliseconds queries spent stalled in spill I/O.
+    pub spill_stall_ms: AtomicU64,
+    /// Chunks' worth of spilled tuples re-admitted from disk.
+    pub readmitted_chunks: AtomicU64,
+    /// Giant queries admitted as memory-bounded spilling runs instead of
+    /// being rejected `overloaded`/`budget_exceeded`.
+    pub degraded_to_spill: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -105,6 +123,13 @@ impl Default for ServerStats {
             wire_bytes_sent: AtomicU64::new(0),
             wire_bytes_received: AtomicU64::new(0),
             barrier_wait_nanos: AtomicU64::new(0),
+            pool_exhausted: AtomicU64::new(0),
+            chunks_live_peak: AtomicU64::new(0),
+            spill_chunks: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            spill_stall_ms: AtomicU64::new(0),
+            readmitted_chunks: AtomicU64::new(0),
+            degraded_to_spill: AtomicU64::new(0),
         }
     }
 }
@@ -132,6 +157,12 @@ impl ServerStats {
         self.wire_bytes_sent.fetch_add(stats.wire_bytes_sent, Ordering::Relaxed);
         self.wire_bytes_received.fetch_add(stats.wire_bytes_received, Ordering::Relaxed);
         self.barrier_wait_nanos.fetch_add(stats.barrier_wait_nanos, Ordering::Relaxed);
+        self.pool_exhausted.fetch_add(stats.pool_exhausted, Ordering::Relaxed);
+        self.chunks_live_peak.fetch_max(stats.chunks_live_peak.max(0) as u64, Ordering::Relaxed);
+        self.spill_chunks.fetch_add(stats.spill_chunks, Ordering::Relaxed);
+        self.spill_bytes.fetch_add(stats.spill_bytes, Ordering::Relaxed);
+        self.spill_stall_ms.fetch_add(stats.spill_stall_ms, Ordering::Relaxed);
+        self.readmitted_chunks.fetch_add(stats.readmitted_chunks, Ordering::Relaxed);
     }
 
     /// Snapshot as the `stats` verb's `server` object.
@@ -160,6 +191,13 @@ impl ServerStats {
             ("cmap_hits", Json::from(self.cmap_hits.load(Ordering::Relaxed))),
             ("messages_total", Json::from(self.messages_total.load(Ordering::Relaxed))),
             ("local_delivery_ratio", Json::from(self.local_delivery_ratio())),
+            ("pool_exhausted", Json::from(self.pool_exhausted.load(Ordering::Relaxed))),
+            ("chunks_live_peak", Json::from(self.chunks_live_peak.load(Ordering::Relaxed))),
+            ("spill_chunks", Json::from(self.spill_chunks.load(Ordering::Relaxed))),
+            ("spill_bytes", Json::from(self.spill_bytes.load(Ordering::Relaxed))),
+            ("spill_stall_ms", Json::from(self.spill_stall_ms.load(Ordering::Relaxed))),
+            ("readmitted_chunks", Json::from(self.readmitted_chunks.load(Ordering::Relaxed))),
+            ("degraded_to_spill", Json::from(self.degraded_to_spill.load(Ordering::Relaxed))),
         ])
     }
 
@@ -229,5 +267,31 @@ mod tests {
     #[test]
     fn local_delivery_ratio_is_zero_before_any_run() {
         assert_eq!(ServerStats::new().local_delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_run_folds_spill_counters_and_tracks_the_peak() {
+        let stats = ServerStats::new();
+        let mut run = RunStats {
+            pool_exhausted: 3,
+            chunks_live_peak: 40,
+            spill_chunks: 12,
+            spill_bytes: 4096,
+            spill_stall_ms: 7,
+            readmitted_chunks: 12,
+            ..Default::default()
+        };
+        stats.record_run(&run);
+        // A second, smaller run: sums accumulate, the peak keeps its max.
+        run.chunks_live_peak = 5;
+        stats.record_run(&run);
+        let snap = stats.snapshot();
+        assert_eq!(snap.get("pool_exhausted").unwrap().as_u64(), Some(6));
+        assert_eq!(snap.get("chunks_live_peak").unwrap().as_u64(), Some(40));
+        assert_eq!(snap.get("spill_chunks").unwrap().as_u64(), Some(24));
+        assert_eq!(snap.get("spill_bytes").unwrap().as_u64(), Some(8192));
+        assert_eq!(snap.get("spill_stall_ms").unwrap().as_u64(), Some(14));
+        assert_eq!(snap.get("readmitted_chunks").unwrap().as_u64(), Some(24));
+        assert_eq!(snap.get("degraded_to_spill").unwrap().as_u64(), Some(0));
     }
 }

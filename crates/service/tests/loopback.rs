@@ -6,7 +6,7 @@
 //! admission queue rejects with `overloaded` instead of blocking.
 
 use psgl_service::json::Json;
-use psgl_service::{serve, Client, ClientError, QueryDefaults, ServiceConfig};
+use psgl_service::{serve, Client, ClientError, QueryDefaults, ServiceConfig, SpillConfig};
 
 fn test_config() -> ServiceConfig {
     ServiceConfig {
@@ -812,6 +812,146 @@ fn loopback_mid_stream_disconnect_frees_the_tenant_accounting() {
     assert_eq!(u64_field(&monitor.count("karate", "triangle").unwrap(), "count"), 45);
     assert_eq!(server_field(&mut monitor, "running"), 0);
 
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+/// Spill defaults for a memory-tight server: every run is capped to a
+/// handful of live chunks and evicts the rest of its frontier to disk.
+fn spill_defaults(spill: SpillConfig) -> QueryDefaults {
+    QueryDefaults {
+        max_live_chunks: Some(4),
+        chunk_capacity: Some(16),
+        spill: Some(spill),
+        ..QueryDefaults::default()
+    }
+}
+
+#[test]
+fn loopback_spill_serves_concurrent_giant_queries_without_overloaded() {
+    use std::time::{Duration, Instant};
+
+    // One worker, one queue slot, on a memory-tight spill-enabled server.
+    // Query A occupies the worker, query B fills the only queue slot, and
+    // query C — the request a seed server bounces with `overloaded` (see
+    // loopback_overloaded_connection_recovers_with_a_successful_query) —
+    // is instead admitted as a degraded memory-bounded run. All three
+    // giants complete with identical counts: out-of-core execution turns
+    // the rejection into a served scenario.
+    let config = ServiceConfig {
+        pool: 1,
+        queue_cap: 1,
+        defaults: spill_defaults(SpillConfig::in_temp()),
+        ..test_config()
+    };
+    let handle = serve(config).expect("bind loopback");
+    let mut monitor = Client::connect(handle.addr()).expect("connect");
+    let path = load_dense_graph(&mut monitor, "dense");
+
+    let addr = handle.addr();
+    let a = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&slow_request("dense", &[]))
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server_field(&mut monitor, "running") == 0 {
+        assert!(Instant::now() < deadline, "query A never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let b = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request(&slow_request("dense", &[]))
+    });
+    while server_field(&mut monitor, "queue_depth") == 0 {
+        assert!(Instant::now() < deadline, "query B never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The queue is full; without a spill tier this request would get
+    // `overloaded`. Here it is admitted (degraded) and answered.
+    let c = monitor.request(&slow_request("dense", &[])).unwrap();
+    let a = a.join().unwrap().unwrap();
+    let b = b.join().unwrap().unwrap();
+    let count = u64_field(&a, "count");
+    assert!(count > 0);
+    assert_eq!(u64_field(&b, "count"), count, "capped runs must agree");
+    assert_eq!(u64_field(&c, "count"), count, "degraded run must agree");
+
+    let stats = monitor.stats().unwrap();
+    let server = stats.get("server").unwrap();
+    assert_eq!(u64_field(server, "rejected_overloaded"), 0, "{server}");
+    assert!(u64_field(server, "degraded_to_spill") >= 1, "{server}");
+    assert!(u64_field(server, "spill_chunks") > 0, "capped giants must spill: {server}");
+    assert_eq!(
+        u64_field(server, "spill_chunks"),
+        u64_field(server, "readmitted_chunks"),
+        "complete runs re-admit everything they spill: {server}"
+    );
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+#[test]
+fn loopback_mid_spill_disconnect_frees_the_slot_and_removes_the_spill_dir() {
+    use std::io::Write as _;
+    use std::time::{Duration, Instant};
+
+    // Spill into a directory this test owns, so it can watch segment
+    // files appear and assert they are gone after the cancel.
+    let base = std::env::temp_dir().join(format!("psgl-spill-loopback-{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let config = ServiceConfig {
+        pool: 1,
+        queue_cap: 2,
+        defaults: spill_defaults(SpillConfig { dir: Some(base.clone()), ..SpillConfig::default() }),
+        ..test_config()
+    };
+    let handle = serve(config).expect("bind loopback");
+    let mut monitor = Client::connect(handle.addr()).expect("connect");
+    let path = load_dense_graph(&mut monitor, "dense");
+    monitor.load("karate", "karate-club", "fixture").unwrap();
+
+    // A raw connection submits the giant query and vanishes once its run
+    // has demonstrably spilled (a non-empty segment file on disk).
+    let mut doomed = std::net::TcpStream::connect(handle.addr()).unwrap();
+    writeln!(doomed, "{}", slow_request("dense", &[])).unwrap();
+    doomed.flush().unwrap();
+    let spilled = |base: &std::path::Path| {
+        std::fs::read_dir(base).map_or(false, |runs| {
+            runs.flatten().any(|run| {
+                std::fs::read_dir(run.path()).map_or(false, |files| {
+                    files.flatten().any(|f| f.metadata().map_or(false, |m| m.len() > 0))
+                })
+            })
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !spilled(&base) {
+        assert!(Instant::now() < deadline, "abandoned query never spilled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(doomed);
+
+    // The server notices the dead client and cancels the job; the run's
+    // Drop guard removes its spill directory on the cancel path.
+    while server_field(&mut monitor, "cancelled") == 0 {
+        assert!(Instant::now() < deadline, "disconnect never cancelled the job");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    while std::fs::read_dir(&base).map_or(0, |d| d.count()) > 0 {
+        assert!(Instant::now() < deadline, "cancelled run left spill files behind");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server_field(&mut monitor, "running"), 0);
+    // The cancelled run's partial stats still account its disk traffic.
+    assert!(server_field(&mut monitor, "spill_chunks") > 0);
+    assert!(server_field(&mut monitor, "spill_bytes") > 0);
+
+    // The freed slot serves the next query normally.
+    assert_eq!(u64_field(&monitor.count("karate", "triangle").unwrap(), "count"), 45);
+
+    std::fs::remove_dir_all(&base).ok();
     std::fs::remove_file(&path).ok();
     handle.shutdown();
 }

@@ -104,9 +104,13 @@ fn main() -> ExitCode {
                     Some(n) => format!(", {n} forced preemption(s) absorbed"),
                     None => String::new(),
                 };
+                let spilled = match report.spilled_chunks {
+                    Some(n) => format!(", {n} chunk(s) spilled to disk and re-admitted"),
+                    None => String::new(),
+                };
                 println!(
                     "seed {seed}: ok — {} instances (= oracle), fingerprint {:016x}, \
-                     trace {:016x}{resumed}{preempted}",
+                     trace {:016x}{resumed}{preempted}{spilled}",
                     report.instance_count, report.fingerprint, report.trace_hash
                 );
             }

@@ -19,7 +19,7 @@ use psgl_core::runner::{ListingResult, RunnerHooks};
 use psgl_core::stats::RunStats;
 use psgl_core::{
     list_subgraphs_prepared_with, list_subgraphs_resumable, list_subgraphs_slice, CancelToken,
-    Checkpoint, ListingEnd, PsglConfig, PsglShared, RunControls, SliceEnd, Strategy,
+    Checkpoint, ListingEnd, PsglConfig, PsglShared, RunControls, SliceEnd, SpillConfig, Strategy,
 };
 use psgl_graph::generators::erdos_renyi_gnm;
 use psgl_graph::hash::hash_u64;
@@ -31,6 +31,38 @@ use std::fmt;
 /// centralized oracle, diverse in automorphism structure: |Aut| = 6, 8, 2).
 pub fn chaos_patterns() -> [Pattern; 3] {
     [catalog::triangle(), catalog::square(), catalog::tailed_triangle()]
+}
+
+/// Disk behavior drawn for the spill fault class: how the disk misbehaves
+/// while the scenario is re-run memory-bounded (tight live-chunk cap,
+/// spill tier enabled).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillFault {
+    /// Healthy disk: spill and re-admission must be invisible in the
+    /// output (instance-multiset parity with the uncapped reference).
+    Healthy,
+    /// Every chunk write stalls (saturated disk); slow but correct.
+    SlowWrites,
+    /// The first write fails (ENOSPC mid-spill): the engine must degrade
+    /// to resident execution — grow past the cap — and still get the
+    /// right answer.
+    WriteFailure,
+    /// A tiny spill-byte budget: early segments land on disk, then the
+    /// store reports exhaustion and later evictions degrade to resident.
+    ByteCap,
+    /// Blobs come back corrupted: re-admission must abort the run with a
+    /// typed spill error, never feed wrong tuples onward.
+    CorruptRead,
+    /// Blobs come back truncated: same contract as [`SpillFault::CorruptRead`].
+    ShortRead,
+}
+
+impl SpillFault {
+    /// Faults where re-admission fails, so a run that actually spilled
+    /// must abort with a typed error instead of completing.
+    fn reads_fail(self) -> bool {
+        matches!(self, SpillFault::CorruptRead | SpillFault::ShortRead)
+    }
 }
 
 /// A fully-expanded chaos configuration; every field is derived from
@@ -77,6 +109,12 @@ pub struct Scenario {
     /// each checkpoint, and require exact parity with the uninterrupted
     /// run (`None` = fault not drawn).
     pub preempt_every: Option<u32>,
+    /// Disk-pressure fault: re-run the scenario memory-bounded — a tight
+    /// live-chunk cap with the disk spill tier enabled under the drawn
+    /// disk behavior — and require instance-multiset parity (benign
+    /// variants) or a typed spill abort (read faults). `None` = fault not
+    /// drawn.
+    pub spill_fault: Option<SpillFault>,
 }
 
 impl fmt::Debug for Scenario {
@@ -102,6 +140,7 @@ impl fmt::Debug for Scenario {
             .field("run_seed", &self.run_seed)
             .field("cancel_at_superstep", &self.cancel_at_superstep)
             .field("preempt_every", &self.preempt_every)
+            .field("spill_fault", &self.spill_fault)
             .finish()
     }
 }
@@ -161,9 +200,23 @@ impl Scenario {
         // suspend/resume on top.
         let cancel_at_superstep =
             if rng.below(4) == 0 { Some(1 + rng.below(3) as u32) } else { None };
+        let preempt_every = if rng.below(3) == 0 { Some(1 + rng.below(2) as u32) } else { None };
         // Newest fault class, so newest draw: anything drawn after this
         // point would shift the stream for seeds pinned before it existed.
-        let preempt_every = if rng.below(3) == 0 { Some(1 + rng.below(2) as u32) } else { None };
+        let spill_fault = if rng.below(3) == 0 {
+            Some(
+                [
+                    SpillFault::Healthy,
+                    SpillFault::SlowWrites,
+                    SpillFault::WriteFailure,
+                    SpillFault::ByteCap,
+                    SpillFault::CorruptRead,
+                    SpillFault::ShortRead,
+                ][rng.below(6) as usize],
+            )
+        } else {
+            None
+        };
         Scenario {
             seed,
             pattern,
@@ -182,6 +235,7 @@ impl Scenario {
             run_seed,
             cancel_at_superstep,
             preempt_every,
+            spill_fault,
         }
     }
 
@@ -198,6 +252,8 @@ impl Scenario {
             max_live_chunks: self.max_live_chunks,
             steal_budget: self.steal_budget,
             exchange_shuffle_seed: self.exchange_shuffle_seed,
+            chunk_capacity: None,
+            spill: None,
         }
     }
 
@@ -238,6 +294,10 @@ impl Scenario {
         if let Some(every) = self.preempt_every {
             preempted_slices = self.check_preempt_resume(&graph, &shared, &config, &result, every)?;
         }
+        let mut spilled_chunks = None;
+        if let Some(fault) = self.spill_fault {
+            spilled_chunks = self.check_spill(&graph, &shared, &config, &result, fault)?;
+        }
         Ok(SimReport {
             instance_count: result.instance_count,
             oracle_count,
@@ -246,8 +306,91 @@ impl Scenario {
             virtual_time: executor.virtual_time(),
             resumed_at,
             preempted_slices,
+            spilled_chunks,
             stats: result.stats,
         })
+    }
+
+    /// The disk-pressure fault: re-run the scenario memory-bounded — the
+    /// live-chunk cap clamped tight and the disk spill tier enabled under
+    /// the drawn disk behavior. Benign variants (healthy disk, slow
+    /// writes, ENOSPC on write, a tiny spill-byte budget) must complete
+    /// with the exact instance multiset of the unbounded `reference` run:
+    /// write-side failures degrade to resident execution, never a wrong
+    /// answer. Read-side faults (corrupt or truncated blobs) must abort
+    /// with a typed spill error if the run spilled at all.
+    fn check_spill(
+        &self,
+        graph: &psgl_graph::DataGraph,
+        shared: &PsglShared<'_>,
+        config: &PsglConfig,
+        reference: &ListingResult,
+        fault: SpillFault,
+    ) -> Result<Option<u64>, Box<SimFailure>> {
+        let divergence = |msg: String| self.failure(vec![], Some(format!("spill: {msg}")));
+        let executor = SimExecutor::new(self.seed, self.stall_per_mille);
+        let mut hooks = self.hooks(&executor);
+        // Fine-grained chunks and a two-chunk budget: on these small
+        // graphs that is genuinely memory-starved, so eviction is common.
+        hooks.chunk_capacity = Some(8);
+        hooks.max_live_chunks = Some(2);
+        let mut spill = SpillConfig::in_temp();
+        match fault {
+            SpillFault::Healthy => {}
+            SpillFault::SlowWrites => spill.faults.slow_write_per_chunk_us = 50,
+            SpillFault::WriteFailure => spill.faults.fail_write_after_bytes = Some(0),
+            SpillFault::ByteCap => spill.max_spill_bytes = Some(4096),
+            SpillFault::CorruptRead => spill.faults.corrupt_read = true,
+            SpillFault::ShortRead => spill.faults.short_read = true,
+        }
+        hooks.spill = Some(spill);
+        let result = match list_subgraphs_prepared_with(shared, config, &hooks) {
+            Ok(r) => r,
+            Err(e) if fault.reads_fail() => {
+                // The contract for read faults: a clean, typed abort.
+                let msg = e.to_string();
+                return if msg.contains("spill") {
+                    Ok(None)
+                } else {
+                    Err(divergence(format!("read fault aborted without a typed spill error: {msg}")))
+                };
+            }
+            Err(e) => return Err(divergence(e.to_string())),
+        };
+        // Reaching here with a read fault means the run never needed the
+        // disk; with a write fault it means eviction degraded to resident
+        // growth. Either way the answer must be exactly the reference's.
+        let violations =
+            invariants::check(graph, &self.pattern, &result, reference.instance_count);
+        if !violations.is_empty() {
+            return Err(self.failure(violations, Some("memory-bounded re-run".to_string())));
+        }
+        // Scenarios always run with collect(true), so the multisets exist.
+        let mut want = reference.instances.clone().unwrap_or_default();
+        let mut got = result.instances.clone().unwrap_or_default();
+        want.sort_unstable();
+        got.sort_unstable();
+        if want != got {
+            return Err(divergence(format!(
+                "instance multiset diverged under the cap ({} vs {} instances)",
+                got.len(),
+                want.len()
+            )));
+        }
+        let stats = &result.stats;
+        if stats.readmitted_chunks != stats.spill_chunks {
+            return Err(divergence(format!(
+                "{} chunks spilled but {} re-admitted on a complete run",
+                stats.spill_chunks, stats.readmitted_chunks
+            )));
+        }
+        if fault == SpillFault::WriteFailure && stats.spill_chunks != 0 {
+            return Err(divergence(format!(
+                "{} chunks reported spilled although every write fails",
+                stats.spill_chunks
+            )));
+        }
+        Ok(Some(stats.spill_chunks))
     }
 
     /// The cancellation fault: run the same scenario again, suspend it
@@ -437,6 +580,11 @@ pub struct SimReport {
     /// suspends the sliced re-run absorbed on its way to exact parity
     /// (`None` when the fault was not drawn or the run fit in one slice).
     pub preempted_slices: Option<u32>,
+    /// When the disk-pressure fault fired with a benign disk: how many
+    /// chunks the memory-bounded re-run evicted to disk on its way to
+    /// instance-multiset parity (`None` when the fault was not drawn or a
+    /// read fault aborted the re-run as required).
+    pub spilled_chunks: Option<u64>,
     /// The run's full statistics.
     pub stats: RunStats,
 }
@@ -494,6 +642,31 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.cancel_at_superstep.is_none()));
         assert!(scenarios.iter().any(|s| s.preempt_every.is_some()));
         assert!(scenarios.iter().any(|s| s.preempt_every.is_none()));
+        assert!(scenarios.iter().any(|s| s.spill_fault.is_some()));
+        assert!(scenarios.iter().any(|s| s.spill_fault.is_none()));
+        assert!(scenarios.iter().any(|s| matches!(s.spill_fault, Some(f) if f.reads_fail())));
+        assert!(scenarios.iter().any(|s| matches!(s.spill_fault, Some(f) if !f.reads_fail())));
+    }
+
+    #[test]
+    fn spill_fault_bounds_memory_without_changing_the_answer() {
+        // Find seeds whose scenario draws the disk-pressure fault with a
+        // benign disk and a run big enough to actually evict, and require
+        // run() to pass — which internally asserts instance-multiset
+        // parity between the memory-bounded and unbounded executions.
+        let mut evicted = 0;
+        for seed in 0..96 {
+            let scenario = Scenario::from_seed(seed);
+            if scenario.spill_fault.is_none() {
+                continue;
+            }
+            let report = scenario.run().unwrap_or_else(|f| panic!("{f}"));
+            evicted += u64::from(report.spilled_chunks.unwrap_or(0) > 0);
+            if evicted >= 3 {
+                return;
+            }
+        }
+        panic!("seed range never exercised a disk eviction (only {evicted})");
     }
 
     #[test]

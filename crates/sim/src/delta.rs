@@ -148,6 +148,8 @@ impl DeltaScenario {
             max_live_chunks: self.max_live_chunks,
             steal_budget: self.steal_budget,
             exchange_shuffle_seed: self.exchange_shuffle_seed,
+            chunk_capacity: None,
+            spill: None,
         }
     }
 

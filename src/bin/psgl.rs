@@ -15,7 +15,10 @@
 
 use psgl::baselines::centralized;
 use psgl::cluster::{run_cluster, run_worker, ClusterConfig, GraphSpec, JobSpec, WorkerOptions};
-use psgl::core::{count_per_vertex, list_subgraphs, PsglConfig};
+use psgl::core::{
+    count_per_vertex, list_subgraphs_prepared_with, PsglConfig, PsglShared, RunnerHooks,
+    SpillConfig,
+};
 use psgl::graph::{algo, generators, io, DataGraph, DegreeStats};
 use psgl::pattern::{break_automorphisms, catalog};
 use psgl::service::{self, GraphFormat, Json, QueryDefaults, ServiceConfig};
@@ -62,14 +65,16 @@ psgl — parallel subgraph listing (PSgL, SIGMOD 2014)
 USAGE:
   psgl count    --graph FILE --pattern P [--workers N] [--strategy S]
                 [--init-vertex V] [--no-index] [--no-break] [--per-vertex]
-                [--seed N] [--verify]
+                [--seed N] [--verify] [--max-live-chunks N]
+                [--chunk-capacity N] [--spill] [--spill-dir DIR]
   psgl stats    --graph FILE
   psgl generate --out FILE --model MODEL --vertices N
                 [--avg-degree D] [--gamma G] [--edges M] [--seed N]
   psgl patterns
   psgl serve    [--addr HOST:PORT] [--pool N] [--queue-cap N]
                 [--result-cache N] [--plan-cache N] [--workers N]
-                [--budget N] [--chunk N] [--slice N]
+                [--budget N] [--chunk N] [--slice N] [--max-live-chunks N]
+                [--chunk-capacity N] [--spill] [--spill-dir DIR]
   psgl mutate   --addr HOST:PORT --name GRAPH [--insert \"0-1,2-3\"]
                 [--delete \"4-5\"]
   psgl watch    --addr HOST:PORT --name GRAPH --pattern P [--events N]
@@ -93,7 +98,10 @@ health, shutdown). mutate applies an edge batch to a live graph; watch
 subscribes and prints each signed instance delta as it lands.
 cluster runs one coordinator and N worker processes; the coordinator
 prints a JSON result line when the job completes (README \"Running a
-cluster\").";
+cluster\").
+--spill enables the disk spill tier (system temp dir, or --spill-dir);
+--max-live-chunks caps resident message chunks and evicts the excess to
+it — see README \"Graphs larger than RAM\".";
 
 /// Parses `--key value` pairs (plus boolean flags) into a map.
 fn parse_flags(args: &[String], booleans: &[&str]) -> Result<HashMap<String, String>, String> {
@@ -129,8 +137,36 @@ fn load_graph(flags: &HashMap<String, String>) -> Result<DataGraph, String> {
     service::load_graph(path, format).map_err(|e| e.to_string())
 }
 
+/// Parses the shared memory-bounding knobs (`--max-live-chunks`,
+/// `--chunk-capacity`, `--spill`, `--spill-dir`) used by both `count` and
+/// `serve`; see README "Graphs larger than RAM".
+fn parse_spill_knobs(
+    flags: &HashMap<String, String>,
+) -> Result<(Option<u64>, Option<usize>, Option<SpillConfig>), String> {
+    let max_live_chunks = flags
+        .get("max-live-chunks")
+        .map(|s| s.parse().map_err(|e| format!("bad --max-live-chunks: {e}")))
+        .transpose()?;
+    let chunk_capacity = flags
+        .get("chunk-capacity")
+        .map(|s| s.parse().map_err(|e| format!("bad --chunk-capacity: {e}")))
+        .transpose()?;
+    let spill = if flags.contains_key("spill") || flags.contains_key("spill-dir") {
+        Some(SpillConfig {
+            dir: flags.get("spill-dir").map(std::path::PathBuf::from),
+            ..SpillConfig::in_temp()
+        })
+    } else {
+        None
+    };
+    if max_live_chunks.is_some() && spill.is_none() {
+        return Err("--max-live-chunks needs a spill tier: add --spill [--spill-dir DIR]".into());
+    }
+    Ok((max_live_chunks, chunk_capacity, spill))
+}
+
 fn cmd_count(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["no-index", "no-break", "per-vertex", "verify"])?;
+    let flags = parse_flags(args, &["no-index", "no-break", "per-vertex", "verify", "spill"])?;
     let graph = load_graph(&flags)?;
     let pattern = parse_pattern(required(&flags, "pattern")?)?;
     let mut config = PsglConfig::default();
@@ -152,6 +188,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     }
     config.use_edge_index = !flags.contains_key("no-index");
     config.break_automorphisms = !flags.contains_key("no-break");
+    let (max_live_chunks, chunk_capacity, spill) = parse_spill_knobs(&flags)?;
     println!(
         "graph: {} vertices, {} edges; pattern: {pattern}; {} workers",
         graph.num_vertices(),
@@ -159,6 +196,9 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         config.workers
     );
     if flags.contains_key("per-vertex") {
+        if spill.is_some() || chunk_capacity.is_some() {
+            return Err("--per-vertex does not take the memory-bounding knobs".into());
+        }
         let (counts, result) =
             count_per_vertex(&graph, &pattern, &config).map_err(|e| e.to_string())?;
         println!("instances: {}", result.instance_count);
@@ -168,7 +208,9 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let result = list_subgraphs(&graph, &pattern, &config).map_err(|e| e.to_string())?;
+    let hooks = RunnerHooks { max_live_chunks, chunk_capacity, spill, ..RunnerHooks::default() };
+    let shared = PsglShared::prepare(&graph, &pattern, &config).map_err(|e| e.to_string())?;
+    let result = list_subgraphs_prepared_with(&shared, &config, &hooks).map_err(|e| e.to_string())?;
     println!("instances          : {}", result.instance_count);
     println!("supersteps         : {}", result.stats.supersteps);
     println!("gpsis generated    : {}", result.stats.expand.generated);
@@ -177,6 +219,15 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     println!("cost imbalance     : {:.3}", result.stats.cost_imbalance);
     println!("wall time          : {:.1?}", result.stats.wall_time);
     println!("initial vertex     : v{} ({:?})", result.init_vertex + 1, result.selection_rule);
+    if result.stats.spill_chunks > 0 {
+        println!(
+            "spilled to disk    : {} chunk(s), {} bytes, {} re-admitted (peak {} chunks live)",
+            result.stats.spill_chunks,
+            result.stats.spill_bytes,
+            result.stats.readmitted_chunks,
+            result.stats.chunks_live_peak
+        );
+    }
     if flags.contains_key("verify") {
         let expected = centralized::count(&graph, &pattern);
         if expected == result.instance_count {
@@ -363,7 +414,7 @@ fn cmd_cluster_worker(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &[])?;
+    let flags = parse_flags(args, &["spill"])?;
     let mut config = ServiceConfig::default();
     if let Some(addr) = flags.get("addr") {
         config.addr = addr.clone();
@@ -374,6 +425,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.plan_cache_cap = opt_parse(&flags, "plan-cache", config.plan_cache_cap)?;
     config.list_chunk = opt_parse(&flags, "chunk", config.list_chunk)?.max(1);
     config.slice_supersteps = opt_parse(&flags, "slice", config.slice_supersteps)?.max(1);
+    let (max_live_chunks, chunk_capacity, spill) = parse_spill_knobs(&flags)?;
     config.defaults = QueryDefaults {
         workers: opt_parse(&flags, "workers", QueryDefaults::default().workers)?.max(1),
         budget: flags
@@ -381,6 +433,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map(|s| s.parse().map_err(|e| format!("bad --budget: {e}")))
             .transpose()?,
         seed: opt_parse(&flags, "seed", QueryDefaults::default().seed)?,
+        max_live_chunks,
+        chunk_capacity,
+        spill,
     };
     let handle =
         service::serve(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -396,6 +451,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "protocol: JSON lines; verbs: load, mutate, count, list, subscribe, cancel, stats, \
          health, shutdown"
     );
+    if config.defaults.spill.is_some() {
+        println!(
+            "spill tier enabled: queue-full and over-budget queries degrade to \
+             memory-bounded runs instead of `overloaded`"
+        );
+    }
     handle.wait();
     println!("psgl-service stopped");
     Ok(())
