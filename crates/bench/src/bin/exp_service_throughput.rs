@@ -143,7 +143,9 @@ fn main() {
                 (0..small_per_client)
                     .map(|_| {
                         let start = Instant::now();
-                        client.request(&count_request("triangle", "interactive")).expect("small query");
+                        client
+                            .request(&count_request("triangle", "interactive"))
+                            .expect("small query");
                         start.elapsed().as_secs_f64() * 1e3
                     })
                     .collect()

@@ -22,9 +22,7 @@
 //! graph and the timing repetitions.
 
 use psgl_bench::report;
-use psgl_core::{
-    list_subgraphs_prepared_with, PsglConfig, PsglShared, RunnerHooks, SpillConfig,
-};
+use psgl_core::{list_subgraphs_prepared_with, PsglConfig, PsglShared, RunnerHooks, SpillConfig};
 use psgl_graph::generators::chung_lu;
 use psgl_graph::io;
 use psgl_pattern::catalog;
@@ -91,8 +89,16 @@ fn main() {
     let slowdown = best_capped / best_uncapped;
 
     let table = report::Table::new(&[("metric", 24), ("uncapped", 12), ("capped", 12)]);
-    table.row(&["instances".into(), base.instance_count.to_string(), capped.instance_count.to_string()]);
-    table.row(&["chunks live peak".into(), peak.to_string(), capped.stats.chunks_live_peak.to_string()]);
+    table.row(&[
+        "instances".into(),
+        base.instance_count.to_string(),
+        capped.instance_count.to_string(),
+    ]);
+    table.row(&[
+        "chunks live peak".into(),
+        peak.to_string(),
+        capped.stats.chunks_live_peak.to_string(),
+    ]);
     table.row(&["live-chunk cap".into(), "-".into(), cap.to_string()]);
     table.row(&["best wall ms".into(), format!("{best_uncapped:.1}"), format!("{best_capped:.1}")]);
     table.row(&["spill chunks".into(), "0".into(), capped.stats.spill_chunks.to_string()]);
@@ -200,7 +206,8 @@ fn main() {
     let stats = admin.stats().expect("stats");
     let server = stats.get("server").unwrap();
     let field = |key: &str| server.get(key).and_then(Json::as_u64).unwrap_or(0);
-    let (degraded_to_spill, service_spill_chunks) = (field("degraded_to_spill"), field("spill_chunks"));
+    let (degraded_to_spill, service_spill_chunks) =
+        (field("degraded_to_spill"), field("spill_chunks"));
     let rejected_overloaded = field("rejected_overloaded");
     admin.shutdown().expect("shutdown");
     handle.wait();

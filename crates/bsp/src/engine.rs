@@ -25,6 +25,7 @@ use crate::spill::{SpillCodec, SpillError, SpillSegment, SpillStore};
 use parking_lot::Mutex;
 use psgl_graph::partition::HashPartitioner;
 use psgl_graph::VertexId;
+use psgl_obs::Value as TraceValue;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -522,6 +523,12 @@ pub struct RunControl<'c, M, S, A> {
     /// their superstep runs. Ignored (spill disabled) under a remote
     /// [`RunControl::exchange`], whose frontier already lives off-worker.
     pub spill: Option<SpillControl<'c, M>>,
+    /// Structured-trace sink. Events fire at barrier granularity only
+    /// (one per superstep, plus rare degradations), so the hot expand
+    /// loop never sees a tracing branch. Payloads carry only
+    /// schedule-independent counters, keeping seeded event streams
+    /// deterministic under the sim executor.
+    pub tracer: Option<&'c psgl_obs::Tracer>,
 }
 
 impl<M, S, A> Default for RunControl<'_, M, S, A> {
@@ -533,6 +540,7 @@ impl<M, S, A> Default for RunControl<'_, M, S, A> {
             exchange: None,
             sink: None,
             spill: None,
+            tracer: None,
         }
     }
 }
@@ -630,7 +638,7 @@ pub fn run_controlled<P: VertexProgram>(
     let pool: ChunkPool<P::Message> =
         ChunkPool::with_limit(config.chunk_capacity, config.max_live_chunks);
     let mut metrics = EngineMetrics::default();
-    let RunControl { cancel, checkpoint, resume, exchange, sink, spill } = control;
+    let RunControl { cancel, checkpoint, resume, exchange, sink, spill, tracer } = control;
     // Under a remote exchange the frontier lives off-worker between
     // supersteps already; the local spill tier is disabled.
     let spill = if exchange.is_some() { None } else { spill };
@@ -692,6 +700,13 @@ pub fn run_controlled<P: VertexProgram>(
     let owned: Vec<Vec<VertexId>> = partitioner.owned_vertices(num_vertices, &locals);
     let mut scratches: Vec<WorkerScratch<P::Message>> =
         (0..l).map(|_| WorkerScratch::new()).collect();
+    // Spill-counter baselines for per-superstep deltas: the store may be
+    // shared across slices of one logical run, so deltas start from its
+    // current totals rather than zero.
+    let mut spill_stall_seen = spill.map_or(0, |sp| sp.store.stall_nanos());
+    let mut spill_chunks_seen = spill.map_or(0, |sp| sp.store.spilled_chunks());
+    let mut readmitted_seen = spill.map_or(0, |sp| sp.store.readmitted());
+    let mut write_failures_seen = spill.map_or(0, |sp| sp.store.write_failures());
     loop {
         if superstep >= config.max_supersteps {
             release_all(&pool, inboxes, spill);
@@ -863,6 +878,7 @@ pub fn run_controlled<P: VertexProgram>(
         let mut step = SuperstepMetrics {
             workers: Vec::with_capacity(l),
             net: NetSuperstepMetrics::default(),
+            spill_stall_nanos: 0,
         };
         let mut next_aggregate = P::Aggregate::default();
         for result in worker_results {
@@ -887,6 +903,7 @@ pub fn run_controlled<P: VertexProgram>(
         // barrier, whose directive can checkpoint or abort the run.
         let (mut new_inboxes, in_flight) = match exchange {
             None => {
+                let exchange_start = Instant::now();
                 let mut spill_outs = spill_outs;
                 let mut new_inboxes: Vec<Vec<InboxPart<P::Message>>> =
                     (0..k).map(|_| Vec::new()).collect();
@@ -911,6 +928,7 @@ pub fn run_controlled<P: VertexProgram>(
                 }
                 let in_flight: u64 =
                     new_inboxes.iter().flat_map(|b| b.iter()).map(part_tuples).sum();
+                step.net.exchange_nanos = exchange_start.elapsed().as_nanos() as u64;
                 (new_inboxes, in_flight)
             }
             Some(x) => {
@@ -918,6 +936,7 @@ pub fn run_controlled<P: VertexProgram>(
                     spill_outs.iter().all(|(r, l)| l.is_empty() && r.iter().all(Vec::is_empty)),
                     "spill is disabled under a remote exchange"
                 );
+                let exchange_start = Instant::now();
                 let outcome = match x.exchange(superstep, &pool, outs, &step) {
                     Ok(outcome) => outcome,
                     Err(e) => {
@@ -928,6 +947,11 @@ pub fn run_controlled<P: VertexProgram>(
                     }
                 };
                 step.net = outcome.net;
+                // The remote exchange spans the coordinator barrier; the
+                // exchange component is what remains after subtracting the
+                // measured barrier wait.
+                step.net.exchange_nanos = (exchange_start.elapsed().as_nanos() as u64)
+                    .saturating_sub(step.net.barrier_wait_nanos);
                 match outcome.directive {
                     ExchangeDirective::Abort(reason) => {
                         release_all(&pool, wrap_resident(outcome.inboxes), spill);
@@ -952,6 +976,45 @@ pub fn run_controlled<P: VertexProgram>(
                 (wrap_resident(outcome.inboxes), outcome.in_flight)
             }
         };
+        if let Some(sp) = spill {
+            let stall = sp.store.stall_nanos();
+            step.spill_stall_nanos = stall - spill_stall_seen;
+            spill_stall_seen = stall;
+        }
+        if let Some(t) = tracer {
+            let (spilled, readmitted, write_failures) = match spill {
+                Some(sp) => {
+                    let (s, r, w) = (
+                        sp.store.spilled_chunks(),
+                        sp.store.readmitted(),
+                        sp.store.write_failures(),
+                    );
+                    let d = (s - spill_chunks_seen, r - readmitted_seen, w - write_failures_seen);
+                    (spill_chunks_seen, readmitted_seen, write_failures_seen) = (s, r, w);
+                    d
+                }
+                None => (0, 0, 0),
+            };
+            t.event(
+                "superstep",
+                &[
+                    ("superstep", TraceValue::U64(superstep as u64)),
+                    ("messages_out", TraceValue::U64(step.messages_out())),
+                    ("in_flight", TraceValue::U64(in_flight)),
+                    ("spilled_chunks", TraceValue::U64(spilled)),
+                    ("readmitted_chunks", TraceValue::U64(readmitted)),
+                ],
+            );
+            if write_failures > 0 {
+                t.event(
+                    "spill_write_degraded",
+                    &[
+                        ("superstep", TraceValue::U64(superstep as u64)),
+                        ("failures", TraceValue::U64(write_failures)),
+                    ],
+                );
+            }
+        }
         metrics.supersteps.push(step);
         if let Some(budget) = config.message_budget {
             if in_flight > budget {
@@ -994,8 +1057,8 @@ pub fn run_controlled<P: VertexProgram>(
             if let Some(token) = cancel {
                 let deadline_due = token.superstep_deadline().is_some_and(|sd| superstep + 1 >= sd)
                     || (checkpoint && token.deadline_passed());
-                let preempt_due = !deadline_due
-                    && token.preempt_barrier().is_some_and(|sd| superstep + 1 >= sd);
+                let preempt_due =
+                    !deadline_due && token.preempt_barrier().is_some_and(|sd| superstep + 1 >= sd);
                 if deadline_due || preempt_due {
                     let frontier = if checkpoint || preempt_due {
                         match flatten_frontier(&pool, new_inboxes, spill) {
@@ -1169,10 +1232,7 @@ fn release_all<M>(
 
 /// Wraps exchange-delivered inboxes (always resident) as inbox parts.
 fn wrap_resident<M>(boxes: Vec<Vec<Chunk<M>>>) -> Vec<Vec<InboxPart<M>>> {
-    boxes
-        .into_iter()
-        .map(|chunks| chunks.into_iter().map(InboxPart::Chunk).collect())
-        .collect()
+    boxes.into_iter().map(|chunks| chunks.into_iter().map(InboxPart::Chunk).collect()).collect()
 }
 
 /// Flattens freshly-exchanged inboxes into per-destination tuple runs
@@ -1196,16 +1256,15 @@ fn flatten_frontier<M>(
                         tuples.append(&mut c);
                         pool.release(c);
                     }
-                    InboxPart::Spilled(seg) => match (failed.is_none(), spill) {
-                        (true, Some(sp)) => {
+                    // When already failing (or with no store) the segment
+                    // is just dropped; the directory guard deletes the blob.
+                    InboxPart::Spilled(seg) => {
+                        if let (true, Some(sp)) = (failed.is_none(), spill) {
                             if let Err(e) = sp.store.readmit(sp.codec, seg, &mut tuples) {
                                 failed = Some(e);
                             }
                         }
-                        // Already failing (or no store): just drop the
-                        // segment; the directory guard deletes the blob.
-                        _ => {}
-                    },
+                    }
                 }
             }
             tuples
@@ -1307,11 +1366,13 @@ fn finalize_metrics<M>(
     metrics.spill_bytes = carried.spill_bytes;
     metrics.spill_stall_nanos = carried.spill_stall_nanos;
     metrics.readmitted_chunks = carried.readmitted_chunks;
+    metrics.spill_write_failures = carried.spill_write_failures;
     if let Some(sp) = spill {
         metrics.spill_chunks += sp.store.spilled_chunks();
         metrics.spill_bytes += sp.store.spilled_bytes();
         metrics.spill_stall_nanos += sp.store.stall_nanos();
         metrics.readmitted_chunks += sp.store.readmitted();
+        metrics.spill_write_failures += sp.store.write_failures();
     }
     debug_assert_balanced(pool);
     metrics.wall_time = start.elapsed();

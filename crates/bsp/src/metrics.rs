@@ -48,6 +48,9 @@ pub struct NetSuperstepMetrics {
     /// Nanoseconds spent blocked at the superstep barrier waiting for the
     /// coordinator's proceed signal (after local work and sends finished).
     pub barrier_wait_nanos: u64,
+    /// Nanoseconds spent inside the exchange itself — flushing outboxes,
+    /// routing chunks, draining peer frames (in-process: the routing loop).
+    pub exchange_nanos: u64,
 }
 
 impl NetSuperstepMetrics {
@@ -59,6 +62,7 @@ impl NetSuperstepMetrics {
         self.wire_bytes_sent += other.wire_bytes_sent;
         self.wire_bytes_received += other.wire_bytes_received;
         self.barrier_wait_nanos += other.barrier_wait_nanos;
+        self.exchange_nanos += other.exchange_nanos;
     }
 }
 
@@ -70,6 +74,9 @@ pub struct SuperstepMetrics {
     /// Network counters for this superstep's exchange (all zero in
     /// process-local runs).
     pub net: NetSuperstepMetrics,
+    /// Nanoseconds the spill tier stalled this superstep (eviction writes
+    /// plus boundary re-admission reads); 0 without a spill tier.
+    pub spill_stall_nanos: u64,
 }
 
 impl SuperstepMetrics {
@@ -107,6 +114,9 @@ pub struct CarriedCounters {
     pub spill_stall_nanos: u64,
     /// Chunks' worth of spilled tuples the prefix re-admitted.
     pub readmitted_chunks: u64,
+    /// Spill writes of the prefix that failed and degraded to resident
+    /// growth.
+    pub spill_write_failures: u64,
     /// High-water mark of live pool chunks over the prefix.
     pub chunks_live_peak: i64,
 }
@@ -121,6 +131,7 @@ impl CarriedCounters {
             spill_bytes: m.spill_bytes,
             spill_stall_nanos: m.spill_stall_nanos,
             readmitted_chunks: m.readmitted_chunks,
+            spill_write_failures: m.spill_write_failures,
             chunks_live_peak: m.chunks_live_peak,
         }
     }
@@ -157,6 +168,9 @@ pub struct EngineMetrics {
     /// Chunks' worth of spilled tuples decoded back in at superstep
     /// boundaries.
     pub readmitted_chunks: u64,
+    /// Spill writes that failed (budget, ENOSPC, I/O error) and degraded
+    /// the sender to resident growth — served, but no longer bounded.
+    pub spill_write_failures: u64,
 }
 
 impl EngineMetrics {
@@ -252,6 +266,24 @@ impl EngineMetrics {
     /// Per-superstep barrier wait, in nanoseconds.
     pub fn barrier_wait_per_superstep(&self) -> Vec<u64> {
         self.supersteps.iter().map(|s| s.net.barrier_wait_nanos).collect()
+    }
+
+    /// Per-superstep compute time (sum of worker elapsed), in nanoseconds.
+    pub fn compute_nanos_per_superstep(&self) -> Vec<u64> {
+        self.supersteps
+            .iter()
+            .map(|s| s.workers.iter().map(|w| w.elapsed.as_nanos() as u64).sum())
+            .collect()
+    }
+
+    /// Per-superstep exchange time, in nanoseconds.
+    pub fn exchange_nanos_per_superstep(&self) -> Vec<u64> {
+        self.supersteps.iter().map(|s| s.net.exchange_nanos).collect()
+    }
+
+    /// Per-superstep spill-tier stall, in nanoseconds.
+    pub fn spill_stall_per_superstep(&self) -> Vec<u64> {
+        self.supersteps.iter().map(|s| s.spill_stall_nanos).collect()
     }
 
     /// Max/mean imbalance of total per-worker cost (1.0 = perfect balance).

@@ -254,6 +254,7 @@ pub struct SpillStore {
     readmitted_chunks: AtomicU64,
     stall_nanos: AtomicU64,
     exhausted_events: AtomicU64,
+    write_failures: AtomicU64,
     /// Serializes filesystem mutation; counters stay lock-free.
     io: Mutex<()>,
 }
@@ -278,6 +279,7 @@ impl SpillStore {
             readmitted_chunks: AtomicU64::new(0),
             stall_nanos: AtomicU64::new(0),
             exhausted_events: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
             io: Mutex::new(()),
         })
     }
@@ -299,6 +301,9 @@ impl SpillStore {
         let start = Instant::now();
         let result = self.spill_inner(codec, chunks);
         self.stall_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if result.is_err() {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+        }
         result
     }
 
@@ -367,7 +372,10 @@ impl SpillStore {
         // sweep whatever this misses.
         let _guard = self.io.lock();
         if std::fs::remove_file(&seg.path).is_ok() {
-            self.live_bytes.fetch_sub(seg.bytes.min(self.live_bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
+            self.live_bytes.fetch_sub(
+                seg.bytes.min(self.live_bytes.load(Ordering::Relaxed)),
+                Ordering::Relaxed,
+            );
         }
         if result.is_ok() {
             self.readmitted_chunks.fetch_add(seg.chunks, Ordering::Relaxed);
@@ -381,8 +389,7 @@ impl SpillStore {
         seg: &SpillSegment,
         out: &mut Vec<(VertexId, M)>,
     ) -> Result<(), SpillError> {
-        let mut frame =
-            std::fs::read(&seg.path).map_err(|e| SpillError::Io(e.to_string()))?;
+        let mut frame = std::fs::read(&seg.path).map_err(|e| SpillError::Io(e.to_string()))?;
         if self.faults.short_read {
             // Clip below the minimum header+checksum size so the fault
             // deterministically reads as `Truncated`. (A clip that lands
@@ -448,6 +455,12 @@ impl SpillStore {
     /// Times the hard byte budget refused a spill ([`SpillError::Exhausted`]).
     pub fn exhausted_events(&self) -> u64 {
         self.exhausted_events.load(Ordering::Relaxed)
+    }
+
+    /// Spill writes that failed for any reason (budget, injected ENOSPC,
+    /// real I/O error) and sent the sender down a degraded resident path.
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures.load(Ordering::Relaxed)
     }
 
     /// Bytes currently on disk.
@@ -551,9 +564,8 @@ mod tests {
         store.readmit(&U64Codec, seg, &mut out).unwrap();
         assert!(out.is_empty());
         // A nominally full 512-tuple chunk.
-        let full: Vec<(VertexId, u64)> =
-            (0..512u64).map(|i| (i as VertexId, i * 7)).collect();
-        let seg = store.spill(&U64Codec, &[full.clone()]).unwrap();
+        let full: Vec<(VertexId, u64)> = (0..512u64).map(|i| (i as VertexId, i * 7)).collect();
+        let seg = store.spill(&U64Codec, std::slice::from_ref(&full)).unwrap();
         assert_eq!(seg.tuples, 512);
         let mut out = Vec::new();
         store.readmit(&U64Codec, seg, &mut out).unwrap();
@@ -579,9 +591,8 @@ mod tests {
                     let mut bad = None;
                     if let Ok(count) = r.u64("tuple count") {
                         for _ in 0..count {
-                            if let Err(e) = r
-                                .u32("tuple vertex")
-                                .and_then(|_| U64Codec.decode(&mut r))
+                            if let Err(e) =
+                                r.u32("tuple vertex").and_then(|_| U64Codec.decode(&mut r))
                             {
                                 bad = Some(e);
                                 break;
@@ -689,7 +700,7 @@ mod tests {
             flip in proptest::any::<u16>(),
         ) {
             let store = store();
-            let seg = store.spill(&U64Codec, &[tuples.clone()]).unwrap();
+            let seg = store.spill(&U64Codec, std::slice::from_ref(&tuples)).unwrap();
             let frame = std::fs::read(&seg.path).unwrap();
             let mut out = Vec::new();
             store.readmit(&U64Codec, seg, &mut out).unwrap();

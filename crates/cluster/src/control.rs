@@ -368,6 +368,7 @@ impl WorkerMsg {
                                     Json::from(n.wire_bytes_sent),
                                     Json::from(n.wire_bytes_received),
                                     Json::from(n.barrier_wait_nanos),
+                                    Json::from(n.exchange_nanos),
                                 ])
                             })
                             .collect(),
@@ -431,8 +432,8 @@ impl WorkerMsg {
                     .iter()
                     .map(|entry| {
                         let ns = u64_arr(entry, "net entry")?;
-                        if ns.len() != 6 {
-                            return Err("net entry wants 6 numbers".to_string());
+                        if ns.len() != 7 {
+                            return Err("net entry wants 7 numbers".to_string());
                         }
                         Ok((
                             ns[0] as u32,
@@ -442,6 +443,7 @@ impl WorkerMsg {
                                 wire_bytes_sent: ns[3],
                                 wire_bytes_received: ns[4],
                                 barrier_wait_nanos: ns[5],
+                                exchange_nanos: ns[6],
                             },
                         ))
                     })
@@ -787,6 +789,7 @@ mod tests {
                         wire_bytes_sent: 3,
                         wire_bytes_received: 4,
                         barrier_wait_nanos: 5,
+                        exchange_nanos: 6,
                     },
                 )],
                 pool_exhausted: 0,

@@ -42,7 +42,9 @@ use std::time::{Duration, Instant};
 use psgl_bsp::{EngineMetrics, NetSuperstepMetrics, SuperstepMetrics, WorkerSuperstepMetrics};
 use psgl_core::{assemble_run_stats, ExpandStats, RunStats};
 use psgl_graph::VertexId;
+use psgl_obs::Value as TraceValue;
 use psgl_service::wire::{read_json, write_json, MAX_LINE_BYTES};
+use psgl_service::Json;
 
 use crate::control::{CoordMsg, JobSpec, WorkerMsg};
 use crate::membership::Membership;
@@ -64,6 +66,13 @@ pub struct ClusterConfig {
     pub join_timeout: Duration,
     /// Optional wall-clock budget for the whole run (all attempts).
     pub deadline: Option<Duration>,
+    /// How long the coordinator keeps its listener open after the run
+    /// finishes, so `metrics` scrapes can still reach it (CI smoke tests,
+    /// operators collecting a final snapshot). Zero tears down at once.
+    pub linger: Duration,
+    /// Trace sink for membership and recovery events. Defaults to the
+    /// process tracer; tests pass their own to assert event sequences.
+    pub tracer: psgl_obs::Tracer,
 }
 
 impl ClusterConfig {
@@ -76,6 +85,36 @@ impl ClusterConfig {
             heartbeat_timeout: Duration::from_secs(3),
             join_timeout: Duration::from_secs(30),
             deadline: None,
+            linger: Duration::ZERO,
+            tracer: psgl_obs::tracer().clone(),
+        }
+    }
+}
+
+/// Coordinator counters, registered once in the process-global registry so
+/// the `metrics` scrape (JSON or Prometheus) sees them.
+struct CoordCounters {
+    workers_joined: psgl_obs::Counter,
+    workers_lost: psgl_obs::Counter,
+    attempts: psgl_obs::Counter,
+    supersteps: psgl_obs::Counter,
+    instances: psgl_obs::Counter,
+    messages: psgl_obs::Counter,
+}
+
+impl CoordCounters {
+    fn new() -> CoordCounters {
+        let r = psgl_obs::registry();
+        CoordCounters {
+            workers_joined: r
+                .counter("psgl_cluster_workers_joined", "Worker processes that joined."),
+            workers_lost: r
+                .counter("psgl_cluster_workers_lost", "Workers declared dead and recovered from."),
+            attempts: r.counter("psgl_cluster_attempts", "Execution attempts started."),
+            supersteps: r
+                .counter("psgl_cluster_supersteps", "Global superstep barriers completed."),
+            instances: r.counter("psgl_cluster_instances", "Embeddings found by finished jobs."),
+            messages: r.counter("psgl_cluster_messages", "Messages exchanged by finished jobs."),
         }
     }
 }
@@ -214,10 +253,15 @@ pub fn run_cluster(
     let result = drive(&rx, &cfg, &mut slots);
 
     // Teardown, unconditionally: tell everyone to stop, then sever the
-    // sockets so blocked reader threads on both sides wake up.
+    // sockets so blocked reader threads on both sides wake up. With a
+    // linger the listener stays up in between, so a scraper can still
+    // collect the final counters of the finished run.
     for slot in slots.values() {
         slot.send(&CoordMsg::Stop);
         let _ = slot.writer.shutdown(Shutdown::Both);
+    }
+    if !cfg.linger.is_zero() {
+        std::thread::sleep(cfg.linger);
     }
     shutdown.store(true, Ordering::SeqCst);
     let _ = TcpStream::connect(addr); // wake the accept loop
@@ -245,20 +289,28 @@ fn accept_loop(listener: TcpListener, tx: Sender<Event>, shutdown: Arc<AtomicBoo
 }
 
 /// Reads one worker's control connection. The first message must be a
-/// `join`; everything after flows to the event loop verbatim.
+/// `join` — unless it is a `metrics` scrape, which gets one reply line
+/// (the coordinator's registry, JSON or Prometheus text) and hangs up.
 fn worker_reader(stream: TcpStream, proc: u32, tx: Sender<Event>) {
     let _ = stream.set_nodelay(true);
     let Ok(writer) = stream.try_clone() else { return };
     let mut reader = BufReader::new(stream);
     match read_json(&mut reader, MAX_LINE_BYTES) {
-        Ok(Some(json)) => match WorkerMsg::from_json(&json) {
-            Ok(WorkerMsg::Join { data_addr }) => {
-                if tx.send(Event::Joined { proc, writer, data_addr }).is_err() {
-                    return;
-                }
+        Ok(Some(json)) => {
+            if json.get("verb").and_then(Json::as_str) == Some("metrics") {
+                serve_metrics_scrape(&writer, &json);
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
             }
-            _ => return,
-        },
+            match WorkerMsg::from_json(&json) {
+                Ok(WorkerMsg::Join { data_addr }) => {
+                    if tx.send(Event::Joined { proc, writer, data_addr }).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
         _ => return,
     }
     loop {
@@ -280,6 +332,26 @@ fn worker_reader(stream: TcpStream, proc: u32, tx: Sender<Event>) {
     }
 }
 
+/// Answers a one-shot `metrics` scrape on the control port with the
+/// process-global registry, as structured JSON or (with
+/// `"format":"prometheus"`) as exposition text in a `body` field.
+fn serve_metrics_scrape(writer: &TcpStream, req: &Json) {
+    let snapshot = psgl_obs::registry().snapshot();
+    let mut w = writer;
+    let reply = if req.get("format").and_then(Json::as_str) == Some("prometheus") {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("format", Json::from("prometheus")),
+            ("body", Json::from(psgl_obs::render_prometheus(&snapshot))),
+        ])
+    } else {
+        let metrics =
+            Json::parse(&psgl_obs::render_json(&snapshot)).unwrap_or(Json::Arr(Vec::new()));
+        Json::obj([("ok", Json::Bool(true)), ("metrics", metrics)])
+    };
+    let _ = write_json(&mut w, &reply);
+}
+
 /// The event loop proper: join phase, then attempts until done.
 fn drive(
     rx: &Receiver<Event>,
@@ -287,6 +359,8 @@ fn drive(
     slots: &mut BTreeMap<u32, WorkerSlot>,
 ) -> Result<ClusterOutcome, ClusterError> {
     let mut membership = Membership::new(cfg.heartbeat_timeout);
+    let counters = CoordCounters::new();
+    let tracer = &cfg.tracer;
 
     // Join phase: wait for `workers` processes to register.
     let join_deadline = Instant::now() + cfg.join_timeout;
@@ -298,6 +372,15 @@ fn drive(
                 slot.send(&CoordMsg::Welcome { proc });
                 membership.touch(proc, Instant::now());
                 slots.insert(proc, slot);
+                counters.workers_joined.inc();
+                tracer.event(
+                    "cluster_member_joined",
+                    &[
+                        ("proc", TraceValue::U64(proc as u64)),
+                        ("joined", TraceValue::U64(slots.len() as u64)),
+                        ("expected", TraceValue::U64(cfg.workers as u64)),
+                    ],
+                );
             }
             Ok(Event::Msg { proc, .. }) => membership.touch(proc, Instant::now()),
             Ok(Event::Gone { proc }) => {
@@ -339,11 +422,18 @@ fn drive(
     let mut barriers: HashMap<u32, HashMap<u32, BarrierRow>> = HashMap::new();
     let mut dones: BTreeMap<u32, DoneParts> = BTreeMap::new();
 
-    start_attempt(slots, cfg, attempt, 0, &shards);
+    start_attempt(slots, cfg, attempt, 0, &shards, &counters);
 
     loop {
         let now = Instant::now();
         if deadline.is_some_and(|d| now >= d) {
+            tracer.event(
+                "cluster_attempt_aborted",
+                &[
+                    ("attempt", TraceValue::U64(attempt as u64)),
+                    ("reason", TraceValue::Str("deadline".into())),
+                ],
+            );
             broadcast_alive(slots, &CoordMsg::Abort { attempt, reason: "deadline".into() });
             return Err(ClusterError::Cancelled { reason: "deadline".into() });
         }
@@ -383,7 +473,9 @@ fn drive(
                             global_steps.push(SuperstepMetrics {
                                 workers,
                                 net: NetSuperstepMetrics::default(),
+                                spill_stall_nanos: 0,
                             });
+                            counters.supersteps.inc();
                             let interval = cfg.job.checkpoint_interval;
                             let checkpoint =
                                 interval > 0 && in_flight > 0 && (superstep + 1) % interval == 0;
@@ -443,11 +535,20 @@ fn drive(
                                 started,
                                 attempt,
                                 workers_lost,
+                                &counters,
                             ));
                         }
                     }
                     WorkerMsg::Done { .. } => {} // stale attempt
                     WorkerMsg::Error { message } => {
+                        tracer.event(
+                            "cluster_worker_error",
+                            &[
+                                ("proc", TraceValue::U64(proc as u64)),
+                                ("attempt", TraceValue::U64(attempt as u64)),
+                                ("message", TraceValue::Str(message.clone())),
+                            ],
+                        );
                         last_error = Some(message);
                         dead.push(proc);
                     }
@@ -467,12 +568,25 @@ fn drive(
             }
         }
 
-        dead.extend(
-            membership
-                .expired(Instant::now())
-                .into_iter()
-                .filter(|p| slots.get(p).is_some_and(|s| s.alive)),
-        );
+        let expired: Vec<u32> = membership
+            .expired(Instant::now())
+            .into_iter()
+            .filter(|p| slots.get(p).is_some_and(|s| s.alive))
+            .collect();
+        for &proc in &expired {
+            // Heartbeat lapse: the socket is still up but the worker has
+            // been silent past the timeout. Distinct from `Gone` so the
+            // operator can tell a hung worker from a dead connection.
+            tracer.event(
+                "cluster_member_suspected",
+                &[
+                    ("proc", TraceValue::U64(proc as u64)),
+                    ("attempt", TraceValue::U64(attempt as u64)),
+                    ("timeout_ms", TraceValue::U64(cfg.heartbeat_timeout.as_millis() as u64)),
+                ],
+            );
+        }
+        dead.extend(expired);
         if !dead.is_empty() {
             dead.sort_unstable();
             dead.dedup();
@@ -485,20 +599,39 @@ fn drive(
                     workers_lost += 1;
                     membership.remove(*proc);
                     let _ = slot.writer.shutdown(Shutdown::Both);
+                    counters.workers_lost.inc();
+                    tracer.event(
+                        "cluster_member_dead",
+                        &[
+                            ("proc", TraceValue::U64(*proc as u64)),
+                            ("attempt", TraceValue::U64(attempt as u64)),
+                            ("alive", TraceValue::U64(alive_count(slots) as u64)),
+                        ],
+                    );
                 }
             }
+            // Snapshot the ring for post-mortems: the dump carries the
+            // join / suspected / dead sequence that led here.
+            let _ = tracer.recorder().dump_on_failure("cluster-worker-death");
             if alive_count(slots) == 0 {
                 return Err(ClusterError::AllWorkersLost { last_error });
             }
             // Recovery: cancel the wounded attempt on the survivors,
             // roll back to the newest complete checkpoint, reassign.
+            tracer.event(
+                "cluster_attempt_aborted",
+                &[
+                    ("attempt", TraceValue::U64(attempt as u64)),
+                    ("reason", TraceValue::Str("disconnected".into())),
+                ],
+            );
             broadcast_alive(slots, &CoordMsg::Abort { attempt, reason: "disconnected".into() });
             attempt += 1;
             let resume_superstep = latest_complete.unwrap_or(0);
             global_steps.truncate(resume_superstep as usize);
             barriers.clear();
             dones.clear();
-            start_attempt(slots, cfg, attempt, resume_superstep, &shards);
+            start_attempt(slots, cfg, attempt, resume_superstep, &shards, &counters);
         }
     }
 }
@@ -522,10 +655,31 @@ fn start_attempt(
     attempt: u32,
     resume_superstep: u32,
     shards: &HashMap<u32, HashMap<u32, Vec<u8>>>,
+    counters: &CoordCounters,
 ) {
     let alive: Vec<u32> = slots.iter().filter(|(_, s)| s.alive).map(|(&p, _)| p).collect();
     let k = cfg.job.partitions;
     let owners: Vec<u32> = (0..k).map(|p| alive[p % alive.len()]).collect();
+    counters.attempts.inc();
+    if attempt > 0 {
+        cfg.tracer.event(
+            "cluster_partitions_reassigned",
+            &[
+                ("attempt", TraceValue::U64(attempt as u64)),
+                ("alive", TraceValue::U64(alive.len() as u64)),
+                ("partitions", TraceValue::U64(k as u64)),
+                ("resume_superstep", TraceValue::U64(resume_superstep as u64)),
+            ],
+        );
+    }
+    cfg.tracer.event(
+        "cluster_attempt_started",
+        &[
+            ("attempt", TraceValue::U64(attempt as u64)),
+            ("alive", TraceValue::U64(alive.len() as u64)),
+            ("resume_superstep", TraceValue::U64(resume_superstep as u64)),
+        ],
+    );
     let peers: Vec<(u32, String)> =
         alive.iter().map(|p| (*p, slots[p].data_addr.clone())).collect();
     let resume_set = if resume_superstep > 0 { shards.get(&resume_superstep) } else { None };
@@ -554,6 +708,7 @@ fn aggregate(
     started: Instant,
     attempt: u32,
     workers_lost: usize,
+    counters: &CoordCounters,
 ) -> ClusterOutcome {
     let mut expand = ExpandStats::default();
     let mut instances: Option<Vec<Vec<VertexId>>> =
@@ -580,6 +735,18 @@ fn aggregate(
     if let Some(all) = instances.as_mut() {
         all.sort_unstable();
     }
+    counters.instances.add(expand.results);
+    let messages: u64 = steps.iter().flat_map(|s| s.workers.iter()).map(|w| w.messages_out).sum();
+    counters.messages.add(messages);
+    cfg.tracer.event(
+        "cluster_job_done",
+        &[
+            ("attempts", TraceValue::U64(attempt as u64 + 1)),
+            ("workers_lost", TraceValue::U64(workers_lost as u64)),
+            ("instances", TraceValue::U64(expand.results)),
+            ("supersteps", TraceValue::U64(steps.len() as u64)),
+        ],
+    );
     let metrics = EngineMetrics {
         supersteps: steps,
         wall_time: started.elapsed(),

@@ -32,6 +32,10 @@ pub struct LocalClusterConfig {
     pub heartbeat_timeout: Duration,
     /// Optional wall-clock budget for the whole run.
     pub deadline: Option<Duration>,
+    /// Trace sink for coordinator membership/recovery events; defaults
+    /// to the process tracer. Tests pass a dedicated tracer to assert
+    /// the recovery event sequence.
+    pub tracer: psgl_obs::Tracer,
 }
 
 impl LocalClusterConfig {
@@ -44,6 +48,7 @@ impl LocalClusterConfig {
             die_at: None,
             heartbeat_timeout: Duration::from_secs(3),
             deadline: None,
+            tracer: psgl_obs::tracer().clone(),
         }
     }
 }
@@ -78,6 +83,8 @@ pub fn run_local(cfg: LocalClusterConfig) -> Result<ClusterOutcome, ClusterError
         heartbeat_timeout: cfg.heartbeat_timeout,
         join_timeout: Duration::from_secs(30),
         deadline: cfg.deadline,
+        linger: Duration::ZERO,
+        tracer: cfg.tracer,
     };
     let result = run_cluster(listener, cluster);
     // run_cluster severed every control socket on exit, so worker run

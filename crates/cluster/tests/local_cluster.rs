@@ -92,11 +92,115 @@ fn killed_worker_recovers_to_identical_results() {
     // superstep in which the compiled close kernel finishes triangles.
     cfg.die_at = Some((1, 1));
     cfg.heartbeat_timeout = Duration::from_millis(900);
+    let tracer = psgl_obs::Tracer::wall(512);
+    cfg.tracer = tracer.clone();
     let outcome = run_local(cfg).unwrap();
 
     assert_eq!(outcome.attempts, 2, "death at superstep 1 must trigger exactly one recovery");
     assert_eq!(outcome.workers_lost, 1);
     assert_matches_oracle(&outcome, &expected, "triangle/roulette after recovery");
+
+    // The recovery path must narrate itself: every membership transition
+    // and the abort/reassign/restart sequence shows up as trace events,
+    // in causal order.
+    let names: Vec<&str> = tracer.events().iter().map(|e| e.name).collect();
+    assert_eq!(
+        names.iter().filter(|n| **n == "cluster_member_joined").count(),
+        WORKERS,
+        "one join event per worker: {names:?}"
+    );
+    let pos = |name: &str| {
+        names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("missing event {name}: {names:?}"))
+    };
+    let first_start = pos("cluster_attempt_started");
+    let dead = pos("cluster_member_dead");
+    let aborted = pos("cluster_attempt_aborted");
+    let reassigned = pos("cluster_partitions_reassigned");
+    let done = pos("cluster_job_done");
+    assert!(first_start < dead, "attempt starts before the death: {names:?}");
+    assert!(dead < aborted, "death precedes the abort: {names:?}");
+    assert!(aborted < reassigned, "abort precedes reassignment: {names:?}");
+    assert!(reassigned < done, "recovery finishes before the job completes: {names:?}");
+    assert_eq!(
+        names.iter().filter(|n| **n == "cluster_attempt_started").count(),
+        2,
+        "initial attempt + one recovery: {names:?}"
+    );
+    let dead_ev = &tracer.events()[dead];
+    assert_eq!(dead_ev.field_u64("attempt"), Some(0));
+    assert_eq!(dead_ev.field_u64("alive"), Some(WORKERS as u64 - 1));
+    let reassigned_ev = &tracer.events()[reassigned];
+    assert_eq!(reassigned_ev.field_u64("attempt"), Some(1));
+    assert_eq!(reassigned_ev.field_u64("partitions"), Some(PARTITIONS as u64));
+}
+
+/// The coordinator's control port doubles as a metrics endpoint: a
+/// one-line `{"verb":"metrics"}` request gets the registry back (JSON
+/// or Prometheus text) without joining the cluster. With a linger the
+/// endpoint stays up after the job finishes, which is how the CI smoke
+/// test scrapes the final counters.
+#[test]
+fn coordinator_serves_metrics_scrape_on_control_port() {
+    use psgl_cluster::{run_cluster, run_worker, ClusterConfig, WorkerOptions};
+    use psgl_service::wire::{read_json, write_json, MAX_LINE_BYTES};
+    use psgl_service::Json;
+    use std::io::BufReader;
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut cfg = ClusterConfig::new(WORKERS, job("triangle", "roulette"));
+    cfg.linger = Duration::from_secs(2);
+    let coord = std::thread::spawn(move || run_cluster(listener, cfg));
+    let worker_handles: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let target = addr.to_string();
+            std::thread::spawn(move || run_worker(&target, WorkerOptions::default()))
+        })
+        .collect();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+
+    // Workers are done; the coordinator is lingering. Scrape JSON.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_json(&mut writer, &Json::obj([("verb", Json::from("metrics"))])).unwrap();
+    let reply = read_json(&mut reader, MAX_LINE_BYTES).unwrap().expect("scrape reply");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let metrics = reply.get("metrics").and_then(Json::as_arr).expect("metrics array");
+    let scalar = |name: &str| {
+        metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|m| m.get("value"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing series {name}"))
+    };
+    assert!(scalar("psgl_cluster_workers_joined") >= WORKERS as u64);
+    assert!(scalar("psgl_cluster_supersteps") > 0);
+    assert!(scalar("psgl_cluster_instances") > 0);
+
+    // And again as Prometheus text.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_json(
+        &mut writer,
+        &Json::obj([("verb", Json::from("metrics")), ("format", Json::from("prometheus"))]),
+    )
+    .unwrap();
+    let reply = read_json(&mut reader, MAX_LINE_BYTES).unwrap().expect("prometheus reply");
+    let body = reply.get("body").and_then(Json::as_str).expect("exposition body");
+    assert!(body.contains("# TYPE psgl_cluster_supersteps counter"), "{body}");
+    assert!(body.contains("psgl_cluster_workers_joined"), "{body}");
+
+    let outcome = coord.join().unwrap().unwrap();
+    assert!(outcome.instance_count > 0);
 }
 
 #[test]

@@ -203,6 +203,7 @@ impl Checkpoint {
         p.put_u64_le(self.carried.spill_bytes);
         p.put_u64_le(self.carried.spill_stall_nanos);
         p.put_u64_le(self.carried.readmitted_chunks);
+        p.put_u64_le(self.carried.spill_write_failures);
         p.put_u64_le(self.carried.chunks_live_peak as u64);
         p.put_u32_le(self.prior_supersteps.len() as u32);
         for s in &self.prior_supersteps {
@@ -222,6 +223,8 @@ impl Checkpoint {
             p.put_u64_le(s.net.wire_bytes_sent);
             p.put_u64_le(s.net.wire_bytes_received);
             p.put_u64_le(s.net.barrier_wait_nanos);
+            p.put_u64_le(s.net.exchange_nanos);
+            p.put_u64_le(s.spill_stall_nanos);
         }
         for w in &self.workers {
             put_worker(&mut p, w);
@@ -247,6 +250,7 @@ impl Checkpoint {
             spill_bytes: r.u64()?,
             spill_stall_nanos: r.u64()?,
             readmitted_chunks: r.u64()?,
+            spill_write_failures: r.u64()?,
             chunks_live_peak: r.u64()? as i64,
         };
         let n_supersteps = r.u32()? as usize;
@@ -272,8 +276,10 @@ impl Checkpoint {
                 wire_bytes_sent: r.u64()?,
                 wire_bytes_received: r.u64()?,
                 barrier_wait_nanos: r.u64()?,
+                exchange_nanos: r.u64()?,
             };
-            prior_supersteps.push(SuperstepMetrics { workers: ws, net });
+            let spill_stall_nanos = r.u64()?;
+            prior_supersteps.push(SuperstepMetrics { workers: ws, net, spill_stall_nanos });
         }
         let mut worker_states = Vec::new();
         for _ in 0..workers {
@@ -286,7 +292,14 @@ impl Checkpoint {
         if !r.data.is_empty() {
             return Err(CheckpointError::new("trailing bytes after frontier"));
         }
-        Ok(Checkpoint { guard, superstep, carried, prior_supersteps, workers: worker_states, frontier })
+        Ok(Checkpoint {
+            guard,
+            superstep,
+            carried,
+            prior_supersteps,
+            workers: worker_states,
+            frontier,
+        })
     }
 }
 
@@ -692,6 +705,7 @@ mod tests {
                 spill_bytes: 8192,
                 spill_stall_nanos: 555,
                 readmitted_chunks: 4,
+                spill_write_failures: 2,
                 chunks_live_peak: 17,
             },
             prior_supersteps: vec![SuperstepMetrics {
@@ -712,7 +726,9 @@ mod tests {
                     wire_bytes_sent: 4096,
                     wire_bytes_received: 3072,
                     barrier_wait_nanos: 777,
+                    exchange_nanos: 888,
                 },
+                spill_stall_nanos: 321,
             }],
             workers: vec![
                 WorkerCheckpoint {

@@ -49,7 +49,9 @@ pub mod runner;
 pub mod shared;
 pub mod stats;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard, GpsiSpillCodec};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointGuard, CheckpointShard, GpsiSpillCodec,
+};
 pub use config::PsglConfig;
 pub use distribute::Strategy;
 pub use expand::ExpandScratch;

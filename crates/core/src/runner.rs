@@ -249,6 +249,11 @@ pub struct RunnerHooks<'a> {
     /// [`PsglConfig::spill`] so the chaos harness can inject disk-pressure
     /// faults per scenario.
     pub spill: Option<psgl_bsp::SpillConfig>,
+    /// Structured-trace sink threaded into the engine (superstep events)
+    /// and the runner (run lifecycle, spill-dir cleanup). `None` traces
+    /// nothing; the service passes the process tracer, the sim harness a
+    /// seeded one.
+    pub tracer: Option<&'a psgl_obs::Tracer>,
 }
 
 /// Runs the BSP phase against an already-prepared shared context.
@@ -436,8 +441,7 @@ pub fn list_subgraphs_slice(
         ListingEnd::Complete(result) => Ok(SliceEnd::Complete(result)),
         ListingEnd::Cancelled(c) if c.reason == CancelReason::Preempted => {
             let c = *c;
-            let checkpoint =
-                c.checkpoint.expect("a preempted run always captures its frontier");
+            let checkpoint = c.checkpoint.expect("a preempted run always captures its frontier");
             Ok(SliceEnd::Preempted {
                 superstep: c.superstep,
                 partial: c.partial,
@@ -751,6 +755,10 @@ pub fn assemble_run_stats(expand: ExpandStats, metrics: &EngineMetrics) -> RunSt
         wire_bytes_received: metrics.total_wire_bytes_received(),
         barrier_wait_nanos: metrics.total_barrier_wait_nanos(),
         barrier_wait_per_superstep: metrics.barrier_wait_per_superstep(),
+        compute_nanos_per_superstep: metrics.compute_nanos_per_superstep(),
+        exchange_nanos_per_superstep: metrics.exchange_nanos_per_superstep(),
+        spill_stall_per_superstep: metrics.spill_stall_per_superstep(),
+        spill_write_failures: metrics.spill_write_failures,
     }
 }
 
@@ -885,6 +893,7 @@ fn run_engine_seeded(
         exchange: cluster_exchange,
         sink: shard_sink.as_ref().map(|s| s as &dyn FrontierSink<Gpsi, WorkerState>),
         spill: spill_store.as_ref().map(|store| SpillControl { store, codec: &spill_codec }),
+        tracer: hooks.tracer,
     };
     let outcome = psgl_bsp::run_controlled(
         shared.graph.num_vertices(),
@@ -893,8 +902,24 @@ fn run_engine_seeded(
         &bsp_config,
         executor,
         control,
-    )
-    .map_err(|e| match e {
+    );
+    // The spill directory is about to be swept by the store's drop guard;
+    // record what it held so a degraded run's disk traffic is attributable
+    // after the fact. Seeded tracers omit the path (it embeds a per-run
+    // serial that would break event-stream determinism).
+    if let (Some(t), Some(store)) = (hooks.tracer, spill_store.as_ref()) {
+        let mut fields = vec![
+            ("spilled_chunks", psgl_obs::Value::U64(store.spilled_chunks())),
+            ("spilled_bytes", psgl_obs::Value::U64(store.spilled_bytes())),
+            ("readmitted_chunks", psgl_obs::Value::U64(store.readmitted())),
+            ("write_failures", psgl_obs::Value::U64(store.write_failures())),
+        ];
+        if !t.is_seeded() {
+            fields.push(("dir", psgl_obs::Value::Str(store.dir().display().to_string())));
+        }
+        t.event("spill_dir_cleaned", &fields);
+    }
+    let outcome = outcome.map_err(|e| match e {
         // Report the configured per-worker budget, not the engine's
         // global derived one.
         psgl_bsp::BspError::MessageBudgetExceeded { in_flight, .. } => {

@@ -144,6 +144,35 @@ pub struct RunStats {
     pub barrier_wait_nanos: u64,
     /// Barrier wait per superstep, in nanoseconds.
     pub barrier_wait_per_superstep: Vec<u64>,
+    /// Compute time per superstep (sum of worker elapsed), in nanoseconds.
+    /// Wall-clock derived: excluded from deterministic fingerprints.
+    pub compute_nanos_per_superstep: Vec<u64>,
+    /// Exchange (outbox flush + routing + peer drain) time per superstep,
+    /// in nanoseconds. Wall-clock derived.
+    pub exchange_nanos_per_superstep: Vec<u64>,
+    /// Spill-tier stall per superstep, in nanoseconds. Wall-clock derived.
+    pub spill_stall_per_superstep: Vec<u64>,
+    /// Spill writes that failed and degraded the sender to resident growth.
+    pub spill_write_failures: u64,
+}
+
+impl RunStats {
+    /// The slow-query timeline: per superstep, how long the run spent
+    /// computing vs waiting at the barrier vs stalled in spill I/O vs
+    /// inside the exchange (all in fractional milliseconds).
+    pub fn superstep_timeline(&self) -> Vec<psgl_obs::SuperstepTiming> {
+        let ms = |nanos: u64| nanos as f64 / 1_000_000.0;
+        let at = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        (0..self.supersteps)
+            .map(|i| psgl_obs::SuperstepTiming {
+                superstep: i as u32,
+                compute_ms: ms(at(&self.compute_nanos_per_superstep, i)),
+                barrier_ms: ms(at(&self.barrier_wait_per_superstep, i)),
+                spill_stall_ms: ms(at(&self.spill_stall_per_superstep, i)),
+                exchange_ms: ms(at(&self.exchange_nanos_per_superstep, i)),
+            })
+            .collect()
+    }
 }
 
 impl RunStats {

@@ -36,8 +36,37 @@
 use psgl_core::EdgeIndex;
 use psgl_graph::generators::{apply_edge_batch, EdgeBatch};
 use psgl_graph::{DataGraph, GraphError, OrderedGraph, VertexId};
+use psgl_obs::Value as TraceValue;
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide mutation counters in the global [`psgl_obs::registry`]:
+/// epochs advanced, effective edge churn, and compactions (each of which
+/// invalidates order-keyed caches — worth counting on its own).
+struct DeltaCounters {
+    epochs: psgl_obs::Counter,
+    edges_inserted: psgl_obs::Counter,
+    edges_deleted: psgl_obs::Counter,
+    compactions: psgl_obs::Counter,
+}
+
+fn counters() -> &'static DeltaCounters {
+    static COUNTERS: OnceLock<DeltaCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = psgl_obs::registry();
+        DeltaCounters {
+            epochs: r.counter("psgl_delta_epochs", "Mutation batches applied (epochs advanced)"),
+            edges_inserted: r
+                .counter("psgl_delta_edges_inserted", "Effective edge insertions applied"),
+            edges_deleted: r
+                .counter("psgl_delta_edges_deleted", "Effective edge deletions applied"),
+            compactions: r.counter(
+                "psgl_delta_compactions",
+                "Overlay compactions (ordering and index rebuilt)",
+            ),
+        }
+    })
+}
 
 /// Everything a query needs from one epoch of a [`DeltaGraph`]: the
 /// materialized CSR snapshot plus the graph-side artifacts of
@@ -208,6 +237,22 @@ impl DeltaGraph {
         if compacted {
             self.compact();
         }
+        let c = counters();
+        c.epochs.inc();
+        c.edges_inserted.add(inserted.len() as u64);
+        c.edges_deleted.add(deleted.len() as u64);
+        if compacted {
+            // Compaction is the event worth tracing: it rebuilds the
+            // ordering and index, so downstream order-keyed caches of this
+            // graph are about to be dropped.
+            psgl_obs::tracer().event(
+                "delta_compacted",
+                &[
+                    ("epoch", TraceValue::U64(self.current.epoch)),
+                    ("threshold", TraceValue::U64(self.compact_threshold as u64)),
+                ],
+            );
+        }
         Ok(ApplyOutcome { epoch: self.current.epoch, inserted, deleted, compacted })
     }
 
@@ -217,6 +262,7 @@ impl DeltaGraph {
     /// degrees). The epoch number is preserved — compaction changes the
     /// representation, not the graph.
     pub fn compact(&mut self) {
+        counters().compactions.inc();
         self.base = Arc::clone(&self.current.graph);
         self.inserts.clear();
         self.deletes.clear();

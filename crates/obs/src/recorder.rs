@@ -1,0 +1,121 @@
+//! Flight recorder: a fixed-size ring of recent trace events, dumped to a
+//! JSON file when something goes wrong (run error, chaos invariant failure,
+//! worker death) so the last moments before the failure are preserved
+//! without any steady-state logging cost.
+
+use crate::trace::TraceEvent;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serial for dump file names so concurrent dumps in one process never
+/// collide.
+static DUMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { capacity, ring: Mutex::new(VecDeque::with_capacity(capacity)) }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn push(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Render the retained events as a JSON document.
+    pub fn to_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 64 + 64);
+        out.push_str(&format!(
+            "{{\"capacity\":{},\"retained\":{},\"events\":[",
+            self.capacity,
+            events.len()
+        ));
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&ev.to_json());
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Write the ring to `path`, creating parent directories.
+    pub fn dump_to_file(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+
+    /// Write the ring to `dir/{stem}-{pid}-{serial}.json` and return the
+    /// path. `dir` is created if missing.
+    pub fn dump_to_dir(&self, dir: &Path, stem: &str) -> std::io::Result<PathBuf> {
+        let serial = DUMP_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("{stem}-{}-{serial}.json", std::process::id()));
+        self.dump_to_file(&path)?;
+        Ok(path)
+    }
+
+    /// Dump to `$PSGL_OBS_DIR` if set, else the OS temp dir. Returns the
+    /// path on success; I/O errors are swallowed (the recorder must never
+    /// turn a failure into a worse failure).
+    pub fn dump_on_failure(&self, stem: &str) -> Option<PathBuf> {
+        let dir =
+            std::env::var_os("PSGL_OBS_DIR").map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+        self.dump_to_dir(&dir, stem).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::trace::{Tracer, Value};
+
+    #[test]
+    fn ring_retains_only_the_last_capacity_events() {
+        let t = Tracer::seeded(3);
+        for i in 0..5u64 {
+            t.event("tick", &[("i", Value::U64(i))]);
+        }
+        let evs = t.recorder().events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].field_u64("i"), Some(2));
+        assert_eq!(evs[2].field_u64("i"), Some(4));
+    }
+
+    #[test]
+    fn dump_writes_a_parseable_json_file() {
+        let t = Tracer::seeded(8);
+        t.event("superstep", &[("step", Value::U64(3))]);
+        let dir = std::env::temp_dir().join(format!("psgl-obs-test-{}", std::process::id()));
+        let path = t.recorder().dump_to_dir(&dir, "unit").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\":\"superstep\""), "{body}");
+        assert!(body.contains("\"retained\":1"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

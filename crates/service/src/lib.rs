@@ -50,11 +50,11 @@ pub use error::{LoadError, ServiceError};
 pub use json::Json;
 pub use loader::{load_graph, GraphFormat};
 pub use protocol::{parse_pattern_spec, parse_strategy_spec, QuerySpec, Request};
+pub use psgl_core::SpillConfig;
 pub use scheduler::{
     execute_query, Job, QueryOutcome, Scheduler, StreamSink, DEFAULT_SLICE_SUPERSTEPS,
     DEFAULT_TENANT,
 };
 pub use server::{serve, serve_with_state, ServiceConfig, ServiceHandle};
-pub use psgl_core::SpillConfig;
 pub use state::{QueryDefaults, ServiceState, TenantAccount};
 pub use wire::{WireError, MAX_LINE_BYTES};

@@ -171,6 +171,13 @@ pub enum Request {
     },
     /// Server statistics snapshot.
     Stats,
+    /// Observability snapshot: everything `stats` reports plus the raw
+    /// metrics registry, the recent slow-query log, and (with
+    /// `"format":"prometheus"`) the text exposition in a `body` field.
+    Metrics {
+        /// Exposition format; `Some("prometheus")` adds the text body.
+        format: Option<String>,
+    },
     /// Liveness probe.
     Health,
     /// Stop the server.
@@ -331,11 +338,12 @@ impl Request {
             }),
             "cancel" => Ok(Request::Cancel { query_id: str_field(obj, "query_id")? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics { format: opt_str(obj, "format")? }),
             "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(bad(format!(
                 "unknown verb {other:?} (expected load, mutate, count, list, subscribe, cancel, \
-                 stats, health or shutdown)"
+                 stats, metrics, health or shutdown)"
             ))),
         }
     }

@@ -44,9 +44,9 @@ use psgl_core::{
     ListingEnd, PsglConfig, PsglError, PsglShared, RunControls, RunnerHooks, SliceEnd,
 };
 use psgl_graph::VertexId;
+use psgl_obs::{SlowQueryEntry, Value as TraceValue};
 use psgl_pattern::PatternVertex;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -232,8 +232,7 @@ impl Scheduler {
     /// Admits a job, or rejects immediately when too many tasks are
     /// already waiting (backpressure) or the scheduler is shutting down.
     pub fn submit(&self, job: Job) -> Result<(), ServiceError> {
-        let tenant =
-            job.query.tenant.clone().unwrap_or_else(|| DEFAULT_TENANT.to_string());
+        let tenant = job.query.tenant.clone().unwrap_or_else(|| DEFAULT_TENANT.to_string());
         let weight = job.query.weight.unwrap_or(1).max(1);
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.shutdown {
@@ -257,9 +256,10 @@ impl Scheduler {
         }
         let seq = q.next_seq;
         q.next_seq += 1;
-        let deadline_key = job.query.timeout_ms.map(|ms| {
-            (self.shared.epoch.elapsed() + Duration::from_millis(ms)).as_micros() as u64
-        });
+        let deadline_key = job
+            .query
+            .timeout_ms
+            .map(|ms| (self.shared.epoch.elapsed() + Duration::from_millis(ms)).as_micros() as u64);
         let task = Task {
             seq,
             query: Arc::new(job.query.clone()),
@@ -281,9 +281,9 @@ impl Scheduler {
         };
         let vtime = enqueue(&mut q, task);
         drop(q);
-        self.shared.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.shared.state.stats.queue_depth.add(1);
         if degraded {
-            self.shared.state.stats.degraded_to_spill.fetch_add(1, Ordering::Relaxed);
+            self.shared.state.stats.degraded_to_spill.inc();
         }
         self.shared.state.tenants.update(&tenant, |a| {
             a.admitted += 1;
@@ -319,7 +319,7 @@ impl Scheduler {
             q.tasks.drain().map(|(_, t)| t).collect()
         };
         for task in stranded {
-            self.shared.state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            self.shared.state.stats.queue_depth.sub(1);
             finish_accounting(&self.shared.state, &task);
             let _ = task.job.reply.send(Err(ServiceError::ShuttingDown));
         }
@@ -375,7 +375,7 @@ fn worker_loop(shared: &SchedShared) {
                 q = shared.ready_cond.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        shared.state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.state.stats.queue_depth.sub(1);
         // A task cancelled while waiting (disconnect, cancel verb) frees
         // its slot without running the engine; partial progress from
         // earlier slices is reported but not resumable.
@@ -389,9 +389,9 @@ fn worker_loop(shared: &SchedShared) {
             }));
             continue;
         }
-        shared.state.stats.running.fetch_add(1, Ordering::Relaxed);
+        shared.state.stats.running.add(1);
         let step = run_slice(&shared.state, &mut task, shared.slice_supersteps);
-        shared.state.stats.running.fetch_sub(1, Ordering::Relaxed);
+        shared.state.stats.running.sub(1);
         match step {
             SliceStep::Yield => {
                 let tenant = task.tenant.clone();
@@ -399,7 +399,7 @@ fn worker_loop(shared: &SchedShared) {
                     let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                     enqueue(&mut q, task)
                 };
-                shared.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                shared.state.stats.queue_depth.add(1);
                 // The mirror write races other slices of the same tenant,
                 // but vtime is monotonic so the snapshot stays sane.
                 shared.state.tenants.update(&tenant, |a| a.vtime = a.vtime.max(vtime));
@@ -483,12 +483,15 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
             return done(Ok(outcome));
         }
     }
-    let (plan, plan_cache_hit) =
-        match state.plans.get_or_prepare(entry.content_hash, &query.pattern, &config, &entry.histogram)
-        {
-            Ok(p) => p,
-            Err(e) => return done(Err(ServiceError::from(e))),
-        };
+    let (plan, plan_cache_hit) = match state.plans.get_or_prepare(
+        entry.content_hash,
+        &query.pattern,
+        &config,
+        &entry.histogram,
+    ) {
+        Ok(p) => p,
+        Err(e) => return done(Err(ServiceError::from(e))),
+    };
     let index = config.use_edge_index.then(|| Arc::clone(&entry.index));
     let shared = PsglShared::from_parts(&entry.graph, Arc::clone(&entry.ordered), index, &plan);
     let end = list_subgraphs_slice(
@@ -501,7 +504,7 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
         slice_supersteps,
     );
     task.slices += 1;
-    state.stats.slices.fetch_add(1, Ordering::Relaxed);
+    state.stats.slices.inc();
     state.tenants.update(&task.tenant, |a| a.slices += 1);
     match end {
         Err(e) => {
@@ -520,7 +523,7 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
                 task.resume = None;
                 task.last_superstep = 0;
                 task.partial_count = 0;
-                state.stats.degraded_to_spill.fetch_add(1, Ordering::Relaxed);
+                state.stats.degraded_to_spill.inc();
                 state.tenants.update(&task.tenant, |a| a.degraded_to_spill += 1);
                 return SliceStep::Yield;
             }
@@ -528,9 +531,7 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
         }
         Ok(SliceEnd::Complete(result)) => {
             state.stats.record_run(&result.stats);
-            state
-                .tenants
-                .update(&task.tenant, |a| a.spill_bytes += result.stats.spill_bytes);
+            state.tenants.update(&task.tenant, |a| a.spill_bytes += result.stats.spill_bytes);
             let mut outcome = QueryOutcome {
                 count: result.instance_count,
                 instances: result.instances.map(Arc::new),
@@ -566,6 +567,7 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
                     },
                 );
             }
+            observe_run(state, task, &result.stats, outcome.wall_ms);
             if let Err(e) = stream_outcome_pages(state, task, &mut outcome) {
                 return done(Err(e));
             }
@@ -575,7 +577,7 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
             task.last_superstep = superstep;
             task.partial_count = partial.instance_count;
             task.preemptions += 1;
-            state.stats.preemptions.fetch_add(1, Ordering::Relaxed);
+            state.stats.preemptions.inc();
             state.tenants.update(&task.tenant, |a| a.preemptions += 1);
             if task.job.stream.is_some() {
                 let drained = checkpoint.drain_instances();
@@ -592,11 +594,25 @@ fn run_slice(state: &ServiceState, task: &mut Task, slice_supersteps: u32) -> Sl
             // partial stats are cumulative across this task's slices, so
             // they are recorded exactly once, here.)
             state.stats.record_run(&c.partial.stats);
-            state
-                .tenants
-                .update(&task.tenant, |a| a.spill_bytes += c.partial.stats.spill_bytes);
-            let resume_token =
-                c.checkpoint.as_ref().map(|cp| state.checkpoints.put(cp.to_bytes()));
+            state.tenants.update(&task.tenant, |a| a.spill_bytes += c.partial.stats.spill_bytes);
+            observe_run(
+                state,
+                task,
+                &c.partial.stats,
+                task.admitted_at.elapsed().as_secs_f64() * 1e3,
+            );
+            if matches!(c.reason, CancelReason::Disconnected) {
+                state.tracer.event(
+                    "client_disconnected",
+                    &[
+                        ("query_id", TraceValue::Str(task_query_id(task))),
+                        ("tenant", TraceValue::Str(task.tenant.clone())),
+                        ("superstep", TraceValue::U64(u64::from(c.superstep))),
+                        ("partial_count", TraceValue::U64(c.partial.instance_count)),
+                    ],
+                );
+            }
+            let resume_token = c.checkpoint.as_ref().map(|cp| state.checkpoints.put(cp.to_bytes()));
             done(Err(ServiceError::Cancelled {
                 reason: c.reason,
                 superstep: c.superstep,
@@ -659,32 +675,76 @@ fn emit_pages(
                 Ok(()) => break,
                 Err(TrySendError::Full(l)) => {
                     if task.job.token.is_cancelled() {
-                        return Err(stream_abort(task));
+                        return Err(stream_abort(state, task));
                     }
                     line = l;
                     std::thread::sleep(PAGE_BACKOFF);
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     task.job.token.cancel(CancelReason::Disconnected);
-                    return Err(stream_abort(task));
+                    return Err(stream_abort(state, task));
                 }
             }
         }
         task.pages += 1;
         task.streamed += block.len() as u64;
-        state.stats.pages_streamed.fetch_add(1, Ordering::Relaxed);
+        state.stats.pages_streamed.inc();
         state.tenants.update(&task.tenant, |a| a.pages += 1);
     }
     Ok(())
 }
 
-fn stream_abort(task: &Task) -> ServiceError {
+fn stream_abort(state: &ServiceState, task: &Task) -> ServiceError {
+    let reason = task.job.token.reason().unwrap_or(CancelReason::Disconnected);
+    if matches!(reason, CancelReason::Disconnected) {
+        state.tracer.event(
+            "client_disconnected_midstream",
+            &[
+                ("query_id", TraceValue::Str(task_query_id(task))),
+                ("tenant", TraceValue::Str(task.tenant.clone())),
+                ("pages", TraceValue::U64(task.pages)),
+                ("streamed", TraceValue::U64(task.streamed)),
+                ("superstep", TraceValue::U64(u64::from(task.last_superstep))),
+            ],
+        );
+    }
     ServiceError::Cancelled {
-        reason: task.job.token.reason().unwrap_or(CancelReason::Disconnected),
+        reason,
         superstep: task.last_superstep,
         partial_count: task.partial_count,
         resume_token: None,
     }
+}
+
+/// The wire query id, or `""` for anonymous queries (the slow-query log
+/// and trace events still want the tenant in that case).
+fn task_query_id(task: &Task) -> String {
+    task.query.query_id.clone().unwrap_or_default()
+}
+
+/// Post-run observability: records the per-superstep timeline in the
+/// slow-query log when the run crossed the threshold, and raises
+/// spill-write degradations from anonymous counters to attributed trace
+/// events (which query, which tenant) — the counter alone cannot answer
+/// "whose spill writes failed".
+fn observe_run(state: &ServiceState, task: &Task, stats: &psgl_core::RunStats, wall_ms: f64) {
+    if stats.spill_write_failures > 0 {
+        state.tracer.event(
+            "query_spill_write_degraded",
+            &[
+                ("query_id", TraceValue::Str(task_query_id(task))),
+                ("tenant", TraceValue::Str(task.tenant.clone())),
+                ("failures", TraceValue::U64(stats.spill_write_failures)),
+            ],
+        );
+    }
+    state.slow_queries.maybe_record(SlowQueryEntry {
+        query_id: task_query_id(task),
+        tenant: task.tenant.clone(),
+        pattern: canonical_pattern(&task.query.pattern),
+        total_ms: wall_ms,
+        timeline: stats.superstep_timeline(),
+    });
 }
 
 /// Live-chunk cap for degraded runs when the server's defaults set a
@@ -696,7 +756,12 @@ const DEGRADED_MAX_LIVE_CHUNKS: u64 = 8;
 /// A `degraded` run is one the scheduler chose to serve memory-bounded
 /// instead of rejecting: its Gpsi budget (the simulated OOM) is lifted
 /// because the spill tier, not the budget, now bounds memory.
-fn query_config(state: &ServiceState, query: &QuerySpec, collect: bool, degraded: bool) -> PsglConfig {
+fn query_config(
+    state: &ServiceState,
+    query: &QuerySpec,
+    collect: bool,
+    degraded: bool,
+) -> PsglConfig {
     let config = PsglConfig {
         workers: query.workers.unwrap_or(state.defaults.workers).max(1),
         init_vertex: query.init_vertex,
@@ -717,11 +782,14 @@ fn query_config(state: &ServiceState, query: &QuerySpec, collect: bool, degraded
 /// live-chunk cap through to the engine. Degraded runs get a tight cap
 /// even when the defaults leave the pool unbounded, so the frontier of
 /// a giant query spills instead of occupying the whole pool.
-fn run_hooks(state: &ServiceState, degraded: bool) -> RunnerHooks<'static> {
-    let mut hooks = RunnerHooks::default();
-    hooks.spill = state.defaults.spill.clone();
-    hooks.max_live_chunks = state.defaults.max_live_chunks;
-    hooks.chunk_capacity = state.defaults.chunk_capacity;
+fn run_hooks(state: &ServiceState, degraded: bool) -> RunnerHooks<'_> {
+    let mut hooks = RunnerHooks {
+        tracer: Some(&state.tracer),
+        spill: state.defaults.spill.clone(),
+        max_live_chunks: state.defaults.max_live_chunks,
+        chunk_capacity: state.defaults.chunk_capacity,
+        ..RunnerHooks::default()
+    };
     if degraded && state.defaults.spill.is_some() {
         hooks.max_live_chunks =
             Some(state.defaults.max_live_chunks.unwrap_or(DEGRADED_MAX_LIVE_CHUNKS));
@@ -810,6 +878,13 @@ pub fn execute_query(
         }
     };
     state.stats.record_run(&result.stats);
+    state.slow_queries.maybe_record(SlowQueryEntry {
+        query_id: query.query_id.clone().unwrap_or_default(),
+        tenant: query.tenant.clone().unwrap_or_else(|| DEFAULT_TENANT.to_string()),
+        pattern: canonical_pattern(&query.pattern),
+        total_ms: start.elapsed().as_secs_f64() * 1e3,
+        timeline: result.stats.superstep_timeline(),
+    });
     let outcome = QueryOutcome {
         count: result.instance_count,
         instances: result.instances.map(Arc::new),
@@ -882,7 +957,10 @@ mod tests {
         }
     }
 
-    fn job(query: QuerySpec, reply: std::sync::mpsc::Sender<Result<QueryOutcome, ServiceError>>) -> Job {
+    fn job(
+        query: QuerySpec,
+        reply: std::sync::mpsc::Sender<Result<QueryOutcome, ServiceError>>,
+    ) -> Job {
         Job { query, collect: false, token: CancelToken::new(), reply, stream: None }
     }
 
@@ -1008,13 +1086,7 @@ mod tests {
         token.cancel(CancelReason::Disconnected);
         let (tx, rx) = channel();
         scheduler
-            .submit(Job {
-                query: triangle_query(),
-                collect: false,
-                token,
-                reply: tx,
-                stream: None,
-            })
+            .submit(Job { query: triangle_query(), collect: false, token, reply: tx, stream: None })
             .unwrap();
         match rx.recv().unwrap() {
             Err(ServiceError::Cancelled { reason, partial_count: 0, .. }) => {
@@ -1023,7 +1095,7 @@ mod tests {
             other => panic!("expected cancelled, got {:?}", other.map(|o| o.count)),
         }
         // No engine work ran for the skipped job.
-        assert_eq!(state.stats.gpsis_generated.load(Ordering::Relaxed), 0);
+        assert_eq!(state.stats.gpsis_generated.get(), 0);
         scheduler.shutdown();
     }
 
@@ -1086,7 +1158,7 @@ mod tests {
         assert!(out.preemptions >= 1, "one-superstep slices must preempt: {out:?}");
         assert_eq!(out.slices, out.preemptions + 1);
         assert_eq!(
-            state.stats.preemptions.load(Ordering::Relaxed),
+            state.stats.preemptions.get(),
             out.preemptions,
             "server-wide preemption counter tracks the run"
         );

@@ -11,6 +11,7 @@ use crate::wire::{self, WireError, MAX_LINE_BYTES};
 use psgl_core::{CancelReason, CancelToken};
 use psgl_graph::generators::EdgeBatch;
 use psgl_graph::VertexId;
+use psgl_obs::Value as TraceValue;
 use psgl_pattern::Pattern;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -160,7 +161,7 @@ pub fn serve_with_state(
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
-                state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                state.stats.connections.inc();
                 let conn = Connection {
                     state: Arc::clone(&state),
                     scheduler: Arc::clone(&scheduler),
@@ -208,7 +209,7 @@ impl Connection {
             if line.trim().is_empty() {
                 continue;
             }
-            self.state.stats.requests.fetch_add(1, Ordering::Relaxed);
+            self.state.stats.requests.inc();
             let keep_going = self.dispatch(line.trim(), &mut writer);
             if !keep_going {
                 return;
@@ -232,6 +233,9 @@ impl Connection {
                 ]),
             ),
             Request::Stats => write_json(writer, &stats_response(&self.state)),
+            Request::Metrics { format } => {
+                write_json(writer, &metrics_response(&self.state, format.as_deref()))
+            }
             Request::Load { name, path, format } => {
                 match self.state.catalog.load(&name, &path, format) {
                     Ok(outcome) => {
@@ -290,7 +294,7 @@ impl Connection {
             }
             Request::Count(query) => match self.run_job(query, false, None, writer) {
                 Ok(outcome) => {
-                    self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+                    self.state.stats.queries_ok.inc();
                     write_json(writer, &count_response(&outcome))
                 }
                 Err(e) => self.write_query_error(writer, &e),
@@ -300,7 +304,7 @@ impl Connection {
                 let streamed = query.stream;
                 match self.run_job(query, true, streamed.then_some(chunk), writer) {
                     Ok(outcome) => {
-                        self.state.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+                        self.state.stats.queries_ok.inc();
                         if streamed {
                             // Pages already went out in order; finish with
                             // the done line so the client knows the count.
@@ -329,7 +333,7 @@ impl Connection {
         let start = std::time::Instant::now();
         let batch = EdgeBatch { insert, delete };
         let outcome = self.state.catalog.mutate(graph, &batch)?;
-        self.state.stats.mutations.fetch_add(1, Ordering::Relaxed);
+        self.state.stats.mutations.inc();
         let stats = views::patch_cached_views(&self.state, &outcome);
         let notified = views::notify_subscribers(&self.state, &outcome);
         let entry = &outcome.entry;
@@ -412,6 +416,7 @@ impl Connection {
             None => CancelToken::new(),
         };
         let query_id = query.query_id.clone();
+        let tenant = query.tenant.clone();
         if let Some(id) = &query_id {
             self.state.jobs.register(id.clone(), token.clone());
         }
@@ -448,6 +453,19 @@ impl Connection {
         if let Some(page_rx) = &pages {
             forward_pages(page_rx, writer, &token);
         }
+        // One attributed event per disconnected query, whichever path
+        // noticed it first (reply-wait probe, failed page write, or the
+        // worker's closed page channel) — the `cancelled` counter alone
+        // cannot say *whose* client went away.
+        if matches!(token.reason(), Some(CancelReason::Disconnected)) {
+            self.state.tracer.event(
+                "client_disconnected",
+                &[
+                    ("query_id", TraceValue::Str(query_id.clone().unwrap_or_default())),
+                    ("tenant", TraceValue::Str(tenant.unwrap_or_default())),
+                ],
+            );
+        }
         if let Some(id) = &query_id {
             self.state.jobs.unregister(id);
         }
@@ -461,8 +479,23 @@ impl Connection {
             ServiceError::Cancelled { .. } => &self.state.stats.cancelled,
             _ => &self.state.stats.queries_failed,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
-        write_json(writer, &error_response(e))
+        counter.inc();
+        let mut response = error_response(e);
+        // An internal error is exactly the "what led up to this?" case:
+        // dump the flight recorder and tell the client where it landed.
+        if matches!(e, ServiceError::Internal(_)) {
+            if let Some(path) =
+                self.state.tracer.recorder().dump_on_failure("psgl-service-internal")
+            {
+                if let Json::Obj(fields) = &mut response {
+                    fields.push((
+                        "flight_recorder".to_string(),
+                        Json::from(path.display().to_string()),
+                    ));
+                }
+            }
+        }
+        write_json(writer, &response)
     }
 
     /// Streams a list result: `chunk` lines then a `done` line.
@@ -576,6 +609,33 @@ fn stats_response(state: &ServiceState) -> Json {
         ("tenants", state.tenants.snapshot()),
         ("graphs", Json::Arr(graphs)),
     ])
+}
+
+/// The `metrics` verb body: a strict superset of `stats` — the same
+/// top-level objects plus the raw registry series, the slow-query log,
+/// and (with `"format": "prometheus"`) a text-exposition rendition.
+fn metrics_response(state: &ServiceState, format: Option<&str>) -> Json {
+    let mut response = stats_response(state);
+    let snapshot = state.stats.registry().snapshot();
+    let metrics = Json::parse(&psgl_obs::render_json(&snapshot)).unwrap_or(Json::Arr(Vec::new()));
+    let slow: Vec<Json> = state
+        .slow_queries
+        .entries()
+        .iter()
+        .map(|e| Json::parse(&e.to_json()).unwrap_or(Json::Null))
+        .collect();
+    if let Json::Obj(fields) = &mut response {
+        fields.push(("metrics".to_string(), metrics));
+        fields.push((
+            "slow_query_threshold_ms".to_string(),
+            Json::from(state.slow_queries.threshold_ms()),
+        ));
+        fields.push(("slow_queries".to_string(), Json::Arr(slow)));
+        if format == Some("prometheus") {
+            fields.push(("body".to_string(), Json::from(psgl_obs::render_prometheus(&snapshot))));
+        }
+    }
+    response
 }
 
 /// Writes one response line; false when the client is gone.

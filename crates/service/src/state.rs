@@ -38,6 +38,10 @@ pub struct QueryDefaults {
     /// degraded memory-bounded runs instead of rejecting them. `None`
     /// (the default) keeps the seed behavior.
     pub spill: Option<psgl_core::SpillConfig>,
+    /// Queries slower than this wall-clock threshold land in the
+    /// slow-query log with their per-superstep timeline (`metrics` verb's
+    /// `slow_queries` array). 0 records every query.
+    pub slow_query_ms: u64,
 }
 
 impl Default for QueryDefaults {
@@ -49,6 +53,7 @@ impl Default for QueryDefaults {
             max_live_chunks: None,
             chunk_capacity: None,
             spill: None,
+            slow_query_ms: 250,
         }
     }
 }
@@ -74,11 +79,17 @@ pub struct ServiceState {
     /// Per-tenant admission and slice accounting (the `stats` verb's
     /// `tenants` object).
     pub tenants: TenantRegistry,
+    /// Threshold-triggered slow-query log served by the `metrics` verb.
+    pub slow_queries: psgl_obs::SlowQueryLog,
+    /// Structured trace of query lifecycle, degradation, and disconnect
+    /// events; its flight recorder is dumped on internal errors.
+    pub tracer: psgl_obs::Tracer,
 }
 
 impl ServiceState {
     /// Creates state with the given cache capacities and defaults.
     pub fn new(result_cache_cap: usize, plan_cache_cap: usize, defaults: QueryDefaults) -> Self {
+        let slow_queries = psgl_obs::SlowQueryLog::new(defaults.slow_query_ms, 32);
         ServiceState {
             catalog: GraphCatalog::new(),
             plans: PlanCache::new(plan_cache_cap),
@@ -89,6 +100,8 @@ impl ServiceState {
             jobs: JobRegistry::default(),
             subscriptions: SubscriptionRegistry::default(),
             tenants: TenantRegistry::default(),
+            slow_queries,
+            tracer: psgl_obs::tracer().clone(),
         }
     }
 }

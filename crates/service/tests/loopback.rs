@@ -918,10 +918,10 @@ fn loopback_mid_spill_disconnect_frees_the_slot_and_removes_the_spill_dir() {
     writeln!(doomed, "{}", slow_request("dense", &[])).unwrap();
     doomed.flush().unwrap();
     let spilled = |base: &std::path::Path| {
-        std::fs::read_dir(base).map_or(false, |runs| {
+        std::fs::read_dir(base).is_ok_and(|runs| {
             runs.flatten().any(|run| {
-                std::fs::read_dir(run.path()).map_or(false, |files| {
-                    files.flatten().any(|f| f.metadata().map_or(false, |m| m.len() > 0))
+                std::fs::read_dir(run.path()).is_ok_and(|files| {
+                    files.flatten().any(|f| f.metadata().is_ok_and(|m| m.len() > 0))
                 })
             })
         })
@@ -954,4 +954,86 @@ fn loopback_mid_spill_disconnect_frees_the_slot_and_removes_the_spill_dir() {
     std::fs::remove_dir_all(&base).ok();
     std::fs::remove_file(&path).ok();
     handle.shutdown();
+}
+
+/// The `metrics` verb is a strict superset of `stats`: every field the
+/// legacy verb reports appears with the same value (module the metrics
+/// request itself), plus the raw registry series, the slow-query log,
+/// and a Prometheus rendition on request.
+#[test]
+fn loopback_metrics_verb_is_a_superset_of_stats() {
+    let mut config = test_config();
+    config.defaults.slow_query_ms = 0; // record every query's timeline
+    let handle = serve(config).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.load("karate", "karate-club", "fixture").unwrap();
+    assert_eq!(u64_field(&client.count("karate", "triangle").unwrap(), "count"), 45);
+
+    let stats = client.stats().unwrap();
+    let metrics = client.request(&Json::obj([("verb", Json::from("metrics"))])).unwrap();
+
+    // Every top-level stats object is mirrored. Nothing ran between the
+    // two requests, so all but the server counters must match exactly.
+    let Json::Obj(stat_fields) = &stats else { panic!("stats not an object: {stats}") };
+    for (key, value) in stat_fields {
+        let mirrored =
+            metrics.get(key).unwrap_or_else(|| panic!("metrics is missing stats key {key}"));
+        if key != "server" {
+            assert_eq!(mirrored.to_string(), value.to_string(), "metrics.{key} diverges");
+        }
+    }
+    // The server counters agree field-for-field. `requests` is the one
+    // honest exception — the metrics request itself is request N+1 —
+    // and `uptime_secs` is wall time, so it only moves forward.
+    let Json::Obj(server_fields) = stats.get("server").unwrap() else {
+        panic!("stats.server not an object")
+    };
+    let mserver = metrics.get("server").unwrap();
+    for (key, value) in server_fields {
+        let got = mserver.get(key).unwrap_or_else(|| panic!("metrics.server is missing {key}"));
+        match key.as_str() {
+            "requests" => assert_eq!(got.as_u64(), value.as_u64().map(|v| v + 1)),
+            "uptime_secs" => {
+                assert!(got.as_f64().unwrap() >= value.as_f64().unwrap(), "uptime went backwards")
+            }
+            _ => assert_eq!(got.to_string(), value.to_string(), "metrics.server.{key} diverges"),
+        }
+    }
+
+    // The superset part: raw registry series ...
+    let series = metrics.get("metrics").and_then(Json::as_arr).expect("metrics array");
+    let series_value = |name: &str| {
+        series
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|s| s.get("value"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing series {name}"))
+    };
+    assert_eq!(series_value("psgl_queries_ok"), u64_field(mserver, "queries_ok"));
+    assert_eq!(series_value("psgl_gpsis_generated"), u64_field(mserver, "gpsis_generated"));
+
+    // ... and the slow-query log, timeline included (threshold 0 records
+    // every query).
+    assert_eq!(metrics.get("slow_query_threshold_ms").and_then(Json::as_u64), Some(0));
+    let slow = metrics.get("slow_queries").and_then(Json::as_arr).expect("slow_queries array");
+    assert!(!slow.is_empty(), "threshold 0 must record the triangle count");
+    let timeline = slow[0].get("timeline").and_then(Json::as_arr).expect("timeline");
+    assert!(!timeline.is_empty(), "timeline has per-superstep entries");
+    for key in ["superstep", "compute_ms", "barrier_ms", "spill_stall_ms", "exchange_ms"] {
+        assert!(timeline[0].get(key).is_some(), "timeline entry missing {key}");
+    }
+
+    // Prometheus rendition on request.
+    let prom = client
+        .request(&Json::obj([
+            ("verb", Json::from("metrics")),
+            ("format", Json::from("prometheus")),
+        ]))
+        .unwrap();
+    let body = prom.get("body").and_then(Json::as_str).expect("prometheus body");
+    assert!(body.contains("# TYPE psgl_queries_ok counter"), "{body}");
+    assert!(body.contains("psgl_requests"), "{body}");
+    client.shutdown().unwrap();
+    handle.wait();
 }

@@ -8,8 +8,8 @@
 
 use psgl_core::{CancelReason, CancelToken};
 use psgl_service::{
-    execute_query, GraphFormat, Job, QueryDefaults, QuerySpec, Scheduler, ServiceState,
-    StreamSink, {parse_pattern_spec, ServiceError},
+    execute_query, GraphFormat, Job, QueryDefaults, QuerySpec, Scheduler, ServiceState, StreamSink,
+    {parse_pattern_spec, ServiceError},
 };
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
@@ -113,11 +113,12 @@ fn weighted_tenant_gets_its_share_and_nobody_starves() {
 fn deadline_queries_overtake_the_scan_backlog() {
     let state = karate_state();
     let scheduler = Scheduler::start_with(Arc::clone(&state), 1, 64, 1);
-    let backlog: Vec<_> = (0..6).map(|_| submit(&scheduler, query("square", "scan", 1), false)).collect();
+    let backlog: Vec<_> =
+        (0..6).map(|_| submit(&scheduler, query("square", "scan", 1), false)).collect();
 
     let mut urgent = query("triangle", "urgent", 1);
     urgent.timeout_ms = Some(0); // already expired: must cancel, never queue
-    // The server derives the wall-clock token from timeout_ms; mirror it.
+                                 // The server derives the wall-clock token from timeout_ms; mirror it.
     let token = CancelToken::with_timeout(Duration::from_millis(0));
     let (tx, urgent_rx) = channel();
     scheduler
@@ -202,7 +203,9 @@ fn dropped_stream_receiver_cancels_and_frees_the_tenant() {
     drop(page_rx);
     match rx.recv_timeout(RECV).expect("reply") {
         Err(ServiceError::Cancelled {
-            reason: CancelReason::Disconnected, resume_token: None, ..
+            reason: CancelReason::Disconnected,
+            resume_token: None,
+            ..
         }) => {}
         other => panic!("expected disconnect cancel, got {:?}", other.map(|o| o.count)),
     }

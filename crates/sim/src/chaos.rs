@@ -242,7 +242,11 @@ impl Scenario {
     /// Runner hooks for one execution under `executor`; each run gets its
     /// own (identically-seeded) partitioner, so multiple runs of the same
     /// scenario see the same vertex placement.
-    fn hooks<'a>(&self, executor: &'a SimExecutor) -> RunnerHooks<'a> {
+    fn hooks<'a>(
+        &self,
+        executor: &'a SimExecutor,
+        tracer: Option<&'a psgl_obs::Tracer>,
+    ) -> RunnerHooks<'a> {
         let partitioner = (self.skew_per_mille > 0).then(|| {
             HashPartitioner::with_skew(self.workers, hash_u64(self.run_seed), self.skew_per_mille)
         });
@@ -254,6 +258,7 @@ impl Scenario {
             exchange_shuffle_seed: self.exchange_shuffle_seed,
             chunk_capacity: None,
             spill: None,
+            tracer,
         }
     }
 
@@ -262,6 +267,22 @@ impl Scenario {
     /// failure is boxed: it carries the whole scenario for replay, and the
     /// happy path should not pay its size.
     pub fn run(&self) -> Result<SimReport, Box<SimFailure>> {
+        // A seeded tracer by default: logical timestamps, deterministic
+        // payloads — tracing must not perturb corpus fingerprints.
+        self.run_traced(&psgl_obs::Tracer::seeded(1024))
+    }
+
+    /// [`Scenario::run`] with a caller-supplied trace sink. On failure the
+    /// tracer's flight recorder is dumped to disk (`PSGL_OBS_DIR`, or the
+    /// temp dir) and the dump path rides on the [`SimFailure`].
+    pub fn run_traced(&self, tracer: &psgl_obs::Tracer) -> Result<SimReport, Box<SimFailure>> {
+        self.run_inner(tracer).map_err(|mut failure| {
+            failure.flight_recorder = tracer.recorder().dump_on_failure("chaos-invariant");
+            failure
+        })
+    }
+
+    fn run_inner(&self, tracer: &psgl_obs::Tracer) -> Result<SimReport, Box<SimFailure>> {
         let graph = erdos_renyi_gnm(self.graph_vertices, self.graph_edges as u64, self.graph_seed)
             .expect("scenario graph parameters are always valid");
         let config = PsglConfig::with_workers(self.workers)
@@ -272,7 +293,7 @@ impl Scenario {
         let shared = PsglShared::prepare(&graph, &self.pattern, &config)
             .map_err(|e| self.failure(vec![], Some(e.to_string())))?;
         let executor = SimExecutor::new(self.seed, self.stall_per_mille);
-        let hooks = self.hooks(&executor);
+        let hooks = self.hooks(&executor, Some(tracer));
         let result = list_subgraphs_prepared_with(&shared, &config, &hooks)
             .map_err(|e| self.failure(vec![], Some(e.to_string())))?;
         let oracle_count = oracle::count_cached(
@@ -288,15 +309,17 @@ impl Scenario {
         }
         let mut resumed_at = None;
         if let Some(deadline) = self.cancel_at_superstep {
-            resumed_at = self.check_suspend_resume(&graph, &shared, &config, &result, deadline)?;
+            resumed_at =
+                self.check_suspend_resume(&graph, &shared, &config, &result, deadline, tracer)?;
         }
         let mut preempted_slices = None;
         if let Some(every) = self.preempt_every {
-            preempted_slices = self.check_preempt_resume(&graph, &shared, &config, &result, every)?;
+            preempted_slices =
+                self.check_preempt_resume(&graph, &shared, &config, &result, every, tracer)?;
         }
         let mut spilled_chunks = None;
         if let Some(fault) = self.spill_fault {
-            spilled_chunks = self.check_spill(&graph, &shared, &config, &result, fault)?;
+            spilled_chunks = self.check_spill(&graph, &shared, &config, &result, fault, tracer)?;
         }
         Ok(SimReport {
             instance_count: result.instance_count,
@@ -326,10 +349,11 @@ impl Scenario {
         config: &PsglConfig,
         reference: &ListingResult,
         fault: SpillFault,
+        tracer: &psgl_obs::Tracer,
     ) -> Result<Option<u64>, Box<SimFailure>> {
         let divergence = |msg: String| self.failure(vec![], Some(format!("spill: {msg}")));
         let executor = SimExecutor::new(self.seed, self.stall_per_mille);
-        let mut hooks = self.hooks(&executor);
+        let mut hooks = self.hooks(&executor, Some(tracer));
         // Fine-grained chunks and a two-chunk budget: on these small
         // graphs that is genuinely memory-starved, so eviction is common.
         hooks.chunk_capacity = Some(8);
@@ -352,7 +376,9 @@ impl Scenario {
                 return if msg.contains("spill") {
                     Ok(None)
                 } else {
-                    Err(divergence(format!("read fault aborted without a typed spill error: {msg}")))
+                    Err(divergence(format!(
+                        "read fault aborted without a typed spill error: {msg}"
+                    )))
                 };
             }
             Err(e) => return Err(divergence(e.to_string())),
@@ -360,8 +386,7 @@ impl Scenario {
         // Reaching here with a read fault means the run never needed the
         // disk; with a write fault it means eviction degraded to resident
         // growth. Either way the answer must be exactly the reference's.
-        let violations =
-            invariants::check(graph, &self.pattern, &result, reference.instance_count);
+        let violations = invariants::check(graph, &self.pattern, &result, reference.instance_count);
         if !violations.is_empty() {
             return Err(self.failure(violations, Some("memory-bounded re-run".to_string())));
         }
@@ -407,10 +432,11 @@ impl Scenario {
         config: &PsglConfig,
         reference: &ListingResult,
         deadline: u32,
+        tracer: &psgl_obs::Tracer,
     ) -> Result<Option<u32>, Box<SimFailure>> {
         let divergence = |msg: String| self.failure(vec![], Some(format!("suspend/resume: {msg}")));
         let executor = SimExecutor::new(self.seed, self.stall_per_mille);
-        let hooks = self.hooks(&executor);
+        let hooks = self.hooks(&executor, Some(tracer));
         let token = CancelToken::with_superstep_deadline(deadline);
         let controls =
             RunControls { cancel: Some(&token), checkpoint: true, resume: None, cluster: None };
@@ -491,10 +517,11 @@ impl Scenario {
         config: &PsglConfig,
         reference: &ListingResult,
         every: u32,
+        tracer: &psgl_obs::Tracer,
     ) -> Result<Option<u32>, Box<SimFailure>> {
         let divergence = |msg: String| self.failure(vec![], Some(format!("preempt/resume: {msg}")));
         let executor = SimExecutor::new(self.seed, self.stall_per_mille);
-        let hooks = self.hooks(&executor);
+        let hooks = self.hooks(&executor, Some(tracer));
         let token = CancelToken::new();
         let mut resume = None;
         let mut preemptions = 0u32;
@@ -555,7 +582,7 @@ impl Scenario {
     }
 
     fn failure(&self, violations: Vec<Violation>, error: Option<String>) -> Box<SimFailure> {
-        Box::new(SimFailure { scenario: self.clone(), violations, error })
+        Box::new(SimFailure { scenario: self.clone(), violations, error, flight_recorder: None })
     }
 }
 
@@ -599,6 +626,9 @@ pub struct SimFailure {
     pub violations: Vec<Violation>,
     /// A run-level error (e.g. engine abort), if that is what failed.
     pub error: Option<String>,
+    /// Where the run's flight-recorder dump landed (the last trace events
+    /// before the failure, as JSON), when a tracer was attached.
+    pub flight_recorder: Option<std::path::PathBuf>,
 }
 
 impl fmt::Display for SimFailure {
@@ -614,6 +644,9 @@ impl fmt::Display for SimFailure {
         }
         for v in &self.violations {
             writeln!(f, "  violation: {v}")?;
+        }
+        if let Some(path) = &self.flight_recorder {
+            writeln!(f, "  flight recorder: {}", path.display())?;
         }
         Ok(())
     }
@@ -730,12 +763,56 @@ mod tests {
     }
 
     #[test]
+    fn seeded_tracing_is_deterministic_and_fingerprint_neutral() {
+        // Two executions of the same scenario under two fresh seeded
+        // tracers: the replay fingerprints AND the event streams (names,
+        // payloads, logical timestamps) must be byte-identical — tracing
+        // may observe a deterministic run, never perturb or smear it.
+        let scenario = Scenario::from_seed(1);
+        let t1 = psgl_obs::Tracer::seeded(1024);
+        let t2 = psgl_obs::Tracer::seeded(1024);
+        let r1 = scenario.run_traced(&t1).unwrap_or_else(|f| panic!("{f}"));
+        let r2 = scenario.run_traced(&t2).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(r1.fingerprint, r2.fingerprint);
+        assert_eq!(r1.trace_hash, r2.trace_hash);
+        let stream = |t: &psgl_obs::Tracer| -> Vec<String> {
+            t.events().iter().map(|e| e.to_json()).collect()
+        };
+        let (ev1, ev2) = (stream(&t1), stream(&t2));
+        assert!(!ev1.is_empty(), "a traced run emits superstep events");
+        assert_eq!(ev1, ev2, "identical runs must produce identical event streams");
+        // And the fingerprint matches the untraced default path.
+        let plain = scenario.run().unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(plain.fingerprint, r1.fingerprint);
+    }
+
+    #[test]
+    fn failed_run_dumps_the_flight_recorder() {
+        // An oversized pattern fails in prepare — a run-level error, which
+        // must leave a JSON flight-recorder dump behind and put its path
+        // on the failure.
+        let base = Scenario::from_seed(3);
+        let doomed =
+            Scenario::from_seed_with(3, catalog::cycle(13), base.strategy_name, base.strategy);
+        let tracer = psgl_obs::Tracer::seeded(64);
+        tracer.event("before_failure", &[]);
+        let failure = doomed.run_traced(&tracer).expect_err("cycle(13) exceeds the Gpsi limit");
+        assert!(failure.error.as_deref().is_some_and(|e| e.contains("13")), "{failure}");
+        let path = failure.flight_recorder.clone().expect("failure carries the dump path");
+        let dump = std::fs::read_to_string(&path).expect("dump file exists");
+        assert!(dump.contains("before_failure"), "dump holds the pre-failure events: {dump}");
+        assert!(failure.to_string().contains("flight recorder"), "{failure}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn failure_display_carries_the_replay_seed() {
         let s = Scenario::from_seed(9);
         let f = SimFailure {
             scenario: s,
             violations: vec![Violation::PoolImbalance { outstanding: 1 }],
             error: None,
+            flight_recorder: None,
         };
         let text = f.to_string();
         assert!(text.contains("Scenario::from_seed(9)"));

@@ -150,6 +150,7 @@ impl DeltaScenario {
             exchange_shuffle_seed: self.exchange_shuffle_seed,
             chunk_capacity: None,
             spill: None,
+            tracer: None,
         }
     }
 

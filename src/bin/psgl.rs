@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "mutate" => cmd_mutate(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
         "cluster" => cmd_cluster(&args[1..]),
+        "obs" => cmd_obs(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -83,6 +84,8 @@ USAGE:
                 [--checkpoint-interval C] [--max-supersteps M]
                 [--listen HOST:PORT] [--heartbeat-ms MS] [--deadline-ms MS]
   psgl cluster worker --join HOST:PORT
+  psgl obs scrape  --addr HOST:PORT [--format prometheus]
+  psgl obs dump    [--out FILE]
 
 PATTERNS: triangle | square | tailed-triangle | 4-clique | house
           | cycle:K | clique:K | path:K | star:K | \"1-2,2-3,3-1\"
@@ -94,11 +97,16 @@ SPEC:     gnm:N:M:SEED | chung-lu:N:AVG:GAMMA:SEED | fixture:NAME
 
 serve speaks a JSON-lines protocol over TCP; see README \"Running as a
 service\" (verbs: load, mutate, count, list, subscribe, cancel, stats,
-health, shutdown). mutate applies an edge batch to a live graph; watch
-subscribes and prints each signed instance delta as it lands.
-cluster runs one coordinator and N worker processes; the coordinator
-prints a JSON result line when the job completes (README \"Running a
-cluster\").
+metrics, health, shutdown). mutate applies an edge batch to a live
+graph; watch subscribes and prints each signed instance delta as it
+lands. cluster runs one coordinator and N worker processes; the
+coordinator prints a JSON result line when the job completes (README
+\"Running a cluster\"); --linger-ms keeps its control port up after the
+job so `psgl obs scrape` can collect the final metrics.
+obs scrape sends one `metrics` request to a service or coordinator
+control port and prints the reply (with --format prometheus, the raw
+exposition text). obs dump writes this process's flight-recorder ring
+as JSON to stdout or --out FILE (see README \"Operating the service\").
 --spill enables the disk spill tier (system temp dir, or --spill-dir);
 --max-live-chunks caps resident message chunks and evicts the excess to
 it — see README \"Graphs larger than RAM\".";
@@ -137,12 +145,14 @@ fn load_graph(flags: &HashMap<String, String>) -> Result<DataGraph, String> {
     service::load_graph(path, format).map_err(|e| e.to_string())
 }
 
+/// The (`max_live_chunks`, `chunk_capacity`, spill tier) triple shared
+/// by `count` and `serve`.
+type SpillKnobs = (Option<u64>, Option<usize>, Option<SpillConfig>);
+
 /// Parses the shared memory-bounding knobs (`--max-live-chunks`,
 /// `--chunk-capacity`, `--spill`, `--spill-dir`) used by both `count` and
 /// `serve`; see README "Graphs larger than RAM".
-fn parse_spill_knobs(
-    flags: &HashMap<String, String>,
-) -> Result<(Option<u64>, Option<usize>, Option<SpillConfig>), String> {
+fn parse_spill_knobs(flags: &HashMap<String, String>) -> Result<SpillKnobs, String> {
     let max_live_chunks = flags
         .get("max-live-chunks")
         .map(|s| s.parse().map_err(|e| format!("bad --max-live-chunks: {e}")))
@@ -210,7 +220,8 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     }
     let hooks = RunnerHooks { max_live_chunks, chunk_capacity, spill, ..RunnerHooks::default() };
     let shared = PsglShared::prepare(&graph, &pattern, &config).map_err(|e| e.to_string())?;
-    let result = list_subgraphs_prepared_with(&shared, &config, &hooks).map_err(|e| e.to_string())?;
+    let result =
+        list_subgraphs_prepared_with(&shared, &config, &hooks).map_err(|e| e.to_string())?;
     println!("instances          : {}", result.instance_count);
     println!("supersteps         : {}", result.stats.supersteps);
     println!("gpsis generated    : {}", result.stats.expand.generated);
@@ -384,6 +395,10 @@ fn cmd_cluster_coordinator(args: &[String]) -> Result<(), String> {
         let ms: u64 = ms.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
         config.deadline = Some(std::time::Duration::from_millis(ms));
     }
+    if let Some(ms) = flags.get("linger-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --linger-ms: {e}"))?;
+        config.linger = std::time::Duration::from_millis(ms);
+    }
     eprintln!(
         "psgl-cluster coordinator on {addr}: waiting for {workers} workers \
          (psgl cluster worker --join {addr})"
@@ -436,6 +451,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_live_chunks,
         chunk_capacity,
         spill,
+        slow_query_ms: opt_parse(&flags, "slow-query-ms", QueryDefaults::default().slow_query_ms)?,
     };
     let handle =
         service::serve(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -449,7 +465,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     println!(
         "protocol: JSON lines; verbs: load, mutate, count, list, subscribe, cancel, stats, \
-         health, shutdown"
+         metrics, health, shutdown"
     );
     if config.defaults.spill.is_some() {
         println!(
@@ -459,6 +475,65 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     handle.wait();
     println!("psgl-service stopped");
+    Ok(())
+}
+
+/// `psgl obs`: observability utilities — scrape the metrics verb off a
+/// running service or lingering cluster coordinator, or dump this
+/// process's flight-recorder ring.
+fn cmd_obs(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("scrape") => cmd_obs_scrape(&args[1..]),
+        Some("dump") => cmd_obs_dump(&args[1..]),
+        Some(other) => Err(format!("unknown obs action {other:?} (scrape | dump)")),
+        None => Err("obs needs an action: scrape | dump".into()),
+    }
+}
+
+/// Sends one `{"verb":"metrics"}` line to `--addr` and prints the reply.
+/// Both the service port and the cluster coordinator's control port
+/// answer it; `--format prometheus` prints the exposition text itself
+/// (the `body` field) instead of the JSON envelope.
+fn cmd_obs_scrape(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let addr = required(&flags, "addr")?;
+    let prometheus = match flags.get("format").map(String::as_str) {
+        None | Some("json") => false,
+        Some("prometheus") => true,
+        Some(other) => return Err(format!("bad --format {other:?} (json | prometheus)")),
+    };
+    let mut request = vec![("verb", Json::from("metrics"))];
+    if prometheus {
+        request.push(("format", Json::from("prometheus")));
+    }
+    let mut client = service::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = client.request(&Json::obj(request)).map_err(|e| e.to_string())?;
+    if prometheus {
+        match reply.get("body").and_then(Json::as_str) {
+            Some(body) => print!("{body}"),
+            None => return Err(format!("no prometheus body in reply: {reply}")),
+        }
+    } else {
+        println!("{reply}");
+    }
+    Ok(())
+}
+
+/// Dumps the process-global flight-recorder ring as one JSON document.
+/// In a fresh CLI process the ring is empty; the command exists so
+/// embedders (and the chaos harness, which dumps through the same code
+/// path on invariant failure) have a uniform on-disk format to grep.
+fn cmd_obs_dump(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let recorder = psgl::obs::tracer().recorder();
+    match flags.get("out") {
+        Some(path) => {
+            let path = std::path::Path::new(path);
+            recorder.dump_to_file(path).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!("flight recorder dumped to {}", path.display());
+        }
+        None => println!("{}", recorder.to_json()),
+    }
     Ok(())
 }
 

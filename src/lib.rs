@@ -24,6 +24,8 @@
 //! - [`cluster`] — a distributed multi-process BSP runtime (`psgl
 //!   cluster`): binary wire plane over TCP, coordinator-driven
 //!   membership and barriers, checkpoint-based recovery,
+//! - [`obs`] — observability substrate shared by every layer: metrics
+//!   registry, structured tracing, flight recorder, slow-query log,
 //! - [`sim`] — deterministic simulation & chaos harness: seeded
 //!   virtual-time scheduler for the BSP engine, fault injection, invariant
 //!   checkers, and oracle conformance sweeps,
@@ -52,6 +54,7 @@ pub use psgl_core as core;
 pub use psgl_delta as delta;
 pub use psgl_graph as graph;
 pub use psgl_mapreduce as mapreduce;
+pub use psgl_obs as obs;
 pub use psgl_pattern as pattern;
 pub use psgl_service as service;
 pub use psgl_sim as sim;
